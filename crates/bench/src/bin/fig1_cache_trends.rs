@@ -1,0 +1,47 @@
+//! Fig. 1: historic on-chip cache sizes (a) and hit latencies (b), plus
+//! the CACTI-lite model curve for the paper-era technology point.
+
+use dbcmp_bench::header;
+use dbcmp_cacti::{historic_latencies, historic_sizes, CactiModel};
+use dbcmp_core::report::table;
+
+fn main() {
+    header("Fig. 1: historic on-chip cache trends", "Figure 1 (a) and (b)");
+
+    println!("(a) On-chip cache size by processor generation");
+    let rows: Vec<Vec<String>> = historic_sizes()
+        .iter()
+        .map(|p| vec![p.year.to_string(), p.processor.to_string(), format!("{} KB", p.on_chip_kb)])
+        .collect();
+    print!("{}", table(&["Year", "Processor", "On-chip cache"], &rows));
+
+    println!("\n(b) L2/LLC hit latency by processor generation");
+    let rows: Vec<Vec<String>> = historic_latencies()
+        .iter()
+        .map(|p| {
+            vec![
+                p.year.to_string(),
+                p.processor.to_string(),
+                format!("{} cycles", p.hit_latency_cycles.unwrap()),
+            ]
+        })
+        .collect();
+    print!("{}", table(&["Year", "Processor", "Hit latency"], &rows));
+
+    println!("\nCACTI-lite model curve (65 nm, 3 GHz, 16-way):");
+    let model = CactiModel::paper_era();
+    let sizes: Vec<u64> = [1u64, 2, 4, 8, 16, 21, 26].iter().map(|m| m << 20).collect();
+    let rows: Vec<Vec<String>> = model
+        .sweep(&sizes)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{} MB", r.org.size_bytes >> 20),
+                format!("{:.2} ns", r.latency_ns),
+                format!("{} cycles", r.latency_cycles),
+                format!("{:.1} mm^2", r.area_mm2),
+            ]
+        })
+        .collect();
+    print!("{}", table(&["L2 size", "Access time", "Latency", "Area"], &rows));
+}

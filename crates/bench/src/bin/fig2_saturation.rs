@@ -1,0 +1,21 @@
+//! Fig. 2: throughput vs number of concurrent clients — the
+//! unsaturated→saturated transition (DSS queries on the FC CMP).
+
+use dbcmp_bench::{header, scale_from_args};
+use dbcmp_core::figures::fig2_saturation;
+use dbcmp_core::report::{f2, table};
+
+fn main() {
+    header("Fig. 2: unsaturated vs saturated workloads", "Figure 2");
+    let scale = scale_from_args();
+    let clients = [1usize, 2, 4, 8, 16];
+    let pts = fig2_saturation(&scale, &clients);
+    let rows: Vec<Vec<String>> =
+        pts.iter().map(|&(n, t)| vec![n.to_string(), f2(t)]).collect();
+    print!("{}", table(&["Clients", "Norm. throughput"], &rows));
+    println!();
+    println!(
+        "Shape check: throughput must rise with clients until the hardware \
+         contexts fill (4 FC cores), then flatten."
+    );
+}

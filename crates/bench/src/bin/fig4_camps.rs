@@ -1,0 +1,28 @@
+//! Fig. 4: (a) response time and (b) throughput of the LC CMP normalized
+//! to the FC CMP, for OLTP and DSS, unsaturated and saturated.
+
+use dbcmp_bench::{header, scale_from_args};
+use dbcmp_core::figures::{fig45_quadrants, fig4_ratios};
+use dbcmp_core::report::{f2, table};
+
+fn main() {
+    header("Fig. 4: LC vs FC response time and throughput", "Figure 4 (a) and (b)");
+    let scale = scale_from_args();
+    let quadrants = fig45_quadrants(&scale);
+    let ratios = fig4_ratios(&quadrants);
+    let rows: Vec<Vec<String>> = ratios
+        .iter()
+        .map(|&(w, rt, tp)| vec![w.label().to_string(), f2(rt), f2(tp)])
+        .collect();
+    print!(
+        "{}",
+        table(
+            &["Workload", "LC/FC response time (unsat)", "LC/FC throughput (sat)"],
+            &rows
+        )
+    );
+    println!();
+    println!("Paper shape: response-time ratio > 1 (FC wins single-thread; up to");
+    println!("~1.7x on DSS, smaller on OLTP); throughput ratio > 1 (LC wins");
+    println!("saturated, ~1.7x).");
+}

@@ -1,0 +1,14 @@
+//! Table 1: chip multiprocessor camp characteristics.
+
+use dbcmp_bench::header;
+use dbcmp_core::report::table;
+use dbcmp_core::taxonomy::table1;
+
+fn main() {
+    header("Table 1: CMP camp characteristics", "Table 1");
+    let rows: Vec<Vec<String>> = table1()
+        .into_iter()
+        .map(|r| vec![r.characteristic.to_string(), r.fat.to_string(), r.lean.to_string()])
+        .collect();
+    print!("{}", table(&["Core Technology", "Fat Camp (FC)", "Lean Camp (LC)"], &rows));
+}

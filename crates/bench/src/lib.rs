@@ -1,0 +1,52 @@
+//! Benchmark harness support: argument parsing shared by the per-figure
+//! binaries.
+//!
+//! Every paper table/figure has a binary in `src/bin/` that regenerates
+//! it:
+//!
+//! | artifact | binary |
+//! |---|---|
+//! | Table 1 | `table1_camps` |
+//! | Fig. 1  | `fig1_cache_trends` |
+//! | Fig. 2  | `fig2_saturation` |
+//! | Fig. 3  | `fig3_validation` |
+//! | Fig. 4  | `fig4_camps` |
+//! | Fig. 5  | `fig5_breakdown` |
+//! | Fig. 6  | `fig6_cache_size` |
+//! | Fig. 7  | `fig7_smp_cmp` |
+//! | Fig. 8  | `fig8_core_count` |
+//! | §6 ablation | `fig9_staged` |
+//!
+//! Run with `--quick` for a fast, smaller-scale pass (same code paths).
+//! Criterion microbenchmarks of the substrates live in `benches/`.
+
+use dbcmp_core::FigScale;
+
+/// Parse harness CLI args: `--quick` selects the test scale.
+pub fn scale_from_args() -> FigScale {
+    if std::env::args().any(|a| a == "--quick") {
+        FigScale::quick()
+    } else {
+        FigScale::paper()
+    }
+}
+
+/// Print a standard harness header.
+pub fn header(title: &str, paper_ref: &str) {
+    println!("=== {title} ===");
+    println!("(reproduces {paper_ref} of Hardavellas et al., CIDR 2007)");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_paper() {
+        // No --quick in the test harness args (cargo passes test names
+        // only).
+        let s = scale_from_args();
+        assert!(s.oltp_clients >= FigScale::quick().oltp_clients);
+    }
+}

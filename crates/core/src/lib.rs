@@ -1,0 +1,19 @@
+//! `dbcmp-core` — the characterization framework.
+//!
+//! Ties the substrates together into the paper's experiments: the
+//! CMP-camp/workload [taxonomy] (§2), [machine presets](machines)
+//! built on CACTI latencies (§3), workload capture, the
+//! [experiment runner](experiment), and one generator per paper
+//! figure/table in [figures].
+
+pub mod experiment;
+pub mod figures;
+pub mod machines;
+pub mod report;
+pub mod taxonomy;
+pub mod workload;
+
+pub use experiment::{run_completion, run_throughput, RunSpec};
+pub use machines::{fc_cmp, lc_cmp, smp_baseline, L2Spec};
+pub use taxonomy::{Camp, Saturation, WorkloadKind};
+pub use workload::{CapturedWorkload, FigScale};

@@ -1,0 +1,74 @@
+//! Machine presets for the paper's experiments, with L2 latencies from
+//! the CACTI model (or pinned, for the fixed-latency sweeps of Fig. 6).
+
+use dbcmp_cacti::l2_latency_cycles;
+use dbcmp_sim::{CoreKind, MachineConfig};
+
+use crate::taxonomy::Camp;
+
+/// How to derive the L2 hit latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2Spec {
+    /// Realistic latency from the CACTI model for the given size.
+    Cacti,
+    /// Pinned latency in cycles (the paper's "unrealistically fast"
+    /// 4-cycle experiments).
+    Fixed(u64),
+}
+
+impl L2Spec {
+    pub fn latency(self, size: u64) -> u64 {
+        match self {
+            L2Spec::Cacti => l2_latency_cycles(size),
+            L2Spec::Fixed(cyc) => cyc,
+        }
+    }
+}
+
+/// Fat-camp CMP preset.
+pub fn fc_cmp(n_cores: usize, l2_size: u64, l2: L2Spec) -> MachineConfig {
+    MachineConfig::fat_cmp(n_cores, l2_size, l2.latency(l2_size))
+}
+
+/// Lean-camp CMP preset.
+pub fn lc_cmp(n_cores: usize, l2_size: u64, l2: L2Spec) -> MachineConfig {
+    MachineConfig::lean_cmp(n_cores, l2_size, l2.latency(l2_size))
+}
+
+/// The §5.2 SMP baseline: one core per node, private L2s.
+pub fn smp_baseline(n_nodes: usize, l2_per_node: u64, camp: Camp) -> MachineConfig {
+    let core = match camp {
+        Camp::Fat => CoreKind::fat(),
+        Camp::Lean => CoreKind::lean(),
+    };
+    MachineConfig::smp(n_nodes, l2_per_node, l2_latency_cycles(l2_per_node), core)
+}
+
+/// Camp-selecting preset.
+pub fn cmp_for(camp: Camp, n_cores: usize, l2_size: u64, l2: L2Spec) -> MachineConfig {
+    match camp {
+        Camp::Fat => fc_cmp(n_cores, l2_size, l2),
+        Camp::Lean => lc_cmp(n_cores, l2_size, l2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cacti_latency_exceeds_fixed_four() {
+        let real = fc_cmp(4, 16 << 20, L2Spec::Cacti);
+        let fast = fc_cmp(4, 16 << 20, L2Spec::Fixed(4));
+        assert!(real.l2.geom().latency > fast.l2.geom().latency);
+        assert_eq!(fast.l2.geom().latency, 4);
+    }
+
+    #[test]
+    fn camps_share_memory_system() {
+        let f = cmp_for(Camp::Fat, 4, 8 << 20, L2Spec::Cacti);
+        let l = cmp_for(Camp::Lean, 4, 8 << 20, L2Spec::Cacti);
+        assert_eq!(f.l2.geom(), l.l2.geom());
+        assert_eq!(f.mem_latency, l.mem_latency);
+    }
+}

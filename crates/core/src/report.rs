@@ -1,0 +1,102 @@
+//! Plain-text table formatting for the figure harnesses and
+//! EXPERIMENTS.md.
+
+use dbcmp_sim::stats::{Breakdown, ALL_CLASSES};
+
+/// Format an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// One line per class: percentage of execution time.
+pub fn breakdown_row(b: &Breakdown) -> Vec<String> {
+    let f = b.fractions();
+    ALL_CLASSES.iter().map(|&c| format!("{:.1}%", f[c as usize] * 100.0)).collect()
+}
+
+/// Headers matching [`breakdown_row`].
+pub fn breakdown_headers() -> Vec<&'static str> {
+    ALL_CLASSES.iter().map(|c| c.label()).collect()
+}
+
+/// Aggregate a breakdown into the paper's four Fig. 5 components:
+/// (computation, I-stalls, D-stalls, other).
+pub fn four_components(b: &Breakdown) -> (f64, f64, f64, f64) {
+    (
+        b.compute_fraction(),
+        b.instr_stall_fraction(),
+        b.data_stall_fraction(),
+        1.0 - b.compute_fraction() - b.instr_stall_fraction() - b.data_stall_fraction(),
+    )
+}
+
+/// Format a float with fixed precision.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcmp_sim::CycleClass;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn four_components_sum_to_one() {
+        let mut b = Breakdown::default();
+        b.charge(CycleClass::Compute, 50);
+        b.charge(CycleClass::IStallL2, 10);
+        b.charge(CycleClass::DStallL2Hit, 30);
+        b.charge(CycleClass::Other, 10);
+        let (c, i, d, o) = four_components(&b);
+        assert!((c + i + d + o - 1.0).abs() < 1e-9);
+        assert!((d - 0.3).abs() < 1e-9);
+    }
+}

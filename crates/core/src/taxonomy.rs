@@ -1,0 +1,107 @@
+//! The paper's §2 taxonomy: fat vs lean camps × unsaturated vs saturated
+//! workloads, plus the Table 1 characteristics.
+
+use serde::{Deserialize, Serialize};
+
+/// Chip-multiprocessor camp (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Camp {
+    /// Wide-issue out-of-order cores (Intel Core Duo, IBM Power5).
+    Fat,
+    /// Narrow in-order heavily multithreaded cores (Sun UltraSPARC T1,
+    /// Compaq Piranha).
+    Lean,
+}
+
+impl Camp {
+    pub fn label(self) -> &'static str {
+        match self {
+            Camp::Fat => "FC",
+            Camp::Lean => "LC",
+        }
+    }
+}
+
+/// Workload saturation (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Saturation {
+    /// Processors may idle — response time is the metric.
+    Unsaturated,
+    /// Idle contexts always find runnable threads — throughput (UIPC) is
+    /// the metric.
+    Saturated,
+}
+
+impl Saturation {
+    pub fn label(self) -> &'static str {
+        match self {
+            Saturation::Unsaturated => "Unsaturated",
+            Saturation::Saturated => "Saturated",
+        }
+    }
+}
+
+/// Workload type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// TPC-C-like transaction processing.
+    Oltp,
+    /// TPC-H-like decision support.
+    Dss,
+}
+
+impl WorkloadKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Oltp => "OLTP",
+            WorkloadKind::Dss => "DSS",
+        }
+    }
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampTraits {
+    pub characteristic: &'static str,
+    pub fat: &'static str,
+    pub lean: &'static str,
+}
+
+/// Table 1: chip multiprocessor camp characteristics.
+pub fn table1() -> Vec<CampTraits> {
+    vec![
+        CampTraits { characteristic: "Issue Width", fat: "Wide (4+)", lean: "Narrow (1 or 2)" },
+        CampTraits { characteristic: "Execution Order", fat: "Out-of-order", lean: "In-order" },
+        CampTraits {
+            characteristic: "Pipeline Depth",
+            fat: "Deep (14+ stages)",
+            lean: "Shallow (5-6 stages)",
+        },
+        CampTraits { characteristic: "Hardware Threads", fat: "Few (1-2)", lean: "Many (4+)" },
+        CampTraits {
+            characteristic: "Core Size",
+            fat: "Large (3 x LC size)",
+            lean: "Small (LC size)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_five_rows() {
+        let t = table1();
+        assert_eq!(t.len(), 5);
+        assert!(t.iter().any(|r| r.characteristic == "Issue Width"));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Camp::Fat.label(), "FC");
+        assert_eq!(Camp::Lean.label(), "LC");
+        assert_eq!(Saturation::Saturated.label(), "Saturated");
+        assert_eq!(WorkloadKind::Dss.label(), "DSS");
+    }
+}

@@ -1,0 +1,84 @@
+//! System catalog: table and index metadata.
+//!
+//! Lookups are traced (the catalog is itself a shared, read-mostly
+//! structure that all clients touch at statement start).
+
+use crate::costs::instr;
+use crate::tctx::TraceCtx;
+use dbcmp_trace::AddressSpace;
+
+/// Table handle.
+pub type TableId = usize;
+/// Index handle.
+pub type IndexId = usize;
+
+#[derive(Debug)]
+pub struct TableMeta {
+    pub name: &'static str,
+    pub indexes: Vec<IndexId>,
+}
+
+/// The catalog.
+#[derive(Debug)]
+pub struct Catalog {
+    tables: Vec<TableMeta>,
+    addr: u64,
+}
+
+impl Catalog {
+    pub fn new(space: &AddressSpace) -> Self {
+        Catalog { tables: Vec::new(), addr: space.alloc("catalog", 32 * 1024) }
+    }
+
+    pub fn add_table(&mut self, name: &'static str) -> TableId {
+        self.tables.push(TableMeta { name, indexes: Vec::new() });
+        self.tables.len() - 1
+    }
+
+    pub fn add_index(&mut self, table: TableId, index: IndexId) {
+        self.tables[table].indexes.push(index);
+    }
+
+    /// Traced lookup by name.
+    pub fn lookup(&self, name: &str, tc: &mut TraceCtx) -> Option<TableId> {
+        tc.charge(tc.r.catalog, instr::CATALOG_LOOKUP);
+        let id = self.tables.iter().position(|t| t.name == name)?;
+        tc.load(self.addr + (id as u64) * 128, 64);
+        Some(id)
+    }
+
+    pub fn table(&self, id: TableId) -> &TableMeta {
+        &self.tables[id]
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::EngineRegions;
+    use dbcmp_trace::CodeRegions;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut r = CodeRegions::new();
+        let er = EngineRegions::register(&mut r);
+        let space = AddressSpace::new();
+        let mut cat = Catalog::new(&space);
+        let mut tc = TraceCtx::null(er);
+        let a = cat.add_table("warehouse");
+        let b = cat.add_table("district");
+        cat.add_index(b, 3);
+        assert_eq!(cat.lookup("warehouse", &mut tc), Some(a));
+        assert_eq!(cat.lookup("district", &mut tc), Some(b));
+        assert_eq!(cat.lookup("nope", &mut tc), None);
+        assert_eq!(cat.table(b).indexes, vec![3]);
+    }
+}

@@ -1,0 +1,469 @@
+//! The database façade: tables + indexes + locks + log + transactions.
+//!
+//! OLTP code paths go through this API (locking, logging, undo); read-only
+//! DSS queries go through the Volcano executor in [`crate::exec`], which
+//! scans tables without row locks (degree-2 isolation for reporting
+//! queries, as engines of the era did).
+
+use std::sync::Arc;
+
+use dbcmp_trace::{AddressSpace, CodeRegions};
+
+use crate::btree::{BTree, Cursor};
+use crate::catalog::{Catalog, IndexId, TableId};
+use crate::costs::{instr, EngineRegions};
+use crate::error::{EngineError, Result};
+use crate::heap::{HeapTable, Rid};
+use crate::lockmgr::{LockMgr, LockMode};
+use crate::schema::Schema;
+use crate::tctx::TraceCtx;
+use crate::txn::{Txn, TxnState, UndoRec};
+use crate::types::{Row, Value};
+use crate::wal::{Wal, WalRecord};
+
+/// Key-extraction function for an index: row + rid → packed u64 key.
+pub type KeyFn = Box<dyn Fn(&[Value], Rid) -> u64 + Send + Sync>;
+
+/// The whole database instance.
+pub struct Database {
+    pub space: Arc<AddressSpace>,
+    regions: CodeRegions,
+    pub er: EngineRegions,
+    catalog: Catalog,
+    heaps: Vec<HeapTable>,
+    indexes: Vec<BTree>,
+    index_table: Vec<TableId>,
+    key_fns: Vec<KeyFn>,
+    lockmgr: LockMgr,
+    wal: Wal,
+    next_txn: u64,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        let space = Arc::new(AddressSpace::new());
+        let mut regions = CodeRegions::new();
+        let er = EngineRegions::register(&mut regions);
+        Database {
+            catalog: Catalog::new(&space),
+            lockmgr: LockMgr::new(&space, 64 * 1024),
+            wal: Wal::new(&space),
+            heaps: Vec::new(),
+            indexes: Vec::new(),
+            index_table: Vec::new(),
+            key_fns: Vec::new(),
+            next_txn: 1,
+            regions,
+            er,
+            space,
+        }
+    }
+
+    /// The master code-region table (for building trace bundles).
+    pub fn regions(&self) -> &CodeRegions {
+        &self.regions
+    }
+
+    /// A fresh recording trace context for a client session.
+    pub fn trace_ctx(&self) -> TraceCtx {
+        TraceCtx::recording(self.er)
+    }
+
+    /// A counting-only context for native runs.
+    pub fn null_ctx(&self) -> TraceCtx {
+        TraceCtx::null(self.er)
+    }
+
+    // ---- DDL ----
+
+    pub fn create_table(&mut self, name: &'static str, schema: Schema) -> TableId {
+        let id = self.catalog.add_table(name);
+        self.heaps.push(HeapTable::new(schema, &self.space, name));
+        debug_assert_eq!(self.heaps.len() - 1, id);
+        id
+    }
+
+    /// Create an index over `table` with `key_fn`; existing rows are
+    /// indexed immediately.
+    pub fn create_index(&mut self, table: TableId, key_fn: KeyFn) -> IndexId {
+        let id = self.indexes.len();
+        let mut tree = BTree::new(&self.space);
+        let mut tc = self.null_ctx();
+        let rids: Vec<Rid> = self.heaps[table].rids().collect();
+        for rid in rids {
+            if let Some(row) = self.heaps[table].read_at(rid, &mut tc) {
+                let key = key_fn(&row, rid);
+                tree.insert(key, rid.pack(), &self.space, &mut tc)
+                    .expect("index build: duplicate key");
+            }
+        }
+        self.indexes.push(tree);
+        self.index_table.push(table);
+        self.key_fns.push(key_fn);
+        self.catalog.add_index(table, id);
+        id
+    }
+
+    pub fn table_id(&self, name: &str, tc: &mut TraceCtx) -> Option<TableId> {
+        self.catalog.lookup(name, tc)
+    }
+
+    pub fn table(&self, id: TableId) -> &HeapTable {
+        &self.heaps[id]
+    }
+
+    #[allow(clippy::should_implement_trait)] // accessor by id, not ops::Index
+    pub fn index(&self, id: IndexId) -> &BTree {
+        &self.indexes[id]
+    }
+
+    pub fn n_tables(&self) -> usize {
+        self.heaps.len()
+    }
+
+    pub fn wal_stats(&self) -> (u64, u64) {
+        (self.wal.records(), self.wal.bytes_written())
+    }
+
+    // ---- Transactions ----
+
+    pub fn begin(&mut self, tc: &mut TraceCtx) -> Txn {
+        tc.charge(tc.r.txn_mgr, instr::TXN_BEGIN);
+        let id = self.next_txn;
+        self.next_txn += 1;
+        Txn::new(id)
+    }
+
+    pub fn commit(&mut self, mut txn: Txn, tc: &mut TraceCtx) -> Result<()> {
+        if !txn.is_active() {
+            return Err(EngineError::TxnClosed);
+        }
+        tc.charge(tc.r.txn_mgr, instr::TXN_COMMIT);
+        self.wal.commit(tc);
+        for (key, _) in txn.locks.drain(..) {
+            self.lockmgr.release(txn.id, key, tc);
+        }
+        txn.state = TxnState::Committed;
+        Ok(())
+    }
+
+    /// Roll back: apply undo in reverse, then release locks.
+    pub fn abort(&mut self, mut txn: Txn, tc: &mut TraceCtx) {
+        tc.charge(
+            tc.r.txn_mgr,
+            instr::TXN_ABORT_BASE + instr::TXN_UNDO_PER_REC * txn.undo.len() as u32,
+        );
+        let undo: Vec<UndoRec> = txn.undo.drain(..).rev().collect();
+        for rec in undo {
+            match rec {
+                UndoRec::Insert { table, rid, index_keys } => {
+                    for (idx, key) in index_keys {
+                        self.indexes[idx].remove(key, tc);
+                    }
+                    let _ = self.heaps[table].delete(rid, tc);
+                }
+                UndoRec::Update { table, rid, before } => {
+                    let _ = self.heaps[table].update_bytes(rid, &before, tc);
+                }
+                UndoRec::Delete { table, rid, before, index_keys } => {
+                    if self.heaps[table].restore_bytes(rid, &before, tc).is_ok() {
+                        for (idx, key) in index_keys {
+                            let _ = self.indexes[idx].insert(key, rid.pack(), &self.space, tc);
+                        }
+                    }
+                }
+            }
+        }
+        self.wal.append(WalRecord::Abort, tc);
+        for (key, _) in txn.locks.drain(..) {
+            self.lockmgr.release(txn.id, key, tc);
+        }
+        txn.state = TxnState::Aborted;
+    }
+
+    /// Row-lock key: table discriminator in the high bits, RID below.
+    fn lock_key(table: TableId, rid: Rid) -> u64 {
+        ((table as u64) << 52) | rid.pack()
+    }
+
+    fn lock(
+        &mut self,
+        txn: &mut Txn,
+        table: TableId,
+        rid: Rid,
+        mode: LockMode,
+        tc: &mut TraceCtx,
+    ) -> Result<()> {
+        let key = Self::lock_key(table, rid);
+        if self.lockmgr.acquire(txn.id, key, mode, tc)? {
+            txn.locks.push((key, mode));
+        }
+        Ok(())
+    }
+
+    // ---- DML (transactional) ----
+
+    /// Insert a row: X-lock, WAL, heap, all indexes, undo record.
+    pub fn insert(
+        &mut self,
+        txn: &mut Txn,
+        table: TableId,
+        row: &[Value],
+        tc: &mut TraceCtx,
+    ) -> Result<Rid> {
+        if !txn.is_active() {
+            return Err(EngineError::TxnClosed);
+        }
+        let rid = self.heaps[table].insert(row, &self.space, tc)?;
+        self.lock(txn, table, rid, LockMode::Exclusive, tc)?;
+        let bytes = self.heaps[table].schema.row_width() as u32;
+        self.wal.append(WalRecord::Insert { bytes }, tc);
+        let mut index_keys = Vec::new();
+        for &idx in &self.catalog.table(table).indexes {
+            let key = (self.key_fns[idx])(row, rid);
+            self.indexes[idx].insert(key, rid.pack(), &self.space, tc)?;
+            index_keys.push((idx, key));
+        }
+        txn.undo.push(UndoRec::Insert { table, rid, index_keys });
+        Ok(rid)
+    }
+
+    /// Read a row under an S (or X, `for_update`) lock.
+    pub fn read(
+        &mut self,
+        txn: &mut Txn,
+        table: TableId,
+        rid: Rid,
+        for_update: bool,
+        tc: &mut TraceCtx,
+    ) -> Result<Row> {
+        if !txn.is_active() {
+            return Err(EngineError::TxnClosed);
+        }
+        let mode = if for_update { LockMode::Exclusive } else { LockMode::Shared };
+        self.lock(txn, table, rid, mode, tc)?;
+        self.heaps[table].get(rid, tc)
+    }
+
+    /// Update a row in place (X lock, before-image undo, WAL).
+    pub fn update(
+        &mut self,
+        txn: &mut Txn,
+        table: TableId,
+        rid: Rid,
+        row: &[Value],
+        tc: &mut TraceCtx,
+    ) -> Result<()> {
+        if !txn.is_active() {
+            return Err(EngineError::TxnClosed);
+        }
+        self.lock(txn, table, rid, LockMode::Exclusive, tc)?;
+        let before = self.heaps[table].get_bytes(rid, tc)?;
+        self.wal.append(WalRecord::Update { bytes: before.len() as u32 }, tc);
+        self.heaps[table].update(rid, row, tc)?;
+        txn.undo.push(UndoRec::Update { table, rid, before });
+        Ok(())
+    }
+
+    /// Delete a row (X lock, image + index-key undo, WAL).
+    pub fn delete(
+        &mut self,
+        txn: &mut Txn,
+        table: TableId,
+        rid: Rid,
+        tc: &mut TraceCtx,
+    ) -> Result<()> {
+        if !txn.is_active() {
+            return Err(EngineError::TxnClosed);
+        }
+        self.lock(txn, table, rid, LockMode::Exclusive, tc)?;
+        let before = self.heaps[table].get_bytes(rid, tc)?;
+        let row = self.heaps[table].get(rid, tc)?;
+        let mut index_keys = Vec::new();
+        for &idx in &self.catalog.table(table).indexes {
+            let key = (self.key_fns[idx])(&row, rid);
+            self.indexes[idx].remove(key, tc);
+            index_keys.push((idx, key));
+        }
+        self.wal.append(WalRecord::Delete { bytes: before.len() as u32 }, tc);
+        self.heaps[table].delete(rid, tc)?;
+        txn.undo.push(UndoRec::Delete { table, rid, before, index_keys });
+        Ok(())
+    }
+
+    // ---- Index access ----
+
+    /// Point lookup through an index.
+    pub fn index_get(&self, index: IndexId, key: u64, tc: &mut TraceCtx) -> Option<Rid> {
+        self.indexes[index].get(key, tc).map(Rid::unpack)
+    }
+
+    /// Inclusive range through an index.
+    pub fn index_range(&self, index: IndexId, lo: u64, hi: u64, tc: &mut TraceCtx) -> Vec<(u64, Rid)> {
+        self.indexes[index]
+            .range(lo, hi, tc)
+            .into_iter()
+            .map(|(k, v)| (k, Rid::unpack(v)))
+            .collect()
+    }
+
+    /// Open a cursor on an index (executor use).
+    pub fn index_cursor(&self, index: IndexId, lo: u64, hi: u64, tc: &mut TraceCtx) -> Cursor {
+        self.indexes[index].cursor(lo, hi, tc)
+    }
+
+    pub fn index_cursor_next(
+        &self,
+        index: IndexId,
+        cur: &mut Cursor,
+        tc: &mut TraceCtx,
+    ) -> Option<(u64, Rid)> {
+        self.indexes[index].cursor_next(cur, tc).map(|(k, v)| (k, Rid::unpack(v)))
+    }
+
+    /// Table of an index.
+    pub fn index_table(&self, index: IndexId) -> TableId {
+        self.index_table[index]
+    }
+
+    /// Statement entry point: the client/session layer cost (dispatch,
+    /// plan-cache lookup) charged once per statement.
+    pub fn statement_overhead(&self, tc: &mut TraceCtx) {
+        tc.charge(tc.r.client, instr::CLIENT_DISPATCH);
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::inconsistent_digit_grouping)] // money literals: dollars_cents
+mod tests {
+    use super::*;
+    use crate::types::ColType;
+
+    fn accounts_db() -> (Database, TableId, IndexId) {
+        let mut db = Database::new();
+        let t = db.create_table(
+            "accounts",
+            Schema::new(vec![("id", ColType::Int), ("balance", ColType::Decimal)]),
+        );
+        let idx = db.create_index(t, Box::new(|row, _| row[0].as_i64().unwrap() as u64));
+        (db, t, idx)
+    }
+
+    #[test]
+    fn insert_commit_read_back() {
+        let (mut db, t, idx) = accounts_db();
+        let mut tc = db.null_ctx();
+        let mut txn = db.begin(&mut tc);
+        let rid = db
+            .insert(&mut txn, t, &[Value::Int(1), Value::Decimal(100_00)], &mut tc)
+            .unwrap();
+        db.commit(txn, &mut tc).unwrap();
+
+        let found = db.index_get(idx, 1, &mut tc).unwrap();
+        assert_eq!(found, rid);
+        let mut txn2 = db.begin(&mut tc);
+        let row = db.read(&mut txn2, t, rid, false, &mut tc).unwrap();
+        assert_eq!(row, vec![Value::Int(1), Value::Decimal(100_00)]);
+        db.commit(txn2, &mut tc).unwrap();
+    }
+
+    #[test]
+    fn abort_rolls_back_insert_update_delete() {
+        let (mut db, t, idx) = accounts_db();
+        let mut tc = db.null_ctx();
+
+        // Committed base row.
+        let mut setup = db.begin(&mut tc);
+        let rid = db
+            .insert(&mut setup, t, &[Value::Int(1), Value::Decimal(500)], &mut tc)
+            .unwrap();
+        db.commit(setup, &mut tc).unwrap();
+
+        // A txn that inserts, updates the base row, deletes it — then aborts.
+        let mut txn = db.begin(&mut tc);
+        db.insert(&mut txn, t, &[Value::Int(2), Value::Decimal(7)], &mut tc).unwrap();
+        db.update(&mut txn, t, rid, &[Value::Int(1), Value::Decimal(999)], &mut tc).unwrap();
+        db.delete(&mut txn, t, rid, &mut tc).unwrap();
+        db.abort(txn, &mut tc);
+
+        // Base row restored (possibly at a new RID via the index).
+        let rid_after = db.index_get(idx, 1, &mut tc).expect("row must be back");
+        let mut check = db.begin(&mut tc);
+        let row = db.read(&mut check, t, rid_after, false, &mut tc).unwrap();
+        assert_eq!(row, vec![Value::Int(1), Value::Decimal(500)]);
+        db.commit(check, &mut tc).unwrap();
+        // Inserted row is gone.
+        assert!(db.index_get(idx, 2, &mut tc).is_none());
+        assert_eq!(db.table(t).n_rows(), 1);
+    }
+
+    #[test]
+    fn two_pl_conflict_surfaces() {
+        let (mut db, t, _) = accounts_db();
+        let mut tc = db.null_ctx();
+        let mut setup = db.begin(&mut tc);
+        let rid =
+            db.insert(&mut setup, t, &[Value::Int(1), Value::Decimal(0)], &mut tc).unwrap();
+        db.commit(setup, &mut tc).unwrap();
+
+        let mut a = db.begin(&mut tc);
+        let mut b = db.begin(&mut tc);
+        db.read(&mut a, t, rid, true, &mut tc).unwrap(); // A holds X
+        let r = db.read(&mut b, t, rid, false, &mut tc); // B wants S
+        assert!(matches!(r, Err(EngineError::LockConflict { .. })));
+        db.abort(b, &mut tc);
+        db.commit(a, &mut tc).unwrap();
+
+        // After A commits, a new txn succeeds.
+        let mut c = db.begin(&mut tc);
+        assert!(db.read(&mut c, t, rid, false, &mut tc).is_ok());
+        db.commit(c, &mut tc).unwrap();
+    }
+
+    #[test]
+    fn closed_txn_rejected() {
+        let (mut db, t, _) = accounts_db();
+        let mut tc = db.null_ctx();
+        let mut txn = db.begin(&mut tc);
+        let rid =
+            db.insert(&mut txn, t, &[Value::Int(1), Value::Decimal(0)], &mut tc).unwrap();
+        txn.state = TxnState::Committed; // simulate misuse
+        assert!(matches!(
+            db.read(&mut txn, t, rid, false, &mut tc),
+            Err(EngineError::TxnClosed)
+        ));
+    }
+
+    #[test]
+    fn index_range_after_inserts() {
+        let (mut db, t, idx) = accounts_db();
+        let mut tc = db.null_ctx();
+        let mut txn = db.begin(&mut tc);
+        for i in 0..100 {
+            db.insert(&mut txn, t, &[Value::Int(i), Value::Decimal(i * 10)], &mut tc).unwrap();
+        }
+        db.commit(txn, &mut tc).unwrap();
+        let r = db.index_range(idx, 10, 19, &mut tc);
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].0, 10);
+        assert_eq!(r[9].0, 19);
+    }
+
+    #[test]
+    fn wal_accumulates() {
+        let (mut db, t, _) = accounts_db();
+        let mut tc = db.null_ctx();
+        let mut txn = db.begin(&mut tc);
+        db.insert(&mut txn, t, &[Value::Int(1), Value::Decimal(0)], &mut tc).unwrap();
+        db.commit(txn, &mut tc).unwrap();
+        let (records, bytes) = db.wal_stats();
+        assert_eq!(records, 2); // insert + commit
+        assert!(bytes > 0);
+    }
+}

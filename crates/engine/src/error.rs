@@ -1,0 +1,54 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by the storage engine and executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A lock could not be granted because a live transaction holds a
+    /// conflicting mode — the requester should abort and retry (wound-wait
+    /// resolution is left to the caller).
+    LockConflict { key: u64 },
+    /// The referenced table/index/row does not exist.
+    NotFound(String),
+    /// A page had no room and the tuple cannot move (updates that grow
+    /// beyond page capacity).
+    PageFull,
+    /// A unique index rejected a duplicate key.
+    DuplicateKey(u64),
+    /// Schema/row mismatch (wrong arity or column type).
+    TypeMismatch { expected: &'static str, got: &'static str },
+    /// Operation attempted on a finished transaction.
+    TxnClosed,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::LockConflict { key } => write!(f, "lock conflict on key {key:#x}"),
+            EngineError::NotFound(what) => write!(f, "not found: {what}"),
+            EngineError::PageFull => write!(f, "page full"),
+            EngineError::DuplicateKey(k) => write!(f, "duplicate key {k:#x}"),
+            EngineError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            EngineError::TxnClosed => write!(f, "transaction already finished"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EngineError::LockConflict { key: 0xAB }.to_string().contains("0xab"));
+        assert!(EngineError::NotFound("t".into()).to_string().contains('t'));
+        assert_eq!(EngineError::PageFull.to_string(), "page full");
+    }
+}

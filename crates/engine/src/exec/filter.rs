@@ -1,0 +1,63 @@
+//! Selection operator.
+
+use crate::db::Database;
+use crate::error::Result;
+use crate::exec::expr::Pred;
+use crate::exec::{BoxExec, Executor};
+use crate::tctx::TraceCtx;
+use crate::types::Row;
+
+/// Pass rows matching a predicate.
+pub struct Filter {
+    child: BoxExec,
+    pred: Pred,
+}
+
+impl Filter {
+    pub fn new(child: BoxExec, pred: Pred) -> Self {
+        Filter { child, pred }
+    }
+}
+
+impl Executor for Filter {
+    fn open(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<()> {
+        self.child.open(db, tc)
+    }
+
+    fn next(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<Option<Row>> {
+        while let Some(row) = self.child.next(db, tc)? {
+            if self.pred.eval(&row, tc) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::expr::CmpOp;
+    use crate::exec::testutil::sample_db;
+    use crate::exec::{run_to_vec, SeqScan};
+    use crate::types::Value;
+
+    #[test]
+    fn filters_rows() {
+        let (db, t) = sample_db(100);
+        let mut tc = db.null_ctx();
+        let mut plan = Filter::new(
+            Box::new(SeqScan::new(t)),
+            Pred::Cmp { col: 1, op: CmpOp::Eq, val: Value::Int(3) },
+        );
+        let rows = run_to_vec(&mut plan, &db, &mut tc).unwrap();
+        // grp = id % 7 == 3 → ids 3, 10, 17, ...
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r[1] == Value::Int(3)));
+        assert_eq!(rows.len(), (0..100).filter(|i| i % 7 == 3).count());
+    }
+}

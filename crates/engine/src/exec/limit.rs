@@ -1,0 +1,69 @@
+//! LIMIT operator.
+
+use crate::db::Database;
+use crate::error::Result;
+use crate::exec::{BoxExec, Executor};
+use crate::tctx::TraceCtx;
+use crate::types::Row;
+
+/// Pass through the first `n` rows.
+pub struct Limit {
+    child: BoxExec,
+    n: usize,
+    seen: usize,
+}
+
+impl Limit {
+    pub fn new(child: BoxExec, n: usize) -> Self {
+        Limit { child, n, seen: 0 }
+    }
+}
+
+impl Executor for Limit {
+    fn open(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<()> {
+        self.seen = 0;
+        self.child.open(db, tc)
+    }
+
+    fn next(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<Option<Row>> {
+        if self.seen >= self.n {
+            return Ok(None);
+        }
+        match self.child.next(db, tc)? {
+            Some(row) => {
+                self.seen += 1;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::testutil::sample_db;
+    use crate::exec::{run_to_vec, SeqScan};
+
+    #[test]
+    fn caps_output() {
+        let (db, t) = sample_db(100);
+        let mut tc = db.null_ctx();
+        let mut plan = Limit::new(Box::new(SeqScan::new(t)), 7);
+        let rows = run_to_vec(&mut plan, &db, &mut tc).unwrap();
+        assert_eq!(rows.len(), 7);
+    }
+
+    #[test]
+    fn limit_larger_than_input() {
+        let (db, t) = sample_db(5);
+        let mut tc = db.null_ctx();
+        let mut plan = Limit::new(Box::new(SeqScan::new(t)), 100);
+        let rows = run_to_vec(&mut plan, &db, &mut tc).unwrap();
+        assert_eq!(rows.len(), 5);
+    }
+}

@@ -1,0 +1,109 @@
+//! Volcano-style (open/next/close) query executor.
+//!
+//! One row at a time through a tree of operators — the execution
+//! discipline of the paper-era commercial row stores, and the reason their
+//! instruction paths per tuple are long (per-tuple virtual calls through
+//! many operators). The staged engine (`dbcmp-staged`) reuses these
+//! operators but schedules them in batches per stage.
+//!
+//! Operators run read-only against the database (reporting isolation);
+//! transactional access goes through [`Database`]
+//! methods directly.
+
+pub mod expr;
+pub mod filter;
+pub mod hash_agg;
+pub mod hash_join;
+pub mod index_scan;
+pub mod limit;
+pub mod nested_loop;
+pub mod project;
+pub mod scan;
+pub mod sort;
+
+pub use expr::{AggFunc, AggSpec, CmpOp, Pred, Scalar};
+pub use filter::Filter;
+pub use hash_agg::HashAggregate;
+pub use hash_join::{HashJoin, JoinKind};
+pub use index_scan::IndexRangeScan;
+pub use limit::Limit;
+pub use nested_loop::NestedLoop;
+pub use project::Project;
+pub use scan::SeqScan;
+pub use sort::Sort;
+
+use crate::db::Database;
+use crate::error::Result;
+use crate::tctx::TraceCtx;
+use crate::types::Row;
+
+/// The iterator interface every operator implements.
+pub trait Executor {
+    fn open(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<()>;
+    fn next(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<Option<Row>>;
+    fn close(&mut self);
+}
+
+/// Boxed operator (plan node).
+pub type BoxExec = Box<dyn Executor + Send>;
+
+/// Drive a plan to completion, collecting all rows.
+pub fn run_to_vec(plan: &mut dyn Executor, db: &Database, tc: &mut TraceCtx) -> Result<Vec<Row>> {
+    plan.open(db, tc)?;
+    let mut out = Vec::new();
+    while let Some(row) = plan.next(db, tc)? {
+        out.push(row);
+    }
+    plan.close();
+    Ok(out)
+}
+
+/// Drive a plan, counting rows without materializing them.
+pub fn run_count(plan: &mut dyn Executor, db: &Database, tc: &mut TraceCtx) -> Result<usize> {
+    plan.open(db, tc)?;
+    let mut n = 0;
+    while plan.next(db, tc)?.is_some() {
+        n += 1;
+    }
+    plan.close();
+    Ok(n)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::types::{ColType, Value};
+
+    /// A small table: (id INT, grp INT, amount DECIMAL, name STR).
+    pub fn sample_db(rows: i64) -> (Database, usize) {
+        let mut db = Database::new();
+        let t = db.create_table(
+            "sample",
+            Schema::new(vec![
+                ("id", ColType::Int),
+                ("grp", ColType::Int),
+                ("amount", ColType::Decimal),
+                ("name", ColType::Str(12)),
+            ]),
+        );
+        let mut tc = db.null_ctx();
+        let mut txn = db.begin(&mut tc);
+        for i in 0..rows {
+            db.insert(
+                &mut txn,
+                t,
+                &[
+                    Value::Int(i),
+                    Value::Int(i % 7),
+                    Value::Decimal(i * 100),
+                    Value::Str(format!("name{}", i % 5)),
+                ],
+                &mut tc,
+            )
+            .unwrap();
+        }
+        db.commit(txn, &mut tc).unwrap();
+        (db, t)
+    }
+}

@@ -1,0 +1,72 @@
+//! Projection / expression evaluation operator.
+
+use crate::costs::instr;
+use crate::db::Database;
+use crate::error::Result;
+use crate::exec::expr::Scalar;
+use crate::exec::{BoxExec, Executor};
+use crate::tctx::TraceCtx;
+use crate::types::Row;
+
+/// Emit computed columns.
+pub struct Project {
+    child: BoxExec,
+    exprs: Vec<Scalar>,
+}
+
+impl Project {
+    pub fn new(child: BoxExec, exprs: Vec<Scalar>) -> Self {
+        Project { child, exprs }
+    }
+
+    /// Convenience: plain column selection.
+    pub fn cols(child: BoxExec, cols: &[usize]) -> Self {
+        Project { child, exprs: cols.iter().map(|&c| Scalar::Col(c)).collect() }
+    }
+}
+
+impl Executor for Project {
+    fn open(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<()> {
+        self.child.open(db, tc)
+    }
+
+    fn next(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<Option<Row>> {
+        match self.child.next(db, tc)? {
+            Some(row) => {
+                tc.charge(tc.r.exec_project, instr::PROJECT_EXPR * self.exprs.len() as u32);
+                Ok(Some(self.exprs.iter().map(|e| e.eval(&row)).collect()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::testutil::sample_db;
+    use crate::exec::{run_to_vec, SeqScan};
+    use crate::types::Value;
+
+    #[test]
+    fn projects_and_computes() {
+        let (db, t) = sample_db(10);
+        let mut tc = db.null_ctx();
+        // id, amount*2 (decimal-aware: amount * 2.00 / 100)
+        let mut plan = Project::new(
+            Box::new(SeqScan::new(t)),
+            vec![
+                Scalar::Col(0),
+                Scalar::MulDec(Box::new(Scalar::Col(2)), Box::new(Scalar::ConstDec(200))),
+            ],
+        );
+        let rows = run_to_vec(&mut plan, &db, &mut tc).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[3], vec![Value::Int(3), Value::Decimal(600)]);
+        assert_eq!(rows[3].len(), 2);
+    }
+}

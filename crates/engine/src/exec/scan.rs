@@ -1,0 +1,117 @@
+//! Sequential heap scan.
+
+use crate::catalog::TableId;
+use crate::costs::instr;
+use crate::db::Database;
+use crate::error::Result;
+use crate::exec::Executor;
+use crate::heap::Rid;
+use crate::tctx::TraceCtx;
+use crate::types::Row;
+
+/// Full-table scan in physical order. Pages are pinned once each (the
+/// buffer-pool charge), tuples decoded as visited.
+#[derive(Debug)]
+pub struct SeqScan {
+    table: TableId,
+    page: u32,
+    slot: u16,
+    pinned_page: Option<u32>,
+    open: bool,
+}
+
+impl SeqScan {
+    pub fn new(table: TableId) -> Self {
+        SeqScan { table, page: 0, slot: 0, pinned_page: None, open: false }
+    }
+}
+
+impl Executor for SeqScan {
+    fn open(&mut self, _db: &Database, _tc: &mut TraceCtx) -> Result<()> {
+        self.page = 0;
+        self.slot = 0;
+        self.pinned_page = None;
+        self.open = true;
+        Ok(())
+    }
+
+    fn next(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<Option<Row>> {
+        debug_assert!(self.open, "next before open");
+        let heap = db.table(self.table);
+        loop {
+            if (self.page as usize) >= heap.n_pages() {
+                return Ok(None);
+            }
+            if self.pinned_page != Some(self.page) {
+                heap.pin_page(self.page, tc);
+                self.pinned_page = Some(self.page);
+            }
+            tc.charge(tc.r.exec_scan, instr::SCAN_STEP);
+            let rid = Rid { page: self.page, slot: self.slot };
+            self.slot += 1;
+            match heap.read_at(rid, tc) {
+                Some(row) => return Ok(Some(row)),
+                None => {
+                    // Tombstone or end of page: advance page when the slot
+                    // range is exhausted.
+                    if rid.slot >= page_slots(db, self.table, self.page) {
+                        self.page += 1;
+                        self.slot = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.open = false;
+    }
+}
+
+fn page_slots(db: &Database, table: TableId, page: u32) -> u16 {
+    // The heap exposes per-page slot counts through its rid iterator; for
+    // the scan we only need "is the slot range done", which read_at's None
+    // at an out-of-range slot also signals. This helper keeps the advance
+    // logic readable.
+    let heap = db.table(table);
+    heap.page_nslots(page)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::testutil::sample_db;
+    use crate::exec::run_to_vec;
+    use crate::types::Value;
+
+    #[test]
+    fn scans_all_rows() {
+        let (db, t) = sample_db(500);
+        let mut tc = db.null_ctx();
+        let mut scan = SeqScan::new(t);
+        let rows = run_to_vec(&mut scan, &db, &mut tc).unwrap();
+        assert_eq!(rows.len(), 500);
+        assert_eq!(rows[0][0], Value::Int(0));
+        assert_eq!(rows[499][0], Value::Int(499));
+    }
+
+    #[test]
+    fn empty_table_yields_nothing() {
+        let (db, _) = sample_db(0);
+        // table 0 exists but has no rows
+        let mut tc = db.null_ctx();
+        let mut scan = SeqScan::new(0);
+        let rows = run_to_vec(&mut scan, &db, &mut tc).unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn rescannable_after_reopen() {
+        let (db, t) = sample_db(50);
+        let mut tc = db.null_ctx();
+        let mut scan = SeqScan::new(t);
+        let a = run_to_vec(&mut scan, &db, &mut tc).unwrap();
+        let b = run_to_vec(&mut scan, &db, &mut tc).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,51 @@
+//! `dbcmp-engine` — a from-scratch, in-memory relational row-store.
+//!
+//! This is the reproduction's stand-in for the paper's "commercial DBMS":
+//! a storage manager with slotted pages and a buffer-pool indirection, a
+//! B+Tree index, a row-level two-phase-locking lock manager, WAL-lite
+//! logging, transactions with undo, and a Volcano-style (open/next/close)
+//! query executor — the architecture of the row-store engines of the
+//! paper's era.
+//!
+//! Every operation is *instrumented*: data-structure accesses go through a
+//! [`TraceCtx`], recording loads/stores against a simulated address space
+//! and charging instructions to named code regions (see [`costs`]). The
+//! captured traces carry exactly the properties the paper's
+//! characterization depends on:
+//!
+//! * B+Tree descents and hash-chain walks emit *dependent* loads
+//!   (serialized on an out-of-order core);
+//! * the OLTP code path cycles through ~300 KB of code regions (lock
+//!   manager, WAL, buffer pool, …) while DSS scan loops stay within a few
+//!   tens of KB — the paper's instruction-footprint contrast;
+//! * lock-table buckets, B+Tree roots and hot rows are shared addresses
+//!   across client traces — the raw material for coherence traffic (SMP)
+//!   vs shared-L2 hits (CMP).
+//!
+//! Concurrency model: the engine executes statements single-threaded (one
+//! client at a time during capture), but transactions are first-class —
+//! 2PL conflict detection, abort with undo, and lock-release at commit are
+//! all real, so interleaved transaction schedules behave correctly.
+
+pub mod btree;
+pub mod catalog;
+pub mod costs;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod heap;
+pub mod lockmgr;
+pub mod page;
+pub mod schema;
+pub mod tctx;
+pub mod txn;
+pub mod types;
+pub mod wal;
+
+pub use costs::EngineRegions;
+pub use db::Database;
+pub use error::{EngineError, Result};
+pub use schema::Schema;
+pub use tctx::TraceCtx;
+pub use txn::TxnId;
+pub use types::{ColType, Row, Value};

@@ -1,0 +1,191 @@
+//! Row-level two-phase-locking lock manager.
+//!
+//! A hash table of lock buckets; each bucket occupies exactly one cache
+//! line in the simulated address space. Lock words are *the* shared-write
+//! hot spots of an OLTP engine: every transaction from every client writes
+//! them, which is what turns into coherence traffic on an SMP and into
+//! shared-L2/L1-to-L1 transfers on a CMP (paper §5.2, Fig. 7).
+//!
+//! Conflicts are detected immediately (no blocking — the engine is
+//! single-threaded per statement): the caller receives
+//! [`EngineError::LockConflict`] and is expected to abort and retry, a
+//! no-wait 2PL discipline.
+
+use crate::costs::instr;
+use crate::error::{EngineError, Result};
+use crate::tctx::TraceCtx;
+use crate::txn::TxnId;
+use dbcmp_trace::AddressSpace;
+
+/// Lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+#[derive(Debug)]
+struct LockEntry {
+    key: u64,
+    mode: LockMode,
+    holders: Vec<TxnId>,
+}
+
+/// The lock table.
+#[derive(Debug)]
+pub struct LockMgr {
+    buckets: Vec<Vec<LockEntry>>,
+    /// Simulated base address; bucket i lives at `addr + i*64`.
+    addr: u64,
+    mask: u64,
+}
+
+impl LockMgr {
+    /// `n_buckets` is rounded up to a power of two.
+    pub fn new(space: &AddressSpace, n_buckets: usize) -> Self {
+        let n = n_buckets.next_power_of_two().max(64);
+        LockMgr {
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            addr: space.alloc("lock-table", n as u64 * 64),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        // Multiplicative hash, then mask.
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & self.mask) as usize
+    }
+
+    /// Acquire `key` in `mode` for `txn`. Re-acquisition and S→X upgrade
+    /// by a sole holder succeed. Returns `true` if the lock is newly
+    /// granted (the caller records it for release).
+    pub fn acquire(&mut self, txn: TxnId, key: u64, mode: LockMode, tc: &mut TraceCtx) -> Result<bool> {
+        let b = self.bucket_of(key);
+        tc.charge(tc.r.lock_mgr, instr::LOCK_ACQUIRE);
+        // The bucket header is a dependent load; the grant writes it.
+        tc.load_dep(self.addr + (b as u64) * 64, 16);
+
+        let bucket = &mut self.buckets[b];
+        if let Some(e) = bucket.iter_mut().find(|e| e.key == key) {
+            let holds = e.holders.contains(&txn);
+            match (mode, e.mode) {
+                // Re-acquire in same-or-weaker mode.
+                (LockMode::Shared, _) if holds => return Ok(false),
+                (LockMode::Exclusive, LockMode::Exclusive) if holds => return Ok(false),
+                // Upgrade by the sole holder.
+                (LockMode::Exclusive, LockMode::Shared) if holds && e.holders.len() == 1 => {
+                    e.mode = LockMode::Exclusive;
+                    tc.store(self.addr + (b as u64) * 64, 16);
+                    tc.fence();
+                    return Ok(false);
+                }
+                // Shared join on a shared lock.
+                (LockMode::Shared, LockMode::Shared) => {
+                    e.holders.push(txn);
+                    tc.store(self.addr + (b as u64) * 64, 16);
+                    tc.fence();
+                    return Ok(true);
+                }
+                _ => return Err(EngineError::LockConflict { key }),
+            }
+        }
+        bucket.push(LockEntry { key, mode, holders: vec![txn] });
+        tc.store(self.addr + (b as u64) * 64, 16);
+        tc.fence();
+        Ok(true)
+    }
+
+    /// Release one lock held by `txn`.
+    pub fn release(&mut self, txn: TxnId, key: u64, tc: &mut TraceCtx) {
+        let b = self.bucket_of(key);
+        tc.charge(tc.r.lock_mgr, instr::LOCK_RELEASE);
+        tc.store(self.addr + (b as u64) * 64, 16);
+        let bucket = &mut self.buckets[b];
+        if let Some(i) = bucket.iter().position(|e| e.key == key) {
+            bucket[i].holders.retain(|&t| t != txn);
+            if bucket[i].holders.is_empty() {
+                bucket.swap_remove(i);
+            }
+        }
+    }
+
+    /// Number of live lock entries (diagnostics/tests).
+    pub fn live_locks(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::EngineRegions;
+    use dbcmp_trace::CodeRegions;
+
+    fn setup() -> (LockMgr, TraceCtx) {
+        let mut r = CodeRegions::new();
+        let er = EngineRegions::register(&mut r);
+        let space = AddressSpace::new();
+        (LockMgr::new(&space, 1024), TraceCtx::null(er))
+    }
+
+    #[test]
+    fn shared_locks_coexist_exclusive_conflicts() {
+        let (mut lm, mut tc) = setup();
+        assert!(lm.acquire(1, 42, LockMode::Shared, &mut tc).unwrap());
+        assert!(lm.acquire(2, 42, LockMode::Shared, &mut tc).unwrap());
+        assert!(matches!(
+            lm.acquire(3, 42, LockMode::Exclusive, &mut tc),
+            Err(EngineError::LockConflict { key: 42 })
+        ));
+    }
+
+    #[test]
+    fn exclusive_blocks_shared() {
+        let (mut lm, mut tc) = setup();
+        lm.acquire(1, 7, LockMode::Exclusive, &mut tc).unwrap();
+        assert!(lm.acquire(2, 7, LockMode::Shared, &mut tc).is_err());
+        assert!(lm.acquire(2, 7, LockMode::Exclusive, &mut tc).is_err());
+    }
+
+    #[test]
+    fn reacquire_is_idempotent() {
+        let (mut lm, mut tc) = setup();
+        assert!(lm.acquire(1, 7, LockMode::Exclusive, &mut tc).unwrap());
+        assert!(!lm.acquire(1, 7, LockMode::Exclusive, &mut tc).unwrap());
+        assert!(!lm.acquire(1, 7, LockMode::Shared, &mut tc).unwrap());
+        assert_eq!(lm.live_locks(), 1);
+    }
+
+    #[test]
+    fn upgrade_sole_holder_succeeds_shared_blocks() {
+        let (mut lm, mut tc) = setup();
+        lm.acquire(1, 9, LockMode::Shared, &mut tc).unwrap();
+        assert!(!lm.acquire(1, 9, LockMode::Exclusive, &mut tc).unwrap());
+        // Now X-held; another S fails.
+        assert!(lm.acquire(2, 9, LockMode::Shared, &mut tc).is_err());
+
+        // Upgrade with two sharers fails.
+        lm.acquire(1, 10, LockMode::Shared, &mut tc).unwrap();
+        lm.acquire(2, 10, LockMode::Shared, &mut tc).unwrap();
+        assert!(lm.acquire(1, 10, LockMode::Exclusive, &mut tc).is_err());
+    }
+
+    #[test]
+    fn release_frees_the_lock() {
+        let (mut lm, mut tc) = setup();
+        lm.acquire(1, 5, LockMode::Exclusive, &mut tc).unwrap();
+        lm.release(1, 5, &mut tc);
+        assert_eq!(lm.live_locks(), 0);
+        assert!(lm.acquire(2, 5, LockMode::Exclusive, &mut tc).unwrap());
+    }
+
+    #[test]
+    fn distinct_keys_do_not_conflict() {
+        let (mut lm, mut tc) = setup();
+        for k in 0..100 {
+            assert!(lm.acquire(k % 5, 1000 + k, LockMode::Exclusive, &mut tc).unwrap());
+        }
+        assert_eq!(lm.live_locks(), 100);
+    }
+}

@@ -1,0 +1,80 @@
+//! Table schemas: named, typed, fixed-offset columns.
+
+use crate::types::ColType;
+
+/// One column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: &'static str,
+    pub ty: ColType,
+}
+
+/// A fixed-width row layout. Offsets are precomputed at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+    offsets: Vec<usize>,
+    row_width: usize,
+}
+
+impl Schema {
+    pub fn new(cols: Vec<(&'static str, ColType)>) -> Self {
+        let columns: Vec<Column> =
+            cols.into_iter().map(|(name, ty)| Column { name, ty }).collect();
+        let mut offsets = Vec::with_capacity(columns.len());
+        let mut off = 0usize;
+        for c in &columns {
+            offsets.push(off);
+            off += c.ty.width();
+        }
+        Schema { columns, offsets, row_width: off }
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Byte offset of column `i` in the row image.
+    pub fn offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Total row image width in bytes.
+    pub fn row_width(&self) -> usize {
+        self.row_width
+    }
+
+    /// Index of a column by name (panics on unknown name — schema bugs are
+    /// programming errors, not runtime conditions).
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("unknown column {name}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_and_width() {
+        let s = Schema::new(vec![
+            ("a", ColType::Int),
+            ("b", ColType::Date),
+            ("c", ColType::Str(10)),
+        ]);
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 8);
+        assert_eq!(s.offset(2), 12);
+        assert_eq!(s.row_width(), 8 + 4 + 12);
+        assert_eq!(s.col("c"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn unknown_column_panics() {
+        Schema::new(vec![("a", ColType::Int)]).col("nope");
+    }
+}

@@ -1,0 +1,96 @@
+//! Trace context: the engine's handle for charging instructions and
+//! recording memory accesses.
+//!
+//! One `TraceCtx` exists per client session. It bundles the per-thread
+//! [`Tracer`] with the engine's region ids so call sites read naturally:
+//! `tc.charge(tc.r.lock_mgr, instr::LOCK_ACQUIRE)`.
+
+use dbcmp_trace::{RegionId, ThreadTrace, Tracer};
+
+use crate::costs::EngineRegions;
+
+/// Per-client trace capture context.
+#[derive(Debug)]
+pub struct TraceCtx {
+    tracer: Tracer,
+    /// Engine region ids (copy).
+    pub r: EngineRegions,
+}
+
+impl TraceCtx {
+    pub fn recording(r: EngineRegions) -> Self {
+        TraceCtx { tracer: Tracer::recording(), r }
+    }
+
+    /// Counts instructions but records no events — for native benchmarks.
+    pub fn null(r: EngineRegions) -> Self {
+        TraceCtx { tracer: Tracer::null(), r }
+    }
+
+    /// Charge `n` instructions to `region`.
+    #[inline]
+    pub fn charge(&mut self, region: RegionId, n: u32) {
+        self.tracer.exec(region, n);
+    }
+
+    /// Record a data load.
+    #[inline]
+    pub fn load(&mut self, addr: u64, size: u32) {
+        self.tracer.load(addr, size);
+    }
+
+    /// Record a *dependent* load (pointer chase — gates OoO overlap).
+    #[inline]
+    pub fn load_dep(&mut self, addr: u64, size: u32) {
+        self.tracer.load_dep(addr, size);
+    }
+
+    /// Record a data store.
+    #[inline]
+    pub fn store(&mut self, addr: u64, size: u32) {
+        self.tracer.store(addr, size);
+    }
+
+    /// Ordering fence (lock handoff, commit point).
+    #[inline]
+    pub fn fence(&mut self) {
+        self.tracer.fence();
+    }
+
+    /// Mark a completed unit of work (transaction or query).
+    #[inline]
+    pub fn unit_end(&mut self) {
+        self.tracer.unit_end();
+    }
+
+    /// Instructions charged so far.
+    pub fn instrs(&self) -> u64 {
+        self.tracer.instrs_so_far()
+    }
+
+    /// Finish capture.
+    pub fn finish(self) -> ThreadTrace {
+        self.tracer.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcmp_trace::CodeRegions;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut regions = CodeRegions::new();
+        let er = EngineRegions::register(&mut regions);
+        let mut tc = TraceCtx::recording(er);
+        tc.charge(tc.r.lock_mgr, 85);
+        tc.load_dep(0x2000, 8);
+        tc.store(0x2040, 16);
+        tc.unit_end();
+        let tr = tc.finish();
+        assert_eq!(tr.instrs(), 85 + 2);
+        assert_eq!(tr.units(), 1);
+        assert!(tr.len() >= 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Transactions: 2PL lock ownership + undo records.
+//!
+//! The [`Txn`] handle accumulates the locks it holds and the undo records
+//! needed to roll back. The [`Database`](crate::db::Database) applies undo
+//! in reverse order on abort and releases all locks at commit/abort
+//! (strict two-phase locking).
+
+use crate::heap::Rid;
+use crate::lockmgr::LockMode;
+
+/// Transaction identifier.
+pub type TxnId = u64;
+
+/// How to reverse one statement.
+#[derive(Debug, Clone)]
+pub enum UndoRec {
+    /// Reverse an insert: delete the row and the index entries it added.
+    Insert { table: usize, rid: Rid, index_keys: Vec<(usize, u64)> },
+    /// Reverse an update: restore the before-image.
+    Update { table: usize, rid: Rid, before: Vec<u8> },
+    /// Reverse a delete: restore the image at its original RID and
+    /// re-add its index entries.
+    Delete { table: usize, rid: Rid, before: Vec<u8>, index_keys: Vec<(usize, u64)> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    Active,
+    Committed,
+    Aborted,
+}
+
+/// A transaction handle. Created by `Database::begin`, consumed by
+/// `Database::commit` / `Database::abort`.
+#[derive(Debug)]
+pub struct Txn {
+    pub id: TxnId,
+    pub(crate) locks: Vec<(u64, LockMode)>,
+    pub(crate) undo: Vec<UndoRec>,
+    pub state: TxnState,
+}
+
+impl Txn {
+    pub(crate) fn new(id: TxnId) -> Self {
+        Txn { id, locks: Vec::new(), undo: Vec::new(), state: TxnState::Active }
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.state == TxnState::Active
+    }
+
+    /// Locks currently held (diagnostics).
+    pub fn lock_count(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Undo records accumulated (diagnostics).
+    pub fn undo_count(&self) -> usize {
+        self.undo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_txn_is_active_and_empty() {
+        let t = Txn::new(7);
+        assert!(t.is_active());
+        assert_eq!(t.lock_count(), 0);
+        assert_eq!(t.undo_count(), 0);
+    }
+}

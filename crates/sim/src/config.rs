@@ -1,0 +1,230 @@
+//! Machine configuration: cache geometries, core kinds, arrangements.
+//!
+//! Defaults follow the paper's simulated systems (§3): four cores per chip,
+//! identical memory subsystems for both camps, a shared on-chip L2 from
+//! 1 MB to 26 MB for the CMP arrangement, private 4 MB L2s for the SMP
+//! comparison, and UltraSPARC-flavoured core parameters (Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry + latency of one cache. Lines are fixed at 64 bytes system-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeom {
+    pub size: u64,
+    pub assoc: usize,
+    /// Access latency in cycles (hit).
+    pub latency: u64,
+}
+
+impl CacheGeom {
+    pub fn new(size: u64, assoc: usize, latency: u64) -> Self {
+        CacheGeom { size, assoc, latency }
+    }
+
+    /// Number of 64-byte lines.
+    pub fn lines(&self) -> usize {
+        (self.size / 64) as usize
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.lines() / self.assoc).max(1)
+    }
+}
+
+/// Core microarchitecture, per the paper's two camps (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// Fat camp: wide-issue out-of-order, one or two hardware contexts
+    /// (we model one), deep pipeline.
+    Fat {
+        /// Issue/retire width (paper: 4+).
+        width: usize,
+        /// Reorder-buffer capacity in instructions.
+        rob: usize,
+        /// Maximum outstanding data misses (memory-level parallelism cap).
+        mshrs: usize,
+    },
+    /// Lean camp: narrow in-order, many hardware contexts, shallow
+    /// pipeline (paper: Sun T1-style, 4 contexts per core).
+    Lean {
+        /// Issue width (paper: 1 or 2; we use 2).
+        width: usize,
+        /// Hardware contexts per core.
+        contexts: usize,
+    },
+}
+
+impl CoreKind {
+    /// Paper-default fat core: 4-wide, 128-entry window, 8 MSHRs, 14-stage
+    /// pipeline.
+    pub fn fat() -> Self {
+        CoreKind::Fat { width: 4, rob: 128, mshrs: 8 }
+    }
+
+    /// Paper-default lean core: 2-issue in-order, 4 contexts, 6-stage
+    /// pipeline.
+    pub fn lean() -> Self {
+        CoreKind::Lean { width: 2, contexts: 4 }
+    }
+
+    pub fn contexts(&self) -> usize {
+        match *self {
+            CoreKind::Fat { .. } => 1,
+            CoreKind::Lean { contexts, .. } => contexts,
+        }
+    }
+
+    /// Pipeline depth — the branch misprediction penalty.
+    pub fn pipeline_depth(&self) -> u64 {
+        match self {
+            CoreKind::Fat { .. } => 14,
+            CoreKind::Lean { .. } => 6,
+        }
+    }
+}
+
+/// On-chip L2 arrangement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum L2Arrangement {
+    /// Chip multiprocessor: all cores share one banked on-chip L2.
+    Shared(CacheGeom),
+    /// Symmetric multiprocessor: each core is its own node with a private
+    /// L2; nodes snoop each other over an off-chip interconnect.
+    Private(CacheGeom),
+}
+
+impl L2Arrangement {
+    pub fn geom(&self) -> CacheGeom {
+        match *self {
+            L2Arrangement::Shared(g) | L2Arrangement::Private(g) => g,
+        }
+    }
+}
+
+/// Full machine description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    pub name: String,
+    pub core: CoreKind,
+    pub n_cores: usize,
+    pub l1i: CacheGeom,
+    pub l1d: CacheGeom,
+    pub l2: L2Arrangement,
+    /// Off-chip memory access latency, cycles.
+    pub mem_latency: u64,
+    /// On-chip dirty L1-to-L1 transfer latency (CMP), cycles. The paper
+    /// counts these as (fast) on-chip transfers alongside L2 hits.
+    pub l1_to_l1: u64,
+    /// Off-chip cache-to-cache dirty transfer latency (SMP coherence
+    /// miss), cycles.
+    pub coherence_latency: u64,
+    /// Number of independently accessed L2 banks.
+    pub l2_banks: usize,
+    /// Cycles one access occupies an L2 bank port (queueing source).
+    pub l2_bank_occupancy: u64,
+    /// Instruction stream buffer entries per core (0 disables).
+    pub stream_buf: usize,
+    /// Store buffer entries per hardware context.
+    pub store_buffer: usize,
+    /// OS scheduling quantum in cycles (when software threads exceed
+    /// hardware contexts).
+    pub quantum: u64,
+    /// Direct cost of a context switch, cycles.
+    pub switch_penalty: u64,
+}
+
+impl MachineConfig {
+    /// The paper's fat-camp CMP: `n_cores` 4-wide OoO cores sharing an L2
+    /// of `l2_size` bytes with hit latency `l2_latency`.
+    pub fn fat_cmp(n_cores: usize, l2_size: u64, l2_latency: u64) -> Self {
+        MachineConfig {
+            name: format!("FC-CMP {n_cores}x (L2 {} MB, {} cyc)", l2_size >> 20, l2_latency),
+            core: CoreKind::fat(),
+            n_cores,
+            l1i: CacheGeom::new(64 << 10, 2, 1),
+            l1d: CacheGeom::new(64 << 10, 2, 1),
+            l2: L2Arrangement::Shared(CacheGeom::new(l2_size, 16, l2_latency)),
+            mem_latency: 400,
+            l1_to_l1: l2_latency + 6,
+            coherence_latency: 260,
+            l2_banks: 4,
+            l2_bank_occupancy: 2,
+            stream_buf: 8,
+            store_buffer: 8,
+            quantum: 300_000,
+            switch_penalty: 3_000,
+        }
+    }
+
+    /// The paper's lean-camp CMP: same memory system, lean cores.
+    pub fn lean_cmp(n_cores: usize, l2_size: u64, l2_latency: u64) -> Self {
+        let mut c = Self::fat_cmp(n_cores, l2_size, l2_latency);
+        c.name = format!("LC-CMP {n_cores}x (L2 {} MB, {} cyc)", l2_size >> 20, l2_latency);
+        c.core = CoreKind::lean();
+        c.store_buffer = 4;
+        c
+    }
+
+    /// The paper's SMP baseline (§5.2): one core per node, private L2 per
+    /// node, coherence over an off-chip interconnect.
+    pub fn smp(n_nodes: usize, l2_size_per_node: u64, l2_latency: u64, core: CoreKind) -> Self {
+        let mut c = Self::fat_cmp(n_nodes, l2_size_per_node, l2_latency);
+        c.name = format!("SMP {n_nodes}x (private L2 {} MB)", l2_size_per_node >> 20);
+        c.core = core;
+        c.l2 = L2Arrangement::Private(CacheGeom::new(l2_size_per_node, 16, l2_latency));
+        // Each node has its own L2 port; banking/queueing applies per node.
+        c.l2_banks = 1;
+        c
+    }
+
+    /// Total hardware contexts across the machine.
+    pub fn total_contexts(&self) -> usize {
+        self.n_cores * self.core.contexts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_derivations() {
+        let g = CacheGeom::new(1 << 20, 16, 8);
+        assert_eq!(g.lines(), 16384);
+        assert_eq!(g.sets(), 1024);
+    }
+
+    #[test]
+    fn presets_match_paper_table1() {
+        let fc = MachineConfig::fat_cmp(4, 16 << 20, 15);
+        let lc = MachineConfig::lean_cmp(4, 16 << 20, 15);
+        // FC: 1 context, wide issue; LC: many contexts, narrow issue.
+        assert_eq!(fc.total_contexts(), 4);
+        assert_eq!(lc.total_contexts(), 16);
+        match fc.core {
+            CoreKind::Fat { width, .. } => assert!(width >= 4),
+            _ => panic!("fat preset must be fat"),
+        }
+        match lc.core {
+            CoreKind::Lean { width, contexts } => {
+                assert!(width <= 2);
+                assert!(contexts >= 4);
+            }
+            _ => panic!("lean preset must be lean"),
+        }
+        // Identical memory subsystems (paper §3).
+        assert_eq!(fc.l1d, lc.l1d);
+        assert_eq!(fc.l2.geom(), lc.l2.geom());
+        assert_eq!(fc.mem_latency, lc.mem_latency);
+        // Pipeline depths: deep vs shallow.
+        assert!(fc.core.pipeline_depth() > lc.core.pipeline_depth());
+    }
+
+    #[test]
+    fn smp_uses_private_l2() {
+        let smp = MachineConfig::smp(4, 4 << 20, 10, CoreKind::fat());
+        assert!(matches!(smp.l2, L2Arrangement::Private(_)));
+        assert_eq!(smp.l2.geom().size, 4 << 20);
+    }
+}

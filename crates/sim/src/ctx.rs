@@ -1,0 +1,239 @@
+//! Hardware-context plumbing shared by the fat and lean core models:
+//! thread binding, run queues and quantum rotation (the "OS scheduler"
+//! when software threads exceed hardware contexts), store buffers, and
+//! instruction-fetch progress.
+
+use std::collections::VecDeque;
+
+use dbcmp_trace::region::CodeRegions;
+
+use crate::cursor::ThreadState;
+use crate::memsys::{MemClass, MemSys};
+use crate::stats::CycleClass;
+
+/// Map a *data* access outcome to the stall class it causes (L1 hits cause
+/// none).
+#[inline]
+pub fn data_stall_class(c: MemClass) -> Option<CycleClass> {
+    match c {
+        MemClass::L1 => None,
+        MemClass::L2Hit => Some(CycleClass::DStallL2Hit),
+        MemClass::Mem => Some(CycleClass::DStallMem),
+        MemClass::Coherence => Some(CycleClass::DStallCoherence),
+    }
+}
+
+/// Map an *instruction* fetch outcome to its stall class.
+#[inline]
+pub fn instr_stall_class(c: MemClass) -> Option<CycleClass> {
+    match c {
+        MemClass::L1 => None,
+        MemClass::L2Hit => Some(CycleClass::IStallL2),
+        // Coherence on the I-side cannot happen (code is read-only), but
+        // the arm keeps the match total.
+        MemClass::Mem | MemClass::Coherence => Some(CycleClass::IStallMem),
+    }
+}
+
+/// One hardware context: a thread slot plus its run queue and buffers.
+#[derive(Debug)]
+pub struct CtxBase {
+    /// Thread currently scheduled here (index into the machine's threads).
+    pub thread: Option<usize>,
+    /// Threads waiting their turn on this context.
+    pub run_q: VecDeque<usize>,
+    pub quantum_left: u64,
+    /// Context cannot issue until this cycle.
+    pub blocked_until: u64,
+    pub blocked_class: CycleClass,
+    /// Cycle the current block began (for oldest-first stall attribution).
+    pub blocked_since: u64,
+    /// In-flight stores: (completion cycle, stall class if waited on).
+    pub store_buf: VecDeque<(u64, CycleClass)>,
+    pub store_cap: usize,
+}
+
+impl CtxBase {
+    pub fn new(store_cap: usize, quantum: u64) -> Self {
+        CtxBase {
+            thread: None,
+            run_q: VecDeque::new(),
+            quantum_left: quantum,
+            blocked_until: 0,
+            blocked_class: CycleClass::Other,
+            blocked_since: 0,
+            store_buf: VecDeque::new(),
+            store_cap: store_cap.max(1),
+        }
+    }
+
+    #[inline]
+    pub fn block(&mut self, until: u64, class: CycleClass, now: u64) {
+        if until >= self.blocked_until {
+            self.blocked_until = until;
+            self.blocked_class = class;
+        }
+        self.blocked_since = now;
+    }
+
+    #[inline]
+    pub fn runnable(&self, now: u64) -> bool {
+        self.thread.is_some() && self.blocked_until <= now
+    }
+
+    /// Drop completed stores from the buffer.
+    #[inline]
+    pub fn drain_stores(&mut self, now: u64) {
+        while let Some(&(ready, _)) = self.store_buf.front() {
+            if ready <= now {
+                self.store_buf.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Whether a new store can enter the buffer.
+    #[inline]
+    pub fn store_space(&self) -> bool {
+        self.store_buf.len() < self.store_cap
+    }
+
+    /// (ready cycle, class) of the oldest in-flight store, if any.
+    pub fn oldest_store(&self) -> Option<(u64, CycleClass)> {
+        self.store_buf.front().copied()
+    }
+
+    /// (ready cycle, class) of the newest in-flight store, if any.
+    pub fn newest_store(&self) -> Option<(u64, CycleClass)> {
+        self.store_buf.back().copied()
+    }
+
+    /// Rotate to the next thread in the run queue (OS quantum expiry or
+    /// thread completion). Returns true if a switch occurred.
+    pub fn rotate_thread(
+        &mut self,
+        requeue_current: bool,
+        quantum: u64,
+        switch_penalty: u64,
+        now: u64,
+    ) -> bool {
+        if requeue_current && self.run_q.is_empty() {
+            // Nobody to rotate to — keep running, refresh the quantum.
+            self.quantum_left = quantum;
+            return false;
+        }
+        let cur = self.thread.take();
+        if requeue_current {
+            if let Some(t) = cur {
+                self.run_q.push_back(t);
+            }
+        }
+        match self.run_q.pop_front() {
+            Some(next) => {
+                self.thread = Some(next);
+                self.quantum_left = quantum;
+                if switch_penalty > 0 {
+                    self.block(now + switch_penalty, CycleClass::Other, now);
+                }
+                true
+            }
+            None => {
+                self.quantum_left = quantum;
+                false
+            }
+        }
+    }
+}
+
+/// Perform the instruction-fetch check for the next instruction of the
+/// thread's current exec run. Returns `None` if the line is ready (fetch
+/// proceeds), or `Some((ready_at, class))` if the context must wait.
+#[inline]
+pub fn fetch_check(
+    th: &mut ThreadState<'_>,
+    region: u16,
+    regions: &CodeRegions,
+    mem: &mut MemSys,
+    core: usize,
+    now: u64,
+) -> Option<(u64, CycleClass)> {
+    let addr = th.fetch_addr(region, regions);
+    let line = addr >> 6;
+    if line == th.last_iline {
+        return None;
+    }
+    let acc = mem.instr_access(core, line, now);
+    th.last_iline = line;
+    if acc.ready_at <= now {
+        None
+    } else {
+        let class = instr_stall_class(acc.class).unwrap_or(CycleClass::IStallL2);
+        Some((acc.ready_at, class))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_mapping() {
+        assert_eq!(data_stall_class(MemClass::L1), None);
+        assert_eq!(data_stall_class(MemClass::L2Hit), Some(CycleClass::DStallL2Hit));
+        assert_eq!(data_stall_class(MemClass::Mem), Some(CycleClass::DStallMem));
+        assert_eq!(data_stall_class(MemClass::Coherence), Some(CycleClass::DStallCoherence));
+        assert_eq!(instr_stall_class(MemClass::L2Hit), Some(CycleClass::IStallL2));
+        assert_eq!(instr_stall_class(MemClass::Mem), Some(CycleClass::IStallMem));
+    }
+
+    #[test]
+    fn store_buffer_capacity_and_drain() {
+        let mut c = CtxBase::new(2, 1000);
+        assert!(c.store_space());
+        c.store_buf.push_back((10, CycleClass::DStallMem));
+        c.store_buf.push_back((20, CycleClass::DStallL2Hit));
+        assert!(!c.store_space());
+        c.drain_stores(15);
+        assert!(c.store_space());
+        assert_eq!(c.oldest_store(), Some((20, CycleClass::DStallL2Hit)));
+    }
+
+    #[test]
+    fn rotation_cycles_through_queue() {
+        let mut c = CtxBase::new(1, 100);
+        c.thread = Some(0);
+        c.run_q.push_back(1);
+        c.run_q.push_back(2);
+        assert!(c.rotate_thread(true, 100, 10, 50));
+        assert_eq!(c.thread, Some(1));
+        assert_eq!(c.run_q, [2, 0]);
+        assert!(c.blocked_until > 50, "switch penalty must block");
+    }
+
+    #[test]
+    fn rotation_without_queue_keeps_thread() {
+        let mut c = CtxBase::new(1, 100);
+        c.thread = Some(7);
+        assert!(!c.rotate_thread(true, 100, 10, 0));
+        assert_eq!(c.thread, Some(7));
+    }
+
+    #[test]
+    fn completion_rotation_drops_thread() {
+        let mut c = CtxBase::new(1, 100);
+        c.thread = Some(7);
+        assert!(!c.rotate_thread(false, 100, 10, 0));
+        assert_eq!(c.thread, None);
+    }
+
+    #[test]
+    fn blocking_tracks_latest_until() {
+        let mut c = CtxBase::new(1, 100);
+        c.block(50, CycleClass::DStallMem, 10);
+        assert!(!c.runnable(20));
+        c.thread = Some(0);
+        assert!(!c.runnable(20));
+        assert!(c.runnable(50));
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-thread trace replay state.
+//!
+//! A [`TraceCursor`] walks a captured event stream, optionally wrapping at
+//! the end (saturated-throughput runs sample a window of a repeating
+//! workload, in the spirit of the paper's SimFlex checkpoint sampling).
+//!
+//! [`ThreadState`] carries everything that must survive a context switch:
+//! the cursor, per-region instruction-fetch offsets (a thread resumes
+//! walking a code region where it left off — this is what turns region
+//! footprints into L1-I working sets), the partially-consumed `Exec` run,
+//! and the branch-misprediction accumulator.
+
+use dbcmp_trace::region::{CodeRegions, INSTR_BYTES};
+use dbcmp_trace::{Event, ThreadTrace};
+
+/// Cursor over one thread's packed events.
+#[derive(Debug)]
+pub struct TraceCursor<'a> {
+    trace: &'a ThreadTrace,
+    idx: usize,
+    /// Wrap at end-of-trace (throughput mode) or finish (completion mode).
+    wrap: bool,
+    pub wraps: u64,
+}
+
+impl<'a> TraceCursor<'a> {
+    pub fn new(trace: &'a ThreadTrace, wrap: bool) -> Self {
+        TraceCursor { trace, idx: 0, wrap, wraps: 0 }
+    }
+
+    /// Next event, or `None` when the (non-wrapping) trace is exhausted.
+    #[inline]
+    pub fn next_event(&mut self) -> Option<Event> {
+        let evs = self.trace.events();
+        if self.idx >= evs.len() {
+            if !self.wrap || evs.is_empty() {
+                return None;
+            }
+            self.idx = 0;
+            self.wraps += 1;
+        }
+        let e = evs[self.idx].decode();
+        self.idx += 1;
+        Some(e)
+    }
+
+    pub fn done(&self) -> bool {
+        !self.wrap && self.idx >= self.trace.events().len()
+    }
+}
+
+/// A store decoded but not yet performed (the store buffer was full).
+#[derive(Debug, Clone, Copy)]
+pub struct PendingStore {
+    pub addr: u64,
+    pub size: u16,
+}
+
+/// A load decoded but not yet issued (MSHRs were exhausted).
+#[derive(Debug, Clone, Copy)]
+pub struct PendingLoad {
+    pub addr: u64,
+    pub size: u16,
+    pub dep: bool,
+}
+
+/// Everything a software thread carries across scheduling decisions.
+#[derive(Debug)]
+pub struct ThreadState<'a> {
+    pub cursor: TraceCursor<'a>,
+    /// Per-region fetch offset (bytes into the region's footprint).
+    region_off: Vec<u64>,
+    /// Partially executed `Exec` run: (region, instructions left).
+    pub cur_exec: Option<(u16, u32)>,
+    /// Instruction line currently resident in the fetch stage
+    /// (`u64::MAX` = none — forces an I-access on the next instruction).
+    pub last_iline: u64,
+    /// Store decoded while the store buffer was full.
+    pub pending_store: Option<PendingStore>,
+    /// Load decoded while the MSHRs were full (fat core).
+    pub pending_load: Option<PendingLoad>,
+    /// A fence is waiting for the pipeline to drain.
+    pub pending_fence: bool,
+    /// Fractional branch mispredictions owed.
+    pub mispred_acc: f64,
+    pub units: u64,
+    pub unit_started_at: u64,
+    pub done: bool,
+}
+
+impl<'a> ThreadState<'a> {
+    pub fn new(trace: &'a ThreadTrace, regions: &CodeRegions, wrap: bool) -> Self {
+        ThreadState {
+            cursor: TraceCursor::new(trace, wrap),
+            region_off: vec![0; regions.len().max(1)],
+            cur_exec: None,
+            last_iline: u64::MAX,
+            pending_store: None,
+            pending_load: None,
+            pending_fence: false,
+            mispred_acc: 0.0,
+            units: 0,
+            unit_started_at: 0,
+            done: false,
+        }
+    }
+
+    /// Current fetch byte address within `region`.
+    #[inline]
+    pub fn fetch_addr(&self, region: u16, regions: &CodeRegions) -> u64 {
+        let r = regions.get(region);
+        r.base + self.region_off[region as usize]
+    }
+
+    /// Advance the fetch cursor by one instruction, wrapping at the
+    /// region's footprint.
+    #[inline]
+    pub fn advance_instr(&mut self, region: u16, regions: &CodeRegions) {
+        let fp = regions.get(region).footprint;
+        let off = &mut self.region_off[region as usize];
+        *off += INSTR_BYTES;
+        if *off >= fp {
+            *off = 0;
+        }
+    }
+
+    /// Current byte offset within a region (tests/diagnostics).
+    #[inline]
+    pub fn region_offset(&self, region: u16) -> u64 {
+        self.region_off[region as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcmp_trace::Tracer;
+
+    fn trace3() -> ThreadTrace {
+        let mut t = Tracer::recording();
+        t.exec(0, 5);
+        t.load(64, 8);
+        t.unit_end();
+        t.finish()
+    }
+
+    #[test]
+    fn cursor_completion_mode_finishes() {
+        let tr = trace3();
+        let mut c = TraceCursor::new(&tr, false);
+        assert!(c.next_event().is_some());
+        assert!(c.next_event().is_some());
+        assert!(c.next_event().is_some());
+        assert!(c.next_event().is_none());
+        assert!(c.done());
+        assert_eq!(c.wraps, 0);
+    }
+
+    #[test]
+    fn cursor_wrap_mode_loops() {
+        let tr = trace3();
+        let mut c = TraceCursor::new(&tr, true);
+        for _ in 0..7 {
+            assert!(c.next_event().is_some());
+        }
+        assert_eq!(c.wraps, 2);
+        assert!(!c.done());
+    }
+
+    #[test]
+    fn empty_trace_never_yields() {
+        let tr = Tracer::recording().finish();
+        let mut c = TraceCursor::new(&tr, true);
+        assert!(c.next_event().is_none());
+    }
+
+    #[test]
+    fn fetch_cursor_wraps_at_footprint() {
+        let mut regions = CodeRegions::new();
+        let r = regions.add("loop", 128, 0.0); // 32 instructions
+        let tr = trace3();
+        let mut ts = ThreadState::new(&tr, &regions, false);
+        let base = regions.get(r).base;
+        assert_eq!(ts.fetch_addr(r, &regions), base);
+        for _ in 0..31 {
+            ts.advance_instr(r, &regions);
+        }
+        assert_eq!(ts.fetch_addr(r, &regions), base + 124);
+        ts.advance_instr(r, &regions);
+        assert_eq!(ts.fetch_addr(r, &regions), base, "must wrap to region start");
+        assert_eq!(ts.region_offset(r), 0);
+    }
+}

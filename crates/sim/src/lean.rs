@@ -1,0 +1,477 @@
+//! Lean-camp core: narrow, in-order, heavily multithreaded (Niagara-style).
+//!
+//! Each cycle the core picks the next runnable hardware context in
+//! round-robin order and issues up to `width` instructions from it. Any L1
+//! miss (data or instruction) blocks that context until the fill returns;
+//! meanwhile the other contexts keep the pipeline busy. A cycle counts as
+//! computation if *any* instruction issued; otherwise it is charged to the
+//! stall class of the longest-blocked context — when every context is
+//! waiting on memory, that is precisely the exposed data-stall time the
+//! paper measures for lean cores under unsaturated load (§4).
+
+use dbcmp_trace::region::CodeRegions;
+use dbcmp_trace::Event;
+
+use crate::config::MachineConfig;
+use crate::ctx::{data_stall_class, fetch_check, CtxBase};
+use crate::cursor::{PendingStore, ThreadState};
+use crate::machine::MachineCtl;
+use crate::memsys::MemSys;
+use crate::stats::CycleClass;
+
+/// Cap on zero-width events (fences, unit markers) consumed per context per
+/// cycle, to bound the decode loop.
+const MAX_META_EVENTS: usize = 64;
+
+#[derive(Debug)]
+pub struct LeanCore {
+    pub ctxs: Vec<CtxBase>,
+    rr: usize,
+    width: usize,
+    pipeline_depth: u64,
+    quantum: u64,
+    switch_penalty: u64,
+    /// Instructions retired during the measurement window.
+    pub retired: u64,
+}
+
+impl LeanCore {
+    pub fn new(cfg: &MachineConfig, contexts: usize, width: usize) -> Self {
+        LeanCore {
+            ctxs: (0..contexts).map(|_| CtxBase::new(cfg.store_buffer, cfg.quantum)).collect(),
+            rr: 0,
+            width: width.max(1),
+            pipeline_depth: cfg.core.pipeline_depth(),
+            quantum: cfg.quantum,
+            switch_penalty: cfg.switch_penalty,
+            retired: 0,
+        }
+    }
+
+    /// Simulate one cycle. Returns the class to charge, or `None` if the
+    /// core has no threads at all (inactive — not accounted).
+    pub fn cycle(
+        &mut self,
+        core: usize,
+        now: u64,
+        mem: &mut MemSys,
+        threads: &mut [ThreadState<'_>],
+        regions: &CodeRegions,
+        ctl: &mut MachineCtl,
+    ) -> Option<CycleClass> {
+        let n = self.ctxs.len();
+        // Retire finished threads and schedule queued ones.
+        let mut any_thread = false;
+        for ctx in &mut self.ctxs {
+            if let Some(t) = ctx.thread {
+                if threads[t].done {
+                    ctx.rotate_thread(false, self.quantum, self.switch_penalty, now);
+                }
+            } else if !ctx.run_q.is_empty() {
+                ctx.rotate_thread(false, self.quantum, 0, now);
+            }
+            any_thread |= ctx.thread.is_some();
+        }
+        if !any_thread {
+            return None;
+        }
+
+        // Pick the next runnable context, round-robin.
+        let mut chosen = None;
+        for k in 0..n {
+            let i = (self.rr + k) % n;
+            if self.ctxs[i].runnable(now) {
+                chosen = Some(i);
+                break;
+            }
+        }
+        self.rr = (self.rr + 1) % n;
+
+        let Some(i) = chosen else {
+            // All contexts blocked: charge the longest-waiting one.
+            let cls = self
+                .ctxs
+                .iter()
+                .filter(|c| c.thread.is_some() && c.blocked_until > now)
+                .min_by_key(|c| c.blocked_since)
+                .map(|c| c.blocked_class)
+                .unwrap_or(CycleClass::Other);
+            return Some(cls);
+        };
+
+        // OS quantum.
+        let ctx = &mut self.ctxs[i];
+        if ctx.quantum_left == 0 && !ctx.run_q.is_empty() {
+            ctx.rotate_thread(true, self.quantum, self.switch_penalty, now);
+            return Some(CycleClass::Other);
+        }
+        ctx.quantum_left = ctx.quantum_left.saturating_sub(1);
+
+        // Issue up to `width` instructions from this context.
+        let (issued, progress) = issue_from(
+            ctx,
+            core,
+            now,
+            self.width,
+            self.pipeline_depth,
+            mem,
+            threads,
+            regions,
+            ctl,
+        );
+        if issued > 0 {
+            self.retired += issued as u64;
+            ctl.instrs += issued as u64;
+        }
+        if progress > 0 {
+            Some(CycleClass::Compute)
+        } else {
+            // The context blocked on its very first slot this cycle.
+            Some(self.ctxs[i].blocked_class)
+        }
+    }
+
+    /// Reset measurement counters (end of warm-up).
+    pub fn reset_counters(&mut self) {
+        self.retired = 0;
+    }
+}
+
+/// Issue up to `width` instructions from one context; returns
+/// `(issued, progress)` — `issued` counts retired instructions (for IPC),
+/// `progress` excludes an instruction that immediately blocked (so a cycle
+/// spent only initiating a miss is charged as a stall, not computation).
+/// On a miss the context is left blocked.
+#[allow(clippy::too_many_arguments)]
+fn issue_from(
+    ctx: &mut CtxBase,
+    core: usize,
+    now: u64,
+    width: usize,
+    pipeline_depth: u64,
+    mem: &mut MemSys,
+    threads: &mut [ThreadState<'_>],
+    regions: &CodeRegions,
+    ctl: &mut MachineCtl,
+) -> (usize, usize) {
+    let t = match ctx.thread {
+        Some(t) => t,
+        None => return (0, 0),
+    };
+    let th = &mut threads[t];
+    ctx.drain_stores(now);
+
+    let mut issued = 0usize;
+    let mut progress = 0usize;
+    let mut meta = 0usize;
+    while issued < width {
+        // 1. Retry a store that was waiting for buffer space.
+        if let Some(ps) = th.pending_store {
+            if !ctx.store_space() {
+                let (ready, class) = ctx.oldest_store().expect("full buffer has entries");
+                ctx.block(ready, class, now);
+                break;
+            }
+            let acc = mem.data_access(core, ps.addr >> 6, true, now);
+            let class = data_stall_class(acc.class).unwrap_or(CycleClass::DStallL2Hit);
+            if acc.ready_at > now {
+                ctx.store_buf.push_back((acc.ready_at, class));
+            }
+            touch_trail_lines(mem, core, ps.addr, ps.size, true, now);
+            th.pending_store = None;
+            issued += 1;
+            progress += 1;
+            continue;
+        }
+        // 2. A pending fence waits for the store buffer to drain.
+        if th.pending_fence {
+            if let Some((ready, class)) = ctx.newest_store() {
+                ctx.block(ready, class, now);
+                break;
+            }
+            th.pending_fence = false;
+        }
+        // 3. Continue the current exec run.
+        if let Some((region, left)) = th.cur_exec {
+            if let Some((ready, class)) = fetch_check(th, region, regions, mem, core, now) {
+                ctx.block(ready, class, now);
+                break;
+            }
+            th.advance_instr(region, regions);
+            th.cur_exec = if left > 1 { Some((region, left - 1)) } else { None };
+            issued += 1;
+            progress += 1;
+            // Branch misprediction charge.
+            th.mispred_acc += regions.get(region).mispred_per_kinstr / 1000.0;
+            if th.mispred_acc >= 1.0 {
+                th.mispred_acc -= 1.0;
+                ctx.block(now + pipeline_depth, CycleClass::Other, now);
+                break;
+            }
+            continue;
+        }
+        // 4. Decode the next trace event.
+        match th.cursor.next_event() {
+            Some(Event::Exec { region, instrs }) => {
+                if instrs > 0 {
+                    th.cur_exec = Some((region, instrs));
+                }
+                meta += 1;
+                if meta > MAX_META_EVENTS {
+                    break;
+                }
+            }
+            Some(Event::Load { addr, size, .. }) => {
+                // Lead lines are state-only touches; the *last* line of the
+                // access carries the timing (for sequential scans it is the
+                // cold one — there is no hardware data prefetcher, per the
+                // paper's configuration).
+                touch_lead_lines(mem, core, addr, size, false, now);
+                let acc = mem.data_access(core, (addr + size.max(1) as u64 - 1) >> 6, false, now);
+                issued += 1;
+                if let Some(class) = data_stall_class(acc.class) {
+                    if acc.ready_at > now {
+                        ctx.block(acc.ready_at, class, now);
+                        break;
+                    }
+                }
+                progress += 1;
+            }
+            Some(Event::Store { addr, size }) => {
+                if !ctx.store_space() {
+                    th.pending_store = Some(PendingStore { addr, size });
+                    let (ready, class) = ctx.oldest_store().expect("full buffer has entries");
+                    ctx.block(ready, class, now);
+                    break;
+                }
+                let acc = mem.data_access(core, addr >> 6, true, now);
+                if acc.ready_at > now {
+                    let class = data_stall_class(acc.class).unwrap_or(CycleClass::DStallL2Hit);
+                    ctx.store_buf.push_back((acc.ready_at, class));
+                }
+                touch_trail_lines(mem, core, addr, size, true, now);
+                issued += 1;
+                progress += 1;
+            }
+            Some(Event::Fence) => {
+                th.pending_fence = true;
+                meta += 1;
+                if meta > MAX_META_EVENTS {
+                    break;
+                }
+            }
+            Some(Event::UnitEnd) => {
+                th.units += 1;
+                ctl.units += 1;
+                ctl.unit_cycles += now.saturating_sub(th.unit_started_at);
+                th.unit_started_at = now;
+                meta += 1;
+                if meta > MAX_META_EVENTS {
+                    break;
+                }
+            }
+            None => {
+                th.done = true;
+                ctl.remaining = ctl.remaining.saturating_sub(1);
+                break;
+            }
+        }
+    }
+    (issued, progress)
+}
+
+/// State-only touches for the lines of a multi-line access except the
+/// last: they update cache/coherence state and bank occupancy but do not
+/// add to this instruction's blocking latency (the engine's accesses are
+/// line-sized in the common case; the final line carries the timing).
+pub(crate) fn touch_lead_lines(
+    mem: &mut MemSys,
+    core: usize,
+    addr: u64,
+    size: u16,
+    write: bool,
+    now: u64,
+) {
+    let first = addr >> 6;
+    let last = (addr + size.max(1) as u64 - 1) >> 6;
+    let mut line = first;
+    while line < last {
+        mem.data_access(core, line, write, now);
+        line += 1;
+    }
+}
+
+/// State-only touches for the lines after the first (stores: the first
+/// line carries the buffered timing).
+pub(crate) fn touch_trail_lines(
+    mem: &mut MemSys,
+    core: usize,
+    addr: u64,
+    size: u16,
+    write: bool,
+    now: u64,
+) {
+    let first = addr >> 6;
+    let last = (addr + size.max(1) as u64 - 1) >> 6;
+    let mut line = first + 1;
+    while line <= last {
+        mem.data_access(core, line, write, now);
+        line += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use dbcmp_trace::Tracer;
+
+    fn setup(cfg: &MachineConfig) -> (MemSys, CodeRegions) {
+        let mut regions = CodeRegions::new();
+        regions.add("r0", 4096, 0.0);
+        (MemSys::new(cfg), regions)
+    }
+
+    #[test]
+    fn pure_compute_completes_and_counts() {
+        let mut cfg = MachineConfig::lean_cmp(1, 1 << 20, 10);
+        cfg.stream_buf = 0;
+        let (mut mem, regions) = setup(&cfg);
+        let mut tracer = Tracer::recording();
+        tracer.exec(0, 100);
+        let trace = tracer.finish();
+        let mut threads = vec![ThreadState::new(&trace, &regions, false)];
+        let mut core = LeanCore::new(&cfg, 4, 2);
+        core.ctxs[0].thread = Some(0);
+        let mut ctl = MachineCtl { remaining: 1, ..Default::default() };
+
+        // First cycle: cold I-miss blocks.
+        let c0 = core.cycle(0, 0, &mut mem, &mut threads, &regions, &mut ctl).unwrap();
+        assert!(matches!(c0, CycleClass::IStallMem | CycleClass::IStallL2));
+        let mut now = 1;
+        while !threads[0].done && now < 10_000 {
+            core.cycle(0, now, &mut mem, &mut threads, &regions, &mut ctl);
+            now += 1;
+        }
+        assert!(threads[0].done);
+        assert_eq!(core.retired, 100);
+    }
+
+    #[test]
+    fn data_miss_overlapped_by_other_context() {
+        let mut cfg = MachineConfig::lean_cmp(1, 1 << 20, 10);
+        cfg.stream_buf = 0;
+        let (mut mem, regions) = setup(&cfg);
+        // Thread 0: a single cold load (misses to memory).
+        let mut t0 = Tracer::recording();
+        t0.load(1 << 16, 8);
+        let tr0 = t0.finish();
+        // Thread 1: pure compute.
+        let mut t1 = Tracer::recording();
+        t1.exec(0, 50);
+        let tr1 = t1.finish();
+        let mut threads =
+            vec![ThreadState::new(&tr0, &regions, false), ThreadState::new(&tr1, &regions, false)];
+        let mut core = LeanCore::new(&cfg, 4, 2);
+        core.ctxs[0].thread = Some(0);
+        core.ctxs[1].thread = Some(1);
+        let mut ctl = MachineCtl { remaining: 2, ..Default::default() };
+
+        let mut compute = 0u64;
+        for now in 0..3000u64 {
+            if let Some(CycleClass::Compute) =
+                core.cycle(0, now, &mut mem, &mut threads, &regions, &mut ctl)
+            {
+                compute += 1;
+            }
+            if threads[0].done && threads[1].done {
+                break;
+            }
+        }
+        assert!(threads[0].done && threads[1].done);
+        // Thread 1's 50 instructions must have overlapped the miss.
+        assert!(compute >= 25, "compute={compute}");
+    }
+
+    #[test]
+    fn all_blocked_charges_memory_stall() {
+        let mut cfg = MachineConfig::lean_cmp(1, 1 << 20, 10);
+        cfg.stream_buf = 0;
+        let (mut mem, regions) = setup(&cfg);
+        let mut t0 = Tracer::recording();
+        t0.load(1 << 16, 8);
+        let tr0 = t0.finish();
+        let mut threads = vec![ThreadState::new(&tr0, &regions, false)];
+        let mut core = LeanCore::new(&cfg, 4, 2);
+        core.ctxs[0].thread = Some(0);
+        let mut ctl = MachineCtl { remaining: 1, ..Default::default() };
+
+        // Cycle 0 initiates the miss (charged as the stall class directly).
+        let c0 = core.cycle(0, 0, &mut mem, &mut threads, &regions, &mut ctl).unwrap();
+        assert_eq!(c0, CycleClass::DStallMem);
+        // Subsequent cycle: the only context is blocked.
+        let c1 = core.cycle(0, 1, &mut mem, &mut threads, &regions, &mut ctl).unwrap();
+        assert_eq!(c1, CycleClass::DStallMem);
+    }
+
+    #[test]
+    fn inactive_core_reports_none() {
+        let cfg = MachineConfig::lean_cmp(1, 1 << 20, 10);
+        let (mut mem, regions) = setup(&cfg);
+        let mut threads: Vec<ThreadState<'_>> = vec![];
+        let mut core = LeanCore::new(&cfg, 4, 2);
+        let mut ctl = MachineCtl::default();
+        assert!(core.cycle(0, 0, &mut mem, &mut threads, &regions, &mut ctl).is_none());
+    }
+
+    #[test]
+    fn unit_end_records_latency() {
+        let mut cfg = MachineConfig::lean_cmp(1, 1 << 20, 10);
+        cfg.stream_buf = 0;
+        let (mut mem, regions) = setup(&cfg);
+        let mut t0 = Tracer::recording();
+        t0.exec(0, 10);
+        t0.unit_end();
+        let tr0 = t0.finish();
+        let mut threads = vec![ThreadState::new(&tr0, &regions, false)];
+        let mut core = LeanCore::new(&cfg, 4, 2);
+        core.ctxs[0].thread = Some(0);
+        let mut ctl = MachineCtl { remaining: 1, ..Default::default() };
+        let mut now = 0;
+        while !threads[0].done && now < 10_000 {
+            core.cycle(0, now, &mut mem, &mut threads, &regions, &mut ctl);
+            now += 1;
+        }
+        assert_eq!(ctl.units, 1);
+        assert!(ctl.unit_cycles > 0, "unit must take time (cold miss at least)");
+    }
+
+    #[test]
+    fn quantum_rotates_threads() {
+        let mut cfg = MachineConfig::lean_cmp(1, 1 << 20, 10);
+        cfg.stream_buf = 0;
+        cfg.quantum = 20;
+        cfg.switch_penalty = 5;
+        let (mut mem, regions) = setup(&cfg);
+        let mut t0 = Tracer::recording();
+        t0.exec(0, 1000);
+        let tr0 = t0.finish();
+        let mut t1 = Tracer::recording();
+        t1.exec(0, 1000);
+        let tr1 = t1.finish();
+        let mut threads =
+            vec![ThreadState::new(&tr0, &regions, false), ThreadState::new(&tr1, &regions, false)];
+        // Both threads on ONE context: they must time-slice.
+        let mut core = LeanCore::new(&cfg, 1, 2);
+        core.ctxs[0].thread = Some(0);
+        core.ctxs[0].run_q.push_back(1);
+        let mut ctl = MachineCtl { remaining: 2, ..Default::default() };
+        let mut now = 0;
+        while (!threads[0].done || !threads[1].done) && now < 100_000 {
+            core.cycle(0, now, &mut mem, &mut threads, &regions, &mut ctl);
+            now += 1;
+        }
+        assert!(threads[0].done && threads[1].done, "both threads must finish via rotation");
+        assert_eq!(core.retired, 2000);
+    }
+}

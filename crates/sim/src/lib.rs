@@ -1,0 +1,47 @@
+//! Trace-driven cycle-level CMP/SMP simulator — the reproduction's stand-in
+//! for the FLEXUS full-system simulator used by the paper.
+//!
+//! The simulator replays per-thread memory traces (see `dbcmp-trace`) on a
+//! modeled machine and attributes every cycle to one of the paper's
+//! execution-time components: computation, instruction stalls, data stalls
+//! (split into L2-hit / off-chip / coherence — the decomposition at the
+//! heart of the paper's §5), and other stalls (branch mispredictions,
+//! context switches).
+//!
+//! Two core models implement the paper's two "camps" (§2.1):
+//!
+//! * [`fat`] — a wide out-of-order core: a reorder-buffer window, multiple
+//!   outstanding misses (MSHRs), store buffering, and *dependence-limited*
+//!   overlap — dependent loads (pointer chases) gate decode, independent
+//!   loads overlap. This is the mechanism by which OLTP's tight dependences
+//!   defeat ILP while DSS scans benefit (paper §4).
+//! * [`lean`] — a narrow in-order core with several hardware contexts,
+//!   issuing round-robin from runnable contexts; a context blocks on any
+//!   L1 miss and the core hides the latency with other contexts — exactly
+//!   Niagara-style fine-grained multithreading.
+//!
+//! The memory system ([`memsys`]) models per-core L1I/L1D, either a shared
+//! banked L2 (CMP arrangement) or per-node private L2s with MESI-style
+//! snooping (SMP arrangement), inclusive-L2 back-invalidation, L1-to-L1
+//! on-chip transfers, bank occupancy/queueing (the contention effect behind
+//! Fig. 8), and next-line instruction stream buffers (the reason both
+//! camps' I-stall components stay modest, §4).
+//!
+//! Everything is deterministic: same traces + same config ⇒ same cycle
+//! counts.
+
+pub mod analytic;
+pub mod cache;
+pub mod config;
+pub mod ctx;
+pub mod cursor;
+pub mod fat;
+pub mod lean;
+pub mod machine;
+pub mod memsys;
+pub mod stats;
+pub mod stream;
+
+pub use config::{CacheGeom, CoreKind, L2Arrangement, MachineConfig};
+pub use machine::{Machine, RunMode};
+pub use stats::{Breakdown, CycleClass, SimResult};

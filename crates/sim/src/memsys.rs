@@ -1,0 +1,751 @@
+//! The memory hierarchy: per-core L1I/L1D, a shared banked L2 with an
+//! in-cache directory (CMP arrangement) or per-node private L2s with
+//! MESI-style snooping (SMP arrangement), plus instruction stream buffers.
+//!
+//! Classification of each access follows the paper's §5 decomposition:
+//!
+//! * **L1** — hit in the core's own L1 (not a stall).
+//! * **L2Hit** — L1 miss served on-chip: shared-L2 hit, or a dirty line
+//!   transferred L1-to-L1 across cores of the same chip. The paper counts
+//!   both as "L2 hits", and their stall time is the rising component.
+//! * **Mem** — off-chip memory access.
+//! * **Coherence** — SMP only: the line was supplied dirty by a *remote
+//!   node's* cache over the off-chip interconnect. On a CMP these turn
+//!   into L2Hit — mechanically reproducing the paper's Fig. 7.
+//!
+//! The shared L2 is banked; banks have an occupancy per access and a
+//! `next_free` cycle, so correlated miss bursts queue (paper §5.3: cache
+//! pressure, not miss rate, limits core-count scaling for OLTP).
+
+use crate::cache::Cache;
+use crate::config::{L2Arrangement, MachineConfig};
+use crate::stats::MemCounters;
+use crate::stream::StreamBuffer;
+
+/// How an access was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemClass {
+    L1,
+    L2Hit,
+    Mem,
+    Coherence,
+}
+
+/// Timing + classification of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Cycle at which the data is available to the core.
+    pub ready_at: u64,
+    pub class: MemClass,
+}
+
+/// Number of sequential lines a stream buffer keeps in flight ahead of the
+/// fetch point.
+const PREFETCH_AHEAD: u64 = 4;
+/// Cycles to promote a ready stream-buffer line into the L1I.
+const STREAM_PROMOTE: u64 = 2;
+/// Directory sentinel: no L1 owner.
+const NO_OWNER: u8 = 0xFF;
+
+/// Per-core private caches + stream buffers.
+#[derive(Debug)]
+struct CoreCaches {
+    l1i: Vec<Cache>,
+    l1d: Vec<Cache>,
+    streams: Vec<StreamBuffer>,
+}
+
+impl CoreCaches {
+    fn invalidate_all(&mut self, node: usize, line: u64) {
+        self.l1d[node].invalidate(line);
+        self.l1i[node].invalidate(line);
+    }
+}
+
+/// L2 bank ports (queueing model).
+#[derive(Debug)]
+struct Banks {
+    free: Vec<u64>,
+    occupancy: u64,
+}
+
+impl Banks {
+    /// Claim the bank for `line` at `now`; returns the start cycle after
+    /// any queueing delay.
+    fn claim(&mut self, line: u64, now: u64, counters: &mut MemCounters) -> u64 {
+        let b = (line % self.free.len() as u64) as usize;
+        let start = now.max(self.free[b]);
+        if start > now {
+            counters.l2_queue_cycles += start - now;
+            counters.l2_queued_accesses += 1;
+        }
+        self.free[b] = start + self.occupancy;
+        start
+    }
+}
+
+/// Timing parameters, copied out of the config.
+#[derive(Debug, Clone, Copy)]
+struct Params {
+    l2_latency: u64,
+    mem_latency: u64,
+    l1_to_l1: u64,
+    coherence_latency: u64,
+}
+
+#[derive(Debug)]
+enum L2State {
+    /// CMP: one shared, banked L2; its entries act as a directory over the
+    /// cores' L1s.
+    Shared(Cache),
+    /// SMP: one private L2 per node; snooping over an off-chip bus.
+    Private(Vec<Cache>),
+}
+
+/// The full memory system of a machine.
+#[derive(Debug)]
+pub struct MemSys {
+    cores: CoreCaches,
+    l2: L2State,
+    banks: Banks,
+    p: Params,
+    pub counters: MemCounters,
+}
+
+impl MemSys {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        let n = cfg.n_cores;
+        let l2 = match cfg.l2 {
+            L2Arrangement::Shared(g) => L2State::Shared(Cache::new(g.size, g.assoc)),
+            L2Arrangement::Private(g) => {
+                L2State::Private((0..n).map(|_| Cache::new(g.size, g.assoc)).collect())
+            }
+        };
+        MemSys {
+            cores: CoreCaches {
+                l1i: (0..n).map(|_| Cache::new(cfg.l1i.size, cfg.l1i.assoc)).collect(),
+                l1d: (0..n).map(|_| Cache::new(cfg.l1d.size, cfg.l1d.assoc)).collect(),
+                streams: (0..n).map(|_| StreamBuffer::new(cfg.stream_buf)).collect(),
+            },
+            l2,
+            banks: Banks {
+                free: vec![0; cfg.l2_banks.max(1)],
+                occupancy: cfg.l2_bank_occupancy,
+            },
+            p: Params {
+                l2_latency: cfg.l2.geom().latency,
+                mem_latency: cfg.mem_latency,
+                l1_to_l1: cfg.l1_to_l1,
+                coherence_latency: cfg.coherence_latency,
+            },
+            counters: MemCounters::default(),
+        }
+    }
+
+    /// Reset event counters (end of warm-up) without touching cache state.
+    pub fn reset_counters(&mut self) {
+        self.counters = MemCounters::default();
+    }
+
+    /// A data load/store by `core` to cache line `line` (line number =
+    /// addr / 64).
+    pub fn data_access(&mut self, core: usize, line: u64, write: bool, now: u64) -> Access {
+        self.counters.l1d_accesses += 1;
+        if let Some(idx) = self.cores.l1d[core].probe(line) {
+            let dirty = self.cores.l1d[core].entry(idx).dirty;
+            if write && !dirty {
+                let acc = match &mut self.l2 {
+                    L2State::Shared(l2) => shared_upgrade(
+                        l2,
+                        &mut self.cores,
+                        self.p,
+                        &mut self.counters,
+                        core,
+                        line,
+                        now,
+                    ),
+                    L2State::Private(l2s) => {
+                        private_upgrade(l2s, &mut self.cores, self.p, &mut self.counters, core, line, now)
+                    }
+                };
+                if let Some(i) = self.cores.l1d[core].peek(line) {
+                    self.cores.l1d[core].entry_mut(i).dirty = true;
+                }
+                return acc;
+            }
+            return Access { ready_at: now, class: MemClass::L1 };
+        }
+        self.counters.l1d_misses += 1;
+        let acc = match &mut self.l2 {
+            L2State::Shared(l2) => shared_fetch(
+                l2,
+                &mut self.cores,
+                &mut self.banks,
+                self.p,
+                &mut self.counters,
+                core,
+                line,
+                write,
+                false,
+                now,
+            ),
+            L2State::Private(l2s) => private_fetch(
+                l2s,
+                &mut self.cores,
+                self.p,
+                &mut self.counters,
+                core,
+                line,
+                write,
+                false,
+                now,
+            ),
+        };
+        // Fill L1D; handle the victim.
+        let (idx, evicted) = self.cores.l1d[core].insert(line);
+        self.cores.l1d[core].entry_mut(idx).dirty = write;
+        if let Some(ev) = evicted {
+            if ev.dirty {
+                writeback_from_l1(&mut self.l2, core, ev.line);
+            }
+            drop_sharer(&mut self.l2, core, ev.line);
+        }
+        acc
+    }
+
+    /// An instruction fetch by `core` of line `line`.
+    pub fn instr_access(&mut self, core: usize, line: u64, now: u64) -> Access {
+        self.counters.l1i_accesses += 1;
+        if self.cores.l1i[core].probe(line).is_some() {
+            return Access { ready_at: now, class: MemClass::L1 };
+        }
+        self.counters.l1i_misses += 1;
+        if let Some(ready) = self.cores.streams[core].take(line) {
+            self.counters.stream_hits += 1;
+            let ready_at = ready.max(now) + STREAM_PROMOTE;
+            self.fill_l1i(core, line);
+            self.prefetch(core, line + PREFETCH_AHEAD, now);
+            return Access { ready_at, class: MemClass::L2Hit };
+        }
+        let acc = match &mut self.l2 {
+            L2State::Shared(l2) => shared_fetch(
+                l2,
+                &mut self.cores,
+                &mut self.banks,
+                self.p,
+                &mut self.counters,
+                core,
+                line,
+                false,
+                true,
+                now,
+            ),
+            L2State::Private(l2s) => private_fetch(
+                l2s,
+                &mut self.cores,
+                self.p,
+                &mut self.counters,
+                core,
+                line,
+                false,
+                true,
+                now,
+            ),
+        };
+        self.fill_l1i(core, line);
+        for d in 1..=PREFETCH_AHEAD {
+            self.prefetch(core, line + d, now);
+        }
+        acc
+    }
+
+    fn fill_l1i(&mut self, core: usize, line: u64) {
+        let (_, evicted) = self.cores.l1i[core].insert(line);
+        if let Some(ev) = evicted {
+            drop_sharer(&mut self.l2, core, ev.line);
+        }
+    }
+
+    /// Prefetch `line` into the stream buffer (state update + bank
+    /// occupancy; never stalls the core, never counts as a demand miss).
+    fn prefetch(&mut self, core: usize, line: u64, now: u64) {
+        if !self.cores.streams[core].enabled()
+            || self.cores.streams[core].contains(line)
+            || self.cores.l1i[core].peek(line).is_some()
+        {
+            return;
+        }
+        let start = self.banks.claim(line, now, &mut self.counters);
+        let (ready, evicted) = match &mut self.l2 {
+            L2State::Shared(l2) => {
+                if l2.probe(line).is_some() {
+                    (start + self.p.l2_latency, None)
+                } else {
+                    let (_, ev) = l2.insert(line);
+                    (start + self.p.l2_latency + self.p.mem_latency, ev)
+                }
+            }
+            L2State::Private(l2s) => {
+                if l2s[core].probe(line).is_some() {
+                    (start + self.p.l2_latency, None)
+                } else {
+                    let (_, ev) = l2s[core].insert(line);
+                    (start + self.p.l2_latency + self.p.mem_latency, ev.map(|mut e| {
+                        e.sharers = 1 << core;
+                        e
+                    }))
+                }
+            }
+        };
+        if let Some(ev) = evicted {
+            back_invalidate(&mut self.cores, ev.line, ev.sharers);
+        }
+        self.cores.streams[core].put(line, ready);
+    }
+}
+
+/// Inclusive-L2 back-invalidation: purge an evicted L2 line from L1s.
+fn back_invalidate(cores: &mut CoreCaches, line: u64, sharers: u16) {
+    for n in 0..cores.l1d.len() {
+        if (sharers >> n) & 1 == 1 {
+            cores.l1d[n].invalidate(line);
+        }
+        // Instruction lines are not sharer-tracked; purge opportunistically.
+        cores.l1i[n].invalidate(line);
+    }
+}
+
+/// Remove `core` from a line's sharer set after an L1 eviction.
+fn drop_sharer(l2: &mut L2State, core: usize, line: u64) {
+    if let L2State::Shared(l2) = l2 {
+        if let Some(idx) = l2.peek(line) {
+            l2.entry_mut(idx).sharers &= !(1u16 << core);
+        }
+    }
+}
+
+/// An L1 evicted a dirty line: fold dirtiness back into the L2 so later
+/// readers are not falsely routed to a peer L1.
+fn writeback_from_l1(l2: &mut L2State, core: usize, line: u64) {
+    match l2 {
+        L2State::Shared(l2) => {
+            if let Some(idx) = l2.peek(line) {
+                let e = l2.entry_mut(idx);
+                if e.dirty_in_l1 && e.owner as usize == core {
+                    e.dirty_in_l1 = false;
+                    e.owner = NO_OWNER;
+                    e.dirty = true;
+                }
+            }
+        }
+        L2State::Private(l2s) => {
+            if let Some(idx) = l2s[core].peek(line) {
+                l2s[core].entry_mut(idx).dirty = true;
+            }
+        }
+    }
+}
+
+/// CMP: serve an L1 miss from the shared L2 / a peer L1 / memory.
+#[allow(clippy::too_many_arguments)]
+fn shared_fetch(
+    l2: &mut Cache,
+    cores: &mut CoreCaches,
+    banks: &mut Banks,
+    p: Params,
+    counters: &mut MemCounters,
+    core: usize,
+    line: u64,
+    write: bool,
+    is_instr: bool,
+    now: u64,
+) -> Access {
+    let start = banks.claim(line, now, counters);
+    if let Some(idx) = l2.probe(line) {
+        let e = *l2.entry(idx);
+        let peer_dirty = e.dirty_in_l1 && e.owner as usize != core && e.owner != NO_OWNER;
+        // Directory maintenance.
+        if peer_dirty {
+            let owner = e.owner as usize;
+            if write {
+                cores.l1d[owner].invalidate(line);
+            } else if let Some(j) = cores.l1d[owner].peek(line) {
+                cores.l1d[owner].entry_mut(j).dirty = false;
+            }
+            let en = l2.entry_mut(idx);
+            en.dirty = true; // data now (also) current in L2
+            if write {
+                en.sharers &= !(1u16 << owner);
+            }
+        }
+        {
+            let en = l2.entry_mut(idx);
+            if write {
+                let others = en.sharers & !(1u16 << core);
+                en.sharers = 1 << core;
+                en.dirty_in_l1 = true;
+                en.owner = core as u8;
+                for n in 0..cores.l1d.len() {
+                    if n != core && (others >> n) & 1 == 1 {
+                        cores.l1d[n].invalidate(line);
+                    }
+                }
+            } else {
+                if !is_instr {
+                    en.sharers |= 1 << core;
+                }
+                if peer_dirty {
+                    en.dirty_in_l1 = false;
+                    en.owner = NO_OWNER;
+                }
+            }
+        }
+        let lat = if peer_dirty {
+            counters.l1_to_l1 += 1;
+            p.l1_to_l1
+        } else {
+            if is_instr {
+                counters.l2_hits_instr += 1;
+            } else {
+                counters.l2_hits += 1;
+            }
+            p.l2_latency
+        };
+        Access { ready_at: start + lat, class: MemClass::L2Hit }
+    } else {
+        if is_instr {
+            counters.mem_accesses_instr += 1;
+        } else {
+            counters.mem_accesses += 1;
+        }
+        let (idx, ev) = l2.insert(line);
+        {
+            let en = l2.entry_mut(idx);
+            en.sharers = if is_instr { 0 } else { 1 << core };
+            en.dirty_in_l1 = write;
+            en.owner = if write { core as u8 } else { NO_OWNER };
+        }
+        if let Some(ev) = ev {
+            back_invalidate(cores, ev.line, ev.sharers);
+        }
+        Access { ready_at: start + p.l2_latency + p.mem_latency, class: MemClass::Mem }
+    }
+}
+
+/// CMP: write to a line held in S state — invalidate peers via directory.
+fn shared_upgrade(
+    l2: &mut Cache,
+    cores: &mut CoreCaches,
+    p: Params,
+    counters: &mut MemCounters,
+    core: usize,
+    line: u64,
+    now: u64,
+) -> Access {
+    let Some(idx) = l2.peek(line) else {
+        // Not tracked (inclusion violated by an unrelated eviction path);
+        // treat as silent upgrade.
+        return Access { ready_at: now, class: MemClass::L1 };
+    };
+    let others = l2.entry(idx).sharers & !(1u16 << core);
+    {
+        let e = l2.entry_mut(idx);
+        e.sharers = 1 << core;
+        e.dirty_in_l1 = true;
+        e.owner = core as u8;
+    }
+    if others == 0 {
+        return Access { ready_at: now, class: MemClass::L1 };
+    }
+    for n in 0..cores.l1d.len() {
+        if n != core && (others >> n) & 1 == 1 {
+            cores.l1d[n].invalidate(line);
+        }
+    }
+    counters.l2_hits += 1;
+    Access { ready_at: now + p.l2_latency, class: MemClass::L2Hit }
+}
+
+/// SMP: serve an L1 miss from the node's private L2, a remote node, or
+/// memory.
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn private_fetch(
+    l2s: &mut [Cache],
+    cores: &mut CoreCaches,
+    p: Params,
+    counters: &mut MemCounters,
+    core: usize,
+    line: u64,
+    write: bool,
+    is_instr: bool,
+    now: u64,
+) -> Access {
+    if l2s[core].probe(line).is_some() {
+        if is_instr {
+            counters.l2_hits_instr += 1;
+        } else {
+            counters.l2_hits += 1;
+        }
+        if write {
+            // Bus upgrade if shared elsewhere.
+            let shared_elsewhere =
+                (0..l2s.len()).any(|n| n != core && l2s[n].peek(line).is_some());
+            if shared_elsewhere {
+                for n in 0..l2s.len() {
+                    if n != core {
+                        l2s[n].invalidate(line);
+                        cores.invalidate_all(n, line);
+                    }
+                }
+                counters.coherence_transfers += 1;
+                if let Some(i) = l2s[core].peek(line) {
+                    l2s[core].entry_mut(i).dirty = true;
+                }
+                return Access {
+                    ready_at: now + p.coherence_latency,
+                    class: MemClass::Coherence,
+                };
+            }
+            if let Some(i) = l2s[core].peek(line) {
+                l2s[core].entry_mut(i).dirty = true;
+            }
+        }
+        return Access { ready_at: now + p.l2_latency, class: MemClass::L2Hit };
+    }
+    // Snoop remote nodes.
+    let mut remote_dirty = false;
+    for (n, l2n) in l2s.iter().enumerate() {
+        if n == core {
+            continue;
+        }
+        if let Some(i) = l2n.peek(line) {
+            if l2n.entry(i).dirty {
+                remote_dirty = true;
+            }
+        }
+    }
+    let (lat, class) = if remote_dirty {
+        counters.coherence_transfers += 1;
+        (p.l2_latency + p.coherence_latency, MemClass::Coherence)
+    } else {
+        if is_instr {
+            counters.mem_accesses_instr += 1;
+        } else {
+            counters.mem_accesses += 1;
+        }
+        (p.l2_latency + p.mem_latency, MemClass::Mem)
+    };
+    // Downgrade (read) or invalidate (write) remote copies.
+    for n in 0..l2s.len() {
+        if n == core {
+            continue;
+        }
+        if write {
+            l2s[n].invalidate(line);
+            cores.invalidate_all(n, line);
+        } else if let Some(i) = l2s[n].peek(line) {
+            l2s[n].entry_mut(i).dirty = false;
+            if let Some(j) = cores.l1d[n].peek(line) {
+                cores.l1d[n].entry_mut(j).dirty = false;
+            }
+        }
+    }
+    let (idx, ev) = l2s[core].insert(line);
+    l2s[core].entry_mut(idx).dirty = write;
+    if let Some(ev) = ev {
+        cores.invalidate_all(core, ev.line);
+    }
+    Access { ready_at: now + lat, class }
+}
+
+/// SMP: write to a line held in S state — bus upgrade.
+#[allow(clippy::needless_range_loop)]
+fn private_upgrade(
+    l2s: &mut [Cache],
+    cores: &mut CoreCaches,
+    p: Params,
+    counters: &mut MemCounters,
+    core: usize,
+    line: u64,
+    now: u64,
+) -> Access {
+    let shared_elsewhere = (0..l2s.len()).any(|n| n != core && l2s[n].peek(line).is_some());
+    if let Some(i) = l2s[core].peek(line) {
+        l2s[core].entry_mut(i).dirty = true;
+    }
+    if shared_elsewhere {
+        for n in 0..l2s.len() {
+            if n != core {
+                l2s[n].invalidate(line);
+                cores.invalidate_all(n, line);
+            }
+        }
+        counters.coherence_transfers += 1;
+        Access { ready_at: now + p.coherence_latency, class: MemClass::Coherence }
+    } else {
+        Access { ready_at: now, class: MemClass::L1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn cmp2() -> MemSys {
+        let mut cfg = MachineConfig::fat_cmp(2, 1 << 20, 10);
+        cfg.stream_buf = 0; // keep the instruction path simple here
+        MemSys::new(&cfg)
+    }
+
+    #[test]
+    fn cold_miss_goes_to_memory_then_hits() {
+        let mut m = cmp2();
+        let a = m.data_access(0, 100, false, 0);
+        assert_eq!(a.class, MemClass::Mem);
+        assert!(a.ready_at >= 400);
+        let b = m.data_access(0, 100, false, a.ready_at);
+        assert_eq!(b.class, MemClass::L1);
+        assert_eq!(m.counters.l1d_misses, 1);
+    }
+
+    #[test]
+    fn cross_core_read_is_l2_hit() {
+        let mut m = cmp2();
+        m.data_access(0, 100, false, 0);
+        let a = m.data_access(1, 100, false, 1000);
+        assert_eq!(a.class, MemClass::L2Hit);
+        assert_eq!(m.counters.l2_hits, 1);
+    }
+
+    #[test]
+    fn dirty_line_transfers_l1_to_l1() {
+        let mut m = cmp2();
+        m.data_access(0, 100, true, 0); // core 0 writes (M in its L1)
+        let a = m.data_access(1, 100, false, 1000);
+        assert_eq!(a.class, MemClass::L2Hit);
+        assert_eq!(m.counters.l1_to_l1, 1);
+        let b = m.data_access(1, 100, false, 2000);
+        assert_eq!(b.class, MemClass::L1); // now resident in core 1's L1
+    }
+
+    #[test]
+    fn write_invalidates_peer_l1() {
+        let mut m = cmp2();
+        m.data_access(0, 100, false, 0);
+        m.data_access(1, 100, false, 500); // both L1s share the line
+        m.data_access(0, 100, true, 1000); // core 0 upgrades
+        let a = m.data_access(1, 100, false, 2000);
+        assert_eq!(a.class, MemClass::L2Hit, "peer copy must have been invalidated");
+    }
+
+    #[test]
+    fn upgrade_without_sharers_is_silent() {
+        let mut m = cmp2();
+        m.data_access(0, 100, false, 0); // S in core 0 only
+        let a = m.data_access(0, 100, true, 1000);
+        assert_eq!(a.class, MemClass::L1, "sole sharer upgrades silently");
+    }
+
+    #[test]
+    fn smp_dirty_remote_is_coherence_miss() {
+        let mut cfg = MachineConfig::smp(2, 1 << 20, 10, crate::config::CoreKind::fat());
+        cfg.stream_buf = 0;
+        let mut m = MemSys::new(&cfg);
+        m.data_access(0, 100, true, 0); // node 0 holds it dirty
+        let a = m.data_access(1, 100, false, 1000);
+        assert_eq!(a.class, MemClass::Coherence);
+        assert_eq!(m.counters.coherence_transfers, 1);
+    }
+
+    #[test]
+    fn smp_clean_remote_goes_to_memory() {
+        let mut cfg = MachineConfig::smp(2, 1 << 20, 10, crate::config::CoreKind::fat());
+        cfg.stream_buf = 0;
+        let mut m = MemSys::new(&cfg);
+        m.data_access(0, 100, false, 0); // node 0, clean
+        let a = m.data_access(1, 100, false, 1000);
+        assert_eq!(a.class, MemClass::Mem);
+    }
+
+    #[test]
+    fn smp_write_upgrade_costs_bus_transaction() {
+        let mut cfg = MachineConfig::smp(2, 1 << 20, 10, crate::config::CoreKind::fat());
+        cfg.stream_buf = 0;
+        let mut m = MemSys::new(&cfg);
+        m.data_access(0, 100, false, 0);
+        m.data_access(1, 100, false, 500); // shared across nodes
+        let a = m.data_access(0, 100, true, 1000); // upgrade
+        assert_eq!(a.class, MemClass::Coherence);
+        // Node 1 lost its copy.
+        let b = m.data_access(1, 100, false, 2000);
+        assert_eq!(b.class, MemClass::Coherence, "dirty at node 0 now");
+    }
+
+    #[test]
+    fn bank_queueing_delays_bursts() {
+        let mut cfg = MachineConfig::fat_cmp(4, 1 << 20, 10);
+        cfg.l2_banks = 1;
+        cfg.l2_bank_occupancy = 8;
+        cfg.stream_buf = 0;
+        let mut m = MemSys::new(&cfg);
+        m.data_access(0, 10, false, 0);
+        m.data_access(0, 20, false, 0);
+        let a = m.data_access(1, 10, false, 1000);
+        let b = m.data_access(2, 20, false, 1000);
+        assert_eq!(a.class, MemClass::L2Hit);
+        assert_eq!(b.class, MemClass::L2Hit);
+        assert!(b.ready_at > a.ready_at, "second access must queue behind the first");
+        assert!(m.counters.l2_queued_accesses >= 1);
+    }
+
+    #[test]
+    fn instr_fetch_misses_then_hits() {
+        let mut m = cmp2();
+        let a = m.instr_access(0, 5000, 0);
+        assert_eq!(a.class, MemClass::Mem);
+        let b = m.instr_access(0, 5000, 1000);
+        assert_eq!(b.class, MemClass::L1);
+        assert_eq!(m.counters.l1i_misses, 1);
+    }
+
+    #[test]
+    fn stream_buffer_catches_sequential_fetch() {
+        let mut cfg = MachineConfig::fat_cmp(1, 1 << 20, 10);
+        cfg.stream_buf = 8;
+        let mut m = MemSys::new(&cfg);
+        let a = m.instr_access(0, 9000, 0);
+        assert_eq!(a.class, MemClass::Mem);
+        let b = m.instr_access(0, 9001, a.ready_at + 50);
+        assert_eq!(b.class, MemClass::L2Hit);
+        assert_eq!(m.counters.stream_hits, 1);
+    }
+
+    #[test]
+    fn l2_eviction_back_invalidates_l1() {
+        // Tiny L2 (forced evictions) but roomy L1: inclusion must purge L1.
+        let mut cfg = MachineConfig::fat_cmp(1, 4096, 10); // 64-line L2
+        cfg.l1d = crate::config::CacheGeom::new(64 << 10, 2, 1);
+        cfg.stream_buf = 0;
+        let mut m = MemSys::new(&cfg);
+        // Fill the L2 set that line 0 maps to (64 lines / 1 way... assoc 16
+        // -> 4 sets). Lines 0,4,8,... map to set 0.
+        m.data_access(0, 0, false, 0);
+        for k in 1..=16 {
+            m.data_access(0, (k * 4) as u64, false, k as u64 * 10);
+        }
+        // Line 0 must have been evicted from L2 — and therefore from L1.
+        let a = m.data_access(0, 0, false, 10_000);
+        assert_eq!(a.class, MemClass::Mem, "L1 copy must not outlive L2 (inclusion)");
+    }
+
+    #[test]
+    fn counters_reset_preserves_cache_state() {
+        let mut m = cmp2();
+        m.data_access(0, 100, false, 0);
+        m.reset_counters();
+        assert_eq!(m.counters.l1d_accesses, 0);
+        let a = m.data_access(0, 100, false, 1000);
+        assert_eq!(a.class, MemClass::L1, "cache contents must survive reset");
+    }
+}

@@ -1,0 +1,291 @@
+//! Cycle accounting and simulation results.
+//!
+//! Every simulated cycle of every active core lands in exactly one
+//! [`CycleClass`] bucket; the per-class totals form the execution-time
+//! breakdowns of the paper's Figs. 3, 5, 6(b,c) and 7. Event counters
+//! (misses per level, coherence transfers, …) feed the analytic validation
+//! model and the reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a cycle went. Mirrors the paper's breakdown with its §5
+/// refinement of data stalls into L2-hit / off-chip / coherence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum CycleClass {
+    /// At least one instruction retired this cycle.
+    Compute = 0,
+    /// Instruction fetch waiting on the L2 (including stream-buffer
+    /// fills in flight).
+    IStallL2 = 1,
+    /// Instruction fetch waiting on off-chip memory.
+    IStallMem = 2,
+    /// Data access that missed L1D but hit on-chip (shared L2 or a peer
+    /// L1) — the component the paper shows rising "from oblivion".
+    DStallL2Hit = 3,
+    /// Data access waiting on off-chip memory.
+    DStallMem = 4,
+    /// Data access served by a remote node's cache (SMP coherence miss).
+    DStallCoherence = 5,
+    /// Branch mispredictions, context-switch overhead, fences.
+    Other = 6,
+}
+
+pub const N_CLASSES: usize = 7;
+
+pub const ALL_CLASSES: [CycleClass; N_CLASSES] = [
+    CycleClass::Compute,
+    CycleClass::IStallL2,
+    CycleClass::IStallMem,
+    CycleClass::DStallL2Hit,
+    CycleClass::DStallMem,
+    CycleClass::DStallCoherence,
+    CycleClass::Other,
+];
+
+impl CycleClass {
+    pub fn label(self) -> &'static str {
+        match self {
+            CycleClass::Compute => "Computation",
+            CycleClass::IStallL2 => "I-stall (L2)",
+            CycleClass::IStallMem => "I-stall (Mem)",
+            CycleClass::DStallL2Hit => "D-stall (L2 hit)",
+            CycleClass::DStallMem => "D-stall (Mem)",
+            CycleClass::DStallCoherence => "D-stall (Coherence)",
+            CycleClass::Other => "Other stalls",
+        }
+    }
+
+    pub fn is_data_stall(self) -> bool {
+        matches!(
+            self,
+            CycleClass::DStallL2Hit | CycleClass::DStallMem | CycleClass::DStallCoherence
+        )
+    }
+
+    pub fn is_instr_stall(self) -> bool {
+        matches!(self, CycleClass::IStallL2 | CycleClass::IStallMem)
+    }
+}
+
+/// Per-class cycle totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Breakdown {
+    pub cycles: [u64; N_CLASSES],
+}
+
+impl Breakdown {
+    #[inline]
+    pub fn charge(&mut self, class: CycleClass, n: u64) {
+        self.cycles[class as usize] += n;
+    }
+
+    pub fn get(&self, class: CycleClass) -> u64 {
+        self.cycles[class as usize]
+    }
+
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    pub fn merge(&mut self, other: &Breakdown) {
+        for i in 0..N_CLASSES {
+            self.cycles[i] += other.cycles[i];
+        }
+    }
+
+    /// Fraction of total time per class, in `ALL_CLASSES` order.
+    pub fn fractions(&self) -> [f64; N_CLASSES] {
+        let total = self.total().max(1) as f64;
+        let mut out = [0.0; N_CLASSES];
+        for (o, &c) in out.iter_mut().zip(self.cycles.iter()) {
+            *o = c as f64 / total;
+        }
+        out
+    }
+
+    pub fn compute_fraction(&self) -> f64 {
+        self.get(CycleClass::Compute) as f64 / self.total().max(1) as f64
+    }
+
+    pub fn data_stall_fraction(&self) -> f64 {
+        let d: u64 = ALL_CLASSES
+            .iter()
+            .filter(|c| c.is_data_stall())
+            .map(|&c| self.get(c))
+            .sum();
+        d as f64 / self.total().max(1) as f64
+    }
+
+    pub fn instr_stall_fraction(&self) -> f64 {
+        let d: u64 = ALL_CLASSES
+            .iter()
+            .filter(|c| c.is_instr_stall())
+            .map(|&c| self.get(c))
+            .sum();
+        d as f64 / self.total().max(1) as f64
+    }
+
+    pub fn l2_hit_stall_fraction(&self) -> f64 {
+        self.get(CycleClass::DStallL2Hit) as f64 / self.total().max(1) as f64
+    }
+}
+
+/// Memory-system event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemCounters {
+    pub l1d_accesses: u64,
+    pub l1d_misses: u64,
+    pub l1i_accesses: u64,
+    pub l1i_misses: u64,
+    /// Data-side L1 misses that hit in the (shared or private) L2.
+    pub l2_hits: u64,
+    /// Instruction-side L1 misses that hit in the L2.
+    pub l2_hits_instr: u64,
+    /// L1 misses served by a peer L1 on the same chip (CMP).
+    pub l1_to_l1: u64,
+    /// Data-side misses that went off-chip to memory.
+    pub mem_accesses: u64,
+    /// Instruction-side misses that went off-chip to memory.
+    pub mem_accesses_instr: u64,
+    /// Misses served dirty from a remote node (SMP coherence).
+    pub coherence_transfers: u64,
+    /// Stream-buffer hits (I-side prefetch successes).
+    pub stream_hits: u64,
+    /// Cumulative cycles of L2 bank queueing delay experienced.
+    pub l2_queue_cycles: u64,
+    /// Number of L2 bank accesses that found the bank busy.
+    pub l2_queued_accesses: u64,
+}
+
+impl MemCounters {
+    pub fn merge(&mut self, o: &MemCounters) {
+        self.l1d_accesses += o.l1d_accesses;
+        self.l1d_misses += o.l1d_misses;
+        self.l1i_accesses += o.l1i_accesses;
+        self.l1i_misses += o.l1i_misses;
+        self.l2_hits += o.l2_hits;
+        self.l2_hits_instr += o.l2_hits_instr;
+        self.l1_to_l1 += o.l1_to_l1;
+        self.mem_accesses += o.mem_accesses;
+        self.mem_accesses_instr += o.mem_accesses_instr;
+        self.coherence_transfers += o.coherence_transfers;
+        self.stream_hits += o.stream_hits;
+        self.l2_queue_cycles += o.l2_queue_cycles;
+        self.l2_queued_accesses += o.l2_queued_accesses;
+    }
+
+    pub fn l1d_miss_rate(&self) -> f64 {
+        self.l1d_misses as f64 / self.l1d_accesses.max(1) as f64
+    }
+
+    pub fn l2_miss_rate(&self) -> f64 {
+        let l2_lookups = self.l2_hits + self.l1_to_l1 + self.mem_accesses + self.coherence_transfers;
+        (self.mem_accesses + self.coherence_transfers) as f64 / l2_lookups.max(1) as f64
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimResult {
+    pub machine: String,
+    /// Measured cycles (after warm-up).
+    pub cycles: u64,
+    /// Committed instructions across all cores during measurement.
+    pub instrs: u64,
+    /// Completed work units (transactions / queries).
+    pub units: u64,
+    /// Aggregate breakdown over active cores.
+    pub breakdown: Breakdown,
+    /// Per-core breakdowns.
+    pub per_core: Vec<Breakdown>,
+    pub mem: MemCounters,
+    /// Mean cycles per completed unit (response-time metric), if any
+    /// units completed.
+    pub avg_unit_cycles: Option<f64>,
+}
+
+impl SimResult {
+    /// Aggregate user instructions per cycle — the paper's throughput
+    /// metric (§3).
+    pub fn uipc(&self) -> f64 {
+        self.instrs as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Cycles per instruction (per-core average).
+    pub fn cpi(&self) -> f64 {
+        self.breakdown.total() as f64 / self.instrs.max(1) as f64
+    }
+
+    /// CPI contribution of one class.
+    pub fn cpi_component(&self, class: CycleClass) -> f64 {
+        self.breakdown.get(class) as f64 / self.instrs.max(1) as f64
+    }
+
+    /// Units completed per million cycles.
+    pub fn units_per_mcycle(&self) -> f64 {
+        self.units as f64 * 1e6 / self.cycles.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_charging_and_fractions() {
+        let mut b = Breakdown::default();
+        b.charge(CycleClass::Compute, 60);
+        b.charge(CycleClass::DStallL2Hit, 25);
+        b.charge(CycleClass::DStallMem, 10);
+        b.charge(CycleClass::Other, 5);
+        assert_eq!(b.total(), 100);
+        assert!((b.compute_fraction() - 0.60).abs() < 1e-12);
+        assert!((b.data_stall_fraction() - 0.35).abs() < 1e-12);
+        assert!((b.l2_hit_stall_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(b.instr_stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_merge() {
+        let mut a = Breakdown::default();
+        a.charge(CycleClass::Compute, 10);
+        let mut b = Breakdown::default();
+        b.charge(CycleClass::Compute, 5);
+        b.charge(CycleClass::IStallL2, 3);
+        a.merge(&b);
+        assert_eq!(a.get(CycleClass::Compute), 15);
+        assert_eq!(a.get(CycleClass::IStallL2), 3);
+    }
+
+    #[test]
+    fn sim_result_metrics() {
+        let mut r = SimResult { cycles: 1000, instrs: 1500, ..Default::default() };
+        r.breakdown.charge(CycleClass::Compute, 800);
+        r.breakdown.charge(CycleClass::DStallMem, 200);
+        assert!((r.uipc() - 1.5).abs() < 1e-12);
+        assert!((r.cpi() - 1000.0 / 1500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(CycleClass::DStallL2Hit.is_data_stall());
+        assert!(CycleClass::DStallCoherence.is_data_stall());
+        assert!(!CycleClass::IStallL2.is_data_stall());
+        assert!(CycleClass::IStallMem.is_instr_stall());
+        assert!(!CycleClass::Compute.is_instr_stall());
+    }
+
+    #[test]
+    fn mem_counter_rates() {
+        let m = MemCounters {
+            l1d_accesses: 1000,
+            l1d_misses: 50,
+            l2_hits: 40,
+            mem_accesses: 10,
+            ..Default::default()
+        };
+        assert!((m.l1d_miss_rate() - 0.05).abs() < 1e-12);
+        assert!((m.l2_miss_rate() - 0.2).abs() < 1e-12);
+    }
+}

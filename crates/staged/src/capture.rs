@@ -1,0 +1,173 @@
+//! Trace capture for staged vs conventional execution.
+
+use dbcmp_engine::exec::{AggSpec, CmpOp, Pred, Scalar};
+use dbcmp_engine::{Database, Value};
+use dbcmp_trace::TraceBundle;
+use dbcmp_workloads::tpch::{QueryKind, TpchDb, MAX_DATE};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::pipeline::{ExecPolicy, PipelineSpec, StagedPipeline};
+
+/// Build the scan→filter→aggregate pipeline spec for a scan-dominated
+/// query (Q1/Q6 — the shapes the staged engine pipelines).
+pub fn pipeline_for(kind: QueryKind, h: &TpchDb, rng: &mut StdRng) -> PipelineSpec {
+    const L_QTY: usize = 4;
+    const L_PRICE: usize = 5;
+    const L_DISC: usize = 6;
+    const L_RFLAG: usize = 8;
+    const L_LSTAT: usize = 9;
+    const L_SHIP: usize = 10;
+    match kind {
+        QueryKind::Q1 => {
+            let delta = rng.gen_range(60..=120);
+            let disc_price = Scalar::MulDec(
+                Box::new(Scalar::Col(L_PRICE)),
+                Box::new(Scalar::Sub(
+                    Box::new(Scalar::ConstDec(100)),
+                    Box::new(Scalar::Col(L_DISC)),
+                )),
+            );
+            PipelineSpec {
+                table: h.lineitem,
+                pred: Pred::Cmp { col: L_SHIP, op: CmpOp::Le, val: Value::Date(MAX_DATE - delta) },
+                group_cols: vec![L_RFLAG, L_LSTAT],
+                aggs: vec![
+                    AggSpec::sum(Scalar::Col(L_QTY)),
+                    AggSpec::sum(Scalar::Col(L_PRICE)),
+                    AggSpec::sum(disc_price),
+                    AggSpec::count(),
+                ],
+            }
+        }
+        _ => {
+            // Q6 shape (also the fallback for join queries, which the
+            // staged pipeline does not cover).
+            let year_start = rng.gen_range(0..5) * 365;
+            let disc = rng.gen_range(2..=9);
+            PipelineSpec {
+                table: h.lineitem,
+                pred: Pred::And(vec![
+                    Pred::Cmp { col: L_SHIP, op: CmpOp::Ge, val: Value::Date(year_start) },
+                    Pred::Cmp { col: L_SHIP, op: CmpOp::Lt, val: Value::Date(year_start + 365) },
+                    Pred::Between {
+                        col: L_DISC,
+                        lo: Value::Decimal(disc - 1),
+                        hi: Value::Decimal(disc + 1),
+                    },
+                ]),
+                group_cols: vec![],
+                aggs: vec![AggSpec::sum(Scalar::MulDec(
+                    Box::new(Scalar::Col(L_PRICE)),
+                    Box::new(Scalar::Col(L_DISC)),
+                ))],
+            }
+        }
+    }
+}
+
+/// Capture `queries` DSS query executions under `policy`. Returns one
+/// bundle whose threads are: for Volcano/Staged — one per client; for
+/// StagedParallel — producers + consumer interleaved (consumer first).
+pub fn capture_staged_dss(
+    db: &mut Database,
+    h: &TpchDb,
+    kinds: &[QueryKind],
+    policy: ExecPolicy,
+    queries: usize,
+    seed: u64,
+) -> TraceBundle {
+    let mut rng = dbcmp_workloads::tpch::tpch_rng(seed, 0);
+    match policy {
+        ExecPolicy::Volcano | ExecPolicy::Staged { .. } => {
+            let mut tcs = vec![db.trace_ctx()];
+            for q in 0..queries {
+                let spec = pipeline_for(kinds[q % kinds.len()], h, &mut rng);
+                db.statement_overhead(&mut tcs[0]);
+                StagedPipeline::new(spec).run(db, policy, &mut tcs);
+                tcs[0].unit_end();
+            }
+            TraceBundle::new(db.regions().clone(), vec![tcs.remove(0).finish()])
+        }
+        ExecPolicy::StagedParallel { producers, .. } => {
+            let mut tcs: Vec<_> = (0..=producers).map(|_| db.trace_ctx()).collect();
+            for q in 0..queries {
+                let spec = pipeline_for(kinds[q % kinds.len()], h, &mut rng);
+                db.statement_overhead(&mut tcs[0]);
+                StagedPipeline::new(spec).run(db, policy, &mut tcs);
+                tcs[0].unit_end();
+            }
+            TraceBundle::new(
+                db.regions().clone(),
+                tcs.into_iter().map(|t| t.finish()).collect(),
+            )
+        }
+    }
+}
+
+/// Run one query under a policy and return its rows (results check).
+pub fn staged_query_rows(
+    db: &mut Database,
+    h: &TpchDb,
+    kind: QueryKind,
+    policy: ExecPolicy,
+    seed: u64,
+) -> Vec<Vec<Value>> {
+    let mut rng = dbcmp_workloads::tpch::tpch_rng(seed, 9);
+    let spec = pipeline_for(kind, h, &mut rng);
+    let n_ctx = match policy {
+        ExecPolicy::StagedParallel { producers, .. } => producers + 1,
+        _ => 1,
+    };
+    let mut tcs: Vec<_> = (0..n_ctx).map(|_| db.null_ctx()).collect();
+    StagedPipeline::new(spec).run(db, policy, &mut tcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcmp_workloads::tpch::{build_tpch, TpchScale};
+
+    #[test]
+    fn policies_agree_on_query_results() {
+        let (mut db, h) = build_tpch(TpchScale::tiny(), 51);
+        let sort = |mut v: Vec<Vec<Value>>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v
+        };
+        let v = sort(staged_query_rows(&mut db, &h, QueryKind::Q1, ExecPolicy::Volcano, 1));
+        let s = sort(staged_query_rows(&mut db, &h, QueryKind::Q1, ExecPolicy::Staged { batch: 64 }, 1));
+        let p = sort(staged_query_rows(
+            &mut db,
+            &h,
+            QueryKind::Q1,
+            ExecPolicy::StagedParallel { batch: 64, producers: 3 },
+            1,
+        ));
+        assert_eq!(v, s);
+        assert_eq!(v, p);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn capture_thread_counts_match_policy() {
+        let (mut db, h) = build_tpch(TpchScale::tiny(), 52);
+        let b1 = capture_staged_dss(&mut db, &h, &[QueryKind::Q6], ExecPolicy::Volcano, 2, 1);
+        assert_eq!(b1.threads.len(), 1);
+        assert_eq!(b1.total_units(), 2);
+
+        let b2 = capture_staged_dss(
+            &mut db,
+            &h,
+            &[QueryKind::Q6],
+            ExecPolicy::StagedParallel { batch: 64, producers: 3 },
+            2,
+            1,
+        );
+        assert_eq!(b2.threads.len(), 4);
+        // Work must be distributed: producers carry most instructions.
+        let cons = b2.threads[0].instrs();
+        let prod: u64 = b2.threads[1..].iter().map(|t| t.instrs()).sum();
+        assert!(prod > cons, "producers {prod} should outweigh consumer {cons}");
+    }
+}

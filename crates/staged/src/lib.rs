@@ -1,0 +1,37 @@
+//! `dbcmp-staged` — staged database execution (paper §6.3).
+//!
+//! A staged server processes work in *stages* rather than as monolithic
+//! requests: incoming queries decompose into packets routed through
+//! per-operator stages with private queues. The paper argues this design
+//! both (a) increases parallelism — every packet can be scheduled
+//! independently, soaking up idle hardware contexts on unsaturated
+//! workloads — and (b) improves L1 locality — batch (cohort) execution
+//! keeps one stage's code hot, and producer/consumer scheduling keeps
+//! intermediate data within L1-sized buffers (the STEPS idea applied to
+//! data).
+//!
+//! This crate implements those mechanisms over the `dbcmp-engine`
+//! substrate for the scan→filter→aggregate pipelines of the DSS queries:
+//!
+//! * [`ExecPolicy::Volcano`] — the conventional row-at-a-time baseline
+//!   (exactly the engine's executor).
+//! * [`ExecPolicy::Staged`] — cohort scheduling: each stage processes a
+//!   whole batch before the next stage runs; per-call interpretation
+//!   overhead amortizes over the batch and intermediate rows live in a
+//!   small reused buffer that stays cache-resident.
+//! * [`ExecPolicy::StagedParallel`] — additionally partitions the scan
+//!   across producer packets bound to different hardware contexts, with a
+//!   consumer stage aggregating — intra-query parallelism that cuts
+//!   unsaturated response time (paper §6.1).
+//!
+//! **Modeling note** (documented in DESIGN.md): when producer and
+//! consumer traces replay on different simulated contexts, the handoff
+//! *synchronization* is not timed (the simulator has no cross-thread
+//! ordering); the locality and parallelism effects — shared buffer lines,
+//! partitioned work — are captured.
+
+pub mod capture;
+pub mod pipeline;
+
+pub use capture::{capture_staged_dss, staged_query_rows};
+pub use pipeline::{BatchAgg, ExecPolicy, PipelineSpec, StagedPipeline};

@@ -1,0 +1,419 @@
+//! Staged pipelines: packets, stages, batch aggregation, policies.
+
+use dbcmp_engine::costs::instr;
+use dbcmp_engine::exec::{AggFunc, AggSpec, Pred};
+use dbcmp_engine::heap::Rid;
+use dbcmp_engine::{Database, TraceCtx, Value};
+use std::collections::{HashMap, HashSet};
+
+/// How to execute a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Conventional Volcano row-at-a-time (baseline).
+    Volcano,
+    /// Stage-at-a-time over batches of `batch` rows (cohort scheduling).
+    Staged { batch: usize },
+    /// Staged + scan partitioned across `producers` packets for parallel
+    /// contexts, one consumer aggregation stage.
+    StagedParallel { batch: usize, producers: usize },
+}
+
+/// Instructions of per-call interpretation overhead that batch execution
+/// amortizes per tuple per stage (the MonetDB/X100 argument the paper
+/// cites in §6.2).
+pub const CALL_OVERHEAD: u32 = 6;
+
+/// A scan→filter→aggregate pipeline specification (the shape of Q1/Q6).
+#[derive(Debug, Clone)]
+pub struct PipelineSpec {
+    pub table: usize,
+    pub pred: Pred,
+    pub group_cols: Vec<usize>,
+    pub aggs: Vec<AggSpec>,
+}
+
+/// Incremental group-by state for staged execution.
+#[derive(Debug)]
+pub struct BatchAgg {
+    group_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    groups: HashMap<Vec<Value>, AggState>,
+    /// Simulated address of the group table.
+    addr: u64,
+}
+
+#[derive(Debug, Clone)]
+struct AggState {
+    count: i64,
+    sums: Vec<i64>,
+    mins: Vec<i64>,
+    maxs: Vec<i64>,
+    distinct: Vec<HashSet<i64>>,
+}
+
+impl BatchAgg {
+    pub fn new(db: &Database, group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> Self {
+        BatchAgg {
+            addr: db.space.alloc_anon(64 * 1024),
+            group_cols,
+            aggs,
+            groups: HashMap::new(),
+        }
+    }
+
+    /// Fold one row into the state (traced like the engine's aggregate).
+    pub fn update(&mut self, row: &[Value], tc: &mut TraceCtx) {
+        tc.charge(tc.r.exec_agg, instr::AGG_UPDATE);
+        let key: Vec<Value> = self.group_cols.iter().map(|&c| row[c].clone()).collect();
+        let n_aggs = self.aggs.len();
+        let gi = self.groups.len() as u64;
+        let state = self.groups.entry(key).or_insert_with(|| AggState {
+            count: 0,
+            sums: vec![0; n_aggs],
+            mins: vec![i64::MAX; n_aggs],
+            maxs: vec![i64::MIN; n_aggs],
+            distinct: vec![HashSet::new(); n_aggs],
+        });
+        let line = self.addr + (gi % 1024) * 64;
+        tc.load_dep(line, 32);
+        tc.store(line, 32);
+        state.count += 1;
+        for (ai, spec) in self.aggs.iter().enumerate() {
+            let v = spec.input.eval_i64(row);
+            match spec.func {
+                AggFunc::Count | AggFunc::CountNonNull => {}
+                AggFunc::Sum | AggFunc::Avg => state.sums[ai] += v,
+                AggFunc::Min => state.mins[ai] = state.mins[ai].min(v),
+                AggFunc::Max => state.maxs[ai] = state.maxs[ai].max(v),
+                AggFunc::CountDistinct => {
+                    state.distinct[ai].insert(v);
+                }
+            }
+        }
+    }
+
+    /// Merge another partition's state (parallel consumers).
+    pub fn merge(&mut self, other: BatchAgg) {
+        for (key, o) in other.groups {
+            match self.groups.get_mut(&key) {
+                Some(s) => {
+                    s.count += o.count;
+                    for i in 0..s.sums.len() {
+                        s.sums[i] += o.sums[i];
+                        s.mins[i] = s.mins[i].min(o.mins[i]);
+                        s.maxs[i] = s.maxs[i].max(o.maxs[i]);
+                        s.distinct[i].extend(o.distinct[i].iter().copied());
+                    }
+                }
+                None => {
+                    self.groups.insert(key, o);
+                }
+            }
+        }
+    }
+
+    /// Emit final rows (group cols ++ aggregates), unordered.
+    pub fn finish(self) -> Vec<Vec<Value>> {
+        self.groups
+            .into_iter()
+            .map(|(key, s)| {
+                let mut out = key;
+                for (ai, spec) in self.aggs.iter().enumerate() {
+                    out.push(match spec.func {
+                        AggFunc::Count | AggFunc::CountNonNull => Value::Int(s.count),
+                        AggFunc::Sum => Value::Decimal(s.sums[ai]),
+                        AggFunc::Avg => Value::Decimal(if s.count == 0 {
+                            0
+                        } else {
+                            s.sums[ai] / s.count
+                        }),
+                        AggFunc::Min => Value::Decimal(s.mins[ai]),
+                        AggFunc::Max => Value::Decimal(s.maxs[ai]),
+                        AggFunc::CountDistinct => Value::Int(s.distinct[ai].len() as i64),
+                    });
+                }
+                out
+            })
+            .collect()
+    }
+}
+
+/// A runnable staged pipeline.
+pub struct StagedPipeline {
+    pub spec: PipelineSpec,
+}
+
+impl StagedPipeline {
+    pub fn new(spec: PipelineSpec) -> Self {
+        StagedPipeline { spec }
+    }
+
+    /// Conventional Volcano execution (one trace context).
+    pub fn run_volcano(&self, db: &Database, tc: &mut TraceCtx) -> Vec<Vec<Value>> {
+        let heap = db.table(self.spec.table);
+        let mut agg = BatchAgg::new(db, self.spec.group_cols.clone(), self.spec.aggs.clone());
+        let mut last_page = u32::MAX;
+        for rid in heap.rids().collect::<Vec<_>>() {
+            if rid.page != last_page {
+                heap.pin_page(rid.page, tc);
+                last_page = rid.page;
+            }
+            // Row-at-a-time: per-tuple operator crossings pay call
+            // overhead in each stage region.
+            tc.charge(tc.r.exec_scan, instr::SCAN_STEP + CALL_OVERHEAD);
+            let Some(row) = heap.read_at(rid, tc) else { continue };
+            tc.charge(tc.r.exec_filter, CALL_OVERHEAD);
+            if !self.spec.pred.eval(&row, tc) {
+                continue;
+            }
+            tc.charge(tc.r.exec_agg, CALL_OVERHEAD);
+            agg.update(&row, tc);
+        }
+        agg.finish()
+    }
+
+    /// Cohort-scheduled staged execution on one context: scan a batch,
+    /// filter the batch, aggregate the batch. Intermediate rows pass
+    /// through a small reused buffer.
+    pub fn run_staged(&self, db: &Database, tc: &mut TraceCtx, batch: usize) -> Vec<Vec<Value>> {
+        let heap = db.table(self.spec.table);
+        let row_width = (heap.schema.row_width() as u64).max(16);
+        // Buffer sized to one batch, reused every batch → stays resident.
+        let buf = db.space.alloc_anon(batch as u64 * row_width);
+        let mut agg = BatchAgg::new(db, self.spec.group_cols.clone(), self.spec.aggs.clone());
+
+        let rids: Vec<Rid> = heap.rids().collect();
+        let mut last_page = u32::MAX;
+        for chunk in rids.chunks(batch.max(1)) {
+            // Stage 1: scan the batch into the buffer.
+            tc.charge(tc.r.exec_scan, 40); // batch setup
+            let mut staged_rows = Vec::with_capacity(chunk.len());
+            for (i, rid) in chunk.iter().enumerate() {
+                if rid.page != last_page {
+                    heap.pin_page(rid.page, tc);
+                    last_page = rid.page;
+                }
+                tc.charge(tc.r.exec_scan, instr::SCAN_STEP);
+                if let Some(row) = heap.read_at(*rid, tc) {
+                    tc.store(buf + (i as u64 % batch as u64) * row_width, row_width as u32);
+                    staged_rows.push((i, row));
+                }
+            }
+            // Stage 2: filter the batch from the buffer.
+            tc.charge(tc.r.exec_filter, 40);
+            let mut passed = Vec::with_capacity(staged_rows.len());
+            for (i, row) in staged_rows {
+                tc.load(buf + (i as u64 % batch as u64) * row_width, row_width as u32);
+                if self.spec.pred.eval(&row, tc) {
+                    passed.push((i, row));
+                }
+            }
+            // Stage 3: aggregate the batch.
+            tc.charge(tc.r.exec_agg, 40);
+            for (i, row) in passed {
+                tc.load(buf + (i as u64 % batch as u64) * row_width, row_width as u32);
+                agg.update(&row, tc);
+            }
+        }
+        agg.finish()
+    }
+
+    /// Parallel staged execution: the scan is partitioned into
+    /// `producer_tcs.len()` page ranges, each producer scanning+filtering
+    /// into its own handoff buffer; the consumer aggregates all
+    /// partitions. Producer traces and the consumer trace replay on
+    /// different hardware contexts in the simulator.
+    pub fn run_staged_parallel(
+        &self,
+        db: &Database,
+        producer_tcs: &mut [TraceCtx],
+        consumer_tc: &mut TraceCtx,
+        batch: usize,
+    ) -> Vec<Vec<Value>> {
+        let heap = db.table(self.spec.table);
+        let row_width = (heap.schema.row_width() as u64).max(16);
+        let n_prod = producer_tcs.len().max(1);
+        let n_pages = heap.n_pages() as u32;
+        let pages_per = n_pages.div_ceil(n_prod as u32).max(1);
+
+        let mut agg = BatchAgg::new(db, self.spec.group_cols.clone(), self.spec.aggs.clone());
+        for (p, tc) in producer_tcs.iter_mut().enumerate() {
+            let buf = db.space.alloc_anon(batch as u64 * row_width);
+            let lo = p as u32 * pages_per;
+            let hi = (lo + pages_per).min(n_pages);
+            let mut batched: Vec<Vec<Value>> = Vec::with_capacity(batch);
+            let mut slot = 0u64;
+            for page in lo..hi {
+                heap.pin_page(page, tc);
+                for s in 0..heap.page_nslots(page) {
+                    tc.charge(tc.r.exec_scan, instr::SCAN_STEP);
+                    let Some(row) = heap.read_at(Rid { page, slot: s }, tc) else { continue };
+                    if !self.spec.pred.eval(&row, tc) {
+                        continue;
+                    }
+                    // Producer writes the surviving row into the handoff
+                    // buffer...
+                    tc.store(buf + (slot % batch as u64) * row_width, row_width as u32);
+                    slot += 1;
+                    batched.push(row);
+                    if batched.len() == batch {
+                        tc.fence(); // packet handoff
+                        // ...and the consumer reads it on its context.
+                        for (i, row) in batched.drain(..).enumerate() {
+                            consumer_tc
+                                .load(buf + (i as u64 % batch as u64) * row_width, row_width as u32);
+                            agg.update(&row, consumer_tc);
+                        }
+                    }
+                }
+            }
+            if !batched.is_empty() {
+                tc.fence();
+                for (i, row) in batched.drain(..).enumerate() {
+                    consumer_tc.load(buf + (i as u64 % batch as u64) * row_width, row_width as u32);
+                    agg.update(&row, consumer_tc);
+                }
+            }
+        }
+        agg.finish()
+    }
+
+    /// Execute under a policy with pre-made trace contexts: `tcs[0]` is
+    /// the primary (consumer) context.
+    pub fn run(&self, db: &Database, policy: ExecPolicy, tcs: &mut [TraceCtx]) -> Vec<Vec<Value>> {
+        match policy {
+            ExecPolicy::Volcano => self.run_volcano(db, &mut tcs[0]),
+            ExecPolicy::Staged { batch } => self.run_staged(db, &mut tcs[0], batch),
+            ExecPolicy::StagedParallel { batch, producers } => {
+                let (head, tail) = tcs.split_at_mut(1);
+                let n = producers.min(tail.len()).max(1);
+                self.run_staged_parallel(db, &mut tail[..n], &mut head[0], batch)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcmp_engine::exec::{CmpOp, Scalar};
+    use dbcmp_engine::{ColType, Schema};
+
+    fn sample() -> (Database, PipelineSpec) {
+        let mut db = Database::new();
+        let t = db.create_table(
+            "t",
+            Schema::new(vec![
+                ("id", ColType::Int),
+                ("grp", ColType::Int),
+                ("amount", ColType::Decimal),
+            ]),
+        );
+        let mut tc = db.null_ctx();
+        let mut txn = db.begin(&mut tc);
+        for i in 0..1000i64 {
+            db.insert(
+                &mut txn,
+                t,
+                &[Value::Int(i), Value::Int(i % 5), Value::Decimal(i)],
+                &mut tc,
+            )
+            .unwrap();
+        }
+        db.commit(txn, &mut tc).unwrap();
+        let spec = PipelineSpec {
+            table: t,
+            pred: Pred::Cmp { col: 0, op: CmpOp::Lt, val: Value::Int(800) },
+            group_cols: vec![1],
+            aggs: vec![AggSpec::count(), AggSpec::sum(Scalar::Col(2))],
+        };
+        (db, spec)
+    }
+
+    fn normalize(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        rows.sort_by_key(|r| r[0].as_i64());
+        rows
+    }
+
+    #[test]
+    fn all_policies_agree_on_results() {
+        let (db, spec) = sample();
+        let p = StagedPipeline::new(spec);
+
+        let mut tc = db.null_ctx();
+        let volcano = normalize(p.run_volcano(&db, &mut tc));
+
+        let mut tc = db.null_ctx();
+        let staged = normalize(p.run_staged(&db, &mut tc, 64));
+
+        let mut prods = vec![db.null_ctx(), db.null_ctx(), db.null_ctx()];
+        let mut cons = db.null_ctx();
+        let parallel = normalize(p.run_staged_parallel(&db, &mut prods, &mut cons, 64));
+
+        assert_eq!(volcano, staged);
+        assert_eq!(volcano, parallel);
+        assert_eq!(volcano.len(), 5);
+        // Verify one group: grp 0 → ids 0,5,...,795 → count 160.
+        assert_eq!(volcano[0][1], Value::Int(160));
+    }
+
+    #[test]
+    fn staged_executes_fewer_instructions() {
+        // The amortized per-call overhead must show up as an instruction
+        // reduction (the §6.2 effect).
+        let (db, spec) = sample();
+        let p = StagedPipeline::new(spec);
+        let mut tc_v = db.null_ctx();
+        p.run_volcano(&db, &mut tc_v);
+        let mut tc_s = db.null_ctx();
+        p.run_staged(&db, &mut tc_s, 128);
+        assert!(
+            tc_s.instrs() < tc_v.instrs(),
+            "staged {} must beat volcano {}",
+            tc_s.instrs(),
+            tc_v.instrs()
+        );
+    }
+
+    #[test]
+    fn parallel_producers_split_work() {
+        let (db, spec) = sample();
+        let p = StagedPipeline::new(spec);
+        let mut prods = vec![db.trace_ctx(), db.trace_ctx()];
+        let mut cons = db.trace_ctx();
+        p.run_staged_parallel(&db, &mut prods, &mut cons, 64);
+        let i0 = prods[0].instrs();
+        let i1 = prods[1].instrs();
+        assert!(i0 > 0 && i1 > 0, "both producers must work: {i0} {i1}");
+        let ratio = i0 as f64 / i1 as f64;
+        assert!((0.4..=2.5).contains(&ratio), "work split roughly evenly: {ratio}");
+        assert!(cons.instrs() > 0);
+    }
+
+    #[test]
+    fn batch_agg_merge_equals_single() {
+        let (db, spec) = sample();
+        let mut tc = db.null_ctx();
+        let rows: Vec<Vec<Value>> = {
+            let heap = db.table(spec.table);
+            heap.rids().filter_map(|r| heap.read_at(r, &mut tc)).collect()
+        };
+        // Single.
+        let mut one = BatchAgg::new(&db, spec.group_cols.clone(), spec.aggs.clone());
+        for r in &rows {
+            one.update(r, &mut tc);
+        }
+        // Split + merge.
+        let mut a = BatchAgg::new(&db, spec.group_cols.clone(), spec.aggs.clone());
+        let mut b = BatchAgg::new(&db, spec.group_cols.clone(), spec.aggs.clone());
+        for (i, r) in rows.iter().enumerate() {
+            if i % 2 == 0 {
+                a.update(r, &mut tc);
+            } else {
+                b.update(r, &mut tc);
+            }
+        }
+        a.merge(b);
+        assert_eq!(normalize(one.finish()), normalize(a.finish()));
+    }
+}

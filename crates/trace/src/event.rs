@@ -1,0 +1,208 @@
+//! Packed trace events.
+//!
+//! One event per `u64`. Traces routinely run to tens of millions of events
+//! across dozens of client threads, so the representation matters: 8 bytes
+//! per event keeps a 64-client OLTP capture in the low hundreds of MB.
+//!
+//! Layout (bit 63 is the MSB):
+//!
+//! ```text
+//! op=00 Exec:   [63:62]=00 [61:52]=region(10) [31:0]=instrs
+//! op=01 Load:   [63:62]=01 [61]=dep [60:49]=size(12) [47:0]=addr
+//! op=10 Store:  [63:62]=10          [60:49]=size(12) [47:0]=addr
+//! op=11 Marker: [63:62]=11 [1:0]=kind (0=Fence, 1=UnitEnd)
+//! ```
+//!
+//! Sizes are limited to [`MAX_ACCESS`] bytes; the [`Tracer`](crate::Tracer)
+//! splits larger transfers into multiple events.
+
+use crate::region::RegionId;
+
+/// Cache-line size assumed throughout the system (bytes).
+pub const CACHE_LINE: u64 = 64;
+
+/// Largest single load/store event payload, in bytes.
+pub const MAX_ACCESS: u32 = 4095;
+
+/// Largest instruction count encodable in one `Exec` event.
+pub const MAX_EXEC: u32 = u32::MAX;
+
+const OP_SHIFT: u32 = 62;
+const OP_EXEC: u64 = 0;
+const OP_LOAD: u64 = 1;
+const OP_STORE: u64 = 2;
+const OP_MARKER: u64 = 3;
+
+const DEP_BIT: u64 = 1 << 61;
+const SIZE_SHIFT: u32 = 49;
+const SIZE_MASK: u64 = 0xFFF;
+const ADDR_MASK: u64 = (1 << 48) - 1;
+const REGION_SHIFT: u32 = 52;
+const REGION_MASK: u64 = 0x3FF;
+
+const MARKER_FENCE: u64 = 0;
+const MARKER_UNIT_END: u64 = 1;
+
+/// A single packed event. See module docs for the bit layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedEvent(pub u64);
+
+/// Decoded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Execute `instrs` instructions fetched sequentially through `region`.
+    Exec { region: RegionId, instrs: u32 },
+    /// One load instruction touching `[addr, addr+size)`. `dep` marks a
+    /// load whose result gates subsequent instructions (pointer chase).
+    Load { addr: u64, size: u16, dep: bool },
+    /// One store instruction touching `[addr, addr+size)`.
+    Store { addr: u64, size: u16 },
+    /// Ordering fence (lock acquire/release, commit): the out-of-order core
+    /// drains its window before proceeding.
+    Fence,
+    /// A unit of work (transaction or query) completed — used for response
+    /// time and per-unit throughput accounting.
+    UnitEnd,
+}
+
+impl PackedEvent {
+    #[inline]
+    pub fn exec(region: RegionId, instrs: u32) -> Self {
+        debug_assert!((region as u64) <= REGION_MASK);
+        PackedEvent(
+            (OP_EXEC << OP_SHIFT) | ((region as u64) << REGION_SHIFT) | instrs as u64,
+        )
+    }
+
+    #[inline]
+    pub fn load(addr: u64, size: u32, dep: bool) -> Self {
+        debug_assert!((1..=MAX_ACCESS).contains(&size));
+        debug_assert!(addr <= ADDR_MASK);
+        let mut w = (OP_LOAD << OP_SHIFT) | ((size as u64 & SIZE_MASK) << SIZE_SHIFT) | (addr & ADDR_MASK);
+        if dep {
+            w |= DEP_BIT;
+        }
+        PackedEvent(w)
+    }
+
+    #[inline]
+    pub fn store(addr: u64, size: u32) -> Self {
+        debug_assert!((1..=MAX_ACCESS).contains(&size));
+        debug_assert!(addr <= ADDR_MASK);
+        PackedEvent((OP_STORE << OP_SHIFT) | ((size as u64 & SIZE_MASK) << SIZE_SHIFT) | (addr & ADDR_MASK))
+    }
+
+    #[inline]
+    pub fn fence() -> Self {
+        PackedEvent((OP_MARKER << OP_SHIFT) | MARKER_FENCE)
+    }
+
+    #[inline]
+    pub fn unit_end() -> Self {
+        PackedEvent((OP_MARKER << OP_SHIFT) | MARKER_UNIT_END)
+    }
+
+    /// Decode into the friendly representation.
+    #[inline]
+    pub fn decode(self) -> Event {
+        let w = self.0;
+        match w >> OP_SHIFT {
+            OP_EXEC => Event::Exec {
+                region: ((w >> REGION_SHIFT) & REGION_MASK) as RegionId,
+                instrs: w as u32,
+            },
+            OP_LOAD => Event::Load {
+                addr: w & ADDR_MASK,
+                size: ((w >> SIZE_SHIFT) & SIZE_MASK) as u16,
+                dep: w & DEP_BIT != 0,
+            },
+            OP_STORE => Event::Store {
+                addr: w & ADDR_MASK,
+                size: ((w >> SIZE_SHIFT) & SIZE_MASK) as u16,
+            },
+            _ => {
+                if w & 0b11 == MARKER_UNIT_END {
+                    Event::UnitEnd
+                } else {
+                    Event::Fence
+                }
+            }
+        }
+    }
+}
+
+impl Event {
+    /// Pack into the wire representation.
+    #[inline]
+    pub fn pack(self) -> PackedEvent {
+        match self {
+            Event::Exec { region, instrs } => PackedEvent::exec(region, instrs),
+            Event::Load { addr, size, dep } => PackedEvent::load(addr, size as u32, dep),
+            Event::Store { addr, size } => PackedEvent::store(addr, size as u32),
+            Event::Fence => PackedEvent::fence(),
+            Event::UnitEnd => PackedEvent::unit_end(),
+        }
+    }
+
+    /// Number of retired instructions this event represents.
+    #[inline]
+    pub fn instr_count(self) -> u64 {
+        match self {
+            Event::Exec { instrs, .. } => instrs as u64,
+            Event::Load { .. } | Event::Store { .. } => 1,
+            Event::Fence | Event::UnitEnd => 0,
+        }
+    }
+}
+
+/// Iterate over the cache lines touched by an access of `size` bytes at
+/// `addr` (inclusive of partial first/last lines).
+#[inline]
+pub fn lines_touched(addr: u64, size: u16) -> impl Iterator<Item = u64> {
+    let first = addr / CACHE_LINE;
+    let last = (addr + size.max(1) as u64 - 1) / CACHE_LINE;
+    (first..=last).map(|l| l * CACHE_LINE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_all_variants() {
+        let cases = [
+            Event::Exec { region: 0, instrs: 0 },
+            Event::Exec { region: 1023, instrs: u32::MAX },
+            Event::Load { addr: 0, size: 1, dep: false },
+            Event::Load { addr: (1 << 48) - 1, size: 4095, dep: true },
+            Event::Store { addr: 0xDEAD_BEEF, size: 64 },
+            Event::Fence,
+            Event::UnitEnd,
+        ];
+        for e in cases {
+            assert_eq!(e.pack().decode(), e, "roundtrip failed for {e:?}");
+        }
+    }
+
+    #[test]
+    fn instr_counts() {
+        assert_eq!(Event::Exec { region: 3, instrs: 17 }.instr_count(), 17);
+        assert_eq!(Event::Load { addr: 64, size: 8, dep: false }.instr_count(), 1);
+        assert_eq!(Event::Store { addr: 64, size: 8 }.instr_count(), 1);
+        assert_eq!(Event::Fence.instr_count(), 0);
+    }
+
+    #[test]
+    fn lines_touched_spans() {
+        // 8 bytes fully inside one line
+        assert_eq!(lines_touched(0, 8).collect::<Vec<_>>(), vec![0]);
+        // straddles a boundary
+        assert_eq!(lines_touched(60, 8).collect::<Vec<_>>(), vec![0, 64]);
+        // exactly one full line, aligned
+        assert_eq!(lines_touched(64, 64).collect::<Vec<_>>(), vec![64]);
+        // three lines
+        assert_eq!(lines_touched(32, 128).collect::<Vec<_>>(), vec![0, 64, 128]);
+        // size-0 treated as a 1-byte touch
+        assert_eq!(lines_touched(100, 0).collect::<Vec<_>>(), vec![64]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Trace summaries — cheap workload characterization without a simulator.
+//!
+//! Used by reports, calibration, and tests: per-event-type counts, unique
+//! data/instruction line counts (working-set proxies), and the
+//! dependent-load fraction (memory-level-parallelism proxy).
+
+use std::collections::HashSet;
+
+use crate::event::{lines_touched, Event, CACHE_LINE};
+use crate::region::{CodeRegions, INSTR_BYTES};
+use crate::tracer::ThreadTrace;
+
+/// Aggregate statistics over one or more thread traces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    pub instrs: u64,
+    pub loads: u64,
+    pub dep_loads: u64,
+    pub stores: u64,
+    pub fences: u64,
+    pub units: u64,
+    /// Unique data cache lines touched (data working set, in lines).
+    pub data_lines: u64,
+    /// Unique instruction cache lines covered by the executed regions
+    /// (instruction working set, in lines).
+    pub code_lines: u64,
+}
+
+impl TraceSummary {
+    /// Summarize a set of traces against their region table.
+    pub fn compute(regions: &CodeRegions, threads: &[ThreadTrace]) -> Self {
+        let mut s = TraceSummary::default();
+        let mut data_lines: HashSet<u64> = HashSet::new();
+        let mut regions_seen: HashSet<u16> = HashSet::new();
+        for t in threads {
+            for ev in t.iter() {
+                match ev {
+                    Event::Exec { region, instrs } => {
+                        s.instrs += instrs as u64;
+                        regions_seen.insert(region);
+                    }
+                    Event::Load { addr, size, dep } => {
+                        s.instrs += 1;
+                        s.loads += 1;
+                        if dep {
+                            s.dep_loads += 1;
+                        }
+                        data_lines.extend(lines_touched(addr, size));
+                    }
+                    Event::Store { addr, size } => {
+                        s.instrs += 1;
+                        s.stores += 1;
+                        data_lines.extend(lines_touched(addr, size));
+                    }
+                    Event::Fence => s.fences += 1,
+                    Event::UnitEnd => s.units += 1,
+                }
+            }
+        }
+        s.data_lines = data_lines.len() as u64;
+        s.code_lines = regions_seen
+            .iter()
+            .map(|&id| regions.get(id).footprint / CACHE_LINE)
+            .sum();
+        s
+    }
+
+    /// Data working set in bytes.
+    pub fn data_working_set(&self) -> u64 {
+        self.data_lines * CACHE_LINE
+    }
+
+    /// Instruction working set in bytes.
+    pub fn code_working_set(&self) -> u64 {
+        self.code_lines * CACHE_LINE
+    }
+
+    /// Fraction of loads that are dependent (pointer chases); lower means
+    /// more memory-level parallelism is available to an OoO core.
+    pub fn dep_load_fraction(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.dep_loads as f64 / self.loads as f64
+        }
+    }
+
+    /// Memory accesses per 1000 instructions.
+    pub fn accesses_per_kinstr(&self) -> f64 {
+        if self.instrs == 0 {
+            0.0
+        } else {
+            (self.loads + self.stores) as f64 * 1000.0 / self.instrs as f64
+        }
+    }
+
+    /// Sanity helper: expected fetches in instruction lines per instruction.
+    pub fn instr_bytes(&self) -> u64 {
+        self.instrs * INSTR_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn summary_counts() {
+        let mut regions = CodeRegions::new();
+        let r0 = regions.add("hot", 128, 1.0); // 2 lines
+        let r1 = regions.add("cold", 64, 1.0); // 1 line
+
+        let mut t = Tracer::recording();
+        t.exec(r0, 50);
+        t.load(0x40, 8);
+        t.load_dep(0x80, 8);
+        t.load(0x40, 8); // same line again: not a new working-set line
+        t.store(0x1000, 64);
+        t.fence();
+        t.exec(r1, 10);
+        t.unit_end();
+        let tr = t.finish();
+
+        let s = TraceSummary::compute(&regions, &[tr]);
+        assert_eq!(s.instrs, 50 + 10 + 3 + 1);
+        assert_eq!(s.loads, 3);
+        assert_eq!(s.dep_loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.units, 1);
+        assert_eq!(s.data_lines, 3); // 0x40, 0x80, 0x1000
+        assert_eq!(s.code_lines, 3); // 2 + 1
+        assert!((s.dep_load_fraction() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let regions = CodeRegions::new();
+        let s = TraceSummary::compute(&regions, &[]);
+        assert_eq!(s, TraceSummary::default());
+        assert_eq!(s.dep_load_fraction(), 0.0);
+        assert_eq!(s.accesses_per_kinstr(), 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Workloads: TPC-C-like OLTP and TPC-H-like DSS, plus trace capture.
+//!
+//! Mirrors the paper's §3 setup:
+//!
+//! * **OLTP** — a TPC-C-style transaction mix (all five transaction types,
+//!   NURand skew, 1% remote-warehouse payments, 1% NewOrder rollbacks) on
+//!   a scaled-down warehouse count. The paper ran 100 warehouses with 64
+//!   clients; scaling the data down does not change the microarchitectural
+//!   behaviour (paper §3, citing DBmbench), and we keep the access-pattern
+//!   shape: hot district counters, shared stock, insert-heavy order lines.
+//! * **DSS** — TPC-H-style queries Q1 and Q6 (scan-dominated), Q16
+//!   (join-dominated) and Q13 (mixed) with random predicates, on a
+//!   dbgen-like population.
+//!
+//! [`capture`] runs client sessions against the engine and produces
+//! [`TraceBundle`](dbcmp_trace::TraceBundle)s for the simulator.
+
+// Money literals are written as dollars_cents (e.g. 5_000_00 = $5000.00).
+#![allow(clippy::inconsistent_digit_grouping)]
+
+pub mod capture;
+pub mod rng;
+pub mod tpcc;
+pub mod tpch;
+
+pub use capture::{capture_oltp, capture_dss, CaptureOptions};
+pub use tpcc::{build_tpcc, TpccDb, TpccScale};
+pub use tpch::{build_tpch, QueryKind, TpchDb, TpchScale};

@@ -1,0 +1,527 @@
+//! TPC-C-like OLTP workload: schema, population, key packing.
+//!
+//! Nine tables with composite keys packed into `u64` B+Tree keys. The
+//! scale is configurable; the default keeps the data in the working-set
+//! regime of the paper's experiments (a few MB of hot data + indexes, so
+//! the primary working set straddles the 1-26 MB L2 sweep).
+
+pub mod txns;
+
+use dbcmp_engine::db::KeyFn;
+use dbcmp_engine::{ColType, Database, Schema, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::rng::{client_rng, last_name, uniform};
+
+/// Scale parameters (defaults are the capture-friendly scale-down of the
+/// paper's 100-warehouse database).
+#[derive(Debug, Clone, Copy)]
+pub struct TpccScale {
+    pub warehouses: u64,
+    pub districts_per_wh: u64,
+    pub customers_per_district: u64,
+    pub items: u64,
+    /// Initial orders per district (order lines follow).
+    pub orders_per_district: u64,
+}
+
+impl Default for TpccScale {
+    fn default() -> Self {
+        TpccScale {
+            warehouses: 4,
+            districts_per_wh: 10,
+            customers_per_district: 300,
+            items: 5_000,
+            orders_per_district: 300,
+        }
+    }
+}
+
+impl TpccScale {
+    /// A smaller scale for fast tests.
+    pub fn tiny() -> Self {
+        TpccScale {
+            warehouses: 2,
+            districts_per_wh: 2,
+            customers_per_district: 30,
+            items: 200,
+            orders_per_district: 30,
+        }
+    }
+}
+
+/// Table + index handles for the TPC-C database.
+#[derive(Debug, Clone)]
+pub struct TpccDb {
+    pub scale: TpccScale,
+    // tables
+    pub warehouse: usize,
+    pub district: usize,
+    pub customer: usize,
+    pub item: usize,
+    pub stock: usize,
+    pub orders: usize,
+    pub new_order: usize,
+    pub order_line: usize,
+    pub history: usize,
+    // indexes
+    pub idx_warehouse: usize,
+    pub idx_district: usize,
+    pub idx_customer: usize,
+    pub idx_customer_name: usize,
+    pub idx_item: usize,
+    pub idx_stock: usize,
+    pub idx_orders: usize,
+    pub idx_new_order: usize,
+    pub idx_order_line: usize,
+    /// NURand C constants fixed at load time (spec 2.1.6.1).
+    pub c_last: u64,
+    pub c_cust: u64,
+    pub c_item: u64,
+}
+
+// ---- key packing ----
+
+pub fn wh_key(w: u64) -> u64 {
+    w
+}
+
+pub fn dist_key(w: u64, d: u64) -> u64 {
+    (w << 8) | d
+}
+
+pub fn cust_key(w: u64, d: u64, c: u64) -> u64 {
+    (w << 28) | (d << 20) | c
+}
+
+/// Secondary index on (w, d, last-name hash, c).
+pub fn cust_name_key(w: u64, d: u64, name: &str, c: u64) -> u64 {
+    let h = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    }) & 0xFFFF;
+    (w << 44) | (d << 36) | (h << 20) | c
+}
+
+pub fn item_key(i: u64) -> u64 {
+    i
+}
+
+pub fn stock_key(w: u64, i: u64) -> u64 {
+    (w << 24) | i
+}
+
+pub fn order_key(w: u64, d: u64, o: u64) -> u64 {
+    (w << 40) | (d << 32) | o
+}
+
+pub fn order_line_key(w: u64, d: u64, o: u64, ol: u64) -> u64 {
+    (w << 44) | (d << 36) | (o << 8) | ol
+}
+
+/// Build and populate the TPC-C database.
+pub fn build_tpcc(scale: TpccScale, seed: u64) -> (Database, TpccDb) {
+    let mut db = Database::new();
+    let mut rng = client_rng(seed, usize::MAX);
+
+    let warehouse = db.create_table(
+        "warehouse",
+        Schema::new(vec![
+            ("w_id", ColType::Int),
+            ("w_name", ColType::Str(10)),
+            ("w_tax", ColType::Decimal),
+            ("w_ytd", ColType::Decimal),
+        ]),
+    );
+    let district = db.create_table(
+        "district",
+        Schema::new(vec![
+            ("d_w_id", ColType::Int),
+            ("d_id", ColType::Int),
+            ("d_tax", ColType::Decimal),
+            ("d_ytd", ColType::Decimal),
+            ("d_next_o_id", ColType::Int),
+        ]),
+    );
+    let customer = db.create_table(
+        "customer",
+        Schema::new(vec![
+            ("c_w_id", ColType::Int),
+            ("c_d_id", ColType::Int),
+            ("c_id", ColType::Int),
+            ("c_last", ColType::Str(16)),
+            ("c_first", ColType::Str(16)),
+            ("c_balance", ColType::Decimal),
+            ("c_ytd_payment", ColType::Decimal),
+            ("c_payment_cnt", ColType::Int),
+            ("c_delivery_cnt", ColType::Int),
+            ("c_data", ColType::Str(64)),
+        ]),
+    );
+    let item = db.create_table(
+        "item",
+        Schema::new(vec![
+            ("i_id", ColType::Int),
+            ("i_name", ColType::Str(24)),
+            ("i_price", ColType::Decimal),
+        ]),
+    );
+    let stock = db.create_table(
+        "stock",
+        Schema::new(vec![
+            ("s_w_id", ColType::Int),
+            ("s_i_id", ColType::Int),
+            ("s_quantity", ColType::Int),
+            ("s_ytd", ColType::Decimal),
+            ("s_order_cnt", ColType::Int),
+            ("s_remote_cnt", ColType::Int),
+        ]),
+    );
+    let orders = db.create_table(
+        "orders",
+        Schema::new(vec![
+            ("o_w_id", ColType::Int),
+            ("o_d_id", ColType::Int),
+            ("o_id", ColType::Int),
+            ("o_c_id", ColType::Int),
+            ("o_entry_d", ColType::Date),
+            ("o_carrier_id", ColType::Int),
+            ("o_ol_cnt", ColType::Int),
+        ]),
+    );
+    let new_order = db.create_table(
+        "new_order",
+        Schema::new(vec![
+            ("no_w_id", ColType::Int),
+            ("no_d_id", ColType::Int),
+            ("no_o_id", ColType::Int),
+        ]),
+    );
+    let order_line = db.create_table(
+        "order_line",
+        Schema::new(vec![
+            ("ol_w_id", ColType::Int),
+            ("ol_d_id", ColType::Int),
+            ("ol_o_id", ColType::Int),
+            ("ol_number", ColType::Int),
+            ("ol_i_id", ColType::Int),
+            ("ol_supply_w_id", ColType::Int),
+            ("ol_quantity", ColType::Int),
+            ("ol_amount", ColType::Decimal),
+        ]),
+    );
+    let history = db.create_table(
+        "history",
+        Schema::new(vec![
+            ("h_c_id", ColType::Int),
+            ("h_w_id", ColType::Int),
+            ("h_amount", ColType::Decimal),
+            ("h_date", ColType::Date),
+        ]),
+    );
+
+    // ---- population ----
+    let mut tc = db.null_ctx();
+    let mut txn = db.begin(&mut tc);
+
+    for w in 1..=scale.warehouses {
+        db.insert(
+            &mut txn,
+            warehouse,
+            &[
+                Value::Int(w as i64),
+                Value::Str(format!("WH{w}")),
+                Value::Decimal(rng.gen_range(0..=20)), // 0-0.20 tax
+                Value::Decimal(300_000_00),
+            ],
+            &mut tc,
+        )
+        .expect("populate warehouse");
+        for d in 1..=scale.districts_per_wh {
+            db.insert(
+                &mut txn,
+                district,
+                &[
+                    Value::Int(w as i64),
+                    Value::Int(d as i64),
+                    Value::Decimal(rng.gen_range(0..=20)),
+                    Value::Decimal(30_000_00),
+                    Value::Int(scale.orders_per_district as i64 + 1),
+                ],
+                &mut tc,
+            )
+            .expect("populate district");
+            for c in 1..=scale.customers_per_district {
+                // 2.4.1: the first 1000 customers cycle through the
+                // syllable names; beyond that, NURand-style numbers.
+                let lname = last_name(if c <= 1000 { c - 1 } else { c % 1000 });
+                db.insert(
+                    &mut txn,
+                    customer,
+                    &[
+                        Value::Int(w as i64),
+                        Value::Int(d as i64),
+                        Value::Int(c as i64),
+                        Value::Str(lname),
+                        Value::Str(format!("First{c}")),
+                        Value::Decimal(-10_00),
+                        Value::Decimal(10_00),
+                        Value::Int(1),
+                        Value::Int(0),
+                        Value::Str("customer data filler field".into()),
+                    ],
+                    &mut tc,
+                )
+                .expect("populate customer");
+            }
+        }
+    }
+    for i in 1..=scale.items {
+        db.insert(
+            &mut txn,
+            item,
+            &[
+                Value::Int(i as i64),
+                Value::Str(format!("item-{i}")),
+                Value::Decimal(rng.gen_range(1_00..=100_00)),
+            ],
+            &mut tc,
+        )
+        .expect("populate item");
+    }
+    for w in 1..=scale.warehouses {
+        for i in 1..=scale.items {
+            db.insert(
+                &mut txn,
+                stock,
+                &[
+                    Value::Int(w as i64),
+                    Value::Int(i as i64),
+                    Value::Int(rng.gen_range(10..=100)),
+                    Value::Decimal(0),
+                    Value::Int(0),
+                    Value::Int(0),
+                ],
+                &mut tc,
+            )
+            .expect("populate stock");
+        }
+    }
+    // Initial orders with lines (carrier assigned for the older 2/3).
+    for w in 1..=scale.warehouses {
+        for d in 1..=scale.districts_per_wh {
+            for o in 1..=scale.orders_per_district {
+                let ol_cnt = rng.gen_range(5..=15u64);
+                let c = rng.gen_range(1..=scale.customers_per_district);
+                let delivered = o <= scale.orders_per_district * 2 / 3;
+                db.insert(
+                    &mut txn,
+                    orders,
+                    &[
+                        Value::Int(w as i64),
+                        Value::Int(d as i64),
+                        Value::Int(o as i64),
+                        Value::Int(c as i64),
+                        Value::Date(o as u32),
+                        Value::Int(if delivered { rng.gen_range(1..=10) } else { 0 }),
+                        Value::Int(ol_cnt as i64),
+                    ],
+                    &mut tc,
+                )
+                .expect("populate orders");
+                if !delivered {
+                    db.insert(
+                        &mut txn,
+                        new_order,
+                        &[Value::Int(w as i64), Value::Int(d as i64), Value::Int(o as i64)],
+                        &mut tc,
+                    )
+                    .expect("populate new_order");
+                }
+                for ol in 1..=ol_cnt {
+                    db.insert(
+                        &mut txn,
+                        order_line,
+                        &[
+                            Value::Int(w as i64),
+                            Value::Int(d as i64),
+                            Value::Int(o as i64),
+                            Value::Int(ol as i64),
+                            Value::Int(rng.gen_range(1..=scale.items) as i64),
+                            Value::Int(w as i64),
+                            Value::Int(5),
+                            Value::Decimal(rng.gen_range(1_00..=999_99)),
+                        ],
+                        &mut tc,
+                    )
+                    .expect("populate order_line");
+                }
+            }
+        }
+    }
+    db.commit(txn, &mut tc).expect("populate commit");
+
+    // ---- indexes ----
+    let iv = |col: usize| -> KeyFn { Box::new(move |row, _| row[col].as_i64().unwrap() as u64) };
+    let _ = iv; // helper for simple cases below
+    let idx_warehouse =
+        db.create_index(warehouse, Box::new(|row, _| wh_key(row[0].as_i64().unwrap() as u64)));
+    let idx_district = db.create_index(
+        district,
+        Box::new(|row, _| dist_key(row[0].as_i64().unwrap() as u64, row[1].as_i64().unwrap() as u64)),
+    );
+    let idx_customer = db.create_index(
+        customer,
+        Box::new(|row, _| {
+            cust_key(
+                row[0].as_i64().unwrap() as u64,
+                row[1].as_i64().unwrap() as u64,
+                row[2].as_i64().unwrap() as u64,
+            )
+        }),
+    );
+    let idx_customer_name = db.create_index(
+        customer,
+        Box::new(|row, _| {
+            cust_name_key(
+                row[0].as_i64().unwrap() as u64,
+                row[1].as_i64().unwrap() as u64,
+                row[3].as_str().unwrap(),
+                row[2].as_i64().unwrap() as u64,
+            )
+        }),
+    );
+    let idx_item =
+        db.create_index(item, Box::new(|row, _| item_key(row[0].as_i64().unwrap() as u64)));
+    let idx_stock = db.create_index(
+        stock,
+        Box::new(|row, _| stock_key(row[0].as_i64().unwrap() as u64, row[1].as_i64().unwrap() as u64)),
+    );
+    let idx_orders = db.create_index(
+        orders,
+        Box::new(|row, _| {
+            order_key(
+                row[0].as_i64().unwrap() as u64,
+                row[1].as_i64().unwrap() as u64,
+                row[2].as_i64().unwrap() as u64,
+            )
+        }),
+    );
+    let idx_new_order = db.create_index(
+        new_order,
+        Box::new(|row, _| {
+            order_key(
+                row[0].as_i64().unwrap() as u64,
+                row[1].as_i64().unwrap() as u64,
+                row[2].as_i64().unwrap() as u64,
+            )
+        }),
+    );
+    let idx_order_line = db.create_index(
+        order_line,
+        Box::new(|row, _| {
+            order_line_key(
+                row[0].as_i64().unwrap() as u64,
+                row[1].as_i64().unwrap() as u64,
+                row[2].as_i64().unwrap() as u64,
+                row[3].as_i64().unwrap() as u64,
+            )
+        }),
+    );
+
+    let handles = TpccDb {
+        scale,
+        warehouse,
+        district,
+        customer,
+        item,
+        stock,
+        orders,
+        new_order,
+        order_line,
+        history,
+        idx_warehouse,
+        idx_district,
+        idx_customer,
+        idx_customer_name,
+        idx_item,
+        idx_stock,
+        idx_orders,
+        idx_new_order,
+        idx_order_line,
+        c_last: rng.gen_range(0..256),
+        c_cust: rng.gen_range(0..1024),
+        c_item: rng.gen_range(0..8192),
+    };
+    (db, handles)
+}
+
+/// Convenience for tests: a deterministic RNG for a client.
+pub fn tpcc_rng(seed: u64, client: usize) -> StdRng {
+    client_rng(seed, client)
+}
+
+/// Random customer id per spec (NURand 1023).
+pub fn random_customer(rng: &mut StdRng, h: &TpccDb) -> u64 {
+    crate::rng::nurand(rng, 1023, h.c_cust, 1, h.scale.customers_per_district)
+}
+
+/// Random item id per spec (NURand 8191).
+pub fn random_item(rng: &mut StdRng, h: &TpccDb) -> u64 {
+    crate::rng::nurand(rng, 8191, h.c_item, 1, h.scale.items)
+}
+
+/// Random warehouse uniformly.
+pub fn random_warehouse(rng: &mut StdRng, h: &TpccDb) -> u64 {
+    uniform(rng, 1, h.scale.warehouses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_counts() {
+        let scale = TpccScale::tiny();
+        let (db, h) = build_tpcc(scale, 1);
+        assert_eq!(db.table(h.warehouse).n_rows(), 2);
+        assert_eq!(db.table(h.district).n_rows(), 4);
+        assert_eq!(db.table(h.customer).n_rows(), 2 * 2 * 30);
+        assert_eq!(db.table(h.item).n_rows(), 200);
+        assert_eq!(db.table(h.stock).n_rows(), 2 * 200);
+        assert_eq!(db.table(h.orders).n_rows(), 4 * 30);
+        // Undelivered third in new_order.
+        assert_eq!(db.table(h.new_order).n_rows(), 4 * 10);
+        assert!(db.table(h.order_line).n_rows() >= 4 * 30 * 5);
+    }
+
+    #[test]
+    fn indexes_resolve_rows() {
+        let (db, h) = build_tpcc(TpccScale::tiny(), 2);
+        let mut tc = db.null_ctx();
+        let rid = db.index_get(h.idx_customer, cust_key(1, 2, 3), &mut tc).expect("customer");
+        let row = db.table(h.customer).get(rid, &mut tc).unwrap();
+        assert_eq!(row[0], Value::Int(1));
+        assert_eq!(row[1], Value::Int(2));
+        assert_eq!(row[2], Value::Int(3));
+
+        let rid = db.index_get(h.idx_stock, stock_key(2, 100), &mut tc).expect("stock");
+        let row = db.table(h.stock).get(rid, &mut tc).unwrap();
+        assert_eq!(row[0], Value::Int(2));
+        assert_eq!(row[1], Value::Int(100));
+    }
+
+    #[test]
+    fn key_packing_is_injective_in_range() {
+        let mut seen = std::collections::HashSet::new();
+        for w in 1..=4u64 {
+            for d in 1..=10 {
+                for o in 1..=100 {
+                    for ol in 1..=15 {
+                        assert!(seen.insert(order_line_key(w, d, o, ol)));
+                    }
+                }
+            }
+        }
+    }
+}

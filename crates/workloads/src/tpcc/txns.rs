@@ -1,0 +1,483 @@
+//! The five TPC-C transaction types.
+//!
+//! Implemented against the engine's transactional API: every row access
+//! takes the proper lock, writes are WAL-logged and undo-protected.
+//! NewOrder includes the spec's 1% deliberate rollback; Payment selects
+//! customers by last name 40% of the time (secondary index) and pays
+//! through a remote warehouse 15% of the time (cross-warehouse sharing).
+
+use dbcmp_engine::{Database, EngineError, Result, TraceCtx, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{
+    cust_key, cust_name_key, dist_key, item_key, order_key, order_line_key, random_customer,
+    random_item, stock_key, wh_key, TpccDb,
+};
+use crate::rng::{last_name, uniform};
+
+/// Which transaction ran (for mix accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    NewOrder,
+    Payment,
+    OrderStatus,
+    Delivery,
+    StockLevel,
+}
+
+/// Outcome of one transaction attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    Committed,
+    /// Rolled back (NewOrder's 1% invalid item, or a lock conflict).
+    Aborted,
+}
+
+/// Draw a transaction type per the spec mix (45/43/4/4/4).
+pub fn draw_kind(rng: &mut StdRng) -> TxnKind {
+    match rng.gen_range(0..100u32) {
+        0..=44 => TxnKind::NewOrder,
+        45..=87 => TxnKind::Payment,
+        88..=91 => TxnKind::OrderStatus,
+        92..=95 => TxnKind::Delivery,
+        _ => TxnKind::StockLevel,
+    }
+}
+
+/// Run one transaction of `kind` for a terminal homed at `w_home`.
+pub fn run_txn(
+    db: &mut Database,
+    h: &TpccDb,
+    kind: TxnKind,
+    w_home: u64,
+    rng: &mut StdRng,
+    tc: &mut TraceCtx,
+) -> Result<TxnOutcome> {
+    db.statement_overhead(tc);
+    let out = match kind {
+        TxnKind::NewOrder => new_order(db, h, w_home, rng, tc),
+        TxnKind::Payment => payment(db, h, w_home, rng, tc),
+        TxnKind::OrderStatus => order_status(db, h, w_home, rng, tc),
+        TxnKind::Delivery => delivery(db, h, w_home, rng, tc),
+        TxnKind::StockLevel => stock_level(db, h, w_home, rng, tc),
+    };
+    if out.is_ok() {
+        tc.unit_end();
+    }
+    out
+}
+
+fn new_order(
+    db: &mut Database,
+    h: &TpccDb,
+    w: u64,
+    rng: &mut StdRng,
+    tc: &mut TraceCtx,
+) -> Result<TxnOutcome> {
+    let d = uniform(rng, 1, h.scale.districts_per_wh);
+    let c = random_customer(rng, h);
+    let ol_cnt = uniform(rng, 5, 15);
+    // Spec 2.4.1.4: 1% of NewOrders use an invalid item and roll back.
+    let rollback = rng.gen_range(0..100u32) == 0;
+
+    let mut txn = db.begin(tc);
+
+    // Warehouse tax (S).
+    let w_rid = db.index_get(h.idx_warehouse, wh_key(w), tc).expect("warehouse");
+    let w_row = db.read(&mut txn, h.warehouse, w_rid, false, tc)?;
+    let w_tax = w_row[2].as_i64().unwrap();
+
+    // District: read + increment next_o_id (X).
+    let d_rid = db.index_get(h.idx_district, dist_key(w, d), tc).expect("district");
+    let mut d_row = db.read(&mut txn, h.district, d_rid, true, tc)?;
+    let d_tax = d_row[2].as_i64().unwrap();
+    let o_id = d_row[4].as_i64().unwrap() as u64;
+    d_row[4] = Value::Int(o_id as i64 + 1);
+    db.update(&mut txn, h.district, d_rid, &d_row, tc)?;
+
+    // Customer (S).
+    let c_rid = db.index_get(h.idx_customer, cust_key(w, d, c), tc).expect("customer");
+    let _c_row = db.read(&mut txn, h.customer, c_rid, false, tc)?;
+
+    // Lines.
+    let mut total = 0i64;
+    for ol in 1..=ol_cnt {
+        let i_id = if rollback && ol == ol_cnt { u64::MAX } else { random_item(rng, h) };
+        // 1% of lines are supplied by a remote warehouse (spec 2.4.1.5).
+        let supply_w = if rng.gen_range(0..100u32) == 0 && h.scale.warehouses > 1 {
+            let mut other = uniform(rng, 1, h.scale.warehouses);
+            if other == w {
+                other = other % h.scale.warehouses + 1;
+            }
+            other
+        } else {
+            w
+        };
+        let Some(i_rid) = db.index_get(h.idx_item, item_key(i_id), tc) else {
+            // Invalid item: abort (the spec's deliberate rollback).
+            db.abort(txn, tc);
+            return Ok(TxnOutcome::Aborted);
+        };
+        let i_row = db.read(&mut txn, h.item, i_rid, false, tc)?;
+        let price = i_row[2].as_i64().unwrap();
+
+        // Stock update (X).
+        let s_rid = db.index_get(h.idx_stock, stock_key(supply_w, i_id), tc).expect("stock");
+        let mut s_row = db.read(&mut txn, h.stock, s_rid, true, tc)?;
+        let qty = uniform(rng, 1, 10) as i64;
+        let mut s_q = s_row[2].as_i64().unwrap();
+        s_q = if s_q - qty >= 10 { s_q - qty } else { s_q - qty + 91 };
+        s_row[2] = Value::Int(s_q);
+        s_row[3] = Value::Decimal(s_row[3].as_i64().unwrap() + qty * 100);
+        s_row[4] = Value::Int(s_row[4].as_i64().unwrap() + 1);
+        if supply_w != w {
+            s_row[5] = Value::Int(s_row[5].as_i64().unwrap() + 1);
+        }
+        db.update(&mut txn, h.stock, s_rid, &s_row, tc)?;
+
+        let amount = price * qty;
+        total += amount;
+        db.insert(
+            &mut txn,
+            h.order_line,
+            &[
+                Value::Int(w as i64),
+                Value::Int(d as i64),
+                Value::Int(o_id as i64),
+                Value::Int(ol as i64),
+                Value::Int(i_id as i64),
+                Value::Int(supply_w as i64),
+                Value::Int(qty),
+                Value::Decimal(amount),
+            ],
+            tc,
+        )?;
+    }
+    let _ = (w_tax, d_tax, total);
+
+    db.insert(
+        &mut txn,
+        h.orders,
+        &[
+            Value::Int(w as i64),
+            Value::Int(d as i64),
+            Value::Int(o_id as i64),
+            Value::Int(c as i64),
+            Value::Date(o_id as u32),
+            Value::Int(0),
+            Value::Int(ol_cnt as i64),
+        ],
+        tc,
+    )?;
+    db.insert(
+        &mut txn,
+        h.new_order,
+        &[Value::Int(w as i64), Value::Int(d as i64), Value::Int(o_id as i64)],
+        tc,
+    )?;
+
+    db.commit(txn, tc)?;
+    Ok(TxnOutcome::Committed)
+}
+
+fn payment(
+    db: &mut Database,
+    h: &TpccDb,
+    w: u64,
+    rng: &mut StdRng,
+    tc: &mut TraceCtx,
+) -> Result<TxnOutcome> {
+    let d = uniform(rng, 1, h.scale.districts_per_wh);
+    // 15% remote customer (spec 2.5.1.2) — cross-warehouse write sharing.
+    let (c_w, c_d) = if rng.gen_range(0..100u32) < 15 && h.scale.warehouses > 1 {
+        let mut other = uniform(rng, 1, h.scale.warehouses);
+        if other == w {
+            other = other % h.scale.warehouses + 1;
+        }
+        (other, uniform(rng, 1, h.scale.districts_per_wh))
+    } else {
+        (w, d)
+    };
+    let amount = uniform(rng, 1_00, 5_000_00) as i64;
+
+    let mut txn = db.begin(tc);
+
+    // Warehouse YTD (X) — a hot row every payment writes.
+    let w_rid = db.index_get(h.idx_warehouse, wh_key(w), tc).expect("warehouse");
+    let mut w_row = db.read(&mut txn, h.warehouse, w_rid, true, tc)?;
+    w_row[3] = Value::Decimal(w_row[3].as_i64().unwrap() + amount);
+    db.update(&mut txn, h.warehouse, w_rid, &w_row, tc)?;
+
+    // District YTD (X).
+    let d_rid = db.index_get(h.idx_district, dist_key(w, d), tc).expect("district");
+    let mut d_row = db.read(&mut txn, h.district, d_rid, true, tc)?;
+    d_row[3] = Value::Decimal(d_row[3].as_i64().unwrap() + amount);
+    db.update(&mut txn, h.district, d_rid, &d_row, tc)?;
+
+    // Customer: 60% by id, 40% by last name (secondary index range).
+    let c_rid = if rng.gen_range(0..100u32) < 60 {
+        let c = random_customer(rng, h);
+        db.index_get(h.idx_customer, cust_key(c_w, c_d, c), tc).expect("customer by id")
+    } else {
+        let name = last_name(crate::rng::nurand(rng, 255, h.c_last, 0, 999));
+        let lo = cust_name_key(c_w, c_d, &name, 0);
+        let hi = cust_name_key(c_w, c_d, &name, 0xF_FFFF);
+        let matches = db.index_range(h.idx_customer_name, lo, hi, tc);
+        match matches.get(matches.len() / 2) {
+            Some(&(_, rid)) => rid,
+            None => {
+                // Name not present at this scale: fall back to id.
+                let c = random_customer(rng, h);
+                db.index_get(h.idx_customer, cust_key(c_w, c_d, c), tc).expect("customer")
+            }
+        }
+    };
+    let mut c_row = db.read(&mut txn, h.customer, c_rid, true, tc)?;
+    c_row[5] = Value::Decimal(c_row[5].as_i64().unwrap() - amount);
+    c_row[6] = Value::Decimal(c_row[6].as_i64().unwrap() + amount);
+    c_row[7] = Value::Int(c_row[7].as_i64().unwrap() + 1);
+    db.update(&mut txn, h.customer, c_rid, &c_row, tc)?;
+
+    db.insert(
+        &mut txn,
+        h.history,
+        &[
+            c_row[2].clone(),
+            Value::Int(w as i64),
+            Value::Decimal(amount),
+            Value::Date(1),
+        ],
+        tc,
+    )?;
+
+    db.commit(txn, tc)?;
+    Ok(TxnOutcome::Committed)
+}
+
+fn order_status(
+    db: &mut Database,
+    h: &TpccDb,
+    w: u64,
+    rng: &mut StdRng,
+    tc: &mut TraceCtx,
+) -> Result<TxnOutcome> {
+    let d = uniform(rng, 1, h.scale.districts_per_wh);
+    let c = random_customer(rng, h);
+
+    let mut txn = db.begin(tc);
+    let c_rid = db.index_get(h.idx_customer, cust_key(w, d, c), tc).expect("customer");
+    let _c_row = db.read(&mut txn, h.customer, c_rid, false, tc)?;
+
+    // Most recent order of this district (descending scan from the top).
+    let lo = order_key(w, d, 0);
+    let hi = order_key(w, d, u32::MAX as u64);
+    let orders = db.index_range(h.idx_orders, lo, hi, tc);
+    if let Some(&(okey, o_rid)) = orders.last() {
+        let o_row = db.read(&mut txn, h.orders, o_rid, false, tc)?;
+        let o_id = okey & 0xFFFF_FFFF;
+        let ol_cnt = o_row[6].as_i64().unwrap() as u64;
+        for ol in 1..=ol_cnt {
+            if let Some(rid) = db.index_get(h.idx_order_line, order_line_key(w, d, o_id, ol), tc)
+            {
+                let _ = db.read(&mut txn, h.order_line, rid, false, tc)?;
+            }
+        }
+    }
+    db.commit(txn, tc)?;
+    Ok(TxnOutcome::Committed)
+}
+
+fn delivery(
+    db: &mut Database,
+    h: &TpccDb,
+    w: u64,
+    rng: &mut StdRng,
+    tc: &mut TraceCtx,
+) -> Result<TxnOutcome> {
+    let carrier = uniform(rng, 1, 10) as i64;
+    let mut txn = db.begin(tc);
+
+    for d in 1..=h.scale.districts_per_wh {
+        // Oldest undelivered order.
+        let lo = order_key(w, d, 0);
+        let hi = order_key(w, d, u32::MAX as u64);
+        let pending = db.index_range(h.idx_new_order, lo, hi, tc);
+        let Some(&(okey, no_rid)) = pending.first() else { continue };
+        let o_id = okey & 0xFFFF_FFFF;
+
+        db.delete(&mut txn, h.new_order, no_rid, tc)?;
+
+        let o_rid = db.index_get(h.idx_orders, order_key(w, d, o_id), tc).expect("order");
+        let mut o_row = db.read(&mut txn, h.orders, o_rid, true, tc)?;
+        let c_id = o_row[3].as_i64().unwrap() as u64;
+        let ol_cnt = o_row[6].as_i64().unwrap() as u64;
+        o_row[5] = Value::Int(carrier);
+        db.update(&mut txn, h.orders, o_rid, &o_row, tc)?;
+
+        let mut sum = 0i64;
+        for ol in 1..=ol_cnt {
+            if let Some(rid) = db.index_get(h.idx_order_line, order_line_key(w, d, o_id, ol), tc)
+            {
+                let row = db.read(&mut txn, h.order_line, rid, false, tc)?;
+                sum += row[7].as_i64().unwrap();
+            }
+        }
+
+        let c_rid = db.index_get(h.idx_customer, cust_key(w, d, c_id), tc).expect("customer");
+        let mut c_row = db.read(&mut txn, h.customer, c_rid, true, tc)?;
+        c_row[5] = Value::Decimal(c_row[5].as_i64().unwrap() + sum);
+        c_row[8] = Value::Int(c_row[8].as_i64().unwrap() + 1);
+        db.update(&mut txn, h.customer, c_rid, &c_row, tc)?;
+    }
+
+    db.commit(txn, tc)?;
+    Ok(TxnOutcome::Committed)
+}
+
+fn stock_level(
+    db: &mut Database,
+    h: &TpccDb,
+    w: u64,
+    rng: &mut StdRng,
+    tc: &mut TraceCtx,
+) -> Result<TxnOutcome> {
+    let d = uniform(rng, 1, h.scale.districts_per_wh);
+    let threshold = uniform(rng, 10, 20) as i64;
+
+    let mut txn = db.begin(tc);
+    let d_rid = db.index_get(h.idx_district, dist_key(w, d), tc).expect("district");
+    let d_row = db.read(&mut txn, h.district, d_rid, false, tc)?;
+    let next_o = d_row[4].as_i64().unwrap() as u64;
+
+    // Last 20 orders' lines → distinct items → stock below threshold.
+    let first = next_o.saturating_sub(20).max(1);
+    let mut items = std::collections::HashSet::new();
+    for o in first..next_o {
+        for ol in 1..=15u64 {
+            if let Some(rid) = db.index_get(h.idx_order_line, order_line_key(w, d, o, ol), tc) {
+                let row = db.read(&mut txn, h.order_line, rid, false, tc)?;
+                items.insert(row[4].as_i64().unwrap() as u64);
+            }
+        }
+    }
+    let mut low = 0usize;
+    for i in items {
+        if let Some(rid) = db.index_get(h.idx_stock, stock_key(w, i), tc) {
+            let row = db.read(&mut txn, h.stock, rid, false, tc)?;
+            if row[2].as_i64().unwrap() < threshold {
+                low += 1;
+            }
+        }
+    }
+    let _ = low;
+    db.commit(txn, tc)?;
+    Ok(TxnOutcome::Committed)
+}
+
+/// Run `n` transactions of the spec mix; returns per-kind commit counts.
+pub fn run_mix(
+    db: &mut Database,
+    h: &TpccDb,
+    w_home: u64,
+    n: usize,
+    rng: &mut StdRng,
+    tc: &mut TraceCtx,
+) -> std::collections::HashMap<TxnKind, usize> {
+    let mut counts = std::collections::HashMap::new();
+    for _ in 0..n {
+        let kind = draw_kind(rng);
+        match run_txn(db, h, kind, w_home, rng, tc) {
+            Ok(TxnOutcome::Committed) => *counts.entry(kind).or_insert(0) += 1,
+            Ok(TxnOutcome::Aborted) => {}
+            Err(EngineError::LockConflict { .. }) => {}
+            Err(e) => panic!("unexpected engine error in {kind:?}: {e}"),
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcc::{build_tpcc, tpcc_rng, TpccScale};
+
+    #[test]
+    fn mix_runs_and_commits() {
+        let (mut db, h) = build_tpcc(TpccScale::tiny(), 11);
+        let mut rng = tpcc_rng(11, 0);
+        let mut tc = db.null_ctx();
+        let counts = run_mix(&mut db, &h, 1, 200, &mut rng, &mut tc);
+        let total: usize = counts.values().sum();
+        assert!(total >= 190, "most of 200 txns must commit, got {total}");
+        assert!(counts.contains_key(&TxnKind::NewOrder));
+        assert!(counts.contains_key(&TxnKind::Payment));
+    }
+
+    #[test]
+    fn new_order_advances_district_counter() {
+        let (mut db, h) = build_tpcc(TpccScale::tiny(), 12);
+        let mut rng = tpcc_rng(12, 0);
+        let mut tc = db.null_ctx();
+        let before = {
+            let rid = db.index_get(h.idx_district, dist_key(1, 1), &mut tc).unwrap();
+            db.table(h.district).get(rid, &mut tc).unwrap()[4].as_i64().unwrap()
+        };
+        // Run enough NewOrders that district 1 gets some.
+        for _ in 0..40 {
+            let _ = run_txn(&mut db, &h, TxnKind::NewOrder, 1, &mut rng, &mut tc);
+        }
+        let after = {
+            let rid = db.index_get(h.idx_district, dist_key(1, 1), &mut tc).unwrap();
+            db.table(h.district).get(rid, &mut tc).unwrap()[4].as_i64().unwrap()
+        };
+        assert!(after > before, "district next_o_id must advance: {before} -> {after}");
+    }
+
+    #[test]
+    fn delivery_consumes_new_orders() {
+        let (mut db, h) = build_tpcc(TpccScale::tiny(), 13);
+        let mut rng = tpcc_rng(13, 0);
+        let mut tc = db.null_ctx();
+        let before = db.table(h.new_order).n_rows();
+        run_txn(&mut db, &h, TxnKind::Delivery, 1, &mut rng, &mut tc).unwrap();
+        let after = db.table(h.new_order).n_rows();
+        assert!(after < before, "delivery must consume pending orders: {before} -> {after}");
+    }
+
+    #[test]
+    fn payment_updates_balances() {
+        let (mut db, h) = build_tpcc(TpccScale::tiny(), 14);
+        let mut rng = tpcc_rng(14, 0);
+        let mut tc = db.null_ctx();
+        let w_rid = db.index_get(h.idx_warehouse, wh_key(1), &mut tc).unwrap();
+        let before = db.table(h.warehouse).get(w_rid, &mut tc).unwrap()[3].as_i64().unwrap();
+        run_txn(&mut db, &h, TxnKind::Payment, 1, &mut rng, &mut tc).unwrap();
+        let after = db.table(h.warehouse).get(w_rid, &mut tc).unwrap()[3].as_i64().unwrap();
+        assert!(after > before, "warehouse YTD must grow");
+        assert!(db.table(h.history).n_rows() > 0);
+    }
+
+    #[test]
+    fn traces_capture_oltp_shape() {
+        // A recorded NewOrder must show dependent loads (B+Tree descents)
+        // and fences (locks/commit).
+        let (mut db, h) = build_tpcc(TpccScale::tiny(), 15);
+        let mut rng = tpcc_rng(15, 0);
+        let mut tc = db.trace_ctx();
+        run_txn(&mut db, &h, TxnKind::NewOrder, 1, &mut rng, &mut tc).unwrap();
+        let trace = tc.finish();
+        let mut deps = 0;
+        let mut fences = 0;
+        for e in trace.iter() {
+            match e {
+                dbcmp_trace::Event::Load { dep: true, .. } => deps += 1,
+                dbcmp_trace::Event::Fence => fences += 1,
+                _ => {}
+            }
+        }
+        assert!(deps > 20, "B+Tree descents must emit dependent loads: {deps}");
+        assert!(fences > 10, "locks + commit must fence: {fences}");
+        assert_eq!(trace.units(), 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! TPC-H-like DSS workload: schema and dbgen-lite population.
+//!
+//! Six tables with the columns the four paper queries need. Dates are
+//! day-numbers with day 0 = 1992-01-01 and a 7-year span, matching TPC-H's
+//! date range; comments embed the spec's "special …requests" phrases with
+//! the spec's frequencies so Q13's NOT LIKE predicate is selective in the
+//! same way.
+
+pub mod queries;
+
+use dbcmp_engine::{ColType, Database, Schema, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::rng::client_rng;
+
+/// Day-number for the last day of the population (1998-12-01-ish).
+pub const MAX_DATE: u32 = 2520;
+
+/// Scale parameters. The default population keeps total data in the
+/// 8-16 MB working-set regime the paper's L2 sweep straddles.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchScale {
+    pub customers: u64,
+    pub orders: u64,
+    /// Average lineitems per order (1..=7 uniform like dbgen).
+    pub parts: u64,
+    pub suppliers: u64,
+}
+
+impl Default for TpchScale {
+    fn default() -> Self {
+        TpchScale { customers: 800, orders: 8_000, parts: 1_500, suppliers: 80 }
+    }
+}
+
+impl TpchScale {
+    pub fn tiny() -> Self {
+        TpchScale { customers: 100, orders: 600, parts: 120, suppliers: 10 }
+    }
+}
+
+/// Table handles + row counts for the TPC-H database.
+#[derive(Debug, Clone)]
+pub struct TpchDb {
+    pub scale: TpchScale,
+    pub lineitem: usize,
+    pub orders: usize,
+    pub customer: usize,
+    pub part: usize,
+    pub supplier: usize,
+    pub partsupp: usize,
+    pub idx_orders: usize,
+    pub idx_part: usize,
+}
+
+/// Which paper query (paper §3: Q1/Q6 scan-dominated, Q16 join-dominated,
+/// Q13 mixed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    Q1,
+    Q6,
+    Q13,
+    Q16,
+}
+
+impl QueryKind {
+    pub const ALL: [QueryKind; 4] = [QueryKind::Q1, QueryKind::Q6, QueryKind::Q13, QueryKind::Q16];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryKind::Q1 => "Q1 (scan)",
+            QueryKind::Q6 => "Q6 (scan)",
+            QueryKind::Q13 => "Q13 (mixed)",
+            QueryKind::Q16 => "Q16 (join)",
+        }
+    }
+}
+
+const TYPES: [&str; 6] = ["ECONOMY", "STANDARD", "PROMO", "MEDIUM", "LARGE", "SMALL"];
+const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
+const SEGMENTS: [&str; 5] = ["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"];
+
+/// Build and populate the TPC-H database.
+pub fn build_tpch(scale: TpchScale, seed: u64) -> (Database, TpchDb) {
+    let mut db = Database::new();
+    let mut rng = client_rng(seed, usize::MAX - 1);
+
+    let lineitem = db.create_table(
+        "lineitem",
+        Schema::new(vec![
+            ("l_orderkey", ColType::Int),
+            ("l_partkey", ColType::Int),
+            ("l_suppkey", ColType::Int),
+            ("l_linenumber", ColType::Int),
+            ("l_quantity", ColType::Decimal),
+            ("l_extendedprice", ColType::Decimal),
+            ("l_discount", ColType::Decimal),
+            ("l_tax", ColType::Decimal),
+            ("l_returnflag", ColType::Str(1)),
+            ("l_linestatus", ColType::Str(1)),
+            ("l_shipdate", ColType::Date),
+        ]),
+    );
+    let orders = db.create_table(
+        "orders",
+        Schema::new(vec![
+            ("o_orderkey", ColType::Int),
+            ("o_custkey", ColType::Int),
+            ("o_orderdate", ColType::Date),
+            ("o_comment", ColType::Str(44)),
+        ]),
+    );
+    let customer = db.create_table(
+        "customer",
+        Schema::new(vec![
+            ("c_custkey", ColType::Int),
+            ("c_name", ColType::Str(18)),
+            ("c_acctbal", ColType::Decimal),
+            ("c_mktsegment", ColType::Str(10)),
+        ]),
+    );
+    let part = db.create_table(
+        "part",
+        Schema::new(vec![
+            ("p_partkey", ColType::Int),
+            ("p_brand", ColType::Str(10)),
+            ("p_type", ColType::Str(25)),
+            ("p_size", ColType::Int),
+        ]),
+    );
+    let supplier = db.create_table(
+        "supplier",
+        Schema::new(vec![
+            ("s_suppkey", ColType::Int),
+            ("s_name", ColType::Str(18)),
+            ("s_comment", ColType::Str(64)),
+        ]),
+    );
+    let partsupp = db.create_table(
+        "partsupp",
+        Schema::new(vec![
+            ("ps_partkey", ColType::Int),
+            ("ps_suppkey", ColType::Int),
+            ("ps_availqty", ColType::Int),
+            ("ps_supplycost", ColType::Decimal),
+        ]),
+    );
+
+    let mut tc = db.null_ctx();
+    let mut txn = db.begin(&mut tc);
+
+    for c in 1..=scale.customers {
+        db.insert(
+            &mut txn,
+            customer,
+            &[
+                Value::Int(c as i64),
+                Value::Str(format!("Customer#{c:09}")),
+                Value::Decimal(rng.gen_range(-999_99..=9999_99)),
+                Value::Str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].into()),
+            ],
+            &mut tc,
+        )
+        .expect("populate customer");
+    }
+
+    for s in 1..=scale.suppliers {
+        // ~1/16 of suppliers have complaint comments (Q16's anti-join set),
+        // echoing the spec's small fraction.
+        let comment = if rng.gen_range(0..16u32) == 0 {
+            "wary accounts: Customer unhappy Complaints pending".to_string()
+        } else {
+            format!("supplier number {s} ships quickly")
+        };
+        db.insert(
+            &mut txn,
+            supplier,
+            &[Value::Int(s as i64), Value::Str(format!("Supplier#{s:09}")), Value::Str(comment)],
+            &mut tc,
+        )
+        .expect("populate supplier");
+    }
+
+    for p in 1..=scale.parts {
+        db.insert(
+            &mut txn,
+            part,
+            &[
+                Value::Int(p as i64),
+                Value::Str(BRANDS[rng.gen_range(0..BRANDS.len())].into()),
+                Value::Str(format!(
+                    "{} {}",
+                    TYPES[rng.gen_range(0..TYPES.len())],
+                    ["ANODIZED", "BURNISHED", "PLATED", "POLISHED"][rng.gen_range(0..4)]
+                )),
+                Value::Int(rng.gen_range(1..=50)),
+            ],
+            &mut tc,
+        )
+        .expect("populate part");
+        // 4 suppliers per part, dbgen-style.
+        for k in 0..4u64 {
+            let s = (p * 7 + k * 13) % scale.suppliers + 1;
+            db.insert(
+                &mut txn,
+                partsupp,
+                &[
+                    Value::Int(p as i64),
+                    Value::Int(s as i64),
+                    Value::Int(rng.gen_range(1..=9999)),
+                    Value::Decimal(rng.gen_range(1_00..=1000_00)),
+                ],
+                &mut tc,
+            )
+            .expect("populate partsupp");
+        }
+    }
+
+    for o in 1..=scale.orders {
+        let odate = rng.gen_range(0..MAX_DATE - 151);
+        // Spec-like: a small fraction of order comments match Q13's
+        // "special … requests" pattern.
+        let comment = if rng.gen_range(0..50u32) == 0 {
+            "handle with special care as the customer requests urgently".to_string()
+        } else {
+            format!("order {o} placed without further remarks")
+        };
+        db.insert(
+            &mut txn,
+            orders,
+            &[
+                Value::Int(o as i64),
+                Value::Int(rng.gen_range(1..=scale.customers) as i64),
+                Value::Date(odate),
+                Value::Str(comment),
+            ],
+            &mut tc,
+        )
+        .expect("populate orders");
+        let lines = rng.gen_range(1..=7u64);
+        for l in 1..=lines {
+            let qty = rng.gen_range(1..=50) as i64;
+            let price = rng.gen_range(9_00..=9_500_00);
+            db.insert(
+                &mut txn,
+                lineitem,
+                &[
+                    Value::Int(o as i64),
+                    Value::Int(rng.gen_range(1..=scale.parts) as i64),
+                    Value::Int(rng.gen_range(1..=scale.suppliers) as i64),
+                    Value::Int(l as i64),
+                    Value::Decimal(qty * 100),
+                    Value::Decimal(price),
+                    Value::Decimal(rng.gen_range(0..=10)), // 0.00-0.10
+                    Value::Decimal(rng.gen_range(0..=8)),  // 0.00-0.08
+                    Value::Str(["A", "N", "R"][rng.gen_range(0..3)].into()),
+                    Value::Str(["O", "F"][rng.gen_range(0..2)].into()),
+                    Value::Date(odate + rng.gen_range(1..=121)),
+                ],
+                &mut tc,
+            )
+            .expect("populate lineitem");
+        }
+    }
+    db.commit(txn, &mut tc).expect("populate commit");
+
+    let idx_orders =
+        db.create_index(orders, Box::new(|row, _| row[0].as_i64().unwrap() as u64));
+    let idx_part = db.create_index(part, Box::new(|row, _| row[0].as_i64().unwrap() as u64));
+
+    let handles = TpchDb {
+        scale,
+        lineitem,
+        orders,
+        customer,
+        part,
+        supplier,
+        partsupp,
+        idx_orders,
+        idx_part,
+    };
+    (db, handles)
+}
+
+/// Deterministic per-client RNG (query predicate randomization).
+pub fn tpch_rng(seed: u64, client: usize) -> StdRng {
+    client_rng(seed.wrapping_add(0xD55), client)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_counts() {
+        let (db, h) = build_tpch(TpchScale::tiny(), 3);
+        assert_eq!(db.table(h.customer).n_rows(), 100);
+        assert_eq!(db.table(h.orders).n_rows(), 600);
+        assert_eq!(db.table(h.supplier).n_rows(), 10);
+        assert_eq!(db.table(h.part).n_rows(), 120);
+        assert_eq!(db.table(h.partsupp).n_rows(), 480);
+        let li = db.table(h.lineitem).n_rows();
+        assert!((600..=4200).contains(&li), "lineitem {li}");
+    }
+
+    #[test]
+    fn shipdates_in_range() {
+        let (db, h) = build_tpch(TpchScale::tiny(), 4);
+        let mut tc = db.null_ctx();
+        let mut scan = dbcmp_engine::exec::SeqScan::new(h.lineitem);
+        let rows = dbcmp_engine::exec::run_to_vec(&mut scan, &db, &mut tc).unwrap();
+        for r in rows {
+            let d = r[10].as_i64().unwrap();
+            assert!((1..=MAX_DATE as i64).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Camp shootout: fat vs lean cores across the paper's four workload
+//! quadrants (the Fig. 4/5 story in one binary).
+//!
+//! ```sh
+//! cargo run --release --example camp_shootout
+//! ```
+
+use dbcmp::core::figures::{fig45_quadrants, fig4_ratios};
+use dbcmp::core::report::{f2, pct, table};
+use dbcmp::core::taxonomy::Saturation;
+use dbcmp::core::workload::FigScale;
+
+fn main() {
+    let scale = FigScale::quick();
+    println!("Running all eight camp x workload x saturation combinations...\n");
+    let quadrants = fig45_quadrants(&scale);
+
+    let mut rows = Vec::new();
+    for q in &quadrants {
+        let metric = match q.saturation {
+            Saturation::Saturated => format!("{:.3} UIPC", q.result.uipc()),
+            Saturation::Unsaturated => format!(
+                "{:.0} cyc/unit",
+                q.result.avg_unit_cycles.unwrap_or(f64::NAN)
+            ),
+        };
+        rows.push(vec![
+            q.camp.label().to_string(),
+            q.workload.label().to_string(),
+            q.saturation.label().to_string(),
+            metric,
+            pct(q.result.breakdown.compute_fraction()),
+            pct(q.result.breakdown.data_stall_fraction()),
+        ]);
+    }
+    print!(
+        "{}",
+        table(&["Camp", "Workload", "Saturation", "Metric", "Compute", "D-stalls"], &rows)
+    );
+
+    println!("\nLC normalized to FC (paper Fig. 4):");
+    let ratios = fig4_ratios(&quadrants);
+    let rows: Vec<Vec<String>> = ratios
+        .iter()
+        .map(|&(w, rt, tp)| vec![w.label().into(), f2(rt), f2(tp)])
+        .collect();
+    print!("{}", table(&["Workload", "Response-time ratio", "Throughput ratio"], &rows));
+    println!("\n> 1.0 response ratio: the fat camp wins single-thread latency.");
+    println!("> 1.0 throughput ratio: the lean camp wins saturated throughput.");
+}

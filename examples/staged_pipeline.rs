@@ -1,0 +1,55 @@
+//! Staged execution demo (paper §6): the same query run conventionally
+//! (Volcano), cohort-staged, and pipeline-parallel — comparing native
+//! instruction counts and simulated response times.
+//!
+//! ```sh
+//! cargo run --release --example staged_pipeline
+//! ```
+
+use dbcmp::core::experiment::{run_completion, RunSpec};
+use dbcmp::core::machines::{lc_cmp, L2Spec};
+use dbcmp::core::report::{f2, table};
+use dbcmp::staged::{capture_staged_dss, ExecPolicy};
+use dbcmp::workloads::tpch::{build_tpch, QueryKind, TpchScale};
+
+fn main() {
+    let policies: [(&str, ExecPolicy); 3] = [
+        ("Volcano", ExecPolicy::Volcano),
+        ("Staged (batch 256)", ExecPolicy::Staged { batch: 256 }),
+        ("Staged parallel (3 prod.)", ExecPolicy::StagedParallel { batch: 256, producers: 3 }),
+    ];
+
+    println!("Executing Q1+Q6 under three policies on the lean-camp CMP...\n");
+    let mut rows = Vec::new();
+    let mut base_cycles = 0.0;
+    for (name, policy) in policies {
+        let (mut db, h) = build_tpch(TpchScale::tiny(), 7);
+        let bundle =
+            capture_staged_dss(&mut db, &h, &[QueryKind::Q1, QueryKind::Q6], policy, 2, 7);
+        let res = run_completion(
+            lc_cmp(4, 8 << 20, L2Spec::Cacti),
+            &bundle,
+            RunSpec::default(),
+        );
+        let cycles = res.cycles as f64 / res.units.max(1) as f64;
+        if base_cycles == 0.0 {
+            base_cycles = cycles;
+        }
+        rows.push(vec![
+            name.to_string(),
+            bundle.threads.len().to_string(),
+            format!("{:.2}M", bundle.total_instrs() as f64 / 1e6),
+            format!("{:.0}", cycles),
+            f2(base_cycles / cycles),
+        ]);
+    }
+    print!(
+        "{}",
+        table(
+            &["Policy", "Contexts", "Instructions", "Cycles/query", "Speedup"],
+            &rows
+        )
+    );
+    println!("\nCohort staging amortizes per-tuple call overhead; pipeline");
+    println!("parallelism exploits the lean chip's idle contexts (paper §6).");
+}

@@ -1,0 +1,81 @@
+//! Cross-crate consistency checks: the Fig. 3 validation band, trace
+//! statistics agreement, and the L2-hit-stall growth property of the
+//! cache sweep.
+
+use dbcmp::core::experiment::{run_throughput, RunSpec};
+use dbcmp::core::machines::{fc_cmp, L2Spec};
+use dbcmp::core::taxonomy::WorkloadKind;
+use dbcmp::core::workload::{CapturedWorkload, FigScale};
+use dbcmp::sim::analytic::Validation;
+use dbcmp::trace::TraceSummary;
+
+fn spec(scale: &FigScale) -> RunSpec {
+    RunSpec { warmup: scale.warmup, measure: scale.measure, max_cycles: u64::MAX }
+}
+
+/// Fig. 3 analogue: the independent closed-form CPI model must land in the
+/// same ballpark as the simulator (the paper's was within 5% of hardware;
+/// our closed form ignores queueing, so the band is wider but bounded).
+#[test]
+fn analytic_validation_within_band() {
+    let scale = FigScale::quick();
+    let w = CapturedWorkload::saturated(WorkloadKind::Dss, &scale);
+    let cfg = fc_cmp(4, 4 << 20, L2Spec::Cacti);
+    let res = run_throughput(cfg.clone(), &w.bundle, spec(&scale));
+    let v = Validation::new(&cfg, &res, w.analytic_stats());
+    assert!(
+        v.total_error() < 0.6,
+        "analytic CPI {:.3} too far from simulated {:.3} (err {:.0}%)",
+        v.reference.total(),
+        v.simulated.total(),
+        v.total_error() * 100.0
+    );
+    // Component ordering must agree: data stalls are the largest stall
+    // class in both views.
+    assert!(v.simulated.d_stalls > v.simulated.i_stalls);
+    assert!(v.reference.d_stalls > v.reference.i_stalls);
+}
+
+/// The trace summary agrees with the bundle's own aggregate counters.
+#[test]
+fn summary_agrees_with_bundle_counters() {
+    let scale = FigScale::quick();
+    let w = CapturedWorkload::unsaturated(WorkloadKind::Oltp, &scale);
+    let s = TraceSummary::compute(&w.bundle.regions, &w.bundle.threads);
+    assert_eq!(s.instrs, w.bundle.total_instrs());
+    assert_eq!(s.units, w.bundle.total_units());
+    let direct: u64 = w.bundle.threads.iter().map(|t| t.loads() + t.stores()).sum();
+    assert_eq!(s.loads + s.stores, direct);
+}
+
+/// Fig. 6 property: under CACTI latencies, the L2-hit stall CPI component
+/// grows monotonically with cache size (bigger cache ⇒ more hits, each
+/// slower).
+#[test]
+fn l2_hit_stall_component_grows_with_cache_size() {
+    let scale = FigScale::quick();
+    let w = CapturedWorkload::saturated(WorkloadKind::Oltp, &scale);
+    let s = spec(&scale);
+    let mut last = -1.0f64;
+    for mb in [1u64, 4, 16, 26] {
+        let res = run_throughput(fc_cmp(4, mb << 20, L2Spec::Cacti), &w.bundle, s);
+        let comp = res.cpi_component(dbcmp::sim::CycleClass::DStallL2Hit);
+        assert!(
+            comp >= last * 0.8, // allow small non-monotonic wiggle
+            "L2-hit CPI must trend upward with size: {last:.4} -> {comp:.4} at {mb} MB"
+        );
+        last = last.max(comp);
+    }
+    assert!(last > 0.0, "L2-hit stalls must exist at 26 MB");
+}
+
+/// Simulated UIPC never exceeds the machine's theoretical peak.
+#[test]
+fn uipc_bounded_by_issue_width() {
+    let scale = FigScale::quick();
+    let w = CapturedWorkload::saturated(WorkloadKind::Dss, &scale);
+    let res = run_throughput(fc_cmp(4, 8 << 20, L2Spec::Cacti), &w.bundle, spec(&scale));
+    // 4 cores x 4-wide = 16 absolute ceiling.
+    assert!(res.uipc() <= 16.0, "UIPC {:.2} exceeds hardware peak", res.uipc());
+    assert!(res.uipc() > 0.0);
+}
