@@ -94,14 +94,10 @@ fn bench_tpcc(c: &mut Criterion) {
     let mut rng = tpcc_rng(99, 0);
     let mut tc = db.null_ctx();
     c.bench_function("tpcc_new_order", |b| {
-        b.iter(|| {
-            black_box(run_txn(&mut db, &h, TxnKind::NewOrder, 1, &mut rng, &mut tc).unwrap())
-        })
+        b.iter(|| black_box(run_txn(&mut db, &h, TxnKind::NewOrder, 1, &mut rng, &mut tc).unwrap()))
     });
     c.bench_function("tpcc_payment", |b| {
-        b.iter(|| {
-            black_box(run_txn(&mut db, &h, TxnKind::Payment, 1, &mut rng, &mut tc).unwrap())
-        })
+        b.iter(|| black_box(run_txn(&mut db, &h, TxnKind::Payment, 1, &mut rng, &mut tc).unwrap()))
     });
 }
 

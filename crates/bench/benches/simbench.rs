@@ -37,7 +37,10 @@ fn bench_cores(c: &mut Criterion) {
             black_box(Machine::run(
                 MachineConfig::fat_cmp(4, 4 << 20, 10),
                 &bundle,
-                RunMode::Throughput { warmup: 0, measure: cycles },
+                RunMode::Throughput {
+                    warmup: 0,
+                    measure: cycles,
+                },
             ))
         })
     });
@@ -46,7 +49,10 @@ fn bench_cores(c: &mut Criterion) {
             black_box(Machine::run(
                 MachineConfig::lean_cmp(4, 4 << 20, 10),
                 &bundle,
-                RunMode::Throughput { warmup: 0, measure: cycles },
+                RunMode::Throughput {
+                    warmup: 0,
+                    measure: cycles,
+                },
             ))
         })
     });

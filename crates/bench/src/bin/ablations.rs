@@ -42,9 +42,16 @@ fn strip_dependences(bundle: &TraceBundle) -> TraceBundle {
 }
 
 fn main() {
-    header("Ablations: simulator design choices", "DESIGN.md mechanisms");
+    header(
+        "Ablations: simulator design choices",
+        "DESIGN.md mechanisms",
+    );
     let scale = scale_from_args();
-    let spec = RunSpec { warmup: scale.warmup, measure: scale.measure, max_cycles: u64::MAX };
+    let spec = RunSpec {
+        warmup: scale.warmup,
+        measure: scale.measure,
+        max_cycles: u64::MAX,
+    };
 
     let oltp = CapturedWorkload::saturated(WorkloadKind::Oltp, &scale);
     let dss = CapturedWorkload::saturated(WorkloadKind::Dss, &scale);
@@ -57,10 +64,21 @@ fn main() {
     let r_on = run_throughput(on, &oltp.bundle, spec);
     let r_off = run_throughput(off, &oltp.bundle, spec);
     let rows = vec![
-        vec!["on (8 entries)".into(), f3(r_on.uipc()), pct(r_on.breakdown.instr_stall_fraction())],
-        vec!["off".into(), f3(r_off.uipc()), pct(r_off.breakdown.instr_stall_fraction())],
+        vec![
+            "on (8 entries)".into(),
+            f3(r_on.uipc()),
+            pct(r_on.breakdown.instr_stall_fraction()),
+        ],
+        vec![
+            "off".into(),
+            f3(r_off.uipc()),
+            pct(r_off.breakdown.instr_stall_fraction()),
+        ],
     ];
-    print!("{}", table(&["Stream buffers", "UIPC", "I-stall share"], &rows));
+    print!(
+        "{}",
+        table(&["Stream buffers", "UIPC", "I-stall share"], &rows)
+    );
     println!(
         "   -> buffers recover {:.0}% throughput\n",
         (r_on.uipc() / r_off.uipc() - 1.0) * 100.0
@@ -72,8 +90,14 @@ fn main() {
     let r_dep = run_throughput(fc_cmp(4, 8 << 20, L2Spec::Cacti), &oltp.bundle, spec);
     let r_indep = run_throughput(fc_cmp(4, 8 << 20, L2Spec::Cacti), &stripped, spec);
     let rows = vec![
-        vec!["as captured (B+Tree chases serialize)".into(), f3(r_dep.uipc())],
-        vec!["all loads independent (fantasy MLP)".into(), f3(r_indep.uipc())],
+        vec![
+            "as captured (B+Tree chases serialize)".into(),
+            f3(r_dep.uipc()),
+        ],
+        vec![
+            "all loads independent (fantasy MLP)".into(),
+            f3(r_indep.uipc()),
+        ],
     ];
     print!("{}", table(&["Dependences", "UIPC"], &rows));
     println!(
@@ -86,9 +110,17 @@ fn main() {
     let mut rows = Vec::new();
     for mshrs in [1usize, 2, 4, 8] {
         let mut cfg = fc_cmp(4, 8 << 20, L2Spec::Cacti);
-        cfg.core = CoreKind::Fat { width: 4, rob: 128, mshrs };
+        cfg.core = CoreKind::Fat {
+            width: 4,
+            rob: 128,
+            mshrs,
+        };
         let r = run_throughput(cfg, &dss.bundle, spec);
-        rows.push(vec![mshrs.to_string(), f3(r.uipc()), pct(r.breakdown.data_stall_fraction())]);
+        rows.push(vec![
+            mshrs.to_string(),
+            f3(r.uipc()),
+            pct(r.breakdown.data_stall_fraction()),
+        ]);
     }
     print!("{}", table(&["MSHRs", "UIPC", "D-stall share"], &rows));
     println!("   -> more outstanding misses, more scan overlap\n");
@@ -107,6 +139,9 @@ fn main() {
             f2(r.mem.l2_queue_cycles as f64 / r.mem.l2_queued_accesses.max(1) as f64),
         ]);
     }
-    print!("{}", table(&["L2 banks", "UIPC", "Avg queue delay (cyc)"], &rows));
+    print!(
+        "{}",
+        table(&["L2 banks", "UIPC", "Avg queue delay (cyc)"], &rows)
+    );
     println!("   -> fewer banks, more correlated-miss queueing");
 }

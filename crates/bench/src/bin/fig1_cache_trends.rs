@@ -6,12 +6,21 @@ use dbcmp_cacti::{historic_latencies, historic_sizes, CactiModel};
 use dbcmp_core::report::table;
 
 fn main() {
-    header("Fig. 1: historic on-chip cache trends", "Figure 1 (a) and (b)");
+    header(
+        "Fig. 1: historic on-chip cache trends",
+        "Figure 1 (a) and (b)",
+    );
 
     println!("(a) On-chip cache size by processor generation");
     let rows: Vec<Vec<String>> = historic_sizes()
         .iter()
-        .map(|p| vec![p.year.to_string(), p.processor.to_string(), format!("{} KB", p.on_chip_kb)])
+        .map(|p| {
+            vec![
+                p.year.to_string(),
+                p.processor.to_string(),
+                format!("{} KB", p.on_chip_kb),
+            ]
+        })
         .collect();
     print!("{}", table(&["Year", "Processor", "On-chip cache"], &rows));
 
@@ -30,7 +39,10 @@ fn main() {
 
     println!("\nCACTI-lite model curve (65 nm, 3 GHz, 16-way):");
     let model = CactiModel::paper_era();
-    let sizes: Vec<u64> = [1u64, 2, 4, 8, 16, 21, 26].iter().map(|m| m << 20).collect();
+    let sizes: Vec<u64> = [1u64, 2, 4, 8, 16, 21, 26]
+        .iter()
+        .map(|m| m << 20)
+        .collect();
     let rows: Vec<Vec<String>> = model
         .sweep(&sizes)
         .into_iter()
@@ -43,5 +55,8 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", table(&["L2 size", "Access time", "Latency", "Area"], &rows));
+    print!(
+        "{}",
+        table(&["L2 size", "Access time", "Latency", "Area"], &rows)
+    );
 }

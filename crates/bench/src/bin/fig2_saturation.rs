@@ -10,8 +10,10 @@ fn main() {
     let scale = scale_from_args();
     let clients = [1usize, 2, 4, 8, 16];
     let pts = fig2_saturation(&scale, &clients);
-    let rows: Vec<Vec<String>> =
-        pts.iter().map(|&(n, t)| vec![n.to_string(), f2(t)]).collect();
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|&(n, t)| vec![n.to_string(), f2(t)])
+        .collect();
     print!("{}", table(&["Clients", "Norm. throughput"], &rows));
     println!();
     println!(

@@ -7,7 +7,10 @@ use dbcmp_core::figures::fig3_validation;
 use dbcmp_core::report::{f3, table};
 
 fn main() {
-    header("Fig. 3: simulator validation (saturated DSS, FC)", "Figure 3");
+    header(
+        "Fig. 3: simulator validation (saturated DSS, FC)",
+        "Figure 3",
+    );
     let scale = scale_from_args();
     let (v, res) = fig3_validation(&scale);
     let rows = vec![
@@ -30,12 +33,27 @@ fn main() {
     ];
     print!(
         "{}",
-        table(&["Source", "Computation", "I-stalls", "D-stalls", "Other", "Total CPI"], &rows)
+        table(
+            &[
+                "Source",
+                "Computation",
+                "I-stalls",
+                "D-stalls",
+                "Other",
+                "Total CPI"
+            ],
+            &rows
+        )
     );
     println!();
     println!("Total CPI relative error: {:.1}%", v.total_error() * 100.0);
     println!("(paper: FLEXUS within 5% of hardware; our closed form ignores");
     println!(" queueing/burstiness, so a wider band is expected — see DESIGN.md)");
     println!();
-    println!("Run: {} instrs over {} cycles, UIPC {:.3}", res.instrs, res.cycles, res.uipc());
+    println!(
+        "Run: {} instrs over {} cycles, UIPC {:.3}",
+        res.instrs,
+        res.cycles,
+        res.uipc()
+    );
 }

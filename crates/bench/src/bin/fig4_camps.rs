@@ -6,7 +6,10 @@ use dbcmp_core::figures::{fig45_quadrants, fig4_ratios};
 use dbcmp_core::report::{f2, table};
 
 fn main() {
-    header("Fig. 4: LC vs FC response time and throughput", "Figure 4 (a) and (b)");
+    header(
+        "Fig. 4: LC vs FC response time and throughput",
+        "Figure 4 (a) and (b)",
+    );
     let scale = scale_from_args();
     let quadrants = fig45_quadrants(&scale);
     let ratios = fig4_ratios(&quadrants);
@@ -17,7 +20,11 @@ fn main() {
     print!(
         "{}",
         table(
-            &["Workload", "LC/FC response time (unsat)", "LC/FC throughput (sat)"],
+            &[
+                "Workload",
+                "LC/FC response time (unsat)",
+                "LC/FC throughput (sat)"
+            ],
             &rows
         )
     );

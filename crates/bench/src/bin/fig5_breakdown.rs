@@ -25,7 +25,15 @@ fn main() {
     print!(
         "{}",
         table(
-            &["Config", "Saturation", "Computation", "I-stalls", "D-stalls", "Other", "(D-L2hit)"],
+            &[
+                "Config",
+                "Saturation",
+                "Computation",
+                "I-stalls",
+                "D-stalls",
+                "Other",
+                "(D-L2hit)"
+            ],
             &rows
         )
     );

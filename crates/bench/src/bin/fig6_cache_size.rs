@@ -8,9 +8,15 @@ use dbcmp_core::taxonomy::WorkloadKind;
 use dbcmp_sim::CycleClass;
 
 fn main() {
-    header("Fig. 6: impact of L2 cache size and latency", "Figure 6 (a), (b), (c)");
+    header(
+        "Fig. 6: impact of L2 cache size and latency",
+        "Figure 6 (a), (b), (c)",
+    );
     let scale = scale_from_args();
-    let sizes: Vec<u64> = [1u64, 2, 4, 8, 16, 21, 26].iter().map(|m| m << 20).collect();
+    let sizes: Vec<u64> = [1u64, 2, 4, 8, 16, 21, 26]
+        .iter()
+        .map(|m| m << 20)
+        .collect();
     let points = fig6_cache_sweep(&scale, &sizes);
 
     for workload in [WorkloadKind::Oltp, WorkloadKind::Dss] {

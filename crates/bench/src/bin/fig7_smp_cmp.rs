@@ -21,8 +21,10 @@ fn main() {
                 pct(b.compute_fraction()),
                 pct(b.instr_stall_fraction()),
                 pct(b.get(CycleClass::DStallL2Hit) as f64 / total),
-                pct((b.get(CycleClass::DStallMem) + b.get(CycleClass::DStallCoherence)) as f64
-                    / total),
+                pct(
+                    (b.get(CycleClass::DStallMem) + b.get(CycleClass::DStallCoherence)) as f64
+                        / total,
+                ),
                 pct(b.get(CycleClass::Other) as f64 / total),
             ]);
         }

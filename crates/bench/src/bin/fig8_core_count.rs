@@ -13,13 +13,14 @@ fn main() {
         println!("\n-- {} --", workload.label());
         let rows: Vec<Vec<String>> = pts
             .iter()
-            .map(|&(n, got, linear)| {
-                vec![n.to_string(), f2(got), f2(linear), f2(got / linear)]
-            })
+            .map(|&(n, got, linear)| vec![n.to_string(), f2(got), f2(linear), f2(got / linear)])
             .collect();
         print!(
             "{}",
-            table(&["Cores", "Norm. throughput", "Linear ref", "Efficiency"], &rows)
+            table(
+                &["Cores", "Norm. throughput", "Linear ref", "Efficiency"],
+                &rows
+            )
         );
     }
     println!();

@@ -7,7 +7,10 @@ use dbcmp_core::figures::fig9_staged;
 use dbcmp_core::report::{f2, table};
 
 fn main() {
-    header("§6 ablation: staged database execution", "Section 6 (StagedDB)");
+    header(
+        "§6 ablation: staged database execution",
+        "Section 6 (StagedDB)",
+    );
     let scale = scale_from_args();
     let results = fig9_staged(&scale);
     let base_lc = results[0].response_lc;

@@ -8,7 +8,19 @@ fn main() {
     header("Table 1: CMP camp characteristics", "Table 1");
     let rows: Vec<Vec<String>> = table1()
         .into_iter()
-        .map(|r| vec![r.characteristic.to_string(), r.fat.to_string(), r.lean.to_string()])
+        .map(|r| {
+            vec![
+                r.characteristic.to_string(),
+                r.fat.to_string(),
+                r.lean.to_string(),
+            ]
+        })
         .collect();
-    print!("{}", table(&["Core Technology", "Fat Camp (FC)", "Lean Camp (LC)"], &rows));
+    print!(
+        "{}",
+        table(
+            &["Core Technology", "Fat Camp (FC)", "Lean Camp (LC)"],
+            &rows
+        )
+    );
 }

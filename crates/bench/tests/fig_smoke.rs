@@ -1,0 +1,130 @@
+//! Smoke tests: every `fig*`/`table1`/`ablations` binary's underlying
+//! generator runs to completion at `FigScale::quick()` and returns
+//! plausibly-shaped data.
+//!
+//! The binaries themselves are thin printers over `dbcmp_core::figures`
+//! (and `dbcmp_cacti` for Fig. 1); exercising the generators here means a
+//! broken figure pipeline fails `cargo test` instead of rotting silently
+//! until someone regenerates the paper artifacts.
+
+use dbcmp_cacti::{historic_latencies, historic_sizes, CacheOrg, CactiModel};
+use dbcmp_core::experiment::{run_throughput, RunSpec};
+use dbcmp_core::figures::{
+    fig2_saturation, fig3_validation, fig45_quadrants, fig4_ratios, fig6_cache_sweep,
+    fig7_smp_vs_cmp, fig8_core_scaling, fig9_staged, BASE_CORES,
+};
+use dbcmp_core::machines::{fc_cmp, L2Spec};
+use dbcmp_core::taxonomy::{table1, WorkloadKind};
+use dbcmp_core::workload::{CapturedWorkload, FigScale};
+
+#[test]
+fn fig1_historic_trends_and_cacti_model() {
+    let sizes = historic_sizes();
+    let lats = historic_latencies();
+    assert!(!sizes.is_empty() && !lats.is_empty());
+    let model = CactiModel::paper_era();
+    let small = model.evaluate(CacheOrg::l2(1 << 20)).latency_cycles;
+    let large = model.evaluate(CacheOrg::l2(26 << 20)).latency_cycles;
+    assert!(
+        small < large,
+        "bigger caches must be slower ({small} !< {large})"
+    );
+}
+
+#[test]
+fn fig2_saturation_curve() {
+    let scale = FigScale::quick();
+    let pts = fig2_saturation(&scale, &[1, 4]);
+    assert_eq!(pts.len(), 2);
+    assert!(pts.iter().all(|&(_, t)| t.is_finite() && t > 0.0));
+}
+
+#[test]
+fn fig3_validation_quick() {
+    let scale = FigScale::quick();
+    let (v, res) = fig3_validation(&scale);
+    assert!(res.cycles > 0 && res.instrs > 0);
+    assert!(v.simulated.total() > 0.0);
+    assert!(v.reference.total() > 0.0);
+    assert!(v.total_error().is_finite());
+}
+
+#[test]
+fn fig4_and_fig5_quadrants() {
+    let scale = FigScale::quick();
+    let quadrants = fig45_quadrants(&scale);
+    assert_eq!(quadrants.len(), 8, "2 camps x 2 workloads x 2 saturations");
+    assert!(quadrants.iter().all(|q| q.result.cycles > 0));
+    let ratios = fig4_ratios(&quadrants);
+    assert_eq!(ratios.len(), 2);
+    for (_, rt_ratio, tp_ratio) in ratios {
+        assert!(rt_ratio.is_finite() && rt_ratio > 0.0);
+        assert!(tp_ratio.is_finite() && tp_ratio > 0.0);
+    }
+}
+
+#[test]
+fn fig6_cache_sweep_quick() {
+    let scale = FigScale::quick();
+    let pts = fig6_cache_sweep(&scale, &[1 << 20, 26 << 20]);
+    assert_eq!(pts.len(), 8, "2 workloads x 2 sizes x {{fixed, cacti}}");
+    assert!(pts.iter().all(|p| p.result.cycles > 0));
+}
+
+#[test]
+fn fig7_smp_vs_cmp_quick() {
+    let scale = FigScale::quick();
+    let rows = fig7_smp_vs_cmp(&scale);
+    assert_eq!(rows.len(), 2);
+    for r in rows {
+        assert!(r.smp.cycles > 0 && r.cmp.cycles > 0);
+    }
+}
+
+#[test]
+fn fig8_core_scaling_quick() {
+    let scale = FigScale::quick();
+    let series = fig8_core_scaling(&scale, &[1, 2]);
+    assert_eq!(series.len(), 2);
+    for (_, pts) in series {
+        assert_eq!(pts.len(), 2);
+        assert!(
+            (pts[0].1 - 1.0).abs() < 1e-9,
+            "first point normalizes to 1.0"
+        );
+    }
+}
+
+#[test]
+fn fig9_staged_quick() {
+    let scale = FigScale::quick();
+    let rows = fig9_staged(&scale);
+    assert_eq!(rows.len(), 3, "Volcano, staged, staged-parallel");
+    for r in rows {
+        assert!(r.response_lc > 0.0 && r.response_fc > 0.0);
+        assert!(r.instrs_per_query > 0.0);
+        assert!((0.0..=1.0).contains(&r.l1d_miss_rate));
+    }
+}
+
+#[test]
+fn table1_camps_rows() {
+    let rows = table1();
+    assert!(rows.len() >= 2, "at least the FC and LC camps");
+}
+
+/// The `ablations` binary's core path: re-run a captured workload through
+/// `run_throughput` on the baseline FC CMP (its ablations are variations
+/// of exactly this call).
+#[test]
+fn ablations_baseline_path() {
+    let scale = FigScale::quick();
+    let w = CapturedWorkload::saturated(WorkloadKind::Dss, &scale);
+    let spec = RunSpec {
+        warmup: scale.warmup,
+        measure: scale.measure,
+        max_cycles: 2_000_000_000,
+    };
+    let res = run_throughput(fc_cmp(BASE_CORES, 4 << 20, L2Spec::Cacti), &w.bundle, spec);
+    assert!(res.cycles > 0 && res.instrs > 0);
+}

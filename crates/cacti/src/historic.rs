@@ -24,29 +24,107 @@ pub struct CachePoint {
 /// Fig. 1a: on-chip cache size per processor, 1989-2006.
 pub fn historic_sizes() -> &'static [CachePoint] {
     const POINTS: &[CachePoint] = &[
-        CachePoint { year: 1989, processor: "Intel 486", on_chip_kb: 8, hit_latency_cycles: None },
-        CachePoint { year: 1993, processor: "Intel Pentium", on_chip_kb: 16, hit_latency_cycles: None },
-        CachePoint { year: 1995, processor: "Intel Pentium Pro", on_chip_kb: 16, hit_latency_cycles: Some(4) },
-        CachePoint { year: 1997, processor: "Intel Pentium II", on_chip_kb: 32, hit_latency_cycles: Some(4) },
-        CachePoint { year: 1999, processor: "Intel Pentium III (Coppermine)", on_chip_kb: 256 + 32, hit_latency_cycles: Some(4) },
-        CachePoint { year: 2000, processor: "IBM Power4", on_chip_kb: 1440 + 96, hit_latency_cycles: Some(12) },
-        CachePoint { year: 2001, processor: "Intel Pentium 4 (Willamette)", on_chip_kb: 256 + 8, hit_latency_cycles: Some(7) },
-        CachePoint { year: 2002, processor: "Intel Itanium 2 (McKinley)", on_chip_kb: 3 * 1024 + 256 + 32, hit_latency_cycles: Some(5) },
-        CachePoint { year: 2003, processor: "Intel Pentium M (Banias)", on_chip_kb: 1024 + 64, hit_latency_cycles: Some(9) },
-        CachePoint { year: 2004, processor: "IBM Power5", on_chip_kb: 1920 + 96, hit_latency_cycles: Some(14) },
-        CachePoint { year: 2005, processor: "Intel Itanium 2 (9M)", on_chip_kb: 9 * 1024 + 256, hit_latency_cycles: Some(14) },
-        CachePoint { year: 2005, processor: "Sun UltraSPARC T1", on_chip_kb: 3 * 1024 + 8 * 24, hit_latency_cycles: Some(21) },
-        CachePoint { year: 2006, processor: "Intel Xeon 7100 (Tulsa)", on_chip_kb: 16 * 1024 + 2 * 1024 + 2 * 96, hit_latency_cycles: None },
-        CachePoint { year: 2006, processor: "Dual-Core Itanium (Montecito)", on_chip_kb: 24 * 1024 + 2 * (1024 + 256) + 2 * 32, hit_latency_cycles: Some(14) },
-        CachePoint { year: 2006, processor: "Intel Core 2 Duo (Conroe)", on_chip_kb: 4 * 1024 + 2 * 64, hit_latency_cycles: Some(14) },
+        CachePoint {
+            year: 1989,
+            processor: "Intel 486",
+            on_chip_kb: 8,
+            hit_latency_cycles: None,
+        },
+        CachePoint {
+            year: 1993,
+            processor: "Intel Pentium",
+            on_chip_kb: 16,
+            hit_latency_cycles: None,
+        },
+        CachePoint {
+            year: 1995,
+            processor: "Intel Pentium Pro",
+            on_chip_kb: 16,
+            hit_latency_cycles: Some(4),
+        },
+        CachePoint {
+            year: 1997,
+            processor: "Intel Pentium II",
+            on_chip_kb: 32,
+            hit_latency_cycles: Some(4),
+        },
+        CachePoint {
+            year: 1999,
+            processor: "Intel Pentium III (Coppermine)",
+            on_chip_kb: 256 + 32,
+            hit_latency_cycles: Some(4),
+        },
+        CachePoint {
+            year: 2000,
+            processor: "IBM Power4",
+            on_chip_kb: 1440 + 96,
+            hit_latency_cycles: Some(12),
+        },
+        CachePoint {
+            year: 2001,
+            processor: "Intel Pentium 4 (Willamette)",
+            on_chip_kb: 256 + 8,
+            hit_latency_cycles: Some(7),
+        },
+        CachePoint {
+            year: 2002,
+            processor: "Intel Itanium 2 (McKinley)",
+            on_chip_kb: 3 * 1024 + 256 + 32,
+            hit_latency_cycles: Some(5),
+        },
+        CachePoint {
+            year: 2003,
+            processor: "Intel Pentium M (Banias)",
+            on_chip_kb: 1024 + 64,
+            hit_latency_cycles: Some(9),
+        },
+        CachePoint {
+            year: 2004,
+            processor: "IBM Power5",
+            on_chip_kb: 1920 + 96,
+            hit_latency_cycles: Some(14),
+        },
+        CachePoint {
+            year: 2005,
+            processor: "Intel Itanium 2 (9M)",
+            on_chip_kb: 9 * 1024 + 256,
+            hit_latency_cycles: Some(14),
+        },
+        CachePoint {
+            year: 2005,
+            processor: "Sun UltraSPARC T1",
+            on_chip_kb: 3 * 1024 + 8 * 24,
+            hit_latency_cycles: Some(21),
+        },
+        CachePoint {
+            year: 2006,
+            processor: "Intel Xeon 7100 (Tulsa)",
+            on_chip_kb: 16 * 1024 + 2 * 1024 + 2 * 96,
+            hit_latency_cycles: None,
+        },
+        CachePoint {
+            year: 2006,
+            processor: "Dual-Core Itanium (Montecito)",
+            on_chip_kb: 24 * 1024 + 2 * (1024 + 256) + 2 * 32,
+            hit_latency_cycles: Some(14),
+        },
+        CachePoint {
+            year: 2006,
+            processor: "Intel Core 2 Duo (Conroe)",
+            on_chip_kb: 4 * 1024 + 2 * 64,
+            hit_latency_cycles: Some(14),
+        },
     ];
     POINTS
 }
 
 /// Fig. 1b: the subset with documented hit latencies, in year order.
 pub fn historic_latencies() -> Vec<CachePoint> {
-    let mut v: Vec<CachePoint> =
-        historic_sizes().iter().copied().filter(|p| p.hit_latency_cycles.is_some()).collect();
+    let mut v: Vec<CachePoint> = historic_sizes()
+        .iter()
+        .copied()
+        .filter(|p| p.hit_latency_cycles.is_some())
+        .collect();
     v.sort_by_key(|p| p.year);
     v
 }
@@ -70,10 +148,18 @@ mod tests {
         let early: Vec<_> = pts.iter().filter(|p| p.year < 2000).collect();
         let late: Vec<_> = pts.iter().filter(|p| p.year >= 2004).collect();
         let avg = |v: &[&CachePoint]| {
-            v.iter().map(|p| p.hit_latency_cycles.unwrap() as f64).sum::<f64>() / v.len() as f64
+            v.iter()
+                .map(|p| p.hit_latency_cycles.unwrap() as f64)
+                .sum::<f64>()
+                / v.len() as f64
         };
         // The paper quotes a >3-fold latency increase over the decade.
-        assert!(avg(&late) >= 3.0 * avg(&early), "late {:?} early {:?}", avg(&late), avg(&early));
+        assert!(
+            avg(&late) >= 3.0 * avg(&early),
+            "late {:?} early {:?}",
+            avg(&late),
+            avg(&early)
+        );
     }
 
     #[test]

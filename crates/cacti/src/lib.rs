@@ -29,12 +29,16 @@ pub use model::{CacheOrg, CactiModel, CactiResult};
 /// `size_bytes` at the default paper-era technology point (65 nm, 3 GHz,
 /// 16-way, 64 B lines).
 pub fn l2_latency_cycles(size_bytes: u64) -> u64 {
-    CactiModel::paper_era().evaluate(CacheOrg::l2(size_bytes)).latency_cycles
+    CactiModel::paper_era()
+        .evaluate(CacheOrg::l2(size_bytes))
+        .latency_cycles
 }
 
 /// Convenience: L1 hit latency in cycles at the same technology point.
 pub fn l1_latency_cycles(size_bytes: u64) -> u64 {
-    CactiModel::paper_era().evaluate(CacheOrg::l1(size_bytes)).latency_cycles
+    CactiModel::paper_era()
+        .evaluate(CacheOrg::l1(size_bytes))
+        .latency_cycles
 }
 
 #[cfg(test)]
@@ -45,28 +49,54 @@ mod tests {
     fn paper_era_design_points() {
         // L1s are small and fast.
         let l1 = l1_latency_cycles(64 * 1024);
-        assert!((1..=4).contains(&l1), "64 KB L1 should be 1-4 cycles, got {l1}");
+        assert!(
+            (1..=4).contains(&l1),
+            "64 KB L1 should be 1-4 cycles, got {l1}"
+        );
 
         // The paper's fixed-latency experiments call 4 cycles "unrealistically
         // low" for multi-MB L2s; the model must agree.
         let l2_1m = l2_latency_cycles(1 << 20);
-        assert!(l2_1m > 4, "1 MB realistic latency must exceed 4 cycles, got {l2_1m}");
+        assert!(
+            l2_1m > 4,
+            "1 MB realistic latency must exceed 4 cycles, got {l2_1m}"
+        );
 
         // Fig. 1b regime: ~14+ cycles by the mid-2000s for big caches and
         // 20+ at 26 MB.
         let l2_16m = l2_latency_cycles(16 << 20);
         let l2_26m = l2_latency_cycles(26 << 20);
-        assert!((12..=20).contains(&l2_16m), "16 MB should be ~12-20 cycles, got {l2_16m}");
-        assert!((17..=28).contains(&l2_26m), "26 MB should be ~17-28 cycles, got {l2_26m}");
+        assert!(
+            (12..=20).contains(&l2_16m),
+            "16 MB should be ~12-20 cycles, got {l2_16m}"
+        );
+        assert!(
+            (17..=28).contains(&l2_26m),
+            "26 MB should be ~17-28 cycles, got {l2_26m}"
+        );
     }
 
     #[test]
     fn latency_monotone_in_size() {
-        let sizes = [256 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 26 << 20];
+        let sizes = [
+            256 << 10,
+            1 << 20,
+            2 << 20,
+            4 << 20,
+            8 << 20,
+            16 << 20,
+            26 << 20,
+        ];
         let lats: Vec<u64> = sizes.iter().map(|&s| l2_latency_cycles(s)).collect();
         for w in lats.windows(2) {
-            assert!(w[0] <= w[1], "latency must be non-decreasing in size: {lats:?}");
+            assert!(
+                w[0] <= w[1],
+                "latency must be non-decreasing in size: {lats:?}"
+            );
         }
-        assert!(lats[0] < *lats.last().unwrap(), "latency must grow across the sweep");
+        assert!(
+            lats[0] < *lats.last().unwrap(),
+            "latency must grow across the sweep"
+        );
     }
 }

@@ -117,7 +117,10 @@ impl CactiModel {
     /// Latency curve over a size sweep — the model line of Fig. 1b and the
     /// realistic-latency inputs of Fig. 6.
     pub fn sweep(&self, sizes: &[u64]) -> Vec<CactiResult> {
-        sizes.iter().map(|&s| self.evaluate(CacheOrg::l2(s))).collect()
+        sizes
+            .iter()
+            .map(|&s| self.evaluate(CacheOrg::l2(s)))
+            .collect()
     }
 }
 
@@ -141,12 +144,22 @@ pub struct CacheOrg {
 impl CacheOrg {
     /// Typical shared L2 organization used in the experiments.
     pub fn l2(size_bytes: u64) -> Self {
-        CacheOrg { size_bytes, block_bytes: 64, associativity: 16, level: CacheLevel::L2 }
+        CacheOrg {
+            size_bytes,
+            block_bytes: 64,
+            associativity: 16,
+            level: CacheLevel::L2,
+        }
     }
 
     /// Typical L1 organization.
     pub fn l1(size_bytes: u64) -> Self {
-        CacheOrg { size_bytes, block_bytes: 64, associativity: 2, level: CacheLevel::L1 }
+        CacheOrg {
+            size_bytes,
+            block_bytes: 64,
+            associativity: 2,
+            level: CacheLevel::L1,
+        }
     }
 }
 
@@ -175,7 +188,10 @@ mod tests {
         let a1 = m.evaluate(CacheOrg::l2(1 << 20)).area_mm2;
         let a4 = m.evaluate(CacheOrg::l2(4 << 20)).area_mm2;
         let ratio = a4 / a1;
-        assert!((ratio - 4.0).abs() < 0.01, "area should scale ~4x, got {ratio}");
+        assert!(
+            (ratio - 4.0).abs() < 0.01,
+            "area should scale ~4x, got {ratio}"
+        );
     }
 
     #[test]
@@ -206,7 +222,10 @@ mod tests {
         let slow = m.evaluate(CacheOrg::l2(8 << 20)).latency_cycles;
         m.clock_ghz = 5.0;
         let fast = m.evaluate(CacheOrg::l2(8 << 20)).latency_cycles;
-        assert!(fast >= slow, "more cycles at higher clock: {slow} -> {fast}");
+        assert!(
+            fast >= slow,
+            "more cycles at higher clock: {slow} -> {fast}"
+        );
     }
 
     #[test]

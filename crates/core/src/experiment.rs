@@ -14,33 +14,54 @@ pub struct RunSpec {
 
 impl Default for RunSpec {
     fn default() -> Self {
-        RunSpec { warmup: 400_000, measure: 1_600_000, max_cycles: 400_000_000 }
+        RunSpec {
+            warmup: 400_000,
+            measure: 1_600_000,
+            max_cycles: 400_000_000,
+        }
     }
 }
 
 /// Saturated-throughput run (the paper's UIPC metric).
 pub fn run_throughput(cfg: MachineConfig, bundle: &TraceBundle, spec: RunSpec) -> SimResult {
-    Machine::run(cfg, bundle, RunMode::Throughput { warmup: spec.warmup, measure: spec.measure })
+    Machine::run(
+        cfg,
+        bundle,
+        RunMode::Throughput {
+            warmup: spec.warmup,
+            measure: spec.measure,
+        },
+    )
 }
 
 /// Run-to-completion (the paper's response-time metric).
 pub fn run_completion(cfg: MachineConfig, bundle: &TraceBundle, spec: RunSpec) -> SimResult {
-    Machine::run(cfg, bundle, RunMode::Completion { max_cycles: spec.max_cycles })
+    Machine::run(
+        cfg,
+        bundle,
+        RunMode::Completion {
+            max_cycles: spec.max_cycles,
+        },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::machines::{fc_cmp, L2Spec};
-    use crate::workload::{CapturedWorkload, FigScale};
     use crate::taxonomy::WorkloadKind;
+    use crate::workload::{CapturedWorkload, FigScale};
 
     #[test]
     fn throughput_and_completion_run() {
         let scale = FigScale::quick();
         let w = CapturedWorkload::unsaturated(WorkloadKind::Dss, &scale);
         let cfg = fc_cmp(1, 1 << 20, L2Spec::Cacti);
-        let spec = RunSpec { warmup: 10_000, measure: 50_000, max_cycles: 100_000_000 };
+        let spec = RunSpec {
+            warmup: 10_000,
+            measure: 50_000,
+            max_cycles: 100_000_000,
+        };
         let t = run_throughput(cfg.clone(), &w.bundle, spec);
         assert!(t.instrs > 0);
         let c = run_completion(cfg, &w.bundle, spec);

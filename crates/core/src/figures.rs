@@ -15,7 +15,11 @@ use crate::taxonomy::{Camp, Saturation, WorkloadKind};
 use crate::workload::{CapturedWorkload, FigScale};
 
 fn spec_of(scale: &FigScale) -> RunSpec {
-    RunSpec { warmup: scale.warmup, measure: scale.measure, max_cycles: 2_000_000_000 }
+    RunSpec {
+        warmup: scale.warmup,
+        measure: scale.measure,
+        max_cycles: 2_000_000_000,
+    }
 }
 
 /// The baseline chip of §3-§4: four cores, 26 MB shared L2 (the paper's
@@ -142,10 +146,19 @@ pub fn fig6_cache_sweep(scale: &FigScale, sizes: &[u64]) -> Vec<Fig6Point> {
         let w = CapturedWorkload::saturated(workload, scale);
         for &size in sizes {
             for fixed in [true, false] {
-                let l2 = if fixed { L2Spec::Fixed(4) } else { L2Spec::Cacti };
+                let l2 = if fixed {
+                    L2Spec::Fixed(4)
+                } else {
+                    L2Spec::Cacti
+                };
                 let cfg = fc_cmp(BASE_CORES, size, l2);
                 let result = run_throughput(cfg, &w.bundle, spec);
-                out.push(Fig6Point { size, fixed_latency: fixed, workload, result });
+                out.push(Fig6Point {
+                    size,
+                    fixed_latency: fixed,
+                    workload,
+                    result,
+                });
             }
         }
     }
@@ -236,7 +249,10 @@ pub fn fig9_staged(scale: &FigScale) -> Vec<Fig9Result> {
         ("Staged (cohort batches)", ExecPolicy::Staged { batch: 256 }),
         (
             "Staged parallel (3 producers)",
-            ExecPolicy::StagedParallel { batch: 256, producers: 3 },
+            ExecPolicy::StagedParallel {
+                batch: 256,
+                producers: 3,
+            },
         ),
     ];
     let kinds = [QueryKind::Q1, QueryKind::Q6];

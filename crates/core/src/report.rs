@@ -36,7 +36,10 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// One line per class: percentage of execution time.
 pub fn breakdown_row(b: &Breakdown) -> Vec<String> {
     let f = b.fractions();
-    ALL_CLASSES.iter().map(|&c| format!("{:.1}%", f[c as usize] * 100.0)).collect()
+    ALL_CLASSES
+        .iter()
+        .map(|&c| format!("{:.1}%", f[c as usize] * 100.0))
+        .collect()
 }
 
 /// Headers matching [`breakdown_row`].

@@ -70,14 +70,26 @@ pub struct CampTraits {
 /// Table 1: chip multiprocessor camp characteristics.
 pub fn table1() -> Vec<CampTraits> {
     vec![
-        CampTraits { characteristic: "Issue Width", fat: "Wide (4+)", lean: "Narrow (1 or 2)" },
-        CampTraits { characteristic: "Execution Order", fat: "Out-of-order", lean: "In-order" },
+        CampTraits {
+            characteristic: "Issue Width",
+            fat: "Wide (4+)",
+            lean: "Narrow (1 or 2)",
+        },
+        CampTraits {
+            characteristic: "Execution Order",
+            fat: "Out-of-order",
+            lean: "In-order",
+        },
         CampTraits {
             characteristic: "Pipeline Depth",
             fat: "Deep (14+ stages)",
             lean: "Shallow (5-6 stages)",
         },
-        CampTraits { characteristic: "Hardware Threads", fat: "Few (1-2)", lean: "Many (4+)" },
+        CampTraits {
+            characteristic: "Hardware Threads",
+            fat: "Few (1-2)",
+            lean: "Many (4+)",
+        },
         CampTraits {
             characteristic: "Core Size",
             fat: "Large (3 x LC size)",

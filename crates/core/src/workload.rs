@@ -72,7 +72,11 @@ impl CapturedWorkload {
         let (mut db, h) = build_tpcc(scale.tpcc, scale.seed);
         let bundle = capture_oltp(&mut db, &h, CaptureOptions::new(clients, units, scale.seed));
         let summary = TraceSummary::compute(&bundle.regions, &bundle.threads);
-        CapturedWorkload { kind: WorkloadKind::Oltp, bundle, summary }
+        CapturedWorkload {
+            kind: WorkloadKind::Oltp,
+            bundle,
+            summary,
+        }
     }
 
     /// Capture a DSS query stream (`clients` sessions over the paper's
@@ -86,7 +90,11 @@ impl CapturedWorkload {
             CaptureOptions::new(clients, units, scale.seed),
         );
         let summary = TraceSummary::compute(&bundle.regions, &bundle.threads);
-        CapturedWorkload { kind: WorkloadKind::Dss, bundle, summary }
+        CapturedWorkload {
+            kind: WorkloadKind::Dss,
+            bundle,
+            summary,
+        }
     }
 
     /// Saturated capture at the scale's default client count.

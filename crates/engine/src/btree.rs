@@ -30,8 +30,17 @@ const KEYS_OFF: u64 = 16;
 
 #[derive(Debug)]
 enum Node {
-    Leaf { keys: Vec<u64>, vals: Vec<u64>, next: Option<u32>, addr: u64 },
-    Internal { keys: Vec<u64>, children: Vec<u32>, addr: u64 },
+    Leaf {
+        keys: Vec<u64>,
+        vals: Vec<u64>,
+        next: Option<u32>,
+        addr: u64,
+    },
+    Internal {
+        keys: Vec<u64>,
+        children: Vec<u32>,
+        addr: u64,
+    },
 }
 
 impl Node {
@@ -62,7 +71,12 @@ impl BTree {
     pub fn new(space: &AddressSpace) -> Self {
         let addr = space.alloc_anon(NODE_BYTES);
         BTree {
-            nodes: vec![Node::Leaf { keys: Vec::new(), vals: Vec::new(), next: None, addr }],
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                next: None,
+                addr,
+            }],
             root: 0,
             len: 0,
         }
@@ -125,17 +139,28 @@ impl BTree {
         let region = tc.r.btree_search;
         let mut path = Vec::new();
         let leaf = self.find_leaf(key, tc, region, &mut path);
-        let Node::Leaf { keys, vals, .. } = &self.nodes[leaf as usize] else { unreachable!() };
+        let Node::Leaf { keys, vals, .. } = &self.nodes[leaf as usize] else {
+            unreachable!()
+        };
         keys.binary_search(&key).ok().map(|i| vals[i])
     }
 
     /// Insert a unique key.
-    pub fn insert(&mut self, key: u64, val: u64, space: &AddressSpace, tc: &mut TraceCtx) -> Result<()> {
+    pub fn insert(
+        &mut self,
+        key: u64,
+        val: u64,
+        space: &AddressSpace,
+        tc: &mut TraceCtx,
+    ) -> Result<()> {
         let region = tc.r.btree_insert;
         let mut path = Vec::new();
         let leaf = self.find_leaf(key, tc, region, &mut path);
         let (leaf_addr, pos) = {
-            let Node::Leaf { keys, vals, addr, .. } = &mut self.nodes[leaf as usize] else {
+            let Node::Leaf {
+                keys, vals, addr, ..
+            } = &mut self.nodes[leaf as usize]
+            else {
                 unreachable!()
             };
             match keys.binary_search(&key) {
@@ -164,7 +189,11 @@ impl BTree {
             let (sep, sibling) = self.split(child, space, tc);
             match path.pop() {
                 Some(parent) => {
-                    let Node::Internal { keys, children, addr } = &mut self.nodes[parent as usize]
+                    let Node::Internal {
+                        keys,
+                        children,
+                        addr,
+                    } = &mut self.nodes[parent as usize]
                     else {
                         unreachable!()
                     };
@@ -198,11 +227,18 @@ impl BTree {
         let sibling_id = self.nodes.len() as u32;
         let mid = ORDER.div_ceil(2);
         let (sep, sibling) = match &mut self.nodes[node as usize] {
-            Node::Leaf { keys, vals, next, .. } => {
+            Node::Leaf {
+                keys, vals, next, ..
+            } => {
                 let k2 = keys.split_off(mid);
                 let v2 = vals.split_off(mid);
                 let sep = k2[0];
-                let sib = Node::Leaf { keys: k2, vals: v2, next: *next, addr: new_addr };
+                let sib = Node::Leaf {
+                    keys: k2,
+                    vals: v2,
+                    next: *next,
+                    addr: new_addr,
+                };
                 *next = Some(sibling_id);
                 (sep, sib)
             }
@@ -212,7 +248,14 @@ impl BTree {
                 let k2 = keys.split_off(mid + 1);
                 keys.pop(); // remove separator
                 let c2 = children.split_off(mid + 1);
-                (sep, Node::Internal { keys: k2, children: c2, addr: new_addr })
+                (
+                    sep,
+                    Node::Internal {
+                        keys: k2,
+                        children: c2,
+                        addr: new_addr,
+                    },
+                )
             }
         };
         // Writing out the new node.
@@ -226,7 +269,10 @@ impl BTree {
         let region = tc.r.btree_insert;
         let mut path = Vec::new();
         let leaf = self.find_leaf(key, tc, region, &mut path);
-        let Node::Leaf { keys, vals, addr, .. } = &mut self.nodes[leaf as usize] else {
+        let Node::Leaf {
+            keys, vals, addr, ..
+        } = &mut self.nodes[leaf as usize]
+        else {
             unreachable!()
         };
         match keys.binary_search(&key) {
@@ -248,16 +294,28 @@ impl BTree {
         let region = tc.r.btree_search;
         let mut path = Vec::new();
         let leaf = self.find_leaf(lo, tc, region, &mut path);
-        let Node::Leaf { keys, .. } = &self.nodes[leaf as usize] else { unreachable!() };
+        let Node::Leaf { keys, .. } = &self.nodes[leaf as usize] else {
+            unreachable!()
+        };
         let idx = keys.partition_point(|&k| k < lo);
-        Cursor { node: Some(leaf), idx, hi }
+        Cursor {
+            node: Some(leaf),
+            idx,
+            hi,
+        }
     }
 
     /// Advance a cursor; `None` when past the upper bound.
     pub fn cursor_next(&self, cur: &mut Cursor, tc: &mut TraceCtx) -> Option<(u64, u64)> {
         loop {
             let node = cur.node?;
-            let Node::Leaf { keys, vals, next, addr } = &self.nodes[node as usize] else {
+            let Node::Leaf {
+                keys,
+                vals,
+                next,
+                addr,
+            } = &self.nodes[node as usize]
+            else {
                 unreachable!()
             };
             if cur.idx < keys.len() {
@@ -386,7 +444,10 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, dbcmp_trace::Event::Load { dep: true, .. }))
             .count();
-        assert!(deps >= tree.height(), "one dependent load per level, got {deps}");
+        assert!(
+            deps >= tree.height(),
+            "one dependent load per level, got {deps}"
+        );
     }
 
     proptest! {

@@ -27,11 +27,17 @@ pub struct Catalog {
 
 impl Catalog {
     pub fn new(space: &AddressSpace) -> Self {
-        Catalog { tables: Vec::new(), addr: space.alloc("catalog", 32 * 1024) }
+        Catalog {
+            tables: Vec::new(),
+            addr: space.alloc("catalog", 32 * 1024),
+        }
     }
 
     pub fn add_table(&mut self, name: &'static str) -> TableId {
-        self.tables.push(TableMeta { name, indexes: Vec::new() });
+        self.tables.push(TableMeta {
+            name,
+            indexes: Vec::new(),
+        });
         self.tables.len() - 1
     }
 

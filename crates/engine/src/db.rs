@@ -156,7 +156,11 @@ impl Database {
         let undo: Vec<UndoRec> = txn.undo.drain(..).rev().collect();
         for rec in undo {
             match rec {
-                UndoRec::Insert { table, rid, index_keys } => {
+                UndoRec::Insert {
+                    table,
+                    rid,
+                    index_keys,
+                } => {
                     for (idx, key) in index_keys {
                         self.indexes[idx].remove(key, tc);
                     }
@@ -165,7 +169,12 @@ impl Database {
                 UndoRec::Update { table, rid, before } => {
                     let _ = self.heaps[table].update_bytes(rid, &before, tc);
                 }
-                UndoRec::Delete { table, rid, before, index_keys } => {
+                UndoRec::Delete {
+                    table,
+                    rid,
+                    before,
+                    index_keys,
+                } => {
                     if self.heaps[table].restore_bytes(rid, &before, tc).is_ok() {
                         for (idx, key) in index_keys {
                             let _ = self.indexes[idx].insert(key, rid.pack(), &self.space, tc);
@@ -224,7 +233,11 @@ impl Database {
             self.indexes[idx].insert(key, rid.pack(), &self.space, tc)?;
             index_keys.push((idx, key));
         }
-        txn.undo.push(UndoRec::Insert { table, rid, index_keys });
+        txn.undo.push(UndoRec::Insert {
+            table,
+            rid,
+            index_keys,
+        });
         Ok(rid)
     }
 
@@ -240,7 +253,11 @@ impl Database {
         if !txn.is_active() {
             return Err(EngineError::TxnClosed);
         }
-        let mode = if for_update { LockMode::Exclusive } else { LockMode::Shared };
+        let mode = if for_update {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        };
         self.lock(txn, table, rid, mode, tc)?;
         self.heaps[table].get(rid, tc)
     }
@@ -259,7 +276,12 @@ impl Database {
         }
         self.lock(txn, table, rid, LockMode::Exclusive, tc)?;
         let before = self.heaps[table].get_bytes(rid, tc)?;
-        self.wal.append(WalRecord::Update { bytes: before.len() as u32 }, tc);
+        self.wal.append(
+            WalRecord::Update {
+                bytes: before.len() as u32,
+            },
+            tc,
+        );
         self.heaps[table].update(rid, row, tc)?;
         txn.undo.push(UndoRec::Update { table, rid, before });
         Ok(())
@@ -285,9 +307,19 @@ impl Database {
             self.indexes[idx].remove(key, tc);
             index_keys.push((idx, key));
         }
-        self.wal.append(WalRecord::Delete { bytes: before.len() as u32 }, tc);
+        self.wal.append(
+            WalRecord::Delete {
+                bytes: before.len() as u32,
+            },
+            tc,
+        );
         self.heaps[table].delete(rid, tc)?;
-        txn.undo.push(UndoRec::Delete { table, rid, before, index_keys });
+        txn.undo.push(UndoRec::Delete {
+            table,
+            rid,
+            before,
+            index_keys,
+        });
         Ok(())
     }
 
@@ -299,7 +331,13 @@ impl Database {
     }
 
     /// Inclusive range through an index.
-    pub fn index_range(&self, index: IndexId, lo: u64, hi: u64, tc: &mut TraceCtx) -> Vec<(u64, Rid)> {
+    pub fn index_range(
+        &self,
+        index: IndexId,
+        lo: u64,
+        hi: u64,
+        tc: &mut TraceCtx,
+    ) -> Vec<(u64, Rid)> {
         self.indexes[index]
             .range(lo, hi, tc)
             .into_iter()
@@ -318,7 +356,9 @@ impl Database {
         cur: &mut Cursor,
         tc: &mut TraceCtx,
     ) -> Option<(u64, Rid)> {
-        self.indexes[index].cursor_next(cur, tc).map(|(k, v)| (k, Rid::unpack(v)))
+        self.indexes[index]
+            .cursor_next(cur, tc)
+            .map(|(k, v)| (k, Rid::unpack(v)))
     }
 
     /// Table of an index.
@@ -361,7 +401,12 @@ mod tests {
         let mut tc = db.null_ctx();
         let mut txn = db.begin(&mut tc);
         let rid = db
-            .insert(&mut txn, t, &[Value::Int(1), Value::Decimal(100_00)], &mut tc)
+            .insert(
+                &mut txn,
+                t,
+                &[Value::Int(1), Value::Decimal(100_00)],
+                &mut tc,
+            )
             .unwrap();
         db.commit(txn, &mut tc).unwrap();
 
@@ -381,14 +426,27 @@ mod tests {
         // Committed base row.
         let mut setup = db.begin(&mut tc);
         let rid = db
-            .insert(&mut setup, t, &[Value::Int(1), Value::Decimal(500)], &mut tc)
+            .insert(
+                &mut setup,
+                t,
+                &[Value::Int(1), Value::Decimal(500)],
+                &mut tc,
+            )
             .unwrap();
         db.commit(setup, &mut tc).unwrap();
 
         // A txn that inserts, updates the base row, deletes it — then aborts.
         let mut txn = db.begin(&mut tc);
-        db.insert(&mut txn, t, &[Value::Int(2), Value::Decimal(7)], &mut tc).unwrap();
-        db.update(&mut txn, t, rid, &[Value::Int(1), Value::Decimal(999)], &mut tc).unwrap();
+        db.insert(&mut txn, t, &[Value::Int(2), Value::Decimal(7)], &mut tc)
+            .unwrap();
+        db.update(
+            &mut txn,
+            t,
+            rid,
+            &[Value::Int(1), Value::Decimal(999)],
+            &mut tc,
+        )
+        .unwrap();
         db.delete(&mut txn, t, rid, &mut tc).unwrap();
         db.abort(txn, &mut tc);
 
@@ -408,8 +466,9 @@ mod tests {
         let (mut db, t, _) = accounts_db();
         let mut tc = db.null_ctx();
         let mut setup = db.begin(&mut tc);
-        let rid =
-            db.insert(&mut setup, t, &[Value::Int(1), Value::Decimal(0)], &mut tc).unwrap();
+        let rid = db
+            .insert(&mut setup, t, &[Value::Int(1), Value::Decimal(0)], &mut tc)
+            .unwrap();
         db.commit(setup, &mut tc).unwrap();
 
         let mut a = db.begin(&mut tc);
@@ -431,8 +490,9 @@ mod tests {
         let (mut db, t, _) = accounts_db();
         let mut tc = db.null_ctx();
         let mut txn = db.begin(&mut tc);
-        let rid =
-            db.insert(&mut txn, t, &[Value::Int(1), Value::Decimal(0)], &mut tc).unwrap();
+        let rid = db
+            .insert(&mut txn, t, &[Value::Int(1), Value::Decimal(0)], &mut tc)
+            .unwrap();
         txn.state = TxnState::Committed; // simulate misuse
         assert!(matches!(
             db.read(&mut txn, t, rid, false, &mut tc),
@@ -446,7 +506,13 @@ mod tests {
         let mut tc = db.null_ctx();
         let mut txn = db.begin(&mut tc);
         for i in 0..100 {
-            db.insert(&mut txn, t, &[Value::Int(i), Value::Decimal(i * 10)], &mut tc).unwrap();
+            db.insert(
+                &mut txn,
+                t,
+                &[Value::Int(i), Value::Decimal(i * 10)],
+                &mut tc,
+            )
+            .unwrap();
         }
         db.commit(txn, &mut tc).unwrap();
         let r = db.index_range(idx, 10, 19, &mut tc);
@@ -460,7 +526,8 @@ mod tests {
         let (mut db, t, _) = accounts_db();
         let mut tc = db.null_ctx();
         let mut txn = db.begin(&mut tc);
-        db.insert(&mut txn, t, &[Value::Int(1), Value::Decimal(0)], &mut tc).unwrap();
+        db.insert(&mut txn, t, &[Value::Int(1), Value::Decimal(0)], &mut tc)
+            .unwrap();
         db.commit(txn, &mut tc).unwrap();
         let (records, bytes) = db.wal_stats();
         assert_eq!(records, 2); // insert + commit

@@ -17,7 +17,10 @@ pub enum EngineError {
     /// A unique index rejected a duplicate key.
     DuplicateKey(u64),
     /// Schema/row mismatch (wrong arity or column type).
-    TypeMismatch { expected: &'static str, got: &'static str },
+    TypeMismatch {
+        expected: &'static str,
+        got: &'static str,
+    },
     /// Operation attempted on a finished transaction.
     TxnClosed,
 }
@@ -47,7 +50,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(EngineError::LockConflict { key: 0xAB }.to_string().contains("0xab"));
+        assert!(EngineError::LockConflict { key: 0xAB }
+            .to_string()
+            .contains("0xab"));
         assert!(EngineError::NotFound("t".into()).to_string().contains('t'));
         assert_eq!(EngineError::PageFull.to_string(), "page full");
     }

@@ -37,15 +37,34 @@ impl CmpOp {
 #[derive(Debug, Clone)]
 pub enum Pred {
     /// `col <op> const`
-    Cmp { col: usize, op: CmpOp, val: Value },
+    Cmp {
+        col: usize,
+        op: CmpOp,
+        val: Value,
+    },
     /// `col BETWEEN lo AND hi` (inclusive)
-    Between { col: usize, lo: Value, hi: Value },
+    Between {
+        col: usize,
+        lo: Value,
+        hi: Value,
+    },
     /// `col [NOT] LIKE '%needle%'`
-    StrContains { col: usize, needle: String, negate: bool },
+    StrContains {
+        col: usize,
+        needle: String,
+        negate: bool,
+    },
     /// `col [NOT] LIKE 'prefix%'`
-    StrPrefix { col: usize, prefix: String, negate: bool },
+    StrPrefix {
+        col: usize,
+        prefix: String,
+        negate: bool,
+    },
     /// `col IN (...)`
-    In { col: usize, set: Vec<Value> },
+    In {
+        col: usize,
+        set: Vec<Value>,
+    },
     And(Vec<Pred>),
     Or(Vec<Pred>),
     Not(Box<Pred>),
@@ -69,12 +88,24 @@ impl Pred {
                 let v = &row[*col];
                 v >= lo && v <= hi
             }
-            Pred::StrContains { col, needle, negate } => {
-                let hit = row[*col].as_str().is_some_and(|s| s.contains(needle.as_str()));
+            Pred::StrContains {
+                col,
+                needle,
+                negate,
+            } => {
+                let hit = row[*col]
+                    .as_str()
+                    .is_some_and(|s| s.contains(needle.as_str()));
                 hit != *negate
             }
-            Pred::StrPrefix { col, prefix, negate } => {
-                let hit = row[*col].as_str().is_some_and(|s| s.starts_with(prefix.as_str()));
+            Pred::StrPrefix {
+                col,
+                prefix,
+                negate,
+            } => {
+                let hit = row[*col]
+                    .as_str()
+                    .is_some_and(|s| s.starts_with(prefix.as_str()));
                 hit != *negate
             }
             Pred::In { col, set } => set.contains(&row[*col]),
@@ -150,31 +181,52 @@ pub struct AggSpec {
 
 impl AggSpec {
     pub fn count() -> Self {
-        AggSpec { func: AggFunc::Count, input: Scalar::ConstInt(1) }
+        AggSpec {
+            func: AggFunc::Count,
+            input: Scalar::ConstInt(1),
+        }
     }
 
     pub fn sum(input: Scalar) -> Self {
-        AggSpec { func: AggFunc::Sum, input }
+        AggSpec {
+            func: AggFunc::Sum,
+            input,
+        }
     }
 
     pub fn avg(input: Scalar) -> Self {
-        AggSpec { func: AggFunc::Avg, input }
+        AggSpec {
+            func: AggFunc::Avg,
+            input,
+        }
     }
 
     pub fn min(input: Scalar) -> Self {
-        AggSpec { func: AggFunc::Min, input }
+        AggSpec {
+            func: AggFunc::Min,
+            input,
+        }
     }
 
     pub fn max(input: Scalar) -> Self {
-        AggSpec { func: AggFunc::Max, input }
+        AggSpec {
+            func: AggFunc::Max,
+            input,
+        }
     }
 
     pub fn count_distinct(input: Scalar) -> Self {
-        AggSpec { func: AggFunc::CountDistinct, input }
+        AggSpec {
+            func: AggFunc::CountDistinct,
+            input,
+        }
     }
 
     pub fn count_non_null(input: Scalar) -> Self {
-        AggSpec { func: AggFunc::CountNonNull, input }
+        AggSpec {
+            func: AggFunc::CountNonNull,
+            input,
+        }
     }
 }
 
@@ -203,19 +255,47 @@ mod tests {
     fn comparisons() {
         let mut t = tc();
         let r = row();
-        assert!(Pred::Cmp { col: 0, op: CmpOp::Eq, val: Value::Int(5) }.eval(&r, &mut t));
-        assert!(Pred::Cmp { col: 0, op: CmpOp::Lt, val: Value::Int(6) }.eval(&r, &mut t));
-        assert!(!Pred::Cmp { col: 0, op: CmpOp::Gt, val: Value::Int(6) }.eval(&r, &mut t));
-        assert!(Pred::Cmp { col: 3, op: CmpOp::Ge, val: Value::Date(100) }.eval(&r, &mut t));
+        assert!(Pred::Cmp {
+            col: 0,
+            op: CmpOp::Eq,
+            val: Value::Int(5)
+        }
+        .eval(&r, &mut t));
+        assert!(Pred::Cmp {
+            col: 0,
+            op: CmpOp::Lt,
+            val: Value::Int(6)
+        }
+        .eval(&r, &mut t));
+        assert!(!Pred::Cmp {
+            col: 0,
+            op: CmpOp::Gt,
+            val: Value::Int(6)
+        }
+        .eval(&r, &mut t));
+        assert!(Pred::Cmp {
+            col: 3,
+            op: CmpOp::Ge,
+            val: Value::Date(100)
+        }
+        .eval(&r, &mut t));
     }
 
     #[test]
     fn between_inclusive() {
         let mut t = tc();
         let r = row();
-        let p = Pred::Between { col: 1, lo: Value::Decimal(250), hi: Value::Decimal(300) };
+        let p = Pred::Between {
+            col: 1,
+            lo: Value::Decimal(250),
+            hi: Value::Decimal(300),
+        };
         assert!(p.eval(&r, &mut t));
-        let p2 = Pred::Between { col: 1, lo: Value::Decimal(251), hi: Value::Decimal(300) };
+        let p2 = Pred::Between {
+            col: 1,
+            lo: Value::Decimal(251),
+            hi: Value::Decimal(300),
+        };
         assert!(!p2.eval(&r, &mut t));
     }
 
@@ -223,20 +303,40 @@ mod tests {
     fn string_predicates() {
         let mut t = tc();
         let r = row();
-        assert!(Pred::StrContains { col: 2, needle: "packaged".into(), negate: false }
-            .eval(&r, &mut t));
-        assert!(Pred::StrContains { col: 2, needle: "missing".into(), negate: true }
-            .eval(&r, &mut t));
-        assert!(Pred::StrPrefix { col: 2, prefix: "special".into(), negate: false }
-            .eval(&r, &mut t));
+        assert!(Pred::StrContains {
+            col: 2,
+            needle: "packaged".into(),
+            negate: false
+        }
+        .eval(&r, &mut t));
+        assert!(Pred::StrContains {
+            col: 2,
+            needle: "missing".into(),
+            negate: true
+        }
+        .eval(&r, &mut t));
+        assert!(Pred::StrPrefix {
+            col: 2,
+            prefix: "special".into(),
+            negate: false
+        }
+        .eval(&r, &mut t));
     }
 
     #[test]
     fn boolean_combinators() {
         let mut t = tc();
         let r = row();
-        let yes = Pred::Cmp { col: 0, op: CmpOp::Eq, val: Value::Int(5) };
-        let no = Pred::Cmp { col: 0, op: CmpOp::Eq, val: Value::Int(6) };
+        let yes = Pred::Cmp {
+            col: 0,
+            op: CmpOp::Eq,
+            val: Value::Int(5),
+        };
+        let no = Pred::Cmp {
+            col: 0,
+            op: CmpOp::Eq,
+            val: Value::Int(6),
+        };
         assert!(Pred::And(vec![yes.clone(), Pred::True]).eval(&r, &mut t));
         assert!(!Pred::And(vec![yes.clone(), no.clone()]).eval(&r, &mut t));
         assert!(Pred::Or(vec![no.clone(), yes.clone()]).eval(&r, &mut t));
@@ -247,7 +347,10 @@ mod tests {
     fn in_set() {
         let mut t = tc();
         let r = row();
-        let p = Pred::In { col: 0, set: vec![Value::Int(3), Value::Int(5)] };
+        let p = Pred::In {
+            col: 0,
+            set: vec![Value::Int(3), Value::Int(5)],
+        };
         assert!(p.eval(&r, &mut t));
     }
 
@@ -257,7 +360,10 @@ mod tests {
         let r = vec![Value::Decimal(10_00), Value::Decimal(5)];
         let e = Scalar::MulDec(
             Box::new(Scalar::col(0)),
-            Box::new(Scalar::Sub(Box::new(Scalar::ConstDec(100)), Box::new(Scalar::col(1)))),
+            Box::new(Scalar::Sub(
+                Box::new(Scalar::ConstDec(100)),
+                Box::new(Scalar::col(1)),
+            )),
         );
         assert_eq!(e.eval_i64(&r), 9_50);
         assert_eq!(e.eval(&r), Value::Decimal(9_50));

@@ -52,7 +52,11 @@ mod tests {
         let mut tc = db.null_ctx();
         let mut plan = Filter::new(
             Box::new(SeqScan::new(t)),
-            Pred::Cmp { col: 1, op: CmpOp::Eq, val: Value::Int(3) },
+            Pred::Cmp {
+                col: 1,
+                op: CmpOp::Eq,
+                val: Value::Int(3),
+            },
         );
         let rows = run_to_vec(&mut plan, &db, &mut tc).unwrap();
         // grp = id % 7 == 3 → ids 3, 10, 17, ...

@@ -37,7 +37,14 @@ pub struct HashAggregate {
 
 impl HashAggregate {
     pub fn new(child: BoxExec, group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> Self {
-        HashAggregate { child, group_cols, aggs, groups: Vec::new(), emit: 0, table_addr: 0 }
+        HashAggregate {
+            child,
+            group_cols,
+            aggs,
+            groups: Vec::new(),
+            emit: 0,
+            table_addr: 0,
+        }
     }
 
     fn fresh_state(&self) -> GroupState {
@@ -115,9 +122,11 @@ impl Executor for HashAggregate {
                 AggFunc::Count => Value::Int(state.count),
                 AggFunc::CountNonNull => Value::Int(state.non_null[ai]),
                 AggFunc::Sum => Value::Decimal(state.sums[ai]),
-                AggFunc::Avg => {
-                    Value::Decimal(if state.count == 0 { 0 } else { state.sums[ai] / state.count })
-                }
+                AggFunc::Avg => Value::Decimal(if state.count == 0 {
+                    0
+                } else {
+                    state.sums[ai] / state.count
+                }),
                 AggFunc::Min => Value::Decimal(state.mins[ai]),
                 AggFunc::Max => Value::Decimal(state.maxs[ai]),
                 AggFunc::CountDistinct => Value::Int(state.distincts[ai].len() as i64),

@@ -39,7 +39,13 @@ pub struct HashJoin {
 }
 
 impl HashJoin {
-    pub fn new(build: BoxExec, build_key: usize, probe: BoxExec, probe_key: usize, kind: JoinKind) -> Self {
+    pub fn new(
+        build: BoxExec,
+        build_key: usize,
+        probe: BoxExec,
+        probe_key: usize,
+        kind: JoinKind,
+    ) -> Self {
         HashJoin {
             build,
             probe,
@@ -134,9 +140,9 @@ impl Executor for HashJoin {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::expr::{CmpOp, Pred};
     use crate::exec::testutil::sample_db;
     use crate::exec::{run_to_vec, Filter, SeqScan};
-    use crate::exec::expr::{CmpOp, Pred};
 
     #[test]
     fn inner_join_on_group() {
@@ -146,7 +152,11 @@ mod tests {
         // (one per group), probe = all rows.
         let build = Box::new(Filter::new(
             Box::new(SeqScan::new(t)),
-            Pred::Cmp { col: 0, op: CmpOp::Lt, val: Value::Int(7) },
+            Pred::Cmp {
+                col: 0,
+                op: CmpOp::Lt,
+                val: Value::Int(7),
+            },
         ));
         let probe = Box::new(SeqScan::new(t));
         let mut join = HashJoin::new(build, 1, probe, 1, JoinKind::Inner);
@@ -168,7 +178,11 @@ mod tests {
         // Build side empty (id < 0): all probe rows unmatched.
         let build = Box::new(Filter::new(
             Box::new(SeqScan::new(t)),
-            Pred::Cmp { col: 0, op: CmpOp::Lt, val: Value::Int(0) },
+            Pred::Cmp {
+                col: 0,
+                op: CmpOp::Lt,
+                val: Value::Int(0),
+            },
         ));
         let probe = Box::new(SeqScan::new(t));
         let mut join = HashJoin::new(build, 1, probe, 1, JoinKind::LeftOuter);
@@ -181,12 +195,19 @@ mod tests {
         // Now a partial build: grp == 3 matched, others padded.
         let build = Box::new(Filter::new(
             Box::new(SeqScan::new(t)),
-            Pred::Cmp { col: 1, op: CmpOp::Eq, val: Value::Int(3) },
+            Pred::Cmp {
+                col: 1,
+                op: CmpOp::Eq,
+                val: Value::Int(3),
+            },
         ));
         let probe = Box::new(SeqScan::new(t));
         let mut join = HashJoin::new(build, 1, probe, 1, JoinKind::LeftOuter);
         let rows = run_to_vec(&mut join, &db, &mut tc).unwrap();
-        let matched: Vec<_> = rows.iter().filter(|r| r.len() == 8 && !r[4].is_null()).collect();
+        let matched: Vec<_> = rows
+            .iter()
+            .filter(|r| r.len() == 8 && !r[4].is_null())
+            .collect();
         let unmatched: Vec<_> = rows.iter().filter(|r| r[1] != Value::Int(3)).collect();
         assert!(!matched.is_empty());
         assert!(unmatched.iter().all(|r| r[4..].iter().all(Value::is_null)));

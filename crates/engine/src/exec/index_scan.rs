@@ -20,7 +20,12 @@ pub struct IndexRangeScan {
 
 impl IndexRangeScan {
     pub fn new(index: IndexId, lo: u64, hi: u64) -> Self {
-        IndexRangeScan { index, lo, hi, cursor: None }
+        IndexRangeScan {
+            index,
+            lo,
+            hi,
+            cursor: None,
+        }
     }
 }
 

@@ -21,7 +21,14 @@ pub struct NestedLoop {
 
 impl NestedLoop {
     pub fn new(outer: BoxExec, inner: BoxExec, pred: Pred) -> Self {
-        NestedLoop { outer, inner, pred, inner_rows: Vec::new(), cur_outer: None, inner_pos: 0 }
+        NestedLoop {
+            outer,
+            inner,
+            pred,
+            inner_rows: Vec::new(),
+            cur_outer: None,
+            inner_pos: 0,
+        }
     }
 }
 
@@ -85,7 +92,11 @@ mod tests {
         let outer = Box::new(SeqScan::new(t));
         let inner = Box::new(Filter::new(
             Box::new(SeqScan::new(t)),
-            Pred::Cmp { col: 0, op: CmpOp::Lt, val: Value::Int(3) },
+            Pred::Cmp {
+                col: 0,
+                op: CmpOp::Lt,
+                val: Value::Int(3),
+            },
         ));
         // combined row: outer 0..4, inner 4..8. grp is col 1, inner id col 4.
         let pred = Pred::And(vec![]);

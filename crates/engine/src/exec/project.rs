@@ -21,7 +21,10 @@ impl Project {
 
     /// Convenience: plain column selection.
     pub fn cols(child: BoxExec, cols: &[usize]) -> Self {
-        Project { child, exprs: cols.iter().map(|&c| Scalar::Col(c)).collect() }
+        Project {
+            child,
+            exprs: cols.iter().map(|&c| Scalar::Col(c)).collect(),
+        }
     }
 }
 
@@ -33,7 +36,10 @@ impl Executor for Project {
     fn next(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<Option<Row>> {
         match self.child.next(db, tc)? {
             Some(row) => {
-                tc.charge(tc.r.exec_project, instr::PROJECT_EXPR * self.exprs.len() as u32);
+                tc.charge(
+                    tc.r.exec_project,
+                    instr::PROJECT_EXPR * self.exprs.len() as u32,
+                );
                 Ok(Some(self.exprs.iter().map(|e| e.eval(&row)).collect()))
             }
             None => Ok(None),

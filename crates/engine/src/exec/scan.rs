@@ -22,7 +22,13 @@ pub struct SeqScan {
 
 impl SeqScan {
     pub fn new(table: TableId) -> Self {
-        SeqScan { table, page: 0, slot: 0, pinned_page: None, open: false }
+        SeqScan {
+            table,
+            page: 0,
+            slot: 0,
+            pinned_page: None,
+            open: false,
+        }
     }
 }
 
@@ -47,7 +53,10 @@ impl Executor for SeqScan {
                 self.pinned_page = Some(self.page);
             }
             tc.charge(tc.r.exec_scan, instr::SCAN_STEP);
-            let rid = Rid { page: self.page, slot: self.slot };
+            let rid = Rid {
+                page: self.page,
+                slot: self.slot,
+            };
             self.slot += 1;
             match heap.read_at(rid, tc) {
                 Some(row) => return Ok(Some(row)),
@@ -80,8 +89,8 @@ fn page_slots(db: &Database, table: TableId, page: u32) -> u16 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::testutil::sample_db;
     use crate::exec::run_to_vec;
+    use crate::exec::testutil::sample_db;
     use crate::types::Value;
 
     #[test]

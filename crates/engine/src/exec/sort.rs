@@ -25,7 +25,12 @@ pub struct Sort {
 
 impl Sort {
     pub fn new(child: BoxExec, keys: Vec<SortKey>) -> Self {
-        Sort { child, keys, rows: Vec::new(), emit: 0 }
+        Sort {
+            child,
+            keys,
+            rows: Vec::new(),
+            emit: 0,
+        }
     }
 
     /// Ascending single-column sort.
@@ -47,18 +52,26 @@ impl Executor for Sort {
         let buf = db.space.alloc_anon(1 << 20);
         while let Some(row) = self.child.next(db, tc)? {
             let width = (row.len() as u64) * 16;
-            tc.store(buf + (self.rows.len() as u64 * width) % (1 << 20), width as u32);
+            tc.store(
+                buf + (self.rows.len() as u64 * width) % (1 << 20),
+                width as u32,
+            );
             self.rows.push(row);
         }
         self.child.close();
 
         let n = self.rows.len().max(2) as f64;
         let cmps = (n * n.log2()) as u32;
-        tc.charge(tc.r.exec_sort, instr::SORT_CMP.saturating_mul(cmps.min(50_000_000)));
+        tc.charge(
+            tc.r.exec_sort,
+            instr::SORT_CMP.saturating_mul(cmps.min(50_000_000)),
+        );
         let keys = self.keys.clone();
         self.rows.sort_by(|a, b| {
             for k in &keys {
-                let ord = a[k.col].partial_cmp(&b[k.col]).unwrap_or(std::cmp::Ordering::Equal);
+                let ord = a[k.col]
+                    .partial_cmp(&b[k.col])
+                    .unwrap_or(std::cmp::Ordering::Equal);
                 let ord = if k.desc { ord.reverse() } else { ord };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
@@ -112,7 +125,13 @@ mod tests {
         // Sort by grp asc, id desc.
         let mut plan = Sort::new(
             Box::new(SeqScan::new(t)),
-            vec![SortKey { col: 1, desc: false }, SortKey { col: 0, desc: true }],
+            vec![
+                SortKey {
+                    col: 1,
+                    desc: false,
+                },
+                SortKey { col: 0, desc: true },
+            ],
         );
         let rows = run_to_vec(&mut plan, &db, &mut tc).unwrap();
         for w in rows.windows(2) {

@@ -29,7 +29,10 @@ impl Rid {
     }
 
     pub fn unpack(v: u64) -> Self {
-        Rid { page: (v >> 16) as u32, slot: (v & 0xFFFF) as u16 }
+        Rid {
+            page: (v >> 16) as u32,
+            slot: (v & 0xFFFF) as u16,
+        }
     }
 }
 
@@ -71,8 +74,16 @@ impl HeapTable {
     }
 
     /// Insert a row; returns its RID.
-    pub fn insert(&mut self, row: &[Value], space: &AddressSpace, tc: &mut TraceCtx) -> Result<Rid> {
-        tc.charge(tc.r.tuple, instr::TUPLE_ENCODE + (self.schema.row_width() / 16) as u32);
+    pub fn insert(
+        &mut self,
+        row: &[Value],
+        space: &AddressSpace,
+        tc: &mut TraceCtx,
+    ) -> Result<Rid> {
+        tc.charge(
+            tc.r.tuple,
+            instr::TUPLE_ENCODE + (self.schema.row_width() / 16) as u32,
+        );
         let bytes = encode_row(&self.schema, row)?;
         if self.pages.is_empty() {
             self.new_page(space);
@@ -116,7 +127,10 @@ impl HeapTable {
 
     /// Update a row in place.
     pub fn update(&mut self, rid: Rid, row: &[Value], tc: &mut TraceCtx) -> Result<()> {
-        tc.charge(tc.r.tuple, instr::TUPLE_ENCODE + (self.schema.row_width() / 16) as u32);
+        tc.charge(
+            tc.r.tuple,
+            instr::TUPLE_ENCODE + (self.schema.row_width() / 16) as u32,
+        );
         let bytes = encode_row(&self.schema, row)?;
         self.update_bytes(rid, &bytes, tc)
     }
@@ -194,7 +208,10 @@ impl HeapTable {
     /// this; per-tuple charges happen there).
     pub fn rids(&self) -> impl Iterator<Item = Rid> + '_ {
         self.pages.iter().enumerate().flat_map(|(p, page)| {
-            (0..page.nslots()).map(move |s| Rid { page: p as u32, slot: s })
+            (0..page.nslots()).map(move |s| Rid {
+                page: p as u32,
+                slot: s,
+            })
         })
     }
 
@@ -265,7 +282,10 @@ mod tests {
 
     #[test]
     fn rid_pack_roundtrip() {
-        let rid = Rid { page: 123_456, slot: 789 };
+        let rid = Rid {
+            page: 123_456,
+            slot: 789,
+        };
         assert_eq!(Rid::unpack(rid.pack()), rid);
     }
 

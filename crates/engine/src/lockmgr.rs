@@ -60,7 +60,13 @@ impl LockMgr {
     /// Acquire `key` in `mode` for `txn`. Re-acquisition and S→X upgrade
     /// by a sole holder succeed. Returns `true` if the lock is newly
     /// granted (the caller records it for release).
-    pub fn acquire(&mut self, txn: TxnId, key: u64, mode: LockMode, tc: &mut TraceCtx) -> Result<bool> {
+    pub fn acquire(
+        &mut self,
+        txn: TxnId,
+        key: u64,
+        mode: LockMode,
+        tc: &mut TraceCtx,
+    ) -> Result<bool> {
         let b = self.bucket_of(key);
         tc.charge(tc.r.lock_mgr, instr::LOCK_ACQUIRE);
         // The bucket header is a dependent load; the grant writes it.
@@ -90,7 +96,11 @@ impl LockMgr {
                 _ => return Err(EngineError::LockConflict { key }),
             }
         }
-        bucket.push(LockEntry { key, mode, holders: vec![txn] });
+        bucket.push(LockEntry {
+            key,
+            mode,
+            holders: vec![txn],
+        });
         tc.store(self.addr + (b as u64) * 64, 16);
         tc.fence();
         Ok(true)
@@ -184,7 +194,9 @@ mod tests {
     fn distinct_keys_do_not_conflict() {
         let (mut lm, mut tc) = setup();
         for k in 0..100 {
-            assert!(lm.acquire(k % 5, 1000 + k, LockMode::Exclusive, &mut tc).unwrap());
+            assert!(lm
+                .acquire(k % 5, 1000 + k, LockMode::Exclusive, &mut tc)
+                .unwrap());
         }
         assert_eq!(lm.live_locks(), 100);
     }

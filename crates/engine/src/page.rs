@@ -34,7 +34,12 @@ pub struct SlottedPage {
 
 impl SlottedPage {
     pub fn new(addr: u64) -> Self {
-        SlottedPage { data: vec![0; PAGE_SIZE], nslots: 0, free_ptr: HEADER as u16, addr }
+        SlottedPage {
+            data: vec![0; PAGE_SIZE],
+            nslots: 0,
+            free_ptr: HEADER as u16,
+            addr,
+        }
     }
 
     fn slot_pos(&self, slot: SlotId) -> usize {
@@ -119,7 +124,9 @@ impl SlottedPage {
         }
         let (off, len) = self.slot(slot);
         if len == 0 {
-            return Err(EngineError::NotFound(format!("slot {slot} already deleted")));
+            return Err(EngineError::NotFound(format!(
+                "slot {slot} already deleted"
+            )));
         }
         self.set_slot(slot, off, 0);
         tc.store(self.addr + self.slot_pos(slot) as u64, SLOT_BYTES as u32);
@@ -238,7 +245,10 @@ mod tests {
         }
         // 8192 - 16 header; 104 bytes per tuple+slot → ~78 tuples.
         assert!((70..=80).contains(&n), "n={n}");
-        assert!(matches!(p.insert(&tuple, &mut tcx), Err(EngineError::PageFull)));
+        assert!(matches!(
+            p.insert(&tuple, &mut tcx),
+            Err(EngineError::PageFull)
+        ));
     }
 
     #[test]

@@ -19,15 +19,21 @@ pub struct Schema {
 
 impl Schema {
     pub fn new(cols: Vec<(&'static str, ColType)>) -> Self {
-        let columns: Vec<Column> =
-            cols.into_iter().map(|(name, ty)| Column { name, ty }).collect();
+        let columns: Vec<Column> = cols
+            .into_iter()
+            .map(|(name, ty)| Column { name, ty })
+            .collect();
         let mut offsets = Vec::with_capacity(columns.len());
         let mut off = 0usize;
         for c in &columns {
             offsets.push(off);
             off += c.ty.width();
         }
-        Schema { columns, offsets, row_width: off }
+        Schema {
+            columns,
+            offsets,
+            row_width: off,
+        }
     }
 
     pub fn columns(&self) -> &[Column] {

@@ -19,12 +19,18 @@ pub struct TraceCtx {
 
 impl TraceCtx {
     pub fn recording(r: EngineRegions) -> Self {
-        TraceCtx { tracer: Tracer::recording(), r }
+        TraceCtx {
+            tracer: Tracer::recording(),
+            r,
+        }
     }
 
     /// Counts instructions but records no events — for native benchmarks.
     pub fn null(r: EngineRegions) -> Self {
-        TraceCtx { tracer: Tracer::null(), r }
+        TraceCtx {
+            tracer: Tracer::null(),
+            r,
+        }
     }
 
     /// Charge `n` instructions to `region`.

@@ -15,12 +15,25 @@ pub type TxnId = u64;
 #[derive(Debug, Clone)]
 pub enum UndoRec {
     /// Reverse an insert: delete the row and the index entries it added.
-    Insert { table: usize, rid: Rid, index_keys: Vec<(usize, u64)> },
+    Insert {
+        table: usize,
+        rid: Rid,
+        index_keys: Vec<(usize, u64)>,
+    },
     /// Reverse an update: restore the before-image.
-    Update { table: usize, rid: Rid, before: Vec<u8> },
+    Update {
+        table: usize,
+        rid: Rid,
+        before: Vec<u8>,
+    },
     /// Reverse a delete: restore the image at its original RID and
     /// re-add its index entries.
-    Delete { table: usize, rid: Rid, before: Vec<u8>, index_keys: Vec<(usize, u64)> },
+    Delete {
+        table: usize,
+        rid: Rid,
+        before: Vec<u8>,
+        index_keys: Vec<(usize, u64)>,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +55,12 @@ pub struct Txn {
 
 impl Txn {
     pub(crate) fn new(id: TxnId) -> Self {
-        Txn { id, locks: Vec::new(), undo: Vec::new(), state: TxnState::Active }
+        Txn {
+            id,
+            locks: Vec::new(),
+            undo: Vec::new(),
+            state: TxnState::Active,
+        }
     }
 
     pub fn is_active(&self) -> bool {

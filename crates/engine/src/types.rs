@@ -92,7 +92,10 @@ pub type Row = Vec<Value>;
 /// Encode a row into its fixed-width page image.
 pub fn encode_row(schema: &Schema, row: &[Value]) -> Result<Vec<u8>> {
     if row.len() != schema.columns().len() {
-        return Err(EngineError::TypeMismatch { expected: "row arity", got: "mismatch" });
+        return Err(EngineError::TypeMismatch {
+            expected: "row arity",
+            got: "mismatch",
+        });
     }
     let mut out = vec![0u8; schema.row_width()];
     for (i, v) in row.iter().enumerate() {
@@ -112,7 +115,10 @@ pub fn encode_row(schema: &Schema, row: &[Value]) -> Result<Vec<u8>> {
                 out[off + 2..off + 2 + n].copy_from_slice(&bytes[..n]);
             }
             (ty, v) => {
-                return Err(EngineError::TypeMismatch { expected: ty.name(), got: v.type_name() })
+                return Err(EngineError::TypeMismatch {
+                    expected: ty.name(),
+                    got: v.type_name(),
+                })
             }
         }
     }
@@ -121,7 +127,9 @@ pub fn encode_row(schema: &Schema, row: &[Value]) -> Result<Vec<u8>> {
 
 /// Decode a full row from its page image.
 pub fn decode_row(schema: &Schema, bytes: &[u8]) -> Row {
-    (0..schema.columns().len()).map(|i| decode_col(schema, bytes, i)).collect()
+    (0..schema.columns().len())
+        .map(|i| decode_col(schema, bytes, i))
+        .collect()
 }
 
 /// Decode a single column (used by column-selective scans).
@@ -186,7 +194,10 @@ mod tests {
             Value::Str("x".into()),
             Value::Date(0),
         ];
-        assert!(matches!(encode_row(&s, &row), Err(EngineError::TypeMismatch { .. })));
+        assert!(matches!(
+            encode_row(&s, &row),
+            Err(EngineError::TypeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -27,9 +27,9 @@ impl WalRecord {
     fn len(self) -> u32 {
         let header = 24;
         match self {
-            WalRecord::Insert { bytes } | WalRecord::Update { bytes } | WalRecord::Delete { bytes } => {
-                header + bytes
-            }
+            WalRecord::Insert { bytes }
+            | WalRecord::Update { bytes }
+            | WalRecord::Delete { bytes } => header + bytes,
             WalRecord::Commit | WalRecord::Abort => header,
         }
     }
@@ -45,7 +45,11 @@ pub struct Wal {
 
 impl Wal {
     pub fn new(space: &AddressSpace) -> Self {
-        Wal { addr: space.alloc("wal-buffer", WAL_BYTES), head: 0, records: 0 }
+        Wal {
+            addr: space.alloc("wal-buffer", WAL_BYTES),
+            head: 0,
+            records: 0,
+        }
     }
 
     /// Append a record (sequential traced store at the shared head).

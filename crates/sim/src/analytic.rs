@@ -125,7 +125,10 @@ impl Validation {
             other: res.breakdown.get(crate::stats::CycleClass::Other) as f64 / instrs,
         };
         let reference = analytic_reference(cfg, &res.mem, res.instrs, w);
-        Validation { simulated, reference }
+        Validation {
+            simulated,
+            reference,
+        }
     }
 
     /// Relative error of total CPI, |sim - ref| / sim.
@@ -147,7 +150,11 @@ mod tests {
     use dbcmp_trace::{CodeRegions, TraceBundle, Tracer};
 
     fn stats() -> WorkloadStats {
-        WorkloadStats { dep_load_fraction: 0.0, store_fraction: 0.0, mispred_per_kinstr: 0.0 }
+        WorkloadStats {
+            dep_load_fraction: 0.0,
+            store_fraction: 0.0,
+            mispred_per_kinstr: 0.0,
+        }
     }
 
     #[test]
@@ -162,18 +169,29 @@ mod tests {
     #[test]
     fn dependent_loads_cost_more_than_independent() {
         let cfg = MachineConfig::fat_cmp(1, 1 << 20, 8);
-        let mem = MemCounters { mem_accesses: 1000, ..Default::default() };
+        let mem = MemCounters {
+            mem_accesses: 1000,
+            ..Default::default()
+        };
         let dep = analytic_reference(
             &cfg,
             &mem,
             100_000,
-            WorkloadStats { dep_load_fraction: 1.0, store_fraction: 0.0, mispred_per_kinstr: 0.0 },
+            WorkloadStats {
+                dep_load_fraction: 1.0,
+                store_fraction: 0.0,
+                mispred_per_kinstr: 0.0,
+            },
         );
         let indep = analytic_reference(
             &cfg,
             &mem,
             100_000,
-            WorkloadStats { dep_load_fraction: 0.0, store_fraction: 0.0, mispred_per_kinstr: 0.0 },
+            WorkloadStats {
+                dep_load_fraction: 0.0,
+                store_fraction: 0.0,
+                mispred_per_kinstr: 0.0,
+            },
         );
         assert!(dep.d_stalls > 2.0 * indep.d_stalls);
     }
@@ -191,11 +209,21 @@ mod tests {
         }
         let bundle = TraceBundle::new(regions, vec![tr.finish()]);
         let cfg = MachineConfig::fat_cmp(1, 1 << 20, 8);
-        let res = Machine::run(cfg.clone(), &bundle, RunMode::Completion { max_cycles: 50_000_000 });
+        let res = Machine::run(
+            cfg.clone(),
+            &bundle,
+            RunMode::Completion {
+                max_cycles: 50_000_000,
+            },
+        );
         let v = Validation::new(
             &cfg,
             &res,
-            WorkloadStats { dep_load_fraction: 0.0, store_fraction: 0.0, mispred_per_kinstr: 0.5 },
+            WorkloadStats {
+                dep_load_fraction: 0.0,
+                store_fraction: 0.0,
+                mispred_per_kinstr: 0.5,
+            },
         );
         // The paper matched 5% against real hardware; our closed form
         // ignores queueing and partial overlap, so allow a wider band.

@@ -18,7 +18,11 @@ pub struct CacheGeom {
 
 impl CacheGeom {
     pub fn new(size: u64, assoc: usize, latency: u64) -> Self {
-        CacheGeom { size, assoc, latency }
+        CacheGeom {
+            size,
+            assoc,
+            latency,
+        }
     }
 
     /// Number of 64-byte lines.
@@ -59,13 +63,20 @@ impl CoreKind {
     /// Paper-default fat core: 4-wide, 128-entry window, 8 MSHRs, 14-stage
     /// pipeline.
     pub fn fat() -> Self {
-        CoreKind::Fat { width: 4, rob: 128, mshrs: 8 }
+        CoreKind::Fat {
+            width: 4,
+            rob: 128,
+            mshrs: 8,
+        }
     }
 
     /// Paper-default lean core: 2-issue in-order, 4 contexts, 6-stage
     /// pipeline.
     pub fn lean() -> Self {
-        CoreKind::Lean { width: 2, contexts: 4 }
+        CoreKind::Lean {
+            width: 2,
+            contexts: 4,
+        }
     }
 
     pub fn contexts(&self) -> usize {
@@ -139,7 +150,11 @@ impl MachineConfig {
     /// of `l2_size` bytes with hit latency `l2_latency`.
     pub fn fat_cmp(n_cores: usize, l2_size: u64, l2_latency: u64) -> Self {
         MachineConfig {
-            name: format!("FC-CMP {n_cores}x (L2 {} MB, {} cyc)", l2_size >> 20, l2_latency),
+            name: format!(
+                "FC-CMP {n_cores}x (L2 {} MB, {} cyc)",
+                l2_size >> 20,
+                l2_latency
+            ),
             core: CoreKind::fat(),
             n_cores,
             l1i: CacheGeom::new(64 << 10, 2, 1),
@@ -160,7 +175,11 @@ impl MachineConfig {
     /// The paper's lean-camp CMP: same memory system, lean cores.
     pub fn lean_cmp(n_cores: usize, l2_size: u64, l2_latency: u64) -> Self {
         let mut c = Self::fat_cmp(n_cores, l2_size, l2_latency);
-        c.name = format!("LC-CMP {n_cores}x (L2 {} MB, {} cyc)", l2_size >> 20, l2_latency);
+        c.name = format!(
+            "LC-CMP {n_cores}x (L2 {} MB, {} cyc)",
+            l2_size >> 20,
+            l2_latency
+        );
         c.core = CoreKind::lean();
         c.store_buffer = 4;
         c

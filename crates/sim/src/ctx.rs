@@ -180,11 +180,23 @@ mod tests {
     #[test]
     fn class_mapping() {
         assert_eq!(data_stall_class(MemClass::L1), None);
-        assert_eq!(data_stall_class(MemClass::L2Hit), Some(CycleClass::DStallL2Hit));
+        assert_eq!(
+            data_stall_class(MemClass::L2Hit),
+            Some(CycleClass::DStallL2Hit)
+        );
         assert_eq!(data_stall_class(MemClass::Mem), Some(CycleClass::DStallMem));
-        assert_eq!(data_stall_class(MemClass::Coherence), Some(CycleClass::DStallCoherence));
-        assert_eq!(instr_stall_class(MemClass::L2Hit), Some(CycleClass::IStallL2));
-        assert_eq!(instr_stall_class(MemClass::Mem), Some(CycleClass::IStallMem));
+        assert_eq!(
+            data_stall_class(MemClass::Coherence),
+            Some(CycleClass::DStallCoherence)
+        );
+        assert_eq!(
+            instr_stall_class(MemClass::L2Hit),
+            Some(CycleClass::IStallL2)
+        );
+        assert_eq!(
+            instr_stall_class(MemClass::Mem),
+            Some(CycleClass::IStallMem)
+        );
     }
 
     #[test]

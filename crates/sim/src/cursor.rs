@@ -25,7 +25,12 @@ pub struct TraceCursor<'a> {
 
 impl<'a> TraceCursor<'a> {
     pub fn new(trace: &'a ThreadTrace, wrap: bool) -> Self {
-        TraceCursor { trace, idx: 0, wrap, wraps: 0 }
+        TraceCursor {
+            trace,
+            idx: 0,
+            wrap,
+            wraps: 0,
+        }
     }
 
     /// Next event, or `None` when the (non-wrapping) trace is exhausted.
@@ -187,7 +192,11 @@ mod tests {
         }
         assert_eq!(ts.fetch_addr(r, &regions), base + 124);
         ts.advance_instr(r, &regions);
-        assert_eq!(ts.fetch_addr(r, &regions), base, "must wrap to region start");
+        assert_eq!(
+            ts.fetch_addr(r, &regions),
+            base,
+            "must wrap to region start"
+        );
         assert_eq!(ts.region_offset(r), 0);
     }
 }

@@ -112,7 +112,8 @@ impl FatCore {
         // Thread scheduling.
         if let Some(t) = self.base.thread {
             if threads[t].done && self.rob.is_empty() {
-                self.base.rotate_thread(false, self.quantum, self.switch_penalty, now);
+                self.base
+                    .rotate_thread(false, self.quantum, self.switch_penalty, now);
             }
         } else if !self.base.run_q.is_empty() {
             self.base.rotate_thread(false, self.quantum, 0, now);
@@ -172,7 +173,8 @@ impl FatCore {
         }
         if self.want_switch && self.rob.is_empty() && self.base.store_buf.is_empty() {
             self.want_switch = false;
-            self.base.rotate_thread(true, self.quantum, self.switch_penalty, now);
+            self.base
+                .rotate_thread(true, self.quantum, self.switch_penalty, now);
             self.gate_until = self.gate_until.max(now + self.switch_penalty);
             self.gate_class = CycleClass::Other;
         }
@@ -276,7 +278,11 @@ impl FatCore {
                     break;
                 }
                 th.advance_instr(region, regions);
-                th.cur_exec = if left > 1 { Some((region, left - 1)) } else { None };
+                th.cur_exec = if left > 1 {
+                    Some((region, left - 1))
+                } else {
+                    None
+                };
                 self.push_run(1);
                 decoded += 1;
                 th.mispred_acc += regions.get(region).mispred_per_kinstr / 1000.0;
@@ -359,11 +365,13 @@ impl FatCore {
     /// Issue a load to the memory system and place it in the window.
     fn issue_load(&mut self, core: usize, now: u64, pl: PendingLoad, mem: &mut MemSys) {
         crate::lean::touch_lead_lines(mem, core, pl.addr, pl.size, false, now);
-        let acc =
-            mem.data_access(core, (pl.addr + pl.size.max(1) as u64 - 1) >> 6, false, now);
+        let acc = mem.data_access(core, (pl.addr + pl.size.max(1) as u64 - 1) >> 6, false, now);
         match data_stall_class(acc.class) {
             Some(class) if acc.ready_at > now => {
-                self.rob.push_back(RobSlot::Load { ready_at: acc.ready_at, class });
+                self.rob.push_back(RobSlot::Load {
+                    ready_at: acc.ready_at,
+                    class,
+                });
                 self.rob_instrs += 1;
                 self.outstanding += 1;
                 if pl.dep {
@@ -439,9 +447,18 @@ mod tests {
         let mut threads = vec![ThreadState::new(&tr, &regions, false)];
         let mut core = FatCore::new(&cfg, 4, 128, 8);
         core.base.thread = Some(0);
-        let mut ctl = MachineCtl { remaining: 1, ..Default::default() };
-        let (cycles, compute) =
-            run_to_completion(&mut core, &mut mem, &mut threads, &regions, &mut ctl, 100_000);
+        let mut ctl = MachineCtl {
+            remaining: 1,
+            ..Default::default()
+        };
+        let (cycles, compute) = run_to_completion(
+            &mut core,
+            &mut mem,
+            &mut threads,
+            &regions,
+            &mut ctl,
+            100_000,
+        );
         assert_eq!(core.retired, 2048);
         // 2048 instrs at width 4 = 512 compute cycles minimum.
         assert!(compute >= 512, "compute={compute}");
@@ -471,17 +488,35 @@ mod tests {
         let mut threads = vec![ThreadState::new(&tri, &regions, false)];
         let mut core = FatCore::new(&cfg, 4, 128, 8);
         core.base.thread = Some(0);
-        let mut ctl = MachineCtl { remaining: 1, ..Default::default() };
-        let (cyc_indep, _) =
-            run_to_completion(&mut core, &mut mem, &mut threads, &regions, &mut ctl, 100_000);
+        let mut ctl = MachineCtl {
+            remaining: 1,
+            ..Default::default()
+        };
+        let (cyc_indep, _) = run_to_completion(
+            &mut core,
+            &mut mem,
+            &mut threads,
+            &regions,
+            &mut ctl,
+            100_000,
+        );
 
         let mut mem2 = MemSys::new(&cfg);
         let mut threads2 = vec![ThreadState::new(&trd, &regions, false)];
         let mut core2 = FatCore::new(&cfg, 4, 128, 8);
         core2.base.thread = Some(0);
-        let mut ctl2 = MachineCtl { remaining: 1, ..Default::default() };
-        let (cyc_dep, _) =
-            run_to_completion(&mut core2, &mut mem2, &mut threads2, &regions, &mut ctl2, 100_000);
+        let mut ctl2 = MachineCtl {
+            remaining: 1,
+            ..Default::default()
+        };
+        let (cyc_dep, _) = run_to_completion(
+            &mut core2,
+            &mut mem2,
+            &mut threads2,
+            &regions,
+            &mut ctl2,
+            100_000,
+        );
 
         // Dependent chain ≈ 8 × mem_latency; independent ≈ 1 × mem_latency
         // (+ epsilon). Require at least 4x separation.
@@ -502,11 +537,18 @@ mod tests {
         let mut threads = vec![ThreadState::new(&tr, &regions, false)];
         let mut core = FatCore::new(&cfg, 4, 128, 8);
         core.base.thread = Some(0);
-        let mut ctl = MachineCtl { remaining: 1, ..Default::default() };
+        let mut ctl = MachineCtl {
+            remaining: 1,
+            ..Default::default()
+        };
         // Cycle 0: decode issues the load; nothing retires -> DStallMem.
-        let c0 = core.cycle(0, 0, &mut mem, &mut threads, &regions, &mut ctl).unwrap();
+        let c0 = core
+            .cycle(0, 0, &mut mem, &mut threads, &regions, &mut ctl)
+            .unwrap();
         assert_eq!(c0, CycleClass::DStallMem);
-        let c1 = core.cycle(0, 1, &mut mem, &mut threads, &regions, &mut ctl).unwrap();
+        let c1 = core
+            .cycle(0, 1, &mut mem, &mut threads, &regions, &mut ctl)
+            .unwrap();
         assert_eq!(c1, CycleClass::DStallMem);
     }
 
@@ -524,9 +566,18 @@ mod tests {
         let mut threads = vec![ThreadState::new(&tr, &regions, false)];
         let mut core = FatCore::new(&cfg, 4, 128, 2);
         core.base.thread = Some(0);
-        let mut ctl = MachineCtl { remaining: 1, ..Default::default() };
-        let (cyc_2mshr, _) =
-            run_to_completion(&mut core, &mut mem, &mut threads, &regions, &mut ctl, 100_000);
+        let mut ctl = MachineCtl {
+            remaining: 1,
+            ..Default::default()
+        };
+        let (cyc_2mshr, _) = run_to_completion(
+            &mut core,
+            &mut mem,
+            &mut threads,
+            &regions,
+            &mut ctl,
+            100_000,
+        );
         // With 2 MSHRs, 16 misses need ≥ 8 serialized memory rounds.
         assert!(cyc_2mshr >= 8 * 400, "cyc={cyc_2mshr}");
     }
@@ -544,9 +595,18 @@ mod tests {
         let mut threads = vec![ThreadState::new(&tr, &regions, false)];
         let mut core = FatCore::new(&cfg, 4, 128, 8);
         core.base.thread = Some(0);
-        let mut ctl = MachineCtl { remaining: 1, ..Default::default() };
-        let (cycles, _) =
-            run_to_completion(&mut core, &mut mem, &mut threads, &regions, &mut ctl, 100_000);
+        let mut ctl = MachineCtl {
+            remaining: 1,
+            ..Default::default()
+        };
+        let (cycles, _) = run_to_completion(
+            &mut core,
+            &mut mem,
+            &mut threads,
+            &regions,
+            &mut ctl,
+            100_000,
+        );
         // The exec after the fence cannot overlap the miss: total ≥ mem
         // latency + some compute.
         assert!(cycles > 400, "cycles={cycles}");
@@ -561,6 +621,8 @@ mod tests {
         let mut threads: Vec<ThreadState<'_>> = vec![];
         let mut core = FatCore::new(&cfg, 4, 128, 8);
         let mut ctl = MachineCtl::default();
-        assert!(core.cycle(0, 0, &mut mem, &mut threads, &regions, &mut ctl).is_none());
+        assert!(core
+            .cycle(0, 0, &mut mem, &mut threads, &regions, &mut ctl)
+            .is_none());
     }
 }

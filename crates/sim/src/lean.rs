@@ -38,7 +38,9 @@ pub struct LeanCore {
 impl LeanCore {
     pub fn new(cfg: &MachineConfig, contexts: usize, width: usize) -> Self {
         LeanCore {
-            ctxs: (0..contexts).map(|_| CtxBase::new(cfg.store_buffer, cfg.quantum)).collect(),
+            ctxs: (0..contexts)
+                .map(|_| CtxBase::new(cfg.store_buffer, cfg.quantum))
+                .collect(),
             rr: 0,
             width: width.max(1),
             pipeline_depth: cfg.core.pipeline_depth(),
@@ -198,7 +200,11 @@ fn issue_from(
                 break;
             }
             th.advance_instr(region, regions);
-            th.cur_exec = if left > 1 { Some((region, left - 1)) } else { None };
+            th.cur_exec = if left > 1 {
+                Some((region, left - 1))
+            } else {
+                None
+            };
             issued += 1;
             progress += 1;
             // Branch misprediction charge.
@@ -343,10 +349,15 @@ mod tests {
         let mut threads = vec![ThreadState::new(&trace, &regions, false)];
         let mut core = LeanCore::new(&cfg, 4, 2);
         core.ctxs[0].thread = Some(0);
-        let mut ctl = MachineCtl { remaining: 1, ..Default::default() };
+        let mut ctl = MachineCtl {
+            remaining: 1,
+            ..Default::default()
+        };
 
         // First cycle: cold I-miss blocks.
-        let c0 = core.cycle(0, 0, &mut mem, &mut threads, &regions, &mut ctl).unwrap();
+        let c0 = core
+            .cycle(0, 0, &mut mem, &mut threads, &regions, &mut ctl)
+            .unwrap();
         assert!(matches!(c0, CycleClass::IStallMem | CycleClass::IStallL2));
         let mut now = 1;
         while !threads[0].done && now < 10_000 {
@@ -370,12 +381,17 @@ mod tests {
         let mut t1 = Tracer::recording();
         t1.exec(0, 50);
         let tr1 = t1.finish();
-        let mut threads =
-            vec![ThreadState::new(&tr0, &regions, false), ThreadState::new(&tr1, &regions, false)];
+        let mut threads = vec![
+            ThreadState::new(&tr0, &regions, false),
+            ThreadState::new(&tr1, &regions, false),
+        ];
         let mut core = LeanCore::new(&cfg, 4, 2);
         core.ctxs[0].thread = Some(0);
         core.ctxs[1].thread = Some(1);
-        let mut ctl = MachineCtl { remaining: 2, ..Default::default() };
+        let mut ctl = MachineCtl {
+            remaining: 2,
+            ..Default::default()
+        };
 
         let mut compute = 0u64;
         for now in 0..3000u64 {
@@ -404,13 +420,20 @@ mod tests {
         let mut threads = vec![ThreadState::new(&tr0, &regions, false)];
         let mut core = LeanCore::new(&cfg, 4, 2);
         core.ctxs[0].thread = Some(0);
-        let mut ctl = MachineCtl { remaining: 1, ..Default::default() };
+        let mut ctl = MachineCtl {
+            remaining: 1,
+            ..Default::default()
+        };
 
         // Cycle 0 initiates the miss (charged as the stall class directly).
-        let c0 = core.cycle(0, 0, &mut mem, &mut threads, &regions, &mut ctl).unwrap();
+        let c0 = core
+            .cycle(0, 0, &mut mem, &mut threads, &regions, &mut ctl)
+            .unwrap();
         assert_eq!(c0, CycleClass::DStallMem);
         // Subsequent cycle: the only context is blocked.
-        let c1 = core.cycle(0, 1, &mut mem, &mut threads, &regions, &mut ctl).unwrap();
+        let c1 = core
+            .cycle(0, 1, &mut mem, &mut threads, &regions, &mut ctl)
+            .unwrap();
         assert_eq!(c1, CycleClass::DStallMem);
     }
 
@@ -421,7 +444,9 @@ mod tests {
         let mut threads: Vec<ThreadState<'_>> = vec![];
         let mut core = LeanCore::new(&cfg, 4, 2);
         let mut ctl = MachineCtl::default();
-        assert!(core.cycle(0, 0, &mut mem, &mut threads, &regions, &mut ctl).is_none());
+        assert!(core
+            .cycle(0, 0, &mut mem, &mut threads, &regions, &mut ctl)
+            .is_none());
     }
 
     #[test]
@@ -436,14 +461,20 @@ mod tests {
         let mut threads = vec![ThreadState::new(&tr0, &regions, false)];
         let mut core = LeanCore::new(&cfg, 4, 2);
         core.ctxs[0].thread = Some(0);
-        let mut ctl = MachineCtl { remaining: 1, ..Default::default() };
+        let mut ctl = MachineCtl {
+            remaining: 1,
+            ..Default::default()
+        };
         let mut now = 0;
         while !threads[0].done && now < 10_000 {
             core.cycle(0, now, &mut mem, &mut threads, &regions, &mut ctl);
             now += 1;
         }
         assert_eq!(ctl.units, 1);
-        assert!(ctl.unit_cycles > 0, "unit must take time (cold miss at least)");
+        assert!(
+            ctl.unit_cycles > 0,
+            "unit must take time (cold miss at least)"
+        );
     }
 
     #[test]
@@ -459,19 +490,27 @@ mod tests {
         let mut t1 = Tracer::recording();
         t1.exec(0, 1000);
         let tr1 = t1.finish();
-        let mut threads =
-            vec![ThreadState::new(&tr0, &regions, false), ThreadState::new(&tr1, &regions, false)];
+        let mut threads = vec![
+            ThreadState::new(&tr0, &regions, false),
+            ThreadState::new(&tr1, &regions, false),
+        ];
         // Both threads on ONE context: they must time-slice.
         let mut core = LeanCore::new(&cfg, 1, 2);
         core.ctxs[0].thread = Some(0);
         core.ctxs[0].run_q.push_back(1);
-        let mut ctl = MachineCtl { remaining: 2, ..Default::default() };
+        let mut ctl = MachineCtl {
+            remaining: 2,
+            ..Default::default()
+        };
         let mut now = 0;
         while (!threads[0].done || !threads[1].done) && now < 100_000 {
             core.cycle(0, now, &mut mem, &mut threads, &regions, &mut ctl);
             now += 1;
         }
-        assert!(threads[0].done && threads[1].done, "both threads must finish via rotation");
+        assert!(
+            threads[0].done && threads[1].done,
+            "both threads must finish via rotation"
+        );
         assert_eq!(core.retired, 2000);
     }
 }

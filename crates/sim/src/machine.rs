@@ -105,7 +105,10 @@ impl<'a> Machine<'a> {
             threads,
             cores,
             mem,
-            ctl: MachineCtl { remaining: bundle.threads.len(), ..Default::default() },
+            ctl: MachineCtl {
+                remaining: bundle.threads.len(),
+                ..Default::default()
+            },
             per_core: vec![Breakdown::default(); n_cores],
             now: 0,
         }
@@ -237,7 +240,13 @@ mod tests {
     fn completion_run_finishes_and_accounts_all_cycles() {
         let cfg = MachineConfig::fat_cmp(2, 1 << 20, 8);
         let b = bundle(2, 50);
-        let res = Machine::run(cfg, &b, RunMode::Completion { max_cycles: 2_000_000 });
+        let res = Machine::run(
+            cfg,
+            &b,
+            RunMode::Completion {
+                max_cycles: 2_000_000,
+            },
+        );
         assert!(res.instrs > 0);
         assert_eq!(res.units, 2 * (5 + 1));
         // Breakdown cycles == sum over active cores of measured cycles: each
@@ -256,7 +265,10 @@ mod tests {
         let res = Machine::run(
             cfg,
             &b,
-            RunMode::Throughput { warmup: 10_000, measure: 20_000 },
+            RunMode::Throughput {
+                warmup: 10_000,
+                measure: 20_000,
+            },
         );
         assert_eq!(res.cycles, 20_000);
         assert!(res.instrs > 0);
@@ -269,8 +281,22 @@ mod tests {
     fn deterministic_across_runs() {
         let cfg = MachineConfig::fat_cmp(2, 1 << 20, 8);
         let b = bundle(3, 40);
-        let r1 = Machine::run(cfg.clone(), &b, RunMode::Throughput { warmup: 5000, measure: 10_000 });
-        let r2 = Machine::run(cfg, &b, RunMode::Throughput { warmup: 5000, measure: 10_000 });
+        let r1 = Machine::run(
+            cfg.clone(),
+            &b,
+            RunMode::Throughput {
+                warmup: 5000,
+                measure: 10_000,
+            },
+        );
+        let r2 = Machine::run(
+            cfg,
+            &b,
+            RunMode::Throughput {
+                warmup: 5000,
+                measure: 10_000,
+            },
+        );
         assert_eq!(r1.instrs, r2.instrs);
         assert_eq!(r1.breakdown, r2.breakdown);
         assert_eq!(r1.mem, r2.mem);
@@ -280,7 +306,13 @@ mod tests {
     fn more_threads_than_contexts_still_finishes() {
         let cfg = MachineConfig::fat_cmp(1, 1 << 20, 8); // 1 context total
         let b = bundle(3, 30);
-        let res = Machine::run(cfg, &b, RunMode::Completion { max_cycles: 5_000_000 });
+        let res = Machine::run(
+            cfg,
+            &b,
+            RunMode::Completion {
+                max_cycles: 5_000_000,
+            },
+        );
         assert_eq!(res.units, 3 * (3 + 1));
         // Context switching must have been charged somewhere.
         assert!(res.breakdown.get(CycleClass::Other) > 0);
@@ -312,12 +344,18 @@ mod tests {
         let fat = Machine::run(
             MachineConfig::fat_cmp(4, 4 << 20, 10),
             &b,
-            RunMode::Throughput { warmup: 300_000, measure: 200_000 },
+            RunMode::Throughput {
+                warmup: 300_000,
+                measure: 200_000,
+            },
         );
         let lean = Machine::run(
             MachineConfig::lean_cmp(4, 4 << 20, 10),
             &b,
-            RunMode::Throughput { warmup: 300_000, measure: 200_000 },
+            RunMode::Throughput {
+                warmup: 300_000,
+                measure: 200_000,
+            },
         );
         assert!(
             lean.breakdown.data_stall_fraction() < fat.breakdown.data_stall_fraction(),

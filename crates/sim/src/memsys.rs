@@ -123,8 +123,12 @@ impl MemSys {
         };
         MemSys {
             cores: CoreCaches {
-                l1i: (0..n).map(|_| Cache::new(cfg.l1i.size, cfg.l1i.assoc)).collect(),
-                l1d: (0..n).map(|_| Cache::new(cfg.l1d.size, cfg.l1d.assoc)).collect(),
+                l1i: (0..n)
+                    .map(|_| Cache::new(cfg.l1i.size, cfg.l1i.assoc))
+                    .collect(),
+                l1d: (0..n)
+                    .map(|_| Cache::new(cfg.l1d.size, cfg.l1d.assoc))
+                    .collect(),
                 streams: (0..n).map(|_| StreamBuffer::new(cfg.stream_buf)).collect(),
             },
             l2,
@@ -164,16 +168,25 @@ impl MemSys {
                         line,
                         now,
                     ),
-                    L2State::Private(l2s) => {
-                        private_upgrade(l2s, &mut self.cores, self.p, &mut self.counters, core, line, now)
-                    }
+                    L2State::Private(l2s) => private_upgrade(
+                        l2s,
+                        &mut self.cores,
+                        self.p,
+                        &mut self.counters,
+                        core,
+                        line,
+                        now,
+                    ),
                 };
                 if let Some(i) = self.cores.l1d[core].peek(line) {
                     self.cores.l1d[core].entry_mut(i).dirty = true;
                 }
                 return acc;
             }
-            return Access { ready_at: now, class: MemClass::L1 };
+            return Access {
+                ready_at: now,
+                class: MemClass::L1,
+            };
         }
         self.counters.l1d_misses += 1;
         let acc = match &mut self.l2 {
@@ -217,7 +230,10 @@ impl MemSys {
     pub fn instr_access(&mut self, core: usize, line: u64, now: u64) -> Access {
         self.counters.l1i_accesses += 1;
         if self.cores.l1i[core].probe(line).is_some() {
-            return Access { ready_at: now, class: MemClass::L1 };
+            return Access {
+                ready_at: now,
+                class: MemClass::L1,
+            };
         }
         self.counters.l1i_misses += 1;
         if let Some(ready) = self.cores.streams[core].take(line) {
@@ -225,7 +241,10 @@ impl MemSys {
             let ready_at = ready.max(now) + STREAM_PROMOTE;
             self.fill_l1i(core, line);
             self.prefetch(core, line + PREFETCH_AHEAD, now);
-            return Access { ready_at, class: MemClass::L2Hit };
+            return Access {
+                ready_at,
+                class: MemClass::L2Hit,
+            };
         }
         let acc = match &mut self.l2 {
             L2State::Shared(l2) => shared_fetch(
@@ -290,10 +309,13 @@ impl MemSys {
                     (start + self.p.l2_latency, None)
                 } else {
                     let (_, ev) = l2s[core].insert(line);
-                    (start + self.p.l2_latency + self.p.mem_latency, ev.map(|mut e| {
-                        e.sharers = 1 << core;
-                        e
-                    }))
+                    (
+                        start + self.p.l2_latency + self.p.mem_latency,
+                        ev.map(|mut e| {
+                            e.sharers = 1 << core;
+                            e
+                        }),
+                    )
                 }
             }
         };
@@ -411,7 +433,10 @@ fn shared_fetch(
             }
             p.l2_latency
         };
-        Access { ready_at: start + lat, class: MemClass::L2Hit }
+        Access {
+            ready_at: start + lat,
+            class: MemClass::L2Hit,
+        }
     } else {
         if is_instr {
             counters.mem_accesses_instr += 1;
@@ -428,7 +453,10 @@ fn shared_fetch(
         if let Some(ev) = ev {
             back_invalidate(cores, ev.line, ev.sharers);
         }
-        Access { ready_at: start + p.l2_latency + p.mem_latency, class: MemClass::Mem }
+        Access {
+            ready_at: start + p.l2_latency + p.mem_latency,
+            class: MemClass::Mem,
+        }
     }
 }
 
@@ -445,7 +473,10 @@ fn shared_upgrade(
     let Some(idx) = l2.peek(line) else {
         // Not tracked (inclusion violated by an unrelated eviction path);
         // treat as silent upgrade.
-        return Access { ready_at: now, class: MemClass::L1 };
+        return Access {
+            ready_at: now,
+            class: MemClass::L1,
+        };
     };
     let others = l2.entry(idx).sharers & !(1u16 << core);
     {
@@ -455,7 +486,10 @@ fn shared_upgrade(
         e.owner = core as u8;
     }
     if others == 0 {
-        return Access { ready_at: now, class: MemClass::L1 };
+        return Access {
+            ready_at: now,
+            class: MemClass::L1,
+        };
     }
     for n in 0..cores.l1d.len() {
         if n != core && (others >> n) & 1 == 1 {
@@ -463,7 +497,10 @@ fn shared_upgrade(
         }
     }
     counters.l2_hits += 1;
-    Access { ready_at: now + p.l2_latency, class: MemClass::L2Hit }
+    Access {
+        ready_at: now + p.l2_latency,
+        class: MemClass::L2Hit,
+    }
 }
 
 /// SMP: serve an L1 miss from the node's private L2, a remote node, or
@@ -488,8 +525,7 @@ fn private_fetch(
         }
         if write {
             // Bus upgrade if shared elsewhere.
-            let shared_elsewhere =
-                (0..l2s.len()).any(|n| n != core && l2s[n].peek(line).is_some());
+            let shared_elsewhere = (0..l2s.len()).any(|n| n != core && l2s[n].peek(line).is_some());
             if shared_elsewhere {
                 for n in 0..l2s.len() {
                     if n != core {
@@ -510,7 +546,10 @@ fn private_fetch(
                 l2s[core].entry_mut(i).dirty = true;
             }
         }
-        return Access { ready_at: now + p.l2_latency, class: MemClass::L2Hit };
+        return Access {
+            ready_at: now + p.l2_latency,
+            class: MemClass::L2Hit,
+        };
     }
     // Snoop remote nodes.
     let mut remote_dirty = false;
@@ -555,7 +594,10 @@ fn private_fetch(
     if let Some(ev) = ev {
         cores.invalidate_all(core, ev.line);
     }
-    Access { ready_at: now + lat, class }
+    Access {
+        ready_at: now + lat,
+        class,
+    }
 }
 
 /// SMP: write to a line held in S state — bus upgrade.
@@ -581,9 +623,15 @@ fn private_upgrade(
             }
         }
         counters.coherence_transfers += 1;
-        Access { ready_at: now + p.coherence_latency, class: MemClass::Coherence }
+        Access {
+            ready_at: now + p.coherence_latency,
+            class: MemClass::Coherence,
+        }
     } else {
-        Access { ready_at: now, class: MemClass::L1 }
+        Access {
+            ready_at: now,
+            class: MemClass::L1,
+        }
     }
 }
 
@@ -636,7 +684,11 @@ mod tests {
         m.data_access(1, 100, false, 500); // both L1s share the line
         m.data_access(0, 100, true, 1000); // core 0 upgrades
         let a = m.data_access(1, 100, false, 2000);
-        assert_eq!(a.class, MemClass::L2Hit, "peer copy must have been invalidated");
+        assert_eq!(
+            a.class,
+            MemClass::L2Hit,
+            "peer copy must have been invalidated"
+        );
     }
 
     #[test]
@@ -695,7 +747,10 @@ mod tests {
         let b = m.data_access(2, 20, false, 1000);
         assert_eq!(a.class, MemClass::L2Hit);
         assert_eq!(b.class, MemClass::L2Hit);
-        assert!(b.ready_at > a.ready_at, "second access must queue behind the first");
+        assert!(
+            b.ready_at > a.ready_at,
+            "second access must queue behind the first"
+        );
         assert!(m.counters.l2_queued_accesses >= 1);
     }
 
@@ -736,7 +791,11 @@ mod tests {
         }
         // Line 0 must have been evicted from L2 — and therefore from L1.
         let a = m.data_access(0, 0, false, 10_000);
-        assert_eq!(a.class, MemClass::Mem, "L1 copy must not outlive L2 (inclusion)");
+        assert_eq!(
+            a.class,
+            MemClass::Mem,
+            "L1 copy must not outlive L2 (inclusion)"
+        );
     }
 
     #[test]

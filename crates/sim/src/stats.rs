@@ -180,7 +180,8 @@ impl MemCounters {
     }
 
     pub fn l2_miss_rate(&self) -> f64 {
-        let l2_lookups = self.l2_hits + self.l1_to_l1 + self.mem_accesses + self.coherence_transfers;
+        let l2_lookups =
+            self.l2_hits + self.l1_to_l1 + self.mem_accesses + self.coherence_transfers;
         (self.mem_accesses + self.coherence_transfers) as f64 / l2_lookups.max(1) as f64
     }
 }
@@ -260,7 +261,11 @@ mod tests {
 
     #[test]
     fn sim_result_metrics() {
-        let mut r = SimResult { cycles: 1000, instrs: 1500, ..Default::default() };
+        let mut r = SimResult {
+            cycles: 1000,
+            instrs: 1500,
+            ..Default::default()
+        };
         r.breakdown.charge(CycleClass::Compute, 800);
         r.breakdown.charge(CycleClass::DStallMem, 200);
         assert!((r.uipc() - 1.5).abs() < 1e-12);

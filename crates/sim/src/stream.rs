@@ -26,7 +26,10 @@ pub struct StreamBuffer {
 
 impl StreamBuffer {
     pub fn new(depth: usize) -> Self {
-        StreamBuffer { slots: Vec::with_capacity(depth), depth }
+        StreamBuffer {
+            slots: Vec::with_capacity(depth),
+            depth,
+        }
     }
 
     pub fn enabled(&self) -> bool {

@@ -30,7 +30,11 @@ pub fn pipeline_for(kind: QueryKind, h: &TpchDb, rng: &mut StdRng) -> PipelineSp
             );
             PipelineSpec {
                 table: h.lineitem,
-                pred: Pred::Cmp { col: L_SHIP, op: CmpOp::Le, val: Value::Date(MAX_DATE - delta) },
+                pred: Pred::Cmp {
+                    col: L_SHIP,
+                    op: CmpOp::Le,
+                    val: Value::Date(MAX_DATE - delta),
+                },
                 group_cols: vec![L_RFLAG, L_LSTAT],
                 aggs: vec![
                     AggSpec::sum(Scalar::Col(L_QTY)),
@@ -48,8 +52,16 @@ pub fn pipeline_for(kind: QueryKind, h: &TpchDb, rng: &mut StdRng) -> PipelineSp
             PipelineSpec {
                 table: h.lineitem,
                 pred: Pred::And(vec![
-                    Pred::Cmp { col: L_SHIP, op: CmpOp::Ge, val: Value::Date(year_start) },
-                    Pred::Cmp { col: L_SHIP, op: CmpOp::Lt, val: Value::Date(year_start + 365) },
+                    Pred::Cmp {
+                        col: L_SHIP,
+                        op: CmpOp::Ge,
+                        val: Value::Date(year_start),
+                    },
+                    Pred::Cmp {
+                        col: L_SHIP,
+                        op: CmpOp::Lt,
+                        val: Value::Date(year_start + 365),
+                    },
                     Pred::Between {
                         col: L_DISC,
                         lo: Value::Decimal(disc - 1),
@@ -135,13 +147,28 @@ mod tests {
             v.sort_by(|a, b| a.partial_cmp(b).unwrap());
             v
         };
-        let v = sort(staged_query_rows(&mut db, &h, QueryKind::Q1, ExecPolicy::Volcano, 1));
-        let s = sort(staged_query_rows(&mut db, &h, QueryKind::Q1, ExecPolicy::Staged { batch: 64 }, 1));
+        let v = sort(staged_query_rows(
+            &mut db,
+            &h,
+            QueryKind::Q1,
+            ExecPolicy::Volcano,
+            1,
+        ));
+        let s = sort(staged_query_rows(
+            &mut db,
+            &h,
+            QueryKind::Q1,
+            ExecPolicy::Staged { batch: 64 },
+            1,
+        ));
         let p = sort(staged_query_rows(
             &mut db,
             &h,
             QueryKind::Q1,
-            ExecPolicy::StagedParallel { batch: 64, producers: 3 },
+            ExecPolicy::StagedParallel {
+                batch: 64,
+                producers: 3,
+            },
             1,
         ));
         assert_eq!(v, s);
@@ -160,7 +187,10 @@ mod tests {
             &mut db,
             &h,
             &[QueryKind::Q6],
-            ExecPolicy::StagedParallel { batch: 64, producers: 3 },
+            ExecPolicy::StagedParallel {
+                batch: 64,
+                producers: 3,
+            },
             2,
             1,
         );
@@ -168,6 +198,9 @@ mod tests {
         // Work must be distributed: producers carry most instructions.
         let cons = b2.threads[0].instrs();
         let prod: u64 = b2.threads[1..].iter().map(|t| t.instrs()).sum();
-        assert!(prod > cons, "producers {prod} should outweigh consumer {cons}");
+        assert!(
+            prod > cons,
+            "producers {prod} should outweigh consumer {cons}"
+        );
     }
 }

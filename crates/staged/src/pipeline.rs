@@ -161,7 +161,9 @@ impl StagedPipeline {
             // Row-at-a-time: per-tuple operator crossings pay call
             // overhead in each stage region.
             tc.charge(tc.r.exec_scan, instr::SCAN_STEP + CALL_OVERHEAD);
-            let Some(row) = heap.read_at(rid, tc) else { continue };
+            let Some(row) = heap.read_at(rid, tc) else {
+                continue;
+            };
             tc.charge(tc.r.exec_filter, CALL_OVERHEAD);
             if !self.spec.pred.eval(&row, tc) {
                 continue;
@@ -195,7 +197,10 @@ impl StagedPipeline {
                 }
                 tc.charge(tc.r.exec_scan, instr::SCAN_STEP);
                 if let Some(row) = heap.read_at(*rid, tc) {
-                    tc.store(buf + (i as u64 % batch as u64) * row_width, row_width as u32);
+                    tc.store(
+                        buf + (i as u64 % batch as u64) * row_width,
+                        row_width as u32,
+                    );
                     staged_rows.push((i, row));
                 }
             }
@@ -203,7 +208,10 @@ impl StagedPipeline {
             tc.charge(tc.r.exec_filter, 40);
             let mut passed = Vec::with_capacity(staged_rows.len());
             for (i, row) in staged_rows {
-                tc.load(buf + (i as u64 % batch as u64) * row_width, row_width as u32);
+                tc.load(
+                    buf + (i as u64 % batch as u64) * row_width,
+                    row_width as u32,
+                );
                 if self.spec.pred.eval(&row, tc) {
                     passed.push((i, row));
                 }
@@ -211,7 +219,10 @@ impl StagedPipeline {
             // Stage 3: aggregate the batch.
             tc.charge(tc.r.exec_agg, 40);
             for (i, row) in passed {
-                tc.load(buf + (i as u64 % batch as u64) * row_width, row_width as u32);
+                tc.load(
+                    buf + (i as u64 % batch as u64) * row_width,
+                    row_width as u32,
+                );
                 agg.update(&row, tc);
             }
         }
@@ -247,7 +258,9 @@ impl StagedPipeline {
                 heap.pin_page(page, tc);
                 for s in 0..heap.page_nslots(page) {
                     tc.charge(tc.r.exec_scan, instr::SCAN_STEP);
-                    let Some(row) = heap.read_at(Rid { page, slot: s }, tc) else { continue };
+                    let Some(row) = heap.read_at(Rid { page, slot: s }, tc) else {
+                        continue;
+                    };
                     if !self.spec.pred.eval(&row, tc) {
                         continue;
                     }
@@ -258,10 +271,12 @@ impl StagedPipeline {
                     batched.push(row);
                     if batched.len() == batch {
                         tc.fence(); // packet handoff
-                        // ...and the consumer reads it on its context.
+                                    // ...and the consumer reads it on its context.
                         for (i, row) in batched.drain(..).enumerate() {
-                            consumer_tc
-                                .load(buf + (i as u64 % batch as u64) * row_width, row_width as u32);
+                            consumer_tc.load(
+                                buf + (i as u64 % batch as u64) * row_width,
+                                row_width as u32,
+                            );
                             agg.update(&row, consumer_tc);
                         }
                     }
@@ -270,7 +285,10 @@ impl StagedPipeline {
             if !batched.is_empty() {
                 tc.fence();
                 for (i, row) in batched.drain(..).enumerate() {
-                    consumer_tc.load(buf + (i as u64 % batch as u64) * row_width, row_width as u32);
+                    consumer_tc.load(
+                        buf + (i as u64 % batch as u64) * row_width,
+                        row_width as u32,
+                    );
                     agg.update(&row, consumer_tc);
                 }
             }
@@ -323,7 +341,11 @@ mod tests {
         db.commit(txn, &mut tc).unwrap();
         let spec = PipelineSpec {
             table: t,
-            pred: Pred::Cmp { col: 0, op: CmpOp::Lt, val: Value::Int(800) },
+            pred: Pred::Cmp {
+                col: 0,
+                op: CmpOp::Lt,
+                val: Value::Int(800),
+            },
             group_cols: vec![1],
             aggs: vec![AggSpec::count(), AggSpec::sum(Scalar::Col(2))],
         };
@@ -386,7 +408,10 @@ mod tests {
         let i1 = prods[1].instrs();
         assert!(i0 > 0 && i1 > 0, "both producers must work: {i0} {i1}");
         let ratio = i0 as f64 / i1 as f64;
-        assert!((0.4..=2.5).contains(&ratio), "work split roughly evenly: {ratio}");
+        assert!(
+            (0.4..=2.5).contains(&ratio),
+            "work split roughly evenly: {ratio}"
+        );
         assert!(cons.instrs() > 0);
     }
 
@@ -396,7 +421,9 @@ mod tests {
         let mut tc = db.null_ctx();
         let rows: Vec<Vec<Value>> = {
             let heap = db.table(spec.table);
-            heap.rids().filter_map(|r| heap.read_at(r, &mut tc)).collect()
+            heap.rids()
+                .filter_map(|r| heap.read_at(r, &mut tc))
+                .collect()
         };
         // Single.
         let mut one = BatchAgg::new(&db, spec.group_cols.clone(), spec.aggs.clone());

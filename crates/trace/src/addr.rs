@@ -45,7 +45,10 @@ pub struct AddressSpace {
 
 impl AddressSpace {
     pub fn new() -> Self {
-        AddressSpace { next: AtomicU64::new(DATA_BASE), segments: Mutex::new(Vec::new()) }
+        AddressSpace {
+            next: AtomicU64::new(DATA_BASE),
+            segments: Mutex::new(Vec::new()),
+        }
     }
 
     /// Allocate `bytes` of simulated memory, 64-byte aligned, tagged with a
@@ -54,11 +57,14 @@ impl AddressSpace {
     /// condition).
     pub fn alloc(&self, name: &'static str, bytes: u64) -> SimAddr {
         let base = self.alloc_aligned(bytes, 64);
-        self.segments.lock().expect("segment registry poisoned").push(SegmentInfo {
-            name,
-            base,
-            len: bytes,
-        });
+        self.segments
+            .lock()
+            .expect("segment registry poisoned")
+            .push(SegmentInfo {
+                name,
+                base,
+                len: bytes,
+            });
         base
     }
 
@@ -94,7 +100,10 @@ impl AddressSpace {
 
     /// Snapshot of the named segments.
     pub fn segments(&self) -> Vec<SegmentInfo> {
-        self.segments.lock().expect("segment registry poisoned").clone()
+        self.segments
+            .lock()
+            .expect("segment registry poisoned")
+            .clone()
     }
 }
 
@@ -151,10 +160,18 @@ mod tests {
                 (0..1000).map(|_| s.alloc_anon(96)).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         for w in all.windows(2) {
-            assert!(w[0] + 96 <= w[1], "overlapping allocations {} {}", w[0], w[1]);
+            assert!(
+                w[0] + 96 <= w[1],
+                "overlapping allocations {} {}",
+                w[0],
+                w[1]
+            );
         }
     }
 }

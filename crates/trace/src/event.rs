@@ -69,16 +69,15 @@ impl PackedEvent {
     #[inline]
     pub fn exec(region: RegionId, instrs: u32) -> Self {
         debug_assert!((region as u64) <= REGION_MASK);
-        PackedEvent(
-            (OP_EXEC << OP_SHIFT) | ((region as u64) << REGION_SHIFT) | instrs as u64,
-        )
+        PackedEvent((OP_EXEC << OP_SHIFT) | ((region as u64) << REGION_SHIFT) | instrs as u64)
     }
 
     #[inline]
     pub fn load(addr: u64, size: u32, dep: bool) -> Self {
         debug_assert!((1..=MAX_ACCESS).contains(&size));
         debug_assert!(addr <= ADDR_MASK);
-        let mut w = (OP_LOAD << OP_SHIFT) | ((size as u64 & SIZE_MASK) << SIZE_SHIFT) | (addr & ADDR_MASK);
+        let mut w =
+            (OP_LOAD << OP_SHIFT) | ((size as u64 & SIZE_MASK) << SIZE_SHIFT) | (addr & ADDR_MASK);
         if dep {
             w |= DEP_BIT;
         }
@@ -89,7 +88,9 @@ impl PackedEvent {
     pub fn store(addr: u64, size: u32) -> Self {
         debug_assert!((1..=MAX_ACCESS).contains(&size));
         debug_assert!(addr <= ADDR_MASK);
-        PackedEvent((OP_STORE << OP_SHIFT) | ((size as u64 & SIZE_MASK) << SIZE_SHIFT) | (addr & ADDR_MASK))
+        PackedEvent(
+            (OP_STORE << OP_SHIFT) | ((size as u64 & SIZE_MASK) << SIZE_SHIFT) | (addr & ADDR_MASK),
+        )
     }
 
     #[inline]
@@ -171,11 +172,28 @@ mod tests {
     #[test]
     fn pack_unpack_all_variants() {
         let cases = [
-            Event::Exec { region: 0, instrs: 0 },
-            Event::Exec { region: 1023, instrs: u32::MAX },
-            Event::Load { addr: 0, size: 1, dep: false },
-            Event::Load { addr: (1 << 48) - 1, size: 4095, dep: true },
-            Event::Store { addr: 0xDEAD_BEEF, size: 64 },
+            Event::Exec {
+                region: 0,
+                instrs: 0,
+            },
+            Event::Exec {
+                region: 1023,
+                instrs: u32::MAX,
+            },
+            Event::Load {
+                addr: 0,
+                size: 1,
+                dep: false,
+            },
+            Event::Load {
+                addr: (1 << 48) - 1,
+                size: 4095,
+                dep: true,
+            },
+            Event::Store {
+                addr: 0xDEAD_BEEF,
+                size: 64,
+            },
             Event::Fence,
             Event::UnitEnd,
         ];
@@ -186,8 +204,23 @@ mod tests {
 
     #[test]
     fn instr_counts() {
-        assert_eq!(Event::Exec { region: 3, instrs: 17 }.instr_count(), 17);
-        assert_eq!(Event::Load { addr: 64, size: 8, dep: false }.instr_count(), 1);
+        assert_eq!(
+            Event::Exec {
+                region: 3,
+                instrs: 17
+            }
+            .instr_count(),
+            17
+        );
+        assert_eq!(
+            Event::Load {
+                addr: 64,
+                size: 8,
+                dep: false
+            }
+            .instr_count(),
+            1
+        );
         assert_eq!(Event::Store { addr: 64, size: 8 }.instr_count(), 1);
         assert_eq!(Event::Fence.instr_count(), 0);
     }

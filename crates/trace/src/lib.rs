@@ -61,10 +61,24 @@ mod tests {
         assert_eq!(
             evs,
             vec![
-                Event::Exec { region: scan, instrs: 100 },
-                Event::Load { addr: a, size: 64, dep: false },
-                Event::Load { addr: a + 64, size: 8, dep: true },
-                Event::Store { addr: a + 128, size: 16 },
+                Event::Exec {
+                    region: scan,
+                    instrs: 100
+                },
+                Event::Load {
+                    addr: a,
+                    size: 64,
+                    dep: false
+                },
+                Event::Load {
+                    addr: a + 64,
+                    size: 8,
+                    dep: true
+                },
+                Event::Store {
+                    addr: a + 128,
+                    size: 16
+                },
                 Event::Fence,
                 Event::UnitEnd,
             ]

@@ -50,7 +50,9 @@ pub struct CodeRegions {
 
 impl CodeRegions {
     pub fn new() -> Self {
-        CodeRegions { regions: Vec::new() }
+        CodeRegions {
+            regions: Vec::new(),
+        }
     }
 
     /// Register a region with the given byte `footprint` and misprediction
@@ -67,7 +69,13 @@ impl CodeRegions {
             Some(prev) => (prev.base + prev.footprint + 8192).div_ceil(4096) * 4096,
             None => CODE_BASE,
         };
-        self.regions.push(CodeRegion { id, name, base, footprint, mispred_per_kinstr });
+        self.regions.push(CodeRegion {
+            id,
+            name,
+            base,
+            footprint,
+            mispred_per_kinstr,
+        });
         id
     }
 

@@ -273,9 +273,18 @@ mod tests {
         assert_eq!(
             evs,
             vec![
-                Event::Exec { region: 5, instrs: 30 },
-                Event::Exec { region: 6, instrs: 1 },
-                Event::Exec { region: 5, instrs: 2 },
+                Event::Exec {
+                    region: 5,
+                    instrs: 30
+                },
+                Event::Exec {
+                    region: 6,
+                    instrs: 1
+                },
+                Event::Exec {
+                    region: 5,
+                    instrs: 2
+                },
             ]
         );
         assert_eq!(tr.instrs(), 33);

@@ -31,7 +31,11 @@ pub struct CaptureOptions {
 
 impl CaptureOptions {
     pub fn new(clients: usize, units_per_client: usize, seed: u64) -> Self {
-        CaptureOptions { clients, units_per_client, seed }
+        CaptureOptions {
+            clients,
+            units_per_client,
+            seed,
+        }
     }
 }
 
@@ -75,8 +79,8 @@ pub fn capture_dss(
             let kind = mix[(client + unit) % mix.len()];
             db.statement_overhead(&mut tc);
             let mut plan = build_query(kind, h, &mut rng);
-            let n = dbcmp_engine::exec::run_count(plan.as_mut(), db, &mut tc)
-                .expect("query execution");
+            let n =
+                dbcmp_engine::exec::run_count(plan.as_mut(), db, &mut tc).expect("query execution");
             // Queries must produce output at capture scales; a zero-row
             // result usually means a broken predicate draw.
             debug_assert!(n > 0 || kind == QueryKind::Q16, "{kind:?} returned no rows");
@@ -106,15 +110,17 @@ mod tests {
         assert_eq!(bundle.threads.len(), 4);
         for t in &bundle.threads {
             assert!(t.units() >= 5, "each client must complete its units");
-            assert!(t.instrs() > 10_000, "transactions are tens of kilo-instructions");
+            assert!(
+                t.instrs() > 10_000,
+                "transactions are tens of kilo-instructions"
+            );
         }
     }
 
     #[test]
     fn dss_capture_produces_query_traces() {
         let (mut db, h) = build_tpch(TpchScale::tiny(), 32);
-        let bundle =
-            capture_dss(&mut db, &h, &QueryKind::ALL, CaptureOptions::new(2, 4, 32));
+        let bundle = capture_dss(&mut db, &h, &QueryKind::ALL, CaptureOptions::new(2, 4, 32));
         assert_eq!(bundle.threads.len(), 2);
         for t in &bundle.threads {
             assert_eq!(t.units(), 4);
@@ -131,7 +137,12 @@ mod tests {
         let so = bundle_stats(&oltp);
 
         let (mut db2, h2) = build_tpch(TpchScale::tiny(), 33);
-        let dss = capture_dss(&mut db2, &h2, &[QueryKind::Q1, QueryKind::Q6], CaptureOptions::new(2, 2, 33));
+        let dss = capture_dss(
+            &mut db2,
+            &h2,
+            &[QueryKind::Q1, QueryKind::Q6],
+            CaptureOptions::new(2, 2, 33),
+        );
         let sd = bundle_stats(&dss);
 
         assert!(

@@ -23,6 +23,6 @@ pub mod rng;
 pub mod tpcc;
 pub mod tpch;
 
-pub use capture::{capture_oltp, capture_dss, CaptureOptions};
+pub use capture::{capture_dss, capture_oltp, CaptureOptions};
 pub use tpcc::{build_tpcc, TpccDb, TpccScale};
 pub use tpch::{build_tpch, QueryKind, TpchDb, TpchScale};

@@ -25,10 +25,16 @@ pub fn uniform(rng: &mut StdRng, x: u64, y: u64) -> u64 {
 /// TPC-C last-name generator: concatenated syllables indexed by a 0-999
 /// number.
 pub fn last_name(num: u64) -> String {
-    const SYL: [&str; 10] =
-        ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+    const SYL: [&str; 10] = [
+        "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+    ];
     let n = num % 1000;
-    format!("{}{}{}", SYL[(n / 100) as usize], SYL[((n / 10) % 10) as usize], SYL[(n % 10) as usize])
+    format!(
+        "{}{}{}",
+        SYL[(n / 100) as usize],
+        SYL[((n / 10) % 10) as usize],
+        SYL[(n % 10) as usize]
+    )
 }
 
 #[cfg(test)]
@@ -57,7 +63,10 @@ mod tests {
         }
         let max = *freq.iter().max().unwrap() as f64;
         let mean = n as f64 / 3000.0;
-        assert!(max > 4.0 * mean, "NURand must have hot values: max={max} mean={mean}");
+        assert!(
+            max > 4.0 * mean,
+            "NURand must have hot values: max={max} mean={mean}"
+        );
     }
 
     #[test]

@@ -333,7 +333,11 @@ pub fn build_tpcc(scale: TpccScale, seed: u64) -> (Database, TpccDb) {
                     db.insert(
                         &mut txn,
                         new_order,
-                        &[Value::Int(w as i64), Value::Int(d as i64), Value::Int(o as i64)],
+                        &[
+                            Value::Int(w as i64),
+                            Value::Int(d as i64),
+                            Value::Int(o as i64),
+                        ],
                         &mut tc,
                     )
                     .expect("populate new_order");
@@ -364,11 +368,18 @@ pub fn build_tpcc(scale: TpccScale, seed: u64) -> (Database, TpccDb) {
     // ---- indexes ----
     let iv = |col: usize| -> KeyFn { Box::new(move |row, _| row[col].as_i64().unwrap() as u64) };
     let _ = iv; // helper for simple cases below
-    let idx_warehouse =
-        db.create_index(warehouse, Box::new(|row, _| wh_key(row[0].as_i64().unwrap() as u64)));
+    let idx_warehouse = db.create_index(
+        warehouse,
+        Box::new(|row, _| wh_key(row[0].as_i64().unwrap() as u64)),
+    );
     let idx_district = db.create_index(
         district,
-        Box::new(|row, _| dist_key(row[0].as_i64().unwrap() as u64, row[1].as_i64().unwrap() as u64)),
+        Box::new(|row, _| {
+            dist_key(
+                row[0].as_i64().unwrap() as u64,
+                row[1].as_i64().unwrap() as u64,
+            )
+        }),
     );
     let idx_customer = db.create_index(
         customer,
@@ -391,11 +402,18 @@ pub fn build_tpcc(scale: TpccScale, seed: u64) -> (Database, TpccDb) {
             )
         }),
     );
-    let idx_item =
-        db.create_index(item, Box::new(|row, _| item_key(row[0].as_i64().unwrap() as u64)));
+    let idx_item = db.create_index(
+        item,
+        Box::new(|row, _| item_key(row[0].as_i64().unwrap() as u64)),
+    );
     let idx_stock = db.create_index(
         stock,
-        Box::new(|row, _| stock_key(row[0].as_i64().unwrap() as u64, row[1].as_i64().unwrap() as u64)),
+        Box::new(|row, _| {
+            stock_key(
+                row[0].as_i64().unwrap() as u64,
+                row[1].as_i64().unwrap() as u64,
+            )
+        }),
     );
     let idx_orders = db.create_index(
         orders,
@@ -499,13 +517,17 @@ mod tests {
     fn indexes_resolve_rows() {
         let (db, h) = build_tpcc(TpccScale::tiny(), 2);
         let mut tc = db.null_ctx();
-        let rid = db.index_get(h.idx_customer, cust_key(1, 2, 3), &mut tc).expect("customer");
+        let rid = db
+            .index_get(h.idx_customer, cust_key(1, 2, 3), &mut tc)
+            .expect("customer");
         let row = db.table(h.customer).get(rid, &mut tc).unwrap();
         assert_eq!(row[0], Value::Int(1));
         assert_eq!(row[1], Value::Int(2));
         assert_eq!(row[2], Value::Int(3));
 
-        let rid = db.index_get(h.idx_stock, stock_key(2, 100), &mut tc).expect("stock");
+        let rid = db
+            .index_get(h.idx_stock, stock_key(2, 100), &mut tc)
+            .expect("stock");
         let row = db.table(h.stock).get(rid, &mut tc).unwrap();
         assert_eq!(row[0], Value::Int(2));
         assert_eq!(row[1], Value::Int(100));

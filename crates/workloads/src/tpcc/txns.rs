@@ -84,12 +84,16 @@ fn new_order(
     let mut txn = db.begin(tc);
 
     // Warehouse tax (S).
-    let w_rid = db.index_get(h.idx_warehouse, wh_key(w), tc).expect("warehouse");
+    let w_rid = db
+        .index_get(h.idx_warehouse, wh_key(w), tc)
+        .expect("warehouse");
     let w_row = db.read(&mut txn, h.warehouse, w_rid, false, tc)?;
     let w_tax = w_row[2].as_i64().unwrap();
 
     // District: read + increment next_o_id (X).
-    let d_rid = db.index_get(h.idx_district, dist_key(w, d), tc).expect("district");
+    let d_rid = db
+        .index_get(h.idx_district, dist_key(w, d), tc)
+        .expect("district");
     let mut d_row = db.read(&mut txn, h.district, d_rid, true, tc)?;
     let d_tax = d_row[2].as_i64().unwrap();
     let o_id = d_row[4].as_i64().unwrap() as u64;
@@ -97,13 +101,19 @@ fn new_order(
     db.update(&mut txn, h.district, d_rid, &d_row, tc)?;
 
     // Customer (S).
-    let c_rid = db.index_get(h.idx_customer, cust_key(w, d, c), tc).expect("customer");
+    let c_rid = db
+        .index_get(h.idx_customer, cust_key(w, d, c), tc)
+        .expect("customer");
     let _c_row = db.read(&mut txn, h.customer, c_rid, false, tc)?;
 
     // Lines.
     let mut total = 0i64;
     for ol in 1..=ol_cnt {
-        let i_id = if rollback && ol == ol_cnt { u64::MAX } else { random_item(rng, h) };
+        let i_id = if rollback && ol == ol_cnt {
+            u64::MAX
+        } else {
+            random_item(rng, h)
+        };
         // 1% of lines are supplied by a remote warehouse (spec 2.4.1.5).
         let supply_w = if rng.gen_range(0..100u32) == 0 && h.scale.warehouses > 1 {
             let mut other = uniform(rng, 1, h.scale.warehouses);
@@ -123,11 +133,17 @@ fn new_order(
         let price = i_row[2].as_i64().unwrap();
 
         // Stock update (X).
-        let s_rid = db.index_get(h.idx_stock, stock_key(supply_w, i_id), tc).expect("stock");
+        let s_rid = db
+            .index_get(h.idx_stock, stock_key(supply_w, i_id), tc)
+            .expect("stock");
         let mut s_row = db.read(&mut txn, h.stock, s_rid, true, tc)?;
         let qty = uniform(rng, 1, 10) as i64;
         let mut s_q = s_row[2].as_i64().unwrap();
-        s_q = if s_q - qty >= 10 { s_q - qty } else { s_q - qty + 91 };
+        s_q = if s_q - qty >= 10 {
+            s_q - qty
+        } else {
+            s_q - qty + 91
+        };
         s_row[2] = Value::Int(s_q);
         s_row[3] = Value::Decimal(s_row[3].as_i64().unwrap() + qty * 100);
         s_row[4] = Value::Int(s_row[4].as_i64().unwrap() + 1);
@@ -173,7 +189,11 @@ fn new_order(
     db.insert(
         &mut txn,
         h.new_order,
-        &[Value::Int(w as i64), Value::Int(d as i64), Value::Int(o_id as i64)],
+        &[
+            Value::Int(w as i64),
+            Value::Int(d as i64),
+            Value::Int(o_id as i64),
+        ],
         tc,
     )?;
 
@@ -204,13 +224,17 @@ fn payment(
     let mut txn = db.begin(tc);
 
     // Warehouse YTD (X) — a hot row every payment writes.
-    let w_rid = db.index_get(h.idx_warehouse, wh_key(w), tc).expect("warehouse");
+    let w_rid = db
+        .index_get(h.idx_warehouse, wh_key(w), tc)
+        .expect("warehouse");
     let mut w_row = db.read(&mut txn, h.warehouse, w_rid, true, tc)?;
     w_row[3] = Value::Decimal(w_row[3].as_i64().unwrap() + amount);
     db.update(&mut txn, h.warehouse, w_rid, &w_row, tc)?;
 
     // District YTD (X).
-    let d_rid = db.index_get(h.idx_district, dist_key(w, d), tc).expect("district");
+    let d_rid = db
+        .index_get(h.idx_district, dist_key(w, d), tc)
+        .expect("district");
     let mut d_row = db.read(&mut txn, h.district, d_rid, true, tc)?;
     d_row[3] = Value::Decimal(d_row[3].as_i64().unwrap() + amount);
     db.update(&mut txn, h.district, d_rid, &d_row, tc)?;
@@ -218,7 +242,8 @@ fn payment(
     // Customer: 60% by id, 40% by last name (secondary index range).
     let c_rid = if rng.gen_range(0..100u32) < 60 {
         let c = random_customer(rng, h);
-        db.index_get(h.idx_customer, cust_key(c_w, c_d, c), tc).expect("customer by id")
+        db.index_get(h.idx_customer, cust_key(c_w, c_d, c), tc)
+            .expect("customer by id")
     } else {
         let name = last_name(crate::rng::nurand(rng, 255, h.c_last, 0, 999));
         let lo = cust_name_key(c_w, c_d, &name, 0);
@@ -229,7 +254,8 @@ fn payment(
             None => {
                 // Name not present at this scale: fall back to id.
                 let c = random_customer(rng, h);
-                db.index_get(h.idx_customer, cust_key(c_w, c_d, c), tc).expect("customer")
+                db.index_get(h.idx_customer, cust_key(c_w, c_d, c), tc)
+                    .expect("customer")
             }
         }
     };
@@ -266,7 +292,9 @@ fn order_status(
     let c = random_customer(rng, h);
 
     let mut txn = db.begin(tc);
-    let c_rid = db.index_get(h.idx_customer, cust_key(w, d, c), tc).expect("customer");
+    let c_rid = db
+        .index_get(h.idx_customer, cust_key(w, d, c), tc)
+        .expect("customer");
     let _c_row = db.read(&mut txn, h.customer, c_rid, false, tc)?;
 
     // Most recent order of this district (descending scan from the top).
@@ -278,8 +306,7 @@ fn order_status(
         let o_id = okey & 0xFFFF_FFFF;
         let ol_cnt = o_row[6].as_i64().unwrap() as u64;
         for ol in 1..=ol_cnt {
-            if let Some(rid) = db.index_get(h.idx_order_line, order_line_key(w, d, o_id, ol), tc)
-            {
+            if let Some(rid) = db.index_get(h.idx_order_line, order_line_key(w, d, o_id, ol), tc) {
                 let _ = db.read(&mut txn, h.order_line, rid, false, tc)?;
             }
         }
@@ -303,12 +330,16 @@ fn delivery(
         let lo = order_key(w, d, 0);
         let hi = order_key(w, d, u32::MAX as u64);
         let pending = db.index_range(h.idx_new_order, lo, hi, tc);
-        let Some(&(okey, no_rid)) = pending.first() else { continue };
+        let Some(&(okey, no_rid)) = pending.first() else {
+            continue;
+        };
         let o_id = okey & 0xFFFF_FFFF;
 
         db.delete(&mut txn, h.new_order, no_rid, tc)?;
 
-        let o_rid = db.index_get(h.idx_orders, order_key(w, d, o_id), tc).expect("order");
+        let o_rid = db
+            .index_get(h.idx_orders, order_key(w, d, o_id), tc)
+            .expect("order");
         let mut o_row = db.read(&mut txn, h.orders, o_rid, true, tc)?;
         let c_id = o_row[3].as_i64().unwrap() as u64;
         let ol_cnt = o_row[6].as_i64().unwrap() as u64;
@@ -317,14 +348,15 @@ fn delivery(
 
         let mut sum = 0i64;
         for ol in 1..=ol_cnt {
-            if let Some(rid) = db.index_get(h.idx_order_line, order_line_key(w, d, o_id, ol), tc)
-            {
+            if let Some(rid) = db.index_get(h.idx_order_line, order_line_key(w, d, o_id, ol), tc) {
                 let row = db.read(&mut txn, h.order_line, rid, false, tc)?;
                 sum += row[7].as_i64().unwrap();
             }
         }
 
-        let c_rid = db.index_get(h.idx_customer, cust_key(w, d, c_id), tc).expect("customer");
+        let c_rid = db
+            .index_get(h.idx_customer, cust_key(w, d, c_id), tc)
+            .expect("customer");
         let mut c_row = db.read(&mut txn, h.customer, c_rid, true, tc)?;
         c_row[5] = Value::Decimal(c_row[5].as_i64().unwrap() + sum);
         c_row[8] = Value::Int(c_row[8].as_i64().unwrap() + 1);
@@ -346,7 +378,9 @@ fn stock_level(
     let threshold = uniform(rng, 10, 20) as i64;
 
     let mut txn = db.begin(tc);
-    let d_rid = db.index_get(h.idx_district, dist_key(w, d), tc).expect("district");
+    let d_rid = db
+        .index_get(h.idx_district, dist_key(w, d), tc)
+        .expect("district");
     let d_row = db.read(&mut txn, h.district, d_rid, false, tc)?;
     let next_o = d_row[4].as_i64().unwrap() as u64;
 
@@ -420,18 +454,29 @@ mod tests {
         let mut rng = tpcc_rng(12, 0);
         let mut tc = db.null_ctx();
         let before = {
-            let rid = db.index_get(h.idx_district, dist_key(1, 1), &mut tc).unwrap();
-            db.table(h.district).get(rid, &mut tc).unwrap()[4].as_i64().unwrap()
+            let rid = db
+                .index_get(h.idx_district, dist_key(1, 1), &mut tc)
+                .unwrap();
+            db.table(h.district).get(rid, &mut tc).unwrap()[4]
+                .as_i64()
+                .unwrap()
         };
         // Run enough NewOrders that district 1 gets some.
         for _ in 0..40 {
             let _ = run_txn(&mut db, &h, TxnKind::NewOrder, 1, &mut rng, &mut tc);
         }
         let after = {
-            let rid = db.index_get(h.idx_district, dist_key(1, 1), &mut tc).unwrap();
-            db.table(h.district).get(rid, &mut tc).unwrap()[4].as_i64().unwrap()
+            let rid = db
+                .index_get(h.idx_district, dist_key(1, 1), &mut tc)
+                .unwrap();
+            db.table(h.district).get(rid, &mut tc).unwrap()[4]
+                .as_i64()
+                .unwrap()
         };
-        assert!(after > before, "district next_o_id must advance: {before} -> {after}");
+        assert!(
+            after > before,
+            "district next_o_id must advance: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -442,7 +487,10 @@ mod tests {
         let before = db.table(h.new_order).n_rows();
         run_txn(&mut db, &h, TxnKind::Delivery, 1, &mut rng, &mut tc).unwrap();
         let after = db.table(h.new_order).n_rows();
-        assert!(after < before, "delivery must consume pending orders: {before} -> {after}");
+        assert!(
+            after < before,
+            "delivery must consume pending orders: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -451,9 +499,13 @@ mod tests {
         let mut rng = tpcc_rng(14, 0);
         let mut tc = db.null_ctx();
         let w_rid = db.index_get(h.idx_warehouse, wh_key(1), &mut tc).unwrap();
-        let before = db.table(h.warehouse).get(w_rid, &mut tc).unwrap()[3].as_i64().unwrap();
+        let before = db.table(h.warehouse).get(w_rid, &mut tc).unwrap()[3]
+            .as_i64()
+            .unwrap();
         run_txn(&mut db, &h, TxnKind::Payment, 1, &mut rng, &mut tc).unwrap();
-        let after = db.table(h.warehouse).get(w_rid, &mut tc).unwrap()[3].as_i64().unwrap();
+        let after = db.table(h.warehouse).get(w_rid, &mut tc).unwrap()[3]
+            .as_i64()
+            .unwrap();
         assert!(after > before, "warehouse YTD must grow");
         assert!(db.table(h.history).n_rows() > 0);
     }
@@ -476,7 +528,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(deps > 20, "B+Tree descents must emit dependent loads: {deps}");
+        assert!(
+            deps > 20,
+            "B+Tree descents must emit dependent loads: {deps}"
+        );
         assert!(fences > 10, "locks + commit must fence: {fences}");
         assert_eq!(trace.units(), 1);
     }

@@ -30,13 +30,23 @@ pub struct TpchScale {
 
 impl Default for TpchScale {
     fn default() -> Self {
-        TpchScale { customers: 800, orders: 8_000, parts: 1_500, suppliers: 80 }
+        TpchScale {
+            customers: 800,
+            orders: 8_000,
+            parts: 1_500,
+            suppliers: 80,
+        }
     }
 }
 
 impl TpchScale {
     pub fn tiny() -> Self {
-        TpchScale { customers: 100, orders: 600, parts: 120, suppliers: 10 }
+        TpchScale {
+            customers: 100,
+            orders: 600,
+            parts: 120,
+            suppliers: 10,
+        }
     }
 }
 
@@ -79,7 +89,13 @@ impl QueryKind {
 
 const TYPES: [&str; 6] = ["ECONOMY", "STANDARD", "PROMO", "MEDIUM", "LARGE", "SMALL"];
 const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
-const SEGMENTS: [&str; 5] = ["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"];
+const SEGMENTS: [&str; 5] = [
+    "BUILDING",
+    "AUTOMOBILE",
+    "MACHINERY",
+    "HOUSEHOLD",
+    "FURNITURE",
+];
 
 /// Build and populate the TPC-H database.
 pub fn build_tpch(scale: TpchScale, seed: u64) -> (Database, TpchDb) {
@@ -176,7 +192,11 @@ pub fn build_tpch(scale: TpchScale, seed: u64) -> (Database, TpchDb) {
         db.insert(
             &mut txn,
             supplier,
-            &[Value::Int(s as i64), Value::Str(format!("Supplier#{s:09}")), Value::Str(comment)],
+            &[
+                Value::Int(s as i64),
+                Value::Str(format!("Supplier#{s:09}")),
+                Value::Str(comment),
+            ],
             &mut tc,
         )
         .expect("populate supplier");
@@ -265,8 +285,7 @@ pub fn build_tpch(scale: TpchScale, seed: u64) -> (Database, TpchDb) {
     }
     db.commit(txn, &mut tc).expect("populate commit");
 
-    let idx_orders =
-        db.create_index(orders, Box::new(|row, _| row[0].as_i64().unwrap() as u64));
+    let idx_orders = db.create_index(orders, Box::new(|row, _| row[0].as_i64().unwrap() as u64));
     let idx_part = db.create_index(part, Box::new(|row, _| row[0].as_i64().unwrap() as u64));
 
     let handles = TpchDb {

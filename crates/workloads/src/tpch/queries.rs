@@ -3,11 +3,10 @@
 //!
 //! Column indexes refer to the schemas in [`super`].
 
-use dbcmp_engine::exec::{
-    AggSpec, BoxExec, CmpOp, Filter, HashAggregate, HashJoin, JoinKind, Pred, Scalar, SeqScan,
-    Sort,
-};
 use dbcmp_engine::exec::sort::SortKey;
+use dbcmp_engine::exec::{
+    AggSpec, BoxExec, CmpOp, Filter, HashAggregate, HashJoin, JoinKind, Pred, Scalar, SeqScan, Sort,
+};
 use dbcmp_engine::{Database, TraceCtx, Value};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -42,15 +41,25 @@ pub fn q1(h: &TpchDb, rng: &mut StdRng) -> BoxExec {
     let scan = Box::new(SeqScan::new(h.lineitem));
     let filtered = Box::new(Filter::new(
         scan,
-        Pred::Cmp { col: L_SHIP, op: CmpOp::Le, val: Value::Date(cutoff) },
+        Pred::Cmp {
+            col: L_SHIP,
+            op: CmpOp::Le,
+            val: Value::Date(cutoff),
+        },
     ));
     let disc_price = Scalar::MulDec(
         Box::new(Scalar::Col(L_PRICE)),
-        Box::new(Scalar::Sub(Box::new(Scalar::ConstDec(100)), Box::new(Scalar::Col(L_DISC)))),
+        Box::new(Scalar::Sub(
+            Box::new(Scalar::ConstDec(100)),
+            Box::new(Scalar::Col(L_DISC)),
+        )),
     );
     let charge = Scalar::MulDec(
         Box::new(disc_price.clone()),
-        Box::new(Scalar::Add(Box::new(Scalar::ConstDec(100)), Box::new(Scalar::Col(L_TAX)))),
+        Box::new(Scalar::Add(
+            Box::new(Scalar::ConstDec(100)),
+            Box::new(Scalar::Col(L_TAX)),
+        )),
     );
     let agg = Box::new(HashAggregate::new(
         filtered,
@@ -68,7 +77,16 @@ pub fn q1(h: &TpchDb, rng: &mut StdRng) -> BoxExec {
     ));
     Box::new(Sort::new(
         agg,
-        vec![SortKey { col: 0, desc: false }, SortKey { col: 1, desc: false }],
+        vec![
+            SortKey {
+                col: 0,
+                desc: false,
+            },
+            SortKey {
+                col: 1,
+                desc: false,
+            },
+        ],
     ))
 }
 
@@ -82,39 +100,75 @@ pub fn q6(h: &TpchDb, rng: &mut StdRng) -> BoxExec {
     let filtered = Box::new(Filter::new(
         scan,
         Pred::And(vec![
-            Pred::Cmp { col: L_SHIP, op: CmpOp::Ge, val: Value::Date(year_start) },
-            Pred::Cmp { col: L_SHIP, op: CmpOp::Lt, val: Value::Date(year_start + 365) },
+            Pred::Cmp {
+                col: L_SHIP,
+                op: CmpOp::Ge,
+                val: Value::Date(year_start),
+            },
+            Pred::Cmp {
+                col: L_SHIP,
+                op: CmpOp::Lt,
+                val: Value::Date(year_start + 365),
+            },
             Pred::Between {
                 col: L_DISC,
                 lo: Value::Decimal(disc - 1),
                 hi: Value::Decimal(disc + 1),
             },
-            Pred::Cmp { col: L_QTY, op: CmpOp::Lt, val: Value::Decimal(qty) },
+            Pred::Cmp {
+                col: L_QTY,
+                op: CmpOp::Lt,
+                val: Value::Decimal(qty),
+            },
         ]),
     ));
-    let revenue = Scalar::MulDec(Box::new(Scalar::Col(L_PRICE)), Box::new(Scalar::Col(L_DISC)));
-    Box::new(HashAggregate::new(filtered, vec![], vec![AggSpec::sum(revenue)]))
+    let revenue = Scalar::MulDec(
+        Box::new(Scalar::Col(L_PRICE)),
+        Box::new(Scalar::Col(L_DISC)),
+    );
+    Box::new(HashAggregate::new(
+        filtered,
+        vec![],
+        vec![AggSpec::sum(revenue)],
+    ))
 }
 
 /// Q13 — customer distribution: customer LEFT OUTER JOIN orders (comment
 /// NOT LIKE '%word1%word2%'), count orders per customer, then distribute.
 pub fn q13(h: &TpchDb, rng: &mut StdRng) -> BoxExec {
     // The spec draws word pairs; our generator embeds one matching phrase.
-    let (w1, w2) = [("special", "requests"), ("special", "care"), ("customer", "urgently")]
-        [rng.gen_range(0..3)];
+    let (w1, w2) = [
+        ("special", "requests"),
+        ("special", "care"),
+        ("customer", "urgently"),
+    ][rng.gen_range(0..3)];
     // Build side: filtered orders. Probe: customers (preserved).
     // NOT LIKE '%w1%w2%' rewritten as OR of negated containment (either
     // word missing suffices).
     let orders = Box::new(Filter::new(
         Box::new(SeqScan::new(h.orders)),
         Pred::Or(vec![
-            Pred::StrContains { col: 3, needle: w1.into(), negate: true },
-            Pred::StrContains { col: 3, needle: w2.into(), negate: true },
+            Pred::StrContains {
+                col: 3,
+                needle: w1.into(),
+                negate: true,
+            },
+            Pred::StrContains {
+                col: 3,
+                needle: w2.into(),
+                negate: true,
+            },
         ]),
     ));
     let customers = Box::new(SeqScan::new(h.customer));
     // customer row: 4 cols; orders row appended: o_orderkey at index 4.
-    let join = Box::new(HashJoin::new(orders, 1 /*o_custkey*/, customers, 0, JoinKind::LeftOuter));
+    let join = Box::new(HashJoin::new(
+        orders,
+        1, /*o_custkey*/
+        customers,
+        0,
+        JoinKind::LeftOuter,
+    ));
     // count orders per customer (NULL orderkey ⇒ 0).
     let per_customer = Box::new(HashAggregate::new(
         join,
@@ -122,10 +176,17 @@ pub fn q13(h: &TpchDb, rng: &mut StdRng) -> BoxExec {
         vec![AggSpec::count_non_null(Scalar::Col(4))],
     ));
     // distribution: group by order count, count customers.
-    let dist = Box::new(HashAggregate::new(per_customer, vec![1], vec![AggSpec::count()]));
+    let dist = Box::new(HashAggregate::new(
+        per_customer,
+        vec![1],
+        vec![AggSpec::count()],
+    ));
     Box::new(Sort::new(
         dist,
-        vec![SortKey { col: 1, desc: true }, SortKey { col: 0, desc: true }],
+        vec![
+            SortKey { col: 1, desc: true },
+            SortKey { col: 0, desc: true },
+        ],
     ))
 }
 
@@ -147,8 +208,16 @@ pub fn q16(h: &TpchDb, rng: &mut StdRng) -> BoxExec {
     let part = Box::new(Filter::new(
         Box::new(SeqScan::new(h.part)),
         Pred::And(vec![
-            Pred::Cmp { col: 1, op: CmpOp::Ne, val: Value::Str(brand) },
-            Pred::StrPrefix { col: 2, prefix: type_prefix.into(), negate: true },
+            Pred::Cmp {
+                col: 1,
+                op: CmpOp::Ne,
+                val: Value::Str(brand),
+            },
+            Pred::StrPrefix {
+                col: 2,
+                prefix: type_prefix.into(),
+                negate: true,
+            },
             Pred::In { col: 3, set: sizes },
         ]),
     ));
@@ -163,7 +232,13 @@ pub fn q16(h: &TpchDb, rng: &mut StdRng) -> BoxExec {
     ));
     Box::new(Sort::new(
         grouped,
-        vec![SortKey { col: 3, desc: true }, SortKey { col: 0, desc: false }],
+        vec![
+            SortKey { col: 3, desc: true },
+            SortKey {
+                col: 0,
+                desc: false,
+            },
+        ],
     ))
 }
 
@@ -175,8 +250,16 @@ pub fn q16_complaint_suppliers(db: &Database, h: &TpchDb, tc: &mut TraceCtx) -> 
     let mut scan = Filter::new(
         Box::new(SeqScan::new(h.supplier)),
         Pred::And(vec![
-            Pred::StrContains { col: 2, needle: "Customer".into(), negate: false },
-            Pred::StrContains { col: 2, needle: "Complaints".into(), negate: false },
+            Pred::StrContains {
+                col: 2,
+                needle: "Customer".into(),
+                negate: false,
+            },
+            Pred::StrContains {
+                col: 2,
+                needle: "Complaints".into(),
+                negate: false,
+            },
         ]),
     );
     dbcmp_engine::exec::run_to_vec(&mut scan, db, tc)
@@ -282,10 +365,19 @@ mod tests {
 
     #[test]
     fn complaint_suppliers_found() {
-        let (db, h) = build_tpch(TpchScale { suppliers: 200, ..TpchScale::tiny() }, 77);
+        let (db, h) = build_tpch(
+            TpchScale {
+                suppliers: 200,
+                ..TpchScale::tiny()
+            },
+            77,
+        );
         let mut tc = db.null_ctx();
         let set = q16_complaint_suppliers(&db, &h, &mut tc);
         // ~1/16 of 200 ≈ 12, allow wide band but nonzero.
-        assert!(!set.is_empty(), "complaint suppliers must exist at this scale");
+        assert!(
+            !set.is_empty(),
+            "complaint suppliers must exist at this scale"
+        );
     }
 }

@@ -6,21 +6,37 @@
 //! cargo run --release --example cache_planner
 //! ```
 
-use dbcmp::cacti::{CactiModel, CacheOrg};
+use dbcmp::cacti::{CacheOrg, CactiModel};
 use dbcmp::core::report::table;
 
 fn main() {
     let model = CactiModel::paper_era();
-    println!("CACTI-lite @ {} nm, {} GHz\n", model.tech_nm, model.clock_ghz);
+    println!(
+        "CACTI-lite @ {} nm, {} GHz\n",
+        model.tech_nm, model.clock_ghz
+    );
 
-    let sizes: Vec<u64> =
-        [256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 26 << 20].to_vec();
+    let sizes: Vec<u64> = [
+        256 << 10,
+        512 << 10,
+        1 << 20,
+        2 << 20,
+        4 << 20,
+        8 << 20,
+        16 << 20,
+        26 << 20,
+    ]
+    .to_vec();
     let rows: Vec<Vec<String>> = sizes
         .iter()
         .map(|&s| {
             let r = model.evaluate(CacheOrg::l2(s));
             vec![
-                if s >= 1 << 20 { format!("{} MB", s >> 20) } else { format!("{} KB", s >> 10) },
+                if s >= 1 << 20 {
+                    format!("{} MB", s >> 20)
+                } else {
+                    format!("{} KB", s >> 10)
+                },
                 format!("{:.2} ns", r.latency_ns),
                 format!("{} cyc", r.latency_cycles),
                 format!("{:.1} mm^2", r.area_mm2),
@@ -28,12 +44,22 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", table(&["L2 size", "Access", "Latency", "Area", "Subarrays"], &rows));
+    print!(
+        "{}",
+        table(
+            &["L2 size", "Access", "Latency", "Area", "Subarrays"],
+            &rows
+        )
+    );
 
     // The planner's rule of thumb: pick the smallest size comfortably
     // above the workload's primary working set.
     let working_set = 6u64 << 20; // e.g. measured from a TraceSummary
-    let pick = sizes.iter().find(|&&s| s >= working_set * 5 / 4).copied().unwrap_or(26 << 20);
+    let pick = sizes
+        .iter()
+        .find(|&&s| s >= working_set * 5 / 4)
+        .copied()
+        .unwrap_or(26 << 20);
     println!(
         "\nFor a {} MB primary working set, pick ~{} MB: larger caches only add",
         working_set >> 20,

@@ -35,7 +35,17 @@ fn main() {
     }
     print!(
         "{}",
-        table(&["Camp", "Workload", "Saturation", "Metric", "Compute", "D-stalls"], &rows)
+        table(
+            &[
+                "Camp",
+                "Workload",
+                "Saturation",
+                "Metric",
+                "Compute",
+                "D-stalls"
+            ],
+            &rows
+        )
     );
 
     println!("\nLC normalized to FC (paper Fig. 4):");
@@ -44,7 +54,13 @@ fn main() {
         .iter()
         .map(|&(w, rt, tp)| vec![w.label().into(), f2(rt), f2(tp)])
         .collect();
-    print!("{}", table(&["Workload", "Response-time ratio", "Throughput ratio"], &rows));
+    print!(
+        "{}",
+        table(
+            &["Workload", "Response-time ratio", "Throughput ratio"],
+            &rows
+        )
+    );
     println!("\n> 1.0 response ratio: the fat camp wins single-thread latency.");
     println!("> 1.0 throughput ratio: the lean camp wins saturated throughput.");
 }

@@ -6,10 +6,10 @@
 //! cargo run --release --example oltp_tpcc
 //! ```
 
+use dbcmp::trace::TraceSummary;
 use dbcmp::workloads::tpcc::txns::{run_mix, TxnKind};
 use dbcmp::workloads::tpcc::{build_tpcc, tpcc_rng, TpccScale};
 use dbcmp::workloads::{capture_oltp, CaptureOptions};
-use dbcmp::trace::TraceSummary;
 
 fn main() {
     let scale = TpccScale::default();
@@ -18,7 +18,14 @@ fn main() {
         scale.warehouses, scale.items
     );
     let (mut db, h) = build_tpcc(scale, 42);
-    for t in ["warehouse", "district", "customer", "stock", "orders", "order_line"] {
+    for t in [
+        "warehouse",
+        "district",
+        "customer",
+        "stock",
+        "orders",
+        "order_line",
+    ] {
         let mut tc = db.null_ctx();
         let id = db.table_id(t, &mut tc).unwrap();
         println!("  {:12} {:>8} rows", t, db.table(id).n_rows());
@@ -35,7 +42,11 @@ fn main() {
         TxnKind::Delivery,
         TxnKind::StockLevel,
     ] {
-        println!("  {:?}: {} committed", kind, counts.get(&kind).copied().unwrap_or(0));
+        println!(
+            "  {:?}: {} committed",
+            kind,
+            counts.get(&kind).copied().unwrap_or(0)
+        );
     }
     let (wal_records, wal_bytes) = db.wal_stats();
     println!("  WAL: {wal_records} records, {wal_bytes} bytes");
@@ -45,9 +56,18 @@ fn main() {
     let bundle = capture_oltp(&mut db, &h, CaptureOptions::new(4, 5, 42));
     let summary = TraceSummary::compute(&bundle.regions, &bundle.threads);
     println!("  events: {}", bundle.total_events());
-    println!("  dependent-load fraction: {:.1}% (pointer chases)", summary.dep_load_fraction() * 100.0);
-    println!("  data working set: {:.2} MB", summary.data_working_set() as f64 / (1 << 20) as f64);
-    println!("  code working set: {} KB (vs 64 KB L1-I)", summary.code_working_set() >> 10);
+    println!(
+        "  dependent-load fraction: {:.1}% (pointer chases)",
+        summary.dep_load_fraction() * 100.0
+    );
+    println!(
+        "  data working set: {:.2} MB",
+        summary.data_working_set() as f64 / (1 << 20) as f64
+    );
+    println!(
+        "  code working set: {} KB (vs 64 KB L1-I)",
+        summary.code_working_set() >> 10
+    );
     println!("\nThe OLTP instruction path far exceeds the L1-I — the paper's §4");
     println!("instruction-footprint observation, reproduced from a real engine.");
 }

@@ -8,13 +8,16 @@
 use dbcmp::core::experiment::{run_throughput, RunSpec};
 use dbcmp::core::machines::{fc_cmp, L2Spec};
 use dbcmp::core::report::{breakdown_headers, breakdown_row, table};
-use dbcmp::core::workload::{CapturedWorkload, FigScale};
 use dbcmp::core::taxonomy::WorkloadKind;
+use dbcmp::core::workload::{CapturedWorkload, FigScale};
 
 fn main() {
     // 1. Capture: run TPC-H-like queries on the engine, recording traces.
     let scale = FigScale::quick();
-    println!("Capturing a saturated DSS workload ({} clients)...", scale.dss_clients);
+    println!(
+        "Capturing a saturated DSS workload ({} clients)...",
+        scale.dss_clients
+    );
     let workload = CapturedWorkload::saturated(WorkloadKind::Dss, &scale);
     println!(
         "  {} threads, {:.1}M instructions, data working set {:.1} MB",
@@ -30,11 +33,18 @@ fn main() {
     let res = run_throughput(
         cfg,
         &workload.bundle,
-        RunSpec { warmup: scale.warmup, measure: scale.measure, max_cycles: u64::MAX },
+        RunSpec {
+            warmup: scale.warmup,
+            measure: scale.measure,
+            max_cycles: u64::MAX,
+        },
     );
 
     // 3. Report.
-    println!("\nThroughput: {:.3} user instructions / cycle (UIPC)", res.uipc());
+    println!(
+        "\nThroughput: {:.3} user instructions / cycle (UIPC)",
+        res.uipc()
+    );
     println!("CPI: {:.3}\n", res.cpi());
     let mut headers = vec!["Metric"];
     headers.extend(breakdown_headers());

@@ -16,7 +16,13 @@ fn main() {
     let policies: [(&str, ExecPolicy); 3] = [
         ("Volcano", ExecPolicy::Volcano),
         ("Staged (batch 256)", ExecPolicy::Staged { batch: 256 }),
-        ("Staged parallel (3 prod.)", ExecPolicy::StagedParallel { batch: 256, producers: 3 }),
+        (
+            "Staged parallel (3 prod.)",
+            ExecPolicy::StagedParallel {
+                batch: 256,
+                producers: 3,
+            },
+        ),
     ];
 
     println!("Executing Q1+Q6 under three policies on the lean-camp CMP...\n");
@@ -24,8 +30,7 @@ fn main() {
     let mut base_cycles = 0.0;
     for (name, policy) in policies {
         let (mut db, h) = build_tpch(TpchScale::tiny(), 7);
-        let bundle =
-            capture_staged_dss(&mut db, &h, &[QueryKind::Q1, QueryKind::Q6], policy, 2, 7);
+        let bundle = capture_staged_dss(&mut db, &h, &[QueryKind::Q1, QueryKind::Q6], policy, 2, 7);
         let res = run_completion(
             lc_cmp(4, 8 << 20, L2Spec::Cacti),
             &bundle,
@@ -46,7 +51,13 @@ fn main() {
     print!(
         "{}",
         table(
-            &["Policy", "Contexts", "Instructions", "Cycles/query", "Speedup"],
+            &[
+                "Policy",
+                "Contexts",
+                "Instructions",
+                "Cycles/query",
+                "Speedup"
+            ],
             &rows
         )
     );

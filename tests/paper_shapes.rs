@@ -8,7 +8,11 @@ use dbcmp::core::taxonomy::{Camp, WorkloadKind};
 use dbcmp::core::workload::{CapturedWorkload, FigScale};
 
 fn spec(scale: &FigScale) -> RunSpec {
-    RunSpec { warmup: scale.warmup, measure: scale.measure, max_cycles: 2_000_000_000 }
+    RunSpec {
+        warmup: scale.warmup,
+        measure: scale.measure,
+        max_cycles: 2_000_000_000,
+    }
 }
 
 /// Paper §4 / Fig. 4(b): with enough threads, the lean CMP out-runs the
@@ -17,9 +21,16 @@ fn spec(scale: &FigScale) -> RunSpec {
 fn lean_beats_fat_on_saturated_throughput() {
     let scale = FigScale::quick();
     let w = CapturedWorkload::saturated(WorkloadKind::Oltp, &scale);
-    let fat = run_throughput(cmp_for(Camp::Fat, 4, 8 << 20, L2Spec::Cacti), &w.bundle, spec(&scale));
-    let lean =
-        run_throughput(cmp_for(Camp::Lean, 4, 8 << 20, L2Spec::Cacti), &w.bundle, spec(&scale));
+    let fat = run_throughput(
+        cmp_for(Camp::Fat, 4, 8 << 20, L2Spec::Cacti),
+        &w.bundle,
+        spec(&scale),
+    );
+    let lean = run_throughput(
+        cmp_for(Camp::Lean, 4, 8 << 20, L2Spec::Cacti),
+        &w.bundle,
+        spec(&scale),
+    );
     assert!(
         lean.uipc() > fat.uipc(),
         "LC {:.3} must out-run FC {:.3} when saturated",
@@ -34,9 +45,16 @@ fn lean_beats_fat_on_saturated_throughput() {
 fn fat_beats_lean_on_unsaturated_response_time() {
     let scale = FigScale::quick();
     let w = CapturedWorkload::unsaturated(WorkloadKind::Dss, &scale);
-    let fat = run_completion(cmp_for(Camp::Fat, 4, 8 << 20, L2Spec::Cacti), &w.bundle, spec(&scale));
-    let lean =
-        run_completion(cmp_for(Camp::Lean, 4, 8 << 20, L2Spec::Cacti), &w.bundle, spec(&scale));
+    let fat = run_completion(
+        cmp_for(Camp::Fat, 4, 8 << 20, L2Spec::Cacti),
+        &w.bundle,
+        spec(&scale),
+    );
+    let lean = run_completion(
+        cmp_for(Camp::Lean, 4, 8 << 20, L2Spec::Cacti),
+        &w.bundle,
+        spec(&scale),
+    );
     let (rt_fat, rt_lean) = (
         fat.avg_unit_cycles.expect("fat units"),
         lean.avg_unit_cycles.expect("lean units"),
@@ -53,9 +71,16 @@ fn fat_beats_lean_on_unsaturated_response_time() {
 fn lean_hides_stalls_fat_does_not() {
     let scale = FigScale::quick();
     let w = CapturedWorkload::saturated(WorkloadKind::Dss, &scale);
-    let fat = run_throughput(cmp_for(Camp::Fat, 4, 8 << 20, L2Spec::Cacti), &w.bundle, spec(&scale));
-    let lean =
-        run_throughput(cmp_for(Camp::Lean, 4, 8 << 20, L2Spec::Cacti), &w.bundle, spec(&scale));
+    let fat = run_throughput(
+        cmp_for(Camp::Fat, 4, 8 << 20, L2Spec::Cacti),
+        &w.bundle,
+        spec(&scale),
+    );
+    let lean = run_throughput(
+        cmp_for(Camp::Lean, 4, 8 << 20, L2Spec::Cacti),
+        &w.bundle,
+        spec(&scale),
+    );
     assert!(
         lean.breakdown.compute_fraction() > fat.breakdown.compute_fraction(),
         "LC compute {:.2} must exceed FC {:.2}",
@@ -144,7 +169,10 @@ fn core_scaling_is_positive_but_sublinear_for_oltp() {
     // The tiny test scale understates L2 pressure, so allow near-linear;
     // the paper-scale harness (fig8_core_count) shows the clear OLTP
     // efficiency decline.
-    assert!(speedup < 4.4, "16/4 cores must not be superlinear: speedup {speedup:.2}");
+    assert!(
+        speedup < 4.4,
+        "16/4 cores must not be superlinear: speedup {speedup:.2}"
+    );
 }
 
 /// §6 ablation: staged execution must not lose to Volcano on work per
@@ -154,7 +182,11 @@ fn staged_execution_beats_volcano_unsaturated() {
     use dbcmp::staged::{capture_staged_dss, ExecPolicy};
     use dbcmp::workloads::tpch::{build_tpch, QueryKind, TpchScale};
 
-    let s = RunSpec { warmup: 0, measure: 0, max_cycles: 2_000_000_000 };
+    let s = RunSpec {
+        warmup: 0,
+        measure: 0,
+        max_cycles: 2_000_000_000,
+    };
     let run = |policy| {
         let (mut db, h) = build_tpch(TpchScale::tiny(), 5);
         let bundle = capture_staged_dss(&mut db, &h, &[QueryKind::Q1], policy, 1, 5);
@@ -164,8 +196,14 @@ fn staged_execution_beats_volcano_unsaturated() {
     };
     let (instr_v, cyc_v) = run(ExecPolicy::Volcano);
     let (instr_s, cyc_s) = run(ExecPolicy::Staged { batch: 256 });
-    let (_, cyc_p) = run(ExecPolicy::StagedParallel { batch: 256, producers: 3 });
-    assert!(instr_s < instr_v, "staged instrs {instr_s} must undercut volcano {instr_v}");
+    let (_, cyc_p) = run(ExecPolicy::StagedParallel {
+        batch: 256,
+        producers: 3,
+    });
+    assert!(
+        instr_s < instr_v,
+        "staged instrs {instr_s} must undercut volcano {instr_v}"
+    );
     assert!(
         cyc_p < cyc_v,
         "parallel staged {cyc_p} must beat volcano {cyc_v} cycles single-query"

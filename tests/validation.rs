@@ -10,7 +10,11 @@ use dbcmp::sim::analytic::Validation;
 use dbcmp::trace::TraceSummary;
 
 fn spec(scale: &FigScale) -> RunSpec {
-    RunSpec { warmup: scale.warmup, measure: scale.measure, max_cycles: u64::MAX }
+    RunSpec {
+        warmup: scale.warmup,
+        measure: scale.measure,
+        max_cycles: u64::MAX,
+    }
 }
 
 /// Fig. 3 analogue: the independent closed-form CPI model must land in the
@@ -44,7 +48,12 @@ fn summary_agrees_with_bundle_counters() {
     let s = TraceSummary::compute(&w.bundle.regions, &w.bundle.threads);
     assert_eq!(s.instrs, w.bundle.total_instrs());
     assert_eq!(s.units, w.bundle.total_units());
-    let direct: u64 = w.bundle.threads.iter().map(|t| t.loads() + t.stores()).sum();
+    let direct: u64 = w
+        .bundle
+        .threads
+        .iter()
+        .map(|t| t.loads() + t.stores())
+        .sum();
     assert_eq!(s.loads + s.stores, direct);
 }
 
@@ -76,6 +85,10 @@ fn uipc_bounded_by_issue_width() {
     let w = CapturedWorkload::saturated(WorkloadKind::Dss, &scale);
     let res = run_throughput(fc_cmp(4, 8 << 20, L2Spec::Cacti), &w.bundle, spec(&scale));
     // 4 cores x 4-wide = 16 absolute ceiling.
-    assert!(res.uipc() <= 16.0, "UIPC {:.2} exceeds hardware peak", res.uipc());
+    assert!(
+        res.uipc() <= 16.0,
+        "UIPC {:.2} exceeds hardware peak",
+        res.uipc()
+    );
     assert!(res.uipc() > 0.0);
 }

@@ -1,0 +1,99 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Length bounds for collection strategies; inclusive min, exclusive max.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max_exclusive - self.size.min) as u64;
+        let len = self.size.min + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn length_respects_bounds() {
+        let mut rng = TestRng::deterministic("collection::len");
+        let s = vec(0u8..255, 1..120);
+        let mut min_seen = usize::MAX;
+        let mut max_seen = 0;
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!((1..120).contains(&v.len()));
+            min_seen = min_seen.min(v.len());
+            max_seen = max_seen.max(v.len());
+        }
+        assert!(min_seen < 10, "short lengths should occur");
+        assert!(max_seen > 100, "long lengths should occur");
+    }
+
+    #[test]
+    fn zero_length_allowed() {
+        let mut rng = TestRng::deterministic("collection::zero");
+        let s = vec(0u8..4, 0..2);
+        let mut saw_empty = false;
+        for _ in 0..100 {
+            if s.generate(&mut rng).is_empty() {
+                saw_empty = true;
+            }
+        }
+        assert!(saw_empty);
+    }
+}

@@ -1,0 +1,119 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate implements the subset of proptest's API the workspace's property
+//! tests use: the [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`],
+//! [`strategy::Strategy`] with `prop_map`, [`arbitrary::any`], [`strategy::Just`],
+//! [`prop_oneof!`], integer-range strategies, tuple strategies, and
+//! [`collection::vec`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic.** Every test's RNG is seeded from a hash of its
+//!   fully-qualified name, so a failure reproduces on every run and in CI.
+//!   (Real proptest defaults to OS entropy plus a persistence file.)
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   printed via the assertion message; it is not minimized.
+//! * **Bounded cases.** Defaults to 64 cases per property (vs 256),
+//!   overridable with the `PROPTEST_CASES` env var or
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `proptest::prelude` equivalent: everything the tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace re-export so `prop::collection::vec(...)` resolves after
+    /// `use proptest::prelude::*;`, as with real proptest.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Property-test entry macro. Mirrors real proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]  // optional
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(any::<u8>(), 1..50)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg[$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg[$crate::test_runner::Config::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg[$cfg:expr]) => {};
+    (@cfg[$cfg:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let __cases = __config.resolved_cases();
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cases {
+                let ($($pat,)+) =
+                    ($($crate::strategy::Strategy::generate(&($strat), &mut __rng),)+);
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ @cfg[$cfg] $($rest)* }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value
+/// type. Weights (`N => strat`) are accepted and honored.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(
+            vec![$(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+],
+        )
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(
+            vec![$($crate::strategy::Strategy::boxed($strat)),+],
+        )
+    };
+}
+
+/// In this stand-in, property assertions panic immediately (no shrink
+/// pass), which is exactly what `cargo test` needs to go red.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

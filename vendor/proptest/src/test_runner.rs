@@ -1,0 +1,102 @@
+//! Deterministic RNG and per-property configuration.
+
+/// Per-property configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Number of generated cases per property. `0` means "use the
+    /// default" (64, or the `PROPTEST_CASES` env var).
+    pub cases: u32,
+}
+
+impl Config {
+    /// Run exactly `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+
+    /// The resolved case count. Precedence matches real proptest: an
+    /// explicit `with_cases(n)` wins; the `PROPTEST_CASES` env var only
+    /// overrides the *default* for suites that don't pin a count.
+    pub fn resolved_cases(&self) -> u32 {
+        if self.cases > 0 {
+            return self.cases;
+        }
+        if let Ok(v) = std::env::var("PROPTEST_CASES") {
+            if let Ok(n) = v.trim().parse::<u32>() {
+                return n.max(1);
+            }
+        }
+        64
+    }
+}
+
+/// SplitMix64 RNG seeded from the property's fully-qualified name, so
+/// every run of a given test binary generates the identical case
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test name (FNV-1a hash).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)` (modulo reduction; bias is irrelevant for test
+    /// case generation).
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::deterministic("x::y");
+        let mut b = TestRng::deterministic("x::y");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn explicit_cases_beat_env_override() {
+        // Real-proptest precedence: with_cases(n) wins; the env var only
+        // moves the default.
+        std::env::set_var("PROPTEST_CASES", "999");
+        assert_eq!(Config::with_cases(7).resolved_cases(), 7);
+        assert_eq!(Config::default().resolved_cases(), 999);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(Config::default().resolved_cases(), 64);
+    }
+
+    #[test]
+    fn different_names_diverge() {
+        let mut a = TestRng::deterministic("x::y");
+        let mut b = TestRng::deterministic("x::z");
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}

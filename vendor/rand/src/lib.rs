@@ -1,0 +1,234 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the tiny subset of `rand`'s 0.8 API that the
+//! workloads actually use: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen`], [`Rng::gen_range`] and [`Rng::gen_bool`].
+//!
+//! The generator is SplitMix64 — statistically fine for workload skew and
+//! fully deterministic, which is what the reproduction needs (same seed ⇒
+//! same TPC-C/TPC-H instance ⇒ same traces ⇒ same simulated cycles). It is
+//! **not** cryptographically secure and `gen_range` uses modulo reduction
+//! (bias ≤ 2⁻³² for the ranges used here).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    /// Deterministic SplitMix64 generator, API-compatible with
+    /// `rand::rngs::StdRng` for the subset this workspace uses.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    #[inline]
+    fn next(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // Pre-advance once so seed 0 doesn't emit the raw SplitMix64 of 0.
+        let mut r = StdRng { state };
+        let _ = r.next();
+        r
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn from_u64(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn from_u64(bits: u64) -> Self { bits as $t }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn from_u64(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_u64(bits: u64) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types uniformly samplable within bounds (subset of `rand`'s
+/// `SampleUniform`). Blanket [`SampleRange`] impls hang off this, which —
+/// exactly as in real rand — lets `rng.gen_range(0..5)` unify the range
+/// literals with the call site's expected type.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform in `[lo, hi)` when `inclusive` is false, `[lo, hi]` when
+    /// true. Callers guarantee the range is non-empty.
+    fn sample_between(rng: &mut StdRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between(rng: &mut StdRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                let off = (rng.next() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_between(rng: &mut StdRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        let u: f64 = Standard::from_u64(rng.next());
+        lo + u * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_between(rng: &mut StdRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        let u: f32 = Standard::from_u64(rng.next());
+        lo + u * (hi - lo)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`] (subset of `rand`'s
+/// `SampleRange`).
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+/// The user-facing generator trait (subset of `rand::Rng`).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized;
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized;
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let u: f64 = self.gen();
+        u < p
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next())
+    }
+
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = r.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let z = r.gen_range(3usize..4);
+            assert_eq!(z, 3);
+        }
+    }
+
+    #[test]
+    fn inclusive_hits_both_endpoints() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1000 {
+            match r.gen_range(0u8..=3) {
+                0 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+}

@@ -1,0 +1,17 @@
+//! Minimal stand-in for `serde` in the offline build.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (no code
+//! serializes anything yet — there is no `serde_json`), so this crate
+//! provides the two trait names and re-exports no-op derive macros from
+//! the sibling `serde_derive` stub. If real serialization lands later,
+//! swap these path deps for the crates.io versions; call sites won't
+//! change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name. Never implemented by
+/// the no-op derive; nothing in the workspace bounds on it.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,17 @@
+//! No-op derive macros standing in for `serde_derive` in the offline
+//! build. The workspace derives `Serialize`/`Deserialize` on result and
+//! config structs for forward compatibility, but never actually
+//! serializes anything (there is no `serde_json` in the tree), so an
+//! empty expansion is sufficient and keeps compile times trivial.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
