@@ -33,6 +33,8 @@ fn strip_dependences(bundle: &TraceBundle) -> TraceBundle {
                     Event::Store { addr, size } => out.store(addr, size as u32),
                     Event::Fence => out.fence(),
                     Event::UnitEnd => out.unit_end(),
+                    Event::Block => out.block(),
+                    Event::Wake => out.wake(),
                 }
             }
             out.finish()

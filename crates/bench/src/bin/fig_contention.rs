@@ -1,0 +1,71 @@
+//! Contention sweep: interleaved multi-client OLTP capture at increasing
+//! hot-row skew, replayed on the SMP (private L2s, off-chip coherence) and
+//! CMP (shared L2) presets.
+//!
+//! This is the reproduction's extension of the paper's §5.2 contrast: the
+//! shared addresses that turn into coherence traffic (SMP) or shared-L2
+//! hits (CMP) are now produced by *real* 2PL contention — lock waits,
+//! FIFO grants, and deadlock-victim aborts captured by the interleaved
+//! scheduler — instead of mere address overlap between independently
+//! captured clients.
+
+use dbcmp_bench::{header, scale_from_args};
+use dbcmp_core::figures::fig_contention;
+use dbcmp_core::report::{f3, pct, table};
+
+fn main() {
+    header(
+        "Contention sweep: SMP vs CMP under 2PL hot-row skew",
+        "§5.2",
+    );
+    let scale = scale_from_args();
+    let skews = [0u8, 30, 60, 90];
+    let points = fig_contention(&scale, &skews);
+
+    let mut rows = Vec::new();
+    for p in &points {
+        rows.push(vec![
+            format!("{}%", p.hot_pct),
+            p.stats.lock_waits.to_string(),
+            p.stats.deadlock_aborts.to_string(),
+            f3(p.smp.cpi()),
+            pct(p.smp.breakdown.data_stall_fraction()),
+            f3(p.cmp.cpi()),
+            pct(p.cmp.breakdown.data_stall_fraction()),
+        ]);
+    }
+    print!(
+        "{}",
+        table(
+            &[
+                "Hot",
+                "Waits",
+                "Deadlocks",
+                "SMP CPI",
+                "SMP D-stall",
+                "CMP CPI",
+                "CMP D-stall",
+            ],
+            &rows
+        )
+    );
+    println!();
+
+    let first = points.first().expect("sweep is nonempty");
+    let last = points.last().expect("sweep is nonempty");
+    let smp_growth =
+        last.smp.breakdown.data_stall_fraction() - first.smp.breakdown.data_stall_fraction();
+    let cmp_growth =
+        last.cmp.breakdown.data_stall_fraction() - first.cmp.breakdown.data_stall_fraction();
+    println!(
+        "D-stall share growth {}% -> {}% skew:  SMP {:+.1} pts, CMP {:+.1} pts",
+        first.hot_pct,
+        last.hot_pct,
+        smp_growth * 100.0,
+        cmp_growth * 100.0
+    );
+    println!();
+    println!("Paper shape: contention shifts cycles into the coherence/shared-L2");
+    println!("buckets; the SMP pays off-chip latency for them, the CMP resolves");
+    println!("them on chip, so the SMP's D-stall share grows faster with skew.");
+}

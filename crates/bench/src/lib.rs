@@ -16,6 +16,7 @@
 //! | Fig. 7  | `fig7_smp_cmp` |
 //! | Fig. 8  | `fig8_core_count` |
 //! | §6 ablation | `fig9_staged` |
+//! | §5.2 contention sweep (extension) | `fig_contention` |
 //!
 //! Run with `--quick` for a fast, smaller-scale pass (same code paths).
 //! Criterion microbenchmarks of the substrates live in `benches/`.

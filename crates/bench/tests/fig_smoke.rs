@@ -11,7 +11,7 @@ use dbcmp_cacti::{historic_latencies, historic_sizes, CacheOrg, CactiModel};
 use dbcmp_core::experiment::{run_throughput, RunSpec};
 use dbcmp_core::figures::{
     fig2_saturation, fig3_validation, fig45_quadrants, fig4_ratios, fig6_cache_sweep,
-    fig7_smp_vs_cmp, fig8_core_scaling, fig9_staged, BASE_CORES,
+    fig7_smp_vs_cmp, fig8_core_scaling, fig9_staged, fig_contention, BASE_CORES,
 };
 use dbcmp_core::machines::{fc_cmp, L2Spec};
 use dbcmp_core::taxonomy::{table1, WorkloadKind};
@@ -105,6 +105,46 @@ fn fig9_staged_quick() {
         assert!(r.instrs_per_query > 0.0);
         assert!((0.0..=1.0).contains(&r.l1d_miss_rate));
     }
+}
+
+/// The `fig_contention` binary's generator end-to-end at quick scale: the
+/// interleaved capture really contends (waits at every point, deadlock
+/// victims at high skew) and the SMP's data-stall share responds to skew
+/// more strongly than the CMP's (the §5.2 contrast).
+#[test]
+fn fig_contention_quick() {
+    let scale = FigScale::quick();
+    let points = fig_contention(&scale, &[0, 90]);
+    assert_eq!(points.len(), 2);
+    for p in &points {
+        assert!(p.smp.cycles > 0 && p.cmp.cycles > 0);
+        assert!(
+            p.stats.lock_waits > 0,
+            "interleaved clients must contend even unskewed: {:?}",
+            p.stats
+        );
+        assert_eq!(
+            p.stats.commits + p.stats.rollbacks,
+            (scale.contention_clients * scale.contention_units) as u64,
+            "every client must complete its units"
+        );
+    }
+    let hi = &points[1];
+    assert!(
+        hi.stats.deadlock_aborts > 0,
+        "high skew must resolve at least one deadlock: {:?}",
+        hi.stats
+    );
+    let growth = |a: &dbcmp_sim::SimResult, b: &dbcmp_sim::SimResult| {
+        b.breakdown.data_stall_fraction() - a.breakdown.data_stall_fraction()
+    };
+    let smp_growth = growth(&points[0].smp, &points[1].smp);
+    let cmp_growth = growth(&points[0].cmp, &points[1].cmp);
+    assert!(
+        smp_growth > cmp_growth,
+        "skew must push the SMP's D-stall share up relative to the CMP's: \
+         SMP {smp_growth:+.3} vs CMP {cmp_growth:+.3}"
+    );
 }
 
 #[test]

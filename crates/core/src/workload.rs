@@ -3,8 +3,8 @@
 
 use dbcmp_trace::{TraceBundle, TraceSummary};
 use dbcmp_workloads::{
-    build_tpcc, build_tpch, capture_dss, capture_oltp, CaptureOptions, QueryKind, TpccScale,
-    TpchScale,
+    build_tpcc, build_tpch, capture_dss, capture_oltp, capture_oltp_interleaved, CaptureOptions,
+    ContentionStats, InterleaveOptions, QueryKind, TpccScale, TpchScale,
 };
 
 use crate::taxonomy::WorkloadKind;
@@ -25,6 +25,15 @@ pub struct FigScale {
     pub warmup: u64,
     pub measure: u64,
     pub seed: u64,
+    /// Interleaved-capture clients for the contention sweep
+    /// (`fig_contention`).
+    pub contention_clients: usize,
+    /// Units per client in contended captures.
+    pub contention_units: usize,
+    /// Hot NewOrder item-pool size under skew.
+    pub hot_items: u64,
+    /// Engine ops per scheduler grant in interleaved captures.
+    pub slice_ops: usize,
 }
 
 impl FigScale {
@@ -40,6 +49,10 @@ impl FigScale {
             warmup: 1_200_000,
             measure: 2_400_000,
             seed: 0xC1D7,
+            contention_clients: 16,
+            contention_units: 12,
+            hot_items: 8,
+            slice_ops: 1,
         }
     }
 
@@ -55,6 +68,10 @@ impl FigScale {
             warmup: 200_000,
             measure: 400_000,
             seed: 0xC1D7,
+            contention_clients: 8,
+            contention_units: 10,
+            hot_items: 8,
+            slice_ops: 1,
         }
     }
 }
@@ -77,6 +94,33 @@ impl CapturedWorkload {
             bundle,
             summary,
         }
+    }
+
+    /// Capture an OLTP mix with *interleaved* clients against one shared
+    /// database: real 2PL waits, wakes, and deadlock aborts in the traces.
+    /// `hot_pct` percent of transactions target the hot warehouse/items
+    /// (the contention knob). Returns the capture plus what the lock
+    /// manager actually did.
+    pub fn oltp_contended(scale: &FigScale, hot_pct: u8) -> (Self, ContentionStats) {
+        let (db, h) = build_tpcc(scale.tpcc, scale.seed);
+        let opt = InterleaveOptions {
+            clients: scale.contention_clients,
+            units_per_client: scale.contention_units,
+            seed: scale.seed,
+            slice_ops: scale.slice_ops,
+            hot_pct,
+            hot_items: scale.hot_items,
+        };
+        let cap = capture_oltp_interleaved(db, &h, opt);
+        let summary = TraceSummary::compute(&cap.bundle.regions, &cap.bundle.threads);
+        (
+            CapturedWorkload {
+                kind: WorkloadKind::Oltp,
+                bundle: cap.bundle,
+                summary,
+            },
+            cap.stats,
+        )
     }
 
     /// Capture a DSS query stream (`clients` sessions over the paper's

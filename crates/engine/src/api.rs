@@ -1,0 +1,144 @@
+//! The transactional engine surface as a trait.
+//!
+//! Workload drivers (TPC-C transactions in `dbcmp-workloads`) are generic
+//! over [`EngineOps`] so the *same* transaction code runs in two capture
+//! regimes:
+//!
+//! * directly against [`Database`] — the sequential one-client-at-a-time
+//!   capture, where every call completes immediately; and
+//! * against a scheduler-mediated handle (workloads' `ClientDb`) that
+//!   serializes many client threads onto one shared [`Database`] in
+//!   deterministic round-robin slices, parking a client whenever the lock
+//!   manager returns [`EngineError::LockWait`](crate::EngineError::LockWait)
+//!   and retrying the operation once the lock is granted.
+//!
+//! Methods that acquire row locks (`read`, `update`, `delete`) must be
+//! effect-free before the lock is held: a handle may re-invoke them after a
+//! wait, so any work preceding the lock acquisition would be duplicated.
+
+use crate::catalog::{IndexId, TableId};
+use crate::db::Database;
+use crate::error::Result;
+use crate::heap::Rid;
+use crate::tctx::TraceCtx;
+use crate::txn::Txn;
+use crate::types::{Row, Value};
+
+/// The engine operations a transaction driver needs. See module docs.
+pub trait EngineOps {
+    /// Per-statement session/dispatch overhead.
+    fn statement_overhead(&mut self, tc: &mut TraceCtx);
+    /// Open a transaction.
+    fn begin(&mut self, tc: &mut TraceCtx) -> Txn;
+    /// Commit: WAL force + release locks.
+    fn commit(&mut self, txn: Txn, tc: &mut TraceCtx) -> Result<()>;
+    /// Roll back: undo in reverse + release locks.
+    fn abort(&mut self, txn: Txn, tc: &mut TraceCtx);
+    /// Insert a row (X-lock, WAL, indexes, undo).
+    fn insert(
+        &mut self,
+        txn: &mut Txn,
+        table: TableId,
+        row: &[Value],
+        tc: &mut TraceCtx,
+    ) -> Result<Rid>;
+    /// Read a row under an S (or X, `for_update`) lock.
+    fn read(
+        &mut self,
+        txn: &mut Txn,
+        table: TableId,
+        rid: Rid,
+        for_update: bool,
+        tc: &mut TraceCtx,
+    ) -> Result<Row>;
+    /// Update a row in place (X lock, before-image undo, WAL).
+    fn update(
+        &mut self,
+        txn: &mut Txn,
+        table: TableId,
+        rid: Rid,
+        row: &[Value],
+        tc: &mut TraceCtx,
+    ) -> Result<()>;
+    /// Delete a row (X lock, image + index-key undo, WAL).
+    fn delete(&mut self, txn: &mut Txn, table: TableId, rid: Rid, tc: &mut TraceCtx) -> Result<()>;
+    /// Point lookup through an index (no row lock — index reads are
+    /// latch-only, as in the era's engines).
+    fn index_get(&mut self, index: IndexId, key: u64, tc: &mut TraceCtx) -> Option<Rid>;
+    /// Inclusive range through an index.
+    fn index_range(
+        &mut self,
+        index: IndexId,
+        lo: u64,
+        hi: u64,
+        tc: &mut TraceCtx,
+    ) -> Vec<(u64, Rid)>;
+}
+
+impl EngineOps for Database {
+    fn statement_overhead(&mut self, tc: &mut TraceCtx) {
+        Database::statement_overhead(self, tc);
+    }
+
+    fn begin(&mut self, tc: &mut TraceCtx) -> Txn {
+        Database::begin(self, tc)
+    }
+
+    fn commit(&mut self, txn: Txn, tc: &mut TraceCtx) -> Result<()> {
+        Database::commit(self, txn, tc)
+    }
+
+    fn abort(&mut self, txn: Txn, tc: &mut TraceCtx) {
+        Database::abort(self, txn, tc);
+    }
+
+    fn insert(
+        &mut self,
+        txn: &mut Txn,
+        table: TableId,
+        row: &[Value],
+        tc: &mut TraceCtx,
+    ) -> Result<Rid> {
+        Database::insert(self, txn, table, row, tc)
+    }
+
+    fn read(
+        &mut self,
+        txn: &mut Txn,
+        table: TableId,
+        rid: Rid,
+        for_update: bool,
+        tc: &mut TraceCtx,
+    ) -> Result<Row> {
+        Database::read(self, txn, table, rid, for_update, tc)
+    }
+
+    fn update(
+        &mut self,
+        txn: &mut Txn,
+        table: TableId,
+        rid: Rid,
+        row: &[Value],
+        tc: &mut TraceCtx,
+    ) -> Result<()> {
+        Database::update(self, txn, table, rid, row, tc)
+    }
+
+    fn delete(&mut self, txn: &mut Txn, table: TableId, rid: Rid, tc: &mut TraceCtx) -> Result<()> {
+        Database::delete(self, txn, table, rid, tc)
+    }
+
+    fn index_get(&mut self, index: IndexId, key: u64, tc: &mut TraceCtx) -> Option<Rid> {
+        Database::index_get(self, index, key, tc)
+    }
+
+    fn index_range(
+        &mut self,
+        index: IndexId,
+        lo: u64,
+        hi: u64,
+        tc: &mut TraceCtx,
+    ) -> Vec<(u64, Rid)> {
+        Database::index_range(self, index, lo, hi, tc)
+    }
+}

@@ -117,6 +117,12 @@ pub mod instr {
     pub const LOCK_ACQUIRE: u32 = 85;
     /// Lock release (per lock, at commit).
     pub const LOCK_RELEASE: u32 = 35;
+    /// Enqueue on a lock wait queue + waits-for edge bookkeeping.
+    pub const LOCK_ENQUEUE: u32 = 60;
+    /// Resume after a lock grant (dequeue, re-validate).
+    pub const LOCK_WAKE: u32 = 45;
+    /// Waits-for cycle detection, per transaction visited.
+    pub const DEADLOCK_SCAN: u32 = 30;
     /// B+Tree: per node visited (binary search within node).
     pub const BTREE_NODE: u32 = 55;
     /// B+Tree: leaf entry insert (shift + write).

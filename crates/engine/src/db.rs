@@ -14,7 +14,7 @@ use crate::catalog::{Catalog, IndexId, TableId};
 use crate::costs::{instr, EngineRegions};
 use crate::error::{EngineError, Result};
 use crate::heap::{HeapTable, Rid};
-use crate::lockmgr::{LockMgr, LockMode};
+use crate::lockmgr::{Grant, LockMgr, LockMode};
 use crate::schema::Schema;
 use crate::tctx::TraceCtx;
 use crate::txn::{Txn, TxnState, UndoRec};
@@ -23,6 +23,21 @@ use crate::wal::{Wal, WalRecord};
 
 /// Key-extraction function for an index: row + rid → packed u64 key.
 pub type KeyFn = Box<dyn Fn(&[Value], Rid) -> u64 + Send + Sync>;
+
+/// How row-lock conflicts behave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LockPolicy {
+    /// Conflicts surface immediately as [`EngineError::LockConflict`]
+    /// (the seed's discipline; sequential capture).
+    #[default]
+    NoWait,
+    /// Conflicts park on FIFO wait queues: the caller receives
+    /// [`EngineError::LockWait`] and must retry the same operation after
+    /// the scheduler wakes it; waits-for cycles abort the youngest
+    /// transaction with [`EngineError::Deadlock`]. Used by the interleaved
+    /// multi-client capture.
+    Queue,
+}
 
 /// The whole database instance.
 pub struct Database {
@@ -35,6 +50,7 @@ pub struct Database {
     index_table: Vec<TableId>,
     key_fns: Vec<KeyFn>,
     lockmgr: LockMgr,
+    lock_policy: LockPolicy,
     wal: Wal,
     next_txn: u64,
 }
@@ -47,6 +63,7 @@ impl Database {
         Database {
             catalog: Catalog::new(&space),
             lockmgr: LockMgr::new(&space, 64 * 1024),
+            lock_policy: LockPolicy::default(),
             wal: Wal::new(&space),
             heaps: Vec::new(),
             indexes: Vec::new(),
@@ -72,6 +89,31 @@ impl Database {
     /// A counting-only context for native runs.
     pub fn null_ctx(&self) -> TraceCtx {
         TraceCtx::null(self.er)
+    }
+
+    /// Select the lock-conflict discipline (see [`LockPolicy`]).
+    pub fn set_lock_policy(&mut self, policy: LockPolicy) {
+        self.lock_policy = policy;
+    }
+
+    pub fn lock_policy(&self) -> LockPolicy {
+        self.lock_policy
+    }
+
+    /// Transactions granted a queued lock (or chosen as deadlock victims)
+    /// since the last call — the interleaved scheduler resumes them.
+    pub fn drain_woken(&mut self) -> Vec<crate::txn::TxnId> {
+        self.lockmgr.drain_woken()
+    }
+
+    /// Live lock-table entries (diagnostics/tests).
+    pub fn live_locks(&self) -> usize {
+        self.lockmgr.live_locks()
+    }
+
+    /// Transactions parked on lock wait queues (diagnostics/tests).
+    pub fn lock_waiters(&self) -> usize {
+        self.lockmgr.waiting_count()
     }
 
     // ---- DDL ----
@@ -153,6 +195,9 @@ impl Database {
             tc.r.txn_mgr,
             instr::TXN_ABORT_BASE + instr::TXN_UNDO_PER_REC * txn.undo.len() as u32,
         );
+        // Abort may arrive while the txn is queued on (or was granted but
+        // never observed) a lock wait — clear that state first.
+        self.lockmgr.cancel_wait(txn.id, tc);
         let undo: Vec<UndoRec> = txn.undo.drain(..).rev().collect();
         for rec in undo {
             match rec {
@@ -204,8 +249,17 @@ impl Database {
         tc: &mut TraceCtx,
     ) -> Result<()> {
         let key = Self::lock_key(table, rid);
-        if self.lockmgr.acquire(txn.id, key, mode, tc)? {
-            txn.locks.push((key, mode));
+        match self.lock_policy {
+            LockPolicy::NoWait => {
+                if self.lockmgr.acquire(txn.id, key, mode, tc)? {
+                    txn.locks.push((key, mode));
+                }
+            }
+            LockPolicy::Queue => match self.lockmgr.acquire_wait(txn.id, key, mode, tc)? {
+                Grant::Acquired | Grant::WaitGranted => txn.locks.push((key, mode)),
+                Grant::Held | Grant::WaitUpgraded => {}
+                Grant::Wait => return Err(EngineError::LockWait { key }),
+            },
         }
         Ok(())
     }
@@ -224,20 +278,29 @@ impl Database {
             return Err(EngineError::TxnClosed);
         }
         let rid = self.heaps[table].insert(row, &self.space, tc)?;
-        self.lock(txn, table, rid, LockMode::Exclusive, tc)?;
-        let bytes = self.heaps[table].schema.row_width() as u32;
-        self.wal.append(WalRecord::Insert { bytes }, tc);
-        let mut index_keys = Vec::new();
-        for &idx in &self.catalog.table(table).indexes {
-            let key = (self.key_fns[idx])(row, rid);
-            self.indexes[idx].insert(key, rid.pack(), &self.space, tc)?;
-            index_keys.push((idx, key));
-        }
+        // Undo record goes in *before* anything that can fail, so an abort
+        // after a partial insert (lock conflict, duplicate index key)
+        // removes the heap row and exactly the index entries added so far.
         txn.undo.push(UndoRec::Insert {
             table,
             rid,
-            index_keys,
+            index_keys: Vec::new(),
         });
+        // Fresh-RID locks conflict only if a deleter still holds the slot's
+        // lock; never worth queueing on — no-wait regardless of policy.
+        let key = Self::lock_key(table, rid);
+        if self.lockmgr.acquire(txn.id, key, LockMode::Exclusive, tc)? {
+            txn.locks.push((key, LockMode::Exclusive));
+        }
+        let bytes = self.heaps[table].schema.row_width() as u32;
+        self.wal.append(WalRecord::Insert { bytes }, tc);
+        for &idx in &self.catalog.table(table).indexes {
+            let ikey = (self.key_fns[idx])(row, rid);
+            self.indexes[idx].insert(ikey, rid.pack(), &self.space, tc)?;
+            if let Some(UndoRec::Insert { index_keys, .. }) = txn.undo.last_mut() {
+                index_keys.push((idx, ikey));
+            }
+        }
         Ok(rid)
     }
 
@@ -483,6 +546,112 @@ mod tests {
         let mut c = db.begin(&mut tc);
         assert!(db.read(&mut c, t, rid, false, &mut tc).is_ok());
         db.commit(c, &mut tc).unwrap();
+    }
+
+    #[test]
+    fn queued_conflict_waits_then_grants() {
+        let (mut db, t, _) = accounts_db();
+        db.set_lock_policy(LockPolicy::Queue);
+        let mut tc = db.null_ctx();
+        let mut setup = db.begin(&mut tc);
+        let rid = db
+            .insert(&mut setup, t, &[Value::Int(1), Value::Decimal(0)], &mut tc)
+            .unwrap();
+        db.commit(setup, &mut tc).unwrap();
+
+        let mut a = db.begin(&mut tc);
+        let mut b = db.begin(&mut tc);
+        db.read(&mut a, t, rid, true, &mut tc).unwrap(); // A holds X
+        let r = db.read(&mut b, t, rid, false, &mut tc); // B parks
+        assert!(matches!(r, Err(EngineError::LockWait { .. })));
+        assert_eq!(db.lock_waiters(), 1);
+
+        db.commit(a, &mut tc).unwrap();
+        assert_eq!(db.drain_woken(), vec![b.id]);
+        // B's retry of the same read now succeeds.
+        assert!(db.read(&mut b, t, rid, false, &mut tc).is_ok());
+        db.commit(b, &mut tc).unwrap();
+        assert_eq!(db.live_locks(), 0);
+    }
+
+    /// The guaranteed two-client cycle: A locks k1 then wants k2, B locks
+    /// k2 then wants k1. Exactly one victim (the youngest, B) aborts, the
+    /// survivor commits, and the lock table drains.
+    #[test]
+    fn two_client_cycle_resolves_with_one_victim() {
+        let (mut db, t, _) = accounts_db();
+        db.set_lock_policy(LockPolicy::Queue);
+        let mut tc = db.null_ctx();
+        let mut setup = db.begin(&mut tc);
+        let k1 = db
+            .insert(&mut setup, t, &[Value::Int(1), Value::Decimal(0)], &mut tc)
+            .unwrap();
+        let k2 = db
+            .insert(&mut setup, t, &[Value::Int(2), Value::Decimal(0)], &mut tc)
+            .unwrap();
+        db.commit(setup, &mut tc).unwrap();
+
+        let mut a = db.begin(&mut tc);
+        let mut b = db.begin(&mut tc);
+        db.read(&mut a, t, k1, true, &mut tc).unwrap(); // A: X(k1)
+        db.read(&mut b, t, k2, true, &mut tc).unwrap(); // B: X(k2)
+        assert!(matches!(
+            db.read(&mut a, t, k2, true, &mut tc), // A parks on k2
+            Err(EngineError::LockWait { .. })
+        ));
+        // B closes the cycle; B is youngest → immediate victim.
+        let r = db.read(&mut b, t, k1, true, &mut tc);
+        assert!(matches!(r, Err(EngineError::Deadlock { .. })));
+        db.abort(b, &mut tc);
+
+        // The survivor was granted k2 by the abort and commits.
+        assert_eq!(db.drain_woken(), vec![a.id]);
+        db.read(&mut a, t, k2, true, &mut tc).unwrap();
+        db.commit(a, &mut tc).unwrap();
+        assert_eq!(db.live_locks(), 0, "lock table must drain");
+        assert_eq!(db.lock_waiters(), 0);
+    }
+
+    /// Same cycle, opposite closing order: the victim is the *parked*
+    /// younger transaction, which learns of its fate on its retry.
+    #[test]
+    fn parked_younger_txn_is_the_victim() {
+        let (mut db, t, _) = accounts_db();
+        db.set_lock_policy(LockPolicy::Queue);
+        let mut tc = db.null_ctx();
+        let mut setup = db.begin(&mut tc);
+        let k1 = db
+            .insert(&mut setup, t, &[Value::Int(1), Value::Decimal(0)], &mut tc)
+            .unwrap();
+        let k2 = db
+            .insert(&mut setup, t, &[Value::Int(2), Value::Decimal(0)], &mut tc)
+            .unwrap();
+        db.commit(setup, &mut tc).unwrap();
+
+        let mut a = db.begin(&mut tc); // older
+        let mut b = db.begin(&mut tc); // younger
+        db.read(&mut a, t, k1, true, &mut tc).unwrap();
+        db.read(&mut b, t, k2, true, &mut tc).unwrap();
+        // Younger B parks first.
+        assert!(matches!(
+            db.read(&mut b, t, k1, true, &mut tc),
+            Err(EngineError::LockWait { .. })
+        ));
+        // Older A closes the cycle: A parks, B is chosen victim and woken.
+        assert!(matches!(
+            db.read(&mut a, t, k2, true, &mut tc),
+            Err(EngineError::LockWait { .. })
+        ));
+        assert_eq!(db.drain_woken(), vec![b.id]);
+        assert!(matches!(
+            db.read(&mut b, t, k1, true, &mut tc),
+            Err(EngineError::Deadlock { .. })
+        ));
+        db.abort(b, &mut tc);
+        assert_eq!(db.drain_woken(), vec![a.id]);
+        db.read(&mut a, t, k2, true, &mut tc).unwrap();
+        db.commit(a, &mut tc).unwrap();
+        assert_eq!(db.live_locks(), 0);
     }
 
     #[test]

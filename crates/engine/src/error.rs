@@ -6,9 +6,17 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// A lock could not be granted because a live transaction holds a
-    /// conflicting mode — the requester should abort and retry (wound-wait
-    /// resolution is left to the caller).
+    /// conflicting mode — the requester should abort and retry (no-wait
+    /// discipline; resolution is left to the caller).
     LockConflict { key: u64 },
+    /// The requester was enqueued behind conflicting holders
+    /// ([`LockPolicy::Queue`](crate::db::LockPolicy)): it must yield to the
+    /// scheduler and retry the same operation once woken. Not an abort.
+    LockWait { key: u64 },
+    /// The requester was chosen as the deadlock victim (youngest
+    /// transaction on the waits-for cycle): it must abort; the survivors'
+    /// waits then resolve.
+    Deadlock { key: u64 },
     /// The referenced table/index/row does not exist.
     NotFound(String),
     /// A page had no room and the tuple cannot move (updates that grow
@@ -29,6 +37,10 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::LockConflict { key } => write!(f, "lock conflict on key {key:#x}"),
+            EngineError::LockWait { key } => write!(f, "lock wait on key {key:#x}"),
+            EngineError::Deadlock { key } => {
+                write!(f, "deadlock victim while waiting on key {key:#x}")
+            }
             EngineError::NotFound(what) => write!(f, "not found: {what}"),
             EngineError::PageFull => write!(f, "page full"),
             EngineError::DuplicateKey(k) => write!(f, "duplicate key {k:#x}"),
@@ -55,5 +67,11 @@ mod tests {
             .contains("0xab"));
         assert!(EngineError::NotFound("t".into()).to_string().contains('t'));
         assert_eq!(EngineError::PageFull.to_string(), "page full");
+        assert!(EngineError::LockWait { key: 0xCD }
+            .to_string()
+            .contains("0xcd"));
+        assert!(EngineError::Deadlock { key: 0xEF }
+            .to_string()
+            .contains("victim"));
     }
 }

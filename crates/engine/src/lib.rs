@@ -22,11 +22,17 @@
 //!   across client traces — the raw material for coherence traffic (SMP)
 //!   vs shared-L2 hits (CMP).
 //!
-//! Concurrency model: the engine executes statements single-threaded (one
-//! client at a time during capture), but transactions are first-class —
-//! 2PL conflict detection, abort with undo, and lock-release at commit are
-//! all real, so interleaved transaction schedules behave correctly.
+//! Concurrency model: statements execute one at a time, but *which*
+//! transaction runs next is the caller's choice — the interleaved capture
+//! scheduler advances many open transactions in round-robin slices.
+//! Under [`db::LockPolicy::Queue`] conflicting lock requests park on FIFO
+//! wait queues ([`lockmgr`]), waits-for cycles abort the youngest
+//! transaction, and blocked/woken sessions are recorded in the trace; the
+//! default [`db::LockPolicy::NoWait`] keeps the immediate-conflict
+//! discipline for sequential capture. Abort with undo and lock release at
+//! commit are real in both modes, so any interleaving behaves correctly.
 
+pub mod api;
 pub mod btree;
 pub mod catalog;
 pub mod costs;
@@ -42,8 +48,9 @@ pub mod txn;
 pub mod types;
 pub mod wal;
 
+pub use api::EngineOps;
 pub use costs::EngineRegions;
-pub use db::Database;
+pub use db::{Database, LockPolicy};
 pub use error::{EngineError, Result};
 pub use schema::Schema;
 pub use tctx::TraceCtx;

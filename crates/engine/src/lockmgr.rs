@@ -1,4 +1,4 @@
-//! Row-level two-phase-locking lock manager.
+//! Row-level two-phase-locking lock manager with wait queues.
 //!
 //! A hash table of lock buckets; each bucket occupies exactly one cache
 //! line in the simulated address space. Lock words are *the* shared-write
@@ -6,10 +6,28 @@
 //! them, which is what turns into coherence traffic on an SMP and into
 //! shared-L2/L1-to-L1 transfers on a CMP (paper §5.2, Fig. 7).
 //!
-//! Conflicts are detected immediately (no blocking — the engine is
-//! single-threaded per statement): the caller receives
-//! [`EngineError::LockConflict`] and is expected to abort and retry, a
-//! no-wait 2PL discipline.
+//! Two disciplines coexist:
+//!
+//! * **No-wait** ([`LockMgr::acquire`]): conflicts surface immediately as
+//!   [`EngineError::LockConflict`] — the seed's behaviour, still used by
+//!   sequential capture and by inserts (fresh-RID locks cannot meaningfully
+//!   wait).
+//! * **Queued** ([`LockMgr::acquire_wait`]): conflicting requests park on a
+//!   FIFO wait queue per lock. Releases grant from the front (shared
+//!   requests join in batches; upgrades jump the queue when the upgrader is
+//!   the sole holder). Each enqueue updates a waits-for graph and runs
+//!   cycle detection; on a cycle the *youngest* transaction (largest id) is
+//!   the victim — either the requester itself (it gets
+//!   [`EngineError::Deadlock`] straight back) or a parked waiter (it is
+//!   dequeued, marked, and receives the error when its scheduler slot
+//!   retries the acquire).
+//!
+//! Grant decisions made while the winner is parked are recorded so the
+//! winner's retry returns the right bookkeeping result (`WaitGranted` /
+//! `WaitUpgraded`), and [`LockMgr::drain_woken`] hands the scheduler the
+//! transactions it must resume, in grant order (determinism).
+
+use std::collections::{HashMap, VecDeque};
 
 use crate::costs::instr;
 use crate::error::{EngineError, Result};
@@ -24,11 +42,40 @@ pub enum LockMode {
     Exclusive,
 }
 
+/// Outcome of a queued acquire ([`LockMgr::acquire_wait`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grant {
+    /// Newly granted now — the caller records the lock for release.
+    Acquired,
+    /// Already held in a compatible (or upgraded-in-place) mode — nothing
+    /// to record.
+    Held,
+    /// Enqueued — the caller must park and retry the same acquire when the
+    /// scheduler wakes it.
+    Wait,
+    /// Granted while the caller was parked — the caller records the lock
+    /// for release and resumes.
+    WaitGranted,
+    /// An upgrade granted while the caller was parked — the lock was
+    /// already recorded at its original Shared acquisition.
+    WaitUpgraded,
+}
+
+#[derive(Debug)]
+struct Waiter {
+    txn: TxnId,
+    mode: LockMode,
+    /// An upgrade waiter already holds the lock Shared and sits at the
+    /// queue front until it is the sole holder.
+    upgrade: bool,
+}
+
 #[derive(Debug)]
 struct LockEntry {
     key: u64,
     mode: LockMode,
     holders: Vec<TxnId>,
+    waiters: VecDeque<Waiter>,
 }
 
 /// The lock table.
@@ -38,6 +85,15 @@ pub struct LockMgr {
     /// Simulated base address; bucket i lives at `addr + i*64`.
     addr: u64,
     mask: u64,
+    /// txn → key it is parked on (each txn waits on at most one key).
+    waiting: HashMap<TxnId, u64>,
+    /// Grants decided while the winner was parked: txn → (key, upgrade).
+    granted: HashMap<TxnId, (u64, bool)>,
+    /// Deadlock victims to notify at their next acquire: txn → key.
+    victims: HashMap<TxnId, u64>,
+    /// Wake notifications (grants + victims) since the last drain, in
+    /// decision order.
+    woken: Vec<TxnId>,
 }
 
 impl LockMgr {
@@ -48,6 +104,10 @@ impl LockMgr {
             buckets: (0..n).map(|_| Vec::new()).collect(),
             addr: space.alloc("lock-table", n as u64 * 64),
             mask: (n - 1) as u64,
+            waiting: HashMap::new(),
+            granted: HashMap::new(),
+            victims: HashMap::new(),
+            woken: Vec::new(),
         }
     }
 
@@ -57,9 +117,15 @@ impl LockMgr {
         ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & self.mask) as usize
     }
 
-    /// Acquire `key` in `mode` for `txn`. Re-acquisition and S→X upgrade
-    /// by a sole holder succeed. Returns `true` if the lock is newly
-    /// granted (the caller records it for release).
+    #[inline]
+    fn bucket_addr(&self, b: usize) -> u64 {
+        self.addr + (b as u64) * 64
+    }
+
+    /// Acquire `key` in `mode` for `txn`, no-wait: conflicts return
+    /// [`EngineError::LockConflict`] immediately. Re-acquisition and S→X
+    /// upgrade by a sole holder succeed. Returns `true` if the lock is
+    /// newly granted (the caller records it for release).
     pub fn acquire(
         &mut self,
         txn: TxnId,
@@ -67,62 +133,350 @@ impl LockMgr {
         mode: LockMode,
         tc: &mut TraceCtx,
     ) -> Result<bool> {
+        match self.acquire_inner(txn, key, mode, false, tc)? {
+            Grant::Acquired => Ok(true),
+            Grant::Held => Ok(false),
+            // Unreachable in no-wait mode.
+            g => unreachable!("no-wait acquire returned {g:?}"),
+        }
+    }
+
+    /// Acquire `key` in `mode` for `txn` under the queued discipline; see
+    /// the module docs for the [`Grant`] protocol.
+    pub fn acquire_wait(
+        &mut self,
+        txn: TxnId,
+        key: u64,
+        mode: LockMode,
+        tc: &mut TraceCtx,
+    ) -> Result<Grant> {
+        self.acquire_inner(txn, key, mode, true, tc)
+    }
+
+    fn acquire_inner(
+        &mut self,
+        txn: TxnId,
+        key: u64,
+        mode: LockMode,
+        wait: bool,
+        tc: &mut TraceCtx,
+    ) -> Result<Grant> {
         let b = self.bucket_of(key);
         tc.charge(tc.r.lock_mgr, instr::LOCK_ACQUIRE);
         // The bucket header is a dependent load; the grant writes it.
-        tc.load_dep(self.addr + (b as u64) * 64, 16);
+        tc.load_dep(self.bucket_addr(b), 16);
 
+        if wait {
+            // Victim notification takes priority: the txn was chosen while
+            // parked and must abort.
+            if self.victims.remove(&txn).is_some() {
+                tc.charge(tc.r.lock_mgr, instr::LOCK_WAKE);
+                tc.wake();
+                return Err(EngineError::Deadlock { key });
+            }
+            // Grant decided while parked: the lock is already held; report
+            // it so the caller's bookkeeping catches up.
+            if let Some((gkey, upgrade)) = self.granted.remove(&txn) {
+                debug_assert_eq!(gkey, key, "parked grant must match the retried key");
+                tc.charge(tc.r.lock_mgr, instr::LOCK_WAKE);
+                tc.wake();
+                return Ok(if upgrade {
+                    Grant::WaitUpgraded
+                } else {
+                    Grant::WaitGranted
+                });
+            }
+        }
+
+        let addr = self.bucket_addr(b);
         let bucket = &mut self.buckets[b];
         if let Some(e) = bucket.iter_mut().find(|e| e.key == key) {
             let holds = e.holders.contains(&txn);
             match (mode, e.mode) {
                 // Re-acquire in same-or-weaker mode.
-                (LockMode::Shared, _) if holds => return Ok(false),
-                (LockMode::Exclusive, LockMode::Exclusive) if holds => return Ok(false),
+                (LockMode::Shared, _) if holds => return Ok(Grant::Held),
+                (LockMode::Exclusive, LockMode::Exclusive) if holds => return Ok(Grant::Held),
                 // Upgrade by the sole holder.
                 (LockMode::Exclusive, LockMode::Shared) if holds && e.holders.len() == 1 => {
                     e.mode = LockMode::Exclusive;
-                    tc.store(self.addr + (b as u64) * 64, 16);
+                    tc.store(addr, 16);
                     tc.fence();
-                    return Ok(false);
+                    return Ok(Grant::Held);
                 }
-                // Shared join on a shared lock.
-                (LockMode::Shared, LockMode::Shared) => {
+                // Shared join on a shared lock (FIFO: not past waiters).
+                (LockMode::Shared, LockMode::Shared) if e.waiters.is_empty() => {
                     e.holders.push(txn);
-                    tc.store(self.addr + (b as u64) * 64, 16);
+                    tc.store(addr, 16);
                     tc.fence();
-                    return Ok(true);
+                    return Ok(Grant::Acquired);
                 }
-                _ => return Err(EngineError::LockConflict { key }),
+                _ => {
+                    if !wait {
+                        return Err(EngineError::LockConflict { key });
+                    }
+                    // Enqueue: upgrades go to the front (they already hold
+                    // the lock and everyone behind them needs it free).
+                    let w = Waiter {
+                        txn,
+                        mode,
+                        upgrade: holds,
+                    };
+                    if holds {
+                        e.waiters.push_front(w);
+                    } else {
+                        e.waiters.push_back(w);
+                    }
+                    self.waiting.insert(txn, key);
+                    tc.charge(tc.r.lock_mgr, instr::LOCK_ENQUEUE);
+                    tc.store(addr, 16);
+                    tc.fence();
+                    return self.resolve_deadlocks(txn, key, tc);
+                }
             }
         }
         bucket.push(LockEntry {
             key,
             mode,
             holders: vec![txn],
+            waiters: VecDeque::new(),
         });
-        tc.store(self.addr + (b as u64) * 64, 16);
+        tc.store(addr, 16);
         tc.fence();
-        Ok(true)
+        Ok(Grant::Acquired)
+    }
+
+    /// After enqueuing `txn` on `key`: hunt waits-for cycles; abort the
+    /// youngest member of each until none remain that involve `txn`.
+    fn resolve_deadlocks(&mut self, txn: TxnId, key: u64, tc: &mut TraceCtx) -> Result<Grant> {
+        loop {
+            let Some(cycle) = self.find_cycle(txn) else {
+                tc.block();
+                return Ok(Grant::Wait);
+            };
+            tc.charge(
+                tc.r.lock_mgr,
+                instr::DEADLOCK_SCAN * cycle.len().max(1) as u32,
+            );
+            let victim = *cycle.iter().max().expect("cycle is nonempty");
+            if victim == txn {
+                self.remove_waiter(txn, tc);
+                return Err(EngineError::Deadlock { key });
+            }
+            // A parked waiter dies: dequeue it now (so grants can flow) and
+            // notify it through the scheduler; its held locks release when
+            // the transaction aborts.
+            let vkey = self
+                .waiting
+                .get(&victim)
+                .copied()
+                .expect("cycle members are waiters");
+            self.remove_waiter(victim, tc);
+            self.victims.insert(victim, vkey);
+            self.woken.push(victim);
+        }
+    }
+
+    /// Transactions to resume since the last call: lock grants and victim
+    /// notifications, in decision order.
+    pub fn drain_woken(&mut self) -> Vec<TxnId> {
+        std::mem::take(&mut self.woken)
+    }
+
+    /// Abort-path cleanup: drop `txn`'s waiter entry (if any), any
+    /// unclaimed parked grant, and any pending victim mark. Returns lock
+    /// table state to what release() expects.
+    pub fn cancel_wait(&mut self, txn: TxnId, tc: &mut TraceCtx) {
+        self.victims.remove(&txn);
+        if self.waiting.contains_key(&txn) {
+            self.remove_waiter(txn, tc);
+        }
+        if let Some((key, upgrade)) = self.granted.remove(&txn) {
+            // Granted while parked but never observed by the owner: for a
+            // fresh grant the holder entry must go (the owner never
+            // recorded it, so release() will not); an upgrade reverts on
+            // the ordinary release of the originally-recorded lock.
+            if !upgrade {
+                self.release(txn, key, tc);
+            }
+        }
+    }
+
+    /// Drop `txn` from `key`'s wait queue and re-run the grant pass (its
+    /// departure may unblock the queue).
+    fn remove_waiter(&mut self, txn: TxnId, tc: &mut TraceCtx) {
+        let Some(key) = self.waiting.remove(&txn) else {
+            return;
+        };
+        let b = self.bucket_of(key);
+        let addr = self.bucket_addr(b);
+        let bucket = &mut self.buckets[b];
+        if let Some(i) = bucket.iter().position(|e| e.key == key) {
+            bucket[i].waiters.retain(|w| w.txn != txn);
+            tc.store(addr, 16);
+            self.grant_pass(b, i, tc);
+        }
     }
 
     /// Release one lock held by `txn`.
     pub fn release(&mut self, txn: TxnId, key: u64, tc: &mut TraceCtx) {
         let b = self.bucket_of(key);
         tc.charge(tc.r.lock_mgr, instr::LOCK_RELEASE);
-        tc.store(self.addr + (b as u64) * 64, 16);
+        tc.store(self.bucket_addr(b), 16);
         let bucket = &mut self.buckets[b];
         if let Some(i) = bucket.iter().position(|e| e.key == key) {
             bucket[i].holders.retain(|&t| t != txn);
-            if bucket[i].holders.is_empty() {
-                bucket.swap_remove(i);
-            }
+            self.grant_pass(b, i, tc);
         }
+    }
+
+    /// FIFO grant pass over entry `i` of bucket `b`: grant from the front
+    /// while compatible, recording parked grants; drop the entry when
+    /// fully drained.
+    fn grant_pass(&mut self, b: usize, i: usize, tc: &mut TraceCtx) {
+        let addr = self.bucket_addr(b);
+        let LockMgr {
+            buckets,
+            waiting,
+            granted,
+            woken,
+            ..
+        } = self;
+        let e = &mut buckets[b][i];
+        let mut granted_any = false;
+        while let Some(w) = e.waiters.front() {
+            let can = if e.holders.is_empty() {
+                true
+            } else if w.upgrade {
+                e.holders.len() == 1 && e.holders[0] == w.txn
+            } else {
+                w.mode == LockMode::Shared && e.mode == LockMode::Shared
+            };
+            if !can {
+                break;
+            }
+            let w = e.waiters.pop_front().expect("front exists");
+            if w.upgrade {
+                e.mode = LockMode::Exclusive;
+            } else {
+                if e.holders.is_empty() {
+                    e.mode = w.mode;
+                }
+                e.holders.push(w.txn);
+            }
+            waiting.remove(&w.txn);
+            granted.insert(w.txn, (e.key, w.upgrade));
+            woken.push(w.txn);
+            granted_any = true;
+        }
+        let drained = e.holders.is_empty() && e.waiters.is_empty();
+        if granted_any {
+            tc.store(addr, 16);
+            tc.fence();
+        }
+        if drained {
+            buckets[b].swap_remove(i);
+        }
+    }
+
+    // ---- waits-for graph ----
+
+    /// Who `t` waits on: the holders of its awaited lock plus the waiters
+    /// queued ahead of it (FIFO: they are granted first). Empty if `t` is
+    /// not waiting.
+    fn wait_targets(&self, t: TxnId) -> Vec<TxnId> {
+        let Some(&key) = self.waiting.get(&t) else {
+            return Vec::new();
+        };
+        let b = self.bucket_of(key);
+        let Some(e) = self.buckets[b].iter().find(|e| e.key == key) else {
+            return Vec::new();
+        };
+        let mut out: Vec<TxnId> = e.holders.iter().copied().filter(|&h| h != t).collect();
+        for w in &e.waiters {
+            if w.txn == t {
+                break;
+            }
+            out.push(w.txn);
+        }
+        out
+    }
+
+    /// A waits-for cycle through `start`, if any (the members, in path
+    /// order).
+    fn find_cycle(&self, start: TxnId) -> Option<Vec<TxnId>> {
+        fn dfs(
+            lm: &LockMgr,
+            start: TxnId,
+            cur: TxnId,
+            path: &mut Vec<TxnId>,
+            visited: &mut Vec<TxnId>,
+        ) -> bool {
+            for nxt in lm.wait_targets(cur) {
+                if nxt == start {
+                    return true;
+                }
+                if !visited.contains(&nxt) {
+                    visited.push(nxt);
+                    path.push(nxt);
+                    if dfs(lm, start, nxt, path, visited) {
+                        return true;
+                    }
+                    path.pop();
+                }
+            }
+            false
+        }
+        let mut path = vec![start];
+        let mut visited = vec![start];
+        if dfs(self, start, start, &mut path, &mut visited) {
+            Some(path)
+        } else {
+            None
+        }
+    }
+
+    /// The current waits-for graph, sorted by waiter id (diagnostics and
+    /// the acyclicity property test).
+    pub fn wait_graph(&self) -> Vec<(TxnId, Vec<TxnId>)> {
+        let mut waiters: Vec<TxnId> = self.waiting.keys().copied().collect();
+        waiters.sort_unstable();
+        waiters
+            .into_iter()
+            .map(|t| (t, self.wait_targets(t)))
+            .collect()
+    }
+
+    /// True if the waits-for graph contains any cycle.
+    pub fn has_deadlock(&self) -> bool {
+        self.waiting.keys().any(|&t| self.find_cycle(t).is_some())
     }
 
     /// Number of live lock entries (diagnostics/tests).
     pub fn live_locks(&self) -> usize {
         self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// Number of transactions parked on wait queues.
+    pub fn waiting_count(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Snapshot of every live entry: (key, mode, holders, queued waiters),
+    /// in bucket order (tests).
+    pub fn snapshot(&self) -> Vec<(u64, LockMode, Vec<TxnId>, Vec<TxnId>)> {
+        self.buckets
+            .iter()
+            .flat_map(|bucket| {
+                bucket.iter().map(|e| {
+                    (
+                        e.key,
+                        e.mode,
+                        e.holders.clone(),
+                        e.waiters.iter().map(|w| w.txn).collect(),
+                    )
+                })
+            })
+            .collect()
     }
 }
 
@@ -199,5 +553,206 @@ mod tests {
                 .unwrap());
         }
         assert_eq!(lm.live_locks(), 100);
+    }
+
+    // ---- queued discipline ----
+
+    #[test]
+    fn conflicting_request_queues_and_is_granted_fifo() {
+        let (mut lm, mut tc) = setup();
+        assert_eq!(
+            lm.acquire_wait(1, 5, LockMode::Exclusive, &mut tc).unwrap(),
+            Grant::Acquired
+        );
+        assert_eq!(
+            lm.acquire_wait(2, 5, LockMode::Exclusive, &mut tc).unwrap(),
+            Grant::Wait
+        );
+        assert_eq!(
+            lm.acquire_wait(3, 5, LockMode::Exclusive, &mut tc).unwrap(),
+            Grant::Wait
+        );
+        assert_eq!(lm.waiting_count(), 2);
+        assert!(lm.drain_woken().is_empty());
+
+        lm.release(1, 5, &mut tc);
+        // FIFO: txn 2 first.
+        assert_eq!(lm.drain_woken(), vec![2]);
+        assert_eq!(
+            lm.acquire_wait(2, 5, LockMode::Exclusive, &mut tc).unwrap(),
+            Grant::WaitGranted
+        );
+        lm.release(2, 5, &mut tc);
+        assert_eq!(lm.drain_woken(), vec![3]);
+        assert_eq!(
+            lm.acquire_wait(3, 5, LockMode::Exclusive, &mut tc).unwrap(),
+            Grant::WaitGranted
+        );
+        lm.release(3, 5, &mut tc);
+        assert_eq!(lm.live_locks(), 0);
+        assert_eq!(lm.waiting_count(), 0);
+    }
+
+    #[test]
+    fn shared_waiters_granted_in_a_batch() {
+        let (mut lm, mut tc) = setup();
+        lm.acquire_wait(1, 8, LockMode::Exclusive, &mut tc).unwrap();
+        assert_eq!(
+            lm.acquire_wait(2, 8, LockMode::Shared, &mut tc).unwrap(),
+            Grant::Wait
+        );
+        assert_eq!(
+            lm.acquire_wait(3, 8, LockMode::Shared, &mut tc).unwrap(),
+            Grant::Wait
+        );
+        lm.release(1, 8, &mut tc);
+        assert_eq!(lm.drain_woken(), vec![2, 3]);
+        assert_eq!(
+            lm.acquire_wait(2, 8, LockMode::Shared, &mut tc).unwrap(),
+            Grant::WaitGranted
+        );
+        assert_eq!(
+            lm.acquire_wait(3, 8, LockMode::Shared, &mut tc).unwrap(),
+            Grant::WaitGranted
+        );
+    }
+
+    #[test]
+    fn shared_join_does_not_jump_the_queue() {
+        let (mut lm, mut tc) = setup();
+        lm.acquire_wait(1, 9, LockMode::Shared, &mut tc).unwrap();
+        // X waiter queues.
+        assert_eq!(
+            lm.acquire_wait(2, 9, LockMode::Exclusive, &mut tc).unwrap(),
+            Grant::Wait
+        );
+        // A later S request must not starve the X waiter.
+        assert_eq!(
+            lm.acquire_wait(3, 9, LockMode::Shared, &mut tc).unwrap(),
+            Grant::Wait
+        );
+        lm.release(1, 9, &mut tc);
+        assert_eq!(lm.drain_woken(), vec![2]);
+    }
+
+    #[test]
+    fn two_txn_cycle_aborts_the_youngest() {
+        let (mut lm, mut tc) = setup();
+        lm.acquire_wait(1, 100, LockMode::Exclusive, &mut tc)
+            .unwrap();
+        lm.acquire_wait(2, 200, LockMode::Exclusive, &mut tc)
+            .unwrap();
+        // Older txn 1 parks on 200.
+        assert_eq!(
+            lm.acquire_wait(1, 200, LockMode::Exclusive, &mut tc)
+                .unwrap(),
+            Grant::Wait
+        );
+        // Younger txn 2 closes the cycle → it is the victim, immediately.
+        assert!(matches!(
+            lm.acquire_wait(2, 100, LockMode::Exclusive, &mut tc),
+            Err(EngineError::Deadlock { key: 100 })
+        ));
+        assert!(!lm.has_deadlock(), "resolution leaves the graph acyclic");
+        // Victim aborts: releases its held lock; survivor is granted.
+        lm.release(2, 200, &mut tc);
+        assert_eq!(lm.drain_woken(), vec![1]);
+        assert_eq!(
+            lm.acquire_wait(1, 200, LockMode::Exclusive, &mut tc)
+                .unwrap(),
+            Grant::WaitGranted
+        );
+        lm.release(1, 100, &mut tc);
+        lm.release(1, 200, &mut tc);
+        assert_eq!(lm.live_locks(), 0);
+        assert_eq!(lm.waiting_count(), 0);
+    }
+
+    #[test]
+    fn parked_victim_is_woken_and_notified() {
+        let (mut lm, mut tc) = setup();
+        // Younger txn 2 parks first; older txn 1 then closes the cycle, so
+        // the victim is the *parked* waiter, not the requester.
+        lm.acquire_wait(1, 100, LockMode::Exclusive, &mut tc)
+            .unwrap();
+        lm.acquire_wait(2, 200, LockMode::Exclusive, &mut tc)
+            .unwrap();
+        assert_eq!(
+            lm.acquire_wait(2, 100, LockMode::Exclusive, &mut tc)
+                .unwrap(),
+            Grant::Wait
+        );
+        // Requester 1 parks (victim is 2, woken for notification).
+        assert_eq!(
+            lm.acquire_wait(1, 200, LockMode::Exclusive, &mut tc)
+                .unwrap(),
+            Grant::Wait
+        );
+        assert_eq!(lm.drain_woken(), vec![2]);
+        assert!(matches!(
+            lm.acquire_wait(2, 100, LockMode::Exclusive, &mut tc),
+            Err(EngineError::Deadlock { .. })
+        ));
+        // Victim aborts → survivor granted.
+        lm.release(2, 200, &mut tc);
+        assert_eq!(lm.drain_woken(), vec![1]);
+        assert_eq!(
+            lm.acquire_wait(1, 200, LockMode::Exclusive, &mut tc)
+                .unwrap(),
+            Grant::WaitGranted
+        );
+    }
+
+    #[test]
+    fn upgrade_waits_for_other_sharers_then_wins() {
+        let (mut lm, mut tc) = setup();
+        lm.acquire_wait(1, 4, LockMode::Shared, &mut tc).unwrap();
+        lm.acquire_wait(2, 4, LockMode::Shared, &mut tc).unwrap();
+        // Sole-holder condition fails → upgrade parks at the queue front.
+        assert_eq!(
+            lm.acquire_wait(1, 4, LockMode::Exclusive, &mut tc).unwrap(),
+            Grant::Wait
+        );
+        lm.release(2, 4, &mut tc);
+        assert_eq!(lm.drain_woken(), vec![1]);
+        assert_eq!(
+            lm.acquire_wait(1, 4, LockMode::Exclusive, &mut tc).unwrap(),
+            Grant::WaitUpgraded
+        );
+        let snap = lm.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].1, LockMode::Exclusive);
+        assert_eq!(snap[0].2, vec![1]);
+    }
+
+    #[test]
+    fn cancel_wait_unblocks_the_queue() {
+        let (mut lm, mut tc) = setup();
+        lm.acquire_wait(1, 6, LockMode::Shared, &mut tc).unwrap();
+        lm.acquire_wait(2, 6, LockMode::Exclusive, &mut tc).unwrap();
+        assert_eq!(
+            lm.acquire_wait(3, 6, LockMode::Shared, &mut tc).unwrap(),
+            Grant::Wait
+        );
+        // Txn 2 gives up its wait: the S waiter behind it can now join.
+        lm.cancel_wait(2, &mut tc);
+        assert_eq!(lm.drain_woken(), vec![3]);
+        assert_eq!(
+            lm.acquire_wait(3, 6, LockMode::Shared, &mut tc).unwrap(),
+            Grant::WaitGranted
+        );
+        assert_eq!(lm.waiting_count(), 0);
+    }
+
+    #[test]
+    fn cancel_wait_returns_unclaimed_parked_grant() {
+        let (mut lm, mut tc) = setup();
+        lm.acquire_wait(1, 3, LockMode::Exclusive, &mut tc).unwrap();
+        lm.acquire_wait(2, 3, LockMode::Exclusive, &mut tc).unwrap();
+        lm.release(1, 3, &mut tc);
+        assert_eq!(lm.drain_woken(), vec![2]);
+        // Txn 2 aborts before its retry observes the grant.
+        lm.cancel_wait(2, &mut tc);
+        assert_eq!(lm.live_locks(), 0, "unclaimed grant must not leak");
     }
 }

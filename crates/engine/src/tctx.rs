@@ -69,6 +69,18 @@ impl TraceCtx {
         self.tracer.unit_end();
     }
 
+    /// Mark a lock-wait block (the session parks until woken).
+    #[inline]
+    pub fn block(&mut self) {
+        self.tracer.block();
+    }
+
+    /// Mark resumption after a lock grant or victim notification.
+    #[inline]
+    pub fn wake(&mut self) {
+        self.tracer.wake();
+    }
+
     /// Instructions charged so far.
     pub fn instrs(&self) -> u64 {
         self.tracer.instrs_so_far()

@@ -342,6 +342,24 @@ impl FatCore {
                         break;
                     }
                 }
+                Some(Event::Block) => {
+                    // A captured lock wait: the context drains its window
+                    // (the blocked thread stops issuing). The wait *time*
+                    // is not replayed — waits in the capture schedule and
+                    // waits on the simulated machine differ; the fence
+                    // models the handoff synchronization.
+                    th.pending_fence = true;
+                    meta += 1;
+                    if meta > MAX_META_EVENTS {
+                        break;
+                    }
+                }
+                Some(Event::Wake) => {
+                    meta += 1;
+                    if meta > MAX_META_EVENTS {
+                        break;
+                    }
+                }
                 Some(Event::UnitEnd) => {
                     th.units += 1;
                     ctl.units += 1;

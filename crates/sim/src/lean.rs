@@ -266,6 +266,22 @@ fn issue_from(
                     break;
                 }
             }
+            Some(Event::Block) => {
+                // Captured lock wait: drain like a fence (see fat.rs); the
+                // wait duration itself belongs to the capture schedule, not
+                // the replayed machine.
+                th.pending_fence = true;
+                meta += 1;
+                if meta > MAX_META_EVENTS {
+                    break;
+                }
+            }
+            Some(Event::Wake) => {
+                meta += 1;
+                if meta > MAX_META_EVENTS {
+                    break;
+                }
+            }
             Some(Event::UnitEnd) => {
                 th.units += 1;
                 ctl.units += 1;

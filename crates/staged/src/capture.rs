@@ -1,4 +1,10 @@
 //! Trace capture for staged vs conventional execution.
+//!
+//! Staged DSS capture stays sequential even now that OLTP capture is
+//! interleaved (`dbcmp_workloads::interleave`): the scan pipelines here
+//! take no row locks (degree-2 reporting reads), so there is no 2PL
+//! contention to express — the interesting axes are batching and
+//! producer/consumer affinity, captured below. See DESIGN.md §3.
 
 use dbcmp_engine::exec::{AggSpec, CmpOp, Pred, Scalar};
 use dbcmp_engine::{Database, Value};

@@ -10,7 +10,7 @@
 //! op=00 Exec:   [63:62]=00 [61:52]=region(10) [31:0]=instrs
 //! op=01 Load:   [63:62]=01 [61]=dep [60:49]=size(12) [47:0]=addr
 //! op=10 Store:  [63:62]=10          [60:49]=size(12) [47:0]=addr
-//! op=11 Marker: [63:62]=11 [1:0]=kind (0=Fence, 1=UnitEnd)
+//! op=11 Marker: [63:62]=11 [1:0]=kind (0=Fence, 1=UnitEnd, 2=Block, 3=Wake)
 //! ```
 //!
 //! Sizes are limited to [`MAX_ACCESS`] bytes; the [`Tracer`](crate::Tracer)
@@ -42,6 +42,8 @@ const REGION_MASK: u64 = 0x3FF;
 
 const MARKER_FENCE: u64 = 0;
 const MARKER_UNIT_END: u64 = 1;
+const MARKER_BLOCK: u64 = 2;
+const MARKER_WAKE: u64 = 3;
 
 /// A single packed event. See module docs for the bit layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +65,12 @@ pub enum Event {
     /// A unit of work (transaction or query) completed — used for response
     /// time and per-unit throughput accounting.
     UnitEnd,
+    /// The thread blocked on a lock wait (2PL queue) — the context drains
+    /// and stops issuing until the matching [`Event::Wake`].
+    Block,
+    /// The thread resumed after a lock grant (or deadlock-victim
+    /// notification) — pairs with the preceding [`Event::Block`].
+    Wake,
 }
 
 impl PackedEvent {
@@ -103,6 +111,16 @@ impl PackedEvent {
         PackedEvent((OP_MARKER << OP_SHIFT) | MARKER_UNIT_END)
     }
 
+    #[inline]
+    pub fn block() -> Self {
+        PackedEvent((OP_MARKER << OP_SHIFT) | MARKER_BLOCK)
+    }
+
+    #[inline]
+    pub fn wake() -> Self {
+        PackedEvent((OP_MARKER << OP_SHIFT) | MARKER_WAKE)
+    }
+
     /// Decode into the friendly representation.
     #[inline]
     pub fn decode(self) -> Event {
@@ -121,13 +139,12 @@ impl PackedEvent {
                 addr: w & ADDR_MASK,
                 size: ((w >> SIZE_SHIFT) & SIZE_MASK) as u16,
             },
-            _ => {
-                if w & 0b11 == MARKER_UNIT_END {
-                    Event::UnitEnd
-                } else {
-                    Event::Fence
-                }
-            }
+            _ => match w & 0b11 {
+                MARKER_UNIT_END => Event::UnitEnd,
+                MARKER_BLOCK => Event::Block,
+                MARKER_WAKE => Event::Wake,
+                _ => Event::Fence,
+            },
         }
     }
 }
@@ -142,6 +159,8 @@ impl Event {
             Event::Store { addr, size } => PackedEvent::store(addr, size as u32),
             Event::Fence => PackedEvent::fence(),
             Event::UnitEnd => PackedEvent::unit_end(),
+            Event::Block => PackedEvent::block(),
+            Event::Wake => PackedEvent::wake(),
         }
     }
 
@@ -151,7 +170,7 @@ impl Event {
         match self {
             Event::Exec { instrs, .. } => instrs as u64,
             Event::Load { .. } | Event::Store { .. } => 1,
-            Event::Fence | Event::UnitEnd => 0,
+            Event::Fence | Event::UnitEnd | Event::Block | Event::Wake => 0,
         }
     }
 }
@@ -196,6 +215,8 @@ mod tests {
             },
             Event::Fence,
             Event::UnitEnd,
+            Event::Block,
+            Event::Wake,
         ];
         for e in cases {
             assert_eq!(e.pack().decode(), e, "roundtrip failed for {e:?}");

@@ -19,6 +19,10 @@ pub struct TraceSummary {
     pub stores: u64,
     pub fences: u64,
     pub units: u64,
+    /// Lock-wait block markers (nonzero only in contended captures).
+    pub blocks: u64,
+    /// Wake markers (lock grants / victim notifications after a wait).
+    pub wakes: u64,
     /// Unique data cache lines touched (data working set, in lines).
     pub data_lines: u64,
     /// Unique instruction cache lines covered by the executed regions
@@ -54,6 +58,8 @@ impl TraceSummary {
                     }
                     Event::Fence => s.fences += 1,
                     Event::UnitEnd => s.units += 1,
+                    Event::Block => s.blocks += 1,
+                    Event::Wake => s.wakes += 1,
                 }
             }
         }

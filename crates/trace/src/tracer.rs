@@ -31,6 +31,8 @@ pub struct Tracer {
     loads: u64,
     stores: u64,
     units: u64,
+    blocks: u64,
+    wakes: u64,
 }
 
 const NO_REGION: RegionId = u16::MAX;
@@ -47,6 +49,8 @@ impl Tracer {
             loads: 0,
             stores: 0,
             units: 0,
+            blocks: 0,
+            wakes: 0,
         }
     }
 
@@ -62,6 +66,8 @@ impl Tracer {
             loads: 0,
             stores: 0,
             units: 0,
+            blocks: 0,
+            wakes: 0,
         }
     }
 
@@ -153,6 +159,26 @@ impl Tracer {
         }
     }
 
+    /// Mark the thread blocking on a lock wait (2PL queue).
+    #[inline]
+    pub fn block(&mut self) {
+        self.blocks += 1;
+        if self.mode == Mode::Record {
+            self.flush_exec();
+            self.buf.push(PackedEvent::block());
+        }
+    }
+
+    /// Mark the thread resuming after a lock grant or victim notification.
+    #[inline]
+    pub fn wake(&mut self) {
+        self.wakes += 1;
+        if self.mode == Mode::Record {
+            self.flush_exec();
+            self.buf.push(PackedEvent::wake());
+        }
+    }
+
     #[inline]
     fn flush_exec(&mut self) {
         if self.pending_region != NO_REGION {
@@ -176,6 +202,8 @@ impl Tracer {
             loads: self.loads,
             stores: self.stores,
             units: self.units,
+            blocks: self.blocks,
+            wakes: self.wakes,
         }
     }
 
@@ -193,6 +221,8 @@ pub struct ThreadTrace {
     loads: u64,
     stores: u64,
     units: u64,
+    blocks: u64,
+    wakes: u64,
 }
 
 impl ThreadTrace {
@@ -228,6 +258,16 @@ impl ThreadTrace {
     /// Completed work units (transactions/queries).
     pub fn units(&self) -> u64 {
         self.units
+    }
+
+    /// Lock-wait block events recorded (contended captures only).
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Wake events recorded (lock grants after a wait).
+    pub fn wakes(&self) -> u64 {
+        self.wakes
     }
 }
 

@@ -17,6 +17,8 @@ fn arb_event() -> impl Strategy<Value = Event> {
         (0u64..(1 << 48), 1u16..4096).prop_map(|(addr, size)| Event::Store { addr, size }),
         Just(Event::Fence),
         Just(Event::UnitEnd),
+        Just(Event::Block),
+        Just(Event::Wake),
     ]
 }
 

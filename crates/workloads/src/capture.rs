@@ -1,12 +1,15 @@
 //! Trace capture: run client sessions against the engine and bundle the
 //! per-client traces for the simulator.
 //!
-//! Clients execute sequentially (the engine is single-threaded per
-//! statement); concurrency is reintroduced by the *simulator*, which
-//! interleaves the per-client traces on hardware contexts. Shared
-//! structures (lock table, WAL head, B+Tree roots, hot rows) carry the
-//! same simulated addresses in every client's trace, so cross-client
-//! sharing and its coherence consequences are preserved.
+//! This module is the *sequential* capture: clients execute one after
+//! another, so no two transactions are ever concurrently live. Shared
+//! structures (lock table, WAL head, B+Tree roots, hot rows) still carry
+//! the same simulated addresses in every client's trace, preserving
+//! cross-client sharing for the simulator — but lock *contention* never
+//! happens here. For captures with real 2PL waits, deadlocks, and a
+//! contention knob, see [`crate::interleave`], which schedules many
+//! clients against one database and degenerates to exactly this capture
+//! at `clients == 1`.
 
 use dbcmp_engine::Database;
 use dbcmp_trace::{ThreadTrace, TraceBundle};

@@ -19,10 +19,14 @@
 #![allow(clippy::inconsistent_digit_grouping)]
 
 pub mod capture;
+pub mod interleave;
 pub mod rng;
 pub mod tpcc;
 pub mod tpch;
 
 pub use capture::{capture_dss, capture_oltp, CaptureOptions};
+pub use interleave::{
+    capture_oltp_interleaved, ContentionStats, InterleaveOptions, InterleavedCapture,
+};
 pub use tpcc::{build_tpcc, TpccDb, TpccScale};
 pub use tpch::{build_tpch, QueryKind, TpchDb, TpchScale};

@@ -5,8 +5,17 @@
 //! NewOrder includes the spec's 1% deliberate rollback; Payment selects
 //! customers by last name 40% of the time (secondary index) and pays
 //! through a remote warehouse 15% of the time (cross-warehouse sharing).
+//!
+//! The drivers are generic over [`EngineOps`] so the same transaction code
+//! runs both sequentially against a [`Database`](dbcmp_engine::Database)
+//! and under the interleaved multi-client scheduler
+//! (`crate::interleave`), where lock waits park the client mid-statement.
+//! All commit/abort decisions live in [`run_txn_cfg`]: a body returns its
+//! intended outcome (or an error) and the driver finishes the transaction,
+//! so every error path — deadlock victims included — rolls back cleanly.
 
-use dbcmp_engine::{Database, EngineError, Result, TraceCtx, Value};
+use dbcmp_engine::txn::Txn;
+use dbcmp_engine::{EngineError, EngineOps, Result, TraceCtx, Value};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -45,66 +54,133 @@ pub fn draw_kind(rng: &mut StdRng) -> TxnKind {
     }
 }
 
+/// Per-transaction targeting: home warehouse plus the contention knobs
+/// the interleaved capture turns (pinning the district and shrinking the
+/// NewOrder item pool concentrate conflicting X locks on a few rows).
+#[derive(Debug, Clone, Copy)]
+pub struct TxnCfg {
+    /// The terminal's home warehouse.
+    pub w_home: u64,
+    /// Pin district draws to this district (hot-row skew) instead of
+    /// uniform over the warehouse's districts.
+    pub district: Option<u64>,
+    /// Draw NewOrder items uniformly from `1..=n` (hot item set) instead
+    /// of NURand over the whole catalog.
+    pub item_pool: Option<u64>,
+}
+
+impl TxnCfg {
+    /// Plain TPC-C targeting: uniform districts, NURand items.
+    pub fn home(w_home: u64) -> Self {
+        TxnCfg {
+            w_home,
+            district: None,
+            item_pool: None,
+        }
+    }
+}
+
+fn draw_district(cfg: TxnCfg, rng: &mut StdRng, h: &TpccDb) -> u64 {
+    cfg.district
+        .unwrap_or_else(|| uniform(rng, 1, h.scale.districts_per_wh))
+}
+
+fn draw_item(cfg: TxnCfg, rng: &mut StdRng, h: &TpccDb) -> u64 {
+    match cfg.item_pool {
+        Some(n) => uniform(rng, 1, n.min(h.scale.items)),
+        None => random_item(rng, h),
+    }
+}
+
 /// Run one transaction of `kind` for a terminal homed at `w_home`.
-pub fn run_txn(
-    db: &mut Database,
+pub fn run_txn<D: EngineOps>(
+    db: &mut D,
     h: &TpccDb,
     kind: TxnKind,
     w_home: u64,
     rng: &mut StdRng,
     tc: &mut TraceCtx,
 ) -> Result<TxnOutcome> {
-    db.statement_overhead(tc);
-    let out = match kind {
-        TxnKind::NewOrder => new_order(db, h, w_home, rng, tc),
-        TxnKind::Payment => payment(db, h, w_home, rng, tc),
-        TxnKind::OrderStatus => order_status(db, h, w_home, rng, tc),
-        TxnKind::Delivery => delivery(db, h, w_home, rng, tc),
-        TxnKind::StockLevel => stock_level(db, h, w_home, rng, tc),
-    };
-    if out.is_ok() {
-        tc.unit_end();
-    }
-    out
+    run_txn_cfg(db, h, kind, TxnCfg::home(w_home), rng, tc)
 }
 
-fn new_order(
-    db: &mut Database,
+/// Run one transaction with explicit targeting ([`TxnCfg`]). Owns the
+/// commit/abort decision: bodies return the intended outcome and this
+/// driver finishes the transaction — on *any* error (lock conflict,
+/// deadlock victim) the transaction is rolled back before the error
+/// propagates, so locks and undo never leak.
+pub fn run_txn_cfg<D: EngineOps>(
+    db: &mut D,
     h: &TpccDb,
-    w: u64,
+    kind: TxnKind,
+    cfg: TxnCfg,
     rng: &mut StdRng,
     tc: &mut TraceCtx,
 ) -> Result<TxnOutcome> {
-    let d = uniform(rng, 1, h.scale.districts_per_wh);
+    db.statement_overhead(tc);
+    let mut txn = db.begin(tc);
+    let body = match kind {
+        TxnKind::NewOrder => new_order(db, h, &mut txn, cfg, rng, tc),
+        TxnKind::Payment => payment(db, h, &mut txn, cfg, rng, tc),
+        TxnKind::OrderStatus => order_status(db, h, &mut txn, cfg, rng, tc),
+        TxnKind::Delivery => delivery(db, h, &mut txn, cfg, rng, tc),
+        TxnKind::StockLevel => stock_level(db, h, &mut txn, cfg, rng, tc),
+    };
+    match body {
+        Ok(TxnOutcome::Committed) => {
+            db.commit(txn, tc)?;
+            tc.unit_end();
+            Ok(TxnOutcome::Committed)
+        }
+        Ok(TxnOutcome::Aborted) => {
+            db.abort(txn, tc);
+            tc.unit_end();
+            Ok(TxnOutcome::Aborted)
+        }
+        Err(e) => {
+            db.abort(txn, tc);
+            Err(e)
+        }
+    }
+}
+
+fn new_order<D: EngineOps>(
+    db: &mut D,
+    h: &TpccDb,
+    txn: &mut Txn,
+    cfg: TxnCfg,
+    rng: &mut StdRng,
+    tc: &mut TraceCtx,
+) -> Result<TxnOutcome> {
+    let w = cfg.w_home;
+    let d = draw_district(cfg, rng, h);
     let c = random_customer(rng, h);
     let ol_cnt = uniform(rng, 5, 15);
     // Spec 2.4.1.4: 1% of NewOrders use an invalid item and roll back.
     let rollback = rng.gen_range(0..100u32) == 0;
 
-    let mut txn = db.begin(tc);
-
     // Warehouse tax (S).
     let w_rid = db
         .index_get(h.idx_warehouse, wh_key(w), tc)
         .expect("warehouse");
-    let w_row = db.read(&mut txn, h.warehouse, w_rid, false, tc)?;
+    let w_row = db.read(txn, h.warehouse, w_rid, false, tc)?;
     let w_tax = w_row[2].as_i64().unwrap();
 
     // District: read + increment next_o_id (X).
     let d_rid = db
         .index_get(h.idx_district, dist_key(w, d), tc)
         .expect("district");
-    let mut d_row = db.read(&mut txn, h.district, d_rid, true, tc)?;
+    let mut d_row = db.read(txn, h.district, d_rid, true, tc)?;
     let d_tax = d_row[2].as_i64().unwrap();
     let o_id = d_row[4].as_i64().unwrap() as u64;
     d_row[4] = Value::Int(o_id as i64 + 1);
-    db.update(&mut txn, h.district, d_rid, &d_row, tc)?;
+    db.update(txn, h.district, d_rid, &d_row, tc)?;
 
     // Customer (S).
     let c_rid = db
         .index_get(h.idx_customer, cust_key(w, d, c), tc)
         .expect("customer");
-    let _c_row = db.read(&mut txn, h.customer, c_rid, false, tc)?;
+    let _c_row = db.read(txn, h.customer, c_rid, false, tc)?;
 
     // Lines.
     let mut total = 0i64;
@@ -112,7 +188,7 @@ fn new_order(
         let i_id = if rollback && ol == ol_cnt {
             u64::MAX
         } else {
-            random_item(rng, h)
+            draw_item(cfg, rng, h)
         };
         // 1% of lines are supplied by a remote warehouse (spec 2.4.1.5).
         let supply_w = if rng.gen_range(0..100u32) == 0 && h.scale.warehouses > 1 {
@@ -125,18 +201,18 @@ fn new_order(
             w
         };
         let Some(i_rid) = db.index_get(h.idx_item, item_key(i_id), tc) else {
-            // Invalid item: abort (the spec's deliberate rollback).
-            db.abort(txn, tc);
+            // Invalid item: the spec's deliberate rollback (the driver
+            // aborts the transaction).
             return Ok(TxnOutcome::Aborted);
         };
-        let i_row = db.read(&mut txn, h.item, i_rid, false, tc)?;
+        let i_row = db.read(txn, h.item, i_rid, false, tc)?;
         let price = i_row[2].as_i64().unwrap();
 
         // Stock update (X).
         let s_rid = db
             .index_get(h.idx_stock, stock_key(supply_w, i_id), tc)
             .expect("stock");
-        let mut s_row = db.read(&mut txn, h.stock, s_rid, true, tc)?;
+        let mut s_row = db.read(txn, h.stock, s_rid, true, tc)?;
         let qty = uniform(rng, 1, 10) as i64;
         let mut s_q = s_row[2].as_i64().unwrap();
         s_q = if s_q - qty >= 10 {
@@ -150,12 +226,12 @@ fn new_order(
         if supply_w != w {
             s_row[5] = Value::Int(s_row[5].as_i64().unwrap() + 1);
         }
-        db.update(&mut txn, h.stock, s_rid, &s_row, tc)?;
+        db.update(txn, h.stock, s_rid, &s_row, tc)?;
 
         let amount = price * qty;
         total += amount;
         db.insert(
-            &mut txn,
+            txn,
             h.order_line,
             &[
                 Value::Int(w as i64),
@@ -173,7 +249,7 @@ fn new_order(
     let _ = (w_tax, d_tax, total);
 
     db.insert(
-        &mut txn,
+        txn,
         h.orders,
         &[
             Value::Int(w as i64),
@@ -187,7 +263,7 @@ fn new_order(
         tc,
     )?;
     db.insert(
-        &mut txn,
+        txn,
         h.new_order,
         &[
             Value::Int(w as i64),
@@ -197,18 +273,19 @@ fn new_order(
         tc,
     )?;
 
-    db.commit(txn, tc)?;
     Ok(TxnOutcome::Committed)
 }
 
-fn payment(
-    db: &mut Database,
+fn payment<D: EngineOps>(
+    db: &mut D,
     h: &TpccDb,
-    w: u64,
+    txn: &mut Txn,
+    cfg: TxnCfg,
     rng: &mut StdRng,
     tc: &mut TraceCtx,
 ) -> Result<TxnOutcome> {
-    let d = uniform(rng, 1, h.scale.districts_per_wh);
+    let w = cfg.w_home;
+    let d = draw_district(cfg, rng, h);
     // 15% remote customer (spec 2.5.1.2) — cross-warehouse write sharing.
     let (c_w, c_d) = if rng.gen_range(0..100u32) < 15 && h.scale.warehouses > 1 {
         let mut other = uniform(rng, 1, h.scale.warehouses);
@@ -221,23 +298,21 @@ fn payment(
     };
     let amount = uniform(rng, 1_00, 5_000_00) as i64;
 
-    let mut txn = db.begin(tc);
-
     // Warehouse YTD (X) — a hot row every payment writes.
     let w_rid = db
         .index_get(h.idx_warehouse, wh_key(w), tc)
         .expect("warehouse");
-    let mut w_row = db.read(&mut txn, h.warehouse, w_rid, true, tc)?;
+    let mut w_row = db.read(txn, h.warehouse, w_rid, true, tc)?;
     w_row[3] = Value::Decimal(w_row[3].as_i64().unwrap() + amount);
-    db.update(&mut txn, h.warehouse, w_rid, &w_row, tc)?;
+    db.update(txn, h.warehouse, w_rid, &w_row, tc)?;
 
     // District YTD (X).
     let d_rid = db
         .index_get(h.idx_district, dist_key(w, d), tc)
         .expect("district");
-    let mut d_row = db.read(&mut txn, h.district, d_rid, true, tc)?;
+    let mut d_row = db.read(txn, h.district, d_rid, true, tc)?;
     d_row[3] = Value::Decimal(d_row[3].as_i64().unwrap() + amount);
-    db.update(&mut txn, h.district, d_rid, &d_row, tc)?;
+    db.update(txn, h.district, d_rid, &d_row, tc)?;
 
     // Customer: 60% by id, 40% by last name (secondary index range).
     let c_rid = if rng.gen_range(0..100u32) < 60 {
@@ -259,14 +334,14 @@ fn payment(
             }
         }
     };
-    let mut c_row = db.read(&mut txn, h.customer, c_rid, true, tc)?;
+    let mut c_row = db.read(txn, h.customer, c_rid, true, tc)?;
     c_row[5] = Value::Decimal(c_row[5].as_i64().unwrap() - amount);
     c_row[6] = Value::Decimal(c_row[6].as_i64().unwrap() + amount);
     c_row[7] = Value::Int(c_row[7].as_i64().unwrap() + 1);
-    db.update(&mut txn, h.customer, c_rid, &c_row, tc)?;
+    db.update(txn, h.customer, c_rid, &c_row, tc)?;
 
     db.insert(
-        &mut txn,
+        txn,
         h.history,
         &[
             c_row[2].clone(),
@@ -277,53 +352,53 @@ fn payment(
         tc,
     )?;
 
-    db.commit(txn, tc)?;
     Ok(TxnOutcome::Committed)
 }
 
-fn order_status(
-    db: &mut Database,
+fn order_status<D: EngineOps>(
+    db: &mut D,
     h: &TpccDb,
-    w: u64,
+    txn: &mut Txn,
+    cfg: TxnCfg,
     rng: &mut StdRng,
     tc: &mut TraceCtx,
 ) -> Result<TxnOutcome> {
-    let d = uniform(rng, 1, h.scale.districts_per_wh);
+    let w = cfg.w_home;
+    let d = draw_district(cfg, rng, h);
     let c = random_customer(rng, h);
 
-    let mut txn = db.begin(tc);
     let c_rid = db
         .index_get(h.idx_customer, cust_key(w, d, c), tc)
         .expect("customer");
-    let _c_row = db.read(&mut txn, h.customer, c_rid, false, tc)?;
+    let _c_row = db.read(txn, h.customer, c_rid, false, tc)?;
 
     // Most recent order of this district (descending scan from the top).
     let lo = order_key(w, d, 0);
     let hi = order_key(w, d, u32::MAX as u64);
     let orders = db.index_range(h.idx_orders, lo, hi, tc);
     if let Some(&(okey, o_rid)) = orders.last() {
-        let o_row = db.read(&mut txn, h.orders, o_rid, false, tc)?;
+        let o_row = db.read(txn, h.orders, o_rid, false, tc)?;
         let o_id = okey & 0xFFFF_FFFF;
         let ol_cnt = o_row[6].as_i64().unwrap() as u64;
         for ol in 1..=ol_cnt {
             if let Some(rid) = db.index_get(h.idx_order_line, order_line_key(w, d, o_id, ol), tc) {
-                let _ = db.read(&mut txn, h.order_line, rid, false, tc)?;
+                let _ = db.read(txn, h.order_line, rid, false, tc)?;
             }
         }
     }
-    db.commit(txn, tc)?;
     Ok(TxnOutcome::Committed)
 }
 
-fn delivery(
-    db: &mut Database,
+fn delivery<D: EngineOps>(
+    db: &mut D,
     h: &TpccDb,
-    w: u64,
+    txn: &mut Txn,
+    cfg: TxnCfg,
     rng: &mut StdRng,
     tc: &mut TraceCtx,
 ) -> Result<TxnOutcome> {
+    let w = cfg.w_home;
     let carrier = uniform(rng, 1, 10) as i64;
-    let mut txn = db.begin(tc);
 
     for d in 1..=h.scale.districts_per_wh {
         // Oldest undelivered order.
@@ -335,21 +410,21 @@ fn delivery(
         };
         let o_id = okey & 0xFFFF_FFFF;
 
-        db.delete(&mut txn, h.new_order, no_rid, tc)?;
+        db.delete(txn, h.new_order, no_rid, tc)?;
 
         let o_rid = db
             .index_get(h.idx_orders, order_key(w, d, o_id), tc)
             .expect("order");
-        let mut o_row = db.read(&mut txn, h.orders, o_rid, true, tc)?;
+        let mut o_row = db.read(txn, h.orders, o_rid, true, tc)?;
         let c_id = o_row[3].as_i64().unwrap() as u64;
         let ol_cnt = o_row[6].as_i64().unwrap() as u64;
         o_row[5] = Value::Int(carrier);
-        db.update(&mut txn, h.orders, o_rid, &o_row, tc)?;
+        db.update(txn, h.orders, o_rid, &o_row, tc)?;
 
         let mut sum = 0i64;
         for ol in 1..=ol_cnt {
             if let Some(rid) = db.index_get(h.idx_order_line, order_line_key(w, d, o_id, ol), tc) {
-                let row = db.read(&mut txn, h.order_line, rid, false, tc)?;
+                let row = db.read(txn, h.order_line, rid, false, tc)?;
                 sum += row[7].as_i64().unwrap();
             }
         }
@@ -357,40 +432,43 @@ fn delivery(
         let c_rid = db
             .index_get(h.idx_customer, cust_key(w, d, c_id), tc)
             .expect("customer");
-        let mut c_row = db.read(&mut txn, h.customer, c_rid, true, tc)?;
+        let mut c_row = db.read(txn, h.customer, c_rid, true, tc)?;
         c_row[5] = Value::Decimal(c_row[5].as_i64().unwrap() + sum);
         c_row[8] = Value::Int(c_row[8].as_i64().unwrap() + 1);
-        db.update(&mut txn, h.customer, c_rid, &c_row, tc)?;
+        db.update(txn, h.customer, c_rid, &c_row, tc)?;
     }
 
-    db.commit(txn, tc)?;
     Ok(TxnOutcome::Committed)
 }
 
-fn stock_level(
-    db: &mut Database,
+fn stock_level<D: EngineOps>(
+    db: &mut D,
     h: &TpccDb,
-    w: u64,
+    txn: &mut Txn,
+    cfg: TxnCfg,
     rng: &mut StdRng,
     tc: &mut TraceCtx,
 ) -> Result<TxnOutcome> {
-    let d = uniform(rng, 1, h.scale.districts_per_wh);
+    let w = cfg.w_home;
+    let d = draw_district(cfg, rng, h);
     let threshold = uniform(rng, 10, 20) as i64;
 
-    let mut txn = db.begin(tc);
     let d_rid = db
         .index_get(h.idx_district, dist_key(w, d), tc)
         .expect("district");
-    let d_row = db.read(&mut txn, h.district, d_rid, false, tc)?;
+    let d_row = db.read(txn, h.district, d_rid, false, tc)?;
     let next_o = d_row[4].as_i64().unwrap() as u64;
 
     // Last 20 orders' lines → distinct items → stock below threshold.
+    // BTreeSet: the stock probes below must happen in a deterministic
+    // order or captured traces differ run-to-run (HashSet iteration order
+    // is seeded per instance).
     let first = next_o.saturating_sub(20).max(1);
-    let mut items = std::collections::HashSet::new();
+    let mut items = std::collections::BTreeSet::new();
     for o in first..next_o {
         for ol in 1..=15u64 {
             if let Some(rid) = db.index_get(h.idx_order_line, order_line_key(w, d, o, ol), tc) {
-                let row = db.read(&mut txn, h.order_line, rid, false, tc)?;
+                let row = db.read(txn, h.order_line, rid, false, tc)?;
                 items.insert(row[4].as_i64().unwrap() as u64);
             }
         }
@@ -398,20 +476,19 @@ fn stock_level(
     let mut low = 0usize;
     for i in items {
         if let Some(rid) = db.index_get(h.idx_stock, stock_key(w, i), tc) {
-            let row = db.read(&mut txn, h.stock, rid, false, tc)?;
+            let row = db.read(txn, h.stock, rid, false, tc)?;
             if row[2].as_i64().unwrap() < threshold {
                 low += 1;
             }
         }
     }
     let _ = low;
-    db.commit(txn, tc)?;
     Ok(TxnOutcome::Committed)
 }
 
 /// Run `n` transactions of the spec mix; returns per-kind commit counts.
-pub fn run_mix(
-    db: &mut Database,
+pub fn run_mix<D: EngineOps>(
+    db: &mut D,
     h: &TpccDb,
     w_home: u64,
     n: usize,
@@ -424,7 +501,7 @@ pub fn run_mix(
         match run_txn(db, h, kind, w_home, rng, tc) {
             Ok(TxnOutcome::Committed) => *counts.entry(kind).or_insert(0) += 1,
             Ok(TxnOutcome::Aborted) => {}
-            Err(EngineError::LockConflict { .. }) => {}
+            Err(EngineError::LockConflict { .. }) | Err(EngineError::Deadlock { .. }) => {}
             Err(e) => panic!("unexpected engine error in {kind:?}: {e}"),
         }
     }

@@ -1,6 +1,6 @@
 //! Cross-crate consistency checks: the Fig. 3 validation band, trace
-//! statistics agreement, and the L2-hit-stall growth property of the
-//! cache sweep.
+//! statistics agreement, the L2-hit-stall growth property of the cache
+//! sweep, and the interleaved-capture determinism anchors (ISSUE 2).
 
 use dbcmp::core::experiment::{run_throughput, RunSpec};
 use dbcmp::core::machines::{fc_cmp, L2Spec};
@@ -8,6 +8,9 @@ use dbcmp::core::taxonomy::WorkloadKind;
 use dbcmp::core::workload::{CapturedWorkload, FigScale};
 use dbcmp::sim::analytic::Validation;
 use dbcmp::trace::TraceSummary;
+use dbcmp::workloads::{
+    build_tpcc, capture_oltp, capture_oltp_interleaved, CaptureOptions, InterleaveOptions,
+};
 
 fn spec(scale: &FigScale) -> RunSpec {
     RunSpec {
@@ -76,6 +79,75 @@ fn l2_hit_stall_component_grows_with_cache_size() {
         last = last.max(comp);
     }
     assert!(last > 0.0, "L2-hit stalls must exist at 26 MB");
+}
+
+/// ISSUE 2 determinism anchor: the same `FigScale` seed produces a
+/// byte-identical interleaved capture — summary *and* raw event streams —
+/// across two runs, deadlock schedule included.
+#[test]
+fn interleaved_capture_is_deterministic() {
+    let scale = FigScale::quick();
+    let run = || {
+        let (db, h) = build_tpcc(scale.tpcc, scale.seed);
+        let opt = InterleaveOptions {
+            clients: scale.contention_clients,
+            units_per_client: scale.contention_units,
+            seed: scale.seed,
+            slice_ops: scale.slice_ops,
+            hot_pct: 90,
+            hot_items: scale.hot_items,
+        };
+        capture_oltp_interleaved(db, &h, opt)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.stats, b.stats, "lock-manager decisions must reproduce");
+    let sa = TraceSummary::compute(&a.bundle.regions, &a.bundle.threads);
+    let sb = TraceSummary::compute(&b.bundle.regions, &b.bundle.threads);
+    assert_eq!(sa, sb, "summaries must be identical");
+    for (i, (ta, tb)) in a.bundle.threads.iter().zip(&b.bundle.threads).enumerate() {
+        assert_eq!(ta.events(), tb.events(), "client {i} trace diverged");
+    }
+    // The acceptance shape: contention is real at high skew.
+    assert!(sa.blocks > 0, "high skew must record lock waits");
+    assert!(
+        a.stats.deadlock_aborts > 0,
+        "high skew must resolve at least one deadlock: {:?}",
+        a.stats
+    );
+}
+
+/// ISSUE 2 regression anchor: with `clients == 1` the interleaved
+/// scheduler degenerates to the old sequential capture — event-identical
+/// traces and an identical summary.
+#[test]
+fn single_client_interleaved_matches_sequential() {
+    let scale = FigScale::quick();
+    let units = 8;
+
+    let (mut db_seq, h_seq) = build_tpcc(scale.tpcc, scale.seed);
+    let seq = capture_oltp(
+        &mut db_seq,
+        &h_seq,
+        CaptureOptions::new(1, units, scale.seed),
+    );
+
+    let (db_il, h_il) = build_tpcc(scale.tpcc, scale.seed);
+    let il = capture_oltp_interleaved(db_il, &h_il, InterleaveOptions::new(1, units, scale.seed));
+
+    assert_eq!(seq.threads.len(), 1);
+    assert_eq!(il.bundle.threads.len(), 1);
+    assert_eq!(
+        seq.threads[0].events(),
+        il.bundle.threads[0].events(),
+        "clients=1 must reproduce the sequential capture exactly"
+    );
+    assert_eq!(
+        TraceSummary::compute(&seq.regions, &seq.threads),
+        TraceSummary::compute(&il.bundle.regions, &il.bundle.threads),
+    );
+    assert_eq!(il.stats.lock_waits, 0);
+    assert_eq!(il.stats.deadlock_aborts, 0);
 }
 
 /// Simulated UIPC never exceeds the machine's theoretical peak.
