@@ -10,7 +10,7 @@
 //! 4. **L2 banking** (the Fig. 8 queueing mechanism) — 1 vs 8 banks at 8
 //!    cores, OLTP.
 
-use dbcmp_bench::{header, scale_from_args};
+use dbcmp_bench::{footer, header, scale_from_args};
 use dbcmp_core::experiment::{run_throughput, RunSpec};
 use dbcmp_core::machines::{fc_cmp, L2Spec};
 use dbcmp_core::report::{f2, f3, pct, table};
@@ -44,7 +44,7 @@ fn strip_dependences(bundle: &TraceBundle) -> TraceBundle {
 }
 
 fn main() {
-    header(
+    let t0 = header(
         "Ablations: simulator design choices",
         "DESIGN.md mechanisms",
     );
@@ -146,4 +146,5 @@ fn main() {
         table(&["L2 banks", "UIPC", "Avg queue delay (cyc)"], &rows)
     );
     println!("   -> fewer banks, more correlated-miss queueing");
+    footer(t0);
 }

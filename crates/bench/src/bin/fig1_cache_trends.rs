@@ -1,12 +1,12 @@
 //! Fig. 1: historic on-chip cache sizes (a) and hit latencies (b), plus
 //! the CACTI-lite model curve for the paper-era technology point.
 
-use dbcmp_bench::header;
+use dbcmp_bench::{footer, header};
 use dbcmp_cacti::{historic_latencies, historic_sizes, CactiModel};
 use dbcmp_core::report::table;
 
 fn main() {
-    header(
+    let t0 = header(
         "Fig. 1: historic on-chip cache trends",
         "Figure 1 (a) and (b)",
     );
@@ -59,4 +59,5 @@ fn main() {
         "{}",
         table(&["L2 size", "Access time", "Latency", "Area"], &rows)
     );
+    footer(t0);
 }

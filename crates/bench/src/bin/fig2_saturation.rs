@@ -1,12 +1,12 @@
 //! Fig. 2: throughput vs number of concurrent clients — the
 //! unsaturated→saturated transition (DSS queries on the FC CMP).
 
-use dbcmp_bench::{header, scale_from_args};
+use dbcmp_bench::{footer, header, scale_from_args};
 use dbcmp_core::figures::fig2_saturation;
 use dbcmp_core::report::{f2, table};
 
 fn main() {
-    header("Fig. 2: unsaturated vs saturated workloads", "Figure 2");
+    let t0 = header("Fig. 2: unsaturated vs saturated workloads", "Figure 2");
     let scale = scale_from_args();
     let clients = [1usize, 2, 4, 8, 16];
     let pts = fig2_saturation(&scale, &clients);
@@ -20,4 +20,5 @@ fn main() {
         "Shape check: throughput must rise with clients until the hardware \
          contexts fill (4 FC cores), then flatten."
     );
+    footer(t0);
 }

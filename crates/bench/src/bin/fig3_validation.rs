@@ -2,12 +2,12 @@
 //! real OpenPower 720; we compare against the independent closed-form CPI
 //! model (substitution documented in DESIGN.md).
 
-use dbcmp_bench::{header, scale_from_args};
+use dbcmp_bench::{footer, header, scale_from_args};
 use dbcmp_core::figures::fig3_validation;
 use dbcmp_core::report::{f3, table};
 
 fn main() {
-    header(
+    let t0 = header(
         "Fig. 3: simulator validation (saturated DSS, FC)",
         "Figure 3",
     );
@@ -56,4 +56,5 @@ fn main() {
         res.cycles,
         res.uipc()
     );
+    footer(t0);
 }

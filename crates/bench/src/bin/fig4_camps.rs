@@ -1,12 +1,12 @@
 //! Fig. 4: (a) response time and (b) throughput of the LC CMP normalized
 //! to the FC CMP, for OLTP and DSS, unsaturated and saturated.
 
-use dbcmp_bench::{header, scale_from_args};
+use dbcmp_bench::{footer, header, scale_from_args};
 use dbcmp_core::figures::{fig45_quadrants, fig4_ratios};
 use dbcmp_core::report::{f2, table};
 
 fn main() {
-    header(
+    let t0 = header(
         "Fig. 4: LC vs FC response time and throughput",
         "Figure 4 (a) and (b)",
     );
@@ -32,4 +32,5 @@ fn main() {
     println!("Paper shape: response-time ratio > 1 (FC wins single-thread; up to");
     println!("~1.7x on DSS, smaller on OLTP); throughput ratio > 1 (LC wins");
     println!("saturated, ~1.7x).");
+    footer(t0);
 }

@@ -1,12 +1,12 @@
 //! Fig. 5: execution-time breakdown for all eight camp × workload ×
 //! saturation combinations on the baseline chip (26 MB shared L2).
 
-use dbcmp_bench::{header, scale_from_args};
+use dbcmp_bench::{footer, header, scale_from_args};
 use dbcmp_core::figures::fig45_quadrants;
 use dbcmp_core::report::{four_components, pct, table};
 
 fn main() {
-    header("Fig. 5: execution time breakdown", "Figure 5");
+    let t0 = header("Fig. 5: execution time breakdown", "Figure 5");
     let scale = scale_from_args();
     let quadrants = fig45_quadrants(&scale);
     let mut rows = Vec::new();
@@ -40,4 +40,5 @@ fn main() {
     println!();
     println!("Paper shape: data stalls dominate in 3 of 4 FC cases (46-64%);");
     println!("saturated LC spends 76-80% on computation with <=13% data stalls.");
+    footer(t0);
 }

@@ -1,14 +1,14 @@
 //! Fig. 6: effect of L2 cache size and latency — (a) throughput under
 //! fixed 4-cycle vs realistic CACTI latencies, (b)/(c) CPI contributions.
 
-use dbcmp_bench::{header, scale_from_args};
+use dbcmp_bench::{footer, header, scale_from_args};
 use dbcmp_core::figures::fig6_cache_sweep;
 use dbcmp_core::report::{f2, f3, table};
 use dbcmp_core::taxonomy::WorkloadKind;
 use dbcmp_sim::CycleClass;
 
 fn main() {
-    header(
+    let t0 = header(
         "Fig. 6: impact of L2 cache size and latency",
         "Figure 6 (a), (b), (c)",
     );
@@ -67,4 +67,5 @@ fn main() {
     println!("Paper shape: the fixed-latency curve keeps rising; the realistic");
     println!("curve flattens and then falls (4->26 MB loses throughput); the");
     println!("L2-hit CPI component grows to dominate, especially for DSS.");
+    footer(t0);
 }

@@ -1,13 +1,13 @@
 //! Fig. 7: effect of chip multiprocessing — SMP with private L2s vs CMP
 //! with a shared L2, normalized CPI breakdowns.
 
-use dbcmp_bench::{header, scale_from_args};
+use dbcmp_bench::{footer, header, scale_from_args};
 use dbcmp_core::figures::fig7_smp_vs_cmp;
 use dbcmp_core::report::{f3, pct, table};
 use dbcmp_sim::CycleClass;
 
 fn main() {
-    header("Fig. 7: SMP vs CMP", "Figure 7");
+    let t0 = header("Fig. 7: SMP vs CMP", "Figure 7");
     let scale = scale_from_args();
     let results = fig7_smp_vs_cmp(&scale);
     let mut rows = Vec::new();
@@ -53,4 +53,5 @@ fn main() {
     println!();
     println!("Paper shape: CMP CPI < SMP CPI (coherence misses become on-chip");
     println!("hits), with the L2-hit component growing ~7x.");
+    footer(t0);
 }

@@ -1,15 +1,18 @@
 //! Fig. 8: effect of on-chip core count on throughput (FC CMP, 16 MB
-//! shared L2), against the linear-speedup reference.
+//! shared L2), against the linear-speedup reference. Also the acceptance
+//! benchmark for the parallel sweep runner: the same sweep runs fanned
+//! out and sequentially, asserts byte-identical results, and reports
+//! both wall-clock times.
 
-use dbcmp_bench::{header, scale_from_args};
-use dbcmp_core::figures::fig8_core_scaling;
+use dbcmp_bench::{footer, header, scale_from_args};
+use dbcmp_core::figures::fig8_core_scaling_timed;
 use dbcmp_core::report::{f2, table};
 
 fn main() {
-    header("Fig. 8: core-count scaling", "Figure 8");
+    let t0 = header("Fig. 8: core-count scaling", "Figure 8");
     let scale = scale_from_args();
-    let series = fig8_core_scaling(&scale, &[4, 8, 12, 16]);
-    for (workload, pts) in &series {
+    let run = fig8_core_scaling_timed(&scale, &[4, 8, 12, 16]);
+    for (workload, pts) in &run.series {
         println!("\n-- {} --", workload.label());
         let rows: Vec<Vec<String>> = pts
             .iter()
@@ -23,8 +26,25 @@ fn main() {
             )
         );
     }
+    // Wall-clock record goes to stderr: stdout stays byte-identical
+    // across runs (the determinism contract the verify workflow diffs).
+    eprintln!();
+    eprintln!(
+        "Sweep runner: parallel {:.2} s ({} worker{}) vs sequential {:.2} s \
+         ({:.2}x) — results byte-identical (asserted).",
+        run.parallel.as_secs_f64(),
+        run.workers,
+        if run.workers == 1 { "" } else { "s" },
+        run.sequential.as_secs_f64(),
+        run.sequential.as_secs_f64() / run.parallel.as_secs_f64().max(1e-9),
+    );
+    if run.workers == 1 {
+        eprintln!("(single-CPU host: the runner degrades to the sequential path;");
+        eprintln!(" expect ~min(CPUs, points)x on a multi-core machine)");
+    }
     println!();
     println!("Paper shape: DSS slightly superlinear at 8 cores (sharing), OLTP");
     println!("sublinear at 16 cores (~74% of linear) due to L2 pressure, not");
     println!("miss rate.");
+    footer(t0);
 }

@@ -2,12 +2,12 @@
 //! execution — the "parallelism and locality" opportunities
 //! operationalized.
 
-use dbcmp_bench::{header, scale_from_args};
+use dbcmp_bench::{footer, header, scale_from_args};
 use dbcmp_core::figures::fig9_staged;
 use dbcmp_core::report::{f2, table};
 
 fn main() {
-    header(
+    let t0 = header(
         "§6 ablation: staged database execution",
         "Section 6 (StagedDB)",
     );
@@ -45,4 +45,5 @@ fn main() {
     println!("Expected shape: cohort staging cuts instructions per query (call");
     println!("overhead amortized); pipeline parallelism cuts unsaturated");
     println!("response time — most on the context-rich LC chip (paper §6.1).");
+    footer(t0);
 }

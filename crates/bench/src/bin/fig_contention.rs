@@ -9,12 +9,12 @@
 //! scheduler — instead of mere address overlap between independently
 //! captured clients.
 
-use dbcmp_bench::{header, scale_from_args};
+use dbcmp_bench::{footer, header, scale_from_args};
 use dbcmp_core::figures::fig_contention;
 use dbcmp_core::report::{f3, pct, table};
 
 fn main() {
-    header(
+    let t0 = header(
         "Contention sweep: SMP vs CMP under 2PL hot-row skew",
         "§5.2",
     );
@@ -68,4 +68,5 @@ fn main() {
     println!("Paper shape: contention shifts cycles into the coherence/shared-L2");
     println!("buckets; the SMP pays off-chip latency for them, the CMP resolves");
     println!("them on chip, so the SMP's D-stall share grows faster with skew.");
+    footer(t0);
 }

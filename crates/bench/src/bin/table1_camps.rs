@@ -1,11 +1,11 @@
 //! Table 1: chip multiprocessor camp characteristics.
 
-use dbcmp_bench::header;
+use dbcmp_bench::{footer, header};
 use dbcmp_core::report::table;
 use dbcmp_core::taxonomy::table1;
 
 fn main() {
-    header("Table 1: CMP camp characteristics", "Table 1");
+    let t0 = header("Table 1: CMP camp characteristics", "Table 1");
     let rows: Vec<Vec<String>> = table1()
         .into_iter()
         .map(|r| {
@@ -23,4 +23,5 @@ fn main() {
             &rows
         )
     );
+    footer(t0);
 }

@@ -17,8 +17,12 @@
 //! | Fig. 8  | `fig8_core_count` |
 //! | §6 ablation | `fig9_staged` |
 //! | §5.2 contention sweep (extension) | `fig_contention` |
+//! | asymmetric-CMP ratio sweep (extension) | `fig_asym` |
 //!
 //! Run with `--quick` for a fast, smaller-scale pass (same code paths).
+//! The simulation points inside each binary fan out over OS threads via
+//! `dbcmp_core::experiment::Sweep` (results are byte-identical to a
+//! sequential run; `fig8_core_count` prints both wall-clock times).
 //! Criterion microbenchmarks of the substrates live in `benches/`.
 
 use dbcmp_core::FigScale;
@@ -32,11 +36,22 @@ pub fn scale_from_args() -> FigScale {
     }
 }
 
-/// Print a standard harness header.
-pub fn header(title: &str, paper_ref: &str) {
+/// Print a standard harness header and start the wall-clock for
+/// [`footer`].
+pub fn header(title: &str, paper_ref: &str) -> std::time::Instant {
     println!("=== {title} ===");
     println!("(reproduces {paper_ref} of Hardavellas et al., CIDR 2007)");
     println!();
+    std::time::Instant::now()
+}
+
+/// Print the standard harness footer: total wall-clock of the binary
+/// (capture + parallel sweep + report). Goes to **stderr** so stdout
+/// stays byte-identical across runs (the determinism check in the
+/// verify workflow diffs stdout).
+pub fn footer(start: std::time::Instant) {
+    eprintln!();
+    eprintln!("[regenerated in {:.2} s]", start.elapsed().as_secs_f64());
 }
 
 #[cfg(test)]

@@ -11,11 +11,13 @@ use dbcmp_cacti::{historic_latencies, historic_sizes, CacheOrg, CactiModel};
 use dbcmp_core::experiment::{run_throughput, RunSpec};
 use dbcmp_core::figures::{
     fig2_saturation, fig3_validation, fig45_quadrants, fig4_ratios, fig6_cache_sweep,
-    fig7_smp_vs_cmp, fig8_core_scaling, fig9_staged, fig_contention, BASE_CORES,
+    fig7_smp_vs_cmp, fig8_core_scaling, fig8_core_scaling_timed, fig9_staged, fig_asym,
+    fig_contention, BASE_CORES, BASE_L2,
 };
-use dbcmp_core::machines::{fc_cmp, L2Spec};
-use dbcmp_core::taxonomy::{table1, WorkloadKind};
+use dbcmp_core::machines::{asym_cmp, cmp_for, fc_cmp, L2Spec};
+use dbcmp_core::taxonomy::{table1, Camp, WorkloadKind};
 use dbcmp_core::workload::{CapturedWorkload, FigScale};
+use dbcmp_sim::SimResult;
 
 #[test]
 fn fig1_historic_trends_and_cacti_model() {
@@ -145,6 +147,86 @@ fn fig_contention_quick() {
         "skew must push the SMP's D-stall share up relative to the CMP's: \
          SMP {smp_growth:+.3} vs CMP {cmp_growth:+.3}"
     );
+}
+
+/// The timed fig8 variant (what the binary runs): parallel and
+/// sequential sweeps of the same points must agree — the assertion lives
+/// inside the generator; here we check it runs and reports both clocks.
+#[test]
+fn fig8_timed_parallel_equals_sequential() {
+    let scale = FigScale::quick();
+    let run = fig8_core_scaling_timed(&scale, &[1, 2]);
+    assert_eq!(run.series.len(), 2);
+    assert!(run.parallel.as_nanos() > 0 && run.sequential.as_nanos() > 0);
+}
+
+/// Numeric equality of two runs, ignoring the machine name (presets and
+/// asym endpoints label themselves differently).
+fn same_numbers(a: &SimResult, b: &SimResult) -> bool {
+    let mut a = a.clone();
+    a.machine = b.machine.clone();
+    a == *b
+}
+
+/// The `fig_asym` gate: both pure camps of the ratio sweep match the
+/// fig4-style homogeneous presets run on the same capture, and mixed
+/// points land between the pure endpoints.
+#[test]
+fn fig_asym_quick() {
+    let scale = FigScale::quick();
+    let total = 4;
+    let points = fig_asym(&scale, total);
+    assert_eq!(points.len(), 2 * 3, "2 workloads x {{4F, 2F+2L, 0F}}");
+    let spec = RunSpec {
+        warmup: scale.warmup,
+        measure: scale.measure,
+        max_cycles: 2_000_000_000,
+    };
+    // Rebuild the sweep's captures (deterministic: same seed, same
+    // client count) to run the homogeneous reference presets.
+    let max_ctx = asym_cmp(0, total, BASE_L2, L2Spec::Cacti).total_contexts();
+    for workload in [WorkloadKind::Oltp, WorkloadKind::Dss] {
+        let w = match workload {
+            WorkloadKind::Oltp => {
+                CapturedWorkload::oltp(&scale, max_ctx.max(scale.oltp_clients), scale.oltp_units)
+            }
+            WorkloadKind::Dss => {
+                CapturedWorkload::dss(&scale, max_ctx.max(scale.dss_clients), scale.dss_units)
+            }
+        };
+        let pts: Vec<_> = points.iter().filter(|p| p.workload == workload).collect();
+        let all_fat = pts.iter().find(|p| p.lean_slots == 0).expect("pure fat");
+        let all_lean = pts.iter().find(|p| p.fat_slots == 0).expect("pure lean");
+        for (point, camp) in [(all_fat, Camp::Fat), (all_lean, Camp::Lean)] {
+            let reference = run_throughput(
+                cmp_for(camp, total, BASE_L2, L2Spec::Cacti),
+                &w.bundle,
+                spec,
+            );
+            assert!(
+                same_numbers(&point.result, &reference),
+                "{} pure {:?} endpoint must equal the homogeneous preset",
+                workload.label(),
+                camp,
+            );
+        }
+        // Mixed machines land between the pure camps (small tolerance:
+        // the blend is not required to be exactly monotonic).
+        let (lo, hi) = {
+            let (a, b) = (all_fat.result.uipc(), all_lean.result.uipc());
+            (a.min(b), a.max(b))
+        };
+        for p in pts.iter().filter(|p| p.fat_slots > 0 && p.lean_slots > 0) {
+            let u = p.result.uipc();
+            assert!(
+                u >= lo * 0.9 && u <= hi * 1.1,
+                "{} {}F+{}L UIPC {u:.3} outside [{lo:.3}, {hi:.3}] band",
+                workload.label(),
+                p.fat_slots,
+                p.lean_slots,
+            );
+        }
+    }
 }
 
 #[test]

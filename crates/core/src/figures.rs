@@ -9,8 +9,8 @@ use dbcmp_staged::{capture_staged_dss, ExecPolicy};
 use dbcmp_trace::TraceBundle;
 use dbcmp_workloads::tpch::QueryKind;
 
-use crate::experiment::{run_completion, run_throughput, RunSpec};
-use crate::machines::{cmp_for, fc_cmp, lc_cmp, smp_baseline, L2Spec};
+use crate::experiment::{run_keyed, run_throughput, KeyedPoint, RunSpec, Sweep};
+use crate::machines::{asym_cmp, cmp_for, fc_cmp, lc_cmp, smp_baseline, L2Spec};
 use crate::taxonomy::{Camp, Saturation, WorkloadKind};
 use crate::workload::{CapturedWorkload, FigScale};
 
@@ -36,18 +36,31 @@ pub fn fig2_saturation(scale: &FigScale, clients: &[usize]) -> Vec<(usize, f64)>
     let max = *clients.iter().max().unwrap_or(&1);
     let w = CapturedWorkload::dss(scale, max, scale.dss_units);
     let spec = spec_of(scale);
-    let mut out = Vec::new();
-    let mut base = 0.0;
-    for &n in clients {
-        let bundle = w.subset(n);
-        let res = run_throughput(fc_cmp(BASE_CORES, 4 << 20, L2Spec::Cacti), &bundle, spec);
-        let uipc = res.uipc();
-        if base == 0.0 {
-            base = uipc;
-        }
-        out.push((n, uipc / base));
-    }
-    out
+    // One machine per client count, replaying a growing subset of the
+    // same capture; the subsets are per-point bundles for the sweep.
+    let subsets: Vec<_> = clients.iter().map(|&n| w.subset(n)).collect();
+    let keyed = run_keyed(
+        clients
+            .iter()
+            .zip(&subsets)
+            .map(|(&n, subset)| KeyedPoint {
+                label: format!("{n} clients"),
+                cfg: fc_cmp(BASE_CORES, 4 << 20, L2Spec::Cacti),
+                mode: spec.throughput(),
+                bundle: subset,
+                key: n,
+            })
+            .collect(),
+    );
+    let base = keyed
+        .iter()
+        .map(|(_, r)| r.uipc())
+        .find(|&u| u > 0.0)
+        .unwrap_or(1.0);
+    keyed
+        .into_iter()
+        .map(|(n, r)| (n, r.uipc() / base))
+        .collect()
 }
 
 // ---------------------------------------------------------------- Fig. 3
@@ -73,31 +86,53 @@ pub struct QuadrantResult {
 }
 
 /// Run all eight camp × workload × saturation combinations on the
-/// baseline chip. Unsaturated runs use completion mode (response time);
-/// saturated runs use throughput mode.
+/// baseline chip, fanned out as one parallel sweep. Unsaturated runs use
+/// completion mode (response time); saturated runs use throughput mode.
 pub fn fig45_quadrants(scale: &FigScale) -> Vec<QuadrantResult> {
     let spec = spec_of(scale);
-    let mut out = Vec::new();
-    for workload in [WorkloadKind::Oltp, WorkloadKind::Dss] {
-        let sat = CapturedWorkload::saturated(workload, scale);
-        let uns = CapturedWorkload::unsaturated(workload, scale);
+    let captures: Vec<(WorkloadKind, CapturedWorkload, CapturedWorkload)> =
+        [WorkloadKind::Oltp, WorkloadKind::Dss]
+            .into_iter()
+            .map(|w| {
+                (
+                    w,
+                    CapturedWorkload::saturated(w, scale),
+                    CapturedWorkload::unsaturated(w, scale),
+                )
+            })
+            .collect();
+    let mut points = Vec::new();
+    for (workload, sat, uns) in &captures {
         for camp in [Camp::Fat, Camp::Lean] {
             let cfg = cmp_for(camp, BASE_CORES, BASE_L2, L2Spec::Cacti);
-            out.push(QuadrantResult {
-                camp,
-                workload,
-                saturation: Saturation::Saturated,
-                result: run_throughput(cfg.clone(), &sat.bundle, spec),
-            });
-            out.push(QuadrantResult {
-                camp,
-                workload,
-                saturation: Saturation::Unsaturated,
-                result: run_completion(cfg, &uns.bundle, spec),
-            });
+            for (saturation, w, mode) in [
+                (Saturation::Saturated, sat, spec.throughput()),
+                (Saturation::Unsaturated, uns, spec.completion()),
+            ] {
+                points.push(KeyedPoint {
+                    label: format!(
+                        "{}/{}/{}",
+                        camp.label(),
+                        workload.label(),
+                        saturation.label()
+                    ),
+                    cfg: cfg.clone(),
+                    mode,
+                    bundle: &w.bundle,
+                    key: (*workload, camp, saturation),
+                });
+            }
         }
     }
-    out
+    run_keyed(points)
+        .into_iter()
+        .map(|((workload, camp, saturation), result)| QuadrantResult {
+            camp,
+            workload,
+            saturation,
+            result,
+        })
+        .collect()
 }
 
 /// Fig. 4 numbers from the quadrants: (workload, LC/FC response-time
@@ -141,9 +176,12 @@ pub struct Fig6Point {
 /// CACTI latencies, on the FC CMP.
 pub fn fig6_cache_sweep(scale: &FigScale, sizes: &[u64]) -> Vec<Fig6Point> {
     let spec = spec_of(scale);
-    let mut out = Vec::new();
-    for workload in [WorkloadKind::Oltp, WorkloadKind::Dss] {
-        let w = CapturedWorkload::saturated(workload, scale);
+    let captures: Vec<(WorkloadKind, CapturedWorkload)> = [WorkloadKind::Oltp, WorkloadKind::Dss]
+        .into_iter()
+        .map(|w| (w, CapturedWorkload::saturated(w, scale)))
+        .collect();
+    let mut points = Vec::new();
+    for (workload, w) in &captures {
         for &size in sizes {
             for fixed in [true, false] {
                 let l2 = if fixed {
@@ -151,18 +189,25 @@ pub fn fig6_cache_sweep(scale: &FigScale, sizes: &[u64]) -> Vec<Fig6Point> {
                 } else {
                     L2Spec::Cacti
                 };
-                let cfg = fc_cmp(BASE_CORES, size, l2);
-                let result = run_throughput(cfg, &w.bundle, spec);
-                out.push(Fig6Point {
-                    size,
-                    fixed_latency: fixed,
-                    workload,
-                    result,
+                points.push(KeyedPoint {
+                    label: format!("{} L2={}MB fixed={fixed}", workload.label(), size >> 20),
+                    cfg: fc_cmp(BASE_CORES, size, l2),
+                    mode: spec.throughput(),
+                    bundle: &w.bundle,
+                    key: (*workload, size, fixed),
                 });
             }
         }
     }
-    out
+    run_keyed(points)
+        .into_iter()
+        .map(|((workload, size, fixed), result)| Fig6Point {
+            size,
+            fixed_latency: fixed,
+            workload,
+            result,
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------- Fig. 7
@@ -177,15 +222,36 @@ pub struct Fig7Result {
 
 pub fn fig7_smp_vs_cmp(scale: &FigScale) -> Vec<Fig7Result> {
     let spec = spec_of(scale);
-    [WorkloadKind::Oltp, WorkloadKind::Dss]
+    let captures: Vec<(WorkloadKind, CapturedWorkload)> = [WorkloadKind::Oltp, WorkloadKind::Dss]
         .into_iter()
-        .map(|workload| {
-            let w = CapturedWorkload::saturated(workload, scale);
-            let smp = run_throughput(smp_baseline(4, 4 << 20, Camp::Fat), &w.bundle, spec);
-            let cmp = run_throughput(fc_cmp(4, 16 << 20, L2Spec::Cacti), &w.bundle, spec);
-            Fig7Result { workload, smp, cmp }
-        })
-        .collect()
+        .map(|w| (w, CapturedWorkload::saturated(w, scale)))
+        .collect();
+    let mut points = Vec::new();
+    for (workload, w) in &captures {
+        for (tag, cfg) in [
+            ("SMP", smp_baseline(4, 4 << 20, Camp::Fat)),
+            ("CMP", fc_cmp(4, 16 << 20, L2Spec::Cacti)),
+        ] {
+            points.push(KeyedPoint {
+                label: format!("{tag} {}", workload.label()),
+                cfg,
+                mode: spec.throughput(),
+                bundle: &w.bundle,
+                key: (*workload, tag),
+            });
+        }
+    }
+    let mut it = run_keyed(points).into_iter();
+    let mut out = Vec::new();
+    while let (Some(((w1, t1), smp)), Some(((w2, t2), cmp))) = (it.next(), it.next()) {
+        assert_eq!((w1, t1, t2), (w2, "SMP", "CMP"), "keyed pairs aligned");
+        out.push(Fig7Result {
+            workload: w1,
+            smp,
+            cmp,
+        });
+    }
+    out
 }
 
 // ------------------------------------------------------------ Contention
@@ -209,12 +275,37 @@ pub struct ContentionPoint {
 /// rather than address overlap alone).
 pub fn fig_contention(scale: &FigScale, skews: &[u8]) -> Vec<ContentionPoint> {
     let spec = spec_of(scale);
-    skews
+    // Captures are inherently sequential (each interleaves clients on
+    // one shared database); the replays fan out as one sweep.
+    let captures: Vec<_> = skews
         .iter()
         .map(|&hot_pct| {
             let (w, stats) = CapturedWorkload::oltp_contended(scale, hot_pct);
-            let smp = run_throughput(smp_baseline(4, 4 << 20, Camp::Fat), &w.bundle, spec);
-            let cmp = run_throughput(fc_cmp(4, 16 << 20, L2Spec::Cacti), &w.bundle, spec);
+            (hot_pct, w, stats)
+        })
+        .collect();
+    let mut points = Vec::new();
+    for (hot_pct, w, _) in &captures {
+        for (tag, cfg) in [
+            ("SMP", smp_baseline(4, 4 << 20, Camp::Fat)),
+            ("CMP", fc_cmp(4, 16 << 20, L2Spec::Cacti)),
+        ] {
+            points.push(KeyedPoint {
+                label: format!("{tag} skew={hot_pct}%"),
+                cfg,
+                mode: spec.throughput(),
+                bundle: &w.bundle,
+                key: (*hot_pct, tag),
+            });
+        }
+    }
+    let mut it = run_keyed(points).into_iter();
+    captures
+        .into_iter()
+        .map(|(hot_pct, _, stats)| {
+            let ((h1, t1), smp) = it.next().expect("smp result");
+            let ((h2, t2), cmp) = it.next().expect("cmp result");
+            assert_eq!((h1, h2, t1, t2), (hot_pct, hot_pct, "SMP", "CMP"));
             ContentionPoint {
                 hot_pct,
                 stats,
@@ -230,38 +321,109 @@ pub fn fig_contention(scale: &FigScale, skews: &[u8]) -> Vec<ContentionPoint> {
 /// One Fig. 8 point: (cores, normalized throughput, linear reference).
 pub type ScalingPoint = (usize, f64, f64);
 
-/// Fig. 8: throughput vs core count (FC CMP, 16 MB shared L2).
+/// Fig. 8 with wall-clock evidence for the sweep runner: the series plus
+/// the parallel and sequential times of the *same* sweep, which must be
+/// result-identical.
+pub struct Fig8Run {
+    pub series: Vec<(WorkloadKind, Vec<ScalingPoint>)>,
+    pub parallel: std::time::Duration,
+    pub sequential: std::time::Duration,
+    /// Worker threads the parallel run used (1 on a single-CPU host,
+    /// where the runner degrades to the sequential path by design).
+    pub workers: usize,
+}
+
+/// Fig. 8: throughput vs core count (FC CMP, 16 MB shared L2), fanned
+/// out as one parallel sweep.
 pub fn fig8_core_scaling(
     scale: &FigScale,
     core_counts: &[usize],
 ) -> Vec<(WorkloadKind, Vec<ScalingPoint>)> {
+    fig8_run(scale, core_counts, false).series
+}
+
+/// Fig. 8 timed both ways — what the `fig8_core_count` binary always
+/// runs (and the acceptance record in EXPERIMENTS.md): the parallel and
+/// sequential clocks of one sweep, results asserted identical.
+pub fn fig8_core_scaling_timed(scale: &FigScale, core_counts: &[usize]) -> Fig8Run {
+    fig8_run(scale, core_counts, true)
+}
+
+fn fig8_run(scale: &FigScale, core_counts: &[usize], timed: bool) -> Fig8Run {
     let spec = spec_of(scale);
     let base_cores = core_counts[0];
-    let mut out = Vec::new();
-    for workload in [WorkloadKind::Oltp, WorkloadKind::Dss] {
-        // Enough clients to keep the largest machine saturated.
-        let max_ctx = core_counts.iter().max().unwrap() * 2;
-        let w = match workload {
-            WorkloadKind::Oltp => {
-                CapturedWorkload::oltp(scale, max_ctx.max(scale.oltp_clients), scale.oltp_units)
-            }
-            WorkloadKind::Dss => {
-                CapturedWorkload::dss(scale, max_ctx.max(scale.dss_clients), scale.dss_units)
-            }
-        };
-        let mut series = Vec::new();
-        let mut base = 0.0;
-        for &n in core_counts {
-            let res = run_throughput(fc_cmp(n, 16 << 20, L2Spec::Cacti), &w.bundle, spec);
-            let uipc = res.uipc();
-            if base == 0.0 {
-                base = uipc;
-            }
-            series.push((n, uipc / base, n as f64 / base_cores as f64));
-        }
-        out.push((workload, series));
+    let captures: Vec<(WorkloadKind, CapturedWorkload)> = [WorkloadKind::Oltp, WorkloadKind::Dss]
+        .into_iter()
+        .map(|workload| {
+            // Enough clients to keep the largest machine saturated.
+            let max_ctx = core_counts.iter().max().unwrap() * 2;
+            let w = match workload {
+                WorkloadKind::Oltp => {
+                    CapturedWorkload::oltp(scale, max_ctx.max(scale.oltp_clients), scale.oltp_units)
+                }
+                WorkloadKind::Dss => {
+                    CapturedWorkload::dss(scale, max_ctx.max(scale.dss_clients), scale.dss_units)
+                }
+            };
+            (workload, w)
+        })
+        .collect();
+    // One tuple per point keeps sweep/bundle/key alignment structural
+    // (the sweep object itself is needed twice: timed parallel + timed
+    // sequential runs of the same points).
+    let grid: Vec<((WorkloadKind, usize), &CapturedWorkload)> = captures
+        .iter()
+        .flat_map(|(workload, w)| core_counts.iter().map(move |&n| ((*workload, n), w)))
+        .collect();
+    let mut sweep = Sweep::new();
+    let mut bundles = Vec::new();
+    for ((workload, n), w) in &grid {
+        sweep.push(
+            format!("{} {n} cores", workload.label()),
+            fc_cmp(*n, 16 << 20, L2Spec::Cacti),
+            spec.throughput(),
+        );
+        bundles.push(&w.bundle);
     }
-    out
+    let workers = sweep.default_workers();
+    let t0 = std::time::Instant::now();
+    let results = sweep.run_each(&bundles);
+    let parallel = t0.elapsed();
+    let sequential = if timed {
+        let t1 = std::time::Instant::now();
+        let seq = sweep.run_each_sequential(&bundles);
+        let elapsed = t1.elapsed();
+        assert_eq!(
+            results, seq,
+            "parallel and sequential fig8 sweeps must be byte-identical"
+        );
+        elapsed
+    } else {
+        std::time::Duration::ZERO
+    };
+
+    let mut results = results.into_iter();
+    let series = captures
+        .iter()
+        .map(|(workload, _)| {
+            let mut series = Vec::new();
+            let mut base = 0.0;
+            for &n in core_counts {
+                let uipc = results.next().expect("fig8 point").uipc();
+                if base == 0.0 {
+                    base = uipc;
+                }
+                series.push((n, uipc / base, n as f64 / base_cores as f64));
+            }
+            (*workload, series)
+        })
+        .collect();
+    Fig8Run {
+        series,
+        parallel,
+        sequential,
+        workers,
+    }
 }
 
 // ---------------------------------------------------------------- Fig. 9 (ablation)
@@ -300,8 +462,21 @@ pub fn fig9_staged(scale: &FigScale) -> Vec<Fig9Result> {
             let bundle: TraceBundle =
                 capture_staged_dss(&mut db, &h, &kinds, policy, 2, scale.seed);
             let instrs = bundle.total_instrs() as f64 / bundle.total_units().max(1) as f64;
-            let lc = run_completion(lc_cmp(BASE_CORES, BASE_L2, L2Spec::Cacti), &bundle, spec);
-            let fc = run_completion(fc_cmp(BASE_CORES, BASE_L2, L2Spec::Cacti), &bundle, spec);
+            let mut results = Sweep::new()
+                .point(
+                    format!("{name} LC"),
+                    lc_cmp(BASE_CORES, BASE_L2, L2Spec::Cacti),
+                    spec.completion(),
+                )
+                .point(
+                    format!("{name} FC"),
+                    fc_cmp(BASE_CORES, BASE_L2, L2Spec::Cacti),
+                    spec.completion(),
+                )
+                .run(&bundle)
+                .into_iter();
+            let lc = results.next().expect("lc result");
+            let fc = results.next().expect("fc result");
             Fig9Result {
                 policy: name,
                 response_lc: lc.cycles as f64 / lc.units.max(1) as f64,
@@ -309,6 +484,79 @@ pub fn fig9_staged(scale: &FigScale) -> Vec<Fig9Result> {
                 instrs_per_query: instrs,
                 l1d_miss_rate: lc.mem.l1d_miss_rate(),
             }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- fig_asym
+
+/// One point of the asymmetric-CMP ratio sweep.
+pub struct AsymPoint {
+    pub fat_slots: usize,
+    pub lean_slots: usize,
+    pub workload: WorkloadKind,
+    pub result: SimResult,
+}
+
+/// Asymmetric-CMP extension: sweep fat:lean slot ratios from all-fat to
+/// all-lean at a fixed slot count and fixed shared L2, on saturated OLTP
+/// and DSS. As fat slots give way to lean ones the machine trades
+/// single-thread ILP for thread-level latency hiding — the breakdown
+/// shifts from exposed data stalls toward computation, and saturated
+/// throughput climbs (the paper's §4 camp contrast, now visible *within*
+/// one chip, per the hardware-islands line of work in PAPERS.md).
+/// The `(fat, lean)` slot ratios `fig_asym` sweeps: all-fat down to
+/// all-lean in steps of two slots, with the pure-lean endpoint always
+/// included even when `total_slots` is odd (the fig_smoke gate finds
+/// both pure camps by searching for them).
+pub fn asym_ratios(total_slots: usize) -> Vec<(usize, usize)> {
+    let mut fats: Vec<usize> = (0..=total_slots).rev().step_by(2).collect();
+    if fats.last() != Some(&0) {
+        fats.push(0);
+    }
+    fats.into_iter()
+        .map(|fat| (fat, total_slots - fat))
+        .collect()
+}
+
+pub fn fig_asym(scale: &FigScale, total_slots: usize) -> Vec<AsymPoint> {
+    let spec = spec_of(scale);
+    let ratios = asym_ratios(total_slots);
+    // Enough clients to saturate the leanest (most-context) machine.
+    let max_ctx = asym_cmp(0, total_slots, BASE_L2, L2Spec::Cacti).total_contexts();
+    let captures: Vec<(WorkloadKind, CapturedWorkload)> = [WorkloadKind::Oltp, WorkloadKind::Dss]
+        .into_iter()
+        .map(|workload| {
+            let w = match workload {
+                WorkloadKind::Oltp => {
+                    CapturedWorkload::oltp(scale, max_ctx.max(scale.oltp_clients), scale.oltp_units)
+                }
+                WorkloadKind::Dss => {
+                    CapturedWorkload::dss(scale, max_ctx.max(scale.dss_clients), scale.dss_units)
+                }
+            };
+            (workload, w)
+        })
+        .collect();
+    let mut points = Vec::new();
+    for (workload, w) in &captures {
+        for &(fat, lean) in &ratios {
+            points.push(KeyedPoint {
+                label: format!("{} {fat}F+{lean}L", workload.label()),
+                cfg: asym_cmp(fat, lean, BASE_L2, L2Spec::Cacti),
+                mode: spec.throughput(),
+                bundle: &w.bundle,
+                key: (*workload, fat, lean),
+            });
+        }
+    }
+    run_keyed(points)
+        .into_iter()
+        .map(|((workload, fat_slots, lean_slots), result)| AsymPoint {
+            fat_slots,
+            lean_slots,
+            workload,
+            result,
         })
         .collect()
 }
@@ -334,5 +582,20 @@ mod tests {
         assert_eq!(pts.len(), 2);
         assert!((pts[0].1 - 1.0).abs() < 1e-9, "first point is the baseline");
         assert!(pts[1].1 > 0.0);
+    }
+
+    #[test]
+    fn asym_ratios_always_reach_both_pure_camps() {
+        assert_eq!(asym_ratios(8), [(8, 0), (6, 2), (4, 4), (2, 6), (0, 8)]);
+        assert_eq!(asym_ratios(4), [(4, 0), (2, 2), (0, 4)]);
+        // Odd totals must still end on the pure-lean endpoint.
+        assert_eq!(asym_ratios(5), [(5, 0), (3, 2), (1, 4), (0, 5)]);
+        assert_eq!(asym_ratios(1), [(1, 0), (0, 1)]);
+        for total in 1..=9 {
+            let r = asym_ratios(total);
+            assert_eq!(r.first(), Some(&(total, 0)), "all-fat endpoint");
+            assert_eq!(r.last(), Some(&(0, total)), "all-lean endpoint");
+            assert!(r.iter().all(|&(f, l)| f + l == total));
+        }
     }
 }

@@ -13,7 +13,7 @@ pub mod report;
 pub mod taxonomy;
 pub mod workload;
 
-pub use experiment::{run_completion, run_throughput, RunSpec};
-pub use machines::{fc_cmp, lc_cmp, smp_baseline, L2Spec};
+pub use experiment::{run_completion, run_throughput, RunSpec, Sweep, SweepPoint};
+pub use machines::{asym_cmp, fc_cmp, lc_cmp, smp_baseline, L2Spec};
 pub use taxonomy::{Camp, Saturation, WorkloadKind};
 pub use workload::{CapturedWorkload, FigScale};

@@ -52,6 +52,33 @@ pub fn cmp_for(camp: Camp, n_cores: usize, l2_size: u64, l2: L2Spec) -> MachineC
     }
 }
 
+/// Asymmetric CMP preset: `fat_slots` fat cores followed by `lean_slots`
+/// lean cores sharing one L2 — the heterogeneous design point of Porobic
+/// et al.'s hardware islands and the wimpy/brawny trade-off (PAPERS.md).
+/// Slot count stands in for area (one slot = one core footprint); the L2
+/// stays fixed across the `fig_asym` ratio sweep so only the core mix
+/// moves. Pure-camp calls reduce exactly to [`fc_cmp`]/[`lc_cmp`]
+/// (store-buffer depth follows the lean preset when no fat slot is
+/// present; mixed machines keep the fat-camp depth for every context).
+pub fn asym_cmp(fat_slots: usize, lean_slots: usize, l2_size: u64, l2: L2Spec) -> MachineConfig {
+    let n = fat_slots + lean_slots;
+    let mut c = fc_cmp(n, l2_size, l2);
+    c.name = format!(
+        "ASYM {fat_slots}F+{lean_slots}L (L2 {} MB, {} cyc)",
+        l2_size >> 20,
+        l2.latency(l2_size)
+    );
+    let mut slots = vec![CoreKind::fat(); fat_slots];
+    slots.extend(std::iter::repeat_n(CoreKind::lean(), lean_slots));
+    c.slots = slots;
+    if fat_slots == 0 {
+        // Match the lean-camp preset exactly at the pure-lean endpoint.
+        c.core = CoreKind::lean();
+        c.store_buffer = 4;
+    }
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +89,28 @@ mod tests {
         let fast = fc_cmp(4, 16 << 20, L2Spec::Fixed(4));
         assert!(real.l2.geom().latency > fast.l2.geom().latency);
         assert_eq!(fast.l2.geom().latency, 4);
+    }
+
+    #[test]
+    fn asym_preset_slots_and_pure_endpoints() {
+        let mixed = asym_cmp(3, 1, 16 << 20, L2Spec::Cacti);
+        assert_eq!(mixed.n_cores, 4);
+        assert_eq!(mixed.slots.len(), 4);
+        assert_eq!(mixed.total_contexts(), 3 + 4);
+        mixed.validate().expect("asym preset must validate");
+
+        // Pure endpoints equal the camp presets in everything but name
+        // and the (behaviorally equivalent) explicit slot list.
+        let fat = asym_cmp(4, 0, 16 << 20, L2Spec::Cacti);
+        let mut fc = fc_cmp(4, 16 << 20, L2Spec::Cacti);
+        fc.name = fat.name.clone();
+        fc.slots = fat.slots.clone();
+        assert_eq!(fat, fc);
+        let lean = asym_cmp(0, 4, 16 << 20, L2Spec::Cacti);
+        let mut lc = lc_cmp(4, 16 << 20, L2Spec::Cacti);
+        lc.name = lean.name.clone();
+        lc.slots = lean.slots.clone();
+        assert_eq!(lean, lc);
     }
 
     #[test]

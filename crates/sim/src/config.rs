@@ -5,7 +5,66 @@
 //! 1 MB to 26 MB for the CMP arrangement, private 4 MB L2s for the SMP
 //! comparison, and UltraSPARC-flavoured core parameters (Table 1).
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
+
+/// A machine description that cannot be simulated. Returned by
+/// [`MachineConfig::validate`] and `MachineBuilder::build` so degenerate
+/// configs fail at build time instead of panicking (division by zero in
+/// the round-robin picker) or silently misbehaving (0-core machines that
+/// "run" and report zeros) deep in the cycle loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The machine has no core slots at all.
+    NoCores,
+    /// `slots` is non-empty but disagrees with `n_cores`.
+    SlotCountMismatch { slots: usize, n_cores: usize },
+    /// A lean slot with zero hardware contexts can never issue.
+    NoContexts { slot: usize },
+    /// A slot with issue width 0 can never retire.
+    ZeroWidth { slot: usize },
+    /// A fat slot with an empty reorder-buffer window.
+    ZeroWindow { slot: usize },
+    /// A fat slot with no MSHRs cannot issue a single load.
+    ZeroMshrs { slot: usize },
+    /// L2 bank count must be a power of two (line-interleaved mapping);
+    /// zero banks means no L2 port at all.
+    L2BanksNotPowerOfTwo { banks: usize },
+    /// A cache smaller than one 64-byte line or with zero ways.
+    BadCacheGeom { which: &'static str },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::NoCores => write!(f, "machine has zero core slots"),
+            ConfigError::SlotCountMismatch { slots, n_cores } => write!(
+                f,
+                "per-slot core list has {slots} entries but n_cores is {n_cores}"
+            ),
+            ConfigError::NoContexts { slot } => {
+                write!(f, "slot {slot}: lean core with zero hardware contexts")
+            }
+            ConfigError::ZeroWidth { slot } => write!(f, "slot {slot}: issue width is zero"),
+            ConfigError::ZeroWindow { slot } => {
+                write!(f, "slot {slot}: fat core with an empty reorder buffer")
+            }
+            ConfigError::ZeroMshrs { slot } => write!(f, "slot {slot}: fat core with zero MSHRs"),
+            ConfigError::L2BanksNotPowerOfTwo { banks } => {
+                write!(f, "l2_banks must be a power of two, got {banks}")
+            }
+            ConfigError::BadCacheGeom { which } => {
+                write!(
+                    f,
+                    "{which}: cache needs at least one 64-byte line and one way"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Geometry + latency of one cache. Lines are fixed at 64 bytes system-wide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -114,11 +173,23 @@ impl L2Arrangement {
 }
 
 /// Full machine description.
+///
+/// Homogeneous machines (every figure of the paper) leave `slots` empty
+/// and describe themselves with `core` × `n_cores`. Heterogeneous CMPs —
+/// the asymmetric fat/lean mixes of the `fig_asym` extension — list one
+/// [`CoreKind`] per slot in `slots` (and keep `n_cores == slots.len()`);
+/// `core` then only seeds defaults. Use `MachineBuilder` to assemble
+/// either kind with validation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineConfig {
     pub name: String,
+    /// Core kind for homogeneous machines (ignored per-slot when `slots`
+    /// is non-empty).
     pub core: CoreKind,
     pub n_cores: usize,
+    /// Per-slot core kinds; empty means homogeneous (`core` repeated
+    /// `n_cores` times).
+    pub slots: Vec<CoreKind>,
     pub l1i: CacheGeom,
     pub l1d: CacheGeom,
     pub l2: L2Arrangement,
@@ -157,6 +228,7 @@ impl MachineConfig {
             ),
             core: CoreKind::fat(),
             n_cores,
+            slots: Vec::new(),
             l1i: CacheGeom::new(64 << 10, 2, 1),
             l1d: CacheGeom::new(64 << 10, 2, 1),
             l2: L2Arrangement::Shared(CacheGeom::new(l2_size, 16, l2_latency)),
@@ -197,9 +269,70 @@ impl MachineConfig {
         c
     }
 
+    /// The core kind of each slot, in slot order.
+    pub fn slot_kinds(&self) -> Vec<CoreKind> {
+        if self.slots.is_empty() {
+            vec![self.core; self.n_cores]
+        } else {
+            self.slots.clone()
+        }
+    }
+
     /// Total hardware contexts across the machine.
     pub fn total_contexts(&self) -> usize {
-        self.n_cores * self.core.contexts()
+        if self.slots.is_empty() {
+            self.n_cores * self.core.contexts()
+        } else {
+            self.slots.iter().map(|k| k.contexts()).sum()
+        }
+    }
+
+    /// Check the config for degenerate parameters that would panic or
+    /// silently misbehave in the cycle loop.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_cores == 0 {
+            return Err(ConfigError::NoCores);
+        }
+        if !self.slots.is_empty() && self.slots.len() != self.n_cores {
+            return Err(ConfigError::SlotCountMismatch {
+                slots: self.slots.len(),
+                n_cores: self.n_cores,
+            });
+        }
+        for (slot, kind) in self.slot_kinds().into_iter().enumerate() {
+            match kind {
+                CoreKind::Fat { width, rob, mshrs } => {
+                    if width == 0 {
+                        return Err(ConfigError::ZeroWidth { slot });
+                    }
+                    if rob == 0 {
+                        return Err(ConfigError::ZeroWindow { slot });
+                    }
+                    if mshrs == 0 {
+                        return Err(ConfigError::ZeroMshrs { slot });
+                    }
+                }
+                CoreKind::Lean { width, contexts } => {
+                    if width == 0 {
+                        return Err(ConfigError::ZeroWidth { slot });
+                    }
+                    if contexts == 0 {
+                        return Err(ConfigError::NoContexts { slot });
+                    }
+                }
+            }
+        }
+        if !self.l2_banks.is_power_of_two() {
+            return Err(ConfigError::L2BanksNotPowerOfTwo {
+                banks: self.l2_banks,
+            });
+        }
+        for (which, g) in [("l1i", self.l1i), ("l1d", self.l1d), ("l2", self.l2.geom())] {
+            if g.size < 64 || g.assoc == 0 {
+                return Err(ConfigError::BadCacheGeom { which });
+            }
+        }
+        Ok(())
     }
 }
 

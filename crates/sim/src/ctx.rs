@@ -6,10 +6,16 @@
 use std::collections::VecDeque;
 
 use dbcmp_trace::region::CodeRegions;
+use dbcmp_trace::Event;
 
 use crate::cursor::ThreadState;
+use crate::machine::MachineCtl;
 use crate::memsys::{MemClass, MemSys};
 use crate::stats::CycleClass;
+
+/// Cap on zero-width events (fences, unit markers) consumed per context
+/// per cycle, bounding the decode loops of both core models.
+pub const MAX_META_EVENTS: usize = 64;
 
 /// Map a *data* access outcome to the stall class it causes (L1 hits cause
 /// none).
@@ -144,6 +150,46 @@ impl CtxBase {
             }
         }
     }
+}
+
+/// Consume one *zero-issue-width* trace event, identically for both core
+/// models: `Exec` opens a run, `Fence`/`Block` arm the pending fence
+/// (captured lock waits drain like fences — the wait time belongs to the
+/// capture schedule, not the replayed machine), `Wake` is a marker, and
+/// `UnitEnd` records a completed transaction/query and its latency.
+/// Returns `false` for `Load`/`Store`, which occupy an issue slot and
+/// stay model-specific.
+#[inline]
+pub fn consume_meta_event(
+    th: &mut ThreadState<'_>,
+    ctl: &mut MachineCtl,
+    now: u64,
+    ev: Event,
+) -> bool {
+    match ev {
+        Event::Exec { region, instrs } => {
+            if instrs > 0 {
+                th.cur_exec = Some((region, instrs));
+            }
+        }
+        Event::Fence | Event::Block => th.pending_fence = true,
+        Event::Wake => {}
+        Event::UnitEnd => {
+            th.units += 1;
+            ctl.units += 1;
+            ctl.unit_cycles += now.saturating_sub(th.unit_started_at);
+            th.unit_started_at = now;
+        }
+        Event::Load { .. } | Event::Store { .. } => return false,
+    }
+    true
+}
+
+/// Mark a thread's trace as exhausted (completion-mode bookkeeping).
+#[inline]
+pub fn finish_thread(th: &mut ThreadState<'_>, ctl: &mut MachineCtl) {
+    th.done = true;
+    ctl.remaining = ctl.remaining.saturating_sub(1);
 }
 
 /// Perform the instruction-fetch check for the next instruction of the

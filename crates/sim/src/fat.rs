@@ -23,14 +23,15 @@ use std::collections::VecDeque;
 use dbcmp_trace::region::CodeRegions;
 use dbcmp_trace::Event;
 
-use crate::config::MachineConfig;
-use crate::ctx::{data_stall_class, fetch_check, CtxBase};
+use crate::config::{CoreKind, MachineConfig};
+use crate::core::Core;
+use crate::ctx::{
+    consume_meta_event, data_stall_class, fetch_check, finish_thread, CtxBase, MAX_META_EVENTS,
+};
 use crate::cursor::{PendingLoad, PendingStore, ThreadState};
 use crate::machine::MachineCtl;
 use crate::memsys::MemSys;
 use crate::stats::CycleClass;
-
-const MAX_META_EVENTS: usize = 64;
 
 /// One window entry: either a run of already-complete ALU work or an
 /// in-flight load.
@@ -83,7 +84,9 @@ impl FatCore {
             alu_width: width.div_ceil(2).max(1),
             mshrs: mshrs.max(1),
             outstanding: 0,
-            pipeline_depth: cfg.core.pipeline_depth(),
+            // The slot's own depth, not the machine default's: on a
+            // heterogeneous machine cfg.core may describe another camp.
+            pipeline_depth: CoreKind::Fat { width, rob, mshrs }.pipeline_depth(),
             quantum: cfg.quantum,
             switch_penalty: cfg.switch_penalty,
             gate_until: 0,
@@ -94,13 +97,23 @@ impl FatCore {
             retired: 0,
         }
     }
+}
 
-    pub fn reset_counters(&mut self) {
-        self.retired = 0;
+impl Core for FatCore {
+    fn contexts(&self) -> &[CtxBase] {
+        std::slice::from_ref(&self.base)
+    }
+
+    fn contexts_mut(&mut self) -> &mut [CtxBase] {
+        std::slice::from_mut(&mut self.base)
+    }
+
+    fn retired_mut(&mut self) -> &mut u64 {
+        &mut self.retired
     }
 
     /// Simulate one cycle; `None` means the core has no work at all.
-    pub fn cycle(
+    fn cycle(
         &mut self,
         core: usize,
         now: u64,
@@ -204,7 +217,9 @@ impl FatCore {
         }
         Some(CycleClass::Other)
     }
+}
 
+impl FatCore {
     /// Fill the window with up to `width` new instructions. Returns the
     /// stall class to blame if decode could not make progress for a
     /// memory-ish reason (used only when nothing retired either).
@@ -296,15 +311,6 @@ impl FatCore {
                 continue;
             }
             match th.cursor.next_event() {
-                Some(Event::Exec { region, instrs }) => {
-                    if instrs > 0 {
-                        th.cur_exec = Some((region, instrs));
-                    }
-                    meta += 1;
-                    if meta > MAX_META_EVENTS {
-                        break;
-                    }
-                }
                 Some(Event::Load { addr, size, dep }) => {
                     let pl = PendingLoad { addr, size, dep };
                     if self.outstanding >= self.mshrs {
@@ -335,44 +341,15 @@ impl FatCore {
                     self.push_run(1);
                     decoded += 1;
                 }
-                Some(Event::Fence) => {
-                    th.pending_fence = true;
-                    meta += 1;
-                    if meta > MAX_META_EVENTS {
-                        break;
-                    }
-                }
-                Some(Event::Block) => {
-                    // A captured lock wait: the context drains its window
-                    // (the blocked thread stops issuing). The wait *time*
-                    // is not replayed — waits in the capture schedule and
-                    // waits on the simulated machine differ; the fence
-                    // models the handoff synchronization.
-                    th.pending_fence = true;
-                    meta += 1;
-                    if meta > MAX_META_EVENTS {
-                        break;
-                    }
-                }
-                Some(Event::Wake) => {
-                    meta += 1;
-                    if meta > MAX_META_EVENTS {
-                        break;
-                    }
-                }
-                Some(Event::UnitEnd) => {
-                    th.units += 1;
-                    ctl.units += 1;
-                    ctl.unit_cycles += now.saturating_sub(th.unit_started_at);
-                    th.unit_started_at = now;
+                Some(ev) => {
+                    consume_meta_event(th, ctl, now, ev);
                     meta += 1;
                     if meta > MAX_META_EVENTS {
                         break;
                     }
                 }
                 None => {
-                    th.done = true;
-                    ctl.remaining = ctl.remaining.saturating_sub(1);
+                    finish_thread(th, ctl);
                     break;
                 }
             }

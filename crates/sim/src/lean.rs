@@ -12,16 +12,15 @@
 use dbcmp_trace::region::CodeRegions;
 use dbcmp_trace::Event;
 
-use crate::config::MachineConfig;
-use crate::ctx::{data_stall_class, fetch_check, CtxBase};
+use crate::config::{CoreKind, MachineConfig};
+use crate::core::Core;
+use crate::ctx::{
+    consume_meta_event, data_stall_class, fetch_check, finish_thread, CtxBase, MAX_META_EVENTS,
+};
 use crate::cursor::{PendingStore, ThreadState};
 use crate::machine::MachineCtl;
 use crate::memsys::MemSys;
 use crate::stats::CycleClass;
-
-/// Cap on zero-width events (fences, unit markers) consumed per context per
-/// cycle, to bound the decode loop.
-const MAX_META_EVENTS: usize = 64;
 
 #[derive(Debug)]
 pub struct LeanCore {
@@ -43,16 +42,31 @@ impl LeanCore {
                 .collect(),
             rr: 0,
             width: width.max(1),
-            pipeline_depth: cfg.core.pipeline_depth(),
+            // The slot's own depth (see FatCore::new).
+            pipeline_depth: CoreKind::Lean { width, contexts }.pipeline_depth(),
             quantum: cfg.quantum,
             switch_penalty: cfg.switch_penalty,
             retired: 0,
         }
     }
+}
+
+impl Core for LeanCore {
+    fn contexts(&self) -> &[CtxBase] {
+        &self.ctxs
+    }
+
+    fn contexts_mut(&mut self) -> &mut [CtxBase] {
+        &mut self.ctxs
+    }
+
+    fn retired_mut(&mut self) -> &mut u64 {
+        &mut self.retired
+    }
 
     /// Simulate one cycle. Returns the class to charge, or `None` if the
     /// core has no threads at all (inactive — not accounted).
-    pub fn cycle(
+    fn cycle(
         &mut self,
         core: usize,
         now: u64,
@@ -131,11 +145,6 @@ impl LeanCore {
             // The context blocked on its very first slot this cycle.
             Some(self.ctxs[i].blocked_class)
         }
-    }
-
-    /// Reset measurement counters (end of warm-up).
-    pub fn reset_counters(&mut self) {
-        self.retired = 0;
     }
 }
 
@@ -218,15 +227,6 @@ fn issue_from(
         }
         // 4. Decode the next trace event.
         match th.cursor.next_event() {
-            Some(Event::Exec { region, instrs }) => {
-                if instrs > 0 {
-                    th.cur_exec = Some((region, instrs));
-                }
-                meta += 1;
-                if meta > MAX_META_EVENTS {
-                    break;
-                }
-            }
             Some(Event::Load { addr, size, .. }) => {
                 // Lead lines are state-only touches; the *last* line of the
                 // access carries the timing (for sequential scans it is the
@@ -259,42 +259,15 @@ fn issue_from(
                 issued += 1;
                 progress += 1;
             }
-            Some(Event::Fence) => {
-                th.pending_fence = true;
-                meta += 1;
-                if meta > MAX_META_EVENTS {
-                    break;
-                }
-            }
-            Some(Event::Block) => {
-                // Captured lock wait: drain like a fence (see fat.rs); the
-                // wait duration itself belongs to the capture schedule, not
-                // the replayed machine.
-                th.pending_fence = true;
-                meta += 1;
-                if meta > MAX_META_EVENTS {
-                    break;
-                }
-            }
-            Some(Event::Wake) => {
-                meta += 1;
-                if meta > MAX_META_EVENTS {
-                    break;
-                }
-            }
-            Some(Event::UnitEnd) => {
-                th.units += 1;
-                ctl.units += 1;
-                ctl.unit_cycles += now.saturating_sub(th.unit_started_at);
-                th.unit_started_at = now;
+            Some(ev) => {
+                consume_meta_event(th, ctl, now, ev);
                 meta += 1;
                 if meta > MAX_META_EVENTS {
                     break;
                 }
             }
             None => {
-                th.done = true;
-                ctl.remaining = ctl.remaining.saturating_sub(1);
+                finish_thread(th, ctl);
                 break;
             }
         }

@@ -8,7 +8,11 @@
 //! heart of the paper's §5), and other stalls (branch mispredictions,
 //! context switches).
 //!
-//! Two core models implement the paper's two "camps" (§2.1):
+//! Machines are assembled slot by slot through [`builder::MachineBuilder`]
+//! (heterogeneous fat/lean mixes allowed, configs validated into
+//! [`config::ConfigError`] at build time); every slot is driven through
+//! the open [`core::Core`] trait. Two core models implement the paper's
+//! two "camps" (§2.1):
 //!
 //! * [`fat`] — a wide out-of-order core: a reorder-buffer window, multiple
 //!   outstanding misses (MSHRs), store buffering, and *dependence-limited*
@@ -31,8 +35,10 @@
 //! counts.
 
 pub mod analytic;
+pub mod builder;
 pub mod cache;
 pub mod config;
+pub mod core;
 pub mod ctx;
 pub mod cursor;
 pub mod fat;
@@ -42,6 +48,8 @@ pub mod memsys;
 pub mod stats;
 pub mod stream;
 
-pub use config::{CacheGeom, CoreKind, L2Arrangement, MachineConfig};
+pub use crate::core::Core;
+pub use builder::MachineBuilder;
+pub use config::{CacheGeom, ConfigError, CoreKind, L2Arrangement, MachineConfig};
 pub use machine::{Machine, RunMode};
 pub use stats::{Breakdown, CycleClass, SimResult};

@@ -13,7 +13,9 @@
 
 use dbcmp_trace::TraceBundle;
 
+use crate::builder::MachineBuilder;
 use crate::config::{CoreKind, MachineConfig};
+use crate::core::Core;
 use crate::cursor::ThreadState;
 use crate::fat::FatCore;
 use crate::lean::LeanCore;
@@ -43,9 +45,21 @@ pub enum RunMode {
     Completion { max_cycles: u64 },
 }
 
-enum AnyCore {
-    Fat(FatCore),
-    Lean(LeanCore),
+impl RunMode {
+    /// Whether traces wrap at their end (throughput sampling) or run
+    /// once (completion / response time).
+    pub fn wraps(self) -> bool {
+        matches!(self, RunMode::Throughput { .. })
+    }
+}
+
+/// Build the core model for one slot. The open [`Core`] trait replaces
+/// the closed `AnyCore` enum this match used to feed.
+fn make_core(cfg: &MachineConfig, kind: CoreKind) -> Box<dyn Core> {
+    match kind {
+        CoreKind::Fat { width, rob, mshrs } => Box::new(FatCore::new(cfg, width, rob, mshrs)),
+        CoreKind::Lean { width, contexts } => Box::new(LeanCore::new(cfg, contexts, width)),
+    }
 }
 
 /// A fully assembled machine, ready to step.
@@ -53,43 +67,44 @@ pub struct Machine<'a> {
     cfg: MachineConfig,
     bundle: &'a TraceBundle,
     threads: Vec<ThreadState<'a>>,
-    cores: Vec<AnyCore>,
+    cores: Vec<Box<dyn Core>>,
     mem: MemSys,
     ctl: MachineCtl,
     per_core: Vec<Breakdown>,
     now: u64,
+    mode: RunMode,
+    /// Built through the `Machine::new` manual-stepping shim: the mode
+    /// is a placeholder, so `execute()` must refuse to run it.
+    manual_shim: bool,
 }
 
 impl<'a> Machine<'a> {
-    /// Build a machine and bind the bundle's threads to hardware contexts
-    /// round-robin (thread i → context i mod total_contexts).
-    pub fn new(cfg: MachineConfig, bundle: &'a TraceBundle, wrap: bool) -> Self {
+    /// Assemble an already-validated machine and bind the bundle's
+    /// threads to hardware contexts round-robin (thread i → context
+    /// i mod total_contexts, contexts numbered core-major). Reached via
+    /// [`MachineBuilder::build`], which performs the validation.
+    pub(crate) fn assemble(cfg: MachineConfig, mode: RunMode, bundle: &'a TraceBundle) -> Self {
         let threads: Vec<ThreadState<'a>> = bundle
             .threads
             .iter()
-            .map(|t| ThreadState::new(t, &bundle.regions, wrap))
+            .map(|t| ThreadState::new(t, &bundle.regions, mode.wraps()))
             .collect();
-        let mut cores: Vec<AnyCore> = (0..cfg.n_cores)
-            .map(|_| match cfg.core {
-                CoreKind::Fat { width, rob, mshrs } => {
-                    AnyCore::Fat(FatCore::new(&cfg, width, rob, mshrs))
-                }
-                CoreKind::Lean { width, contexts } => {
-                    AnyCore::Lean(LeanCore::new(&cfg, contexts, width))
-                }
-            })
+        let mut cores: Vec<Box<dyn Core>> = cfg
+            .slot_kinds()
+            .into_iter()
+            .map(|k| make_core(&cfg, k))
             .collect();
 
-        // Bind threads to contexts.
-        let cpc = cfg.core.contexts();
-        let total_ctx = cfg.n_cores * cpc;
-        for (i, _) in bundle.threads.iter().enumerate() {
-            let ctx = i % total_ctx;
-            let (core, slot) = (ctx / cpc, ctx % cpc);
-            let base = match &mut cores[core] {
-                AnyCore::Fat(f) => &mut f.base,
-                AnyCore::Lean(l) => &mut l.ctxs[slot],
-            };
+        // Bind threads to contexts. Slots may differ in context count
+        // (heterogeneous machines), so walk the per-core context lists.
+        let ctx_map: Vec<(usize, usize)> = cores
+            .iter()
+            .enumerate()
+            .flat_map(|(c, core)| (0..core.contexts().len()).map(move |s| (c, s)))
+            .collect();
+        for i in 0..bundle.threads.len() {
+            let (c, s) = ctx_map[i % ctx_map.len()];
+            let base = &mut cores[c].contexts_mut()[s];
             if base.thread.is_none() {
                 base.thread = Some(i);
             } else {
@@ -111,30 +126,47 @@ impl<'a> Machine<'a> {
             },
             per_core: vec![Breakdown::default(); n_cores],
             now: 0,
+            mode,
+            manual_shim: false,
         }
+    }
+
+    /// Thin shim retained from the pre-builder API: build a machine for
+    /// **manual stepping** (`step()` in a caller-owned loop), panicking
+    /// on a degenerate config. The stored run mode is a placeholder —
+    /// `execute()` refuses machines built this way, so a zero-window
+    /// throughput run can never silently report zeros. Prefer
+    /// [`MachineBuilder`], which surfaces a `ConfigError` and carries a
+    /// real `RunMode`.
+    pub fn new(cfg: MachineConfig, bundle: &'a TraceBundle, wrap: bool) -> Self {
+        let mode = if wrap {
+            RunMode::Throughput {
+                warmup: 0,
+                measure: 0,
+            }
+        } else {
+            RunMode::Completion {
+                max_cycles: u64::MAX,
+            }
+        };
+        let mut m = MachineBuilder::from_config(cfg, mode)
+            .build(bundle)
+            .unwrap_or_else(|e| panic!("invalid machine config: {e}"));
+        m.manual_shim = true;
+        m
     }
 
     /// Advance one cycle across all cores.
     pub fn step(&mut self) {
         for c in 0..self.cores.len() {
-            let charge = match &mut self.cores[c] {
-                AnyCore::Fat(f) => f.cycle(
-                    c,
-                    self.now,
-                    &mut self.mem,
-                    &mut self.threads,
-                    &self.bundle.regions,
-                    &mut self.ctl,
-                ),
-                AnyCore::Lean(l) => l.cycle(
-                    c,
-                    self.now,
-                    &mut self.mem,
-                    &mut self.threads,
-                    &self.bundle.regions,
-                    &mut self.ctl,
-                ),
-            };
+            let charge = self.cores[c].cycle(
+                c,
+                self.now,
+                &mut self.mem,
+                &mut self.threads,
+                &self.bundle.regions,
+                &mut self.ctl,
+            );
             if let Some(class) = charge {
                 self.per_core[c].charge(class, 1);
             }
@@ -153,10 +185,7 @@ impl<'a> Machine<'a> {
             *b = Breakdown::default();
         }
         for c in &mut self.cores {
-            match c {
-                AnyCore::Fat(f) => f.reset_counters(),
-                AnyCore::Lean(l) => l.reset_counters(),
-            }
+            c.reset_counters();
         }
     }
 
@@ -178,29 +207,46 @@ impl<'a> Machine<'a> {
         }
     }
 
-    /// Run one full experiment.
-    pub fn run(cfg: MachineConfig, bundle: &'a TraceBundle, mode: RunMode) -> SimResult {
-        match mode {
+    /// Run the machine's configured [`RunMode`] to the end and report.
+    ///
+    /// Panics for machines built through the `Machine::new` shim, whose
+    /// mode is a manual-stepping placeholder (a zero-cycle throughput
+    /// window would otherwise "run" and report all zeros).
+    pub fn execute(mut self) -> SimResult {
+        assert!(
+            !self.manual_shim,
+            "Machine::new builds a manual-stepping machine; use \
+             MachineBuilder::from_config(cfg, mode).build(bundle) to execute()"
+        );
+        match self.mode {
             RunMode::Throughput { warmup, measure } => {
-                let mut m = Machine::new(cfg, bundle, true);
                 for _ in 0..warmup {
-                    m.step();
+                    self.step();
                 }
-                m.reset_measurement();
+                self.reset_measurement();
                 for _ in 0..measure {
-                    m.step();
+                    self.step();
                 }
-                m.result(measure)
+                self.result(measure)
             }
             RunMode::Completion { max_cycles } => {
-                let mut m = Machine::new(cfg, bundle, false);
-                let start = m.now;
-                while m.ctl.remaining > 0 && m.now - start < max_cycles {
-                    m.step();
+                let start = self.now;
+                while self.ctl.remaining > 0 && self.now - start < max_cycles {
+                    self.step();
                 }
-                m.result(m.now - start)
+                self.result(self.now - start)
             }
         }
+    }
+
+    /// Run one full experiment — thin shim over
+    /// `MachineBuilder::from_config(..).build(..).execute()`. Panics on a
+    /// degenerate config; use the builder to handle `ConfigError`.
+    pub fn run(cfg: MachineConfig, bundle: &'a TraceBundle, mode: RunMode) -> SimResult {
+        MachineBuilder::from_config(cfg, mode)
+            .build(bundle)
+            .unwrap_or_else(|e| panic!("invalid machine config: {e}"))
+            .execute()
     }
 }
 
@@ -369,6 +415,16 @@ mod tests {
             lean.uipc(),
             fat.uipc()
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "manual-stepping")]
+    fn shim_machines_refuse_execute() {
+        let cfg = MachineConfig::fat_cmp(1, 1 << 20, 8);
+        let b = bundle(1, 10);
+        // The shim's placeholder mode (0-cycle throughput window) must
+        // not silently "run" and report zeros.
+        Machine::new(cfg, &b, true).execute();
     }
 
     #[test]

@@ -186,8 +186,10 @@ impl MemCounters {
     }
 }
 
-/// Result of one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Result of one simulation run. `PartialEq` compares every field —
+/// the equivalence suites assert builder-built and legacy-path runs
+/// (and parallel and sequential sweeps) are *identical*, not close.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     pub machine: String,
     /// Measured cycles (after warm-up).
