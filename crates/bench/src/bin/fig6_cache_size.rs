@@ -37,6 +37,9 @@ fn main() {
                 .iter()
                 .find(|p| p.workload == workload && !p.fixed_latency && p.size == size)
                 .expect("point");
+            // Per-level counters from the topology walker: the fraction
+            // of demand traffic the L2 actually served at this size.
+            let l2 = real.result.mem.per_level[0];
             rows.push(vec![
                 format!("{} MB", size >> 20),
                 f2(fixed.result.uipc() / base),
@@ -46,6 +49,7 @@ fn main() {
                     + real.result.cpi_component(CycleClass::DStallMem)
                     + real.result.cpi_component(CycleClass::DStallCoherence)),
                 f3(real.result.cpi()),
+                f2(l2.miss_rate() * 100.0),
             ]);
         }
         print!(
@@ -58,6 +62,7 @@ fn main() {
                     "CPI: L2-hit stalls",
                     "CPI: all D-stalls",
                     "CPI: total",
+                    "L2 miss%",
                 ],
                 &rows
             )

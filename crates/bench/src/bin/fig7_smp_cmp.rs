@@ -49,9 +49,23 @@ fn main() {
             r.smp.cpi(),
             r.cmp.cpi(),
         );
+        // Per-level attribution from the topology walker: where the
+        // demand traffic was actually served.
+        let l2 = |res: &dbcmp_sim::SimResult| res.mem.per_level[0];
+        println!(
+            "    L2 traffic: SMP {} hits / {} misses ({} coherence transfers); \
+             CMP {} hits / {} misses",
+            l2(&r.smp).hits_data + l2(&r.smp).hits_instr,
+            l2(&r.smp).misses_data + l2(&r.smp).misses_instr,
+            r.smp.mem.coherence_transfers,
+            l2(&r.cmp).hits_data + l2(&r.cmp).hits_instr,
+            l2(&r.cmp).misses_data + l2(&r.cmp).misses_instr,
+        );
     }
     println!();
     println!("Paper shape: CMP CPI < SMP CPI (coherence misses become on-chip");
-    println!("hits), with the L2-hit component growing ~7x.");
+    println!("hits), with the L2-hit component growing ~7x. The fig_islands");
+    println!("binary joins these two presets as the endpoints of one island");
+    println!("continuum at fixed total capacity.");
     footer(t0);
 }

@@ -1,0 +1,76 @@
+//! `fig_islands`: cache-topology island sweep (tentpole of the
+//! composable-topology redesign). A fixed total L2 capacity is
+//! re-partitioned from one chip-shared L2 (Fig. 7's CMP preset), through
+//! 2-core and 4-core islands, to fully private per-core L2s (Fig. 7's
+//! SMP preset) — the paper's SMP-vs-CMP contrast becomes the two
+//! extremes of one curve, per "OLTP on Hardware Islands" (PAPERS.md).
+//! Per-island latency comes from the CACTI model for the island's share,
+//! so partitioning buys faster caches at the price of off-chip
+//! coherence.
+
+use dbcmp_bench::{footer, header, scale_from_args};
+use dbcmp_core::figures::{fig_islands, BASE_CORES};
+use dbcmp_core::report::{f2, f3, four_components, pct, table};
+use dbcmp_core::taxonomy::WorkloadKind;
+use dbcmp_sim::CycleClass;
+
+/// Fixed total capacity (the Fig. 7 CMP budget: 4 x 4 MB).
+const TOTAL_L2: u64 = 16 << 20;
+
+fn main() {
+    let t0 = header(
+        "fig_islands: shared L2 -> islands -> private L2s at fixed capacity",
+        "Figure 7's endpoints joined by the island continuum",
+    );
+    let scale = scale_from_args();
+    let points = fig_islands(&scale, BASE_CORES, TOTAL_L2);
+
+    for workload in [WorkloadKind::Oltp, WorkloadKind::Dss] {
+        println!("\n-- {} (saturated, throughput mode) --", workload.label());
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .filter(|p| p.workload == workload)
+            .map(|p| {
+                let (c, i, d, o) = four_components(&p.result.breakdown);
+                let b = &p.result.breakdown;
+                let total = b.total().max(1) as f64;
+                vec![
+                    format!("{}x{}", p.clusters, p.cores_per_cluster),
+                    format!("{} MB", (TOTAL_L2 / p.clusters as u64) >> 20),
+                    f3(p.result.uipc()),
+                    pct(c),
+                    pct(i),
+                    pct(d),
+                    pct(b.get(CycleClass::DStallCoherence) as f64 / total),
+                    pct(o),
+                    f2(p.result.mem.per_level[0].miss_rate() * 100.0),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            table(
+                &[
+                    "Islands",
+                    "L2/island",
+                    "UIPC",
+                    "Comp",
+                    "I-stalls",
+                    "D-stalls",
+                    "  of which coh.",
+                    "Other",
+                    "L2 miss%",
+                ],
+                &rows
+            )
+        );
+    }
+    println!();
+    println!("Endpoints are exactly Fig. 7's presets: 1x4 is the shared-L2 CMP,");
+    println!("4x1 the private-L2 SMP. Moving right, islands get faster-but-");
+    println!("smaller caches, and the two workloads pay differently: OLTP's");
+    println!("hot shared structures turn into off-chip coherence (the coh.");
+    println!("column), while DSS never coheres but loses the pooled capacity");
+    println!("(L2 miss% climbs as the shared L2 fragments).");
+    footer(t0);
+}

@@ -18,6 +18,7 @@
 //! | §6 ablation | `fig9_staged` |
 //! | §5.2 contention sweep (extension) | `fig_contention` |
 //! | asymmetric-CMP ratio sweep (extension) | `fig_asym` |
+//! | cache-topology island sweep (extension) | `fig_islands` |
 //!
 //! Run with `--quick` for a fast, smaller-scale pass (same code paths).
 //! The simulation points inside each binary fan out over OS threads via

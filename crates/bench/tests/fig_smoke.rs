@@ -12,9 +12,9 @@ use dbcmp_core::experiment::{run_throughput, RunSpec};
 use dbcmp_core::figures::{
     fig2_saturation, fig3_validation, fig45_quadrants, fig4_ratios, fig6_cache_sweep,
     fig7_smp_vs_cmp, fig8_core_scaling, fig8_core_scaling_timed, fig9_staged, fig_asym,
-    fig_contention, BASE_CORES, BASE_L2,
+    fig_contention, fig_islands, BASE_CORES, BASE_L2,
 };
-use dbcmp_core::machines::{asym_cmp, cmp_for, fc_cmp, L2Spec};
+use dbcmp_core::machines::{asym_cmp, cmp_for, fc_cmp, smp_baseline, L2Spec};
 use dbcmp_core::taxonomy::{table1, Camp, WorkloadKind};
 use dbcmp_core::workload::{CapturedWorkload, FigScale};
 use dbcmp_sim::SimResult;
@@ -227,6 +227,99 @@ fn fig_asym_quick() {
             );
         }
     }
+}
+
+/// The `fig_islands` gate: the island sweep's pure endpoints are
+/// numerically the Fig. 7 presets run on the same captures (one shared
+/// L2 ≡ the CMP, one-core islands ≡ the SMP), and the mid-point lands
+/// between them.
+#[test]
+fn fig_islands_quick() {
+    let scale = FigScale::quick();
+    let total = 16u64 << 20;
+    let points = fig_islands(&scale, BASE_CORES, total);
+    assert_eq!(points.len(), 2 * 3, "2 workloads x {{1x4, 2x2, 4x1}}");
+    let spec = RunSpec {
+        warmup: scale.warmup,
+        measure: scale.measure,
+        max_cycles: 2_000_000_000,
+    };
+    for workload in [WorkloadKind::Oltp, WorkloadKind::Dss] {
+        // Deterministic captures: same seed + client count as the sweep.
+        let w = CapturedWorkload::saturated(workload, &scale);
+        let pts: Vec<_> = points.iter().filter(|p| p.workload == workload).collect();
+        let shared = pts.iter().find(|p| p.clusters == 1).expect("1x4 endpoint");
+        let private = pts
+            .iter()
+            .find(|p| p.cores_per_cluster == 1)
+            .expect("4x1 endpoint");
+        // Endpoint ≡ Fig. 7 CMP preset (shared 16 MB L2).
+        let cmp_ref = run_throughput(fc_cmp(BASE_CORES, total, L2Spec::Cacti), &w.bundle, spec);
+        assert!(
+            same_numbers(&shared.result, &cmp_ref),
+            "{}: one chip-spanning island must equal the shared-L2 CMP preset",
+            workload.label()
+        );
+        // Endpoint ≡ Fig. 7 SMP preset (private 4 MB per node).
+        let smp_ref = run_throughput(
+            smp_baseline(BASE_CORES, total / BASE_CORES as u64, Camp::Fat),
+            &w.bundle,
+            spec,
+        );
+        assert!(
+            same_numbers(&private.result, &smp_ref),
+            "{}: one-core islands must equal the SMP preset",
+            workload.label()
+        );
+        // The shared chip is one coherence realm; partitioned chips snoop.
+        assert_eq!(shared.result.mem.coherence_transfers, 0);
+        // Mid-points land between the endpoints (small tolerance: the
+        // blend is not required to be exactly monotonic).
+        let (lo, hi) = {
+            let (a, b) = (shared.result.uipc(), private.result.uipc());
+            (a.min(b), a.max(b))
+        };
+        for p in pts
+            .iter()
+            .filter(|p| p.clusters > 1 && p.cores_per_cluster > 1)
+        {
+            let u = p.result.uipc();
+            assert!(
+                u >= lo * 0.9 && u <= hi * 1.1,
+                "{} {}x{} UIPC {u:.3} outside [{lo:.3}, {hi:.3}] band",
+                workload.label(),
+                p.clusters,
+                p.cores_per_cluster,
+            );
+        }
+        // Per-level counters flow through: every point records L2 traffic.
+        for p in &pts {
+            assert_eq!(p.result.mem.per_level.len(), 1);
+            assert!(p.result.mem.per_level[0].accesses() > 0);
+        }
+    }
+    // At quick scale (small working sets, hot shared structures) OLTP's
+    // shared→private throughput drop is much steeper than DSS's — its
+    // sharing becomes off-chip coherence while DSS still fits its share.
+    // (At paper scale DSS's capacity sensitivity grows; EXPERIMENTS.md
+    // records both shapes.)
+    let drop = |w: WorkloadKind| {
+        let pts: Vec<_> = points.iter().filter(|p| p.workload == w).collect();
+        let s = pts.iter().find(|p| p.clusters == 1).unwrap().result.uipc();
+        let p = pts
+            .iter()
+            .find(|p| p.cores_per_cluster == 1)
+            .unwrap()
+            .result
+            .uipc();
+        (s - p) / s
+    };
+    assert!(
+        drop(WorkloadKind::Oltp) > drop(WorkloadKind::Dss),
+        "OLTP must pay more for partitioning than DSS: {:.3} vs {:.3}",
+        drop(WorkloadKind::Oltp),
+        drop(WorkloadKind::Dss)
+    );
 }
 
 #[test]

@@ -10,7 +10,7 @@ use dbcmp_trace::TraceBundle;
 use dbcmp_workloads::tpch::QueryKind;
 
 use crate::experiment::{run_keyed, run_throughput, KeyedPoint, RunSpec, Sweep};
-use crate::machines::{asym_cmp, cmp_for, fc_cmp, lc_cmp, smp_baseline, L2Spec};
+use crate::machines::{asym_cmp, cmp_for, fc_cmp, island_cmp, lc_cmp, smp_baseline, L2Spec};
 use crate::taxonomy::{Camp, Saturation, WorkloadKind};
 use crate::workload::{CapturedWorkload, FigScale};
 
@@ -561,6 +561,68 @@ pub fn fig_asym(scale: &FigScale, total_slots: usize) -> Vec<AsymPoint> {
         .collect()
 }
 
+// ----------------------------------------------------------- fig_islands
+
+/// One point of the island sweep.
+pub struct IslandPoint {
+    pub clusters: usize,
+    pub cores_per_cluster: usize,
+    pub workload: WorkloadKind,
+    pub result: SimResult,
+}
+
+/// The island cluster sizes swept at a given core count: every divisor,
+/// from one chip-spanning cluster down to one-core islands.
+pub fn island_cluster_sizes(cores: usize) -> Vec<usize> {
+    (1..=cores)
+        .rev()
+        .filter(|k| cores.is_multiple_of(*k))
+        .collect()
+}
+
+/// Island sweep (tentpole of the topology redesign): a **fixed total L2
+/// capacity** re-partitioned from one chip-shared L2, through islands of
+/// shrinking size, to fully private per-core L2s — on saturated OLTP and
+/// DSS. The two pure endpoints are exactly Fig. 7's CMP and SMP presets
+/// (`island_cmp(1, n)` ≡ `fc_cmp`, `island_cmp(n, 1)` ≡ `smp_baseline`),
+/// so the paper's SMP-vs-CMP contrast becomes the two extremes of one
+/// curve: moving right, per-island caches shrink but get faster (CACTI
+/// latency for the island's share) and more sharing turns from on-chip
+/// L2/L1-to-L1 hits into off-chip coherence transfers. OLTP, rich in
+/// shared hot structures, pays for partitioning much sooner than scan-
+/// dominated DSS — the crossover EXPERIMENTS.md records.
+pub fn fig_islands(scale: &FigScale, cores: usize, total_l2: u64) -> Vec<IslandPoint> {
+    let spec = spec_of(scale);
+    let captures: Vec<(WorkloadKind, CapturedWorkload)> = [WorkloadKind::Oltp, WorkloadKind::Dss]
+        .into_iter()
+        .map(|w| (w, CapturedWorkload::saturated(w, scale)))
+        .collect();
+    let mut points = Vec::new();
+    for (workload, w) in &captures {
+        for k in island_cluster_sizes(cores) {
+            let clusters = cores / k;
+            points.push(KeyedPoint {
+                label: format!("{} {clusters}x{k}", workload.label()),
+                cfg: island_cmp(clusters, k, total_l2, L2Spec::Cacti),
+                mode: spec.throughput(),
+                bundle: &w.bundle,
+                key: (*workload, clusters, k),
+            });
+        }
+    }
+    run_keyed(points)
+        .into_iter()
+        .map(
+            |((workload, clusters, cores_per_cluster), result)| IslandPoint {
+                clusters,
+                cores_per_cluster,
+                workload,
+                result,
+            },
+        )
+        .collect()
+}
+
 // ---------------------------------------------------------------- helpers
 
 /// L2-hit stall share of execution time (the paper's headline metric).
@@ -582,6 +644,18 @@ mod tests {
         assert_eq!(pts.len(), 2);
         assert!((pts[0].1 - 1.0).abs() < 1e-9, "first point is the baseline");
         assert!(pts[1].1 > 0.0);
+    }
+
+    #[test]
+    fn island_cluster_sizes_cover_both_extremes() {
+        assert_eq!(island_cluster_sizes(4), [4, 2, 1]);
+        assert_eq!(island_cluster_sizes(8), [8, 4, 2, 1]);
+        assert_eq!(island_cluster_sizes(6), [6, 3, 2, 1]);
+        for cores in 1..=8 {
+            let sizes = island_cluster_sizes(cores);
+            assert_eq!(sizes.first(), Some(&cores), "chip-shared endpoint");
+            assert_eq!(sizes.last(), Some(&1), "fully-private endpoint");
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@ pub mod taxonomy;
 pub mod workload;
 
 pub use experiment::{run_completion, run_throughput, RunSpec, Sweep, SweepPoint};
-pub use machines::{asym_cmp, fc_cmp, lc_cmp, smp_baseline, L2Spec};
+pub use machines::{
+    asym_cmp, cmp_l3, fc_cmp, fc_cmp_l3, island_cmp, island_cmp_l3, lc_cmp, lc_cmp_l3,
+    smp_baseline, L2Spec,
+};
 pub use taxonomy::{Camp, Saturation, WorkloadKind};
 pub use workload::{CapturedWorkload, FigScale};

@@ -1,8 +1,12 @@
-//! Machine presets for the paper's experiments, with L2 latencies from
-//! the CACTI model (or pinned, for the fixed-latency sweeps of Fig. 6).
+//! Machine presets for the paper's experiments, with L2/L3 latencies
+//! from the CACTI model (or pinned, for the fixed-latency sweeps of
+//! Fig. 6). The island presets walk the continuum between the paper's
+//! two fixed shapes: [`island_cmp`] re-partitions one total L2 capacity
+//! from chip-shared to fully private, and the `*_l3` variants hang a
+//! model-derived shared L3 behind private L2s.
 
-use dbcmp_cacti::l2_latency_cycles;
-use dbcmp_sim::{CoreKind, MachineConfig};
+use dbcmp_cacti::{l2_latency_cycles, l3_latency_cycles};
+use dbcmp_sim::{CacheGeom, CacheTopology, CoreKind, LevelSpec, MachineConfig, SharedBy};
 
 use crate::taxonomy::Camp;
 
@@ -79,6 +83,96 @@ pub fn asym_cmp(fat_slots: usize, lean_slots: usize, l2_size: u64, l2: L2Spec) -
     c
 }
 
+/// Hardware-islands preset: `clusters` islands of `cores_per_cluster`
+/// fat cores, the **fixed** `total_l2` capacity split evenly across the
+/// islands, per-island latency from the CACTI model for the island's
+/// share. The pure endpoints reduce numerically to the Fig. 7 presets:
+/// one cluster of all cores is [`fc_cmp`] (chip-shared L2), and
+/// one-core islands are [`smp_baseline`] (private L2s, off-chip
+/// snooping). In between, islands keep their internal traffic on chip
+/// and snoop each other off chip — the continuum of "OLTP on Hardware
+/// Islands" (PAPERS.md). The chip's four L2 bank ports are split across
+/// the islands (each island keeps at least one).
+pub fn island_cmp(
+    clusters: usize,
+    cores_per_cluster: usize,
+    total_l2: u64,
+    l2: L2Spec,
+) -> MachineConfig {
+    let clusters = clusters.max(1);
+    let n = clusters * cores_per_cluster;
+    let per_island = total_l2 / clusters as u64;
+    let lat = l2.latency(per_island);
+    let mut c = MachineConfig::fat_cmp(n, per_island, lat);
+    c.topology = CacheTopology::new(vec![LevelSpec::new(
+        CacheGeom::new(per_island, 16, lat),
+        SharedBy::Cluster(cores_per_cluster),
+    )
+    .banks((4 / clusters).max(1), 2)]);
+    c.name = format!(
+        "ISLAND {clusters}x{cores_per_cluster} (L2 {} MB/island, {} cyc)",
+        per_island >> 20,
+        lat
+    );
+    c
+}
+
+/// L3 variant of the camp presets: per-core private L2s of
+/// `l2_per_core` bytes behind one chip-shared L3 of `l3_size` bytes,
+/// both latencies derived from the CACTI model (`l3_latency_cycles`
+/// instead of a hand-pinned constant). Cross-core dirty transfers ride
+/// the L3 directory, so `l1_to_l1` follows the L3 latency.
+pub fn cmp_l3(camp: Camp, n_cores: usize, l2_per_core: u64, l3_size: u64) -> MachineConfig {
+    let l2_lat = l2_latency_cycles(l2_per_core);
+    let l3_lat = l3_latency_cycles(l3_size);
+    let mut c = cmp_for(camp, n_cores, l2_per_core, L2Spec::Fixed(l2_lat));
+    c.topology = CacheTopology::private_l2(CacheGeom::new(l2_per_core, 16, l2_lat))
+        .with_l3(CacheGeom::new(l3_size, 16, l3_lat));
+    c.l1_to_l1 = l3_lat + 6;
+    c.name = format!(
+        "{}-CMP {n_cores}x (L2 {} MB/core + L3 {} MB, {l2_lat}/{l3_lat} cyc)",
+        match camp {
+            Camp::Fat => "FC-L3",
+            Camp::Lean => "LC-L3",
+        },
+        l2_per_core >> 20,
+        l3_size >> 20
+    );
+    c
+}
+
+/// Fat-camp L3 preset (see [`cmp_l3`]).
+pub fn fc_cmp_l3(n_cores: usize, l2_per_core: u64, l3_size: u64) -> MachineConfig {
+    cmp_l3(Camp::Fat, n_cores, l2_per_core, l3_size)
+}
+
+/// Lean-camp L3 preset (see [`cmp_l3`]).
+pub fn lc_cmp_l3(n_cores: usize, l2_per_core: u64, l3_size: u64) -> MachineConfig {
+    cmp_l3(Camp::Lean, n_cores, l2_per_core, l3_size)
+}
+
+/// Islands with an on-chip safety net: `clusters` islands of
+/// `cores_per_cluster` fat cores (total L2 capacity split as in
+/// [`island_cmp`]) behind one chip-shared L3, which turns the
+/// cross-island coherence misses back into on-chip hits.
+pub fn island_cmp_l3(
+    clusters: usize,
+    cores_per_cluster: usize,
+    total_l2: u64,
+    l3_size: u64,
+) -> MachineConfig {
+    let mut c = island_cmp(clusters, cores_per_cluster, total_l2, L2Spec::Cacti);
+    let l3_lat = l3_latency_cycles(l3_size);
+    c.topology = c.topology.with_l3(CacheGeom::new(l3_size, 16, l3_lat));
+    c.l1_to_l1 = l3_lat + 6;
+    c.name = format!(
+        "ISLAND {clusters}x{cores_per_cluster}+L3 (L2 {} MB/island, L3 {} MB)",
+        (total_l2 / clusters.max(1) as u64) >> 20,
+        l3_size >> 20
+    );
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,8 +181,8 @@ mod tests {
     fn cacti_latency_exceeds_fixed_four() {
         let real = fc_cmp(4, 16 << 20, L2Spec::Cacti);
         let fast = fc_cmp(4, 16 << 20, L2Spec::Fixed(4));
-        assert!(real.l2.geom().latency > fast.l2.geom().latency);
-        assert_eq!(fast.l2.geom().latency, 4);
+        assert!(real.l2_geom().latency > fast.l2_geom().latency);
+        assert_eq!(fast.l2_geom().latency, 4);
     }
 
     #[test]
@@ -117,7 +211,61 @@ mod tests {
     fn camps_share_memory_system() {
         let f = cmp_for(Camp::Fat, 4, 8 << 20, L2Spec::Cacti);
         let l = cmp_for(Camp::Lean, 4, 8 << 20, L2Spec::Cacti);
-        assert_eq!(f.l2.geom(), l.l2.geom());
+        assert_eq!(f.l2_geom(), l.l2_geom());
         assert_eq!(f.mem_latency, l.mem_latency);
+    }
+
+    /// The island preset's pure endpoints carry exactly the Fig. 7
+    /// presets' parameters (everything but the name and the — behaviorally
+    /// normalized — `SharedBy` spelling).
+    #[test]
+    fn island_endpoints_parameterize_like_fig7_presets() {
+        let total = 16u64 << 20;
+        // One island of four cores == the shared-L2 CMP.
+        let shared = island_cmp(1, 4, total, L2Spec::Cacti);
+        let fc = fc_cmp(4, total, L2Spec::Cacti);
+        shared.validate().expect("valid");
+        assert_eq!(shared.l2_geom(), fc.l2_geom());
+        assert_eq!(shared.topology.innermost().banks, 4);
+        assert_eq!(shared.l1_to_l1, fc.l1_to_l1);
+        assert_eq!(
+            shared.topology.innermost().shared_by,
+            SharedBy::Cluster(4),
+            "spelled as a 4-core cluster, normalized to chip-shared"
+        );
+        // Four one-core islands == the SMP baseline at the same total.
+        let private = island_cmp(4, 1, total, L2Spec::Cacti);
+        let smp = smp_baseline(4, 4 << 20, Camp::Fat);
+        private.validate().expect("valid");
+        assert_eq!(private.l2_geom(), smp.l2_geom());
+        assert_eq!(private.topology.innermost().banks, 1);
+        assert_eq!(private.l1_to_l1, smp.l1_to_l1);
+        assert_eq!(private.coherence_latency, smp.coherence_latency);
+        // The middle point: per-island capacity between the extremes.
+        let mid = island_cmp(2, 2, total, L2Spec::Cacti);
+        mid.validate().expect("valid");
+        assert_eq!(mid.l2_geom().size, 8 << 20);
+        assert_eq!(mid.topology.innermost().banks, 2);
+    }
+
+    #[test]
+    fn l3_presets_use_model_latencies() {
+        let c = fc_cmp_l3(4, 1 << 20, 16 << 20);
+        c.validate().expect("valid two-level preset");
+        assert_eq!(c.topology.depth(), 2);
+        assert_eq!(c.topology.innermost().shared_by, SharedBy::Core);
+        assert_eq!(c.topology.outermost().shared_by, SharedBy::Chip);
+        assert_eq!(
+            c.topology.outermost().geom.latency,
+            dbcmp_cacti::l3_latency_cycles(16 << 20),
+            "L3 latency comes from the model, not a pinned constant"
+        );
+        assert!(c.topology.outermost().geom.latency > c.topology.innermost().geom.latency);
+        let lean = lc_cmp_l3(4, 1 << 20, 16 << 20);
+        assert_eq!(lean.store_buffer, 4, "lean camp keeps its store buffer");
+        let isl = island_cmp_l3(2, 2, 8 << 20, 16 << 20);
+        isl.validate().expect("valid island+L3 preset");
+        assert_eq!(isl.topology.depth(), 2);
+        assert_eq!(isl.topology.innermost().shared_by, SharedBy::Cluster(2));
     }
 }

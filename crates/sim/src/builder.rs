@@ -1,20 +1,28 @@
 //! Composable machine assembly.
 //!
 //! [`MachineBuilder`] assembles a machine from per-slot [`CoreKind`]s
-//! (heterogeneous fat/lean mixes allowed), an L2 arrangement, and a
-//! [`RunMode`], and validates the result into a [`Machine`] — degenerate
-//! configs (zero cores, zero contexts, non-power-of-two L2 banks, …)
-//! come back as a [`ConfigError`] at build time instead of panicking or
-//! silently misbehaving deep in the cycle loop.
+//! (heterogeneous fat/lean mixes allowed), a cache topology (any mix of
+//! private, island, and chip-shared levels — or the legacy
+//! [`L2Arrangement`] shorthand), and a [`RunMode`], and validates the
+//! result into a [`Machine`] — degenerate configs (zero cores, zero
+//! contexts, empty hierarchies, non-nesting islands, …) come back as a
+//! [`ConfigError`] at build time instead of panicking or silently
+//! misbehaving deep in the cycle loop.
 //!
 //! ```
-//! use dbcmp_sim::{CacheGeom, CoreKind, L2Arrangement, MachineBuilder, RunMode};
+//! use dbcmp_sim::{
+//!     CacheGeom, CacheTopology, CoreKind, MachineBuilder, RunMode,
+//! };
 //! # let bundle = dbcmp_trace::TraceBundle::new(dbcmp_trace::CodeRegions::new(), vec![]);
+//! // Four lean cores in two 2-core islands, each island with its own
+//! // 4 MB L2, sharing a 16 MB L3.
 //! let machine = MachineBuilder::new(RunMode::Throughput { warmup: 1000, measure: 4000 })
-//!     .name("2F+2L asymmetric CMP")
-//!     .slots(CoreKind::fat(), 2)
-//!     .slots(CoreKind::lean(), 2)
-//!     .l2(L2Arrangement::Shared(CacheGeom::new(16 << 20, 16, 14)))
+//!     .name("2x2 lean islands + L3")
+//!     .slots(CoreKind::lean(), 4)
+//!     .topology(
+//!         CacheTopology::islands(2, CacheGeom::new(4 << 20, 16, 10))
+//!             .with_l3(CacheGeom::new(16 << 20, 16, 20)),
+//!     )
 //!     .build(&bundle)
 //!     .expect("valid config");
 //! let result = machine.execute();
@@ -22,10 +30,12 @@
 
 use dbcmp_trace::TraceBundle;
 
-use crate::config::{CacheGeom, ConfigError, CoreKind, L2Arrangement, MachineConfig};
+use crate::config::{
+    CacheGeom, CacheTopology, ConfigError, CoreKind, L2Arrangement, MachineConfig,
+};
 use crate::machine::{Machine, RunMode};
 
-/// Builder for [`Machine`]s: per-slot cores, L2 arrangement, run mode.
+/// Builder for [`Machine`]s: per-slot cores, cache topology, run mode.
 ///
 /// Starts from the paper's shared memory-system baseline (§3: identical
 /// memory subsystems for both camps) with *no* core slots; add slots
@@ -36,9 +46,14 @@ use crate::machine::{Machine, RunMode};
 pub struct MachineBuilder {
     cfg: MachineConfig,
     mode: RunMode,
-    /// The caller set `l1_to_l1` explicitly; `l2()` must not overwrite
-    /// it with the derived default (order-independence).
+    /// The caller set `l1_to_l1` explicitly; `l2()`/`topology()` must
+    /// not overwrite it with the derived default (order-independence).
     l1_to_l1_pinned: bool,
+    /// Bank overrides pinned by `l2_banks`/`l2_bank_occupancy`, applied
+    /// to the innermost level at build time so they survive a later
+    /// `l2()`/`topology()` call in any order.
+    banks_pinned: Option<usize>,
+    occupancy_pinned: Option<u64>,
 }
 
 impl MachineBuilder {
@@ -51,6 +66,8 @@ impl MachineBuilder {
             cfg,
             mode,
             l1_to_l1_pinned: false,
+            banks_pinned: None,
+            occupancy_pinned: None,
         }
     }
 
@@ -62,6 +79,8 @@ impl MachineBuilder {
             cfg,
             mode,
             l1_to_l1_pinned: true,
+            banks_pinned: None,
+            occupancy_pinned: None,
         }
     }
 
@@ -87,16 +106,25 @@ impl MachineBuilder {
         self
     }
 
-    /// Set the on-chip L2 arrangement (shared CMP or private SMP).
-    pub fn l2(mut self, l2: L2Arrangement) -> Self {
-        self.cfg.l2 = l2;
+    /// Set the whole on-chip hierarchy beyond the L1s: any number of
+    /// levels, each private, island-shared, or chip-shared.
+    pub fn topology(mut self, topology: CacheTopology) -> Self {
         // Keep the dependent on-chip transfer latency consistent with
         // the presets (L2 hit + directory indirection) — unless the
         // caller pinned it with `l1_to_l1()`, in any order.
         if !self.l1_to_l1_pinned {
-            self.cfg.l1_to_l1 = l2.geom().latency + 6;
+            if let Some(l2) = topology.levels.first() {
+                self.cfg.l1_to_l1 = l2.geom.latency + 6;
+            }
         }
+        self.cfg.topology = topology;
         self
+    }
+
+    /// Set the on-chip L2 arrangement (shared CMP or private SMP) — the
+    /// legacy shorthand for a one-level [`CacheTopology`].
+    pub fn l2(self, l2: L2Arrangement) -> Self {
+        self.topology(l2.topology())
     }
 
     pub fn l1i(mut self, g: CacheGeom) -> Self {
@@ -109,13 +137,17 @@ impl MachineBuilder {
         self
     }
 
+    /// Bank count of the innermost level (the L2). Pinned: survives a
+    /// later `l2()`/`topology()` call.
     pub fn l2_banks(mut self, banks: usize) -> Self {
-        self.cfg.l2_banks = banks;
+        self.banks_pinned = Some(banks);
         self
     }
 
+    /// Bank occupancy of the innermost level. Pinned like
+    /// [`l2_banks`](Self::l2_banks).
     pub fn l2_bank_occupancy(mut self, cycles: u64) -> Self {
-        self.cfg.l2_bank_occupancy = cycles;
+        self.occupancy_pinned = Some(cycles);
         self
     }
 
@@ -160,18 +192,34 @@ impl MachineBuilder {
         self
     }
 
+    /// Resolve the pinned per-level overrides into the config.
+    fn resolve(mut self) -> MachineConfig {
+        if let Some(l2) = self.cfg.topology.levels.first_mut() {
+            if let Some(banks) = self.banks_pinned {
+                l2.banks = banks;
+            }
+            if let Some(occ) = self.occupancy_pinned {
+                l2.bank_occupancy = occ;
+            }
+        }
+        self.cfg
+    }
+
     /// Validate and return the assembled config without building a
     /// machine (sweeps store configs, not machines).
     pub fn into_config(self) -> Result<MachineConfig, ConfigError> {
-        self.cfg.validate()?;
-        Ok(self.cfg)
+        let cfg = self.resolve();
+        cfg.validate()?;
+        Ok(cfg)
     }
 
     /// Validate the config and assemble a runnable [`Machine`] over
     /// `bundle`.
     pub fn build(self, bundle: &TraceBundle) -> Result<Machine<'_>, ConfigError> {
-        self.cfg.validate()?;
-        Ok(Machine::assemble(self.cfg, self.mode, bundle))
+        let mode = self.mode;
+        let cfg = self.resolve();
+        cfg.validate()?;
+        Ok(Machine::assemble(cfg, mode, bundle))
     }
 }
 
@@ -393,6 +441,85 @@ mod tests {
             .into_config()
             .expect("valid");
         assert_eq!(derived.l1_to_l1, geom.latency + 6);
+    }
+
+    #[test]
+    fn pinned_banks_survive_topology_in_either_order() {
+        use crate::config::{CacheTopology, SharedBy};
+        let geom = CacheGeom::new(8 << 20, 16, 12);
+        let before = MachineBuilder::new(MODE)
+            .slot(CoreKind::fat())
+            .l2_banks(8)
+            .l2_bank_occupancy(4)
+            .topology(CacheTopology::shared_l2(geom))
+            .into_config()
+            .expect("valid");
+        let after = MachineBuilder::new(MODE)
+            .slot(CoreKind::fat())
+            .topology(CacheTopology::shared_l2(geom))
+            .l2_banks(8)
+            .l2_bank_occupancy(4)
+            .into_config()
+            .expect("valid");
+        for cfg in [&before, &after] {
+            assert_eq!(cfg.topology.innermost().banks, 8);
+            assert_eq!(cfg.topology.innermost().bank_occupancy, 4);
+        }
+        // Unpinned: the topology's own bank parameters stand.
+        let plain = MachineBuilder::new(MODE)
+            .slot(CoreKind::fat())
+            .topology(CacheTopology::private_l2(geom))
+            .into_config()
+            .expect("valid");
+        assert_eq!(plain.topology.innermost().banks, 1);
+        assert_eq!(plain.topology.innermost().shared_by, SharedBy::Core);
+    }
+
+    #[test]
+    fn multi_level_island_topology_builds_and_runs() {
+        use crate::config::CacheTopology;
+        let b = bundle(8);
+        let m =
+            MachineBuilder::new(MODE)
+                .name("2x2 islands + L3")
+                .slots(CoreKind::fat(), 4)
+                .topology(
+                    CacheTopology::islands(2, CacheGeom::new(1 << 20, 16, 8))
+                        .with_l3(CacheGeom::new(8 << 20, 16, 20)),
+                )
+                .build(&b)
+                .expect("valid 2-level island config");
+        let res = m.execute();
+        assert!(res.instrs > 0);
+        assert_eq!(res.mem.per_level.len(), 2, "both levels counted");
+        assert!(res.mem.per_level[0].accesses() > 0);
+    }
+
+    #[test]
+    fn degenerate_topologies_are_rejected() {
+        use crate::config::{CacheTopology, ConfigError};
+        let b = bundle(1);
+        let err = MachineBuilder::new(MODE)
+            .slot(CoreKind::fat())
+            .topology(CacheTopology::new(vec![]))
+            .build(&b)
+            .map(|_m| ())
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EmptyTopology);
+        let err = MachineBuilder::new(MODE)
+            .slots(CoreKind::fat(), 4)
+            .topology(CacheTopology::islands(3, CacheGeom::new(1 << 20, 16, 8)))
+            .build(&b)
+            .map(|_m| ())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ClusterNotDivisible {
+                level: 0,
+                cluster: 3,
+                n_cores: 4
+            }
+        );
     }
 
     #[test]

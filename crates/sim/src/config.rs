@@ -1,9 +1,16 @@
-//! Machine configuration: cache geometries, core kinds, arrangements.
+//! Machine configuration: cache geometries, core kinds, topologies.
 //!
 //! Defaults follow the paper's simulated systems (§3): four cores per chip,
 //! identical memory subsystems for both camps, a shared on-chip L2 from
 //! 1 MB to 26 MB for the CMP arrangement, private 4 MB L2s for the SMP
 //! comparison, and UltraSPARC-flavoured core parameters (Table 1).
+//!
+//! The on-chip hierarchy beyond the L1s is an open [`CacheTopology`]: any
+//! number of [`LevelSpec`] levels, each private per core, shared by an
+//! *island* of adjacent cores, or shared by the whole chip — the continuum
+//! between the paper's two fixed shapes (see "OLTP on Hardware Islands",
+//! PAPERS.md). The legacy [`L2Arrangement`] enum survives as a thin
+//! constructor over the new types.
 
 use std::fmt;
 
@@ -28,11 +35,33 @@ pub enum ConfigError {
     ZeroWindow { slot: usize },
     /// A fat slot with no MSHRs cannot issue a single load.
     ZeroMshrs { slot: usize },
-    /// L2 bank count must be a power of two (line-interleaved mapping);
-    /// zero banks means no L2 port at all.
+    /// Cache bank count must be a power of two (line-interleaved mapping);
+    /// zero banks means no port at all.
     L2BanksNotPowerOfTwo { banks: usize },
     /// A cache smaller than one 64-byte line or with zero ways.
     BadCacheGeom { which: &'static str },
+    /// The cache topology has no levels at all — there is nothing between
+    /// the L1s and memory to fill or snoop.
+    EmptyTopology,
+    /// An island level whose cluster size is zero or does not divide the
+    /// core count (cores would be left without a cache instance).
+    ClusterNotDivisible {
+        level: usize,
+        cluster: usize,
+        n_cores: usize,
+    },
+    /// Adjacent levels whose island boundaries do not nest: an inner
+    /// instance would straddle two outer instances.
+    ClusterNotNested { level: usize },
+    /// A level shared by fewer cores than the level below it — the
+    /// hierarchy must widen (or stay equal) moving toward memory.
+    NarrowingShare { level: usize },
+    /// A level instance smaller than the instance below it: inclusion is
+    /// impossible and the hierarchy thrashes by construction.
+    ShrinkingLevel { level: usize },
+    /// A cache level with zero access latency (free caches break the
+    /// stall accounting).
+    ZeroLevelLatency { level: usize },
 }
 
 impl fmt::Display for ConfigError {
@@ -52,13 +81,39 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroMshrs { slot } => write!(f, "slot {slot}: fat core with zero MSHRs"),
             ConfigError::L2BanksNotPowerOfTwo { banks } => {
-                write!(f, "l2_banks must be a power of two, got {banks}")
+                write!(f, "cache banks must be a power of two, got {banks}")
             }
             ConfigError::BadCacheGeom { which } => {
                 write!(
                     f,
                     "{which}: cache needs at least one 64-byte line and one way"
                 )
+            }
+            ConfigError::EmptyTopology => {
+                write!(f, "cache topology has no levels between the L1s and memory")
+            }
+            ConfigError::ClusterNotDivisible {
+                level,
+                cluster,
+                n_cores,
+            } => write!(
+                f,
+                "cache level {level}: island size {cluster} does not divide {n_cores} cores"
+            ),
+            ConfigError::ClusterNotNested { level } => write!(
+                f,
+                "cache level {level}: island boundaries do not nest inside the next level"
+            ),
+            ConfigError::NarrowingShare { level } => write!(
+                f,
+                "cache level {level}: shared by fewer cores than the level below it"
+            ),
+            ConfigError::ShrinkingLevel { level } => write!(
+                f,
+                "cache level {level}: smaller than the level below it (inclusion impossible)"
+            ),
+            ConfigError::ZeroLevelLatency { level } => {
+                write!(f, "cache level {level}: zero access latency")
             }
         }
     }
@@ -92,6 +147,206 @@ impl CacheGeom {
     /// Number of sets.
     pub fn sets(&self) -> usize {
         (self.lines() / self.assoc).max(1)
+    }
+}
+
+/// Which cores share one instance of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SharedBy {
+    /// One instance per core — a private cache (the SMP node shape).
+    Core,
+    /// One instance per *island* of this many adjacent cores (the
+    /// hardware-islands middle ground). `Cluster(1)` behaves exactly like
+    /// [`SharedBy::Core`] and `Cluster(n_cores)` exactly like
+    /// [`SharedBy::Chip`].
+    Cluster(usize),
+    /// One instance shared by every core on the chip (the CMP shape).
+    Chip,
+}
+
+impl SharedBy {
+    /// Cores per instance once the core count is known.
+    pub fn cores_per_instance(self, n_cores: usize) -> usize {
+        match self {
+            SharedBy::Core => 1,
+            SharedBy::Cluster(k) => k,
+            SharedBy::Chip => n_cores.max(1),
+        }
+    }
+}
+
+/// One level of the on-chip cache hierarchy beyond the L1s (level 0 is
+/// the L2, level 1 an optional L3, and so on toward memory).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelSpec {
+    pub geom: CacheGeom,
+    pub shared_by: SharedBy,
+    /// Independently accessed banks per shared/island instance (power of
+    /// two, line-interleaved). For [`SharedBy::Core`] levels this instead
+    /// sizes the chip-wide port that instruction prefetches ride — demand
+    /// accesses to a private level have a dedicated port and never queue.
+    pub banks: usize,
+    /// Cycles one access occupies a bank port (queueing source).
+    pub bank_occupancy: u64,
+    /// Outstanding-miss budget per instance; misses beyond it queue for a
+    /// free slot. 0 disables the limit (the legacy model).
+    pub mshrs: usize,
+}
+
+impl LevelSpec {
+    /// A level with the preset bank parameters (4 banks, 2-cycle
+    /// occupancy) and no MSHR limit.
+    pub fn new(geom: CacheGeom, shared_by: SharedBy) -> Self {
+        LevelSpec {
+            geom,
+            shared_by,
+            banks: 4,
+            bank_occupancy: 2,
+            mshrs: 0,
+        }
+    }
+
+    /// Override the bank count and per-access occupancy.
+    pub fn banks(mut self, banks: usize, occupancy: u64) -> Self {
+        self.banks = banks;
+        self.bank_occupancy = occupancy;
+        self
+    }
+
+    /// Cap outstanding misses per instance (0 = unlimited).
+    pub fn mshrs(mut self, mshrs: usize) -> Self {
+        self.mshrs = mshrs;
+        self
+    }
+}
+
+/// The on-chip cache hierarchy beyond the per-core L1s, innermost level
+/// first: private L1s, then any number of levels each per-core,
+/// per-island, or chip-shared, then memory.
+///
+/// Validated by [`CacheTopology::validate`] (reached through
+/// [`MachineConfig::validate`] and `MachineBuilder::build`): non-empty,
+/// island sizes divide the core count and nest into the next level,
+/// sharing only widens outward, instance sizes never shrink outward, and
+/// every level has a non-zero latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheTopology {
+    pub levels: Vec<LevelSpec>,
+}
+
+impl CacheTopology {
+    pub fn new(levels: Vec<LevelSpec>) -> Self {
+        CacheTopology { levels }
+    }
+
+    /// The classic CMP shape: one chip-shared L2 (4 banks, 2-cycle
+    /// occupancy — the preset parameters).
+    pub fn shared_l2(geom: CacheGeom) -> Self {
+        CacheTopology {
+            levels: vec![LevelSpec::new(geom, SharedBy::Chip)],
+        }
+    }
+
+    /// The classic SMP shape: one private L2 per core, snooping over an
+    /// off-chip interconnect (single bus port for prefetches, matching
+    /// the SMP preset).
+    pub fn private_l2(geom: CacheGeom) -> Self {
+        CacheTopology {
+            levels: vec![LevelSpec::new(geom, SharedBy::Core).banks(1, 2)],
+        }
+    }
+
+    /// Hardware islands: one L2 per cluster of `cores_per_island`
+    /// adjacent cores. Without a shared outer level the islands snoop
+    /// each other off-chip (SMP-of-multicore-nodes); add
+    /// [`with_l3`](Self::with_l3) to keep inter-island traffic on chip.
+    pub fn islands(cores_per_island: usize, geom: CacheGeom) -> Self {
+        CacheTopology {
+            levels: vec![LevelSpec::new(geom, SharedBy::Cluster(cores_per_island))],
+        }
+    }
+
+    /// Append a further (outer) level.
+    pub fn with_level(mut self, spec: LevelSpec) -> Self {
+        self.levels.push(spec);
+        self
+    }
+
+    /// Append a chip-shared outer level (an L3) with the preset bank
+    /// parameters.
+    pub fn with_l3(self, geom: CacheGeom) -> Self {
+        self.with_level(LevelSpec::new(geom, SharedBy::Chip))
+    }
+
+    /// Number of levels between the L1s and memory.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The innermost level (the L2). Panics on an empty topology, which
+    /// [`CacheTopology::validate`] rejects first.
+    pub fn innermost(&self) -> &LevelSpec {
+        self.levels
+            .first()
+            .expect("topology has at least one level")
+    }
+
+    /// The outermost level (the one facing memory). Panics on an empty
+    /// topology, which [`CacheTopology::validate`] rejects first.
+    pub fn outermost(&self) -> &LevelSpec {
+        self.levels.last().expect("topology has at least one level")
+    }
+
+    fn level_name(i: usize) -> &'static str {
+        match i {
+            0 => "l2",
+            1 => "l3",
+            2 => "l4",
+            _ => "deep cache level",
+        }
+    }
+
+    /// Check the hierarchy for shapes that cannot be assembled.
+    pub fn validate(&self, n_cores: usize) -> Result<(), ConfigError> {
+        if self.levels.is_empty() {
+            return Err(ConfigError::EmptyTopology);
+        }
+        let mut prev_cluster = 1usize;
+        let mut prev_size = 0u64;
+        for (level, spec) in self.levels.iter().enumerate() {
+            let g = spec.geom;
+            if g.size < 64 || g.assoc == 0 {
+                return Err(ConfigError::BadCacheGeom {
+                    which: Self::level_name(level),
+                });
+            }
+            if g.latency == 0 {
+                return Err(ConfigError::ZeroLevelLatency { level });
+            }
+            if !spec.banks.is_power_of_two() {
+                return Err(ConfigError::L2BanksNotPowerOfTwo { banks: spec.banks });
+            }
+            let cluster = spec.shared_by.cores_per_instance(n_cores);
+            if cluster == 0 || !n_cores.is_multiple_of(cluster) {
+                return Err(ConfigError::ClusterNotDivisible {
+                    level,
+                    cluster,
+                    n_cores,
+                });
+            }
+            if cluster < prev_cluster {
+                return Err(ConfigError::NarrowingShare { level });
+            }
+            if cluster % prev_cluster != 0 {
+                return Err(ConfigError::ClusterNotNested { level });
+            }
+            if g.size < prev_size {
+                return Err(ConfigError::ShrinkingLevel { level });
+            }
+            prev_cluster = cluster;
+            prev_size = g.size;
+        }
+        Ok(())
     }
 }
 
@@ -154,7 +409,8 @@ impl CoreKind {
     }
 }
 
-/// On-chip L2 arrangement.
+/// The paper's two on-chip L2 arrangements — now a thin constructor over
+/// [`CacheTopology`]: both shapes are one-level hierarchies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum L2Arrangement {
     /// Chip multiprocessor: all cores share one banked on-chip L2.
@@ -170,6 +426,20 @@ impl L2Arrangement {
             L2Arrangement::Shared(g) | L2Arrangement::Private(g) => g,
         }
     }
+
+    /// The equivalent one-level topology. Both shapes keep the
+    /// workspace-default 4-bank pool the legacy `MachineConfig` carried
+    /// regardless of arrangement (for a private level the pool only
+    /// serves prefetch traffic); the SMP *preset* pins a single bus
+    /// port via [`CacheTopology::private_l2`].
+    pub fn topology(&self) -> CacheTopology {
+        match *self {
+            L2Arrangement::Shared(g) => CacheTopology::shared_l2(g),
+            L2Arrangement::Private(g) => CacheTopology {
+                levels: vec![LevelSpec::new(g, SharedBy::Core)],
+            },
+        }
+    }
 }
 
 /// Full machine description.
@@ -178,8 +448,9 @@ impl L2Arrangement {
 /// and describe themselves with `core` × `n_cores`. Heterogeneous CMPs —
 /// the asymmetric fat/lean mixes of the `fig_asym` extension — list one
 /// [`CoreKind`] per slot in `slots` (and keep `n_cores == slots.len()`);
-/// `core` then only seeds defaults. Use `MachineBuilder` to assemble
-/// either kind with validation.
+/// `core` then only seeds defaults. The on-chip hierarchy beyond the L1s
+/// is an open [`CacheTopology`]. Use `MachineBuilder` to assemble either
+/// kind with validation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineConfig {
     pub name: String,
@@ -192,19 +463,17 @@ pub struct MachineConfig {
     pub slots: Vec<CoreKind>,
     pub l1i: CacheGeom,
     pub l1d: CacheGeom,
-    pub l2: L2Arrangement,
+    /// The on-chip hierarchy beyond the L1s (level 0 = L2).
+    pub topology: CacheTopology,
     /// Off-chip memory access latency, cycles.
     pub mem_latency: u64,
-    /// On-chip dirty L1-to-L1 transfer latency (CMP), cycles. The paper
-    /// counts these as (fast) on-chip transfers alongside L2 hits.
+    /// On-chip dirty L1-to-L1 transfer latency (within a shared cache
+    /// domain), cycles. The paper counts these as (fast) on-chip
+    /// transfers alongside L2 hits.
     pub l1_to_l1: u64,
-    /// Off-chip cache-to-cache dirty transfer latency (SMP coherence
-    /// miss), cycles.
+    /// Off-chip cache-to-cache dirty transfer latency (coherence miss
+    /// between nodes), cycles.
     pub coherence_latency: u64,
-    /// Number of independently accessed L2 banks.
-    pub l2_banks: usize,
-    /// Cycles one access occupies an L2 bank port (queueing source).
-    pub l2_bank_occupancy: u64,
     /// Instruction stream buffer entries per core (0 disables).
     pub stream_buf: usize,
     /// Store buffer entries per hardware context.
@@ -231,12 +500,10 @@ impl MachineConfig {
             slots: Vec::new(),
             l1i: CacheGeom::new(64 << 10, 2, 1),
             l1d: CacheGeom::new(64 << 10, 2, 1),
-            l2: L2Arrangement::Shared(CacheGeom::new(l2_size, 16, l2_latency)),
+            topology: CacheTopology::shared_l2(CacheGeom::new(l2_size, 16, l2_latency)),
             mem_latency: 400,
             l1_to_l1: l2_latency + 6,
             coherence_latency: 260,
-            l2_banks: 4,
-            l2_bank_occupancy: 2,
             stream_buf: 8,
             store_buffer: 8,
             quantum: 300_000,
@@ -263,10 +530,15 @@ impl MachineConfig {
         let mut c = Self::fat_cmp(n_nodes, l2_size_per_node, l2_latency);
         c.name = format!("SMP {n_nodes}x (private L2 {} MB)", l2_size_per_node >> 20);
         c.core = core;
-        c.l2 = L2Arrangement::Private(CacheGeom::new(l2_size_per_node, 16, l2_latency));
-        // Each node has its own L2 port; banking/queueing applies per node.
-        c.l2_banks = 1;
+        // Each node has its own L2 port; the single chip-wide bank only
+        // carries prefetch traffic (see `LevelSpec::banks`).
+        c.topology = CacheTopology::private_l2(CacheGeom::new(l2_size_per_node, 16, l2_latency));
         c
+    }
+
+    /// The geometry of the innermost on-chip level (the L2).
+    pub fn l2_geom(&self) -> CacheGeom {
+        self.topology.innermost().geom
     }
 
     /// The core kind of each slot, in slot order.
@@ -322,17 +594,12 @@ impl MachineConfig {
                 }
             }
         }
-        if !self.l2_banks.is_power_of_two() {
-            return Err(ConfigError::L2BanksNotPowerOfTwo {
-                banks: self.l2_banks,
-            });
-        }
-        for (which, g) in [("l1i", self.l1i), ("l1d", self.l1d), ("l2", self.l2.geom())] {
+        for (which, g) in [("l1i", self.l1i), ("l1d", self.l1d)] {
             if g.size < 64 || g.assoc == 0 {
                 return Err(ConfigError::BadCacheGeom { which });
             }
         }
-        Ok(())
+        self.topology.validate(self.n_cores)
     }
 }
 
@@ -367,7 +634,7 @@ mod tests {
         }
         // Identical memory subsystems (paper §3).
         assert_eq!(fc.l1d, lc.l1d);
-        assert_eq!(fc.l2.geom(), lc.l2.geom());
+        assert_eq!(fc.l2_geom(), lc.l2_geom());
         assert_eq!(fc.mem_latency, lc.mem_latency);
         // Pipeline depths: deep vs shallow.
         assert!(fc.core.pipeline_depth() > lc.core.pipeline_depth());
@@ -376,7 +643,86 @@ mod tests {
     #[test]
     fn smp_uses_private_l2() {
         let smp = MachineConfig::smp(4, 4 << 20, 10, CoreKind::fat());
-        assert!(matches!(smp.l2, L2Arrangement::Private(_)));
-        assert_eq!(smp.l2.geom().size, 4 << 20);
+        assert_eq!(smp.topology.depth(), 1);
+        assert_eq!(smp.topology.innermost().shared_by, SharedBy::Core);
+        assert_eq!(smp.l2_geom().size, 4 << 20);
+    }
+
+    #[test]
+    fn legacy_arrangements_map_to_one_level_topologies() {
+        let g = CacheGeom::new(8 << 20, 16, 12);
+        let shared = L2Arrangement::Shared(g).topology();
+        assert_eq!(shared.depth(), 1);
+        assert_eq!(shared.innermost().shared_by, SharedBy::Chip);
+        assert_eq!(shared.innermost().geom, g);
+        assert_eq!(shared.innermost().banks, 4);
+        let private = L2Arrangement::Private(g).topology();
+        assert_eq!(private.innermost().shared_by, SharedBy::Core);
+        // The legacy config carried its 4-bank default regardless of
+        // arrangement; only the SMP preset pins a single bus port.
+        assert_eq!(private.innermost().banks, 4);
+        assert_eq!(CacheTopology::private_l2(g).innermost().banks, 1);
+    }
+
+    #[test]
+    fn topology_validation_rejects_degenerate_hierarchies() {
+        let g = CacheGeom::new(4 << 20, 16, 10);
+        let l3 = CacheGeom::new(16 << 20, 16, 20);
+        assert_eq!(
+            CacheTopology::new(vec![]).validate(4),
+            Err(ConfigError::EmptyTopology)
+        );
+        assert_eq!(
+            CacheTopology::islands(3, g).validate(4),
+            Err(ConfigError::ClusterNotDivisible {
+                level: 0,
+                cluster: 3,
+                n_cores: 4
+            })
+        );
+        assert_eq!(
+            CacheTopology::islands(0, g).validate(4),
+            Err(ConfigError::ClusterNotDivisible {
+                level: 0,
+                cluster: 0,
+                n_cores: 4
+            })
+        );
+        // Outer level narrower than the inner one.
+        assert_eq!(
+            CacheTopology::shared_l2(g)
+                .with_level(LevelSpec::new(l3, SharedBy::Core))
+                .validate(4),
+            Err(ConfigError::NarrowingShare { level: 1 })
+        );
+        // Island boundaries that straddle the outer islands.
+        assert_eq!(
+            CacheTopology::islands(2, g)
+                .with_level(LevelSpec::new(l3, SharedBy::Cluster(3)))
+                .validate(6),
+            Err(ConfigError::ClusterNotNested { level: 1 })
+        );
+        // Shrinking instance sizes outward.
+        assert_eq!(
+            CacheTopology::islands(2, g)
+                .with_l3(CacheGeom::new(1 << 20, 16, 20))
+                .validate(4),
+            Err(ConfigError::ShrinkingLevel { level: 1 })
+        );
+        // Zero latency.
+        assert_eq!(
+            CacheTopology::shared_l2(CacheGeom::new(4 << 20, 16, 0)).validate(4),
+            Err(ConfigError::ZeroLevelLatency { level: 0 })
+        );
+        // A well-formed two-level island hierarchy passes.
+        assert_eq!(CacheTopology::islands(2, g).with_l3(l3).validate(4), Ok(()));
+    }
+
+    #[test]
+    fn shared_by_normalizes_cluster_extremes() {
+        assert_eq!(SharedBy::Core.cores_per_instance(8), 1);
+        assert_eq!(SharedBy::Cluster(4).cores_per_instance(8), 4);
+        assert_eq!(SharedBy::Chip.cores_per_instance(8), 8);
+        assert_eq!(SharedBy::Chip.cores_per_instance(1), 1);
     }
 }

@@ -24,12 +24,20 @@
 //!   L1 miss and the core hides the latency with other contexts — exactly
 //!   Niagara-style fine-grained multithreading.
 //!
-//! The memory system ([`memsys`]) models per-core L1I/L1D, either a shared
-//! banked L2 (CMP arrangement) or per-node private L2s with MESI-style
-//! snooping (SMP arrangement), inclusive-L2 back-invalidation, L1-to-L1
-//! on-chip transfers, bank occupancy/queueing (the contention effect behind
-//! Fig. 8), and next-line instruction stream buffers (the reason both
-//! camps' I-stall components stay modest, §4).
+//! The memory system ([`memsys`]) models per-core L1I/L1D and an open,
+//! composable [`config::CacheTopology`]: any number of levels beyond the
+//! L1s, each private per core, shared by an *island* of adjacent cores,
+//! or chip-shared, with an optional L3 — the legacy shared-L2 CMP and
+//! private-L2 SMP arrangements are the two one-level extremes
+//! ([`config::L2Arrangement`] survives as a thin constructor). One
+//! generic level walker serves every shape: inclusive back-invalidation,
+//! L1-to-L1 transfers within shared domains, MESI-style snooping between
+//! nodes when no chip-shared root exists, bank occupancy/queueing (the
+//! contention effect behind Fig. 8), optional per-level MSHR caps, and
+//! next-line instruction stream buffers (the reason both camps' I-stall
+//! components stay modest, §4). Per-level hit/miss/eviction counters
+//! ([`stats::LevelCounters`]) attribute stalls to the level that served
+//! them.
 //!
 //! Everything is deterministic: same traces + same config ⇒ same cycle
 //! counts.
@@ -50,6 +58,9 @@ pub mod stream;
 
 pub use crate::core::Core;
 pub use builder::MachineBuilder;
-pub use config::{CacheGeom, ConfigError, CoreKind, L2Arrangement, MachineConfig};
+pub use config::{
+    CacheGeom, CacheTopology, ConfigError, CoreKind, L2Arrangement, LevelSpec, MachineConfig,
+    SharedBy,
+};
 pub use machine::{Machine, RunMode};
-pub use stats::{Breakdown, CycleClass, SimResult};
+pub use stats::{Breakdown, CycleClass, LevelCounters, SimResult};

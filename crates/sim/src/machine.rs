@@ -201,7 +201,7 @@ impl<'a> Machine<'a> {
             units: self.ctl.units,
             breakdown: agg,
             per_core: self.per_core.clone(),
-            mem: self.mem.counters,
+            mem: self.mem.counters.clone(),
             avg_unit_cycles: (self.ctl.units > 0)
                 .then(|| self.ctl.unit_cycles as f64 / self.ctl.units as f64),
         }

@@ -131,8 +131,63 @@ impl Breakdown {
     }
 }
 
-/// Memory-system event counters.
+/// Event counters for one level of the on-chip hierarchy (index 0 = L2,
+/// 1 = L3, …). Demand traffic only; prefetches appear in the queueing
+/// counters (they claim the same bank ports) but not in hits/misses.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelCounters {
+    /// Data-side demand accesses served at this level (probe hits plus
+    /// directory-charged upgrades).
+    pub hits_data: u64,
+    /// Instruction-side demand accesses served at this level.
+    pub hits_instr: u64,
+    /// Data-side demand accesses that missed and continued outward.
+    pub misses_data: u64,
+    /// Instruction-side demand accesses that missed and continued outward.
+    pub misses_instr: u64,
+    /// Lines evicted from this level (demand and prefetch fills).
+    pub evictions: u64,
+    /// Total service latency (cycles from request to data) of demand
+    /// accesses this level served — attributes stall time to the level
+    /// that supplied the data.
+    pub service_cycles: u64,
+    /// Cycles of bank queueing delay at this level.
+    pub queue_cycles: u64,
+    /// Accesses that found a bank of this level busy.
+    pub queued_accesses: u64,
+    /// Demand misses that waited for a free MSHR slot, and the cycles
+    /// lost waiting (only when `LevelSpec::mshrs` caps the level).
+    pub mshr_waits: u64,
+    pub mshr_wait_cycles: u64,
+}
+
+impl LevelCounters {
+    pub fn merge(&mut self, o: &LevelCounters) {
+        self.hits_data += o.hits_data;
+        self.hits_instr += o.hits_instr;
+        self.misses_data += o.misses_data;
+        self.misses_instr += o.misses_instr;
+        self.evictions += o.evictions;
+        self.service_cycles += o.service_cycles;
+        self.queue_cycles += o.queue_cycles;
+        self.queued_accesses += o.queued_accesses;
+        self.mshr_waits += o.mshr_waits;
+        self.mshr_wait_cycles += o.mshr_wait_cycles;
+    }
+
+    /// Demand accesses that probed this level.
+    pub fn accesses(&self) -> u64 {
+        self.hits_data + self.hits_instr + self.misses_data + self.misses_instr
+    }
+
+    /// Demand miss rate at this level.
+    pub fn miss_rate(&self) -> f64 {
+        (self.misses_data + self.misses_instr) as f64 / self.accesses().max(1) as f64
+    }
+}
+
+/// Memory-system event counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemCounters {
     pub l1d_accesses: u64,
     pub l1d_misses: u64,
@@ -152,13 +207,27 @@ pub struct MemCounters {
     pub coherence_transfers: u64,
     /// Stream-buffer hits (I-side prefetch successes).
     pub stream_hits: u64,
-    /// Cumulative cycles of L2 bank queueing delay experienced.
+    /// Cumulative cycles of bank queueing delay experienced (all levels).
     pub l2_queue_cycles: u64,
-    /// Number of L2 bank accesses that found the bank busy.
+    /// Number of bank accesses that found the bank busy (all levels).
     pub l2_queued_accesses: u64,
+    /// Per-level breakdown of the hierarchy (index 0 = L2, 1 = L3, …).
+    /// The scalar fields above keep their legacy meanings — `l2_hits`/
+    /// `l2_hits_instr` cover level 0 only, while `l2_queue_cycles`/
+    /// `l2_queued_accesses` aggregate bank queueing across all levels —
+    /// so single-level configs are unchanged either way.
+    pub per_level: Vec<LevelCounters>,
 }
 
 impl MemCounters {
+    /// Zeroed counters sized for a hierarchy of `levels` levels.
+    pub fn with_levels(levels: usize) -> Self {
+        MemCounters {
+            per_level: vec![LevelCounters::default(); levels],
+            ..Default::default()
+        }
+    }
+
     pub fn merge(&mut self, o: &MemCounters) {
         self.l1d_accesses += o.l1d_accesses;
         self.l1d_misses += o.l1d_misses;
@@ -173,6 +242,13 @@ impl MemCounters {
         self.stream_hits += o.stream_hits;
         self.l2_queue_cycles += o.l2_queue_cycles;
         self.l2_queued_accesses += o.l2_queued_accesses;
+        if self.per_level.len() < o.per_level.len() {
+            self.per_level
+                .resize(o.per_level.len(), LevelCounters::default());
+        }
+        for (mine, theirs) in self.per_level.iter_mut().zip(&o.per_level) {
+            mine.merge(theirs);
+        }
     }
 
     pub fn l1d_miss_rate(&self) -> f64 {
@@ -281,6 +357,25 @@ mod tests {
         assert!(!CycleClass::IStallL2.is_data_stall());
         assert!(CycleClass::IStallMem.is_instr_stall());
         assert!(!CycleClass::Compute.is_instr_stall());
+    }
+
+    #[test]
+    fn level_counters_merge_and_rates() {
+        let mut a = MemCounters::with_levels(1);
+        a.per_level[0].hits_data = 10;
+        a.per_level[0].misses_data = 5;
+        let mut b = MemCounters::with_levels(2);
+        b.per_level[0].hits_instr = 3;
+        b.per_level[1].misses_instr = 7;
+        b.per_level[1].evictions = 2;
+        a.merge(&b);
+        assert_eq!(a.per_level.len(), 2, "merge widens to the deeper hierarchy");
+        assert_eq!(a.per_level[0].hits_data, 10);
+        assert_eq!(a.per_level[0].hits_instr, 3);
+        assert_eq!(a.per_level[1].misses_instr, 7);
+        assert_eq!(a.per_level[1].evictions, 2);
+        assert_eq!(a.per_level[0].accesses(), 18);
+        assert!((a.per_level[0].miss_rate() - 5.0 / 18.0).abs() < 1e-12);
     }
 
     #[test]

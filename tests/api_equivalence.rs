@@ -1,6 +1,7 @@
-//! API-redesign equivalence suite (ISSUE 3).
+//! API-redesign equivalence suites (ISSUEs 3 and 4).
 //!
-//! The trait/builder/sweep redesign must be a pure refactor of the
+//! The trait/builder/sweep redesign (ISSUE 3) and the composable
+//! cache-topology redesign (ISSUE 4) must be pure refactors of the
 //! simulated physics: on real captured workloads,
 //!
 //! * builder-built homogeneous machines are **byte-identical** to the
@@ -9,13 +10,20 @@
 //!   equals the homogeneous machine event-for-event;
 //! * the parallel `Sweep` runner returns results identical — values and
 //!   order — to a sequential run of the same points, in both
-//!   `Throughput` and `Completion` modes.
+//!   `Throughput` and `Completion` modes;
+//! * every legacy `L2Arrangement::{Shared,Private}` preset run through
+//!   an explicitly spelled `CacheTopology` is byte-identical, a uniform
+//!   1-core-per-island topology ≡ `Private` and a chip-spanning island ≡
+//!   `Shared` event-for-event, and the golden anchor below pins the
+//!   walker's physics to the pre-refactor simulator.
 
 use dbcmp::core::experiment::{RunSpec, Sweep};
 use dbcmp::core::machines::{asym_cmp, cmp_for, fc_cmp, lc_cmp, smp_baseline, L2Spec};
 use dbcmp::core::taxonomy::{Camp, WorkloadKind};
 use dbcmp::core::workload::{CapturedWorkload, FigScale};
-use dbcmp::sim::{Machine, MachineBuilder, MachineConfig, RunMode, SimResult};
+use dbcmp::sim::{
+    CacheTopology, LevelSpec, Machine, MachineBuilder, MachineConfig, RunMode, SharedBy, SimResult,
+};
 use dbcmp::trace::TraceBundle;
 
 /// Force a genuinely threaded run (4 workers) regardless of host CPU
@@ -259,6 +267,84 @@ fn parallel_sweep_identical_to_sequential() {
                 r.machine, p.cfg.name,
                 "results must come back in input order"
             );
+        }
+    }
+}
+
+/// (ISSUE 4) Every legacy `L2Arrangement` preset re-spelled as an
+/// explicit `CacheTopology` is byte-identical: the enum is now a thin
+/// constructor and both spellings walk the same generic level chain.
+#[test]
+fn explicit_topology_byte_identical_to_legacy_arrangements() {
+    let scale = FigScale::quick();
+    let w = CapturedWorkload::saturated(WorkloadKind::Oltp, &scale);
+    let sp = spec(&scale);
+    for cfg in [
+        fc_cmp(2, 2 << 20, L2Spec::Cacti),
+        lc_cmp(2, 2 << 20, L2Spec::Cacti),
+        smp_baseline(2, 2 << 20, Camp::Fat),
+    ] {
+        // Re-spell the preset's one-level topology from scratch.
+        let level = *cfg.topology.innermost();
+        let mut spelled = cfg.clone();
+        spelled.topology =
+            CacheTopology::new(vec![LevelSpec::new(level.geom, level.shared_by)
+                .banks(level.banks, level.bank_occupancy)]);
+        assert_eq!(
+            spelled.topology, cfg.topology,
+            "thin constructor round-trips"
+        );
+        for mode in [sp.throughput(), sp.completion()] {
+            let legacy = Machine::run(cfg.clone(), &w.bundle, mode);
+            let explicit = Machine::run(spelled.clone(), &w.bundle, mode);
+            assert_eq!(
+                legacy, explicit,
+                "{}: topology spelling must not matter",
+                cfg.name
+            );
+        }
+    }
+}
+
+/// (ISSUE 4) A uniform 1-core-per-island topology ≡ `Private`
+/// event-for-event, and a chip-spanning island ≡ `Shared` — the cluster
+/// continuum really has the two legacy shapes as its endpoints.
+#[test]
+fn cluster_extremes_equal_legacy_shapes() {
+    let scale = FigScale::quick();
+    let w = CapturedWorkload::saturated(WorkloadKind::Oltp, &scale);
+    let sp = spec(&scale);
+    // Cluster(1) vs Private, identical bank parameters.
+    let private = smp_baseline(4, 1 << 20, Camp::Fat);
+    let mut one_core_islands = private.clone();
+    {
+        let lvl = private.topology.innermost();
+        one_core_islands.topology =
+            CacheTopology::new(vec![
+                LevelSpec::new(lvl.geom, SharedBy::Cluster(1)).banks(lvl.banks, lvl.bank_occupancy)
+            ]);
+    }
+    // Cluster(4) vs Chip on the fat CMP preset.
+    let shared = fc_cmp(4, 4 << 20, L2Spec::Cacti);
+    let mut chip_island = shared.clone();
+    {
+        let lvl = shared.topology.innermost();
+        chip_island.topology =
+            CacheTopology::new(vec![
+                LevelSpec::new(lvl.geom, SharedBy::Cluster(4)).banks(lvl.banks, lvl.bank_occupancy)
+            ]);
+    }
+    for (legacy, island) in [(private, one_core_islands), (shared, chip_island)] {
+        for mode in [sp.throughput(), sp.completion()] {
+            let a = Machine::run(legacy.clone(), &w.bundle, mode);
+            let b = Machine::run(island.clone(), &w.bundle, mode);
+            assert_eq!(
+                a.per_core, b.per_core,
+                "{}: per-core breakdowns",
+                legacy.name
+            );
+            assert_eq!(a.mem, b.mem, "{}: memory counters", legacy.name);
+            assert_eq!(a, b, "{}: full result", legacy.name);
         }
     }
 }
