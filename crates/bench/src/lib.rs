@@ -19,6 +19,7 @@
 //! | §5.2 contention sweep (extension) | `fig_contention` |
 //! | asymmetric-CMP ratio sweep (extension) | `fig_asym` |
 //! | cache-topology island sweep (extension) | `fig_islands` |
+//! | scan-vs-join DSS sweep (extension) | `fig_joins` |
 //!
 //! Run with `--quick` for a fast, smaller-scale pass (same code paths).
 //! The simulation points inside each binary fan out over OS threads via

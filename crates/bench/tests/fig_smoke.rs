@@ -12,7 +12,7 @@ use dbcmp_core::experiment::{run_throughput, RunSpec};
 use dbcmp_core::figures::{
     fig2_saturation, fig3_validation, fig45_quadrants, fig4_ratios, fig6_cache_sweep,
     fig7_smp_vs_cmp, fig8_core_scaling, fig8_core_scaling_timed, fig9_staged, fig_asym,
-    fig_contention, fig_islands, BASE_CORES, BASE_L2,
+    fig_contention, fig_islands, fig_joins, joins_machines, BASE_CORES, BASE_L2,
 };
 use dbcmp_core::machines::{asym_cmp, cmp_for, fc_cmp, smp_baseline, L2Spec};
 use dbcmp_core::taxonomy::{table1, Camp, WorkloadKind};
@@ -319,6 +319,72 @@ fn fig_islands_quick() {
         "OLTP must pay more for partitioning than DSS: {:.3} vs {:.3}",
         drop(WorkloadKind::Oltp),
         drop(WorkloadKind::Dss)
+    );
+}
+
+/// The `fig_joins` gate: joins really execute (hash-build and B+Tree
+/// probe instructions flow into the capture), the scan-flavor SMP/CMP
+/// points reproduce the Fig. 7 presets on the same captures, and the
+/// join flavor pays for private islands in L2 misses where the scan
+/// flavor does not.
+#[test]
+fn fig_joins_quick() {
+    let scale = FigScale::quick();
+    let run = fig_joins(&scale);
+    assert_eq!(run.points.len(), 6, "2 flavors x {{SMP, CMP, 2x2 island}}");
+
+    // Joins produce hash-build/probe work and index-nested-loop descents;
+    // the scan mix's Q13/Q16 hash-join share must not dominate the
+    // join-heavy capture's.
+    assert!(
+        run.joins.hashjoin_instrs > 0,
+        "join capture must charge exec-hashjoin instructions"
+    );
+    assert!(
+        run.joins.nlj_instrs > 0 && run.joins.btree_instrs > 0,
+        "Q5's index-nested-loop join must charge probe + descent work: {} / {}",
+        run.joins.nlj_instrs,
+        run.joins.btree_instrs,
+    );
+    assert_eq!(
+        run.scan.nlj_instrs, 0,
+        "the paper's scan mix has no index-nested-loop operator"
+    );
+
+    // Scan-flavor endpoints ≡ the Fig. 7 presets run on the same capture.
+    let spec = RunSpec {
+        warmup: scale.warmup,
+        measure: scale.measure,
+        max_cycles: 2_000_000_000,
+    };
+    let w = CapturedWorkload::saturated(WorkloadKind::Dss, &scale);
+    let find = |join_heavy: bool, machine: &str| {
+        run.points
+            .iter()
+            .find(|p| p.join_heavy == join_heavy && p.machine == machine)
+            .expect("point present")
+    };
+    for (tag, cfg) in joins_machines() {
+        let reference = run_throughput(cfg, &w.bundle, spec);
+        assert!(
+            same_numbers(&find(false, tag).result, &reference),
+            "scan-flavor {tag} point must reproduce the preset numbers"
+        );
+    }
+
+    // The join flavor pays for partitioning in capacity misses: on every
+    // private/island point its L2 miss rate meets or exceeds the scan
+    // flavor's, and the gap is strict on the fully private SMP.
+    let l2_miss = |p: &dbcmp_core::figures::JoinsPoint| p.result.mem.per_level[0].miss_rate();
+    for tag in ["SMP", "ISLAND 2x2"] {
+        assert!(
+            l2_miss(find(true, tag)) >= l2_miss(find(false, tag)),
+            "{tag}: join DSS L2 miss rate must be >= scan DSS"
+        );
+    }
+    assert!(
+        l2_miss(find(true, "SMP")) > l2_miss(find(false, "SMP")),
+        "private 4 MB nodes must overflow under join working sets"
     );
 }
 

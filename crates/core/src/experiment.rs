@@ -69,12 +69,33 @@ pub struct SweepPoint {
 /// A labeled list of machine-config points evaluated against shared
 /// trace bundles, in parallel or sequentially, with results always in
 /// input order.
+///
+/// ```
+/// use dbcmp_core::experiment::{RunSpec, Sweep};
+/// use dbcmp_core::machines::{fc_cmp, lc_cmp, L2Spec};
+/// use dbcmp_workloads::{build_tpch, capture_dss, CaptureOptions, QueryKind, TpchScale};
+///
+/// // Capture a tiny two-client DSS workload...
+/// let (mut db, h) = build_tpch(TpchScale::tiny(), 7);
+/// let bundle = capture_dss(&mut db, &h, &[QueryKind::Q6], CaptureOptions::new(2, 1, 7));
+///
+/// // ...and race the two camps on it; the points fan out across OS
+/// // threads, results come back in input order.
+/// let spec = RunSpec { warmup: 10_000, measure: 50_000, max_cycles: u64::MAX };
+/// let results = Sweep::new()
+///     .point("fat", fc_cmp(2, 8 << 20, L2Spec::Cacti), spec.throughput())
+///     .point("lean", lc_cmp(2, 8 << 20, L2Spec::Cacti), spec.throughput())
+///     .run(&bundle);
+/// assert_eq!(results.len(), 2);
+/// assert!(results.iter().all(|r| r.cycles > 0));
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Sweep {
     points: Vec<SweepPoint>,
 }
 
 impl Sweep {
+    /// An empty sweep.
     pub fn new() -> Self {
         Sweep { points: Vec::new() }
     }

@@ -460,7 +460,8 @@ pub fn fig9_staged(scale: &FigScale) -> Vec<Fig9Result> {
         .map(|(name, policy)| {
             let (mut db, h) = dbcmp_workloads::build_tpch(scale.tpch, scale.seed);
             let bundle: TraceBundle =
-                capture_staged_dss(&mut db, &h, &kinds, policy, 2, scale.seed);
+                capture_staged_dss(&mut db, &h, &kinds, policy, 2, scale.seed)
+                    .expect("Q1/Q6 are staged-pipelineable");
             let instrs = bundle.total_instrs() as f64 / bundle.total_units().max(1) as f64;
             let mut results = Sweep::new()
                 .point(
@@ -621,6 +622,126 @@ pub fn fig_islands(scale: &FigScale, cores: usize, total_l2: u64) -> Vec<IslandP
             },
         )
         .collect()
+}
+
+// ------------------------------------------------------------- fig_joins
+
+/// One point of the join sweep: a DSS flavor on a machine preset.
+pub struct JoinsPoint {
+    /// Machine tag: `"SMP"`, `"CMP"`, or `"ISLAND 2x2"`.
+    pub machine: &'static str,
+    /// `true` for the join-heavy Q3/Q5 capture, `false` for the paper's
+    /// scan mix.
+    pub join_heavy: bool,
+    /// Simulation result with per-level cache counters.
+    pub result: SimResult,
+}
+
+/// Capture-side attribution for one DSS flavor: where the instructions
+/// went and how big the data working set was.
+pub struct JoinsCaptureStats {
+    /// Instructions charged to the hash-join build/probe region.
+    pub hashjoin_instrs: u64,
+    /// Instructions charged to the (index-)nested-loop region.
+    pub nlj_instrs: u64,
+    /// Instructions charged to the B+Tree search region (Q5's
+    /// index-nested-loop descents land here).
+    pub btree_instrs: u64,
+    /// Total instructions in the capture.
+    pub total_instrs: u64,
+    /// Distinct data bytes touched (cache-line granular).
+    pub data_working_set: u64,
+}
+
+fn joins_capture_stats(w: &CapturedWorkload) -> JoinsCaptureStats {
+    // One decode pass for all three region lookups (paper-scale bundles
+    // run to millions of events).
+    let totals = w.bundle.region_instr_totals();
+    let by_name = |name: &str| {
+        w.bundle
+            .regions
+            .iter()
+            .find(|r| r.name == name)
+            .map_or(0, |r| totals[r.id as usize])
+    };
+    JoinsCaptureStats {
+        hashjoin_instrs: by_name("exec-hashjoin"),
+        nlj_instrs: by_name("exec-nlj"),
+        btree_instrs: by_name("btree-search"),
+        total_instrs: w.bundle.total_instrs(),
+        data_working_set: w.summary.data_working_set(),
+    }
+}
+
+/// The full `fig_joins` run: six simulation points plus per-capture
+/// instruction attribution.
+pub struct FigJoinsRun {
+    /// 2 flavors x 3 machines, scan flavor first, machines in
+    /// SMP → CMP → island order.
+    pub points: Vec<JoinsPoint>,
+    /// Attribution for the scan-mix capture.
+    pub scan: JoinsCaptureStats,
+    /// Attribution for the join-heavy capture.
+    pub joins: JoinsCaptureStats,
+}
+
+/// The machine presets `fig_joins` sweeps: Fig. 7's SMP (private 4 MB
+/// L2 per node) and CMP (shared 16 MB L2), plus the 2x2 hardware-island
+/// midpoint at the same 16 MB total — so the scan-flavor endpoints
+/// reproduce Fig. 7's numbers on the same captures.
+pub fn joins_machines() -> [(&'static str, dbcmp_sim::MachineConfig); 3] {
+    [
+        ("SMP", smp_baseline(4, 4 << 20, Camp::Fat)),
+        ("CMP", fc_cmp(4, 16 << 20, L2Spec::Cacti)),
+        ("ISLAND 2x2", island_cmp(2, 2, 16 << 20, L2Spec::Cacti)),
+    ]
+}
+
+/// Join sweep (the join half of the DSS camp): the paper's scan-mix DSS
+/// capture vs a join-heavy Q3/Q5 capture, replayed on Fig. 7's SMP/CMP
+/// presets and the 2x2 island midpoint. Scans stream through any cache;
+/// the joins' build-side hash tables and B+Tree descents form working
+/// sets that fit a pooled 16 MB L2 but blow past a 4 MB private island —
+/// so partitioning costs the join flavor capacity misses where the scan
+/// flavor barely notices (the *OLTP on Hardware Islands* capacity axis,
+/// driven here by join state instead of scan footprint).
+pub fn fig_joins(scale: &FigScale) -> FigJoinsRun {
+    let spec = spec_of(scale);
+    let captures: Vec<(bool, CapturedWorkload)> = vec![
+        (false, CapturedWorkload::saturated(WorkloadKind::Dss, scale)),
+        (
+            true,
+            CapturedWorkload::dss_joins(scale, scale.dss_clients, scale.dss_units),
+        ),
+    ];
+    let mut points = Vec::new();
+    for (join_heavy, w) in &captures {
+        for (tag, cfg) in joins_machines() {
+            points.push(KeyedPoint {
+                label: format!(
+                    "{tag} {}",
+                    if *join_heavy { "join DSS" } else { "scan DSS" }
+                ),
+                cfg,
+                mode: spec.throughput(),
+                bundle: &w.bundle,
+                key: (*join_heavy, tag),
+            });
+        }
+    }
+    let points = run_keyed(points)
+        .into_iter()
+        .map(|((join_heavy, machine), result)| JoinsPoint {
+            machine,
+            join_heavy,
+            result,
+        })
+        .collect();
+    FigJoinsRun {
+        points,
+        scan: joins_capture_stats(&captures[0].1),
+        joins: joins_capture_stats(&captures[1].1),
+    }
 }
 
 // ---------------------------------------------------------------- helpers

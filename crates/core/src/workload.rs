@@ -123,14 +123,16 @@ impl CapturedWorkload {
         )
     }
 
-    /// Capture a DSS query stream (`clients` sessions over the paper's
-    /// four-query mix).
-    pub fn dss(scale: &FigScale, clients: usize, units: usize) -> Self {
+    /// One DSS capture path for every query mix — the public `dss*`
+    /// constructors differ *only* in the mix they pass here, so their
+    /// databases, seeds, and client structures stay identical by
+    /// construction.
+    fn dss_mix(mix: &[QueryKind], scale: &FigScale, clients: usize, units: usize) -> Self {
         let (mut db, h) = build_tpch(scale.tpch, scale.seed);
         let bundle = capture_dss(
             &mut db,
             &h,
-            &QueryKind::ALL,
+            mix,
             CaptureOptions::new(clients, units, scale.seed),
         );
         let summary = TraceSummary::compute(&bundle.regions, &bundle.threads);
@@ -139,6 +141,21 @@ impl CapturedWorkload {
             bundle,
             summary,
         }
+    }
+
+    /// Capture a DSS query stream (`clients` sessions over the paper's
+    /// four-query mix).
+    pub fn dss(scale: &FigScale, clients: usize, units: usize) -> Self {
+        Self::dss_mix(&QueryKind::ALL, scale, clients, units)
+    }
+
+    /// Capture a **join-heavy** DSS query stream: the Q3/Q5 mix
+    /// ([`QueryKind::JOINS`]) whose hash builds and index-nested-loop
+    /// descents — not scan bandwidth — set the cache behaviour. Same
+    /// database, seed, and client structure as [`Self::dss`], so the two
+    /// captures differ only in query shape (what `fig_joins` contrasts).
+    pub fn dss_joins(scale: &FigScale, clients: usize, units: usize) -> Self {
+        Self::dss_mix(&QueryKind::JOINS, scale, clients, units)
     }
 
     /// Saturated capture at the scale's default client count.

@@ -68,6 +68,7 @@ pub struct Cursor {
 }
 
 impl BTree {
+    /// An empty tree (a single leaf) with simulated node addresses.
     pub fn new(space: &AddressSpace) -> Self {
         let addr = space.alloc_anon(NODE_BYTES);
         BTree {
@@ -82,10 +83,12 @@ impl BTree {
         }
     }
 
+    /// Number of live keys.
     pub fn len(&self) -> usize {
         self.len
     }
 
+    /// Whether the tree holds no keys.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }

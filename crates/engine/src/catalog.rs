@@ -12,9 +12,12 @@ pub type TableId = usize;
 /// Index handle.
 pub type IndexId = usize;
 
+/// Per-table catalog entry.
 #[derive(Debug)]
 pub struct TableMeta {
+    /// Table name (unique within the database).
     pub name: &'static str,
+    /// Indexes defined over the table.
     pub indexes: Vec<IndexId>,
 }
 
@@ -26,6 +29,7 @@ pub struct Catalog {
 }
 
 impl Catalog {
+    /// An empty catalog with a simulated allocation for its entries.
     pub fn new(space: &AddressSpace) -> Self {
         Catalog {
             tables: Vec::new(),
@@ -33,6 +37,7 @@ impl Catalog {
         }
     }
 
+    /// Register a table, returning its dense handle.
     pub fn add_table(&mut self, name: &'static str) -> TableId {
         self.tables.push(TableMeta {
             name,
@@ -41,6 +46,7 @@ impl Catalog {
         self.tables.len() - 1
     }
 
+    /// Attach an index to a table's entry.
     pub fn add_index(&mut self, table: TableId, index: IndexId) {
         self.tables[table].indexes.push(index);
     }
@@ -53,14 +59,17 @@ impl Catalog {
         Some(id)
     }
 
+    /// Metadata for a table handle.
     pub fn table(&self, id: TableId) -> &TableMeta {
         &self.tables[id]
     }
 
+    /// Number of registered tables.
     pub fn len(&self) -> usize {
         self.tables.len()
     }
 
+    /// Whether the catalog is empty.
     pub fn is_empty(&self) -> bool {
         self.tables.is_empty()
     }

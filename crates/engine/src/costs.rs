@@ -112,6 +112,7 @@ pub mod instr {
     pub const TXN_COMMIT: u32 = 220;
     /// Transaction abort incl. undo application per record surcharge.
     pub const TXN_ABORT_BASE: u32 = 180;
+    /// Undo application, per record rolled back.
     pub const TXN_UNDO_PER_REC: u32 = 90;
     /// Lock acquire (hash, probe, grant).
     pub const LOCK_ACQUIRE: u32 = 85;
@@ -151,6 +152,10 @@ pub mod instr {
     pub const HJ_BUILD_ROW: u32 = 28;
     /// Hash join: probe per row.
     pub const HJ_PROBE_ROW: u32 = 24;
+    /// Index-nested-loop join: per-probe setup (key extraction, rid
+    /// dispatch) — the B+Tree descent itself charges `BTREE_NODE` per
+    /// level through the btree-search region.
+    pub const INL_PROBE_ROW: u32 = 14;
     /// Aggregation update per row.
     pub const AGG_UPDATE: u32 = 18;
     /// Sort: per-comparison charge.

@@ -41,8 +41,10 @@ pub enum LockPolicy {
 
 /// The whole database instance.
 pub struct Database {
+    /// Simulated data address space shared by every structure.
     pub space: Arc<AddressSpace>,
     regions: CodeRegions,
+    /// Engine code-region ids (copied into every [`TraceCtx`]).
     pub er: EngineRegions,
     catalog: Catalog,
     heaps: Vec<HeapTable>,
@@ -56,6 +58,7 @@ pub struct Database {
 }
 
 impl Database {
+    /// An empty database with fresh address space and region table.
     pub fn new() -> Self {
         let space = Arc::new(AddressSpace::new());
         let mut regions = CodeRegions::new();
@@ -96,6 +99,7 @@ impl Database {
         self.lock_policy = policy;
     }
 
+    /// The active lock-conflict discipline.
     pub fn lock_policy(&self) -> LockPolicy {
         self.lock_policy
     }
@@ -118,6 +122,7 @@ impl Database {
 
     // ---- DDL ----
 
+    /// Create a table with the given row layout.
     pub fn create_table(&mut self, name: &'static str, schema: Schema) -> TableId {
         let id = self.catalog.add_table(name);
         self.heaps.push(HeapTable::new(schema, &self.space, name));
@@ -146,29 +151,35 @@ impl Database {
         id
     }
 
+    /// Traced catalog lookup by table name.
     pub fn table_id(&self, name: &str, tc: &mut TraceCtx) -> Option<TableId> {
         self.catalog.lookup(name, tc)
     }
 
+    /// The heap behind a table handle.
     pub fn table(&self, id: TableId) -> &HeapTable {
         &self.heaps[id]
     }
 
     #[allow(clippy::should_implement_trait)] // accessor by id, not ops::Index
+    /// The B+Tree behind an index handle.
     pub fn index(&self, id: IndexId) -> &BTree {
         &self.indexes[id]
     }
 
+    /// Number of tables.
     pub fn n_tables(&self) -> usize {
         self.heaps.len()
     }
 
+    /// `(records, bytes)` appended to the WAL so far.
     pub fn wal_stats(&self) -> (u64, u64) {
         (self.wal.records(), self.wal.bytes_written())
     }
 
     // ---- Transactions ----
 
+    /// Open a transaction (monotone id; traced begin bookkeeping).
     pub fn begin(&mut self, tc: &mut TraceCtx) -> Txn {
         tc.charge(tc.r.txn_mgr, instr::TXN_BEGIN);
         let id = self.next_txn;
@@ -176,6 +187,7 @@ impl Database {
         Txn::new(id)
     }
 
+    /// Commit: WAL commit record + fence, then release every lock.
     pub fn commit(&mut self, mut txn: Txn, tc: &mut TraceCtx) -> Result<()> {
         if !txn.is_active() {
             return Err(EngineError::TxnClosed);
@@ -413,6 +425,7 @@ impl Database {
         self.indexes[index].cursor(lo, hi, tc)
     }
 
+    /// Advance an index cursor, returning the next `(key, rid)`.
     pub fn index_cursor_next(
         &self,
         index: IndexId,

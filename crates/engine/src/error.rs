@@ -8,15 +8,24 @@ pub enum EngineError {
     /// A lock could not be granted because a live transaction holds a
     /// conflicting mode — the requester should abort and retry (no-wait
     /// discipline; resolution is left to the caller).
-    LockConflict { key: u64 },
+    LockConflict {
+        /// Lock key that conflicted.
+        key: u64,
+    },
     /// The requester was enqueued behind conflicting holders
     /// ([`LockPolicy::Queue`](crate::db::LockPolicy)): it must yield to the
     /// scheduler and retry the same operation once woken. Not an abort.
-    LockWait { key: u64 },
+    LockWait {
+        /// Lock key being waited on.
+        key: u64,
+    },
     /// The requester was chosen as the deadlock victim (youngest
     /// transaction on the waits-for cycle): it must abort; the survivors'
     /// waits then resolve.
-    Deadlock { key: u64 },
+    Deadlock {
+        /// Lock key whose wait closed the cycle.
+        key: u64,
+    },
     /// The referenced table/index/row does not exist.
     NotFound(String),
     /// A page had no room and the tuple cannot move (updates that grow
@@ -26,7 +35,9 @@ pub enum EngineError {
     DuplicateKey(u64),
     /// Schema/row mismatch (wrong arity or column type).
     TypeMismatch {
+        /// Expected type or shape.
         expected: &'static str,
+        /// What was supplied.
         got: &'static str,
     },
     /// Operation attempted on a finished transaction.
@@ -54,6 +65,7 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Engine result alias.
 pub type Result<T> = std::result::Result<T, EngineError>;
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use crate::types::Value;
 
 /// Comparison operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are the SQL comparison operators
 pub enum CmpOp {
     Eq,
     Ne,
@@ -38,36 +39,54 @@ impl CmpOp {
 pub enum Pred {
     /// `col <op> const`
     Cmp {
+        /// Column index into the input row.
         col: usize,
+        /// Comparison operator.
         op: CmpOp,
+        /// Constant to compare against.
         val: Value,
     },
     /// `col BETWEEN lo AND hi` (inclusive)
     Between {
+        /// Column index into the input row.
         col: usize,
+        /// Lower bound (inclusive).
         lo: Value,
+        /// Upper bound (inclusive).
         hi: Value,
     },
     /// `col [NOT] LIKE '%needle%'`
     StrContains {
+        /// Column index into the input row.
         col: usize,
+        /// Substring searched for.
         needle: String,
+        /// `true` for `NOT LIKE`.
         negate: bool,
     },
     /// `col [NOT] LIKE 'prefix%'`
     StrPrefix {
+        /// Column index into the input row.
         col: usize,
+        /// Prefix tested for.
         prefix: String,
+        /// `true` for `NOT LIKE`.
         negate: bool,
     },
     /// `col IN (...)`
     In {
+        /// Column index into the input row.
         col: usize,
+        /// Membership set.
         set: Vec<Value>,
     },
+    /// Conjunction (empty = `TRUE`).
     And(Vec<Pred>),
+    /// Disjunction (empty = `FALSE`).
     Or(Vec<Pred>),
+    /// Negation.
     Not(Box<Pred>),
+    /// Constant `TRUE` (unfiltered scans).
     True,
 }
 
@@ -121,16 +140,24 @@ impl Pred {
 /// multiplying two decimals rescales by /100 to stay in hundredths.
 #[derive(Debug, Clone)]
 pub enum Scalar {
+    /// Column reference (index into the operator's input row).
     Col(usize),
+    /// Integer literal.
     ConstInt(i64),
+    /// Decimal literal (integer hundredths).
     ConstDec(i64),
+    /// The SQL NULL literal.
+    Null,
+    /// Addition.
     Add(Box<Scalar>, Box<Scalar>),
+    /// Subtraction.
     Sub(Box<Scalar>, Box<Scalar>),
     /// Decimal-aware multiply.
     MulDec(Box<Scalar>, Box<Scalar>),
 }
 
 impl Scalar {
+    /// Shorthand for [`Scalar::Col`].
     pub fn col(i: usize) -> Self {
         Scalar::Col(i)
     }
@@ -140,6 +167,7 @@ impl Scalar {
         match self {
             Scalar::Col(i) => row[*i].as_i64().unwrap_or(0),
             Scalar::ConstInt(v) | Scalar::ConstDec(v) => *v,
+            Scalar::Null => 0,
             Scalar::Add(a, b) => a.eval_i64(row) + b.eval_i64(row),
             Scalar::Sub(a, b) => a.eval_i64(row) - b.eval_i64(row),
             Scalar::MulDec(a, b) => a.eval_i64(row) * b.eval_i64(row) / 100,
@@ -152,6 +180,7 @@ impl Scalar {
         match self {
             Scalar::Col(i) => row[*i].clone(),
             Scalar::ConstInt(v) => Value::Int(*v),
+            Scalar::Null => Value::Null,
             _ => Value::Decimal(self.eval_i64(row)),
         }
     }
@@ -160,26 +189,34 @@ impl Scalar {
 /// Aggregate function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggFunc {
+    /// `COUNT(*)`.
     Count,
     /// Count rows where the input expression is non-NULL (SQL
     /// `COUNT(col)` — needed after outer joins).
     CountNonNull,
+    /// `SUM(expr)`.
     Sum,
+    /// `AVG(expr)` (integer division of sum by count).
     Avg,
+    /// `MIN(expr)`.
     Min,
+    /// `MAX(expr)`.
     Max,
+    /// `COUNT(DISTINCT expr)`.
     CountDistinct,
 }
 
 /// One aggregate column specification: function over a scalar input.
 #[derive(Debug, Clone)]
 pub struct AggSpec {
+    /// Aggregate function applied.
     pub func: AggFunc,
     /// Input expression (ignored for `Count`).
     pub input: Scalar,
 }
 
 impl AggSpec {
+    /// `COUNT(*)`.
     pub fn count() -> Self {
         AggSpec {
             func: AggFunc::Count,
@@ -187,6 +224,7 @@ impl AggSpec {
         }
     }
 
+    /// `SUM(input)`.
     pub fn sum(input: Scalar) -> Self {
         AggSpec {
             func: AggFunc::Sum,
@@ -194,6 +232,7 @@ impl AggSpec {
         }
     }
 
+    /// `AVG(input)`.
     pub fn avg(input: Scalar) -> Self {
         AggSpec {
             func: AggFunc::Avg,
@@ -201,6 +240,7 @@ impl AggSpec {
         }
     }
 
+    /// `MIN(input)`.
     pub fn min(input: Scalar) -> Self {
         AggSpec {
             func: AggFunc::Min,
@@ -208,6 +248,7 @@ impl AggSpec {
         }
     }
 
+    /// `MAX(input)`.
     pub fn max(input: Scalar) -> Self {
         AggSpec {
             func: AggFunc::Max,
@@ -215,6 +256,7 @@ impl AggSpec {
         }
     }
 
+    /// `COUNT(DISTINCT input)`.
     pub fn count_distinct(input: Scalar) -> Self {
         AggSpec {
             func: AggFunc::CountDistinct,
@@ -222,6 +264,7 @@ impl AggSpec {
         }
     }
 
+    /// `COUNT(input)` — non-NULL rows only.
     pub fn count_non_null(input: Scalar) -> Self {
         AggSpec {
             func: AggFunc::CountNonNull,

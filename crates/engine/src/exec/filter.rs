@@ -14,6 +14,7 @@ pub struct Filter {
 }
 
 impl Filter {
+    /// Pass through `child`'s rows that satisfy `pred`.
     pub fn new(child: BoxExec, pred: Pred) -> Self {
         Filter { child, pred }
     }

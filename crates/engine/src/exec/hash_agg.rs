@@ -36,6 +36,7 @@ pub struct HashAggregate {
 }
 
 impl HashAggregate {
+    /// Group `child` by `group_cols`, computing `aggs` per group.
     pub fn new(child: BoxExec, group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> Self {
         HashAggregate {
             child,

@@ -16,7 +16,9 @@ use crate::types::{Row, Value};
 /// Join kind. For `LeftOuter`, the *probe* side is preserved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinKind {
+    /// Emit matching pairs only.
     Inner,
+    /// Additionally keep unmatched probe rows, padded with NULLs.
     LeftOuter,
 }
 
@@ -39,6 +41,8 @@ pub struct HashJoin {
 }
 
 impl HashJoin {
+    /// Join `build` (keyed on `build_key`) against streamed `probe`
+    /// rows (keyed on `probe_key`).
     pub fn new(
         build: BoxExec,
         build_key: usize,
@@ -61,16 +65,25 @@ impl HashJoin {
     }
 
     fn bucket_addr(&self, key: &Value) -> u64 {
-        let h = match key {
-            Value::Int(v) | Value::Decimal(v) => *v as u64,
-            Value::Date(d) => *d as u64,
-            Value::Str(s) => s.bytes().fold(1469598103934665603u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(1099511628211)
-            }),
-            Value::Null => 0,
-        };
-        self.table_addr + (h.wrapping_mul(0x9E3779B97F4A7C15) % self.n_buckets.max(1)) * 64
+        bucket_addr(self.table_addr, self.n_buckets, key)
     }
+}
+
+/// Map a join key to its simulated bucket line within a table of
+/// `n_buckets` 64-byte buckets based at `base`. The **single source of
+/// truth** for hash-table address geometry: the staged engine's
+/// `JoinTable` uses the same function, so executor and staged captures
+/// of the same join touch the same simulated address pattern.
+pub fn bucket_addr(base: u64, n_buckets: u64, key: &Value) -> u64 {
+    let h = match key {
+        Value::Int(v) | Value::Decimal(v) => *v as u64,
+        Value::Date(d) => *d as u64,
+        Value::Str(s) => s.bytes().fold(1469598103934665603u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(1099511628211)
+        }),
+        Value::Null => 0,
+    };
+    base + (h.wrapping_mul(0x9E3779B97F4A7C15) % n_buckets.max(1)) * 64
 }
 
 impl Executor for HashJoin {
@@ -88,10 +101,14 @@ impl Executor for HashJoin {
         self.table = HashMap::with_capacity(rows.len());
         for row in rows {
             tc.charge(tc.r.exec_hashjoin, instr::HJ_BUILD_ROW);
+            self.build_width = row.len();
             let key = row[self.build_key].clone();
+            // SQL semantics: NULL keys never participate in an equi-join.
+            if key.is_null() {
+                continue;
+            }
             let addr = self.bucket_addr(&key);
             tc.store(addr, 16);
-            self.build_width = row.len();
             self.table.entry(key).or_default().push(row);
         }
         self.probe.open(db, tc)
@@ -107,6 +124,16 @@ impl Executor for HashJoin {
             };
             tc.charge(tc.r.exec_hashjoin, instr::HJ_PROBE_ROW);
             let key = &probe_row[self.probe_key];
+            if key.is_null() {
+                // NULL probe keys match nothing (but outer joins keep the
+                // probe row).
+                if self.kind == JoinKind::LeftOuter {
+                    let mut out = probe_row.clone();
+                    out.extend(std::iter::repeat_n(Value::Null, self.build_width));
+                    return Ok(Some(out));
+                }
+                continue;
+            }
             // Bucket header: dependent load (chain walk).
             let addr = self.bucket_addr(key);
             tc.load_dep(addr, 16);
@@ -211,5 +238,54 @@ mod tests {
         let unmatched: Vec<_> = rows.iter().filter(|r| r[1] != Value::Int(3)).collect();
         assert!(!matched.is_empty());
         assert!(unmatched.iter().all(|r| r[4..].iter().all(Value::is_null)));
+    }
+
+    #[test]
+    fn duplicate_build_keys_emit_every_match() {
+        let (db, t) = sample_db(35);
+        let mut tc = db.null_ctx();
+        // Build: all 35 rows keyed on grp (grp = id % 7 → 5 rows per
+        // group). Probe: one row per group (id < 7).
+        let build = Box::new(SeqScan::new(t));
+        let probe = Box::new(Filter::new(
+            Box::new(SeqScan::new(t)),
+            Pred::Cmp {
+                col: 0,
+                op: CmpOp::Lt,
+                val: Value::Int(7),
+            },
+        ));
+        let mut join = HashJoin::new(build, 1, probe, 1, JoinKind::Inner);
+        let rows = run_to_vec(&mut join, &db, &mut tc).unwrap();
+        // 7 probe rows x 5 duplicate build matches each.
+        assert_eq!(rows.len(), 35);
+        for r in &rows {
+            assert_eq!(r[1], r[5], "every emitted pair agrees on the key");
+        }
+    }
+
+    #[test]
+    fn null_keys_match_nothing() {
+        use crate::exec::{Project, Scalar};
+        let (db, t) = sample_db(12);
+        let mut tc = db.null_ctx();
+        // Probe rows whose key column is NULL: inner join drops them all.
+        let null_probe = |t| {
+            Box::new(Project::new(
+                Box::new(SeqScan::new(t)),
+                vec![Scalar::Null, Scalar::Col(1)],
+            ))
+        };
+        let build = Box::new(SeqScan::new(t));
+        let mut join = HashJoin::new(build, 1, null_probe(t), 0, JoinKind::Inner);
+        assert!(run_to_vec(&mut join, &db, &mut tc).unwrap().is_empty());
+
+        // Left-outer keeps them, padded — and NULL build keys are not
+        // admitted to the table, so nothing ever matches NULL.
+        let build = Box::new(SeqScan::new(t));
+        let mut join = HashJoin::new(build, 1, null_probe(t), 0, JoinKind::LeftOuter);
+        let rows = run_to_vec(&mut join, &db, &mut tc).unwrap();
+        assert_eq!(rows.len(), 12);
+        assert!(rows.iter().all(|r| r[2..].iter().all(Value::is_null)));
     }
 }

@@ -19,6 +19,7 @@ pub struct IndexRangeScan {
 }
 
 impl IndexRangeScan {
+    /// Scan `index` over the inclusive key range `[lo, hi]`.
     pub fn new(index: IndexId, lo: u64, hi: u64) -> Self {
         IndexRangeScan {
             index,

@@ -14,6 +14,7 @@ pub struct Limit {
 }
 
 impl Limit {
+    /// Emit at most `n` of `child`'s rows.
     pub fn new(child: BoxExec, n: usize) -> Self {
         Limit { child, n, seen: 0 }
     }

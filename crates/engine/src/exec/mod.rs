@@ -14,6 +14,7 @@ pub mod expr;
 pub mod filter;
 pub mod hash_agg;
 pub mod hash_join;
+pub mod index_join;
 pub mod index_scan;
 pub mod limit;
 pub mod nested_loop;
@@ -25,6 +26,7 @@ pub use expr::{AggFunc, AggSpec, CmpOp, Pred, Scalar};
 pub use filter::Filter;
 pub use hash_agg::HashAggregate;
 pub use hash_join::{HashJoin, JoinKind};
+pub use index_join::IndexJoin;
 pub use index_scan::IndexRangeScan;
 pub use limit::Limit;
 pub use nested_loop::NestedLoop;
@@ -39,8 +41,11 @@ use crate::types::Row;
 
 /// The iterator interface every operator implements.
 pub trait Executor {
+    /// Prepare for iteration (materialize build sides, open cursors).
     fn open(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<()>;
+    /// Produce the next output row, or `None` when exhausted.
     fn next(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<Option<Row>>;
+    /// Release state (the operator may be re-opened afterwards).
     fn close(&mut self);
 }
 

@@ -20,6 +20,8 @@ pub struct NestedLoop {
 }
 
 impl NestedLoop {
+    /// Join `outer` against materialized `inner` under `pred` (evaluated
+    /// over the concatenated row).
     pub fn new(outer: BoxExec, inner: BoxExec, pred: Pred) -> Self {
         NestedLoop {
             outer,

@@ -15,6 +15,7 @@ pub struct Project {
 }
 
 impl Project {
+    /// Emit one computed column per expression in `exprs`.
     pub fn new(child: BoxExec, exprs: Vec<Scalar>) -> Self {
         Project { child, exprs }
     }

@@ -21,6 +21,7 @@ pub struct SeqScan {
 }
 
 impl SeqScan {
+    /// Scan every live row of `table` in physical order.
     pub fn new(table: TableId) -> Self {
         SeqScan {
             table,

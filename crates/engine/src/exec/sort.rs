@@ -10,7 +10,9 @@ use crate::types::Row;
 /// Sort key: column index + descending flag.
 #[derive(Debug, Clone, Copy)]
 pub struct SortKey {
+    /// Column index into the input row.
     pub col: usize,
+    /// Sort descending when `true`.
     pub desc: bool,
 }
 
@@ -24,6 +26,7 @@ pub struct Sort {
 }
 
 impl Sort {
+    /// Sort `child`'s rows by `keys`, major key first.
     pub fn new(child: BoxExec, keys: Vec<SortKey>) -> Self {
         Sort {
             child,

@@ -18,7 +18,9 @@ use crate::types::{decode_row, encode_row, Row, Value};
 /// Row identifier: (page, slot).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Rid {
+    /// Page number within the heap.
     pub page: u32,
+    /// Slot within the page.
     pub slot: SlotId,
 }
 
@@ -28,6 +30,7 @@ impl Rid {
         ((self.page as u64) << 16) | self.slot as u64
     }
 
+    /// Unpack from the B+Tree value payload.
     pub fn unpack(v: u64) -> Self {
         Rid {
             page: (v >> 16) as u32,
@@ -39,6 +42,7 @@ impl Rid {
 /// One heap table.
 #[derive(Debug)]
 pub struct HeapTable {
+    /// Row layout of the table.
     pub schema: Schema,
     pages: Vec<SlottedPage>,
     /// Simulated address of the buffer-pool page table for this heap.
@@ -49,6 +53,7 @@ pub struct HeapTable {
 }
 
 impl HeapTable {
+    /// An empty heap with a simulated buffer-pool allocation.
     pub fn new(schema: Schema, space: &AddressSpace, name: &'static str) -> Self {
         HeapTable {
             schema,
@@ -191,6 +196,7 @@ impl HeapTable {
         Ok(Rid { page, slot })
     }
 
+    /// Number of allocated pages.
     pub fn n_pages(&self) -> usize {
         self.pages.len()
     }
@@ -200,6 +206,7 @@ impl HeapTable {
         self.pages.get(page as usize).map_or(0, SlottedPage::nslots)
     }
 
+    /// Number of live rows (tombstones excluded).
     pub fn n_rows(&self) -> usize {
         self.live_rows
     }

@@ -32,6 +32,8 @@
 //! discipline for sequential capture. Abort with undo and lock release at
 //! commit are real in both modes, so any interleaving behaves correctly.
 
+#![warn(missing_docs)]
+
 pub mod api;
 pub mod btree;
 pub mod catalog;

@@ -38,7 +38,9 @@ use dbcmp_trace::AddressSpace;
 /// Lock mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LockMode {
+    /// Read lock: compatible with other shared holders.
     Shared,
+    /// Write lock: exclusive against every other holder.
     Exclusive,
 }
 

@@ -33,6 +33,7 @@ pub struct SlottedPage {
 }
 
 impl SlottedPage {
+    /// An empty page at the given simulated address.
     pub fn new(addr: u64) -> Self {
         SlottedPage {
             data: vec![0; PAGE_SIZE],

@@ -5,7 +5,9 @@ use crate::types::ColType;
 /// One column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
+    /// Column name.
     pub name: &'static str,
+    /// Column type (fixed on-page width).
     pub ty: ColType,
 }
 
@@ -18,6 +20,7 @@ pub struct Schema {
 }
 
 impl Schema {
+    /// Build a layout from `(name, type)` pairs, computing offsets.
     pub fn new(cols: Vec<(&'static str, ColType)>) -> Self {
         let columns: Vec<Column> = cols
             .into_iter()
@@ -36,6 +39,7 @@ impl Schema {
         }
     }
 
+    /// The columns in declaration order.
     pub fn columns(&self) -> &[Column] {
         &self.columns
     }

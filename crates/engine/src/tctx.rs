@@ -18,6 +18,7 @@ pub struct TraceCtx {
 }
 
 impl TraceCtx {
+    /// A context that records full event streams (capture mode).
     pub fn recording(r: EngineRegions) -> Self {
         TraceCtx {
             tracer: Tracer::recording(),

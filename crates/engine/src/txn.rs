@@ -16,30 +16,44 @@ pub type TxnId = u64;
 pub enum UndoRec {
     /// Reverse an insert: delete the row and the index entries it added.
     Insert {
+        /// Table the row was inserted into.
         table: usize,
+        /// Row id assigned at insert.
         rid: Rid,
+        /// `(index, key)` pairs to remove.
         index_keys: Vec<(usize, u64)>,
     },
     /// Reverse an update: restore the before-image.
     Update {
+        /// Table holding the row.
         table: usize,
+        /// Row id of the updated row.
         rid: Rid,
+        /// Encoded row image before the update.
         before: Vec<u8>,
     },
     /// Reverse a delete: restore the image at its original RID and
     /// re-add its index entries.
     Delete {
+        /// Table the row was deleted from.
         table: usize,
+        /// Row id the row occupied.
         rid: Rid,
+        /// Encoded row image before the delete.
         before: Vec<u8>,
+        /// `(index, key)` pairs to restore.
         index_keys: Vec<(usize, u64)>,
     },
 }
 
+/// Lifecycle state of a transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxnState {
+    /// Open and executing statements.
     Active,
+    /// Successfully committed (locks released).
     Committed,
+    /// Rolled back (undo applied, locks released).
     Aborted,
 }
 
@@ -47,9 +61,11 @@ pub enum TxnState {
 /// `Database::commit` / `Database::abort`.
 #[derive(Debug)]
 pub struct Txn {
+    /// Monotonic transaction id (also the deadlock-victim age order).
     pub id: TxnId,
     pub(crate) locks: Vec<(u64, LockMode)>,
     pub(crate) undo: Vec<UndoRec>,
+    /// Current lifecycle state.
     pub state: TxnState,
 }
 
@@ -63,6 +79,7 @@ impl Txn {
         }
     }
 
+    /// Whether the transaction is still open.
     pub fn is_active(&self) -> bool {
         self.state == TxnState::Active
     }

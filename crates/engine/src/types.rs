@@ -33,6 +33,7 @@ impl ColType {
         }
     }
 
+    /// Type name for error messages.
     pub fn name(&self) -> &'static str {
         match self {
             ColType::Int => "int",
@@ -46,15 +47,20 @@ impl ColType {
 /// A runtime value.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
+    /// 64-bit signed integer.
     Int(i64),
     /// Integer hundredths.
     Decimal(i64),
+    /// UTF-8 string.
     Str(String),
+    /// Days since epoch (day 0 = 1992-01-01 in the TPC-H population).
     Date(u32),
+    /// SQL NULL.
     Null,
 }
 
 impl Value {
+    /// Type name for error messages.
     pub fn type_name(&self) -> &'static str {
         match self {
             Value::Int(_) => "int",
@@ -74,6 +80,7 @@ impl Value {
         }
     }
 
+    /// String view (`Str` only).
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -81,6 +88,7 @@ impl Value {
         }
     }
 
+    /// Whether this is SQL NULL.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }

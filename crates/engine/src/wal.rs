@@ -16,10 +16,24 @@ const WAL_BYTES: u64 = 4 << 20;
 /// Log record kinds (sizes approximate a real engine's record headers).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WalRecord {
-    Insert { bytes: u32 },
-    Update { bytes: u32 },
-    Delete { bytes: u32 },
+    /// Row insert carrying `bytes` of payload.
+    Insert {
+        /// Encoded row-image size.
+        bytes: u32,
+    },
+    /// Row update carrying `bytes` of payload (before-image logging).
+    Update {
+        /// Encoded before-image size.
+        bytes: u32,
+    },
+    /// Row delete carrying `bytes` of payload (before-image logging).
+    Delete {
+        /// Encoded before-image size.
+        bytes: u32,
+    },
+    /// Transaction commit marker.
     Commit,
+    /// Transaction abort marker.
     Abort,
 }
 
@@ -44,6 +58,7 @@ pub struct Wal {
 }
 
 impl Wal {
+    /// An empty log ring with a simulated buffer allocation.
     pub fn new(space: &AddressSpace) -> Self {
         Wal {
             addr: space.alloc("wal-buffer", WAL_BYTES),
@@ -68,10 +83,13 @@ impl Wal {
         tc.fence();
     }
 
+    /// Total bytes appended (monotone; the ring index wraps, this does
+    /// not).
     pub fn bytes_written(&self) -> u64 {
         self.head
     }
 
+    /// Total records appended.
     pub fn records(&self) -> u64 {
         self.records
     }

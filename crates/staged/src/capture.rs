@@ -1,10 +1,13 @@
 //! Trace capture for staged vs conventional execution.
 //!
 //! Staged DSS capture stays sequential even now that OLTP capture is
-//! interleaved (`dbcmp_workloads::interleave`): the scan pipelines here
-//! take no row locks (degree-2 reporting reads), so there is no 2PL
-//! contention to express — the interesting axes are batching and
-//! producer/consumer affinity, captured below. See DESIGN.md §3.
+//! interleaved (`dbcmp_workloads::interleave`): the pipelines here take
+//! no row locks (degree-2 reporting reads), so there is no 2PL
+//! contention to express — the interesting axes are batching,
+//! producer/consumer affinity, and (since the join extension) build-table
+//! residency, captured below. See DESIGN.md §3–§4.
+
+use std::fmt;
 
 use dbcmp_engine::exec::{AggSpec, CmpOp, Pred, Scalar};
 use dbcmp_engine::{Database, Value};
@@ -13,17 +16,63 @@ use dbcmp_workloads::tpch::{QueryKind, TpchDb, MAX_DATE};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::pipeline::{ExecPolicy, PipelineSpec, StagedPipeline};
+use crate::pipeline::{ExecPolicy, JoinSpec, PipelineSpec, StagedPipeline};
 
-/// Build the scan→filter→aggregate pipeline spec for a scan-dominated
-/// query (Q1/Q6 — the shapes the staged engine pipelines).
-pub fn pipeline_for(kind: QueryKind, h: &TpchDb, rng: &mut StdRng) -> PipelineSpec {
-    const L_QTY: usize = 4;
-    const L_PRICE: usize = 5;
-    const L_DISC: usize = 6;
-    const L_RFLAG: usize = 8;
-    const L_LSTAT: usize = 9;
-    const L_SHIP: usize = 10;
+/// A query shape the staged pipeline cannot express. Returned by
+/// [`pipeline_for`] instead of silently substituting a different query
+/// (the pre-join code captured a Q6 for *any* unsupported kind, which
+/// made "join" captures quietly scan-shaped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedQuery {
+    /// The query kind that has no staged pipeline shape.
+    pub kind: QueryKind,
+}
+
+impl fmt::Display for UnsupportedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no staged pipeline for {:?}: the staged engine covers \
+             scan→filter→[join…]→aggregate shapes (Q1, Q6, Q3, Q5)",
+            self.kind
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedQuery {}
+
+// lineitem columns (see the schema in `dbcmp_workloads::tpch`).
+const L_ORDERKEY: usize = 0;
+const L_SUPPKEY: usize = 2;
+const L_QTY: usize = 4;
+const L_PRICE: usize = 5;
+const L_DISC: usize = 6;
+const L_RFLAG: usize = 8;
+const L_LSTAT: usize = 9;
+const L_SHIP: usize = 10;
+
+fn revenue() -> Scalar {
+    Scalar::MulDec(
+        Box::new(Scalar::Col(L_PRICE)),
+        Box::new(Scalar::Sub(
+            Box::new(Scalar::ConstDec(100)),
+            Box::new(Scalar::Col(L_DISC)),
+        )),
+    )
+}
+
+/// Build the pipeline spec for one query instance. Q1/Q6 are the
+/// scan-shaped pipelines; Q3/Q5 carry hash-join stages (Q5's spec-level
+/// index join is expressed as a hash-join chain here — the staged engine
+/// stages hash tables, not B+Tree descents). Queries whose plans need
+/// operators outside the scan→filter→\[join…\]→aggregate shape (Q13's
+/// outer-join double aggregate, Q16's anti-join distinct) return
+/// [`UnsupportedQuery`].
+pub fn pipeline_for(
+    kind: QueryKind,
+    h: &TpchDb,
+    rng: &mut StdRng,
+) -> Result<PipelineSpec, UnsupportedQuery> {
     match kind {
         QueryKind::Q1 => {
             let delta = rng.gen_range(60..=120);
@@ -34,13 +83,14 @@ pub fn pipeline_for(kind: QueryKind, h: &TpchDb, rng: &mut StdRng) -> PipelineSp
                     Box::new(Scalar::Col(L_DISC)),
                 )),
             );
-            PipelineSpec {
+            Ok(PipelineSpec {
                 table: h.lineitem,
                 pred: Pred::Cmp {
                     col: L_SHIP,
                     op: CmpOp::Le,
                     val: Value::Date(MAX_DATE - delta),
                 },
+                joins: vec![],
                 group_cols: vec![L_RFLAG, L_LSTAT],
                 aggs: vec![
                     AggSpec::sum(Scalar::Col(L_QTY)),
@@ -48,14 +98,12 @@ pub fn pipeline_for(kind: QueryKind, h: &TpchDb, rng: &mut StdRng) -> PipelineSp
                     AggSpec::sum(disc_price),
                     AggSpec::count(),
                 ],
-            }
+            })
         }
-        _ => {
-            // Q6 shape (also the fallback for join queries, which the
-            // staged pipeline does not cover).
+        QueryKind::Q6 => {
             let year_start = rng.gen_range(0..5) * 365;
             let disc = rng.gen_range(2..=9);
-            PipelineSpec {
+            Ok(PipelineSpec {
                 table: h.lineitem,
                 pred: Pred::And(vec![
                     Pred::Cmp {
@@ -74,19 +122,94 @@ pub fn pipeline_for(kind: QueryKind, h: &TpchDb, rng: &mut StdRng) -> PipelineSp
                         hi: Value::Decimal(disc + 1),
                     },
                 ]),
+                joins: vec![],
                 group_cols: vec![],
                 aggs: vec![AggSpec::sum(Scalar::MulDec(
                     Box::new(Scalar::Col(L_PRICE)),
                     Box::new(Scalar::Col(L_DISC)),
                 ))],
-            }
+            })
         }
+        QueryKind::Q3 => {
+            // Same predicate draw as the Volcano plan in
+            // `dbcmp_workloads::tpch::queries::q3`.
+            let cutoff = rng.gen_range(MAX_DATE / 4..3 * MAX_DATE / 4);
+            Ok(PipelineSpec {
+                table: h.lineitem,
+                pred: Pred::Cmp {
+                    col: L_SHIP,
+                    op: CmpOp::Gt,
+                    val: Value::Date(cutoff),
+                },
+                joins: vec![JoinSpec {
+                    build_table: h.orders,
+                    build_pred: Pred::Cmp {
+                        col: 2, // o_orderdate
+                        op: CmpOp::Lt,
+                        val: Value::Date(cutoff),
+                    },
+                    build_key: 0, // o_orderkey
+                    probe_key: L_ORDERKEY,
+                }],
+                // Combined row: lineitem (11) ++ orders (4).
+                group_cols: vec![L_ORDERKEY, 13],
+                aggs: vec![AggSpec::sum(revenue())],
+            })
+        }
+        QueryKind::Q5 => {
+            let year_start = rng.gen_range(0..5) * 365;
+            Ok(PipelineSpec {
+                table: h.lineitem,
+                pred: Pred::True,
+                joins: vec![
+                    // lineitem (11) ++ orders (4): the date window filters
+                    // on the *build* side, so only in-window orders enter
+                    // the hash table.
+                    JoinSpec {
+                        build_table: h.orders,
+                        build_pred: Pred::And(vec![
+                            Pred::Cmp {
+                                col: 2,
+                                op: CmpOp::Ge,
+                                val: Value::Date(year_start),
+                            },
+                            Pred::Cmp {
+                                col: 2,
+                                op: CmpOp::Lt,
+                                val: Value::Date(year_start + 365),
+                            },
+                        ]),
+                        build_key: 0,
+                        probe_key: L_ORDERKEY,
+                    },
+                    // ++ customer (4): c_mktsegment at 18.
+                    JoinSpec {
+                        build_table: h.customer,
+                        build_pred: Pred::True,
+                        build_key: 0,
+                        probe_key: 12, // o_custkey
+                    },
+                    // ++ supplier (3).
+                    JoinSpec {
+                        build_table: h.supplier,
+                        build_pred: Pred::True,
+                        build_key: 0,
+                        probe_key: L_SUPPKEY,
+                    },
+                ],
+                group_cols: vec![18],
+                aggs: vec![AggSpec::sum(revenue())],
+            })
+        }
+        QueryKind::Q13 | QueryKind::Q16 => Err(UnsupportedQuery { kind }),
     }
 }
 
 /// Capture `queries` DSS query executions under `policy`. Returns one
 /// bundle whose threads are: for Volcano/Staged — one per client; for
 /// StagedParallel — producers + consumer interleaved (consumer first).
+/// Fails with [`UnsupportedQuery`] when `kinds` contains a query the
+/// staged engine cannot pipeline.
 pub fn capture_staged_dss(
     db: &mut Database,
     h: &TpchDb,
@@ -94,36 +217,41 @@ pub fn capture_staged_dss(
     policy: ExecPolicy,
     queries: usize,
     seed: u64,
-) -> TraceBundle {
+) -> Result<TraceBundle, UnsupportedQuery> {
     let mut rng = dbcmp_workloads::tpch::tpch_rng(seed, 0);
     match policy {
         ExecPolicy::Volcano | ExecPolicy::Staged { .. } => {
             let mut tcs = vec![db.trace_ctx()];
             for q in 0..queries {
-                let spec = pipeline_for(kinds[q % kinds.len()], h, &mut rng);
+                let spec = pipeline_for(kinds[q % kinds.len()], h, &mut rng)?;
                 db.statement_overhead(&mut tcs[0]);
                 StagedPipeline::new(spec).run(db, policy, &mut tcs);
                 tcs[0].unit_end();
             }
-            TraceBundle::new(db.regions().clone(), vec![tcs.remove(0).finish()])
+            Ok(TraceBundle::new(
+                db.regions().clone(),
+                vec![tcs.remove(0).finish()],
+            ))
         }
         ExecPolicy::StagedParallel { producers, .. } => {
             let mut tcs: Vec<_> = (0..=producers).map(|_| db.trace_ctx()).collect();
             for q in 0..queries {
-                let spec = pipeline_for(kinds[q % kinds.len()], h, &mut rng);
+                let spec = pipeline_for(kinds[q % kinds.len()], h, &mut rng)?;
                 db.statement_overhead(&mut tcs[0]);
                 StagedPipeline::new(spec).run(db, policy, &mut tcs);
                 tcs[0].unit_end();
             }
-            TraceBundle::new(
+            Ok(TraceBundle::new(
                 db.regions().clone(),
                 tcs.into_iter().map(|t| t.finish()).collect(),
-            )
+            ))
         }
     }
 }
 
 /// Run one query under a policy and return its rows (results check).
+/// Panics on queries the staged engine cannot pipeline — use
+/// [`pipeline_for`] directly to handle [`UnsupportedQuery`].
 pub fn staged_query_rows(
     db: &mut Database,
     h: &TpchDb,
@@ -132,7 +260,7 @@ pub fn staged_query_rows(
     seed: u64,
 ) -> Vec<Vec<Value>> {
     let mut rng = dbcmp_workloads::tpch::tpch_rng(seed, 9);
-    let spec = pipeline_for(kind, h, &mut rng);
+    let spec = pipeline_for(kind, h, &mut rng).expect("staged-pipelineable query");
     let n_ctx = match policy {
         ExecPolicy::StagedParallel { producers, .. } => producers + 1,
         _ => 1,
@@ -153,39 +281,97 @@ mod tests {
             v.sort_by(|a, b| a.partial_cmp(b).unwrap());
             v
         };
-        let v = sort(staged_query_rows(
+        for kind in [QueryKind::Q1, QueryKind::Q3, QueryKind::Q5] {
+            let v = sort(staged_query_rows(&mut db, &h, kind, ExecPolicy::Volcano, 1));
+            let s = sort(staged_query_rows(
+                &mut db,
+                &h,
+                kind,
+                ExecPolicy::Staged { batch: 64 },
+                1,
+            ));
+            let p = sort(staged_query_rows(
+                &mut db,
+                &h,
+                kind,
+                ExecPolicy::StagedParallel {
+                    batch: 64,
+                    producers: 3,
+                },
+                1,
+            ));
+            assert_eq!(v, s, "{kind:?}");
+            assert_eq!(v, p, "{kind:?}");
+            assert!(!v.is_empty(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn staged_join_agrees_with_volcano_executor_plan() {
+        // The staged Q3 pipeline and the engine's Q3 executor plan are
+        // independent implementations of the same query; their results
+        // must agree on the same predicate draw (both consume one
+        // `gen_range` from an identically seeded rng).
+        let (mut db, h) = build_tpch(TpchScale::tiny(), 77);
+        let staged = {
+            let mut rows = staged_query_rows(
+                &mut db,
+                &h,
+                QueryKind::Q3,
+                ExecPolicy::Staged { batch: 128 },
+                4,
+            );
+            rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            rows
+        };
+        let volcano = {
+            let mut rng = dbcmp_workloads::tpch::tpch_rng(4, 9);
+            let mut tc = db.null_ctx();
+            let mut plan = dbcmp_workloads::tpch::queries::q3(&h, &mut rng);
+            let mut rows = dbcmp_engine::exec::run_to_vec(plan.as_mut(), &db, &mut tc).unwrap();
+            // Executor rows are (orderkey, odate, revenue); staged rows
+            // group the same way but are unsorted — normalize both.
+            rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            rows
+        };
+        assert_eq!(staged.len(), volcano.len());
+        let staged_total: i64 = staged.iter().map(|r| r[2].as_i64().unwrap()).sum();
+        let volcano_total: i64 = volcano.iter().map(|r| r[2].as_i64().unwrap()).sum();
+        assert_eq!(staged_total, volcano_total);
+    }
+
+    #[test]
+    fn unsupported_kinds_are_typed_errors() {
+        let (_, h) = build_tpch(TpchScale::tiny(), 51);
+        let mut rng = dbcmp_workloads::tpch::tpch_rng(51, 0);
+        for kind in [QueryKind::Q13, QueryKind::Q16] {
+            let err = pipeline_for(kind, &h, &mut rng).unwrap_err();
+            assert_eq!(err.kind, kind);
+            assert!(err.to_string().contains("no staged pipeline"));
+        }
+        // And the capture surfaces it instead of capturing a Q6.
+        let (mut db, h) = build_tpch(TpchScale::tiny(), 51);
+        let res = capture_staged_dss(
             &mut db,
             &h,
-            QueryKind::Q1,
+            &[QueryKind::Q1, QueryKind::Q13],
             ExecPolicy::Volcano,
+            2,
             1,
-        ));
-        let s = sort(staged_query_rows(
-            &mut db,
-            &h,
-            QueryKind::Q1,
-            ExecPolicy::Staged { batch: 64 },
-            1,
-        ));
-        let p = sort(staged_query_rows(
-            &mut db,
-            &h,
-            QueryKind::Q1,
-            ExecPolicy::StagedParallel {
-                batch: 64,
-                producers: 3,
-            },
-            1,
-        ));
-        assert_eq!(v, s);
-        assert_eq!(v, p);
-        assert!(!v.is_empty());
+        );
+        assert_eq!(
+            res.unwrap_err(),
+            UnsupportedQuery {
+                kind: QueryKind::Q13
+            }
+        );
     }
 
     #[test]
     fn capture_thread_counts_match_policy() {
         let (mut db, h) = build_tpch(TpchScale::tiny(), 52);
-        let b1 = capture_staged_dss(&mut db, &h, &[QueryKind::Q6], ExecPolicy::Volcano, 2, 1);
+        let b1 = capture_staged_dss(&mut db, &h, &[QueryKind::Q6], ExecPolicy::Volcano, 2, 1)
+            .expect("scan capture");
         assert_eq!(b1.threads.len(), 1);
         assert_eq!(b1.total_units(), 2);
 
@@ -199,7 +385,8 @@ mod tests {
             },
             2,
             1,
-        );
+        )
+        .expect("scan capture");
         assert_eq!(b2.threads.len(), 4);
         // Work must be distributed: producers carry most instructions.
         let cons = b2.threads[0].instrs();
@@ -207,6 +394,24 @@ mod tests {
         assert!(
             prod > cons,
             "producers {prod} should outweigh consumer {cons}"
+        );
+    }
+
+    #[test]
+    fn join_capture_charges_hashjoin_region() {
+        let (mut db, h) = build_tpch(TpchScale::tiny(), 53);
+        let bundle = capture_staged_dss(
+            &mut db,
+            &h,
+            &[QueryKind::Q3, QueryKind::Q5],
+            ExecPolicy::Staged { batch: 128 },
+            2,
+            1,
+        )
+        .expect("join capture");
+        assert!(
+            bundle.region_instrs("exec-hashjoin") > 0,
+            "join captures must charge hash build/probe instructions"
         );
     }
 }

@@ -11,7 +11,9 @@
 //! data).
 //!
 //! This crate implements those mechanisms over the `dbcmp-engine`
-//! substrate for the scan→filter→aggregate pipelines of the DSS queries:
+//! substrate for the scan→filter→\[join…\]→aggregate pipelines of the
+//! DSS queries (Q1/Q6 scans; Q3/Q5 with hash-join stages whose build
+//! tables are loaded once and probed per batch — see DESIGN.md §4):
 //!
 //! * [`ExecPolicy::Volcano`] — the conventional row-at-a-time baseline
 //!   (exactly the engine's executor).
@@ -30,8 +32,10 @@
 //! ordering); the locality and parallelism effects — shared buffer lines,
 //! partitioned work — are captured.
 
+#![warn(missing_docs)]
+
 pub mod capture;
 pub mod pipeline;
 
-pub use capture::{capture_staged_dss, staged_query_rows};
-pub use pipeline::{BatchAgg, ExecPolicy, PipelineSpec, StagedPipeline};
+pub use capture::{capture_staged_dss, pipeline_for, staged_query_rows, UnsupportedQuery};
+pub use pipeline::{BatchAgg, ExecPolicy, JoinSpec, JoinTable, PipelineSpec, StagedPipeline};

@@ -1,4 +1,5 @@
-//! Staged pipelines: packets, stages, batch aggregation, policies.
+//! Staged pipelines: packets, stages, batch aggregation, join stages,
+//! policies.
 
 use dbcmp_engine::costs::instr;
 use dbcmp_engine::exec::{AggFunc, AggSpec, Pred};
@@ -12,10 +13,18 @@ pub enum ExecPolicy {
     /// Conventional Volcano row-at-a-time (baseline).
     Volcano,
     /// Stage-at-a-time over batches of `batch` rows (cohort scheduling).
-    Staged { batch: usize },
+    Staged {
+        /// Rows per cohort batch.
+        batch: usize,
+    },
     /// Staged + scan partitioned across `producers` packets for parallel
     /// contexts, one consumer aggregation stage.
-    StagedParallel { batch: usize, producers: usize },
+    StagedParallel {
+        /// Rows per handoff packet.
+        batch: usize,
+        /// Scan partitions, each on its own hardware context.
+        producers: usize,
+    },
 }
 
 /// Instructions of per-call interpretation overhead that batch execution
@@ -23,13 +32,150 @@ pub enum ExecPolicy {
 /// cites in §6.2).
 pub const CALL_OVERHEAD: u32 = 6;
 
-/// A scan→filter→aggregate pipeline specification (the shape of Q1/Q6).
+/// One hash-join stage of a staged pipeline. The build side is scanned,
+/// filtered, and loaded into a hash table **once** when the pipeline
+/// starts; every scanned (or previously joined) row then probes it. The
+/// build table's simulated address range is the stage's working set —
+/// the cache-residency knob cohort scheduling exploits: a resident build
+/// table turns every probe's dependent load into a cache hit.
+#[derive(Debug, Clone)]
+pub struct JoinSpec {
+    /// Build-side table (scanned once at pipeline start).
+    pub build_table: usize,
+    /// Filter applied to build rows before insertion.
+    pub build_pred: Pred,
+    /// Join-key column in the build row.
+    pub build_key: usize,
+    /// Join-key column in the current combined probe row.
+    pub probe_key: usize,
+}
+
+/// A scan→filter→\[join…\]→aggregate pipeline specification (Q1/Q6 with
+/// an empty join chain; Q3/Q5 with one and three [`JoinSpec`] stages).
+///
+/// `pred` applies to the scanned row (filter pushdown below the joins);
+/// `group_cols`/`aggs` index the final combined row (scan row ++ build
+/// rows of every join, in chain order).
 #[derive(Debug, Clone)]
 pub struct PipelineSpec {
+    /// Probe-side (scanned) table.
     pub table: usize,
+    /// Scan filter, applied before any join.
     pub pred: Pred,
+    /// Hash-join chain (empty for pure scan pipelines).
+    pub joins: Vec<JoinSpec>,
+    /// Group-by columns into the final combined row.
     pub group_cols: Vec<usize>,
+    /// Aggregates over the final combined row.
     pub aggs: Vec<AggSpec>,
+}
+
+/// A built hash table for one [`JoinSpec`] stage, with the same
+/// simulated-memory and instruction accounting as the engine's
+/// [`HashJoin`](dbcmp_engine::exec::HashJoin): `HJ_BUILD_ROW` plus a
+/// store per build row, `HJ_PROBE_ROW` plus a dependent load (bucket
+/// chain walk) per probe.
+#[derive(Debug)]
+pub struct JoinTable {
+    probe_key: usize,
+    table: HashMap<Value, Vec<Vec<Value>>>,
+    addr: u64,
+    n_buckets: u64,
+}
+
+impl JoinTable {
+    /// Scan and filter the build side, loading matching rows keyed by
+    /// `build_key`. Charged to `tc` (the context that runs the build
+    /// stage).
+    pub fn build(db: &Database, spec: &JoinSpec, tc: &mut TraceCtx) -> Self {
+        let heap = db.table(spec.build_table);
+        let mut rows = Vec::new();
+        let mut last_page = u32::MAX;
+        for rid in heap.rids().collect::<Vec<_>>() {
+            if rid.page != last_page {
+                heap.pin_page(rid.page, tc);
+                last_page = rid.page;
+            }
+            tc.charge(tc.r.exec_scan, instr::SCAN_STEP);
+            let Some(row) = heap.read_at(rid, tc) else {
+                continue;
+            };
+            if spec.build_pred.eval(&row, tc) {
+                rows.push(row);
+            }
+        }
+        let n_buckets = (rows.len() as u64).next_power_of_two().max(64);
+        let addr = db.space.alloc_anon(n_buckets * 64);
+        let mut table: HashMap<Value, Vec<Vec<Value>>> = HashMap::with_capacity(rows.len());
+        let mut jt = JoinTable {
+            probe_key: spec.probe_key,
+            table: HashMap::new(),
+            addr,
+            n_buckets,
+        };
+        for row in rows {
+            tc.charge(tc.r.exec_hashjoin, instr::HJ_BUILD_ROW);
+            let key = row[spec.build_key].clone();
+            if key.is_null() {
+                continue;
+            }
+            tc.store(jt.bucket_addr(&key), 16);
+            table.entry(key).or_default().push(row);
+        }
+        jt.table = table;
+        jt
+    }
+
+    fn bucket_addr(&self, key: &Value) -> u64 {
+        // Same address geometry as the engine's HashJoin — one source
+        // of truth, so executor and staged probes touch identically.
+        dbcmp_engine::exec::hash_join::bucket_addr(self.addr, self.n_buckets, key)
+    }
+
+    /// Probe with one combined row, appending each match (inner-join
+    /// semantics: zero matches drop the row).
+    pub fn probe(&self, row: &[Value], out: &mut Vec<Vec<Value>>, tc: &mut TraceCtx) {
+        tc.charge(tc.r.exec_hashjoin, instr::HJ_PROBE_ROW);
+        let key = &row[self.probe_key];
+        if key.is_null() {
+            return;
+        }
+        let addr = self.bucket_addr(key);
+        tc.load_dep(addr, 16);
+        if let Some(matches) = self.table.get(key) {
+            for m in matches {
+                tc.load(addr, 16);
+                let mut combined = row.to_vec();
+                combined.extend(m.iter().cloned());
+                out.push(combined);
+            }
+        }
+    }
+
+    /// Simulated bytes of the build table (the stage's data working set).
+    pub fn bytes(&self) -> u64 {
+        self.n_buckets * 64
+    }
+}
+
+/// Drive one row through a chain of join tables, collecting the fully
+/// combined rows into `out`.
+fn probe_chain(
+    tables: &[JoinTable],
+    row: Vec<Value>,
+    out: &mut Vec<Vec<Value>>,
+    tc: &mut TraceCtx,
+) {
+    match tables {
+        [] => out.push(row),
+        [first, rest @ ..] => {
+            let mut matched = Vec::new();
+            first.probe(&row, &mut matched, tc);
+            for m in matched {
+                probe_chain(rest, m, out, tc);
+            }
+        }
+    }
 }
 
 /// Incremental group-by state for staged execution.
@@ -52,6 +198,7 @@ struct AggState {
 }
 
 impl BatchAgg {
+    /// Empty aggregation state with a simulated group-table allocation.
     pub fn new(db: &Database, group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> Self {
         BatchAgg {
             addr: db.space.alloc_anon(64 * 1024),
@@ -139,11 +286,46 @@ impl BatchAgg {
 }
 
 /// A runnable staged pipeline.
+///
+/// ```
+/// use dbcmp_engine::exec::{AggSpec, CmpOp, Pred};
+/// use dbcmp_engine::{ColType, Database, Schema, Value};
+/// use dbcmp_staged::{ExecPolicy, PipelineSpec, StagedPipeline};
+///
+/// let mut db = Database::new();
+/// let t = db.create_table(
+///     "t",
+///     Schema::new(vec![("id", ColType::Int), ("grp", ColType::Int)]),
+/// );
+/// let mut tc = db.null_ctx();
+/// let mut txn = db.begin(&mut tc);
+/// for i in 0..100 {
+///     db.insert(&mut txn, t, &[Value::Int(i), Value::Int(i % 4)], &mut tc)
+///         .unwrap();
+/// }
+/// db.commit(txn, &mut tc).unwrap();
+///
+/// // Per-group counts of ids < 50, cohort-staged in batches of 16.
+/// let pipeline = StagedPipeline::new(PipelineSpec {
+///     table: t,
+///     pred: Pred::Cmp { col: 0, op: CmpOp::Lt, val: Value::Int(50) },
+///     joins: vec![],
+///     group_cols: vec![1],
+///     aggs: vec![AggSpec::count()],
+/// });
+/// let mut rows = pipeline.run(&db, ExecPolicy::Staged { batch: 16 }, &mut [db.null_ctx()]);
+/// rows.sort();
+/// assert_eq!(rows.len(), 4, "four groups");
+/// let total: i64 = rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+/// assert_eq!(total, 50, "every id below 50 counted exactly once");
+/// ```
 pub struct StagedPipeline {
+    /// The pipeline shape being executed.
     pub spec: PipelineSpec,
 }
 
 impl StagedPipeline {
+    /// Wrap a spec for execution.
     pub fn new(spec: PipelineSpec) -> Self {
         StagedPipeline { spec }
     }
@@ -152,6 +334,12 @@ impl StagedPipeline {
     pub fn run_volcano(&self, db: &Database, tc: &mut TraceCtx) -> Vec<Vec<Value>> {
         let heap = db.table(self.spec.table);
         let mut agg = BatchAgg::new(db, self.spec.group_cols.clone(), self.spec.aggs.clone());
+        let tables: Vec<JoinTable> = self
+            .spec
+            .joins
+            .iter()
+            .map(|j| JoinTable::build(db, j, tc))
+            .collect();
         let mut last_page = u32::MAX;
         for rid in heap.rids().collect::<Vec<_>>() {
             if rid.page != last_page {
@@ -168,21 +356,38 @@ impl StagedPipeline {
             if !self.spec.pred.eval(&row, tc) {
                 continue;
             }
-            tc.charge(tc.r.exec_agg, CALL_OVERHEAD);
-            agg.update(&row, tc);
+            if !tables.is_empty() {
+                // One operator crossing per join stage per tuple.
+                tc.charge(tc.r.exec_hashjoin, CALL_OVERHEAD * tables.len() as u32);
+            }
+            let mut combined = Vec::new();
+            probe_chain(&tables, row, &mut combined, tc);
+            for row in combined {
+                tc.charge(tc.r.exec_agg, CALL_OVERHEAD);
+                agg.update(&row, tc);
+            }
         }
         agg.finish()
     }
 
     /// Cohort-scheduled staged execution on one context: scan a batch,
-    /// filter the batch, aggregate the batch. Intermediate rows pass
-    /// through a small reused buffer.
+    /// filter the batch, probe each join table with the whole batch, then
+    /// aggregate the batch. Intermediate rows pass through a small reused
+    /// buffer; each join stage's build table is loaded once up front and
+    /// stays resident across batches (the cohort-locality argument
+    /// applied to join state).
     pub fn run_staged(&self, db: &Database, tc: &mut TraceCtx, batch: usize) -> Vec<Vec<Value>> {
         let heap = db.table(self.spec.table);
         let row_width = (heap.schema.row_width() as u64).max(16);
         // Buffer sized to one batch, reused every batch → stays resident.
         let buf = db.space.alloc_anon(batch as u64 * row_width);
         let mut agg = BatchAgg::new(db, self.spec.group_cols.clone(), self.spec.aggs.clone());
+        let tables: Vec<JoinTable> = self
+            .spec
+            .joins
+            .iter()
+            .map(|j| JoinTable::build(db, j, tc))
+            .collect();
 
         let rids: Vec<Rid> = heap.rids().collect();
         let mut last_page = u32::MAX;
@@ -216,7 +421,23 @@ impl StagedPipeline {
                     passed.push((i, row));
                 }
             }
-            // Stage 3: aggregate the batch.
+            // Join stages: one cohort pass over the batch per table, so
+            // each build table's lines are touched back-to-back.
+            for jt in &tables {
+                tc.charge(tc.r.exec_hashjoin, 40);
+                let mut joined = Vec::with_capacity(passed.len());
+                for (i, row) in passed {
+                    tc.load(
+                        buf + (i as u64 % batch as u64) * row_width,
+                        row_width as u32,
+                    );
+                    let mut matches = Vec::new();
+                    jt.probe(&row, &mut matches, tc);
+                    joined.extend(matches.into_iter().map(|m| (i, m)));
+                }
+                passed = joined;
+            }
+            // Final stage: aggregate the batch.
             tc.charge(tc.r.exec_agg, 40);
             for (i, row) in passed {
                 tc.load(
@@ -230,10 +451,16 @@ impl StagedPipeline {
     }
 
     /// Parallel staged execution: the scan is partitioned into
-    /// `producer_tcs.len()` page ranges, each producer scanning+filtering
-    /// into its own handoff buffer; the consumer aggregates all
-    /// partitions. Producer traces and the consumer trace replay on
-    /// different hardware contexts in the simulator.
+    /// `producer_tcs.len()` page ranges, each producer scanning,
+    /// filtering, and **probing the shared join tables** over its
+    /// partition (partitioned probe) into its own handoff buffer; the
+    /// consumer aggregates all partitions. The join tables are built once
+    /// on the consumer's context; every producer then probes the *same*
+    /// simulated addresses — on a shared-cache CMP those build tables
+    /// stay resident across contexts, on private-cache machines each
+    /// probe partition re-fetches them (what `fig_joins` measures).
+    /// Producer traces and the consumer trace replay on different
+    /// hardware contexts in the simulator.
     pub fn run_staged_parallel(
         &self,
         db: &Database,
@@ -248,6 +475,12 @@ impl StagedPipeline {
         let pages_per = n_pages.div_ceil(n_prod as u32).max(1);
 
         let mut agg = BatchAgg::new(db, self.spec.group_cols.clone(), self.spec.aggs.clone());
+        let tables: Vec<JoinTable> = self
+            .spec
+            .joins
+            .iter()
+            .map(|j| JoinTable::build(db, j, consumer_tc))
+            .collect();
         for (p, tc) in producer_tcs.iter_mut().enumerate() {
             let buf = db.space.alloc_anon(batch as u64 * row_width);
             let lo = p as u32 * pages_per;
@@ -264,20 +497,25 @@ impl StagedPipeline {
                     if !self.spec.pred.eval(&row, tc) {
                         continue;
                     }
-                    // Producer writes the surviving row into the handoff
-                    // buffer...
-                    tc.store(buf + (slot % batch as u64) * row_width, row_width as u32);
-                    slot += 1;
-                    batched.push(row);
-                    if batched.len() == batch {
-                        tc.fence(); // packet handoff
-                                    // ...and the consumer reads it on its context.
-                        for (i, row) in batched.drain(..).enumerate() {
-                            consumer_tc.load(
-                                buf + (i as u64 % batch as u64) * row_width,
-                                row_width as u32,
-                            );
-                            agg.update(&row, consumer_tc);
+                    // Partitioned probe on the producer's context.
+                    let mut combined = Vec::new();
+                    probe_chain(&tables, row, &mut combined, tc);
+                    for row in combined {
+                        // Producer writes each surviving row into the
+                        // handoff buffer...
+                        tc.store(buf + (slot % batch as u64) * row_width, row_width as u32);
+                        slot += 1;
+                        batched.push(row);
+                        if batched.len() == batch {
+                            tc.fence(); // packet handoff
+                                        // ...and the consumer reads it on its context.
+                            for (i, row) in batched.drain(..).enumerate() {
+                                consumer_tc.load(
+                                    buf + (i as u64 % batch as u64) * row_width,
+                                    row_width as u32,
+                                );
+                                agg.update(&row, consumer_tc);
+                            }
                         }
                     }
                 }
@@ -346,6 +584,7 @@ mod tests {
                 op: CmpOp::Lt,
                 val: Value::Int(800),
             },
+            joins: vec![],
             group_cols: vec![1],
             aggs: vec![AggSpec::count(), AggSpec::sum(Scalar::Col(2))],
         };
@@ -413,6 +652,107 @@ mod tests {
             "work split roughly evenly: {ratio}"
         );
         assert!(cons.instrs() > 0);
+    }
+
+    /// Fact table (as [`sample`]) plus a 5-row dimension keyed by `grp`;
+    /// the pipeline joins fact→dim and aggregates per dimension tag.
+    fn sample_with_join() -> (Database, PipelineSpec) {
+        let (mut db, mut spec) = sample();
+        let d = db.create_table(
+            "dim",
+            Schema::new(vec![
+                ("grp_key", ColType::Int),
+                ("factor", ColType::Decimal),
+            ]),
+        );
+        let mut tc = db.null_ctx();
+        let mut txn = db.begin(&mut tc);
+        for g in 0..5i64 {
+            db.insert(
+                &mut txn,
+                d,
+                &[Value::Int(g), Value::Decimal(g * 10)],
+                &mut tc,
+            )
+            .unwrap();
+        }
+        db.commit(txn, &mut tc).unwrap();
+        spec.joins = vec![JoinSpec {
+            build_table: d,
+            build_pred: Pred::True,
+            build_key: 0,
+            probe_key: 1,
+        }];
+        // Combined row: (id, grp, amount, grp_key, factor).
+        spec.group_cols = vec![3];
+        spec.aggs = vec![AggSpec::count(), AggSpec::sum(Scalar::Col(4))];
+        (db, spec)
+    }
+
+    #[test]
+    fn join_policies_agree_and_match_reference() {
+        let (db, spec) = sample_with_join();
+        let p = StagedPipeline::new(spec);
+
+        let mut tc = db.null_ctx();
+        let volcano = normalize(p.run_volcano(&db, &mut tc));
+
+        let mut tc = db.null_ctx();
+        let staged = normalize(p.run_staged(&db, &mut tc, 64));
+
+        let mut prods = vec![db.null_ctx(), db.null_ctx(), db.null_ctx()];
+        let mut cons = db.null_ctx();
+        let parallel = normalize(p.run_staged_parallel(&db, &mut prods, &mut cons, 64));
+
+        assert_eq!(volcano, staged);
+        assert_eq!(volcano, parallel);
+        // Every fact row (id < 800) matches exactly one dim row: 5 groups
+        // of 160, each summing 160 copies of factor = grp*10.
+        assert_eq!(volcano.len(), 5);
+        for r in &volcano {
+            let g = r[0].as_i64().unwrap();
+            assert_eq!(r[1], Value::Int(160));
+            assert_eq!(r[2], Value::Decimal(160 * g * 10));
+        }
+    }
+
+    #[test]
+    fn join_probes_emit_build_and_probe_charges() {
+        // The cost accounting must mirror the engine's HashJoin: build
+        // rows and probe rows both show up as exec-hashjoin instructions.
+        let (db, spec) = sample_with_join();
+        let p = StagedPipeline::new(spec.clone());
+        let mut tc_join = db.trace_ctx();
+        p.run_volcano(&db, &mut tc_join);
+        let mut scan_only = spec;
+        scan_only.joins.clear();
+        scan_only.group_cols = vec![1];
+        scan_only.aggs = vec![AggSpec::count(), AggSpec::sum(Scalar::Col(2))];
+        let q = StagedPipeline::new(scan_only);
+        let mut tc_scan = db.trace_ctx();
+        q.run_volcano(&db, &mut tc_scan);
+        assert!(
+            tc_join.instrs() > tc_scan.instrs(),
+            "join pipeline must charge more than its scan-only twin: {} !> {}",
+            tc_join.instrs(),
+            tc_scan.instrs()
+        );
+    }
+
+    #[test]
+    fn staged_join_executes_fewer_instructions_than_volcano() {
+        let (db, spec) = sample_with_join();
+        let p = StagedPipeline::new(spec);
+        let mut tc_v = db.null_ctx();
+        p.run_volcano(&db, &mut tc_v);
+        let mut tc_s = db.null_ctx();
+        p.run_staged(&db, &mut tc_s, 128);
+        assert!(
+            tc_s.instrs() < tc_v.instrs(),
+            "staged join {} must beat volcano join {}",
+            tc_s.instrs(),
+            tc_v.instrs()
+        );
     }
 
     #[test]

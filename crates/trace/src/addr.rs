@@ -27,8 +27,11 @@ pub const DATA_LIMIT: SimAddr = 1 << 46;
 /// Metadata about one named allocation, for reports and debugging.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentInfo {
+    /// Segment tag given at allocation ("heap:orders", "lock-table", …).
     pub name: &'static str,
+    /// First byte of the segment.
     pub base: SimAddr,
+    /// Segment length in bytes (as requested, before alignment padding).
     pub len: u64,
 }
 
@@ -44,6 +47,7 @@ pub struct AddressSpace {
 }
 
 impl AddressSpace {
+    /// An empty address space starting at [`DATA_BASE`].
     pub fn new() -> Self {
         AddressSpace {
             next: AtomicU64::new(DATA_BASE),

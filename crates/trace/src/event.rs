@@ -53,12 +53,29 @@ pub struct PackedEvent(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// Execute `instrs` instructions fetched sequentially through `region`.
-    Exec { region: RegionId, instrs: u32 },
+    Exec {
+        /// Code region being executed.
+        region: RegionId,
+        /// Number of instructions retired.
+        instrs: u32,
+    },
     /// One load instruction touching `[addr, addr+size)`. `dep` marks a
     /// load whose result gates subsequent instructions (pointer chase).
-    Load { addr: u64, size: u16, dep: bool },
+    Load {
+        /// First byte of the access.
+        addr: u64,
+        /// Access size in bytes (≤ [`MAX_ACCESS`]).
+        size: u16,
+        /// Whether following instructions depend on the loaded value.
+        dep: bool,
+    },
     /// One store instruction touching `[addr, addr+size)`.
-    Store { addr: u64, size: u16 },
+    Store {
+        /// First byte of the access.
+        addr: u64,
+        /// Access size in bytes (≤ [`MAX_ACCESS`]).
+        size: u16,
+    },
     /// Ordering fence (lock acquire/release, commit): the out-of-order core
     /// drains its window before proceeding.
     Fence,
@@ -74,12 +91,14 @@ pub enum Event {
 }
 
 impl PackedEvent {
+    /// Pack an [`Event::Exec`].
     #[inline]
     pub fn exec(region: RegionId, instrs: u32) -> Self {
         debug_assert!((region as u64) <= REGION_MASK);
         PackedEvent((OP_EXEC << OP_SHIFT) | ((region as u64) << REGION_SHIFT) | instrs as u64)
     }
 
+    /// Pack an [`Event::Load`].
     #[inline]
     pub fn load(addr: u64, size: u32, dep: bool) -> Self {
         debug_assert!((1..=MAX_ACCESS).contains(&size));
@@ -92,6 +111,7 @@ impl PackedEvent {
         PackedEvent(w)
     }
 
+    /// Pack an [`Event::Store`].
     #[inline]
     pub fn store(addr: u64, size: u32) -> Self {
         debug_assert!((1..=MAX_ACCESS).contains(&size));
@@ -101,21 +121,25 @@ impl PackedEvent {
         )
     }
 
+    /// Pack an [`Event::Fence`] marker.
     #[inline]
     pub fn fence() -> Self {
         PackedEvent((OP_MARKER << OP_SHIFT) | MARKER_FENCE)
     }
 
+    /// Pack an [`Event::UnitEnd`] marker.
     #[inline]
     pub fn unit_end() -> Self {
         PackedEvent((OP_MARKER << OP_SHIFT) | MARKER_UNIT_END)
     }
 
+    /// Pack an [`Event::Block`] marker.
     #[inline]
     pub fn block() -> Self {
         PackedEvent((OP_MARKER << OP_SHIFT) | MARKER_BLOCK)
     }
 
+    /// Pack an [`Event::Wake`] marker.
     #[inline]
     pub fn wake() -> Self {
         PackedEvent((OP_MARKER << OP_SHIFT) | MARKER_WAKE)

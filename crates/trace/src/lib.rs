@@ -25,6 +25,8 @@
 //!   region so that the L1-I working set of a workload equals the sum of its
 //!   active regions (large for OLTP, small for DSS scan loops — paper §4).
 
+#![warn(missing_docs)]
+
 pub mod addr;
 pub mod event;
 pub mod region;

@@ -31,7 +31,9 @@ pub const CODE_BASE: u64 = 1 << 47;
 /// One named region of simulated code.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CodeRegion {
+    /// Dense registry index.
     pub id: RegionId,
+    /// Subsystem name ("lock-manager", "exec-scan", …).
     pub name: &'static str,
     /// Base address in the instruction address space (page aligned).
     pub base: u64,
@@ -49,6 +51,7 @@ pub struct CodeRegions {
 }
 
 impl CodeRegions {
+    /// An empty registry.
     pub fn new() -> Self {
         CodeRegions {
             regions: Vec::new(),
@@ -79,19 +82,24 @@ impl CodeRegions {
         id
     }
 
+    /// Look up a region by id (panics on an unknown id — region ids come
+    /// from this registry).
     #[inline]
     pub fn get(&self, id: RegionId) -> &CodeRegion {
         &self.regions[id as usize]
     }
 
+    /// Number of registered regions.
     pub fn len(&self) -> usize {
         self.regions.len()
     }
 
+    /// Whether no regions are registered.
     pub fn is_empty(&self) -> bool {
         self.regions.is_empty()
     }
 
+    /// Iterate over the registered regions in id order.
     pub fn iter(&self) -> impl Iterator<Item = &CodeRegion> {
         self.regions.iter()
     }

@@ -13,11 +13,17 @@ use crate::tracer::ThreadTrace;
 /// Aggregate statistics over one or more thread traces.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceSummary {
+    /// Total retired instructions (exec charges + one per load/store).
     pub instrs: u64,
+    /// Load events.
     pub loads: u64,
+    /// Loads marked dependent (pointer chases).
     pub dep_loads: u64,
+    /// Store events.
     pub stores: u64,
+    /// Ordering fences.
     pub fences: u64,
+    /// Completed work units (transactions/queries).
     pub units: u64,
     /// Lock-wait block markers (nonzero only in contended captures).
     pub blocks: u64,

@@ -71,6 +71,7 @@ impl Tracer {
         }
     }
 
+    /// Whether this tracer records events (vs counting only).
     #[inline]
     pub fn is_recording(&self) -> bool {
         self.mode == Mode::Record
@@ -226,18 +227,22 @@ pub struct ThreadTrace {
 }
 
 impl ThreadTrace {
+    /// Iterate over decoded events in capture order.
     pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
         self.events.iter().map(|e| e.decode())
     }
 
+    /// The raw packed event stream (byte-identity comparisons).
     pub fn events(&self) -> &[PackedEvent] {
         &self.events
     }
 
+    /// Number of events in the stream.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
+    /// Whether the stream holds no events.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
@@ -247,10 +252,12 @@ impl ThreadTrace {
         self.instrs
     }
 
+    /// Load events recorded.
     pub fn loads(&self) -> u64 {
         self.loads
     }
 
+    /// Store events recorded.
     pub fn stores(&self) -> u64 {
         self.stores
     }
@@ -275,25 +282,60 @@ impl ThreadTrace {
 /// everything the simulator needs to replay a workload.
 #[derive(Debug, Clone, Default)]
 pub struct TraceBundle {
+    /// Code-region table shared by every thread's `Exec` events.
     pub regions: CodeRegions,
+    /// One captured event stream per client thread.
     pub threads: Vec<ThreadTrace>,
 }
 
 impl TraceBundle {
+    /// Bundle per-thread traces with the region table they reference.
     pub fn new(regions: CodeRegions, threads: Vec<ThreadTrace>) -> Self {
         TraceBundle { regions, threads }
     }
 
+    /// Instructions summed across all threads.
     pub fn total_instrs(&self) -> u64 {
         self.threads.iter().map(|t| t.instrs()).sum()
     }
 
+    /// Events summed across all threads.
     pub fn total_events(&self) -> usize {
         self.threads.iter().map(|t| t.len()).sum()
     }
 
+    /// Completed work units summed across all threads.
     pub fn total_units(&self) -> u64 {
         self.threads.iter().map(|t| t.units()).sum()
+    }
+
+    /// Instructions charged to each code region across all threads,
+    /// indexed by region id — one decode pass over every event stream.
+    /// Per-operator attribution for reports (e.g. "how much of this
+    /// capture is hash-join build/probe work?").
+    pub fn region_instr_totals(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.regions.len()];
+        for t in &self.threads {
+            for e in t.iter() {
+                if let Event::Exec { region, instrs } = e {
+                    if let Some(slot) = totals.get_mut(region as usize) {
+                        *slot += instrs as u64;
+                    }
+                }
+            }
+        }
+        totals
+    }
+
+    /// Instructions charged to the named code region across all threads
+    /// (one decode pass per call — batch queries should use
+    /// [`Self::region_instr_totals`]). Returns 0 for a name no region
+    /// carries.
+    pub fn region_instrs(&self, name: &str) -> u64 {
+        let Some(id) = self.regions.iter().find(|r| r.name == name).map(|r| r.id) else {
+            return 0;
+        };
+        self.region_instr_totals()[id as usize]
     }
 }
 

@@ -10,7 +10,10 @@
 //!   shape: hot district counters, shared stock, insert-heavy order lines.
 //! * **DSS** — TPC-H-style queries Q1 and Q6 (scan-dominated), Q16
 //!   (join-dominated) and Q13 (mixed) with random predicates, on a
-//!   dbgen-like population.
+//!   dbgen-like population; plus the join-camp extension Q3 (orders ⋈
+//!   lineitem join-aggregate) and Q5 (multi-way join through the orders
+//!   B+Tree) that the `fig_joins` sweep captures via
+//!   [`tpch::QueryKind::JOINS`].
 //!
 //! [`capture`] runs client sessions against the engine and produces
 //! [`TraceBundle`](dbcmp_trace::TraceBundle)s for the simulator.

@@ -65,21 +65,43 @@ pub struct TpchDb {
 }
 
 /// Which paper query (paper §3: Q1/Q6 scan-dominated, Q16 join-dominated,
-/// Q13 mixed).
+/// Q13 mixed) or join-camp extension (Q3/Q5, the join-heavy DSS shapes
+/// `fig_joins` sweeps).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryKind {
+    /// Pricing summary report: scan + aggregate (scan camp).
     Q1,
+    /// Shipping-priority: orders⋈lineitem date-filtered join-aggregate
+    /// (join camp).
+    Q3,
+    /// Local-supplier volume: lineitem⋈orders⋈customer⋈supplier
+    /// multi-way join (join camp).
+    Q5,
+    /// Forecasting revenue change: selective scan + SUM (scan camp).
     Q6,
+    /// Customer distribution: outer join + double aggregate (mixed).
     Q13,
+    /// Parts/supplier relationship: part⋈partsupp + anti-join (join).
     Q16,
 }
 
 impl QueryKind {
+    /// The paper's four-query DSS mix (§3) — what every pre-join figure
+    /// captures. Unchanged by the join extension so existing figure
+    /// numbers stay reproducible.
     pub const ALL: [QueryKind; 4] = [QueryKind::Q1, QueryKind::Q6, QueryKind::Q13, QueryKind::Q16];
 
+    /// The join-heavy DSS mix of the `fig_joins` extension: hash-join and
+    /// index-nested-loop plans whose build-side working sets, not scan
+    /// bandwidth, set the cache behaviour.
+    pub const JOINS: [QueryKind; 2] = [QueryKind::Q3, QueryKind::Q5];
+
+    /// Human-readable label with the query's camp.
     pub fn label(self) -> &'static str {
         match self {
             QueryKind::Q1 => "Q1 (scan)",
+            QueryKind::Q3 => "Q3 (join)",
+            QueryKind::Q5 => "Q5 (multi-way join)",
             QueryKind::Q6 => "Q6 (scan)",
             QueryKind::Q13 => "Q13 (mixed)",
             QueryKind::Q16 => "Q16 (join)",

@@ -5,7 +5,8 @@
 
 use dbcmp_engine::exec::sort::SortKey;
 use dbcmp_engine::exec::{
-    AggSpec, BoxExec, CmpOp, Filter, HashAggregate, HashJoin, JoinKind, Pred, Scalar, SeqScan, Sort,
+    AggSpec, BoxExec, CmpOp, Filter, HashAggregate, HashJoin, IndexJoin, JoinKind, Pred, Scalar,
+    SeqScan, Sort,
 };
 use dbcmp_engine::{Database, TraceCtx, Value};
 use rand::rngs::StdRng;
@@ -14,6 +15,8 @@ use rand::Rng;
 use super::{QueryKind, TpchDb, MAX_DATE};
 
 // lineitem columns
+const L_ORDERKEY: usize = 0;
+const L_SUPPKEY: usize = 2;
 const L_QTY: usize = 4;
 const L_PRICE: usize = 5;
 const L_DISC: usize = 6;
@@ -22,10 +25,24 @@ const L_RFLAG: usize = 8;
 const L_LSTAT: usize = 9;
 const L_SHIP: usize = 10;
 
+/// `l_extendedprice * (1 - l_discount)` at column offset `base` — the
+/// revenue expression shared by Q3 and Q5.
+fn revenue_at(base: usize) -> Scalar {
+    Scalar::MulDec(
+        Box::new(Scalar::Col(base + L_PRICE)),
+        Box::new(Scalar::Sub(
+            Box::new(Scalar::ConstDec(100)),
+            Box::new(Scalar::Col(base + L_DISC)),
+        )),
+    )
+}
+
 /// Build the plan for one query instance.
 pub fn build_query(kind: QueryKind, h: &TpchDb, rng: &mut StdRng) -> BoxExec {
     match kind {
         QueryKind::Q1 => q1(h, rng),
+        QueryKind::Q3 => q3(h, rng),
+        QueryKind::Q5 => q5(h, rng),
         QueryKind::Q6 => q6(h, rng),
         QueryKind::Q13 => q13(h, rng),
         QueryKind::Q16 => q16(h, rng),
@@ -88,6 +105,113 @@ pub fn q1(h: &TpchDb, rng: &mut StdRng) -> BoxExec {
             },
         ],
     ))
+}
+
+/// Q3 — shipping priority: date-filtered orders hash-joined against
+/// date-filtered lineitems, revenue aggregated per order. The build-side
+/// hash table (orders placed before the cutoff) is the cache-residency
+/// knob: its working set scales with the orders population, not with the
+/// lineitem scan the probe streams through.
+pub fn q3(h: &TpchDb, rng: &mut StdRng) -> BoxExec {
+    // The spec draws a date in [1995-03-01, 1995-03-31]; our population
+    // spans day 0..MAX_DATE, so draw a cutoff in the middle half.
+    let cutoff = rng.gen_range(MAX_DATE / 4..3 * MAX_DATE / 4);
+    // Build: orders placed before the cutoff.
+    let orders = Box::new(Filter::new(
+        Box::new(SeqScan::new(h.orders)),
+        Pred::Cmp {
+            col: 2, // o_orderdate
+            op: CmpOp::Lt,
+            val: Value::Date(cutoff),
+        },
+    ));
+    // Probe: lineitems shipped after it.
+    let lineitem = Box::new(Filter::new(
+        Box::new(SeqScan::new(h.lineitem)),
+        Pred::Cmp {
+            col: L_SHIP,
+            op: CmpOp::Gt,
+            val: Value::Date(cutoff),
+        },
+    ));
+    // Output = lineitem (11 cols) ++ orders (4 cols): o_orderdate at 13.
+    let join = Box::new(HashJoin::new(
+        orders,
+        0, // o_orderkey
+        lineitem,
+        L_ORDERKEY,
+        JoinKind::Inner,
+    ));
+    let grouped = Box::new(HashAggregate::new(
+        join,
+        vec![L_ORDERKEY, 13],
+        vec![AggSpec::sum(revenue_at(0))],
+    ));
+    // Highest-revenue orders first (spec: ORDER BY revenue DESC, date).
+    Box::new(Sort::new(
+        grouped,
+        vec![
+            SortKey { col: 2, desc: true },
+            SortKey {
+                col: 1,
+                desc: false,
+            },
+        ],
+    ))
+}
+
+/// Q5 — local-supplier volume: a multi-way join. Lineitem probes the
+/// orders B+Tree through an **index-nested-loop** join (a dependent-load
+/// descent per lineitem — the OLTP-like pointer chase inside a DSS
+/// plan), then two hash joins pick up customer and supplier, and revenue
+/// aggregates per market segment (our stand-in for the spec's nation
+/// grouping; the schema carries no nation column).
+pub fn q5(h: &TpchDb, rng: &mut StdRng) -> BoxExec {
+    let year_start = rng.gen_range(0..5) * 365;
+    // lineitem (11) ++ orders (4): o_custkey at 12, o_orderdate at 13.
+    let li_orders = Box::new(IndexJoin::new(
+        Box::new(SeqScan::new(h.lineitem)),
+        L_ORDERKEY,
+        h.idx_orders,
+        JoinKind::Inner,
+    ));
+    let dated = Box::new(Filter::new(
+        li_orders,
+        Pred::And(vec![
+            Pred::Cmp {
+                col: 13,
+                op: CmpOp::Ge,
+                val: Value::Date(year_start),
+            },
+            Pred::Cmp {
+                col: 13,
+                op: CmpOp::Lt,
+                val: Value::Date(year_start + 365),
+            },
+        ]),
+    ));
+    // ++ customer (4): c_mktsegment at 18.
+    let with_customer = Box::new(HashJoin::new(
+        Box::new(SeqScan::new(h.customer)),
+        0, // c_custkey
+        dated,
+        12, // o_custkey
+        JoinKind::Inner,
+    ));
+    // ++ supplier (3): 22 columns total.
+    let with_supplier = Box::new(HashJoin::new(
+        Box::new(SeqScan::new(h.supplier)),
+        0, // s_suppkey
+        with_customer,
+        L_SUPPKEY,
+        JoinKind::Inner,
+    ));
+    let grouped = Box::new(HashAggregate::new(
+        with_supplier,
+        vec![18],
+        vec![AggSpec::sum(revenue_at(0))],
+    ));
+    Box::new(Sort::new(grouped, vec![SortKey { col: 1, desc: true }]))
 }
 
 /// Q6 — forecasting revenue change: highly selective scan with three
@@ -332,6 +456,89 @@ mod tests {
             .map(|r| r[L_PRICE].as_i64().unwrap() * r[L_DISC].as_i64().unwrap() / 100)
             .sum();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn q3_matches_manual_join() {
+        let (db, h, mut rng) = setup();
+        let mut tc = db.null_ctx();
+        let mut rng2 = rng.clone();
+        let mut plan = q3(&h, &mut rng);
+        let rows = run_to_vec(plan.as_mut(), &db, &mut tc).unwrap();
+        assert!(!rows.is_empty(), "the cutoff must admit some joins");
+        // Each row: (l_orderkey, o_orderdate, revenue), revenue-sorted.
+        assert_eq!(rows[0].len(), 3);
+        for w in rows.windows(2) {
+            assert!(w[0][2] >= w[1][2], "sorted by revenue desc");
+        }
+
+        // Manual: same predicate draw, nested-loop reference join.
+        let cutoff: u32 = rng2.gen_range(MAX_DATE / 4..3 * MAX_DATE / 4);
+        let mut all = |t| {
+            let mut scan = SeqScan::new(t);
+            run_to_vec(&mut scan, &db, &mut tc).unwrap()
+        };
+        let orders = all(h.orders);
+        let lineitem = all(h.lineitem);
+        let mut expect = std::collections::HashMap::new();
+        for li in &lineitem {
+            if li[L_SHIP].as_i64().unwrap() <= cutoff as i64 {
+                continue;
+            }
+            for o in &orders {
+                if o[0] == li[L_ORDERKEY] && o[2].as_i64().unwrap() < cutoff as i64 {
+                    let rev =
+                        li[L_PRICE].as_i64().unwrap() * (100 - li[L_DISC].as_i64().unwrap()) / 100;
+                    *expect.entry(li[L_ORDERKEY].clone()).or_insert(0i64) += rev;
+                }
+            }
+        }
+        assert_eq!(rows.len(), expect.len(), "one output row per joined order");
+        let got_total: i64 = rows.iter().map(|r| r[2].as_i64().unwrap()).sum();
+        let expect_total: i64 = expect.values().sum();
+        assert_eq!(got_total, expect_total);
+    }
+
+    #[test]
+    fn q5_multiway_join_covers_segments() {
+        let (db, h, mut rng) = setup();
+        let mut tc = db.null_ctx();
+        let mut rng2 = rng.clone();
+        let mut plan = q5(&h, &mut rng);
+        let rows = run_to_vec(plan.as_mut(), &db, &mut tc).unwrap();
+        // (c_mktsegment, revenue) per segment, at most the 5 segments.
+        assert!((1..=5).contains(&rows.len()), "segments={}", rows.len());
+        for w in rows.windows(2) {
+            assert!(w[0][1] >= w[1][1], "sorted by revenue desc");
+        }
+
+        // Manual reference: every lineitem in the drawn year window whose
+        // order, customer, and supplier all exist contributes revenue.
+        let year_start: u32 = rng2.gen_range(0..5) * 365;
+        let mut all = |t| {
+            let mut scan = SeqScan::new(t);
+            run_to_vec(&mut scan, &db, &mut tc).unwrap()
+        };
+        let (orders, lineitem) = (all(h.orders), all(h.lineitem));
+        let odate: std::collections::HashMap<i64, i64> = orders
+            .iter()
+            .map(|o| (o[0].as_i64().unwrap(), o[2].as_i64().unwrap()))
+            .collect();
+        let expect_total: i64 = lineitem
+            .iter()
+            .filter(|li| {
+                let Some(&d) = odate.get(&li[L_ORDERKEY].as_i64().unwrap()) else {
+                    return false;
+                };
+                d >= year_start as i64 && d < year_start as i64 + 365
+            })
+            .map(|li| li[L_PRICE].as_i64().unwrap() * (100 - li[L_DISC].as_i64().unwrap()) / 100)
+            .sum();
+        let got_total: i64 = rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+        assert_eq!(
+            got_total, expect_total,
+            "every customer/supplier key resolves, so totals must agree"
+        );
     }
 
     #[test]

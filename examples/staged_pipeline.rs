@@ -30,7 +30,8 @@ fn main() {
     let mut base_cycles = 0.0;
     for (name, policy) in policies {
         let (mut db, h) = build_tpch(TpchScale::tiny(), 7);
-        let bundle = capture_staged_dss(&mut db, &h, &[QueryKind::Q1, QueryKind::Q6], policy, 2, 7);
+        let bundle = capture_staged_dss(&mut db, &h, &[QueryKind::Q1, QueryKind::Q6], policy, 2, 7)
+            .expect("Q1/Q6 are staged-pipelineable");
         let res = run_completion(
             lc_cmp(4, 8 << 20, L2Spec::Cacti),
             &bundle,

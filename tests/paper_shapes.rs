@@ -189,7 +189,8 @@ fn staged_execution_beats_volcano_unsaturated() {
     };
     let run = |policy| {
         let (mut db, h) = build_tpch(TpchScale::tiny(), 5);
-        let bundle = capture_staged_dss(&mut db, &h, &[QueryKind::Q1], policy, 1, 5);
+        let bundle = capture_staged_dss(&mut db, &h, &[QueryKind::Q1], policy, 1, 5)
+            .expect("Q1 is staged-pipelineable");
         let cfg = cmp_for(Camp::Lean, 4, 8 << 20, L2Spec::Cacti);
         let res = run_completion(cfg, &bundle, s);
         (bundle.total_instrs(), res.cycles)

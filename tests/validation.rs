@@ -150,6 +150,55 @@ fn single_client_interleaved_matches_sequential() {
     assert_eq!(il.stats.deadlock_aborts, 0);
 }
 
+/// ISSUE 5 determinism anchor: join-DSS captures — both the Volcano
+/// executor capture behind `CapturedWorkload::dss_joins` and the staged
+/// join-pipeline capture — are byte-identical across runs with the same
+/// seed (summary *and* raw event streams).
+#[test]
+fn join_captures_are_deterministic() {
+    let scale = FigScale::quick();
+
+    // Executor capture (what fig_joins replays).
+    let a = CapturedWorkload::dss_joins(&scale, 4, 2);
+    let b = CapturedWorkload::dss_joins(&scale, 4, 2);
+    assert_eq!(a.summary, b.summary, "summaries must be identical");
+    assert_eq!(a.bundle.threads.len(), b.bundle.threads.len());
+    for (i, (ta, tb)) in a.bundle.threads.iter().zip(&b.bundle.threads).enumerate() {
+        assert_eq!(ta.events(), tb.events(), "join client {i} trace diverged");
+    }
+    assert!(
+        a.bundle.region_instrs("exec-hashjoin") > 0,
+        "join capture must carry hash-join work"
+    );
+
+    // Staged join-pipeline capture, all three policies.
+    use dbcmp::staged::{capture_staged_dss, ExecPolicy};
+    use dbcmp::workloads::tpch::{build_tpch, QueryKind};
+    for policy in [
+        ExecPolicy::Volcano,
+        ExecPolicy::Staged { batch: 128 },
+        ExecPolicy::StagedParallel {
+            batch: 128,
+            producers: 3,
+        },
+    ] {
+        let run = || {
+            let (mut db, h) = build_tpch(scale.tpch, scale.seed);
+            capture_staged_dss(&mut db, &h, &QueryKind::JOINS, policy, 2, scale.seed)
+                .expect("Q3/Q5 are staged-pipelineable")
+        };
+        let a = run();
+        let b = run();
+        for (i, (ta, tb)) in a.threads.iter().zip(&b.threads).enumerate() {
+            assert_eq!(
+                ta.events(),
+                tb.events(),
+                "staged {policy:?} thread {i} diverged"
+            );
+        }
+    }
+}
+
 /// Simulated UIPC never exceeds the machine's theoretical peak.
 #[test]
 fn uipc_bounded_by_issue_width() {
