@@ -1,0 +1,103 @@
+//! Criterion benchmarks of the streaming trace pipeline (ISSUE 6):
+//! capture throughput (tracer ingest + columnar encode into a
+//! non-retaining sink), replay throughput (block-decode cursor drain),
+//! and the raw segment codec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use dbcmp_sim::cursor::TraceCursor;
+use dbcmp_trace::{CountingSink, Event, PackedEvent, Segment, ThreadTrace, Tracer};
+
+const EVENTS_PER_THREAD: u64 = 20_000;
+
+/// One synthetic OLTP-shaped thread: exec runs interleaved with strided
+/// loads, occasional stores and unit markers.
+fn synthetic_trace() -> ThreadTrace {
+    let mut tr = Tracer::recording();
+    for k in 0..EVENTS_PER_THREAD {
+        tr.exec(3, 16);
+        tr.load(0x100000 + (k % 4096) * 64, 8);
+        if k % 64 == 0 {
+            tr.store(0x900000 + (k % 512) * 64, 8);
+        }
+        if k % 500 == 0 {
+            tr.unit_end();
+        }
+    }
+    tr.finish()
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let events: Vec<Event> = synthetic_trace().iter().collect();
+    let mut g = c.benchmark_group("trace_capture");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("stream_into_counting_sink", |b| {
+        b.iter(|| {
+            let mut tr = Tracer::streaming(Box::<CountingSink>::default());
+            for &e in &events {
+                match e {
+                    Event::Exec { region, instrs } => tr.exec(region, instrs),
+                    Event::Load { addr, size, dep } => {
+                        if dep {
+                            tr.load_dep(addr, size as u32)
+                        } else {
+                            tr.load(addr, size as u32)
+                        }
+                    }
+                    Event::Store { addr, size } => tr.store(addr, size as u32),
+                    Event::Fence => tr.fence(),
+                    Event::UnitEnd => tr.unit_end(),
+                    Event::Block => tr.block(),
+                    Event::Wake => tr.wake(),
+                }
+            }
+            black_box(tr.finish().len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let trace = synthetic_trace();
+    let mut g = c.benchmark_group("trace_replay");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("cursor_block_decode_drain", |b| {
+        b.iter(|| {
+            let mut cur = TraceCursor::new(&trace, false);
+            let mut checksum = 0u64;
+            while let Some(e) = cur.next_event() {
+                checksum = checksum.wrapping_add(e.instr_count());
+            }
+            black_box(checksum)
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let packed: Vec<PackedEvent> = (0..4096u64)
+        .map(|i| PackedEvent::load(0x10000 + i * 64, 8, i % 7 == 0))
+        .collect();
+    let seg = Segment::encode(&packed);
+    let mut g = c.benchmark_group("segment_codec");
+    g.throughput(Throughput::Elements(packed.len() as u64));
+    g.bench_function("encode_4k_block", |b| {
+        b.iter(|| black_box(Segment::encode(black_box(&packed))))
+    });
+    g.bench_function("decode_4k_block", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            seg.decode_into(&mut out);
+            black_box(out.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_capture, bench_replay, bench_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Print the delta between the two most recent trace-pipeline
+//! trajectory points in `BENCH_trace.json` (ISSUE 6 tooling).
+//!
+//! Usage: `bench_diff [path]` (default `BENCH_trace.json`). With a
+//! single committed point it reports the baseline; wall-clock deltas
+//! are informational (machines differ), deterministic deltas signal a
+//! real format/pipeline change.
+
+use dbcmp_bench::trajectory::{TracePoint, Trajectory};
+
+const DEFAULT_PATH: &str = "BENCH_trace.json";
+
+fn pct_delta(old: f64, new: f64) -> String {
+    if old <= 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:+.1}%", (new - old) / old * 100.0)
+}
+
+fn row(name: &str, old: f64, new: f64) {
+    println!(
+        "  {name:<26} {old:>14.3e} -> {new:>14.3e}  ({})",
+        pct_delta(old, new)
+    );
+}
+
+fn describe(p: &TracePoint) -> String {
+    format!(
+        "seq={} scale={} events={} bytes/event={:.3}",
+        p.seq, p.scale, p.events, p.bytes_per_event
+    )
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| DEFAULT_PATH.to_string());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        eprintln!("error: {path} is missing — run `bench_trace --quick --update`");
+        std::process::exit(1);
+    });
+    let traj = Trajectory::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(1);
+    });
+    let n = traj.points.len();
+    let new = &traj.points[n - 1];
+    println!("trace-pipeline trajectory: {n} point(s) in {path}");
+    if n == 1 {
+        println!("  baseline: {}", describe(new));
+        println!("  (no previous point to diff against — this PR starts the trajectory)");
+        return;
+    }
+    let old = &traj.points[n - 2];
+    println!("  previous: {}", describe(old));
+    println!("  latest:   {}", describe(new));
+    if old.scale != new.scale {
+        println!("  (scales differ — deltas are not like-for-like)");
+    }
+    println!("deterministic (format/pipeline changes):");
+    row("events", old.events as f64, new.events as f64);
+    row(
+        "encoded_bytes",
+        old.encoded_bytes as f64,
+        new.encoded_bytes as f64,
+    );
+    row("bytes_per_event", old.bytes_per_event, new.bytes_per_event);
+    row(
+        "peak_bundle_bytes",
+        old.peak_bundle_bytes as f64,
+        new.peak_bundle_bytes as f64,
+    );
+    println!("wall-clock (machine-dependent):");
+    row(
+        "events_captured_per_sec",
+        old.events_captured_per_sec,
+        new.events_captured_per_sec,
+    );
+    row(
+        "events_replayed_per_sec",
+        old.events_replayed_per_sec,
+        new.events_replayed_per_sec,
+    );
+}

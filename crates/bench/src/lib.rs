@@ -26,6 +26,14 @@
 //! `dbcmp_core::experiment::Sweep` (results are byte-identical to a
 //! sequential run; `fig8_core_count` prints both wall-clock times).
 //! Criterion microbenchmarks of the substrates live in `benches/`.
+//!
+//! Two harness-performance binaries maintain the recorded perf
+//! trajectory of the trace pipeline itself (ISSUE 6): `bench_trace`
+//! measures capture/replay throughput and maintains `BENCH_trace.json`
+//! (see [`trajectory`]), and `bench_diff` prints the delta between the
+//! two most recent trajectory points.
+
+pub mod trajectory;
 
 use dbcmp_core::FigScale;
 

@@ -1,0 +1,254 @@
+//! The recorded perf trajectory: `BENCH_trace.json` parsing, emission,
+//! and schema validation.
+//!
+//! The trajectory is an append-only sequence of measurement points, one
+//! per PR that re-measured the trace pipeline (`bench_trace --update`).
+//! Two kinds of field coexist per point:
+//!
+//! * **Deterministic** (`events`, `encoded_bytes`, `bytes_per_event`) —
+//!   functions of the fixed fig7 OLTP capture at the point's scale.
+//!   These are the staleness signal: if a re-measurement disagrees, the
+//!   committed point no longer describes the current code.
+//! * **Wall-clock** (`events_captured_per_sec`, `events_replayed_per_sec`)
+//!   — machine-dependent throughputs; validated for presence and
+//!   positivity only, compared across points by `bench_diff`.
+//!
+//! The file is plain JSON, read and written by the tiny scanner below
+//! (the workspace deliberately vendors no JSON crate).
+
+use std::fmt::Write as _;
+
+/// Schema tag expected in `BENCH_trace.json`.
+pub const SCHEMA: &str = "dbcmp-trace-bench/1";
+
+/// One trajectory point (see module docs for field semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePoint {
+    /// Monotone sequence number, assigned at append time.
+    pub seq: u64,
+    /// Scale label the point was measured at ("quick" or "paper").
+    pub scale: String,
+    /// Events in the fig7 OLTP capture (deterministic).
+    pub events: u64,
+    /// Encoded bundle size in bytes (deterministic).
+    pub encoded_bytes: u64,
+    /// `encoded_bytes / events` (deterministic; the < 8 B/event claim).
+    pub bytes_per_event: f64,
+    /// Peak capture-side trace memory: encoded bundle + one staging
+    /// block per client (deterministic).
+    pub peak_bundle_bytes: u64,
+    /// Tracer-ingest + encode throughput (wall-clock).
+    pub events_captured_per_sec: f64,
+    /// Cursor block-decode replay throughput (wall-clock).
+    pub events_replayed_per_sec: f64,
+}
+
+/// A parsed `BENCH_trace.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trajectory {
+    /// Points in append order.
+    pub points: Vec<TracePoint>,
+}
+
+impl Trajectory {
+    /// Serialize to the committed JSON layout.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"seq\": {},", p.seq);
+            let _ = writeln!(out, "      \"scale\": \"{}\",", p.scale);
+            let _ = writeln!(out, "      \"events\": {},", p.events);
+            let _ = writeln!(out, "      \"encoded_bytes\": {},", p.encoded_bytes);
+            let _ = writeln!(out, "      \"bytes_per_event\": {:.4},", p.bytes_per_event);
+            let _ = writeln!(out, "      \"peak_bundle_bytes\": {},", p.peak_bundle_bytes);
+            let _ = writeln!(
+                out,
+                "      \"events_captured_per_sec\": {:.0},",
+                p.events_captured_per_sec
+            );
+            let _ = writeln!(
+                out,
+                "      \"events_replayed_per_sec\": {:.0}",
+                p.events_replayed_per_sec
+            );
+            out.push_str(if i + 1 < self.points.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse and schema-validate the committed JSON layout. Errors name
+    /// the missing/malformed field.
+    pub fn parse(text: &str) -> Result<Trajectory, String> {
+        let schema = str_field(text, "schema").ok_or("missing \"schema\" field")?;
+        if schema != SCHEMA {
+            return Err(format!("schema \"{schema}\" != expected \"{SCHEMA}\""));
+        }
+        let start = text.find("\"points\"").ok_or("missing \"points\" array")?;
+        let arr_open = text[start..]
+            .find('[')
+            .map(|i| start + i)
+            .ok_or("malformed \"points\" array")?;
+        let mut points = Vec::new();
+        let mut rest = &text[arr_open + 1..];
+        while let Some(open) = rest.find('{') {
+            let close = rest[open..]
+                .find('}')
+                .map(|i| open + i)
+                .ok_or("unterminated point object")?;
+            let obj = &rest[open + 1..close];
+            points.push(parse_point(obj)?);
+            rest = &rest[close + 1..];
+        }
+        let t = Trajectory { points };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Structural validation beyond parsing: at least one point, seq
+    /// strictly increasing, finite positive measurements.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.points.is_empty() {
+            return Err("trajectory has no points".into());
+        }
+        let mut last_seq = 0;
+        for p in &self.points {
+            if p.seq <= last_seq {
+                return Err(format!("seq {} not strictly increasing", p.seq));
+            }
+            last_seq = p.seq;
+            if p.scale != "quick" && p.scale != "paper" {
+                return Err(format!("unknown scale \"{}\"", p.scale));
+            }
+            if p.events == 0 || p.encoded_bytes == 0 {
+                return Err(format!("point {} has empty measurements", p.seq));
+            }
+            for (name, v) in [
+                ("bytes_per_event", p.bytes_per_event),
+                ("events_captured_per_sec", p.events_captured_per_sec),
+                ("events_replayed_per_sec", p.events_replayed_per_sec),
+            ] {
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!("point {}: {name} = {v} is not positive", p.seq));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The most recent point, if any.
+    pub fn last(&self) -> Option<&TracePoint> {
+        self.points.last()
+    }
+}
+
+fn parse_point(obj: &str) -> Result<TracePoint, String> {
+    Ok(TracePoint {
+        seq: int_field(obj, "seq")?,
+        scale: str_field(obj, "scale")
+            .ok_or("point missing \"scale\"")?
+            .to_string(),
+        events: int_field(obj, "events")?,
+        encoded_bytes: int_field(obj, "encoded_bytes")?,
+        bytes_per_event: num_field(obj, "bytes_per_event")?,
+        peak_bundle_bytes: int_field(obj, "peak_bundle_bytes")?,
+        events_captured_per_sec: num_field(obj, "events_captured_per_sec")?,
+        events_replayed_per_sec: num_field(obj, "events_replayed_per_sec")?,
+    })
+}
+
+/// Raw text of `"key": <value>` up to the next `,`/`}`/newline.
+fn raw_field<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat)?;
+    let after = &text[at + pat.len()..];
+    let colon = after.find(':')?;
+    let val = after[colon + 1..]
+        .split([',', '}', '\n'])
+        .next()?;
+    Some(val.trim())
+}
+
+fn str_field<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    raw_field(text, key)?.strip_prefix('"')?.strip_suffix('"')
+}
+
+fn num_field(text: &str, key: &str) -> Result<f64, String> {
+    raw_field(text, key)
+        .ok_or_else(|| format!("missing \"{key}\""))?
+        .parse::<f64>()
+        .map_err(|e| format!("field \"{key}\": {e}"))
+}
+
+fn int_field(text: &str, key: &str) -> Result<u64, String> {
+    num_field(text, key).map(|v| v as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(seq: u64) -> TracePoint {
+        TracePoint {
+            seq,
+            scale: "quick".into(),
+            events: 500_000,
+            encoded_bytes: 1_700_000,
+            bytes_per_event: 3.4,
+            peak_bundle_bytes: 2_000_000,
+            events_captured_per_sec: 120e6,
+            events_replayed_per_sec: 300e6,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = Trajectory {
+            points: vec![point(1), point(2)],
+        };
+        let parsed = Trajectory::parse(&t.to_json()).expect("roundtrip parse");
+        assert_eq!(parsed.points.len(), 2);
+        assert_eq!(parsed.points[1].seq, 2);
+        assert_eq!(parsed.points[0].events, 500_000);
+        assert!((parsed.points[0].bytes_per_event - 3.4).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let bad = Trajectory {
+            points: vec![point(1)],
+        }
+        .to_json()
+        .replace(SCHEMA, "something-else/9");
+        assert!(Trajectory::parse(&bad).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn rejects_empty_and_non_monotone() {
+        assert!(Trajectory::default().validate().is_err());
+        let t = Trajectory {
+            points: vec![point(2), point(1)],
+        };
+        assert!(t.validate().unwrap_err().contains("increasing"));
+    }
+
+    #[test]
+    fn rejects_missing_field() {
+        let txt = Trajectory {
+            points: vec![point(1)],
+        }
+        .to_json()
+        .replace("\"events_captured_per_sec\"", "\"captured\"");
+        assert!(Trajectory::parse(&txt)
+            .unwrap_err()
+            .contains("events_captured_per_sec"));
+    }
+}

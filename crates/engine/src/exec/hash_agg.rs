@@ -63,7 +63,7 @@ impl HashAggregate {
 impl Executor for HashAggregate {
     fn open(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<()> {
         self.child.open(db, tc)?;
-        self.table_addr = db.space.alloc_anon(64 * 1024);
+        self.table_addr = tc.scratch_alloc(&db.space, 64 * 1024);
         let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
         let mut groups: Vec<(Vec<Value>, GroupState)> = Vec::new();
 

@@ -97,7 +97,7 @@ impl Executor for HashJoin {
 
         // Size the simulated table to the build cardinality.
         self.n_buckets = (rows.len() as u64).next_power_of_two().max(64);
-        self.table_addr = db.space.alloc_anon(self.n_buckets * 64);
+        self.table_addr = tc.scratch_alloc(&db.space, self.n_buckets * 64);
         self.table = HashMap::with_capacity(rows.len());
         for row in rows {
             tc.charge(tc.r.exec_hashjoin, instr::HJ_BUILD_ROW);

@@ -52,7 +52,7 @@ impl Executor for Sort {
         self.child.open(db, tc)?;
         self.rows.clear();
         self.emit = 0;
-        let buf = db.space.alloc_anon(1 << 20);
+        let buf = tc.scratch_alloc(&db.space, 1 << 20);
         while let Some(row) = self.child.next(db, tc)? {
             let width = (row.len() as u64) * 16;
             tc.store(

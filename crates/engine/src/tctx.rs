@@ -5,7 +5,7 @@
 //! [`Tracer`] with the engine's region ids so call sites read naturally:
 //! `tc.charge(tc.r.lock_mgr, instr::LOCK_ACQUIRE)`.
 
-use dbcmp_trace::{RegionId, ThreadTrace, Tracer};
+use dbcmp_trace::{AddressSpace, RegionId, ScratchArena, SimAddr, ThreadTrace, Tracer};
 
 use crate::costs::EngineRegions;
 
@@ -15,6 +15,11 @@ pub struct TraceCtx {
     tracer: Tracer,
     /// Engine region ids (copy).
     pub r: EngineRegions,
+    /// Pre-carved private scratch space. When set, operator scratch
+    /// allocations (sort runs, hash tables) come from here instead of
+    /// the shared bump allocator, decoupling this client's addresses
+    /// from other clients' allocation timing (parallel capture).
+    scratch: Option<ScratchArena>,
 }
 
 impl TraceCtx {
@@ -23,6 +28,7 @@ impl TraceCtx {
         TraceCtx {
             tracer: Tracer::recording(),
             r,
+            scratch: None,
         }
     }
 
@@ -31,6 +37,25 @@ impl TraceCtx {
         TraceCtx {
             tracer: Tracer::null(),
             r,
+            scratch: None,
+        }
+    }
+
+    /// Route operator scratch allocations through a private arena (see
+    /// [`AddressSpace::reserve_arena`]).
+    pub fn set_scratch(&mut self, arena: ScratchArena) {
+        self.scratch = Some(arena);
+    }
+
+    /// Allocate operator scratch (sort buffers, hash tables): from this
+    /// context's private arena when one is set, else anonymously from
+    /// the shared `space`. Capture drivers that run clients in parallel
+    /// must set an arena — the shared path's addresses depend on
+    /// cross-client allocation order.
+    pub fn scratch_alloc(&mut self, space: &AddressSpace, bytes: u64) -> SimAddr {
+        match &mut self.scratch {
+            Some(arena) => arena.alloc(bytes),
+            None => space.alloc_anon(bytes),
         }
     }
 

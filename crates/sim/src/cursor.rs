@@ -4,6 +4,13 @@
 //! the end (saturated-throughput runs sample a window of a repeating
 //! workload, in the spirit of the paper's SimFlex checkpoint sampling).
 //!
+//! The cursor consumes the segmented columnar trace (see
+//! `dbcmp_trace::segment`) one block at a time: each segment is decoded
+//! in bulk into a reused scratch ring, so the per-event hot path is a
+//! position check plus an indexed copy instead of a per-event
+//! bounds-check + bitfield decode. Wrap restarts from segment 0 with the
+//! same event sequence as the flat format — replay is byte-identical.
+//!
 //! [`ThreadState`] carries everything that must survive a context switch:
 //! the cursor, per-region instruction-fetch offsets (a thread resumes
 //! walking a code region where it left off — this is what turns region
@@ -11,13 +18,20 @@
 //! and the branch-misprediction accumulator.
 
 use dbcmp_trace::region::{CodeRegions, INSTR_BYTES};
+use dbcmp_trace::segment::TraceSource;
 use dbcmp_trace::{Event, ThreadTrace};
 
-/// Cursor over one thread's packed events.
+/// Block-decoding cursor over one thread's segmented event stream.
 #[derive(Debug)]
 pub struct TraceCursor<'a> {
     trace: &'a ThreadTrace,
-    idx: usize,
+    /// Next segment to decode into the ring.
+    seg: usize,
+    /// Scratch ring holding the current decoded block (reused across
+    /// refills — one allocation for the cursor's whole lifetime).
+    ring: Vec<Event>,
+    /// Consumption position within the ring.
+    pos: usize,
     /// Wrap at end-of-trace (throughput mode) or finish (completion mode).
     wrap: bool,
     pub wraps: u64,
@@ -27,7 +41,9 @@ impl<'a> TraceCursor<'a> {
     pub fn new(trace: &'a ThreadTrace, wrap: bool) -> Self {
         TraceCursor {
             trace,
-            idx: 0,
+            seg: 0,
+            ring: Vec::new(),
+            pos: 0,
             wrap,
             wraps: 0,
         }
@@ -36,21 +52,37 @@ impl<'a> TraceCursor<'a> {
     /// Next event, or `None` when the (non-wrapping) trace is exhausted.
     #[inline]
     pub fn next_event(&mut self) -> Option<Event> {
-        let evs = self.trace.events();
-        if self.idx >= evs.len() {
-            if !self.wrap || evs.is_empty() {
+        loop {
+            if self.pos < self.ring.len() {
+                let e = self.ring[self.pos];
+                self.pos += 1;
+                return Some(e);
+            }
+            if !self.refill() {
                 return None;
             }
-            self.idx = 0;
+        }
+    }
+
+    /// Decode the next block into the ring. Returns `false` when the
+    /// (non-wrapping or empty) trace is exhausted.
+    #[cold]
+    fn refill(&mut self) -> bool {
+        if self.seg >= self.trace.n_segments() {
+            if !self.wrap || self.trace.n_events() == 0 {
+                return false;
+            }
+            self.seg = 0;
             self.wraps += 1;
         }
-        let e = evs[self.idx].decode();
-        self.idx += 1;
-        Some(e)
+        self.trace.segment(self.seg).decode_into(&mut self.ring);
+        self.seg += 1;
+        self.pos = 0;
+        true
     }
 
     pub fn done(&self) -> bool {
-        !self.wrap && self.idx >= self.trace.events().len()
+        !self.wrap && self.pos >= self.ring.len() && self.seg >= self.trace.n_segments()
     }
 }
 
@@ -177,6 +209,35 @@ mod tests {
         let tr = Tracer::recording().finish();
         let mut c = TraceCursor::new(&tr, true);
         assert!(c.next_event().is_none());
+    }
+
+    /// Satellite 3 (ISSUE 6): wrap mode across a block boundary, with a
+    /// trace length that is *not* a multiple of the segment size — the
+    /// partial final block must hand off to segment 0 seamlessly.
+    #[test]
+    fn wrap_crosses_block_boundary_on_partial_final_segment() {
+        use dbcmp_trace::SEGMENT_EVENTS;
+        let n = SEGMENT_EVENTS + 3;
+        let mut t = Tracer::recording();
+        for i in 0..n as u64 {
+            t.load(0x1000 + i * 64, 8);
+        }
+        let tr = t.finish();
+        assert_eq!(tr.segments().len(), 2, "partial final segment expected");
+        let mut c = TraceCursor::new(&tr, true);
+        let first_lap: Vec<Event> = (0..n).map(|_| c.next_event().unwrap()).collect();
+        assert_eq!(c.wraps, 0);
+        for (i, want) in first_lap.iter().enumerate() {
+            assert_eq!(
+                c.next_event().as_ref(),
+                Some(want),
+                "event {i} diverged on lap 2"
+            );
+        }
+        assert_eq!(c.wraps, 1);
+        assert_eq!(c.next_event(), Some(first_lap[0]));
+        assert_eq!(c.wraps, 2);
+        assert!(!c.done());
     }
 
     #[test]

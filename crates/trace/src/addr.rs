@@ -109,6 +109,57 @@ impl AddressSpace {
             .expect("segment registry poisoned")
             .clone()
     }
+
+    /// Carve a private [`ScratchArena`] of `bytes` out of this space.
+    ///
+    /// The arena is one named allocation against the shared bump
+    /// pointer; afterwards the holder sub-allocates from it with no
+    /// further shared-state traffic. This is what makes parallel
+    /// capture deterministic: arenas are reserved in client order
+    /// before any worker thread starts, so each client's scratch
+    /// addresses depend only on its own arena — not on the cross-client
+    /// interleaving of `alloc_anon` calls. Simulated bytes are free
+    /// (nothing is backed by real memory), so arenas can be generously
+    /// oversized.
+    pub fn reserve_arena(&self, name: &'static str, bytes: u64) -> ScratchArena {
+        let base = self.alloc(name, bytes);
+        ScratchArena {
+            next: base,
+            end: base + bytes,
+        }
+    }
+}
+
+/// A privately owned slice of the simulated address space, sub-allocated
+/// by bump pointer (see [`AddressSpace::reserve_arena`]).
+#[derive(Debug, Clone)]
+pub struct ScratchArena {
+    next: SimAddr,
+    end: SimAddr,
+}
+
+impl ScratchArena {
+    /// Allocate `bytes` of scratch, 64-byte aligned. Panics on
+    /// exhaustion — falling back to the shared allocator would silently
+    /// reintroduce the cross-client coupling the arena exists to remove.
+    pub fn alloc(&mut self, bytes: u64) -> SimAddr {
+        let bytes = bytes.max(1);
+        let base = (self.next + 63) & !63;
+        let end = base + bytes;
+        assert!(
+            end <= self.end,
+            "scratch arena exhausted ({bytes} B requested, {} B left) — \
+             widen the reservation in the capture driver",
+            self.end.saturating_sub(base)
+        );
+        self.next = end;
+        base
+    }
+
+    /// Bytes still available (before alignment padding).
+    pub fn remaining(&self) -> u64 {
+        self.end.saturating_sub(self.next)
+    }
 }
 
 impl Default for AddressSpace {
@@ -151,6 +202,30 @@ mod tests {
         assert_eq!(s.allocated(), 0);
         s.alloc_anon(64);
         assert_eq!(s.allocated(), 64);
+    }
+
+    #[test]
+    fn arenas_are_disjoint_and_deterministic() {
+        let mk = || {
+            let s = AddressSpace::new();
+            let mut a = s.reserve_arena("scratch-0", 1 << 20);
+            let mut b = s.reserve_arena("scratch-1", 1 << 20);
+            (a.alloc(100), a.alloc(1), b.alloc(4096))
+        };
+        let (a0, a1, b0) = mk();
+        assert_eq!(a0 % 64, 0);
+        assert!(a0 + 100 <= a1, "arena sub-allocations must not overlap");
+        assert!(a1 < b0, "arenas must not overlap");
+        assert_eq!((a0, a1, b0), mk(), "carving must be deterministic");
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch arena exhausted")]
+    fn arena_exhaustion_panics() {
+        let s = AddressSpace::new();
+        let mut a = s.reserve_arena("tiny", 128);
+        a.alloc(64);
+        a.alloc(65);
     }
 
     #[test]

@@ -99,10 +99,25 @@ impl PackedEvent {
     }
 
     /// Pack an [`Event::Load`].
+    ///
+    /// # Address masking policy
+    ///
+    /// The wire format carries 48 address bits. Every producer in this
+    /// workspace allocates from [`AddressSpace`](crate::AddressSpace)
+    /// (data, capped at 2^46) or [`CodeRegions`](crate::CodeRegions)
+    /// (code, based at 2^47), both comfortably inside 48 bits, so a
+    /// wider address is a caller bug: debug builds panic here. Release
+    /// builds keep the historical behavior — high bits are truncated by
+    /// `ADDR_MASK` — which aliases the access into the low 48-bit
+    /// window rather than corrupting the op/size fields.
     #[inline]
     pub fn load(addr: u64, size: u32, dep: bool) -> Self {
         debug_assert!((1..=MAX_ACCESS).contains(&size));
-        debug_assert!(addr <= ADDR_MASK);
+        debug_assert!(
+            addr <= ADDR_MASK,
+            "load addr {addr:#x} exceeds the 48-bit trace address space \
+             (release builds would silently mask it)"
+        );
         let mut w =
             (OP_LOAD << OP_SHIFT) | ((size as u64 & SIZE_MASK) << SIZE_SHIFT) | (addr & ADDR_MASK);
         if dep {
@@ -111,11 +126,17 @@ impl PackedEvent {
         PackedEvent(w)
     }
 
-    /// Pack an [`Event::Store`].
+    /// Pack an [`Event::Store`]. Addresses above 48 bits follow the
+    /// masking policy documented on [`PackedEvent::load`]: panic in
+    /// debug builds, truncate via `ADDR_MASK` in release builds.
     #[inline]
     pub fn store(addr: u64, size: u32) -> Self {
         debug_assert!((1..=MAX_ACCESS).contains(&size));
-        debug_assert!(addr <= ADDR_MASK);
+        debug_assert!(
+            addr <= ADDR_MASK,
+            "store addr {addr:#x} exceeds the 48-bit trace address space \
+             (release builds would silently mask it)"
+        );
         PackedEvent(
             (OP_STORE << OP_SHIFT) | ((size as u64 & SIZE_MASK) << SIZE_SHIFT) | (addr & ADDR_MASK),
         )

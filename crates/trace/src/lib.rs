@@ -30,14 +30,18 @@
 pub mod addr;
 pub mod event;
 pub mod region;
+pub mod segment;
 pub mod summary;
 pub mod tracer;
 
-pub use addr::{AddressSpace, SegmentInfo, SimAddr};
+pub use addr::{AddressSpace, ScratchArena, SegmentInfo, SimAddr};
 pub use event::{Event, PackedEvent, CACHE_LINE};
 pub use region::{CodeRegion, CodeRegions, RegionId};
+pub use segment::{
+    segments_decoded, CountingSink, Segment, SegmentBuffer, TraceSink, TraceSource, SEGMENT_EVENTS,
+};
 pub use summary::TraceSummary;
-pub use tracer::{ThreadTrace, TraceBundle, Tracer};
+pub use tracer::{EventIter, ThreadTrace, TraceBundle, Tracer};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,450 @@
+//! Chunked columnar trace segments and the sink/source seams.
+//!
+//! The flat `Vec<PackedEvent>` representation (8 bytes/event, one
+//! unbounded buffer per thread) is replaced by fixed-size blocks of
+//! [`SEGMENT_EVENTS`] events, each encoded into a [`Segment`] with three
+//! byte columns:
+//!
+//! * **kinds** — a run-length column of 3-bit op kinds (`Exec`, `Load`,
+//!   dependent `Load`, `Store`, and the four markers), stored as
+//!   `(kind, run)` byte pairs. Engine traces are bursty (runs of loads
+//!   inside a scan, runs of exec charges), so runs are long.
+//! * **mem** — for each load/store, a zigzag-varint *delta* from the
+//!   previous access address in the same segment, then a varint size.
+//!   Accesses are overwhelmingly near-sequential or strided, so deltas
+//!   are small. The delta base resets to 0 at each segment boundary so
+//!   every segment decodes independently.
+//! * **exec** — for each exec run, a varint region id and a varint
+//!   instruction count.
+//!
+//! The codec is **lossless**: decode returns exactly the
+//! [`Event`] sequence that was encoded, byte-identical (after
+//! [`Event::pack`]) to the legacy flat stream. That guarantee is gated
+//! by proptest round-trips in `tests/proptests.rs` and, end to end, by
+//! the PR-3 golden anchor in `tests/api_equivalence.rs`.
+//!
+//! [`TraceSink`] is the capture seam: a `Tracer` seals finished blocks
+//! and emits them into a sink instead of growing one buffer, so peak
+//! *staging* memory per thread is one block (`SEGMENT_EVENTS` × 8 B)
+//! regardless of trace length. [`SegmentBuffer`] retains segments for
+//! replay; [`CountingSink`] retains nothing (bounded-memory capture for
+//! runs that only need aggregate counts). [`TraceSource`] is the replay
+//! seam consumed block-at-a-time by the simulator's cursor.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::{Event, PackedEvent};
+use crate::region::RegionId;
+
+/// Events per sealed segment (the block size of the columnar format).
+///
+/// 4096 events stage in a 32 KB scratch buffer and typically encode to
+/// a few KB; large enough to amortize per-block decode overhead, small
+/// enough that per-thread staging memory is negligible.
+pub const SEGMENT_EVENTS: usize = 4096;
+
+/// Process-wide count of segment decodes ([`Segment::decode_into`]
+/// calls). A diagnostics counter: perf tests assert that cached
+/// aggregates (e.g. [`crate::TraceBundle::region_instr_totals`]) do not
+/// silently re-decode streams, and the trace bench reports decode work.
+static SEGMENTS_DECODED: AtomicU64 = AtomicU64::new(0);
+
+/// Read the process-wide segment-decode counter: the number of
+/// [`Segment::decode_into`] calls made by this process. Perf tests use
+/// it to assert that cached aggregates do not silently re-decode
+/// streams.
+pub fn segments_decoded() -> u64 {
+    SEGMENTS_DECODED.load(Ordering::Relaxed)
+}
+
+// Kind codes for the run-length column. Load/LoadDep are distinct kinds
+// so the dep flag rides the RLE column and memory entries stay uniform.
+const K_EXEC: u8 = 0;
+const K_LOAD: u8 = 1;
+const K_LOAD_DEP: u8 = 2;
+const K_STORE: u8 = 3;
+const K_FENCE: u8 = 4;
+const K_UNIT_END: u8 = 5;
+const K_BLOCK: u8 = 6;
+const K_WAKE: u8 = 7;
+
+const NO_KIND: u8 = u8::MAX;
+const MAX_RUN: u32 = 255;
+
+#[inline]
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+#[inline]
+fn get_varint(buf: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = buf[*pos];
+        *pos += 1;
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// One encoded block of up to [`SEGMENT_EVENTS`] events (see module
+/// docs for the column layout).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Segment {
+    /// Decoded event count.
+    len: u32,
+    /// Run-length op-kind column: `(kind, run)` byte pairs.
+    kinds: Vec<u8>,
+    /// Memory column: zigzag-varint address delta + varint size per
+    /// load/store, in stream order.
+    mem: Vec<u8>,
+    /// Exec column: varint region id + varint instruction count per
+    /// exec run, in stream order.
+    exec: Vec<u8>,
+}
+
+impl Segment {
+    /// Encode a block of packed events. The input may be any length
+    /// (the tracer seals at [`SEGMENT_EVENTS`]; the final block of a
+    /// trace is usually shorter).
+    pub fn encode(events: &[PackedEvent]) -> Segment {
+        let mut seg = Segment {
+            len: events.len() as u32,
+            kinds: Vec::new(),
+            mem: Vec::new(),
+            exec: Vec::new(),
+        };
+        let mut run_kind = NO_KIND;
+        let mut run = 0u32;
+        let mut prev_addr = 0i64;
+        for ev in events {
+            let kind = match ev.decode() {
+                Event::Exec { region, instrs } => {
+                    put_varint(&mut seg.exec, region as u64);
+                    put_varint(&mut seg.exec, instrs as u64);
+                    K_EXEC
+                }
+                Event::Load { addr, size, dep } => {
+                    put_varint(&mut seg.mem, zigzag(addr as i64 - prev_addr));
+                    put_varint(&mut seg.mem, size as u64);
+                    prev_addr = addr as i64;
+                    if dep {
+                        K_LOAD_DEP
+                    } else {
+                        K_LOAD
+                    }
+                }
+                Event::Store { addr, size } => {
+                    put_varint(&mut seg.mem, zigzag(addr as i64 - prev_addr));
+                    put_varint(&mut seg.mem, size as u64);
+                    prev_addr = addr as i64;
+                    K_STORE
+                }
+                Event::Fence => K_FENCE,
+                Event::UnitEnd => K_UNIT_END,
+                Event::Block => K_BLOCK,
+                Event::Wake => K_WAKE,
+            };
+            if kind == run_kind && run < MAX_RUN {
+                run += 1;
+            } else {
+                if run > 0 {
+                    seg.kinds.push(run_kind);
+                    seg.kinds.push(run as u8);
+                }
+                run_kind = kind;
+                run = 1;
+            }
+        }
+        if run > 0 {
+            seg.kinds.push(run_kind);
+            seg.kinds.push(run as u8);
+        }
+        seg
+    }
+
+    /// Decode the whole block into `out` (cleared first), appending
+    /// exactly [`Self::len`] events in stream order.
+    pub fn decode_into(&self, out: &mut Vec<Event>) {
+        SEGMENTS_DECODED.fetch_add(1, Ordering::Relaxed);
+        out.clear();
+        out.reserve(self.len as usize);
+        let mut mem_pos = 0usize;
+        let mut exec_pos = 0usize;
+        let mut prev_addr = 0i64;
+        let mut pair = 0usize;
+        while pair + 1 < self.kinds.len() {
+            let kind = self.kinds[pair];
+            let run = self.kinds[pair + 1] as usize;
+            pair += 2;
+            for _ in 0..run {
+                out.push(match kind {
+                    K_EXEC => {
+                        let region = get_varint(&self.exec, &mut exec_pos) as RegionId;
+                        let instrs = get_varint(&self.exec, &mut exec_pos) as u32;
+                        Event::Exec { region, instrs }
+                    }
+                    K_LOAD | K_LOAD_DEP | K_STORE => {
+                        let delta = unzigzag(get_varint(&self.mem, &mut mem_pos));
+                        let size = get_varint(&self.mem, &mut mem_pos) as u16;
+                        let addr = (prev_addr + delta) as u64;
+                        prev_addr = addr as i64;
+                        match kind {
+                            K_STORE => Event::Store { addr, size },
+                            k => Event::Load {
+                                addr,
+                                size,
+                                dep: k == K_LOAD_DEP,
+                            },
+                        }
+                    }
+                    K_FENCE => Event::Fence,
+                    K_UNIT_END => Event::UnitEnd,
+                    K_BLOCK => Event::Block,
+                    _ => Event::Wake,
+                });
+            }
+        }
+        debug_assert_eq!(out.len(), self.len as usize, "segment length drift");
+    }
+
+    /// Decode into a fresh vector (tests and one-shot consumers; hot
+    /// paths reuse a buffer via [`Self::decode_into`]).
+    pub fn decode(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        self.decode_into(&mut out);
+        out
+    }
+
+    /// Decoded event count.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the segment holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Encoded size in bytes: the three columns plus a 4-byte length
+    /// header (the honest wire size; in-memory `Vec` capacity overhead
+    /// is not counted).
+    pub fn encoded_bytes(&self) -> usize {
+        4 + self.kinds.len() + self.mem.len() + self.exec.len()
+    }
+}
+
+/// Capture-side seam: receives sealed segments from a
+/// [`Tracer`](crate::Tracer) as capture proceeds, one block at a time.
+///
+/// Implementations decide retention: [`SegmentBuffer`] keeps every
+/// segment (replayable trace); [`CountingSink`] keeps none (bounded
+/// memory — aggregate counters only). A sink must be `Send` so capture
+/// threads can carry their tracers across a `thread::scope`.
+pub trait TraceSink: Send + std::fmt::Debug {
+    /// Receive one sealed block. Called in stream order.
+    fn emit(&mut self, seg: Segment);
+
+    /// Hand back every retained segment, in emission order. Called once
+    /// by [`Tracer::finish`](crate::Tracer::finish); non-retaining
+    /// sinks return an empty vector (the default).
+    fn take_segments(&mut self) -> Vec<Segment> {
+        Vec::new()
+    }
+}
+
+/// The default retaining sink: keeps every sealed segment in memory so
+/// [`Tracer::finish`](crate::Tracer::finish) can produce a replayable
+/// [`ThreadTrace`](crate::ThreadTrace).
+#[derive(Debug, Default)]
+pub struct SegmentBuffer {
+    segments: Vec<Segment>,
+}
+
+impl TraceSink for SegmentBuffer {
+    fn emit(&mut self, seg: Segment) {
+        self.segments.push(seg);
+    }
+
+    fn take_segments(&mut self) -> Vec<Segment> {
+        std::mem::take(&mut self.segments)
+    }
+}
+
+/// A non-retaining sink: counts segments, events, and encoded bytes,
+/// then drops each block. With this sink a capture's peak trace memory
+/// is one staging block per live tracer — independent of trace length —
+/// at the cost of producing no replayable stream.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Sealed segments received.
+    pub segments: u64,
+    /// Events across all received segments.
+    pub events: u64,
+    /// Encoded bytes across all received segments.
+    pub bytes: u64,
+}
+
+impl TraceSink for CountingSink {
+    fn emit(&mut self, seg: Segment) {
+        self.segments += 1;
+        self.events += seg.len() as u64;
+        self.bytes += seg.encoded_bytes() as u64;
+    }
+}
+
+/// Replay-side seam: anything that exposes an encoded trace as an
+/// ordered sequence of segments. The simulator's cursor decodes one
+/// block at a time through this interface; `ThreadTrace` is the
+/// canonical implementation.
+pub trait TraceSource {
+    /// Number of segments in stream order.
+    fn n_segments(&self) -> usize;
+
+    /// The `i`-th segment (panics out of range).
+    fn segment(&self, i: usize) -> &Segment;
+
+    /// Total decoded event count across all segments.
+    fn n_events(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(events: &[Event]) {
+        let packed: Vec<PackedEvent> = events.iter().map(|e| e.pack()).collect();
+        let seg = Segment::encode(&packed);
+        assert_eq!(seg.len(), events.len());
+        assert_eq!(seg.decode(), events, "decode must be lossless");
+    }
+
+    #[test]
+    fn empty_segment() {
+        let seg = Segment::encode(&[]);
+        assert!(seg.is_empty());
+        assert!(seg.decode().is_empty());
+        assert_eq!(seg.encoded_bytes(), 4);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(&[
+            Event::Exec {
+                region: 1023,
+                instrs: u32::MAX,
+            },
+            Event::Load {
+                addr: (1 << 48) - 1,
+                size: 4095,
+                dep: true,
+            },
+            Event::Load {
+                addr: 0,
+                size: 1,
+                dep: false,
+            },
+            Event::Store {
+                addr: 0xDEAD_BEEF,
+                size: 64,
+            },
+            Event::Fence,
+            Event::UnitEnd,
+            Event::Block,
+            Event::Wake,
+            Event::Exec {
+                region: 0,
+                instrs: 0,
+            },
+        ]);
+    }
+
+    #[test]
+    fn long_runs_cross_rle_limit() {
+        // 1000 identical loads: runs must split at 255 and rejoin.
+        let events: Vec<Event> = (0..1000)
+            .map(|i| Event::Load {
+                addr: 0x4000 + i * 64,
+                size: 8,
+                dep: i % 2 == 0,
+            })
+            .collect();
+        roundtrip(&events);
+    }
+
+    #[test]
+    fn sequential_addresses_encode_small() {
+        // A strided scan: deltas are constant and tiny, so the encoded
+        // size must be far below the flat 8 B/event.
+        let packed: Vec<PackedEvent> = (0..4096u64)
+            .map(|i| PackedEvent::load(0x10000 + i * 64, 8, false))
+            .collect();
+        let seg = Segment::encode(&packed);
+        let bpe = seg.encoded_bytes() as f64 / seg.len() as f64;
+        assert!(
+            bpe < 4.0,
+            "strided loads must encode well under 4 B/event, got {bpe:.2}"
+        );
+    }
+
+    #[test]
+    fn backward_deltas_roundtrip() {
+        roundtrip(&[
+            Event::Load {
+                addr: 1 << 40,
+                size: 8,
+                dep: false,
+            },
+            Event::Store { addr: 64, size: 8 },
+            Event::Load {
+                addr: (1 << 48) - 64,
+                size: 8,
+                dep: true,
+            },
+        ]);
+    }
+
+    #[test]
+    fn decode_counter_advances() {
+        let before = segments_decoded();
+        Segment::encode(&[PackedEvent::fence()]).decode();
+        assert!(segments_decoded() > before);
+    }
+
+    #[test]
+    fn varint_zigzag_edge_cases() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 1 << 47, -(1 << 47)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, u64::MAX] {
+            buf.clear();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

@@ -8,9 +8,18 @@
 //! Consecutive `exec` calls against the same region are coalesced into a
 //! single event, which typically shrinks traces by 3-5x since engine code
 //! charges instructions in small increments as it goes.
+//!
+//! Recording no longer grows one flat `Vec<PackedEvent>`: events stage in
+//! a single fixed-size block and every [`SEGMENT_EVENTS`]-event block is
+//! sealed into a columnar [`Segment`] and handed to a [`TraceSink`]. The
+//! default sink ([`SegmentBuffer`]) retains segments so [`Tracer::finish`]
+//! yields a replayable [`ThreadTrace`]; a streaming sink (see
+//! [`Tracer::streaming`]) can instead spill or discard blocks, bounding
+//! peak capture memory at one staging block per thread.
 
 use crate::event::{Event, PackedEvent, MAX_ACCESS};
 use crate::region::{CodeRegions, RegionId};
+use crate::segment::{Segment, SegmentBuffer, TraceSink, TraceSource, SEGMENT_EVENTS};
 
 /// Capture-mode switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,10 +32,16 @@ enum Mode {
 #[derive(Debug)]
 pub struct Tracer {
     mode: Mode,
-    buf: Vec<PackedEvent>,
+    /// Staging block; sealed into a [`Segment`] at [`SEGMENT_EVENTS`].
+    block: Vec<PackedEvent>,
+    sink: Box<dyn TraceSink>,
     /// Pending coalesced exec run: (region, instrs). `u16::MAX` = none.
     pending_region: RegionId,
     pending_instrs: u64,
+    /// Per-region instruction totals, accumulated at exec-flush time so
+    /// aggregate queries never re-decode the stream.
+    region_instrs: Vec<u64>,
+    n_events: usize,
     instrs: u64,
     loads: u64,
     stores: u64,
@@ -38,13 +53,26 @@ pub struct Tracer {
 const NO_REGION: RegionId = u16::MAX;
 
 impl Tracer {
-    /// A tracer that records events.
+    /// A tracer that records events into an in-memory segment buffer
+    /// (the retaining sink — [`Tracer::finish`] yields a replayable
+    /// trace).
     pub fn recording() -> Self {
+        Self::streaming(Box::<SegmentBuffer>::default())
+    }
+
+    /// A tracer that records events and streams each sealed block into
+    /// `sink`. Peak staging memory is one block ([`SEGMENT_EVENTS`]
+    /// events) regardless of trace length; whether the trace is
+    /// replayable afterwards is the sink's retention decision.
+    pub fn streaming(sink: Box<dyn TraceSink>) -> Self {
         Tracer {
             mode: Mode::Record,
-            buf: Vec::with_capacity(64 * 1024),
+            block: Vec::with_capacity(SEGMENT_EVENTS),
+            sink,
             pending_region: NO_REGION,
             pending_instrs: 0,
+            region_instrs: Vec::new(),
+            n_events: 0,
             instrs: 0,
             loads: 0,
             stores: 0,
@@ -59,9 +87,12 @@ impl Tracer {
     pub fn null() -> Self {
         Tracer {
             mode: Mode::Null,
-            buf: Vec::new(),
+            block: Vec::new(),
+            sink: Box::<SegmentBuffer>::default(),
             pending_region: NO_REGION,
             pending_instrs: 0,
+            region_instrs: Vec::new(),
+            n_events: 0,
             instrs: 0,
             loads: 0,
             stores: 0,
@@ -75,6 +106,27 @@ impl Tracer {
     #[inline]
     pub fn is_recording(&self) -> bool {
         self.mode == Mode::Record
+    }
+
+    /// Append one packed event to the staging block, sealing a segment
+    /// when the block fills.
+    #[inline]
+    fn push(&mut self, ev: PackedEvent) {
+        self.block.push(ev);
+        self.n_events += 1;
+        if self.block.len() == SEGMENT_EVENTS {
+            self.seal_block();
+        }
+    }
+
+    /// Encode the staging block into a segment and emit it to the sink.
+    fn seal_block(&mut self) {
+        if self.block.is_empty() {
+            return;
+        }
+        let seg = Segment::encode(&self.block);
+        self.block.clear();
+        self.sink.emit(seg);
     }
 
     /// Charge `instrs` instructions of execution in `region`.
@@ -128,7 +180,7 @@ impl Tracer {
         self.flush_exec();
         loop {
             let chunk = size.clamp(1, MAX_ACCESS);
-            self.buf.push(if is_store {
+            self.push(if is_store {
                 PackedEvent::store(addr, chunk)
             } else {
                 PackedEvent::load(addr, chunk, dep)
@@ -146,7 +198,7 @@ impl Tracer {
     pub fn fence(&mut self) {
         if self.mode == Mode::Record {
             self.flush_exec();
-            self.buf.push(PackedEvent::fence());
+            self.push(PackedEvent::fence());
         }
     }
 
@@ -156,7 +208,7 @@ impl Tracer {
         self.units += 1;
         if self.mode == Mode::Record {
             self.flush_exec();
-            self.buf.push(PackedEvent::unit_end());
+            self.push(PackedEvent::unit_end());
         }
     }
 
@@ -166,7 +218,7 @@ impl Tracer {
         self.blocks += 1;
         if self.mode == Mode::Record {
             self.flush_exec();
-            self.buf.push(PackedEvent::block());
+            self.push(PackedEvent::block());
         }
     }
 
@@ -176,17 +228,22 @@ impl Tracer {
         self.wakes += 1;
         if self.mode == Mode::Record {
             self.flush_exec();
-            self.buf.push(PackedEvent::wake());
+            self.push(PackedEvent::wake());
         }
     }
 
     #[inline]
     fn flush_exec(&mut self) {
         if self.pending_region != NO_REGION {
+            let idx = self.pending_region as usize;
+            if idx >= self.region_instrs.len() {
+                self.region_instrs.resize(idx + 1, 0);
+            }
+            self.region_instrs[idx] += self.pending_instrs;
             let mut remaining = self.pending_instrs;
             while remaining > 0 {
                 let chunk = remaining.min(u32::MAX as u64) as u32;
-                self.buf.push(PackedEvent::exec(self.pending_region, chunk));
+                self.push(PackedEvent::exec(self.pending_region, chunk));
                 remaining -= chunk as u64;
             }
             self.pending_region = NO_REGION;
@@ -194,11 +251,17 @@ impl Tracer {
         }
     }
 
-    /// Finish capture and produce the per-thread trace.
+    /// Finish capture and produce the per-thread trace: the final
+    /// partial block is sealed and the sink hands back whatever it
+    /// retained (a non-retaining sink yields a trace with correct
+    /// aggregate counters but no replayable segments).
     pub fn finish(mut self) -> ThreadTrace {
         self.flush_exec();
+        self.seal_block();
         ThreadTrace {
-            events: self.buf,
+            segments: self.sink.take_segments(),
+            n_events: self.n_events,
+            region_instrs: self.region_instrs,
             instrs: self.instrs,
             loads: self.loads,
             stores: self.stores,
@@ -214,10 +277,15 @@ impl Tracer {
     }
 }
 
-/// A captured single-thread event stream plus aggregate counts.
+/// A captured single-thread event stream — stored as columnar
+/// [`Segment`]s — plus aggregate counts.
 #[derive(Debug, Clone, Default)]
 pub struct ThreadTrace {
-    events: Vec<PackedEvent>,
+    segments: Vec<Segment>,
+    n_events: usize,
+    /// Per-region instruction totals cached at capture time (indexed by
+    /// region id; may be shorter than the region table).
+    region_instrs: Vec<u64>,
     instrs: u64,
     loads: u64,
     stores: u64,
@@ -227,24 +295,49 @@ pub struct ThreadTrace {
 }
 
 impl ThreadTrace {
-    /// Iterate over decoded events in capture order.
-    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
-        self.events.iter().map(|e| e.decode())
+    /// Iterate over decoded events in capture order, decoding one
+    /// segment at a time into a reused buffer.
+    pub fn iter(&self) -> EventIter<'_> {
+        EventIter {
+            segments: &self.segments,
+            seg: 0,
+            buf: Vec::new(),
+            pos: 0,
+        }
     }
 
-    /// The raw packed event stream (byte-identity comparisons).
-    pub fn events(&self) -> &[PackedEvent] {
-        &self.events
+    /// Materialize the legacy flat packed stream (byte-identity
+    /// comparisons in tests; hot paths should iterate segments instead).
+    pub fn packed_events(&self) -> Vec<PackedEvent> {
+        self.iter().map(|e| e.pack()).collect()
+    }
+
+    /// The encoded segments in stream order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Encoded size of the whole stream in bytes (sum of segment wire
+    /// sizes).
+    pub fn encoded_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.encoded_bytes()).sum()
+    }
+
+    /// Instructions charged to each region by this thread, cached at
+    /// capture time (indexed by region id; may be shorter than the
+    /// region table — missing tail entries are zero).
+    pub fn region_instr_totals(&self) -> &[u64] {
+        &self.region_instrs
     }
 
     /// Number of events in the stream.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.n_events
     }
 
     /// Whether the stream holds no events.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.n_events == 0
     }
 
     /// Total instructions (exec + one per load/store event).
@@ -275,6 +368,51 @@ impl ThreadTrace {
     /// Wake events recorded (lock grants after a wait).
     pub fn wakes(&self) -> u64 {
         self.wakes
+    }
+}
+
+impl TraceSource for ThreadTrace {
+    fn n_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    fn segment(&self, i: usize) -> &Segment {
+        &self.segments[i]
+    }
+
+    fn n_events(&self) -> usize {
+        self.n_events
+    }
+}
+
+/// Block-decoding event iterator over a segmented trace (see
+/// [`ThreadTrace::iter`]).
+#[derive(Debug)]
+pub struct EventIter<'a> {
+    segments: &'a [Segment],
+    seg: usize,
+    buf: Vec<Event>,
+    pos: usize,
+}
+
+impl Iterator for EventIter<'_> {
+    type Item = Event;
+
+    #[inline]
+    fn next(&mut self) -> Option<Event> {
+        loop {
+            if self.pos < self.buf.len() {
+                let e = self.buf[self.pos];
+                self.pos += 1;
+                return Some(e);
+            }
+            if self.seg >= self.segments.len() {
+                return None;
+            }
+            self.segments[self.seg].decode_into(&mut self.buf);
+            self.seg += 1;
+            self.pos = 0;
+        }
     }
 }
 
@@ -309,18 +447,23 @@ impl TraceBundle {
         self.threads.iter().map(|t| t.units()).sum()
     }
 
+    /// Encoded size of every thread's segments, summed — the resident
+    /// memory cost of carrying this bundle (modulo `Vec` headers).
+    pub fn encoded_bytes(&self) -> usize {
+        self.threads.iter().map(|t| t.encoded_bytes()).sum()
+    }
+
     /// Instructions charged to each code region across all threads,
-    /// indexed by region id — one decode pass over every event stream.
-    /// Per-operator attribution for reports (e.g. "how much of this
-    /// capture is hash-join build/probe work?").
+    /// indexed by region id. Served from the per-thread totals cached
+    /// at capture time — no event stream is decoded. Per-operator
+    /// attribution for reports (e.g. "how much of this capture is
+    /// hash-join build/probe work?").
     pub fn region_instr_totals(&self) -> Vec<u64> {
         let mut totals = vec![0u64; self.regions.len()];
         for t in &self.threads {
-            for e in t.iter() {
-                if let Event::Exec { region, instrs } = e {
-                    if let Some(slot) = totals.get_mut(region as usize) {
-                        *slot += instrs as u64;
-                    }
+            for (id, &v) in t.region_instr_totals().iter().enumerate() {
+                if let Some(slot) = totals.get_mut(id) {
+                    *slot += v;
                 }
             }
         }
@@ -328,20 +471,28 @@ impl TraceBundle {
     }
 
     /// Instructions charged to the named code region across all threads
-    /// (one decode pass per call — batch queries should use
-    /// [`Self::region_instr_totals`]). Returns 0 for a name no region
-    /// carries.
+    /// (cached totals — O(threads), no decode). Returns 0 for a name no
+    /// region carries.
     pub fn region_instrs(&self, name: &str) -> u64 {
         let Some(id) = self.regions.iter().find(|r| r.name == name).map(|r| r.id) else {
             return 0;
         };
-        self.region_instr_totals()[id as usize]
+        self.threads
+            .iter()
+            .map(|t| {
+                t.region_instr_totals()
+                    .get(id as usize)
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::segment::{segments_decoded, CountingSink};
 
     #[test]
     fn exec_coalescing() {
@@ -370,6 +521,8 @@ mod tests {
             ]
         );
         assert_eq!(tr.instrs(), 33);
+        assert_eq!(tr.region_instr_totals()[5], 32);
+        assert_eq!(tr.region_instr_totals()[6], 1);
     }
 
     #[test]
@@ -411,6 +564,7 @@ mod tests {
         assert!(tr.is_empty());
         assert_eq!(tr.instrs(), 102);
         assert_eq!(tr.units(), 1);
+        assert!(tr.region_instr_totals().is_empty());
     }
 
     #[test]
@@ -419,5 +573,102 @@ mod tests {
         t.exec(1, 0);
         let tr = t.finish();
         assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn traces_split_into_segments_at_block_size() {
+        let mut t = Tracer::recording();
+        for i in 0..(SEGMENT_EVENTS as u64 * 2 + 100) {
+            t.load(i * 64, 8);
+        }
+        let tr = t.finish();
+        assert_eq!(tr.len(), SEGMENT_EVENTS * 2 + 100);
+        assert_eq!(tr.segments().len(), 3);
+        assert_eq!(tr.segments()[0].len(), SEGMENT_EVENTS);
+        assert_eq!(tr.segments()[2].len(), 100);
+        assert_eq!(tr.packed_events().len(), tr.len());
+    }
+
+    #[test]
+    fn cached_region_totals_match_decoded_stream() {
+        let mut t = Tracer::recording();
+        t.exec(2, 10);
+        t.load(64, 8);
+        t.exec(2, 5);
+        t.exec(7, 1);
+        t.unit_end();
+        let tr = t.finish();
+        let mut decoded = vec![0u64; 8];
+        for e in tr.iter() {
+            if let Event::Exec { region, instrs } = e {
+                decoded[region as usize] += instrs as u64;
+            }
+        }
+        let mut cached = tr.region_instr_totals().to_vec();
+        cached.resize(8, 0);
+        assert_eq!(cached, decoded);
+    }
+
+    /// Satellite 1 (ISSUE 6): region aggregates are served from the
+    /// capture-time cache — repeated `region_instrs` calls decode
+    /// nothing.
+    #[test]
+    fn region_queries_do_not_decode_segments() {
+        let mut regions = CodeRegions::new();
+        let a = regions.add("exec-a", 2000, 1.0);
+        let b = regions.add("exec-b", 2000, 1.0);
+        let mut t = Tracer::recording();
+        t.exec(a, 100);
+        t.load(64, 8);
+        t.exec(b, 50);
+        let bundle = TraceBundle::new(regions, vec![t.finish()]);
+        let before = segments_decoded();
+        for _ in 0..10 {
+            assert_eq!(bundle.region_instrs("exec-a"), 100);
+            assert_eq!(bundle.region_instrs("exec-b"), 50);
+            assert_eq!(bundle.region_instrs("exec-missing"), 0);
+        }
+        let totals = bundle.region_instr_totals();
+        assert_eq!(totals[a as usize], 100);
+        assert_eq!(totals[b as usize], 50);
+        assert_eq!(
+            segments_decoded(),
+            before,
+            "aggregate region queries must not decode any segment"
+        );
+    }
+
+    /// ISSUE 6 acceptance: bounded-memory capture at 4× the paper's
+    /// 64-client OLTP scale. 256 live tracers stream multi-block
+    /// traces through non-retaining sinks; per-tracer trace memory
+    /// stays at exactly one staging block (`SEGMENT_EVENTS` events),
+    /// independent of trace length — so total capture memory is block
+    /// size × clients.
+    #[test]
+    fn streaming_sink_bounds_retained_memory_at_4x_paper_clients() {
+        let clients = 256; // 4 × the paper's 64 OLTP clients
+        let n = SEGMENT_EVENTS as u64 * 4 + 7;
+        let mut tracers: Vec<Tracer> = (0..clients)
+            .map(|_| Tracer::streaming(Box::<CountingSink>::default()))
+            .collect();
+        for (c, t) in tracers.iter_mut().enumerate() {
+            for i in 0..n {
+                t.exec(1, 3);
+                t.load(0x8000 + (c as u64) * (1 << 20) + i * 64, 8);
+            }
+            assert!(
+                t.block.capacity() <= SEGMENT_EVENTS,
+                "staging block must never outgrow one segment"
+            );
+        }
+        for t in tracers {
+            let tr = t.finish();
+            assert!(
+                tr.segments().is_empty(),
+                "counting sink must retain no segments"
+            );
+            assert_eq!(tr.loads(), n);
+            assert!(tr.len() >= n as usize);
+        }
     }
 }

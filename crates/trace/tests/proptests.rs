@@ -2,7 +2,7 @@
 //! tracer conserves instruction counts, and the address space never
 //! produces overlapping allocations.
 
-use dbcmp_trace::{AddressSpace, CodeRegions, Event, Tracer};
+use dbcmp_trace::{AddressSpace, CodeRegions, Event, Segment, Tracer, SEGMENT_EVENTS};
 use proptest::prelude::*;
 
 /// Arbitrary decoded events within encodable ranges.
@@ -67,6 +67,53 @@ proptest! {
         prop_assert_eq!(tr.units(), expect_units);
         let decoded: u64 = tr.iter().map(|e| e.instr_count()).sum();
         prop_assert_eq!(decoded, expect_instrs);
+    }
+
+    /// ISSUE 6: the columnar segment codec round-trips arbitrary event
+    /// sequences losslessly — encode → decode is the identity on the
+    /// decoded stream, and re-packing reproduces the flat wire words.
+    #[test]
+    fn segment_roundtrip(events in prop::collection::vec(arb_event(), 0..600)) {
+        let packed: Vec<_> = events.iter().map(|e| e.pack()).collect();
+        let seg = Segment::encode(&packed);
+        prop_assert_eq!(seg.len(), events.len());
+        let decoded = seg.decode();
+        prop_assert_eq!(&decoded, &events);
+        let repacked: Vec<_> = decoded.iter().map(|e| e.pack()).collect();
+        prop_assert_eq!(repacked, packed, "re-packed words must be byte-identical");
+    }
+
+    /// A tracer-produced segmented stream decodes to the same event
+    /// sequence as feeding the ops through the flat packing directly,
+    /// for any op mix and any trace length relative to the block size.
+    #[test]
+    fn tracer_stream_matches_flat_packing(
+        ops in prop::collection::vec((0u8..6, 0u16..8, 1u32..5000, 0u64..(1<<30)), 0..300),
+        to_boundary in 0usize..3,
+    ) {
+        let mut t = Tracer::recording();
+        for &(op, region, n, addr) in &ops {
+            match op {
+                0 => t.exec(region, n),
+                1 => t.load(addr, n),
+                2 => t.load_dep(addr, n),
+                3 => t.store(addr, n),
+                4 => t.fence(),
+                _ => t.unit_end(),
+            }
+        }
+        // Optionally pad across a segment boundary so some cases seal
+        // multiple blocks.
+        for i in 0..(to_boundary * SEGMENT_EVENTS) {
+            t.load((i as u64) * 64, 8);
+        }
+        let tr = t.finish();
+        let via_segments: Vec<Event> = tr.iter().collect();
+        prop_assert_eq!(via_segments.len(), tr.len());
+        let repacked: Vec<_> = via_segments.iter().map(|e| e.pack()).collect();
+        prop_assert_eq!(repacked, tr.packed_events());
+        let n_events: usize = tr.segments().iter().map(|s| s.len()).sum();
+        prop_assert_eq!(n_events, tr.len());
     }
 
     /// Bump allocations never overlap and respect line alignment.

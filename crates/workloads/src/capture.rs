@@ -12,13 +12,19 @@
 //! at `clients == 1`.
 
 use dbcmp_engine::Database;
-use dbcmp_trace::{ThreadTrace, TraceBundle};
+use dbcmp_trace::{ScratchArena, ThreadTrace, TraceBundle};
 
 use crate::rng::client_rng;
 use crate::tpcc::txns::{draw_kind, run_txn};
 use crate::tpcc::TpccDb;
 use crate::tpch::queries::build_query;
 use crate::tpch::{QueryKind, TpchDb};
+
+/// Simulated scratch reserved per DSS client for operator state (sort
+/// buffers, hash tables). Simulated bytes cost nothing real, so this is
+/// deliberately generous — exhaustion panics rather than falling back to
+/// the shared allocator (which would break parallel determinism).
+const DSS_SCRATCH_BYTES: u64 = 1 << 30;
 
 /// Capture parameters.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +49,14 @@ impl CaptureOptions {
 }
 
 /// Capture an OLTP (TPC-C mix) workload: one trace per client terminal.
+///
+/// OLTP capture is sequential *by design*, not by omission: every client
+/// commits against the same evolving database (B+Tree splits,
+/// `d_next_o_id` draws), so the capture is semantically one serial
+/// schedule — later clients observe earlier clients' committed state.
+/// Parallelizing it would change that schedule and break the frozen
+/// golden-anchor byte streams. Read-only DSS capture is where the
+/// parallelism lives (see [`capture_dss`]).
 pub fn capture_oltp(db: &mut Database, h: &TpccDb, opt: CaptureOptions) -> TraceBundle {
     let mut threads = Vec::with_capacity(opt.clients);
     for client in 0..opt.clients {
@@ -68,30 +82,117 @@ pub fn capture_oltp(db: &mut Database, h: &TpccDb, opt: CaptureOptions) -> Trace
 /// Capture a DSS workload: each client runs `units_per_client` queries
 /// drawn round-robin from `mix` with random predicates (paper §3: 16
 /// clients, four queries, random predicates).
+///
+/// Clients run **in parallel** across up to `available_parallelism`
+/// threads, and the result is byte-identical to a sequential capture:
+/// DSS queries only read the frozen database, and the one mutation they
+/// used to perform — operator scratch allocation from the shared bump
+/// pointer — is removed by pre-carving a private [`ScratchArena`] per
+/// client, in client order, before any worker starts. Each client's
+/// trace then depends only on its own rng and arena. The identity is
+/// pinned by `parallel_dss_capture_matches_sequential` below.
 pub fn capture_dss(
     db: &mut Database,
     h: &TpchDb,
     mix: &[QueryKind],
     opt: CaptureOptions,
 ) -> TraceBundle {
-    let mut threads = Vec::with_capacity(opt.clients);
-    for client in 0..opt.clients {
-        let mut rng = client_rng(opt.seed ^ 0xD55, client);
-        let mut tc = db.trace_ctx();
-        for unit in 0..opt.units_per_client {
-            let kind = mix[(client + unit) % mix.len()];
-            db.statement_overhead(&mut tc);
-            let mut plan = build_query(kind, h, &mut rng);
-            let n =
-                dbcmp_engine::exec::run_count(plan.as_mut(), db, &mut tc).expect("query execution");
-            // Queries must produce output at capture scales; a zero-row
-            // result usually means a broken predicate draw.
-            debug_assert!(n > 0 || kind == QueryKind::Q16, "{kind:?} returned no rows");
-            tc.unit_end();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    capture_dss_workers(db, h, mix, opt, workers)
+}
+
+/// [`capture_dss`] with an explicit worker count (`workers <= 1` runs
+/// sequentially on the calling thread). Output is identical for every
+/// worker count — exposed so tests can pin parallel ≡ sequential.
+pub fn capture_dss_workers(
+    db: &mut Database,
+    h: &TpchDb,
+    mix: &[QueryKind],
+    opt: CaptureOptions,
+    workers: usize,
+) -> TraceBundle {
+    let db: &Database = db;
+    // Carve every client's scratch before spawning anything: the shared
+    // bump pointer advances in client order, so arena bases are
+    // independent of worker scheduling.
+    let arenas: Vec<(usize, ScratchArena)> = (0..opt.clients)
+        .map(|client| {
+            (
+                client,
+                db.space.reserve_arena("dss-scratch", DSS_SCRATCH_BYTES),
+            )
+        })
+        .collect();
+    let mut slots: Vec<Option<ThreadTrace>> = Vec::new();
+    slots.resize_with(opt.clients, || None);
+    let workers = workers.clamp(1, opt.clients.max(1));
+    if workers <= 1 {
+        for (client, arena) in arenas {
+            slots[client] = Some(run_dss_client(db, h, mix, opt, client, arena));
         }
-        threads.push(tc.finish());
+    } else {
+        // Stripe clients across workers; each worker returns its
+        // (client, trace) pairs and the results are reassembled in
+        // client order.
+        let mut stripes: Vec<Vec<(usize, ScratchArena)>> = Vec::new();
+        stripes.resize_with(workers, Vec::new);
+        for (client, arena) in arenas {
+            stripes[client % workers].push((client, arena));
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = stripes
+                .into_iter()
+                .map(|stripe| {
+                    s.spawn(move || {
+                        stripe
+                            .into_iter()
+                            .map(|(client, arena)| {
+                                (client, run_dss_client(db, h, mix, opt, client, arena))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (client, trace) in handle.join().expect("capture worker panicked") {
+                    slots[client] = Some(trace);
+                }
+            }
+        });
     }
+    let threads = slots
+        .into_iter()
+        .map(|t| t.expect("every client captured"))
+        .collect();
     TraceBundle::new(db.regions().clone(), threads)
+}
+
+/// Run one DSS client session to completion (shared read-only database,
+/// private rng and scratch arena).
+fn run_dss_client(
+    db: &Database,
+    h: &TpchDb,
+    mix: &[QueryKind],
+    opt: CaptureOptions,
+    client: usize,
+    arena: ScratchArena,
+) -> ThreadTrace {
+    let mut rng = client_rng(opt.seed ^ 0xD55, client);
+    let mut tc = db.trace_ctx();
+    tc.set_scratch(arena);
+    for unit in 0..opt.units_per_client {
+        let kind = mix[(client + unit) % mix.len()];
+        db.statement_overhead(&mut tc);
+        let mut plan = build_query(kind, h, &mut rng);
+        let n = dbcmp_engine::exec::run_count(plan.as_mut(), db, &mut tc).expect("query execution");
+        // Queries must produce output at capture scales; a zero-row
+        // result usually means a broken predicate draw.
+        debug_assert!(n > 0 || kind == QueryKind::Q16, "{kind:?} returned no rows");
+        tc.unit_end();
+    }
+    tc.finish()
 }
 
 /// Summary statistics helper re-exported for reports.
@@ -129,6 +230,37 @@ mod tests {
             assert_eq!(t.units(), 4);
             assert!(t.instrs() > 50_000, "queries scan thousands of tuples");
         }
+    }
+
+    /// ISSUE 6 acceptance anchor: parallel DSS capture is byte-identical
+    /// to the sequential capture, event for event, thanks to pre-carved
+    /// scratch arenas. (Worker count must never leak into the traces.)
+    #[test]
+    fn parallel_dss_capture_matches_sequential() {
+        let run = |workers| {
+            let (mut db, h) = build_tpch(TpchScale::tiny(), 35);
+            capture_dss_workers(
+                &mut db,
+                &h,
+                &QueryKind::ALL,
+                CaptureOptions::new(5, 3, 35),
+                workers,
+            )
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.threads.len(), par.threads.len());
+        for (i, (a, b)) in seq.threads.iter().zip(&par.threads).enumerate() {
+            assert_eq!(
+                a.packed_events(),
+                b.packed_events(),
+                "client {i} trace diverged between workers=1 and workers=4"
+            );
+        }
+        assert_eq!(
+            dbcmp_trace::TraceSummary::compute(&seq.regions, &seq.threads),
+            dbcmp_trace::TraceSummary::compute(&par.regions, &par.threads),
+        );
     }
 
     #[test]

@@ -504,8 +504,8 @@ mod tests {
 
         assert_eq!(seq.threads.len(), il.bundle.threads.len());
         assert_eq!(
-            seq.threads[0].events(),
-            il.bundle.threads[0].events(),
+            seq.threads[0].packed_events(),
+            il.bundle.threads[0].packed_events(),
             "clients=1 must be event-identical to the sequential capture"
         );
         assert_eq!(il.stats.lock_waits, 0);
@@ -523,7 +523,11 @@ mod tests {
         assert_eq!(a.stats, b.stats, "contention counters must reproduce");
         assert_eq!(a.bundle.threads.len(), b.bundle.threads.len());
         for (ta, tb) in a.bundle.threads.iter().zip(&b.bundle.threads) {
-            assert_eq!(ta.events(), tb.events(), "traces must be byte-identical");
+            assert_eq!(
+                ta.packed_events(),
+                tb.packed_events(),
+                "traces must be byte-identical"
+            );
         }
         assert_eq!(bundle_stats(&a.bundle), bundle_stats(&b.bundle));
     }

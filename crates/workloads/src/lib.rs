@@ -27,7 +27,7 @@ pub mod rng;
 pub mod tpcc;
 pub mod tpch;
 
-pub use capture::{capture_dss, capture_oltp, CaptureOptions};
+pub use capture::{capture_dss, capture_dss_workers, capture_oltp, CaptureOptions};
 pub use interleave::{
     capture_oltp_interleaved, ContentionStats, InterleaveOptions, InterleavedCapture,
 };
