@@ -50,6 +50,8 @@ fn bench_capture(c: &mut Criterion) {
                     Event::UnitEnd => tr.unit_end(),
                     Event::Block => tr.block(),
                     Event::Wake => tr.wake(),
+                    Event::RemoteSend { bytes } => tr.remote_send(bytes),
+                    Event::RemoteRecv { bytes } => tr.remote_recv(bytes),
                 }
             }
             black_box(tr.finish().len())

@@ -35,6 +35,8 @@ fn strip_dependences(bundle: &TraceBundle) -> TraceBundle {
                     Event::UnitEnd => out.unit_end(),
                     Event::Block => out.block(),
                     Event::Wake => out.wake(),
+                    Event::RemoteSend { bytes } => out.remote_send(bytes),
+                    Event::RemoteRecv { bytes } => out.remote_recv(bytes),
                 }
             }
             out.finish()

@@ -132,7 +132,12 @@ fn run_check(path: &str, scale_label: &str, events: u64, encoded_bytes: u64, pea
         eprintln!("error: {path} failed schema validation: {e}");
         std::process::exit(1);
     });
-    let last = traj.last().expect("validated trajectory is non-empty");
+    let Some(last) = traj.last() else {
+        // `parse` rejects empty-points documents, but keep the gate
+        // panic-free if that invariant ever loosens.
+        eprintln!("error: {path} has no trajectory points — run `bench_trace --quick --update`");
+        std::process::exit(1);
+    };
     if last.scale != scale_label {
         eprintln!(
             "error: latest trajectory point is {} scale, check ran at {scale_label}",
@@ -195,6 +200,8 @@ fn measure_capture(bundle: &TraceBundle) -> f64 {
                     Event::UnitEnd => tr.unit_end(),
                     Event::Block => tr.block(),
                     Event::Wake => tr.wake(),
+                    Event::RemoteSend { bytes } => tr.remote_send(bytes),
+                    Event::RemoteRecv { bytes } => tr.remote_recv(bytes),
                 }
             }
             let done = tr.finish();

@@ -1,0 +1,81 @@
+//! `fig_deploy`: shared-nothing deployment sweep (tentpole of the
+//! multi-chip extension). A fixed total core/L2 budget is deployed as
+//! one fat shared-everything engine, one engine per island, or one
+//! engine per core; each instance owns a contiguous warehouse range and
+//! cross-instance NewOrder/Payment transactions run as two-phase remote
+//! ops charged NUMA-link interconnect cost at replay. The multi-
+//! partition percentage knob sweeps the "OLTP on Hardware Islands"
+//! tradeoff: local work loves fine partitioning, distributed work pays
+//! for it.
+
+use dbcmp_bench::{footer, header, scale_from_args};
+use dbcmp_core::deploy::fig_deploy;
+use dbcmp_core::figures::BASE_CORES;
+use dbcmp_core::report::{f3, pct, table};
+
+/// Fixed total capacity (the Fig. 7 CMP budget: 4 x 4 MB).
+const TOTAL_L2: u64 = 16 << 20;
+
+/// Multi-partition transaction percentages swept.
+const MULTI_PCTS: [u8; 3] = [0, 20, 60];
+
+fn main() {
+    let t0 = header(
+        "fig_deploy: shared-everything -> islands -> shared-nothing per core",
+        "fixed total cores/L2, partitioned warehouses, interconnect-priced messages",
+    );
+    let scale = scale_from_args();
+    let points = fig_deploy(&scale, BASE_CORES, TOTAL_L2, &MULTI_PCTS);
+
+    for &multi_pct in &MULTI_PCTS {
+        println!("\n-- {multi_pct}% multi-warehouse transactions --");
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .filter(|p| p.multi_pct == multi_pct)
+            .map(|p| {
+                let cycles: u64 = p.per_instance.iter().map(|r| r.cycles).sum();
+                vec![
+                    format!("{}x{}c", p.instances, p.cores_per_instance),
+                    format!("{} MB", p.l2_per_instance >> 20),
+                    format!("{}", p.units),
+                    f3(p.uipc),
+                    format!("{}", p.stats.multi_remote_txns),
+                    format!("{}", p.remote.sends + p.remote.recvs),
+                    format!("{}", p.remote.bytes),
+                    pct(p.remote.stall_cycles as f64 / cycles.max(1) as f64),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            table(
+                &[
+                    "Deployment",
+                    "L2/inst",
+                    "Units",
+                    "UIPC*",
+                    "2-phase txns",
+                    "Messages",
+                    "Msg bytes",
+                    "Link stall%",
+                ],
+                &rows
+            )
+        );
+    }
+    println!();
+    println!("Units (committed work in identical measure windows) is the");
+    println!("throughput metric; UIPC* is diagnostic only — the captures differ");
+    println!("in per-transaction instruction counts by design (lock-table");
+    println!("contention surcharge, two-phase remote flavors).");
+    println!();
+    println!("1x4c is one shared-everything engine (Fig. 7's CMP chip); 4x1c is");
+    println!("shared-nothing, one engine per core. At 0% multi-warehouse work,");
+    println!("partitioning relieves the lock-table contention of one shared");
+    println!("engine — finer deployments never lose. As the multi-partition");
+    println!("share grows, every crossing pays two-phase NUMA-link messages");
+    println!("(Link stall%) plus cold remote lines, and the per-core deployment");
+    println!("falls below the island one — coarser instances absorb the same");
+    println!("transactions as local work.");
+    footer(t0);
+}

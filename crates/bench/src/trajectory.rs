@@ -171,9 +171,7 @@ fn raw_field<'a>(text: &'a str, key: &str) -> Option<&'a str> {
     let at = text.find(&pat)?;
     let after = &text[at + pat.len()..];
     let colon = after.find(':')?;
-    let val = after[colon + 1..]
-        .split([',', '}', '\n'])
-        .next()?;
+    let val = after[colon + 1..].split([',', '}', '\n']).next()?;
     Some(val.trim())
 }
 
@@ -229,6 +227,17 @@ mod tests {
         .to_json()
         .replace(SCHEMA, "something-else/9");
         assert!(Trajectory::parse(&bad).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn parse_rejects_present_but_empty_points_document() {
+        // A well-formed file whose points array is empty (e.g. a hand
+        // edit or truncated update) must be a parse error, not a panic
+        // in `--check`'s `last()` path.
+        let txt = Trajectory::default().to_json();
+        assert!(txt.contains("\"points\""));
+        let err = Trajectory::parse(&txt).unwrap_err();
+        assert!(err.contains("no points"), "unexpected error: {err}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! until someone regenerates the paper artifacts.
 
 use dbcmp_cacti::{historic_latencies, historic_sizes, CacheOrg, CactiModel};
+use dbcmp_core::deploy::{deploy_capture, fig_deploy};
 use dbcmp_core::experiment::{run_throughput, RunSpec};
 use dbcmp_core::figures::{
     fig2_saturation, fig3_validation, fig45_quadrants, fig4_ratios, fig6_cache_sweep,
@@ -385,6 +386,108 @@ fn fig_joins_quick() {
     assert!(
         l2_miss(find(true, "SMP")) > l2_miss(find(false, "SMP")),
         "private 4 MB nodes must overflow under join working sets"
+    );
+}
+
+/// The `fig_deploy` gate: the shared-everything endpoint reproduces a
+/// direct Fig. 7-style CMP replay of the same bundle, the multi-
+/// partition knob really produces interconnect traffic that costs
+/// throughput, and the Islands tradeoff has the right shape at both
+/// knob extremes.
+#[test]
+fn fig_deploy_quick() {
+    let scale = FigScale::quick();
+    let total_l2 = 16u64 << 20;
+    let points = fig_deploy(&scale, BASE_CORES, total_l2, &[0, 60]);
+    assert_eq!(points.len(), 2 * 3, "2 multi%s x {{1, 2, 4}} instances");
+    let find = |multi: u8, inst: usize| {
+        points
+            .iter()
+            .find(|p| p.multi_pct == multi && p.instances == inst)
+            .expect("point present")
+    };
+
+    // Shared-everything endpoint ≡ a direct CMP replay of the same
+    // (deterministically recaptured) bundle on the full budget.
+    let spec = RunSpec {
+        warmup: scale.warmup,
+        measure: scale.measure,
+        max_cycles: 2_000_000_000,
+    };
+    let dep = deploy_capture(&scale, BASE_CORES, 1, 0);
+    assert_eq!(dep.bundles.len(), 1);
+    let reference = run_throughput(
+        fc_cmp(BASE_CORES, total_l2, L2Spec::Cacti),
+        &dep.bundles[0],
+        spec,
+    );
+    let shared = find(0, 1);
+    assert_eq!(shared.per_instance.len(), 1);
+    assert!(
+        same_numbers(&shared.per_instance[0], &reference),
+        "1-instance deployment must equal the direct shared-L2 CMP replay"
+    );
+
+    // A single instance suppresses the multi-warehouse draw entirely, so
+    // the knob cannot perturb the shared-everything endpoint.
+    assert!(
+        same_numbers(&find(60, 1).per_instance[0], &shared.per_instance[0]),
+        "multi% must not change a 1-instance deployment"
+    );
+
+    // 0% multi: purely local work — no messages, and partitioning
+    // (contention-free lock tables over smaller databases) never loses
+    // to shared-everything. Units, not UIPC: captures differ in
+    // per-transaction instruction counts by design, so committed units
+    // over the identical measure windows is the throughput metric.
+    for p in points.iter().filter(|p| p.multi_pct == 0) {
+        assert_eq!(p.stats.multi_remote_txns, 0);
+        assert_eq!(
+            p.remote.sends + p.remote.recvs,
+            0,
+            "no interconnect traffic at 0%"
+        );
+    }
+    for inst in [2, 4] {
+        assert!(
+            find(0, inst).units >= find(0, 1).units,
+            "at 0% multi, {inst} instances ({} units) must not lose to shared-everything ({})",
+            find(0, inst).units,
+            find(0, 1).units,
+        );
+    }
+
+    // 60% multi on multi-instance deployments: real two-phase traffic,
+    // charged at replay, costing throughput vs the local-only capture
+    // of the *same* transaction mix (the PerTxn draw scheme holds the
+    // kind sequence constant across the grid).
+    for inst in [2, 4] {
+        let hi = find(60, inst);
+        assert!(
+            hi.stats.multi_remote_txns > 0,
+            "{inst} instances must cross"
+        );
+        assert!(hi.remote.sends > 0 && hi.remote.recvs > 0 && hi.remote.bytes > 0);
+        assert!(hi.remote.stall_cycles > 0, "messages must cost cycles");
+        assert!(
+            hi.units < find(0, inst).units,
+            "{inst} instances at 60% multi ({} units) must fall below local-only ({})",
+            hi.units,
+            find(0, inst).units,
+        );
+    }
+
+    // The Islands crossover: distributed work punishes per-core
+    // shared-nothing hardest — more boundaries, more crossings.
+    assert!(
+        find(60, 4).stats.multi_remote_txns > find(60, 2).stats.multi_remote_txns,
+        "finer partitioning must turn more transactions into crossings"
+    );
+    assert!(
+        find(60, 4).units < find(60, 2).units,
+        "at 60% multi, per-core shared-nothing ({} units) must lose to the island deployment ({})",
+        find(60, 4).units,
+        find(60, 2).units,
     );
 }
 

@@ -1,0 +1,174 @@
+//! Shared-nothing deployment sweep: the same silicon budget spent as one
+//! fat shared-everything engine, one engine per island, or one engine
+//! per core — with a knob for how often transactions span partitions.
+//!
+//! Where `fig_islands` re-partitions the *cache* under one engine (all
+//! cores still share one database), `fig_deploy` re-partitions the
+//! *database*: `N` instances each own `W/N` warehouses, run on their own
+//! `cores/N`-core chip with `L2/N` of cache, and exchange two-phase
+//! messages over an [`Interconnect`](dbcmp_sim::Interconnect) when a
+//! transaction spans instances. The sweep captures with the lock-table
+//! contention model on (`DeployOptions::contention`), so the shared-
+//! everything endpoint pays for all clients contending on one lock
+//! manager while fine partitions run nearly contention-free. At
+//! `multi_pct = 0` that is the whole story and finer partitioning wins;
+//! as `multi_pct` grows, per-core shared-nothing pays two interconnect
+//! round trips plus cold remote lines on every crossing while coarser
+//! islands absorb the same transactions locally — the "OLTP on Hardware
+//! Islands" tradeoff.
+//!
+//! The throughput metric is `units`: every instance replays the same
+//! fixed cycle window, so committed units summed across instances are
+//! directly comparable between deployments (UIPC is not — the captures
+//! differ in per-transaction instruction counts by design, so
+//! instructions per cycle no longer proxies work per cycle).
+
+use dbcmp_sim::{RemoteCounters, SimResult};
+use dbcmp_workloads::{
+    capture_oltp_deployment_workers, CaptureOptions, DeployOptions, DeployStats, Deployment,
+    DrawScheme, TpccScale,
+};
+
+use crate::experiment::{RunSpec, Sweep};
+use crate::figures::island_cluster_sizes;
+use crate::machines::{fc_cmp, L2Spec};
+use crate::workload::FigScale;
+
+/// One point of the deployment sweep: `instances` engines at a fixed
+/// total core/L2 budget, captured with `multi_pct`% multi-warehouse
+/// transactions and replayed one chip per instance.
+pub struct DeployPoint {
+    pub instances: usize,
+    pub cores_per_instance: usize,
+    pub l2_per_instance: u64,
+    pub multi_pct: u8,
+    /// Aggregate UIPC (diagnostic only — see the module docs for why
+    /// `units` is the cross-deployment throughput metric).
+    pub uipc: f64,
+    /// Committed units across all instances' identical measure windows:
+    /// the deployment's throughput.
+    pub units: u64,
+    /// Interconnect traffic summed over the instances' replays.
+    pub remote: RemoteCounters,
+    /// Capture-side transaction classification.
+    pub stats: DeployStats,
+    /// Per-instance replay results, instance order.
+    pub per_instance: Vec<SimResult>,
+}
+
+/// Instance counts swept at a given core budget: the island divisor
+/// chain read the other way — one fat instance, one per island size,
+/// one per core.
+pub fn deploy_instance_counts(cores: usize) -> Vec<usize> {
+    island_cluster_sizes(cores)
+        .into_iter()
+        .map(|k| cores / k)
+        .collect()
+}
+
+/// The TPC-C scale a deployment sweep captures at: at least one
+/// warehouse per core, so every instance count in the divisor chain
+/// partitions evenly (and the per-core endpoint owns ≥ 1 warehouse).
+pub fn deploy_tpcc_scale(scale: &FigScale, total_cores: usize) -> TpccScale {
+    let mut t = scale.tpcc;
+    t.warehouses = t.warehouses.max(total_cores as u64);
+    t
+}
+
+/// Capture one deployment at this sweep's conventions (exposed so the
+/// smoke gate can rebuild a point's bundles deterministically).
+pub fn deploy_capture(
+    scale: &FigScale,
+    total_cores: usize,
+    instances: usize,
+    multi_pct: u8,
+) -> Deployment {
+    let opt = DeployOptions {
+        capture: CaptureOptions::new(scale.oltp_clients, scale.oltp_units, scale.seed),
+        partitions: instances,
+        multi_pct,
+        contention: true,
+        draws: DrawScheme::PerTxn,
+    };
+    capture_oltp_deployment_workers(deploy_tpcc_scale(scale, total_cores), opt, instances)
+        .expect("deployment windows fit the address space")
+}
+
+/// The deployment sweep: for each `multi_pct`, capture and replay every
+/// instance count in the divisor chain at a fixed total core/L2 budget.
+/// Instances replay on their own fat-camp chip (`fc_cmp` of the
+/// instance's share, CACTI latency) as one parallel sweep per point.
+pub fn fig_deploy(
+    scale: &FigScale,
+    total_cores: usize,
+    total_l2: u64,
+    multi_pcts: &[u8],
+) -> Vec<DeployPoint> {
+    let spec = RunSpec {
+        warmup: scale.warmup,
+        measure: scale.measure,
+        max_cycles: 2_000_000_000,
+    };
+    let mut out = Vec::new();
+    for &multi_pct in multi_pcts {
+        for instances in deploy_instance_counts(total_cores) {
+            let dep = deploy_capture(scale, total_cores, instances, multi_pct);
+            let cores = total_cores / instances;
+            let l2 = total_l2 / instances as u64;
+            let mut sweep = Sweep::new();
+            let mut bundles = Vec::new();
+            for (i, b) in dep.bundles.iter().enumerate() {
+                sweep.push(
+                    format!("multi={multi_pct}% {instances}x{cores}c #{i}"),
+                    fc_cmp(cores, l2, L2Spec::Cacti),
+                    spec.throughput(),
+                );
+                bundles.push(b);
+            }
+            let per_instance = sweep.run_each(&bundles);
+            let mut remote = RemoteCounters::default();
+            for r in &per_instance {
+                remote.merge(&r.remote);
+            }
+            out.push(DeployPoint {
+                instances,
+                cores_per_instance: cores,
+                l2_per_instance: l2,
+                multi_pct,
+                uipc: per_instance.iter().map(|r| r.uipc()).sum(),
+                units: per_instance.iter().map(|r| r.units).sum(),
+                remote,
+                stats: dep.stats,
+                per_instance,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_counts_mirror_island_divisors() {
+        assert_eq!(deploy_instance_counts(4), [1, 2, 4]);
+        assert_eq!(deploy_instance_counts(8), [1, 2, 4, 8]);
+        for cores in 1..=8 {
+            let counts = deploy_instance_counts(cores);
+            assert_eq!(counts.first(), Some(&1), "shared-everything endpoint");
+            assert_eq!(counts.last(), Some(&cores), "one-per-core endpoint");
+            assert!(counts.iter().all(|n| cores % n == 0));
+        }
+    }
+
+    #[test]
+    fn deploy_scale_guarantees_divisibility() {
+        let scale = FigScale::quick();
+        let t = deploy_tpcc_scale(&scale, 4);
+        assert!(t.warehouses >= 4);
+        for n in deploy_instance_counts(4) {
+            assert_eq!(t.warehouses % n as u64, 0);
+        }
+    }
+}

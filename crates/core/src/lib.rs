@@ -6,6 +6,7 @@
 //! [experiment runner](experiment), and one generator per paper
 //! figure/table in [figures].
 
+pub mod deploy;
 pub mod experiment;
 pub mod figures;
 pub mod machines;
@@ -13,6 +14,7 @@ pub mod report;
 pub mod taxonomy;
 pub mod workload;
 
+pub use deploy::{deploy_capture, deploy_instance_counts, fig_deploy, DeployPoint};
 pub use experiment::{run_completion, run_throughput, RunSpec, Sweep, SweepPoint};
 pub use machines::{
     asym_cmp, cmp_l3, fc_cmp, fc_cmp_l3, island_cmp, island_cmp_l3, lc_cmp, lc_cmp_l3,

@@ -124,6 +124,13 @@ pub mod instr {
     pub const LOCK_WAKE: u32 = 45;
     /// Waits-for cycle detection, per transaction visited.
     pub const DEADLOCK_SCAN: u32 = 30;
+    /// Lock-table contention surcharge, per additional client sharing
+    /// the engine, per lock-manager operation (CAS retries, latch
+    /// backoff, queue-line ping-pong all scale with the number of
+    /// threads hammering one lock table). Applied by
+    /// [`Database::set_lock_sharers`](crate::Database::set_lock_sharers);
+    /// zero sharers declared (the default) charges nothing.
+    pub const LOCK_CONTEND: u32 = 4;
     /// B+Tree: per node visited (binary search within node).
     pub const BTREE_NODE: u32 = 55;
     /// B+Tree: leaf entry insert (shift + write).

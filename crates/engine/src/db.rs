@@ -60,7 +60,13 @@ pub struct Database {
 impl Database {
     /// An empty database with fresh address space and region table.
     pub fn new() -> Self {
-        let space = Arc::new(AddressSpace::new());
+        Self::with_space(Arc::new(AddressSpace::new()))
+    }
+
+    /// An empty database over a caller-provided address space —
+    /// shared-nothing deployments give each engine instance its own
+    /// [`AddressSpace::partition`] window so instances never alias.
+    pub fn with_space(space: Arc<AddressSpace>) -> Self {
         let mut regions = CodeRegions::new();
         let er = EngineRegions::register(&mut regions);
         Database {
@@ -102,6 +108,19 @@ impl Database {
     /// The active lock-conflict discipline.
     pub fn lock_policy(&self) -> LockPolicy {
         self.lock_policy
+    }
+
+    /// Declare how many clients share this engine instance, turning on
+    /// the lock-table contention surcharge: every lock acquire/release
+    /// charges `LOCK_CONTEND · (sharers − 1)` extra lock-manager
+    /// instructions — the CAS-retry/latch-backoff work that grows with
+    /// the thread count contending on one lock table (the Shore-MT-style
+    /// lock-manager bottleneck the Islands literature measures). The
+    /// default (no call, or `sharers <= 1`) charges nothing, so existing
+    /// captures are byte-identical.
+    pub fn set_lock_sharers(&mut self, sharers: u32) {
+        self.lockmgr
+            .set_contention(instr::LOCK_CONTEND * sharers.saturating_sub(1));
     }
 
     /// Transactions granted a queued lock (or chosen as deadlock victims)

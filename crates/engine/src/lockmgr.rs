@@ -87,6 +87,11 @@ pub struct LockMgr {
     /// Simulated base address; bucket i lives at `addr + i*64`.
     addr: u64,
     mask: u64,
+    /// Extra instructions charged per acquire/release, modelling
+    /// latch/CAS contention among the clients sharing this engine
+    /// (see [`instr::LOCK_CONTEND`]). Zero by default: captures are
+    /// byte-identical unless a deployment opts in.
+    contention: u32,
     /// txn → key it is parked on (each txn waits on at most one key).
     waiting: HashMap<TxnId, u64>,
     /// Grants decided while the winner was parked: txn → (key, upgrade).
@@ -106,11 +111,20 @@ impl LockMgr {
             buckets: (0..n).map(|_| Vec::new()).collect(),
             addr: space.alloc("lock-table", n as u64 * 64),
             mask: (n - 1) as u64,
+            contention: 0,
             waiting: HashMap::new(),
             granted: HashMap::new(),
             victims: HashMap::new(),
             woken: Vec::new(),
         }
+    }
+
+    /// Set the contention surcharge charged on every acquire/release
+    /// (extra lock-manager instructions per operation). The policy that
+    /// derives it from a sharer count lives on
+    /// [`Database::set_lock_sharers`](crate::Database::set_lock_sharers).
+    pub fn set_contention(&mut self, extra: u32) {
+        self.contention = extra;
     }
 
     #[inline]
@@ -164,7 +178,7 @@ impl LockMgr {
         tc: &mut TraceCtx,
     ) -> Result<Grant> {
         let b = self.bucket_of(key);
-        tc.charge(tc.r.lock_mgr, instr::LOCK_ACQUIRE);
+        tc.charge(tc.r.lock_mgr, instr::LOCK_ACQUIRE + self.contention);
         // The bucket header is a dependent load; the grant writes it.
         tc.load_dep(self.bucket_addr(b), 16);
 
@@ -322,7 +336,7 @@ impl LockMgr {
     /// Release one lock held by `txn`.
     pub fn release(&mut self, txn: TxnId, key: u64, tc: &mut TraceCtx) {
         let b = self.bucket_of(key);
-        tc.charge(tc.r.lock_mgr, instr::LOCK_RELEASE);
+        tc.charge(tc.r.lock_mgr, instr::LOCK_RELEASE + self.contention);
         tc.store(self.bucket_addr(b), 16);
         let bucket = &mut self.buckets[b];
         if let Some(i) = bucket.iter().position(|e| e.key == key) {

@@ -107,6 +107,19 @@ impl TraceCtx {
         self.tracer.wake();
     }
 
+    /// Record sending a `bytes`-byte message to another engine instance
+    /// (shared-nothing deployments; replay charges interconnect cost).
+    #[inline]
+    pub fn remote_send(&mut self, bytes: u32) {
+        self.tracer.remote_send(bytes);
+    }
+
+    /// Record waiting for a `bytes`-byte message from another instance.
+    #[inline]
+    pub fn remote_recv(&mut self, bytes: u32) {
+        self.tracer.remote_recv(bytes);
+    }
+
     /// Instructions charged so far.
     pub fn instrs(&self) -> u64 {
         self.tracer.instrs_so_far()

@@ -16,6 +16,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::interconnect::Interconnect;
+
 /// A machine description that cannot be simulated. Returned by
 /// [`MachineConfig::validate`] and `MachineBuilder::build` so degenerate
 /// configs fail at build time instead of panicking (division by zero in
@@ -483,6 +485,12 @@ pub struct MachineConfig {
     pub quantum: u64,
     /// Direct cost of a context switch, cycles.
     pub switch_penalty: u64,
+    /// Cost model for `RemoteSend`/`RemoteRecv` trace events — the
+    /// interconnect between engine instances of a shared-nothing
+    /// deployment. Irrelevant (but harmless) for single-instance traces,
+    /// which carry no remote events.
+    #[serde(default)]
+    pub interconnect: Interconnect,
 }
 
 impl MachineConfig {
@@ -508,6 +516,7 @@ impl MachineConfig {
             store_buffer: 8,
             quantum: 300_000,
             switch_penalty: 3_000,
+            interconnect: Interconnect::default(),
         }
     }
 

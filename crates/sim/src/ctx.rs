@@ -157,8 +157,12 @@ impl CtxBase {
 /// (captured lock waits drain like fences — the wait time belongs to the
 /// capture schedule, not the replayed machine), `Wake` is a marker, and
 /// `UnitEnd` records a completed transaction/query and its latency.
-/// Returns `false` for `Load`/`Store`, which occupy an issue slot and
-/// stay model-specific.
+/// `RemoteSend`/`RemoteRecv` arm the fence too and additionally accrue
+/// the interconnect cost into [`ThreadState::remote_wait`] — the core
+/// charges it (to `CycleClass::Other`) once the pipeline has drained,
+/// so a message is ordered after the work that produced it. Returns
+/// `false` for `Load`/`Store`, which occupy an issue slot and stay
+/// model-specific.
 #[inline]
 pub fn consume_meta_event(
     th: &mut ThreadState<'_>,
@@ -179,6 +183,18 @@ pub fn consume_meta_event(
             ctl.units += 1;
             ctl.unit_cycles += now.saturating_sub(th.unit_started_at);
             th.unit_started_at = now;
+        }
+        Event::RemoteSend { bytes } => {
+            th.pending_fence = true;
+            th.remote_wait += ctl.interconnect.send_cycles(bytes);
+            ctl.remote.sends += 1;
+            ctl.remote.bytes += bytes as u64;
+        }
+        Event::RemoteRecv { bytes } => {
+            th.pending_fence = true;
+            th.remote_wait += ctl.interconnect.recv_cycles(bytes);
+            ctl.remote.recvs += 1;
+            ctl.remote.bytes += bytes as u64;
         }
         Event::Load { .. } | Event::Store { .. } => return false,
     }

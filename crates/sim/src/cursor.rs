@@ -118,6 +118,9 @@ pub struct ThreadState<'a> {
     pub pending_load: Option<PendingLoad>,
     /// A fence is waiting for the pipeline to drain.
     pub pending_fence: bool,
+    /// Interconnect cycles owed at the next fence-drain point
+    /// (accumulated from `RemoteSend`/`RemoteRecv` events).
+    pub remote_wait: u64,
     /// Fractional branch mispredictions owed.
     pub mispred_acc: f64,
     pub units: u64,
@@ -135,6 +138,7 @@ impl<'a> ThreadState<'a> {
             pending_store: None,
             pending_load: None,
             pending_fence: false,
+            remote_wait: 0,
             mispred_acc: 0.0,
             units: 0,
             unit_started_at: 0,

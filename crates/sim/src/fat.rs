@@ -284,6 +284,17 @@ impl FatCore {
                     break;
                 }
                 th.pending_fence = false;
+                // Interconnect wait accrued by remote markers: charged here,
+                // after the drain, so the message is ordered behind the work
+                // that produced it.
+                if th.remote_wait > 0 {
+                    let wait = th.remote_wait;
+                    th.remote_wait = 0;
+                    ctl.remote.stall_cycles += wait;
+                    self.gate_until = self.gate_until.max(now + wait);
+                    self.gate_class = CycleClass::Other;
+                    break;
+                }
             }
             // Current exec run: fetch + decode one instruction.
             if let Some((region, left)) = th.cur_exec {

@@ -201,6 +201,15 @@ fn issue_from(
                 break;
             }
             th.pending_fence = false;
+            // Interconnect wait accrued by remote markers: charged after
+            // the drain so the message is ordered behind prior work.
+            if th.remote_wait > 0 {
+                let wait = th.remote_wait;
+                th.remote_wait = 0;
+                ctl.remote.stall_cycles += wait;
+                ctx.block(now + wait, CycleClass::Other, now);
+                break;
+            }
         }
         // 3. Continue the current exec run.
         if let Some((region, left)) = th.cur_exec {

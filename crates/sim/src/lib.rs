@@ -50,6 +50,7 @@ pub mod core;
 pub mod ctx;
 pub mod cursor;
 pub mod fat;
+pub mod interconnect;
 pub mod lean;
 pub mod machine;
 pub mod memsys;
@@ -62,5 +63,6 @@ pub use config::{
     CacheGeom, CacheTopology, ConfigError, CoreKind, L2Arrangement, LevelSpec, MachineConfig,
     SharedBy,
 };
+pub use interconnect::Interconnect;
 pub use machine::{Machine, RunMode};
-pub use stats::{Breakdown, CycleClass, LevelCounters, SimResult};
+pub use stats::{Breakdown, CycleClass, LevelCounters, RemoteCounters, SimResult};

@@ -18,9 +18,10 @@ use crate::config::{CoreKind, MachineConfig};
 use crate::core::Core;
 use crate::cursor::ThreadState;
 use crate::fat::FatCore;
+use crate::interconnect::Interconnect;
 use crate::lean::LeanCore;
 use crate::memsys::MemSys;
-use crate::stats::{Breakdown, SimResult};
+use crate::stats::{Breakdown, RemoteCounters, SimResult};
 
 /// Global run-state shared by the core models.
 #[derive(Debug, Default)]
@@ -33,6 +34,11 @@ pub struct MachineCtl {
     pub unit_cycles: u64,
     /// Instructions retired in the current window.
     pub instrs: u64,
+    /// Cost model for `RemoteSend`/`RemoteRecv` events (multi-instance
+    /// deployments; copied from the machine config at assembly).
+    pub interconnect: Interconnect,
+    /// Interconnect traffic consumed in the current window.
+    pub remote: RemoteCounters,
 }
 
 /// What to simulate.
@@ -114,6 +120,7 @@ impl<'a> Machine<'a> {
 
         let mem = MemSys::new(&cfg);
         let n_cores = cfg.n_cores;
+        let interconnect = cfg.interconnect;
         Machine {
             cfg,
             bundle,
@@ -122,6 +129,7 @@ impl<'a> Machine<'a> {
             mem,
             ctl: MachineCtl {
                 remaining: bundle.threads.len(),
+                interconnect,
                 ..Default::default()
             },
             per_core: vec![Breakdown::default(); n_cores],
@@ -181,6 +189,7 @@ impl<'a> Machine<'a> {
         self.ctl.units = 0;
         self.ctl.unit_cycles = 0;
         self.ctl.instrs = 0;
+        self.ctl.remote = RemoteCounters::default();
         for b in &mut self.per_core {
             *b = Breakdown::default();
         }
@@ -202,6 +211,7 @@ impl<'a> Machine<'a> {
             breakdown: agg,
             per_core: self.per_core.clone(),
             mem: self.mem.counters.clone(),
+            remote: self.ctl.remote,
             avg_unit_cycles: (self.ctl.units > 0)
                 .then(|| self.ctl.unit_cycles as f64 / self.ctl.units as f64),
         }
@@ -425,6 +435,68 @@ mod tests {
         // The shim's placeholder mode (0-cycle throughput window) must
         // not silently "run" and report zeros.
         Machine::new(cfg, &b, true).execute();
+    }
+
+    /// Remote markers must (a) show up in the remote counters, (b) cost
+    /// cycles charged to `Other`, and (c) leave every other counter
+    /// family alone — a remote-free trace reports all-zero counters.
+    #[test]
+    fn remote_markers_cost_interconnect_cycles_on_both_camps() {
+        fn remote_bundle(with_remote: bool) -> TraceBundle {
+            let mut regions = CodeRegions::new();
+            let r = regions.add("work", 4 << 10, 0.0);
+            let mut tr = Tracer::recording();
+            for _ in 0..200 {
+                tr.exec(r, 20);
+                if with_remote {
+                    tr.remote_send(64);
+                    tr.remote_recv(256);
+                }
+                tr.unit_end();
+            }
+            TraceBundle::new(regions, vec![tr.finish()])
+        }
+        for cfg in [
+            MachineConfig::fat_cmp(1, 1 << 20, 8),
+            MachineConfig::lean_cmp(1, 1 << 20, 8),
+        ] {
+            let local = Machine::run(
+                cfg.clone(),
+                &remote_bundle(false),
+                RunMode::Completion {
+                    max_cycles: 10_000_000,
+                },
+            );
+            assert_eq!(local.remote, crate::stats::RemoteCounters::default());
+            let remote = Machine::run(
+                cfg.clone(),
+                &remote_bundle(true),
+                RunMode::Completion {
+                    max_cycles: 10_000_000,
+                },
+            );
+            assert_eq!(remote.remote.sends, 200, "{}", cfg.name);
+            assert_eq!(remote.remote.recvs, 200);
+            assert_eq!(remote.remote.bytes, 200 * (64 + 256));
+            let link = cfg.interconnect;
+            let per_unit = link.send_cycles(64) + link.recv_cycles(256);
+            assert_eq!(remote.remote.stall_cycles, 200 * per_unit);
+            // The stall must actually lengthen the run, charged to Other.
+            // (Not local + stalls exactly: the instruction-stream prefetcher
+            // keeps running during a gate, so a gated run hides some fetch
+            // latency the local run pays.)
+            assert!(
+                remote.cycles > remote.remote.stall_cycles && remote.cycles > local.cycles,
+                "{}: remote run {} must exceed both stalls {} and local {}",
+                cfg.name,
+                remote.cycles,
+                remote.remote.stall_cycles,
+                local.cycles
+            );
+            assert!(remote.breakdown.get(CycleClass::Other) >= remote.remote.stall_cycles);
+            // Remote traffic is not coherence traffic.
+            assert_eq!(remote.mem.coherence_transfers, 0);
+        }
     }
 
     #[test]

@@ -262,6 +262,34 @@ impl MemCounters {
     }
 }
 
+/// Interconnect traffic counters for multi-instance deployments: the
+/// `RemoteSend`/`RemoteRecv` events consumed during measurement and the
+/// cycles threads stalled on them. All zero for single-instance traces.
+/// Kept separate from [`MemCounters::coherence_transfers`]: coherence is
+/// cache-line traffic *within* one machine; this is message traffic
+/// *between* machines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemoteCounters {
+    /// RemoteSend events consumed.
+    pub sends: u64,
+    /// RemoteRecv events consumed.
+    pub recvs: u64,
+    /// Message bytes across sends and recvs.
+    pub bytes: u64,
+    /// Cycles threads spent gated on interconnect latency/occupancy
+    /// (charged to [`CycleClass::Other`] in the breakdown).
+    pub stall_cycles: u64,
+}
+
+impl RemoteCounters {
+    pub fn merge(&mut self, o: &RemoteCounters) {
+        self.sends += o.sends;
+        self.recvs += o.recvs;
+        self.bytes += o.bytes;
+        self.stall_cycles += o.stall_cycles;
+    }
+}
+
 /// Result of one simulation run. `PartialEq` compares every field —
 /// the equivalence suites assert builder-built and legacy-path runs
 /// (and parallel and sequential sweeps) are *identical*, not close.
@@ -279,6 +307,10 @@ pub struct SimResult {
     /// Per-core breakdowns.
     pub per_core: Vec<Breakdown>,
     pub mem: MemCounters,
+    /// Interconnect traffic (multi-instance deployments; all zero for
+    /// single-instance traces).
+    #[serde(default)]
+    pub remote: RemoteCounters,
     /// Mean cycles per completed unit (response-time metric), if any
     /// units completed.
     pub avg_unit_cycles: Option<f64>,

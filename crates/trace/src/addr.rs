@@ -24,6 +24,58 @@ pub const DATA_BASE: SimAddr = 0x1000;
 /// Highest valid data address (exclusive).
 pub const DATA_LIMIT: SimAddr = 1 << 46;
 
+/// Window stride for partitioned address spaces: each engine instance of
+/// a shared-nothing deployment allocates inside its own `2^40`-byte
+/// window, so instances can never mint overlapping (or >48-bit) trace
+/// addresses. `DATA_LIMIT / PARTITION_STRIDE` bounds the instance count.
+pub const PARTITION_STRIDE: SimAddr = 1 << 40;
+
+/// Typed capacity errors from [`AddressSpace`] reservation — returned at
+/// the capture boundary instead of minting an address the 48-bit trace
+/// format would silently alias in release builds (the `debug_assert`-only
+/// check in `PackedEvent::load`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddressSpaceError {
+    /// `AddressSpace::partition(index)` was asked for a window past
+    /// [`DATA_LIMIT`].
+    PartitionOutOfRange {
+        /// Requested partition index.
+        index: usize,
+        /// Largest valid index (`DATA_LIMIT / PARTITION_STRIDE - 1`).
+        max: usize,
+    },
+    /// A reservation would overrun this space's window.
+    Capacity {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes left in the window before the request.
+        remaining: u64,
+    },
+}
+
+impl std::fmt::Display for AddressSpaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AddressSpaceError::PartitionOutOfRange { index, max } => write!(
+                f,
+                "partition index {index} out of range (max {max} windows of {} B below the \
+                 46-bit data limit)",
+                PARTITION_STRIDE
+            ),
+            AddressSpaceError::Capacity {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "simulated address-space window exhausted: {requested} B requested, \
+                 {remaining} B remaining"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AddressSpaceError {}
+
 /// Metadata about one named allocation, for reports and debugging.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentInfo {
@@ -43,6 +95,11 @@ pub struct SegmentInfo {
 #[derive(Debug)]
 pub struct AddressSpace {
     next: AtomicU64,
+    /// First address of this space's window (equals the initial `next`).
+    base: SimAddr,
+    /// End of this space's window (exclusive). [`DATA_LIMIT`] for the
+    /// process-wide space; `base`-relative for partition windows.
+    limit: SimAddr,
     segments: Mutex<Vec<SegmentInfo>>,
 }
 
@@ -51,8 +108,33 @@ impl AddressSpace {
     pub fn new() -> Self {
         AddressSpace {
             next: AtomicU64::new(DATA_BASE),
+            base: DATA_BASE,
+            limit: DATA_LIMIT,
             segments: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The address space of engine instance `index` in a shared-nothing
+    /// deployment: a private [`PARTITION_STRIDE`]-byte window. Window 0
+    /// starts at [`DATA_BASE`], so a 1-partition deployment allocates
+    /// byte-identically to [`AddressSpace::new`]. Returns a typed error
+    /// if the window would extend past [`DATA_LIMIT`] — the capture
+    /// boundary's guard against addresses the 48-bit trace format would
+    /// silently mask in release builds.
+    pub fn partition(index: usize) -> Result<Self, AddressSpaceError> {
+        let max = (DATA_LIMIT / PARTITION_STRIDE) as usize - 1;
+        if index > max {
+            return Err(AddressSpaceError::PartitionOutOfRange { index, max });
+        }
+        let base = DATA_BASE + index as u64 * PARTITION_STRIDE;
+        Ok(AddressSpace {
+            next: AtomicU64::new(base),
+            base,
+            // The last window is truncated by DATA_BASE bytes so no
+            // window ever reaches past the 46-bit data limit.
+            limit: (base + PARTITION_STRIDE).min(DATA_LIMIT),
+            segments: Mutex::new(Vec::new()),
+        })
     }
 
     /// Allocate `bytes` of simulated memory, 64-byte aligned, tagged with a
@@ -80,26 +162,39 @@ impl AddressSpace {
     }
 
     fn alloc_aligned(&self, bytes: u64, align: u64) -> SimAddr {
+        self.try_alloc_aligned(bytes, align)
+            .unwrap_or_else(|e| panic!("simulated data address space exhausted: {e}"))
+    }
+
+    /// [`Self::alloc_aligned`] returning a typed error instead of
+    /// panicking — a real `assert` path (not `debug_assert`), so release
+    /// builds can never mint an address outside this space's window.
+    fn try_alloc_aligned(&self, bytes: u64, align: u64) -> Result<SimAddr, AddressSpaceError> {
         debug_assert!(align.is_power_of_two());
         let bytes = bytes.max(1);
         loop {
             let cur = self.next.load(Ordering::Relaxed);
             let base = (cur + align - 1) & !(align - 1);
             let end = base + bytes;
-            assert!(end < DATA_LIMIT, "simulated data address space exhausted");
+            if end >= self.limit {
+                return Err(AddressSpaceError::Capacity {
+                    requested: bytes,
+                    remaining: self.limit.saturating_sub(cur),
+                });
+            }
             if self
                 .next
                 .compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
             {
-                return base;
+                return Ok(base);
             }
         }
     }
 
-    /// Total simulated bytes allocated so far.
+    /// Total simulated bytes allocated so far (window-relative).
     pub fn allocated(&self) -> u64 {
-        self.next.load(Ordering::Relaxed) - DATA_BASE
+        self.next.load(Ordering::Relaxed) - self.base
     }
 
     /// Snapshot of the named segments.
@@ -122,11 +217,32 @@ impl AddressSpace {
     /// (nothing is backed by real memory), so arenas can be generously
     /// oversized.
     pub fn reserve_arena(&self, name: &'static str, bytes: u64) -> ScratchArena {
-        let base = self.alloc(name, bytes);
-        ScratchArena {
+        self.try_reserve_arena(name, bytes)
+            .unwrap_or_else(|e| panic!("arena reservation \"{name}\" failed: {e}"))
+    }
+
+    /// [`Self::reserve_arena`] with a typed capacity error instead of a
+    /// panic — the capture boundary uses this so a mis-scaled deployment
+    /// (too many instances, oversized reservations) surfaces as an error
+    /// before any out-of-window address reaches the trace.
+    pub fn try_reserve_arena(
+        &self,
+        name: &'static str,
+        bytes: u64,
+    ) -> Result<ScratchArena, AddressSpaceError> {
+        let base = self.try_alloc_aligned(bytes, 64)?;
+        self.segments
+            .lock()
+            .expect("segment registry poisoned")
+            .push(SegmentInfo {
+                name,
+                base,
+                len: bytes,
+            });
+        Ok(ScratchArena {
             next: base,
             end: base + bytes,
-        }
+        })
     }
 }
 
@@ -226,6 +342,66 @@ mod tests {
         let mut a = s.reserve_arena("tiny", 128);
         a.alloc(64);
         a.alloc(65);
+    }
+
+    /// ISSUE 7 satellite: capacity is enforced by real branches, not
+    /// `debug_assert!`, so this test is meaningful in release builds too
+    /// — no reservation can ever mint an address the 48-bit trace
+    /// format would alias.
+    #[test]
+    fn capacity_errors_are_typed_and_release_safe() {
+        // Out-of-range partition index: typed error, no panic.
+        let max = (DATA_LIMIT / PARTITION_STRIDE) as usize - 1;
+        assert!(AddressSpace::partition(max).is_ok());
+        let err = AddressSpace::partition(max + 1)
+            .map(|_| ())
+            .expect_err("window past DATA_LIMIT must be refused");
+        assert_eq!(
+            err,
+            AddressSpaceError::PartitionOutOfRange {
+                index: max + 1,
+                max
+            }
+        );
+
+        // Window overrun: typed error carrying the shortfall.
+        let p = AddressSpace::partition(1).expect("window 1 fits");
+        let err = p
+            .try_reserve_arena("too-big", PARTITION_STRIDE)
+            .expect_err("a full-stride arena cannot fit after the window base");
+        assert!(matches!(err, AddressSpaceError::Capacity { .. }));
+
+        // Everything successfully reserved stays inside the window —
+        // and therefore inside 48 bits.
+        let mut arena = p
+            .try_reserve_arena("ok", 1 << 20)
+            .expect("small arena fits");
+        let a = arena.alloc(4096);
+        assert!(a >= DATA_BASE + PARTITION_STRIDE);
+        assert!(a + 4096 < DATA_BASE + 2 * PARTITION_STRIDE);
+        assert!(a < (1 << 48), "no partitioned address may exceed 48 bits");
+    }
+
+    /// Partition window 0 allocates byte-identically to the process-wide
+    /// space — the anchor that keeps 1-instance deployments equal to the
+    /// classic single-chip capture.
+    #[test]
+    fn partition_zero_matches_process_space() {
+        let shared = AddressSpace::new();
+        let p0 = AddressSpace::partition(0).expect("window 0 always fits");
+        for bytes in [100u64, 1, 4096, 64] {
+            assert_eq!(shared.alloc_anon(bytes), p0.alloc_anon(bytes));
+        }
+        assert_eq!(shared.allocated(), p0.allocated());
+    }
+
+    #[test]
+    fn partition_windows_are_disjoint() {
+        let a = AddressSpace::partition(2).unwrap();
+        let b = AddressSpace::partition(3).unwrap();
+        let last_a = (0..100).map(|_| a.alloc_anon(1 << 20)).last().unwrap();
+        let first_b = b.alloc_anon(64);
+        assert!(last_a + (1 << 20) <= first_b, "windows must never overlap");
     }
 
     #[test]

@@ -10,8 +10,15 @@
 //! op=00 Exec:   [63:62]=00 [61:52]=region(10) [31:0]=instrs
 //! op=01 Load:   [63:62]=01 [61]=dep [60:49]=size(12) [47:0]=addr
 //! op=10 Store:  [63:62]=10          [60:49]=size(12) [47:0]=addr
-//! op=11 Marker: [63:62]=11 [1:0]=kind (0=Fence, 1=UnitEnd, 2=Block, 3=Wake)
+//! op=11 Marker: [63:62]=11 [2:0]=kind (0=Fence, 1=UnitEnd, 2=Block, 3=Wake,
+//!               4=RemoteSend, 5=RemoteRecv); remote markers carry a
+//!               [34:3]=bytes payload (message size for occupancy costing)
 //! ```
+//!
+//! The marker kind field was widened from 2 to 3 bits when the remote
+//! markers were added. The four original kinds keep bit 2 clear, so every
+//! pre-existing packed word decodes to the same event it always did —
+//! recorded golden streams are unaffected.
 //!
 //! Sizes are limited to [`MAX_ACCESS`] bytes; the [`Tracer`](crate::Tracer)
 //! splits larger transfers into multiple events.
@@ -44,6 +51,10 @@ const MARKER_FENCE: u64 = 0;
 const MARKER_UNIT_END: u64 = 1;
 const MARKER_BLOCK: u64 = 2;
 const MARKER_WAKE: u64 = 3;
+const MARKER_REMOTE_SEND: u64 = 4;
+const MARKER_REMOTE_RECV: u64 = 5;
+const MARKER_MASK: u64 = 0b111;
+const REMOTE_BYTES_SHIFT: u32 = 3;
 
 /// A single packed event. See module docs for the bit layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,8 +97,23 @@ pub enum Event {
     /// and stops issuing until the matching [`Event::Wake`].
     Block,
     /// The thread resumed after a lock grant (or deadlock-victim
-    /// notification) — pairs with the preceding [`Event::Block`].
+    /// notification) — pairs with the preceding [`Event::Wake`]'s
+    /// [`Event::Block`].
     Wake,
+    /// The thread injected a `bytes`-byte message onto the deployment
+    /// interconnect (cross-instance request or commit vote). Replay
+    /// charges link occupancy (`bytes / bytes_per_cycle`).
+    RemoteSend {
+        /// Message size in bytes.
+        bytes: u32,
+    },
+    /// The thread consumed a `bytes`-byte message from the deployment
+    /// interconnect (response or ack) — the thread was waiting on it, so
+    /// replay charges one-way link latency plus occupancy.
+    RemoteRecv {
+        /// Message size in bytes.
+        bytes: u32,
+    },
 }
 
 impl PackedEvent {
@@ -166,6 +192,22 @@ impl PackedEvent {
         PackedEvent((OP_MARKER << OP_SHIFT) | MARKER_WAKE)
     }
 
+    /// Pack an [`Event::RemoteSend`] marker carrying the message size.
+    #[inline]
+    pub fn remote_send(bytes: u32) -> Self {
+        PackedEvent(
+            (OP_MARKER << OP_SHIFT) | ((bytes as u64) << REMOTE_BYTES_SHIFT) | MARKER_REMOTE_SEND,
+        )
+    }
+
+    /// Pack an [`Event::RemoteRecv`] marker carrying the message size.
+    #[inline]
+    pub fn remote_recv(bytes: u32) -> Self {
+        PackedEvent(
+            (OP_MARKER << OP_SHIFT) | ((bytes as u64) << REMOTE_BYTES_SHIFT) | MARKER_REMOTE_RECV,
+        )
+    }
+
     /// Decode into the friendly representation.
     #[inline]
     pub fn decode(self) -> Event {
@@ -184,10 +226,16 @@ impl PackedEvent {
                 addr: w & ADDR_MASK,
                 size: ((w >> SIZE_SHIFT) & SIZE_MASK) as u16,
             },
-            _ => match w & 0b11 {
+            _ => match w & MARKER_MASK {
                 MARKER_UNIT_END => Event::UnitEnd,
                 MARKER_BLOCK => Event::Block,
                 MARKER_WAKE => Event::Wake,
+                MARKER_REMOTE_SEND => Event::RemoteSend {
+                    bytes: (w >> REMOTE_BYTES_SHIFT) as u32,
+                },
+                MARKER_REMOTE_RECV => Event::RemoteRecv {
+                    bytes: (w >> REMOTE_BYTES_SHIFT) as u32,
+                },
                 _ => Event::Fence,
             },
         }
@@ -206,6 +254,8 @@ impl Event {
             Event::UnitEnd => PackedEvent::unit_end(),
             Event::Block => PackedEvent::block(),
             Event::Wake => PackedEvent::wake(),
+            Event::RemoteSend { bytes } => PackedEvent::remote_send(bytes),
+            Event::RemoteRecv { bytes } => PackedEvent::remote_recv(bytes),
         }
     }
 
@@ -215,7 +265,12 @@ impl Event {
         match self {
             Event::Exec { instrs, .. } => instrs as u64,
             Event::Load { .. } | Event::Store { .. } => 1,
-            Event::Fence | Event::UnitEnd | Event::Block | Event::Wake => 0,
+            Event::Fence
+            | Event::UnitEnd
+            | Event::Block
+            | Event::Wake
+            | Event::RemoteSend { .. }
+            | Event::RemoteRecv { .. } => 0,
         }
     }
 }
@@ -262,10 +317,32 @@ mod tests {
             Event::UnitEnd,
             Event::Block,
             Event::Wake,
+            Event::RemoteSend { bytes: 0 },
+            Event::RemoteSend { bytes: u32::MAX },
+            Event::RemoteRecv { bytes: 1 },
+            Event::RemoteRecv { bytes: 4096 },
         ];
         for e in cases {
             assert_eq!(e.pack().decode(), e, "roundtrip failed for {e:?}");
         }
+    }
+
+    /// The marker-kind widening must keep the four original marker
+    /// encodings byte-stable: recorded golden streams decode unchanged.
+    #[test]
+    fn legacy_marker_words_decode_unchanged() {
+        for (word, want) in [
+            (3u64 << 62, Event::Fence),
+            ((3u64 << 62) | 1, Event::UnitEnd),
+            ((3u64 << 62) | 2, Event::Block),
+            ((3u64 << 62) | 3, Event::Wake),
+        ] {
+            assert_eq!(PackedEvent(word).decode(), want);
+            assert_eq!(want.pack().0, word, "re-encoding must not move bits");
+        }
+        // Remote markers set bit 2, which no legacy marker ever did.
+        assert_eq!(PackedEvent::remote_send(9).0 & 0b111, 0b100);
+        assert_eq!(PackedEvent::remote_recv(9).0 & 0b111, 0b101);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod segment;
 pub mod summary;
 pub mod tracer;
 
-pub use addr::{AddressSpace, ScratchArena, SegmentInfo, SimAddr};
+pub use addr::{AddressSpace, AddressSpaceError, ScratchArena, SegmentInfo, SimAddr};
 pub use event::{Event, PackedEvent, CACHE_LINE};
 pub use region::{CodeRegion, CodeRegions, RegionId};
 pub use segment::{

@@ -2,11 +2,11 @@
 //!
 //! The flat `Vec<PackedEvent>` representation (8 bytes/event, one
 //! unbounded buffer per thread) is replaced by fixed-size blocks of
-//! [`SEGMENT_EVENTS`] events, each encoded into a [`Segment`] with three
+//! [`SEGMENT_EVENTS`] events, each encoded into a [`Segment`] with four
 //! byte columns:
 //!
-//! * **kinds** — a run-length column of 3-bit op kinds (`Exec`, `Load`,
-//!   dependent `Load`, `Store`, and the four markers), stored as
+//! * **kinds** — a run-length column of op kinds (`Exec`, `Load`,
+//!   dependent `Load`, `Store`, and the markers), stored as
 //!   `(kind, run)` byte pairs. Engine traces are bursty (runs of loads
 //!   inside a scan, runs of exec charges), so runs are long.
 //! * **mem** — for each load/store, a zigzag-varint *delta* from the
@@ -16,6 +16,8 @@
 //!   every segment decodes independently.
 //! * **exec** — for each exec run, a varint region id and a varint
 //!   instruction count.
+//! * **remote** — for each `RemoteSend`/`RemoteRecv` marker, a varint
+//!   message size. Empty (zero bytes) for single-instance traces.
 //!
 //! The codec is **lossless**: decode returns exactly the
 //! [`Event`] sequence that was encoded, byte-identical (after
@@ -67,6 +69,8 @@ const K_FENCE: u8 = 4;
 const K_UNIT_END: u8 = 5;
 const K_BLOCK: u8 = 6;
 const K_WAKE: u8 = 7;
+const K_REMOTE_SEND: u8 = 8;
+const K_REMOTE_RECV: u8 = 9;
 
 const NO_KIND: u8 = u8::MAX;
 const MAX_RUN: u32 = 255;
@@ -123,6 +127,11 @@ pub struct Segment {
     /// Exec column: varint region id + varint instruction count per
     /// exec run, in stream order.
     exec: Vec<u8>,
+    /// Remote column: varint message size per remote send/recv marker,
+    /// in stream order. Empty for traces with no cross-instance traffic,
+    /// so single-chip segments are byte-identical to the pre-deployment
+    /// format.
+    remote: Vec<u8>,
 }
 
 impl Segment {
@@ -135,6 +144,7 @@ impl Segment {
             kinds: Vec::new(),
             mem: Vec::new(),
             exec: Vec::new(),
+            remote: Vec::new(),
         };
         let mut run_kind = NO_KIND;
         let mut run = 0u32;
@@ -166,6 +176,14 @@ impl Segment {
                 Event::UnitEnd => K_UNIT_END,
                 Event::Block => K_BLOCK,
                 Event::Wake => K_WAKE,
+                Event::RemoteSend { bytes } => {
+                    put_varint(&mut seg.remote, bytes as u64);
+                    K_REMOTE_SEND
+                }
+                Event::RemoteRecv { bytes } => {
+                    put_varint(&mut seg.remote, bytes as u64);
+                    K_REMOTE_RECV
+                }
             };
             if kind == run_kind && run < MAX_RUN {
                 run += 1;
@@ -193,6 +211,7 @@ impl Segment {
         out.reserve(self.len as usize);
         let mut mem_pos = 0usize;
         let mut exec_pos = 0usize;
+        let mut remote_pos = 0usize;
         let mut prev_addr = 0i64;
         let mut pair = 0usize;
         while pair + 1 < self.kinds.len() {
@@ -223,6 +242,12 @@ impl Segment {
                     K_FENCE => Event::Fence,
                     K_UNIT_END => Event::UnitEnd,
                     K_BLOCK => Event::Block,
+                    K_REMOTE_SEND => Event::RemoteSend {
+                        bytes: get_varint(&self.remote, &mut remote_pos) as u32,
+                    },
+                    K_REMOTE_RECV => Event::RemoteRecv {
+                        bytes: get_varint(&self.remote, &mut remote_pos) as u32,
+                    },
                     _ => Event::Wake,
                 });
             }
@@ -252,7 +277,7 @@ impl Segment {
     /// header (the honest wire size; in-memory `Vec` capacity overhead
     /// is not counted).
     pub fn encoded_bytes(&self) -> usize {
-        4 + self.kinds.len() + self.mem.len() + self.exec.len()
+        4 + self.kinds.len() + self.mem.len() + self.exec.len() + self.remote.len()
     }
 }
 
@@ -374,11 +399,43 @@ mod tests {
             Event::UnitEnd,
             Event::Block,
             Event::Wake,
+            Event::RemoteSend { bytes: 0 },
+            Event::RemoteRecv { bytes: u32::MAX },
+            Event::RemoteSend { bytes: 4096 },
             Event::Exec {
                 region: 0,
                 instrs: 0,
             },
         ]);
+    }
+
+    /// Interleaved remote markers and memory traffic: the remote column
+    /// must track its own cursor without disturbing mem/exec decode.
+    #[test]
+    fn remote_markers_interleave_with_mem_traffic() {
+        roundtrip(&[
+            Event::Load {
+                addr: 0x4000,
+                size: 8,
+                dep: false,
+            },
+            Event::RemoteSend { bytes: 96 },
+            Event::Store {
+                addr: 0x4040,
+                size: 16,
+            },
+            Event::RemoteRecv { bytes: 64 },
+            Event::RemoteRecv { bytes: 128 },
+            Event::Exec {
+                region: 7,
+                instrs: 42,
+            },
+            Event::RemoteSend { bytes: 96 },
+        ]);
+        // Traces without remote traffic leave the column empty — the
+        // encoded size is unchanged from the pre-deployment format.
+        let seg = Segment::encode(&[PackedEvent::fence(), PackedEvent::load(64, 8, false)]);
+        assert_eq!(seg.remote.len(), 0);
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub struct TraceSummary {
     pub blocks: u64,
     /// Wake markers (lock grants / victim notifications after a wait).
     pub wakes: u64,
+    /// Remote-send markers (cross-instance messages injected; nonzero
+    /// only in multi-instance deployment captures).
+    pub remote_sends: u64,
+    /// Remote-recv markers (cross-instance messages awaited).
+    pub remote_recvs: u64,
+    /// Interconnect message bytes across sends and recvs.
+    pub remote_bytes: u64,
     /// Unique data cache lines touched (data working set, in lines).
     pub data_lines: u64,
     /// Unique instruction cache lines covered by the executed regions
@@ -66,6 +73,14 @@ impl TraceSummary {
                     Event::UnitEnd => s.units += 1,
                     Event::Block => s.blocks += 1,
                     Event::Wake => s.wakes += 1,
+                    Event::RemoteSend { bytes } => {
+                        s.remote_sends += 1;
+                        s.remote_bytes += bytes as u64;
+                    }
+                    Event::RemoteRecv { bytes } => {
+                        s.remote_recvs += 1;
+                        s.remote_bytes += bytes as u64;
+                    }
                 }
             }
         }

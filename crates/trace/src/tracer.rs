@@ -48,6 +48,9 @@ pub struct Tracer {
     units: u64,
     blocks: u64,
     wakes: u64,
+    remote_sends: u64,
+    remote_recvs: u64,
+    remote_bytes: u64,
 }
 
 const NO_REGION: RegionId = u16::MAX;
@@ -79,6 +82,9 @@ impl Tracer {
             units: 0,
             blocks: 0,
             wakes: 0,
+            remote_sends: 0,
+            remote_recvs: 0,
+            remote_bytes: 0,
         }
     }
 
@@ -99,6 +105,9 @@ impl Tracer {
             units: 0,
             blocks: 0,
             wakes: 0,
+            remote_sends: 0,
+            remote_recvs: 0,
+            remote_bytes: 0,
         }
     }
 
@@ -232,6 +241,30 @@ impl Tracer {
         }
     }
 
+    /// Mark the injection of a `bytes`-byte message onto the deployment
+    /// interconnect (cross-instance request, response, or commit vote).
+    #[inline]
+    pub fn remote_send(&mut self, bytes: u32) {
+        self.remote_sends += 1;
+        self.remote_bytes += bytes as u64;
+        if self.mode == Mode::Record {
+            self.flush_exec();
+            self.push(PackedEvent::remote_send(bytes));
+        }
+    }
+
+    /// Mark the consumption of a `bytes`-byte message from the deployment
+    /// interconnect — the thread waits for it at replay time.
+    #[inline]
+    pub fn remote_recv(&mut self, bytes: u32) {
+        self.remote_recvs += 1;
+        self.remote_bytes += bytes as u64;
+        if self.mode == Mode::Record {
+            self.flush_exec();
+            self.push(PackedEvent::remote_recv(bytes));
+        }
+    }
+
     #[inline]
     fn flush_exec(&mut self) {
         if self.pending_region != NO_REGION {
@@ -268,6 +301,9 @@ impl Tracer {
             units: self.units,
             blocks: self.blocks,
             wakes: self.wakes,
+            remote_sends: self.remote_sends,
+            remote_recvs: self.remote_recvs,
+            remote_bytes: self.remote_bytes,
         }
     }
 
@@ -292,6 +328,9 @@ pub struct ThreadTrace {
     units: u64,
     blocks: u64,
     wakes: u64,
+    remote_sends: u64,
+    remote_recvs: u64,
+    remote_bytes: u64,
 }
 
 impl ThreadTrace {
@@ -369,6 +408,21 @@ impl ThreadTrace {
     pub fn wakes(&self) -> u64 {
         self.wakes
     }
+
+    /// Remote-send markers recorded (cross-instance messages injected).
+    pub fn remote_sends(&self) -> u64 {
+        self.remote_sends
+    }
+
+    /// Remote-recv markers recorded (cross-instance messages awaited).
+    pub fn remote_recvs(&self) -> u64 {
+        self.remote_recvs
+    }
+
+    /// Total interconnect message bytes across sends and recvs.
+    pub fn remote_bytes(&self) -> u64 {
+        self.remote_bytes
+    }
 }
 
 impl TraceSource for ThreadTrace {
@@ -445,6 +499,17 @@ impl TraceBundle {
     /// Completed work units summed across all threads.
     pub fn total_units(&self) -> u64 {
         self.threads.iter().map(|t| t.units()).sum()
+    }
+
+    /// Remote-send markers summed across all threads (zero for any
+    /// single-instance capture).
+    pub fn total_remote_sends(&self) -> u64 {
+        self.threads.iter().map(|t| t.remote_sends()).sum()
+    }
+
+    /// Interconnect message bytes summed across all threads.
+    pub fn total_remote_bytes(&self) -> u64 {
+        self.threads.iter().map(|t| t.remote_bytes()).sum()
     }
 
     /// Encoded size of every thread's segments, summed — the resident

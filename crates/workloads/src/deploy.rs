@@ -1,0 +1,836 @@
+//! Shared-nothing multi-instance deployments: partition the TPC-C
+//! warehouses across N independent engine instances and capture one
+//! trace bundle per instance.
+//!
+//! This is the workload side of the paper's scale-out question: instead
+//! of one fat shared-everything engine on one chip, run several smaller
+//! engines ("instances"), each owning a contiguous warehouse range, with
+//! cross-instance transactions exchanging messages over an interconnect
+//! (`dbcmp-sim`'s `Interconnect` charges them at replay).
+//!
+//! Partitioning rules:
+//!
+//! * Instance `p` of `N` owns warehouses `p·W/N + 1 ..= (p+1)·W/N`
+//!   (`W` must divide evenly — deployments are built from the island
+//!   divisor chain, which guarantees it). Items are fully replicated.
+//! * Each instance gets its own [`AddressSpace::partition`] window, so
+//!   instances never alias simulated addresses; window reservation
+//!   surfaces a typed [`AddressSpaceError`] at this capture boundary.
+//! * Clients keep the single-instance homing rule
+//!   (`w_home = client mod W + 1`) and are captured in global client
+//!   order, so a 1-instance deployment is event-identical to
+//!   [`capture_oltp`](crate::capture::capture_oltp).
+//!
+//! The **multi-partition knob** (`multi_pct`): that percentage of
+//! NewOrder/Payment transactions target a uniformly-drawn *other*
+//! warehouse. If the target lives on the same instance the transaction
+//! runs locally (forced-target [`TxnCfg::remote_wh`]); otherwise it runs
+//! as a **two-phase** pair. Phase 1: the owner's *service thread*
+//! qualifies the remote rows (index probes) and pins their locks,
+//! shipping back row handles; the coordinator then reads and writes
+//! those owner-window rows itself — the full row work stays on the home
+//! thread, and at replay the owner-window lines are cold traffic in the
+//! coordinator chip's hierarchy (an RDMA-style stand-in). Phase 2 ships
+//! the commit decision; the service thread commits the owner-side
+//! transaction and acknowledges. A crossing therefore costs the home
+//! thread its usual row work *plus* two interconnect round trips —
+//! coarser partitioning absorbs more of these as instance-local work,
+//! the Islands tradeoff `fig_deploy` sweeps.
+//!
+//! With [`DeployOptions::contention`] set, each instance's engine
+//! declares its client count via `Database::set_lock_sharers`, charging
+//! quadratic lock-table contention: the shared-everything endpoint pays
+//! for every client contending on one lock manager, while fine
+//! partitions run nearly contention-free — the reason partitioning wins
+//! on purely local work.
+//!
+//! Honesty caveats (DESIGN.md §6): replay does not synchronize threads
+//! across bundles — the interconnect latency charged at each
+//! `RemoteRecv` is the stand-in for the round trip, not a rendezvous;
+//! only the two protocol round trips pay interconnect cost (per-row
+//! remote accesses replay as ordinary cache traffic, a lower bound on
+//! crossing cost); the two-phase NewOrder flavor skips the spec's 1%
+//! rollback draw.
+
+use std::sync::Arc;
+
+use dbcmp_engine::{Database, Result as EngineResult, TraceCtx, Value};
+use dbcmp_trace::{AddressSpace, AddressSpaceError, ThreadTrace, TraceBundle};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::capture::CaptureOptions;
+use crate::rng::{client_rng, last_name, nurand, uniform};
+use crate::tpcc::txns::{draw_kind, run_txn, run_txn_cfg, TxnCfg, TxnKind};
+use crate::tpcc::{
+    build_tpcc_range, cust_key, cust_name_key, dist_key, item_key, random_customer, random_item,
+    stock_key, wh_key, TpccDb, TpccScale,
+};
+
+/// Fixed message-framing overhead (headers, txn ids) in simulated bytes.
+const MSG_HEADER_BYTES: u32 = 32;
+/// Per-order-line payload in a shipped stock reservation.
+const NO_LINE_BYTES: u32 = 8;
+/// Payment request payload (customer id, amount).
+const PAY_BODY_BYTES: u32 = 24;
+/// Per-row handle in a phase-1 qualification response.
+const ROW_HANDLE_BYTES: u32 = 8;
+/// Shipped name-index pages for a by-last-name customer qualification.
+const NAME_PAGES_BYTES: u32 = 256;
+/// Phase-2 commit decision.
+const COMMIT_BYTES: u32 = 48;
+/// Phase-2 acknowledgement.
+const ACK_BYTES: u32 = 16;
+
+/// How a deployment capture draws its transaction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrawScheme {
+    /// One rng stream per client for everything, exactly as
+    /// [`capture_oltp`](crate::capture::capture_oltp) draws it: a
+    /// 1-instance capture is byte-identical to the single-chip capture.
+    /// Transaction *parameters* share the stream with kind draws, so
+    /// changing `multi_pct` (or anything else that consumes draws)
+    /// shifts every downstream transaction.
+    Legacy,
+    /// Mix-controlled: the client stream consumes exactly three draws
+    /// per transaction attempt (kind, multi roll, target warehouse) and
+    /// each transaction's parameters come from their own rng derived
+    /// from `(seed, client, attempt)`. Every deployment point —
+    /// any instance count, any `multi_pct` — therefore captures the
+    /// *same* transaction kind sequence, so unit counts are directly
+    /// comparable across the `fig_deploy` grid.
+    PerTxn,
+}
+
+/// Parameters for a shared-nothing capture.
+#[derive(Debug, Clone, Copy)]
+pub struct DeployOptions {
+    /// Clients / units / seed, exactly as for the single-instance capture.
+    pub capture: CaptureOptions,
+    /// Engine instances. Must divide the warehouse count.
+    pub partitions: usize,
+    /// Percentage (0-100) of NewOrder/Payment transactions that target
+    /// another warehouse. Drawn only when `partitions > 1`, so a
+    /// 1-instance deployment keeps the single-instance rng streams.
+    pub multi_pct: u8,
+    /// Model lock-table contention: each instance declares its client
+    /// count to the engine (`Database::set_lock_sharers`), so engines
+    /// shared by more clients pay linearly more per lock operation.
+    /// Off by default — with it off, a 1-instance deployment is
+    /// byte-identical to the single-chip capture.
+    pub contention: bool,
+    /// Draw discipline; [`DrawScheme::Legacy`] preserves the
+    /// single-chip anchor, [`DrawScheme::PerTxn`] holds the transaction
+    /// mix constant across the sweep grid.
+    pub draws: DrawScheme,
+}
+
+/// What happened during a deployment capture.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DeployStats {
+    /// Plain single-warehouse transactions completed.
+    pub local_txns: u64,
+    /// Multi-warehouse transactions whose target lived on the home
+    /// instance (ran locally, no messages).
+    pub multi_local_txns: u64,
+    /// Multi-warehouse transactions run as two-phase cross-instance ops.
+    pub multi_remote_txns: u64,
+    /// `RemoteSend` events across all bundles.
+    pub remote_sends: u64,
+    /// Message bytes across all bundles (sends + recvs).
+    pub remote_bytes: u64,
+}
+
+/// A captured shared-nothing deployment: one bundle per instance.
+#[derive(Debug)]
+pub struct Deployment {
+    /// Per-instance trace bundles. Client threads appear in global client
+    /// order; an instance that served cross-instance work carries its
+    /// service thread last.
+    pub bundles: Vec<TraceBundle>,
+    pub stats: DeployStats,
+}
+
+/// Owning instance of warehouse `w` (1-based) among `n` partitions.
+fn owner(w: u64, warehouses: u64, n: usize) -> usize {
+    let per = warehouses / n as u64;
+    ((w - 1) / per) as usize
+}
+
+/// Salt for the per-transaction parameter streams under
+/// [`DrawScheme::PerTxn`], keeping them disjoint from the per-client
+/// streams drawn from the same capture seed.
+const TXN_SALT: u64 = 0x7C9A_11E5_D3B0_77AA;
+
+/// Draw a uniformly random warehouse other than `w_home` (wrap-around
+/// re-aim on a self-hit, so exactly one draw is consumed).
+fn draw_other_wh(rng: &mut StdRng, w_home: u64, warehouses: u64) -> u64 {
+    let mut other = uniform(rng, 1, warehouses);
+    if other == w_home {
+        other = if other == warehouses { 1 } else { other + 1 };
+    }
+    other
+}
+
+/// Split-borrow two distinct partitions.
+fn two<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j);
+    if i < j {
+        let (a, b) = v.split_at_mut(j);
+        (&mut a[i], &mut b[0])
+    } else {
+        let (a, b) = v.split_at_mut(i);
+        (&mut b[0], &mut a[j])
+    }
+}
+
+/// Capture a shared-nothing deployment (sequential database build).
+pub fn capture_oltp_deployment(
+    scale: TpccScale,
+    opt: DeployOptions,
+) -> Result<Deployment, AddressSpaceError> {
+    capture_oltp_deployment_workers(scale, opt, 1)
+}
+
+/// [`capture_oltp_deployment`] with an explicit worker count for the
+/// per-partition database builds (each partition's population is
+/// independent — own rng stream, own address window — so the result is
+/// byte-identical at any worker count; transaction capture itself stays
+/// sequential in global client order).
+pub fn capture_oltp_deployment_workers(
+    scale: TpccScale,
+    opt: DeployOptions,
+    workers: usize,
+) -> Result<Deployment, AddressSpaceError> {
+    let n = opt.partitions.max(1);
+    assert!(
+        scale.warehouses >= n as u64 && scale.warehouses.is_multiple_of(n as u64),
+        "{} warehouses must divide evenly across {} instances",
+        scale.warehouses,
+        n
+    );
+    let per = scale.warehouses / n as u64;
+
+    // Reserve every instance's address window up front: the typed
+    // capacity/range error surfaces here, at the capture boundary,
+    // instead of as a release-mode aliasing bug deep in replay.
+    let spaces: Vec<Arc<AddressSpace>> = (0..n)
+        .map(|p| AddressSpace::partition(p).map(Arc::new))
+        .collect::<Result<_, _>>()?;
+
+    // Build the partitions, optionally in parallel: each build touches
+    // only its own space and draws its own rng stream.
+    let mut slots: Vec<Option<(Database, TpccDb)>> = Vec::new();
+    slots.resize_with(n, || None);
+    let seed = opt.capture.seed;
+    let workers = workers.clamp(1, n);
+    if workers <= 1 {
+        for (p, space) in spaces.into_iter().enumerate() {
+            let lo = p as u64 * per + 1;
+            slots[p] = Some(build_tpcc_range(scale, seed, lo, lo + per - 1, space));
+        }
+    } else {
+        let mut stripes: Vec<Vec<(usize, Arc<AddressSpace>)>> = Vec::new();
+        stripes.resize_with(workers, Vec::new);
+        for (p, space) in spaces.into_iter().enumerate() {
+            stripes[p % workers].push((p, space));
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = stripes
+                .into_iter()
+                .map(|stripe| {
+                    s.spawn(move || {
+                        stripe
+                            .into_iter()
+                            .map(|(p, space)| {
+                                let lo = p as u64 * per + 1;
+                                (p, build_tpcc_range(scale, seed, lo, lo + per - 1, space))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (p, built) in handle.join().expect("partition build worker panicked") {
+                    slots[p] = Some(built);
+                }
+            }
+        });
+    }
+    let mut parts: Vec<(Database, TpccDb)> = slots
+        .into_iter()
+        .map(|s| s.expect("every partition built"))
+        .collect();
+
+    // Contention model: each instance's lock manager learns how many
+    // clients share it (applied after the build — population is
+    // single-threaded either way, so only transaction capture pays).
+    if opt.contention {
+        let mut homed = vec![0u32; n];
+        for client in 0..opt.capture.clients {
+            let w = (client as u64 % scale.warehouses) + 1;
+            homed[owner(w, scale.warehouses, n)] += 1;
+        }
+        for (p, (db, _)) in parts.iter_mut().enumerate() {
+            db.set_lock_sharers(homed[p]);
+        }
+    }
+
+    // One service context per instance, recording only if ever used.
+    let mut service: Vec<Option<TraceCtx>> =
+        parts.iter().map(|(db, _)| Some(db.trace_ctx())).collect();
+    let mut service_used = vec![false; n];
+    let mut client_traces: Vec<Vec<ThreadTrace>> = Vec::new();
+    client_traces.resize_with(n, Vec::new);
+    let mut stats = DeployStats::default();
+
+    for client in 0..opt.capture.clients {
+        let mut rng = client_rng(seed, client);
+        let w_home = (client as u64 % scale.warehouses) + 1;
+        let p_home = owner(w_home, scale.warehouses, n);
+        let mut tc = parts[p_home].0.trace_ctx();
+        let mut done = 0;
+        let mut guard = 0;
+        while done < opt.capture.units_per_client && guard < opt.capture.units_per_client * 10 {
+            guard += 1;
+            let (kind, target, mut txn_rng) = match opt.draws {
+                DrawScheme::Legacy => {
+                    let kind = draw_kind(&mut rng);
+                    // The multi-partition draw happens only for
+                    // multi-instance deployments, keeping 1-instance rng
+                    // streams identical to the single-chip capture.
+                    let target = if n > 1
+                        && opt.multi_pct > 0
+                        && matches!(kind, TxnKind::NewOrder | TxnKind::Payment)
+                        && rng.gen_range(0..100u32) < opt.multi_pct as u32
+                    {
+                        Some(draw_other_wh(&mut rng, w_home, scale.warehouses))
+                    } else {
+                        None
+                    };
+                    (kind, target, None)
+                }
+                DrawScheme::PerTxn => {
+                    // Fixed consumption — kind, multi roll, target — so
+                    // every grid point sees the same kind sequence; the
+                    // flagged subsets nest as multi_pct grows.
+                    let kind = draw_kind(&mut rng);
+                    let roll = rng.gen_range(0..100u32);
+                    let other = draw_other_wh(&mut rng, w_home, scale.warehouses);
+                    let target = (n > 1
+                        && matches!(kind, TxnKind::NewOrder | TxnKind::Payment)
+                        && roll < opt.multi_pct as u32)
+                        .then_some(other);
+                    let trng = client_rng(seed ^ TXN_SALT, client * 1024 + guard);
+                    (kind, target, Some(trng))
+                }
+            };
+            // Parameter draws: the per-txn stream under PerTxn (so a
+            // flavor's consumption can't shift later transactions), the
+            // client stream under Legacy.
+            let rng = match txn_rng {
+                Some(ref mut t) => t,
+                None => &mut rng,
+            };
+            match target {
+                None => {
+                    let (db, h) = &mut parts[p_home];
+                    if run_txn(db, h, kind, w_home, rng, &mut tc).is_ok() {
+                        done += 1;
+                        stats.local_txns += 1;
+                    }
+                }
+                Some(t) if owner(t, scale.warehouses, n) == p_home => {
+                    let (db, h) = &mut parts[p_home];
+                    let cfg = TxnCfg {
+                        w_home,
+                        district: None,
+                        item_pool: None,
+                        remote_wh: Some(t),
+                    };
+                    if run_txn_cfg(db, h, kind, cfg, rng, &mut tc).is_ok() {
+                        done += 1;
+                        stats.multi_local_txns += 1;
+                    }
+                }
+                Some(t) => {
+                    let p_t = owner(t, scale.warehouses, n);
+                    service_used[p_t] = true;
+                    let (home, tgt) = two(&mut parts, p_home, p_t);
+                    let stc = service[p_t].as_mut().expect("service ctx live");
+                    let res = match kind {
+                        TxnKind::NewOrder => {
+                            remote_new_order(home, &mut tc, tgt, stc, w_home, t, rng)
+                        }
+                        TxnKind::Payment => remote_payment(home, &mut tc, tgt, stc, w_home, t, rng),
+                        _ => unreachable!("only NewOrder/Payment go multi-warehouse"),
+                    };
+                    // Sequential capture: the home and service transactions
+                    // run on different instances, so conflicts can't occur.
+                    res.expect("two-phase remote txn in sequential capture");
+                    done += 1;
+                    stats.multi_remote_txns += 1;
+                }
+            }
+        }
+        client_traces[p_home].push(tc.finish());
+    }
+
+    let bundles: Vec<TraceBundle> = parts
+        .iter()
+        .enumerate()
+        .map(|(p, (db, _))| {
+            let mut threads = std::mem::take(&mut client_traces[p]);
+            if service_used[p] {
+                threads.push(service[p].take().expect("service ctx live").finish());
+            }
+            TraceBundle::new(db.regions().clone(), threads)
+        })
+        .collect();
+    for b in &bundles {
+        stats.remote_sends += b.total_remote_sends();
+        stats.remote_bytes += b.total_remote_bytes();
+    }
+    Ok(Deployment { bundles, stats })
+}
+
+/// Two-phase cross-instance NewOrder: every line is supplied by
+/// `target_wh`. The owner's service thread qualifies the stock rows and
+/// ships handles; the home thread performs the reservation on them and
+/// runs the order/order-line inserts, then ships the commit decision.
+/// (No 1% rollback draw in this flavor.)
+fn remote_new_order(
+    home: &mut (Database, TpccDb),
+    htc: &mut TraceCtx,
+    target: &mut (Database, TpccDb),
+    stc: &mut TraceCtx,
+    w_home: u64,
+    target_wh: u64,
+    rng: &mut StdRng,
+) -> EngineResult<()> {
+    let (hdb, hh) = home;
+    let (tdb, th) = target;
+    hdb.statement_overhead(htc);
+    let mut txn = hdb.begin(htc);
+
+    let d = uniform(rng, 1, hh.scale.districts_per_wh);
+    let c = random_customer(rng, hh);
+    let ol_cnt = uniform(rng, 5, 15);
+
+    // Home-local part, mirroring `new_order`.
+    let w_rid = hdb
+        .index_get(hh.idx_warehouse, wh_key(w_home), htc)
+        .expect("warehouse");
+    let _ = hdb.read(&mut txn, hh.warehouse, w_rid, false, htc)?;
+    let d_rid = hdb
+        .index_get(hh.idx_district, dist_key(w_home, d), htc)
+        .expect("district");
+    let mut d_row = hdb.read(&mut txn, hh.district, d_rid, true, htc)?;
+    let o_id = d_row[4].as_i64().unwrap() as u64;
+    d_row[4] = Value::Int(o_id as i64 + 1);
+    hdb.update(&mut txn, hh.district, d_rid, &d_row, htc)?;
+    let c_rid = hdb
+        .index_get(hh.idx_customer, cust_key(w_home, d, c), htc)
+        .expect("customer");
+    let _ = hdb.read(&mut txn, hh.customer, c_rid, false, htc)?;
+
+    // Items are replicated: prices come from the home copy; only the
+    // stock rows live solely on the owner.
+    let mut lines = Vec::with_capacity(ol_cnt as usize);
+    for _ in 1..=ol_cnt {
+        let i_id = random_item(rng, hh);
+        let qty = uniform(rng, 1, 10) as i64;
+        let i_rid = hdb
+            .index_get(hh.idx_item, item_key(i_id), htc)
+            .expect("item");
+        let i_row = hdb.read(&mut txn, hh.item, i_rid, false, htc)?;
+        lines.push((i_id, qty, i_row[2].as_i64().unwrap() * qty));
+    }
+
+    // Phase 1: ask the owning instance to qualify the stock rows. Its
+    // service thread probes the stock index under the owner-side
+    // transaction and ships back row handles.
+    let req = MSG_HEADER_BYTES + NO_LINE_BYTES * ol_cnt as u32;
+    htc.fence();
+    htc.remote_send(req);
+
+    stc.remote_recv(req);
+    tdb.statement_overhead(stc);
+    let mut rtxn = tdb.begin(stc);
+    let mut handles = Vec::with_capacity(lines.len());
+    for &(i_id, _, _) in &lines {
+        let s_rid = tdb
+            .index_get(th.idx_stock, stock_key(target_wh, i_id), stc)
+            .expect("stock");
+        handles.push(s_rid);
+    }
+    let resp = MSG_HEADER_BYTES + ROW_HANDLE_BYTES * ol_cnt as u32;
+    stc.remote_send(resp);
+    htc.remote_recv(resp);
+
+    // The coordinator reserves the stock itself on the shipped handles:
+    // the reads and writes of owner-window rows are recorded on the
+    // home thread (cold remote lines in its hierarchy at replay), so a
+    // crossing keeps the full row work *and* pays the round trips.
+    for (&s_rid, &(_, qty, _)) in handles.iter().zip(&lines) {
+        let mut s_row = tdb.read(&mut rtxn, th.stock, s_rid, true, htc)?;
+        let mut s_q = s_row[2].as_i64().unwrap();
+        s_q = if s_q - qty >= 10 {
+            s_q - qty
+        } else {
+            s_q - qty + 91
+        };
+        s_row[2] = Value::Int(s_q);
+        s_row[3] = Value::Decimal(s_row[3].as_i64().unwrap() + qty * 100);
+        s_row[4] = Value::Int(s_row[4].as_i64().unwrap() + 1);
+        s_row[5] = Value::Int(s_row[5].as_i64().unwrap() + 1);
+        tdb.update(&mut rtxn, th.stock, s_rid, &s_row, htc)?;
+    }
+
+    // Home completes its inserts and commits, then ships the decision.
+    for (ol, &(i_id, qty, amount)) in lines.iter().enumerate() {
+        hdb.insert(
+            &mut txn,
+            hh.order_line,
+            &[
+                Value::Int(w_home as i64),
+                Value::Int(d as i64),
+                Value::Int(o_id as i64),
+                Value::Int(ol as i64 + 1),
+                Value::Int(i_id as i64),
+                Value::Int(target_wh as i64),
+                Value::Int(qty),
+                Value::Decimal(amount),
+            ],
+            htc,
+        )?;
+    }
+    hdb.insert(
+        &mut txn,
+        hh.orders,
+        &[
+            Value::Int(w_home as i64),
+            Value::Int(d as i64),
+            Value::Int(o_id as i64),
+            Value::Int(c as i64),
+            Value::Date(o_id as u32),
+            Value::Int(0),
+            Value::Int(ol_cnt as i64),
+        ],
+        htc,
+    )?;
+    hdb.insert(
+        &mut txn,
+        hh.new_order,
+        &[
+            Value::Int(w_home as i64),
+            Value::Int(d as i64),
+            Value::Int(o_id as i64),
+        ],
+        htc,
+    )?;
+    hdb.commit(txn, htc)?;
+    htc.remote_send(COMMIT_BYTES);
+    htc.remote_recv(ACK_BYTES);
+    htc.unit_end();
+
+    // Phase 2 on the owner: commit and acknowledge.
+    stc.remote_recv(COMMIT_BYTES);
+    tdb.commit(rtxn, stc)?;
+    stc.remote_send(ACK_BYTES);
+    stc.fence();
+    Ok(())
+}
+
+/// Two-phase cross-instance Payment: home warehouse/district YTD updates
+/// stay local; the customer is qualified on the owner (by id) or on the
+/// coordinator over shipped name-index pages (by last name, mirroring
+/// the local 60/40 split), and the home thread applies the balance
+/// update and records the history row at the paying warehouse.
+fn remote_payment(
+    home: &mut (Database, TpccDb),
+    htc: &mut TraceCtx,
+    target: &mut (Database, TpccDb),
+    stc: &mut TraceCtx,
+    w_home: u64,
+    target_wh: u64,
+    rng: &mut StdRng,
+) -> EngineResult<()> {
+    let (hdb, hh) = home;
+    let (tdb, th) = target;
+    hdb.statement_overhead(htc);
+    let mut txn = hdb.begin(htc);
+
+    let d = uniform(rng, 1, hh.scale.districts_per_wh);
+    let amount = uniform(rng, 1_00, 5_000_00) as i64;
+
+    let w_rid = hdb
+        .index_get(hh.idx_warehouse, wh_key(w_home), htc)
+        .expect("warehouse");
+    let mut w_row = hdb.read(&mut txn, hh.warehouse, w_rid, true, htc)?;
+    w_row[3] = Value::Decimal(w_row[3].as_i64().unwrap() + amount);
+    hdb.update(&mut txn, hh.warehouse, w_rid, &w_row, htc)?;
+
+    let d_rid = hdb
+        .index_get(hh.idx_district, dist_key(w_home, d), htc)
+        .expect("district");
+    let mut d_row = hdb.read(&mut txn, hh.district, d_rid, true, htc)?;
+    d_row[3] = Value::Decimal(d_row[3].as_i64().unwrap() + amount);
+    hdb.update(&mut txn, hh.district, d_rid, &d_row, htc)?;
+
+    let c_d = uniform(rng, 1, hh.scale.districts_per_wh);
+
+    // Phase 1: qualify the customer row, mirroring the local 60/40
+    // id/last-name split (spec 2.5.2.2) so a crossing never replaces a
+    // local transaction with a cheaper one. By id the owner probes its
+    // index and ships the row handle; by last name the owner ships the
+    // name-index pages and the coordinator runs the scan itself.
+    let by_id = rng.gen_range(0..100u32) < 60;
+    let req = MSG_HEADER_BYTES + PAY_BODY_BYTES;
+    htc.fence();
+    htc.remote_send(req);
+
+    stc.remote_recv(req);
+    tdb.statement_overhead(stc);
+    let mut rtxn = tdb.begin(stc);
+    let c_rid = if by_id {
+        let c = random_customer(rng, th);
+        let rid = tdb
+            .index_get(th.idx_customer, cust_key(target_wh, c_d, c), stc)
+            .expect("customer by id");
+        let resp = MSG_HEADER_BYTES + ROW_HANDLE_BYTES;
+        stc.remote_send(resp);
+        htc.remote_recv(resp);
+        rid
+    } else {
+        let resp = MSG_HEADER_BYTES + NAME_PAGES_BYTES;
+        stc.remote_send(resp);
+        htc.remote_recv(resp);
+        let name = last_name(nurand(rng, 255, th.c_last, 0, 999));
+        let lo = cust_name_key(target_wh, c_d, &name, 0);
+        let hi = cust_name_key(target_wh, c_d, &name, 0xF_FFFF);
+        let matches = tdb.index_range(th.idx_customer_name, lo, hi, htc);
+        match matches.get(matches.len() / 2) {
+            Some(&(_, rid)) => rid,
+            None => {
+                let c = random_customer(rng, th);
+                tdb.index_get(th.idx_customer, cust_key(target_wh, c_d, c), htc)
+                    .expect("customer")
+            }
+        }
+    };
+
+    // The coordinator applies the balance update to the shipped handle
+    // and records the history row at the paying warehouse.
+    let mut c_row = tdb.read(&mut rtxn, th.customer, c_rid, true, htc)?;
+    c_row[5] = Value::Decimal(c_row[5].as_i64().unwrap() - amount);
+    c_row[6] = Value::Decimal(c_row[6].as_i64().unwrap() + amount);
+    c_row[7] = Value::Int(c_row[7].as_i64().unwrap() + 1);
+    tdb.update(&mut rtxn, th.customer, c_rid, &c_row, htc)?;
+    hdb.insert(
+        &mut txn,
+        hh.history,
+        &[
+            c_row[2].clone(),
+            Value::Int(w_home as i64),
+            Value::Decimal(amount),
+            Value::Date(1),
+        ],
+        htc,
+    )?;
+
+    hdb.commit(txn, htc)?;
+    htc.remote_send(COMMIT_BYTES);
+    htc.remote_recv(ACK_BYTES);
+    htc.unit_end();
+
+    stc.remote_recv(COMMIT_BYTES);
+    tdb.commit(rtxn, stc)?;
+    stc.remote_send(ACK_BYTES);
+    stc.fence();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::capture_oltp;
+    use crate::tpcc::build_tpcc;
+
+    fn quick_opt(partitions: usize, multi_pct: u8) -> DeployOptions {
+        DeployOptions {
+            capture: CaptureOptions::new(8, 4, 0xD3B),
+            partitions,
+            multi_pct,
+            contention: false,
+            draws: DrawScheme::Legacy,
+        }
+    }
+
+    /// W=4 scale that divides across 1/2/4 instances.
+    fn scale4() -> TpccScale {
+        TpccScale {
+            warehouses: 4,
+            ..TpccScale::tiny()
+        }
+    }
+
+    #[test]
+    fn owner_maps_contiguous_ranges() {
+        assert_eq!(owner(1, 4, 2), 0);
+        assert_eq!(owner(2, 4, 2), 0);
+        assert_eq!(owner(3, 4, 2), 1);
+        assert_eq!(owner(4, 4, 2), 1);
+        assert_eq!(owner(4, 4, 4), 3);
+        assert_eq!(owner(7, 8, 1), 0);
+    }
+
+    #[test]
+    fn one_instance_deployment_matches_single_chip_capture() {
+        let scale = scale4();
+        let dep = capture_oltp_deployment(scale, quick_opt(1, 50)).unwrap();
+        assert_eq!(dep.bundles.len(), 1);
+        assert_eq!(dep.stats.multi_remote_txns, 0);
+        assert_eq!(dep.stats.remote_sends, 0);
+
+        let (mut db, h) = build_tpcc(scale, 0xD3B);
+        let single = capture_oltp(&mut db, &h, CaptureOptions::new(8, 4, 0xD3B));
+        assert_eq!(dep.bundles[0].threads.len(), single.threads.len());
+        for (i, (a, b)) in dep.bundles[0]
+            .threads
+            .iter()
+            .zip(&single.threads)
+            .enumerate()
+        {
+            assert_eq!(
+                a.packed_events(),
+                b.packed_events(),
+                "client {i} diverged from the single-chip capture"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_instance_transactions_emit_paired_messages() {
+        let dep = capture_oltp_deployment(scale4(), quick_opt(4, 60)).unwrap();
+        assert_eq!(dep.bundles.len(), 4);
+        assert!(
+            dep.stats.multi_remote_txns > 0,
+            "60% multi across 4 single-warehouse instances must cross"
+        );
+        assert!(dep.stats.remote_sends > 0);
+        // Two-phase = 2 sends home + 2 sends service per remote txn.
+        assert_eq!(dep.stats.remote_sends, 4 * dep.stats.multi_remote_txns);
+        // Sends and recvs pair up across the deployment.
+        let recvs: u64 = dep
+            .bundles
+            .iter()
+            .flat_map(|b| &b.threads)
+            .map(|t| t.remote_recvs())
+            .sum();
+        assert_eq!(recvs, dep.stats.remote_sends);
+        // Instances that served remote work carry a service thread.
+        let service_threads: usize = dep
+            .bundles
+            .iter()
+            .map(|b| {
+                b.threads
+                    .iter()
+                    .filter(|t| t.remote_recvs() > t.remote_sends() || t.units() == 0)
+                    .count()
+            })
+            .sum();
+        assert!(service_threads > 0);
+    }
+
+    #[test]
+    fn deployment_capture_is_deterministic_across_build_workers() {
+        let a = capture_oltp_deployment_workers(scale4(), quick_opt(2, 30), 1).unwrap();
+        let b = capture_oltp_deployment_workers(scale4(), quick_opt(2, 30), 4).unwrap();
+        assert_eq!(a.stats, b.stats);
+        for (p, (ba, bb)) in a.bundles.iter().zip(&b.bundles).enumerate() {
+            assert_eq!(ba.threads.len(), bb.threads.len());
+            for (i, (ta, tb)) in ba.threads.iter().zip(&bb.threads).enumerate() {
+                assert_eq!(
+                    ta.packed_events(),
+                    tb.packed_events(),
+                    "instance {p} thread {i} diverged across build workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contention_model_scales_with_instance_sharing() {
+        // Same capture, three lock-contention settings: off, fine
+        // partitions (few sharers each), shared-everything (all eight
+        // clients on one lock manager). Instructions must grow with
+        // sharing — the mechanism that makes partitioning win on
+        // purely local work.
+        let instrs = |partitions: usize, contention: bool| -> u64 {
+            let opt = DeployOptions {
+                contention,
+                ..quick_opt(partitions, 0)
+            };
+            capture_oltp_deployment(scale4(), opt)
+                .unwrap()
+                .bundles
+                .iter()
+                .map(|b| b.total_instrs())
+                .sum()
+        };
+        let off = instrs(1, false);
+        let fine = instrs(4, true);
+        let shared = instrs(1, true);
+        assert!(fine > instrs(4, false), "contention must charge something");
+        assert!(
+            shared > fine,
+            "8 sharers ({shared}) must out-charge 2 sharers per instance ({fine})"
+        );
+        assert!(shared > off);
+    }
+
+    #[test]
+    fn zero_multi_pct_never_messages() {
+        let dep = capture_oltp_deployment(scale4(), quick_opt(4, 0)).unwrap();
+        assert_eq!(dep.stats.remote_sends, 0);
+        assert_eq!(dep.stats.multi_remote_txns, 0);
+        assert_eq!(dep.stats.multi_local_txns, 0);
+        // No service threads appended.
+        for b in &dep.bundles {
+            for t in &b.threads {
+                assert!(t.units() > 0, "only client threads expected");
+            }
+        }
+    }
+
+    #[test]
+    fn per_txn_draws_hold_the_mix_constant_across_the_grid() {
+        let cap = |partitions: usize, multi_pct: u8| -> DeployStats {
+            let opt = DeployOptions {
+                draws: DrawScheme::PerTxn,
+                ..quick_opt(partitions, multi_pct)
+            };
+            capture_oltp_deployment(scale4(), opt).unwrap().stats
+        };
+        // The multi-flagged transaction set depends only on multi_pct
+        // (same rolls everywhere), so its size is invariant across
+        // instance counts — only the local/remote split moves with
+        // ownership.
+        let flagged = |s: DeployStats| s.multi_local_txns + s.multi_remote_txns;
+        let (s2, s4) = (cap(2, 60), cap(4, 60));
+        assert!(s4.multi_remote_txns > 0);
+        assert_eq!(flagged(s2), flagged(s4));
+        assert_eq!(
+            s2.local_txns + flagged(s2),
+            s4.local_txns + flagged(s4),
+            "committed transaction count must match across instance counts"
+        );
+        // Raising multi_pct only grows the flagged set (rolls nest).
+        assert!(flagged(cap(4, 20)) < flagged(s4));
+        // n = 1 consumes the same client-stream draws but routes nothing.
+        let s1 = cap(1, 60);
+        assert_eq!(flagged(s1), 0);
+        assert_eq!(s1.local_txns, s2.local_txns + flagged(s2));
+    }
+}

@@ -352,6 +352,7 @@ fn client_thread(
                 w_home: 1,
                 district: None,
                 item_pool: Some(opt.hot_items.max(1)),
+                remote_wh: None,
             }
         } else {
             TxnCfg::home(w_home)

@@ -22,12 +22,17 @@
 #![allow(clippy::inconsistent_digit_grouping)]
 
 pub mod capture;
+pub mod deploy;
 pub mod interleave;
 pub mod rng;
 pub mod tpcc;
 pub mod tpch;
 
 pub use capture::{capture_dss, capture_dss_workers, capture_oltp, CaptureOptions};
+pub use deploy::{
+    capture_oltp_deployment, capture_oltp_deployment_workers, DeployOptions, DeployStats,
+    Deployment, DrawScheme,
+};
 pub use interleave::{
     capture_oltp_interleaved, ContentionStats, InterleaveOptions, InterleavedCapture,
 };

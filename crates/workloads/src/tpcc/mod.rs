@@ -7,8 +7,11 @@
 
 pub mod txns;
 
+use std::sync::Arc;
+
 use dbcmp_engine::db::KeyFn;
 use dbcmp_engine::{ColType, Database, Schema, Value};
+use dbcmp_trace::AddressSpace;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -55,6 +58,12 @@ impl TpccScale {
 #[derive(Debug, Clone)]
 pub struct TpccDb {
     pub scale: TpccScale,
+    /// First warehouse this instance owns (1 for a full build).
+    pub wh_lo: u64,
+    /// Last warehouse this instance owns (`scale.warehouses` for a full
+    /// build). Shared-nothing partitions own a contiguous sub-range;
+    /// items are fully replicated either way.
+    pub wh_hi: u64,
     // tables
     pub warehouse: usize,
     pub district: usize,
@@ -121,7 +130,34 @@ pub fn order_line_key(w: u64, d: u64, o: u64, ol: u64) -> u64 {
 
 /// Build and populate the TPC-C database.
 pub fn build_tpcc(scale: TpccScale, seed: u64) -> (Database, TpccDb) {
-    let mut db = Database::new();
+    build_tpcc_range(
+        scale,
+        seed,
+        1,
+        scale.warehouses,
+        Arc::new(AddressSpace::new()),
+    )
+}
+
+/// Build one shared-nothing partition: warehouses `wh_lo..=wh_hi` of the
+/// full `scale`, over a caller-provided address space (each instance gets
+/// its own [`AddressSpace::partition`] window). Items are fully
+/// replicated, as shared-nothing TPC-C deployments do. With the full
+/// range and a fresh space this is exactly [`build_tpcc`] — same rng
+/// stream, same rows, same addresses.
+pub fn build_tpcc_range(
+    scale: TpccScale,
+    seed: u64,
+    wh_lo: u64,
+    wh_hi: u64,
+    space: Arc<AddressSpace>,
+) -> (Database, TpccDb) {
+    assert!(
+        1 <= wh_lo && wh_lo <= wh_hi && wh_hi <= scale.warehouses,
+        "warehouse range {wh_lo}..={wh_hi} out of 1..={}",
+        scale.warehouses
+    );
+    let mut db = Database::with_space(space);
     let mut rng = client_rng(seed, usize::MAX);
 
     let warehouse = db.create_table(
@@ -224,7 +260,7 @@ pub fn build_tpcc(scale: TpccScale, seed: u64) -> (Database, TpccDb) {
     let mut tc = db.null_ctx();
     let mut txn = db.begin(&mut tc);
 
-    for w in 1..=scale.warehouses {
+    for w in wh_lo..=wh_hi {
         db.insert(
             &mut txn,
             warehouse,
@@ -289,7 +325,7 @@ pub fn build_tpcc(scale: TpccScale, seed: u64) -> (Database, TpccDb) {
         )
         .expect("populate item");
     }
-    for w in 1..=scale.warehouses {
+    for w in wh_lo..=wh_hi {
         for i in 1..=scale.items {
             db.insert(
                 &mut txn,
@@ -308,7 +344,7 @@ pub fn build_tpcc(scale: TpccScale, seed: u64) -> (Database, TpccDb) {
         }
     }
     // Initial orders with lines (carrier assigned for the older 2/3).
-    for w in 1..=scale.warehouses {
+    for w in wh_lo..=wh_hi {
         for d in 1..=scale.districts_per_wh {
             for o in 1..=scale.orders_per_district {
                 let ol_cnt = rng.gen_range(5..=15u64);
@@ -449,6 +485,8 @@ pub fn build_tpcc(scale: TpccScale, seed: u64) -> (Database, TpccDb) {
 
     let handles = TpccDb {
         scale,
+        wh_lo,
+        wh_hi,
         warehouse,
         district,
         customer,

@@ -67,6 +67,13 @@ pub struct TxnCfg {
     /// Draw NewOrder items uniformly from `1..=n` (hot item set) instead
     /// of NURand over the whole catalog.
     pub item_pool: Option<u64>,
+    /// Force the transaction's cross-warehouse target: NewOrder sources
+    /// every line from this warehouse, Payment pays this warehouse's
+    /// customer. Used by shared-nothing deployments when a multi-warehouse
+    /// transaction's target happens to live on the *same* instance —
+    /// `None` (the default) keeps the plain spec draws and their rng
+    /// stream untouched.
+    pub remote_wh: Option<u64>,
 }
 
 impl TxnCfg {
@@ -76,6 +83,7 @@ impl TxnCfg {
             w_home,
             district: None,
             item_pool: None,
+            remote_wh: None,
         }
     }
 }
@@ -191,10 +199,15 @@ fn new_order<D: EngineOps>(
             draw_item(cfg, rng, h)
         };
         // 1% of lines are supplied by a remote warehouse (spec 2.4.1.5).
-        let supply_w = if rng.gen_range(0..100u32) == 0 && h.scale.warehouses > 1 {
-            let mut other = uniform(rng, 1, h.scale.warehouses);
+        // The draw ranges over the warehouses *this instance owns*
+        // (`wh_lo..=wh_hi`) — identical to the whole-database draw for a
+        // full build, and never off-instance for a partition.
+        let supply_w = if let Some(rw) = cfg.remote_wh {
+            rw
+        } else if rng.gen_range(0..100u32) == 0 && h.wh_hi > h.wh_lo {
+            let mut other = uniform(rng, h.wh_lo, h.wh_hi);
             if other == w {
-                other = other % h.scale.warehouses + 1;
+                other = if other == h.wh_hi { h.wh_lo } else { other + 1 };
             }
             other
         } else {
@@ -287,10 +300,14 @@ fn payment<D: EngineOps>(
     let w = cfg.w_home;
     let d = draw_district(cfg, rng, h);
     // 15% remote customer (spec 2.5.1.2) — cross-warehouse write sharing.
-    let (c_w, c_d) = if rng.gen_range(0..100u32) < 15 && h.scale.warehouses > 1 {
-        let mut other = uniform(rng, 1, h.scale.warehouses);
+    // Drawn over this instance's warehouses (see `new_order`'s supply
+    // draw for the equivalence argument).
+    let (c_w, c_d) = if let Some(rw) = cfg.remote_wh {
+        (rw, uniform(rng, 1, h.scale.districts_per_wh))
+    } else if rng.gen_range(0..100u32) < 15 && h.wh_hi > h.wh_lo {
+        let mut other = uniform(rng, h.wh_lo, h.wh_hi);
         if other == w {
-            other = other % h.scale.warehouses + 1;
+            other = if other == h.wh_hi { h.wh_lo } else { other + 1 };
         }
         (other, uniform(rng, 1, h.scale.districts_per_wh))
     } else {

@@ -1,6 +1,7 @@
 //! Cross-crate consistency checks: the Fig. 3 validation band, trace
 //! statistics agreement, the L2-hit-stall growth property of the cache
-//! sweep, and the interleaved-capture determinism anchors (ISSUE 2).
+//! sweep, the interleaved-capture determinism anchors (ISSUE 2), and
+//! the shared-nothing deployment capture anchors (ISSUE 7).
 
 use dbcmp::core::experiment::{run_throughput, RunSpec};
 use dbcmp::core::machines::{fc_cmp, L2Spec};
@@ -233,6 +234,92 @@ fn segment_codec_lossless_on_recorded_fixture() {
     // flat 8 bytes/event on a real capture.
     let bpe = w.bundle.encoded_bytes() as f64 / w.bundle.total_events() as f64;
     assert!(bpe < 8.0, "bytes/event {bpe:.2} must beat the flat format");
+}
+
+/// ISSUE 7 determinism anchor: a partitioned deployment capture is
+/// byte-identical whatever the worker count used for the per-partition
+/// database builds — each partition populates from its own rng stream
+/// into its own address window, and transaction capture stays
+/// sequential in global client order.
+#[test]
+fn deployment_capture_deterministic_across_workers() {
+    use dbcmp::workloads::{capture_oltp_deployment_workers, DeployOptions, DrawScheme};
+    let scale = FigScale::quick();
+    let tpcc = dbcmp::core::deploy::deploy_tpcc_scale(&scale, 4);
+    let opt = DeployOptions {
+        capture: CaptureOptions::new(scale.oltp_clients, scale.oltp_units, scale.seed),
+        partitions: 4,
+        multi_pct: 60,
+        contention: true,
+        draws: DrawScheme::PerTxn,
+    };
+    let a = capture_oltp_deployment_workers(tpcc, opt, 1).unwrap();
+    let b = capture_oltp_deployment_workers(tpcc, opt, 4).unwrap();
+    assert_eq!(a.stats, b.stats, "capture statistics must reproduce");
+    assert!(
+        a.stats.multi_remote_txns > 0,
+        "the fixture must cross instances"
+    );
+    for (p, (ba, bb)) in a.bundles.iter().zip(&b.bundles).enumerate() {
+        assert_eq!(
+            TraceSummary::compute(&ba.regions, &ba.threads),
+            TraceSummary::compute(&bb.regions, &bb.threads),
+            "instance {p} summary diverged across build workers"
+        );
+        for (i, (ta, tb)) in ba.threads.iter().zip(&bb.threads).enumerate() {
+            assert_eq!(
+                ta.packed_events(),
+                tb.packed_events(),
+                "instance {p} thread {i} diverged across build workers"
+            );
+        }
+    }
+}
+
+/// ISSUE 7 regression anchor: a 1-partition deployment at default
+/// options (legacy draws, contention off) degenerates to the plain
+/// single-chip capture — event-identical traces, identical summary.
+#[test]
+fn single_partition_deployment_matches_plain_capture() {
+    use dbcmp::workloads::{capture_oltp_deployment, DeployOptions, DrawScheme};
+    let scale = FigScale::quick();
+    let tpcc = dbcmp::core::deploy::deploy_tpcc_scale(&scale, 4);
+    let cap = CaptureOptions::new(scale.oltp_clients, scale.oltp_units, scale.seed);
+
+    let dep = capture_oltp_deployment(
+        tpcc,
+        DeployOptions {
+            capture: cap,
+            partitions: 1,
+            multi_pct: 60,
+            contention: false,
+            draws: DrawScheme::Legacy,
+        },
+    )
+    .unwrap();
+    assert_eq!(dep.bundles.len(), 1);
+    assert_eq!(dep.stats.multi_remote_txns, 0);
+    assert_eq!(dep.stats.remote_sends, 0);
+
+    let (mut db, h) = build_tpcc(tpcc, scale.seed);
+    let single = capture_oltp(&mut db, &h, cap);
+    assert_eq!(
+        TraceSummary::compute(&dep.bundles[0].regions, &dep.bundles[0].threads),
+        TraceSummary::compute(&single.regions, &single.threads),
+    );
+    assert_eq!(dep.bundles[0].threads.len(), single.threads.len());
+    for (i, (a, b)) in dep.bundles[0]
+        .threads
+        .iter()
+        .zip(&single.threads)
+        .enumerate()
+    {
+        assert_eq!(
+            a.packed_events(),
+            b.packed_events(),
+            "client {i} diverged from the single-chip capture"
+        );
+    }
 }
 
 /// Simulated UIPC never exceeds the machine's theoretical peak.
