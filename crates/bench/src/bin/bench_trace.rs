@@ -22,6 +22,9 @@
 //! `--quick` selects the quick scale (the committed trajectory records
 //! quick-scale points so CI can re-derive them cheaply).
 
+// Harness binary in the wall-clock layer; rule D2 exempts crates/bench.
+#![allow(clippy::disallowed_methods)]
+
 use std::hint::black_box;
 use std::time::Instant;
 

@@ -33,6 +33,9 @@
 //! (see [`trajectory`]), and `bench_diff` prints the delta between the
 //! two most recent trajectory points.
 
+#![forbid(unsafe_code)]
+// crates/bench is the wall-clock layer; rule D2 exempts it.
+#![allow(clippy::disallowed_methods)]
 pub mod trajectory;
 
 use dbcmp_core::FigScale;

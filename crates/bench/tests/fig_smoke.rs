@@ -512,3 +512,20 @@ fn ablations_baseline_path() {
     let res = run_throughput(fc_cmp(BASE_CORES, 4 << 20, L2Spec::Cacti), &w.bundle, spec);
     assert!(res.cycles > 0 && res.instrs > 0);
 }
+
+/// The whole tree stays clean under `dbcmp-lint` (ISSUE 8): the same
+/// determinism/robustness pass CI runs as `cargo run --release -p lint`
+/// also fails `cargo test` directly, so a violation cannot land through
+/// a path that skips the lint job.
+#[test]
+fn tree_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root");
+    let diags = lint::run(root).expect("workspace tree readable");
+    assert!(
+        diags.is_empty(),
+        "dbcmp-lint found violations (run `cargo run -p lint` for details):\n{diags:#?}"
+    );
+}

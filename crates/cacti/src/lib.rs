@@ -19,6 +19,7 @@
 //! argument lives. As the paper itself notes, raw CACTI times are *lower*
 //! than shipping products achieve, so treat the output as optimistic.
 
+#![forbid(unsafe_code)]
 pub mod historic;
 pub mod model;
 

@@ -6,6 +6,7 @@
 //! [experiment runner](experiment), and one generator per paper
 //! figure/table in [figures].
 
+#![forbid(unsafe_code)]
 pub mod deploy;
 pub mod experiment;
 pub mod figures;

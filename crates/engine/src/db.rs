@@ -160,6 +160,7 @@ impl Database {
             if let Some(row) = self.heaps[table].read_at(rid, &mut tc) {
                 let key = key_fn(&row, rid);
                 tree.insert(key, rid.pack(), &self.space, &mut tc)
+                    // lint:allow(panic): a duplicate key here means the caller's key_fn is wrong for this table — a programming error at schema-definition time, not a runtime condition
                     .expect("index build: duplicate key");
             }
         }

@@ -5,6 +5,12 @@
 //! the simulated address space; each input row costs an update (store) to
 //! its group's line.
 
+// Hash collections here are audited per-site with lint:allow(hash-order)
+// annotations (rule D1); the file-level clippy opt-out avoids repeating
+// an attribute at every justified site.
+#![allow(clippy::disallowed_types)]
+
+// lint:allow(hash-order): key->index lookup and len-only distinct sets; emission order is the insertion-ordered `groups` Vec
 use std::collections::{HashMap, HashSet};
 
 use crate::costs::instr;
@@ -22,6 +28,7 @@ struct GroupState {
     sums: Vec<i64>,
     mins: Vec<i64>,
     maxs: Vec<i64>,
+    // lint:allow(hash-order): only `len()` is read (COUNT DISTINCT)
     distincts: Vec<HashSet<i64>>,
 }
 
@@ -55,6 +62,7 @@ impl HashAggregate {
             sums: vec![0; self.aggs.len()],
             mins: vec![i64::MAX; self.aggs.len()],
             maxs: vec![i64::MIN; self.aggs.len()],
+            // lint:allow(hash-order): len-only distinct counters, see GroupState
             distincts: vec![HashSet::new(); self.aggs.len()],
         }
     }
@@ -64,6 +72,7 @@ impl Executor for HashAggregate {
     fn open(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<()> {
         self.child.open(db, tc)?;
         self.table_addr = tc.scratch_alloc(&db.space, 64 * 1024);
+        // lint:allow(hash-order): get/insert only; rows are emitted from `groups`, which preserves first-seen key order
         let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
         let mut groups: Vec<(Vec<Value>, GroupState)> = Vec::new();
 

@@ -37,6 +37,7 @@ impl Executor for IndexRangeScan {
     }
 
     fn next(&mut self, db: &Database, tc: &mut TraceCtx) -> Result<Option<Row>> {
+        // lint:allow(panic): Volcano contract — open() precedes next(); a None cursor is a planner bug, not input-dependent
         let cur = self.cursor.as_mut().expect("next before open");
         let table = db.index_table(self.index);
         loop {

@@ -57,6 +57,7 @@ impl Executor for NestedLoop {
                     return Ok(None);
                 }
             }
+            // lint:allow(panic): the branch above either filled cur_outer or returned
             let outer = self.cur_outer.as_ref().expect("set above");
             while self.inner_pos < self.inner_rows.len() {
                 tc.charge(tc.r.exec_nlj, instr::PREDICATE);

@@ -32,6 +32,7 @@
 //! discipline for sequential capture. Abort with undo and lock release at
 //! commit are real in both modes, so any interleaving behaves correctly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;

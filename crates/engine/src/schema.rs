@@ -54,12 +54,18 @@ impl Schema {
         self.row_width
     }
 
+    /// Index of a column by name, or `None` if the schema has no such
+    /// column — for callers resolving externally supplied names.
+    pub fn try_col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
     /// Index of a column by name (panics on unknown name — schema bugs are
-    /// programming errors, not runtime conditions).
+    /// programming errors, not runtime conditions; fallible callers use
+    /// [`Self::try_col`]).
     pub fn col(&self, name: &str) -> usize {
-        self.columns
-            .iter()
-            .position(|c| c.name == name)
+        self.try_col(name)
+            // lint:allow(panic): documented panic shim over try_col for hard-coded query-plan column names
             .unwrap_or_else(|| panic!("unknown column {name}"))
     }
 }

@@ -2,6 +2,10 @@
 //! lock manager's 2PL invariants, and transactional abort as the exact
 //! inverse of any statement sequence.
 
+// Model maps here are read by key lookup only; rule D1 governs shipped
+// capture-path code, not tests (the custom lint skips test scopes).
+#![allow(clippy::disallowed_types)]
+
 use dbcmp_engine::lockmgr::{LockMgr, LockMode};
 use dbcmp_engine::page::{SlottedPage, PAGE_SIZE};
 use dbcmp_engine::{ColType, Database, EngineRegions, Schema, TraceCtx, Value};

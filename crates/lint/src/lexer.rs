@@ -1,0 +1,525 @@
+//! A handwritten Rust lexer, just deep enough for lint rules.
+//!
+//! The rules in this crate match on *token* streams, never on raw text,
+//! so `"HashMap"` inside a string literal, a doc comment, or a nested
+//! block comment can never be mistaken for a use of the type. The lexer
+//! therefore has to classify, exactly:
+//!
+//! * line comments (`//…`, `///…`) — kept, they carry `lint:allow`
+//!   annotations;
+//! * block comments (`/* … */`), **nested** as Rust allows — skipped;
+//! * string literals with escapes (`"a\"b"`), byte strings (`b"…"`);
+//! * raw strings with any hash depth (`r"…"`, `r#"…"#`, `br##"…"##`);
+//! * raw identifiers (`r#type`) — emitted as plain identifiers;
+//! * char literals (`'a'`, `'\n'`, `'\u{1F600}'`) vs lifetimes (`'a`);
+//! * numbers (including `0x…`, suffixes, and `0..9` range ambiguity);
+//! * identifiers and single-char punctuation.
+//!
+//! Everything the rules do not need (precise number values, multi-char
+//! operators) is deliberately collapsed: numbers become [`Tok::Number`],
+//! operators arrive as single [`Tok::Punct`] characters.
+
+/// One classified token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers arrive unprefixed).
+    Ident(String),
+    /// Single punctuation / operator character.
+    Punct(char),
+    /// Any numeric literal (value not retained).
+    Number,
+    /// Any string / byte-string / raw-string literal (contents dropped).
+    Str,
+    /// A char literal (contents dropped).
+    Char,
+    /// A lifetime such as `'a` (name dropped).
+    Lifetime,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classified token.
+    pub tok: Tok,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its text and line span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Raw text without the `//` / `/*` delimiters.
+    pub text: String,
+    /// True if nothing but whitespace precedes the comment on its line.
+    pub standalone: bool,
+}
+
+/// Lexer output: code tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens (comments, whitespace, and literal contents removed).
+    pub tokens: Vec<Token>,
+    /// All comments, for annotation parsing.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src`. Never fails: unterminated constructs simply run to EOF,
+/// which is the forgiving behavior a linter wants on mid-edit files.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    // Tracks whether only whitespace has appeared since the last newline,
+    // to classify standalone comments.
+    let mut line_blank = true;
+
+    macro_rules! bump {
+        () => {{
+            if b[i] == '\n' {
+                line += 1;
+                line_blank = true;
+            } else if !b[i].is_whitespace() {
+                line_blank = false;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < b.len() {
+            if b[i + 1] == '/' {
+                let start_line = line;
+                let standalone = line_blank;
+                let mut text = String::new();
+                i += 2;
+                while i < b.len() && b[i] != '\n' {
+                    text.push(b[i]);
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text,
+                    standalone,
+                });
+                continue;
+            }
+            if b[i + 1] == '*' {
+                let start_line = line;
+                let standalone = line_blank;
+                let mut text = String::new();
+                let mut depth = 1u32;
+                line_blank = false;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        text.push_str("/*");
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        if depth > 0 {
+                            text.push_str("*/");
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    text.push(b[i]);
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text,
+                    standalone,
+                });
+                continue;
+            }
+        }
+        // Raw strings / byte strings / raw identifiers: r" r#" br" b" b'.
+        if (c == 'r' || c == 'b') && raw_or_byte_start(&b, i) {
+            let tok_line = line;
+            line_blank = false;
+            let mut j = i;
+            let mut is_byte_char = false;
+            if b[j] == 'b' {
+                j += 1;
+                if j < b.len() && b[j] == '\'' {
+                    is_byte_char = true;
+                }
+            }
+            if is_byte_char {
+                // b'x' — treat like a char literal.
+                i = j; // at the quote
+                i = consume_char_literal(&b, i, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Char,
+                    line: tok_line,
+                });
+                continue;
+            }
+            let mut hashes = 0usize;
+            if j < b.len() && b[j] == 'r' {
+                j += 1;
+                while j < b.len() && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+            }
+            if j < b.len() && b[j] == '"' {
+                // Raw (or cooked, if hashes==0 and no 'r') string body.
+                let raw = src_contains_r(&b, i);
+                j += 1;
+                if raw {
+                    // Scan to `"` followed by `hashes` hashes.
+                    while j < b.len() {
+                        if b[j] == '\n' {
+                            line += 1;
+                        }
+                        if b[j] == '"'
+                            && b[j + 1..]
+                                .iter()
+                                .take(hashes)
+                                .filter(|&&h| h == '#')
+                                .count()
+                                == hashes
+                        {
+                            j += 1 + hashes;
+                            break;
+                        }
+                        j += 1;
+                    }
+                } else {
+                    // b"…" cooked byte string: honor escapes.
+                    while j < b.len() {
+                        match b[j] {
+                            '\\' => {
+                                // A `\<newline>` line continuation still
+                                // advances the line counter.
+                                if b.get(j + 1) == Some(&'\n') {
+                                    line += 1;
+                                }
+                                j += 2;
+                            }
+                            '"' => {
+                                j += 1;
+                                break;
+                            }
+                            '\n' => {
+                                line += 1;
+                                j += 1;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                }
+                i = j;
+                out.tokens.push(Token {
+                    tok: Tok::Str,
+                    line: tok_line,
+                });
+                continue;
+            }
+            // `r#ident` raw identifier: fall through past the `r#`.
+            if hashes >= 1 && j < b.len() && is_ident_start(b[j]) {
+                let mut name = String::new();
+                while j < b.len() && is_ident_continue(b[j]) {
+                    name.push(b[j]);
+                    j += 1;
+                }
+                i = j;
+                out.tokens.push(Token {
+                    tok: Tok::Ident(name),
+                    line: tok_line,
+                });
+                continue;
+            }
+            // Plain identifier starting with r/b after all.
+        }
+        // Cooked string literal.
+        if c == '"' {
+            let tok_line = line;
+            line_blank = false;
+            i += 1;
+            while i < b.len() {
+                match b[i] {
+                    '\\' => {
+                        // `\<newline>` line continuations count lines too.
+                        if b.get(i + 1) == Some(&'\n') {
+                            line += 1;
+                        }
+                        i += 2;
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.tokens.push(Token {
+                tok: Tok::Str,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let tok_line = line;
+            line_blank = false;
+            let next = b.get(i + 1).copied();
+            let after = b.get(i + 2).copied();
+            let is_lifetime = match next {
+                Some(n) if is_ident_start(n) => after != Some('\''),
+                _ => false,
+            };
+            if is_lifetime {
+                i += 2;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Lifetime,
+                    line: tok_line,
+                });
+            } else {
+                i = consume_char_literal(&b, i, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Char,
+                    line: tok_line,
+                });
+            }
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            line_blank = false;
+            i += 1;
+            while i < b.len() {
+                let d = b[i];
+                let float_dot =
+                    d == '.' && b.get(i + 1).map(|n| n.is_ascii_digit()).unwrap_or(false);
+                if is_ident_continue(d) || float_dot {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                tok: Tok::Number,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let tok_line = line;
+            line_blank = false;
+            let mut name = String::new();
+            while i < b.len() && is_ident_continue(b[i]) {
+                name.push(b[i]);
+                i += 1;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Ident(name),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Everything else: single punctuation char.
+        out.tokens.push(Token {
+            tok: Tok::Punct(c),
+            line,
+        });
+        bump!();
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True if position `i` (at `r` or `b`) starts a raw string, byte
+/// string, byte char, or raw identifier — anything needing special
+/// handling before ordinary identifier lexing.
+fn raw_or_byte_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j < b.len() && b[j] == '\'' {
+            return true; // b'…'
+        }
+    }
+    if j < b.len() && b[j] == 'r' {
+        j += 1;
+    }
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+        || (j > i && b.get(j - 1) == Some(&'#') && j < b.len() && is_ident_start(b[j]))
+}
+
+/// True if the prefix at `i` includes an `r` (raw) before the quote.
+fn src_contains_r(b: &[char], i: usize) -> bool {
+    b[i] == 'r' || (b[i] == 'b' && b.get(i + 1) == Some(&'r'))
+}
+
+/// Consume a char literal starting at the opening `'`; returns the index
+/// just past the closing quote.
+fn consume_char_literal(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            '\\' => {
+                if b.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '\'' => {
+                i += 1;
+                break;
+            }
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_contents() {
+        assert_eq!(idents(r#"let x = "HashMap::new()";"#), vec!["let", "x"]);
+        assert_eq!(
+            idents(r##"let x = r#"unwrap() "quoted""#;"##),
+            vec!["let", "x"]
+        );
+        assert_eq!(idents(r#"let x = b"panic!";"#), vec!["let", "x"]);
+        assert_eq!(
+            idents("let x = br##\"Instant::now()\"##;"),
+            vec!["let", "x"]
+        );
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        assert_eq!(
+            idents(r#"let x = "a\"HashMap\"b"; y"#),
+            vec!["let", "x", "y"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two */ still comment */ b";
+        assert_eq!(idents(src), vec!["a", "b"]);
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("two"));
+    }
+
+    #[test]
+    fn line_comment_captured_with_position() {
+        let l = lex("let a = 1; // lint:allow(panic): fine\nlet b = 2;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(!l.comments[0].standalone);
+        let l2 = lex("  // standalone\nlet b = 2;");
+        assert!(l2.comments[0].standalone);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        // 'a' is a char; 'a (no closing quote) is a lifetime.
+        assert_eq!(
+            idents("fn f<'a>(x: &'a u32) -> char { 'x' }"),
+            vec!["fn", "f", "x", "u32", "char"]
+        );
+        // Escapes and unicode escapes.
+        assert_eq!(
+            idents(r"let c = '\n'; let u = '\u{1F600}'; z"),
+            vec!["let", "c", "let", "u", "z"]
+        );
+        // A char literal containing a quote-ish payload.
+        assert_eq!(idents(r"let c = '\''; z"), vec!["let", "c", "z"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        assert_eq!(idents("let r#type = 3;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        // `0..10` must not swallow the range dots as a float.
+        let l = lex("for i in 0..10 { }");
+        let dots = l.tokens.iter().filter(|t| t.tok == Tok::Punct('.')).count();
+        assert_eq!(dots, 2);
+        assert_eq!(idents("let x = 0xFFu64 + 1.5e3;"), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_counts_lines() {
+        // `\<newline>` line continuation inside a string literal.
+        let l = lex("let a = \"one \\\ntwo\";\nb");
+        let b = l.tokens.last().expect("tokens nonempty");
+        assert_eq!(b.tok, Tok::Ident("b".into()));
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let l = lex("let a = \"one\ntwo\";\nb");
+        let b = l.tokens.last().expect("tokens nonempty");
+        assert_eq!(b.tok, Tok::Ident("b".into()));
+        assert_eq!(b.line, 3);
+    }
+}

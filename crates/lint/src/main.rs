@@ -1,0 +1,76 @@
+//! CLI for dbcmp-lint.
+//!
+//! ```text
+//! cargo run -p lint                  # lint the workspace, exit 1 on violations
+//! cargo run -p lint -- --root PATH   # lint a different tree
+//! cargo run -p lint -- --explain D1  # print the rationale for a rule
+//! cargo run -p lint -- --list        # list all rules
+//! ```
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = PathBuf::from(".");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--explain" => {
+                let Some(rule) = args.next() else {
+                    eprintln!("usage: lint --explain <rule>");
+                    return ExitCode::from(2);
+                };
+                match lint::explain(&rule) {
+                    Some(text) => {
+                        print!("{text}");
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!("unknown rule `{rule}`; try --list");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--list" => {
+                for (id, name, _) in lint::RULES {
+                    println!("{id:4} {name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                let Some(p) = args.next() else {
+                    eprintln!("usage: lint --root <path>");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(p);
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: lint [--root PATH] [--explain RULE] [--list]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let diags = match lint::run(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lint: i/o error walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("lint: ok (0 violations)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "lint: {} violation(s); run `cargo run -p lint -- --explain <rule>` for rationale",
+            diags.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,649 @@
+//! The lint rules (D1, D2, D3, P1, X1) and the `lint:allow` grammar.
+//!
+//! Annotation grammar (documented in DESIGN.md §7):
+//!
+//! ```text
+//! // lint:allow(<rule>): <non-empty reason>
+//! ```
+//!
+//! where `<rule>` is one of `hash-order`, `wall-clock`, `addr-cast`,
+//! `panic`. The annotation justifies violations **on its own line and on
+//! the line immediately below it** (so it can trail the flagged code or
+//! sit on its own line directly above). The annotation must *start* the
+//! comment, and doc comments (`///`, `//!`) never carry annotations —
+//! they may mention the grammar as prose, like this module does. A
+//! malformed annotation — unknown rule name, missing or empty reason —
+//! is itself a violation (rule A0): an allow that cannot be audited is
+//! worse than none.
+
+use std::path::Path;
+
+use crate::lexer::{Comment, Lexed, Tok, Token};
+use crate::scan::{self, TestScopes};
+
+/// Rule identifiers, as printed in diagnostics and accepted by
+/// `--explain`.
+pub const RULES: &[(&str, &str, &str)] = &[
+    (
+        "D1",
+        "hash-order",
+        "No `HashMap`/`HashSet` in the capture-path crates (trace, engine, workloads, staged).\n\
+         Std hash collections iterate in a per-process random order; if that order reaches a\n\
+         trace or a result, byte-identical replay breaks — the exact bug class PR 2 fixed in\n\
+         stock_level. Use `BTreeMap`/`BTreeSet`, or justify a lookup-only/order-independent\n\
+         use with `// lint:allow(hash-order): <reason>`.",
+    ),
+    (
+        "D2",
+        "wall-clock",
+        "No wall-clock reads (`Instant::now`, `SystemTime::now`) outside `crates/bench` and the\n\
+         vendored criterion stub. Wall-clock values feeding a capture or figure would make runs\n\
+         unreproducible; timing belongs in the bench layer. Justify measurement-only uses with\n\
+         `// lint:allow(wall-clock): <reason>`.",
+    ),
+    (
+        "D3",
+        "addr-cast",
+        "No raw truncating `as u64`/`as usize` casts on address-typed expressions at the capture\n\
+         boundary (crates/trace, crates/workloads, crates/staged). The 48-bit trace format\n\
+         silently masks wider values in release builds (the PR 7 bug class); use the checked\n\
+         AddressSpace/ScratchArena helpers, or justify a provably-in-range cast with\n\
+         `// lint:allow(addr-cast): <reason>`.",
+    ),
+    (
+        "P1",
+        "panic",
+        "No `unwrap`/`expect`/`panic!`/`todo!` in non-test library code of trace, sim, and\n\
+         engine. Fallible paths return typed errors (ConfigError, AddressSpaceError,\n\
+         EngineError); provably-infallible uses and documented panic shims carry\n\
+         `// lint:allow(panic): <reason>`.",
+    ),
+    (
+        "X1",
+        "event-exhaustive",
+        "Every `trace::Event` variant must be handled in the segment codec (`Segment::encode`\n\
+         AND `Segment::decode_into`), in `TraceSummary` (summary.rs), and in the simulator\n\
+         consume path (sim's ctx.rs/cursor.rs). A variant added in one place but not the\n\
+         others silently drops or mis-prices events (the RemoteSend-skew class). There is no\n\
+         allow annotation for X1 — handle the variant.",
+    ),
+    (
+        "A0",
+        "bad-allow",
+        "A `lint:allow` annotation must name a known rule (hash-order, wall-clock, addr-cast,\n\
+         panic) and carry a non-empty reason after the colon. An allow that cannot be audited\n\
+         is worse than none.",
+    ),
+];
+
+/// One diagnostic: rule, location, message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id, e.g. `"D1"`.
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "error[{}]: {}\n  --> {}:{}",
+            self.rule, self.msg, self.file, self.line
+        )
+    }
+}
+
+/// A parsed, well-formed `lint:allow` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule name (`hash-order`, `wall-clock`, `addr-cast`, `panic`).
+    pub rule: String,
+    /// Justification text (non-empty, trimmed).
+    pub reason: String,
+    /// Line of the comment carrying the annotation.
+    pub line: u32,
+}
+
+/// Parse every `lint:allow` annotation in `comments`. Malformed ones
+/// produce A0 diagnostics instead of an [`Allow`].
+pub fn parse_allows(comments: &[Comment], file: &str) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for c in comments {
+        // Doc comments (`///` → text starts with `/`, `//!` → `!`) are
+        // prose, not annotation carriers — they may *mention* the
+        // grammar. A real annotation is a plain comment that starts
+        // with `lint:allow`.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let trimmed = c.text.trim_start();
+        let Some(rest) = trimmed.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let parsed = (|| {
+            let rest = rest.strip_prefix('(')?;
+            let close = rest.find(')')?;
+            let rule = rest[..close].trim().to_string();
+            let after = rest[close + 1..].trim_start();
+            let reason = after.strip_prefix(':')?.trim().to_string();
+            Some((rule, reason))
+        })();
+        match parsed {
+            Some((rule, reason))
+                if !reason.is_empty() && RULES.iter().any(|(_, name, _)| *name == rule) =>
+            {
+                allows.push(Allow {
+                    rule,
+                    reason,
+                    line: c.line,
+                });
+            }
+            Some((rule, reason)) => {
+                let why = if reason.is_empty() {
+                    "empty reason".to_string()
+                } else {
+                    format!("unknown rule `{rule}`")
+                };
+                diags.push(Diagnostic {
+                    rule: "A0",
+                    file: file.to_string(),
+                    line: c.line,
+                    msg: format!("malformed lint:allow annotation ({why})"),
+                });
+            }
+            None => diags.push(Diagnostic {
+                rule: "A0",
+                file: file.to_string(),
+                line: c.line,
+                msg: "malformed lint:allow annotation (expected `lint:allow(<rule>): <reason>`)"
+                    .to_string(),
+            }),
+        }
+    }
+    (allows, diags)
+}
+
+/// Is a violation of `rule` on `line` justified by one of `allows`?
+/// An annotation covers its own line and the line directly below it.
+fn allowed(allows: &[Allow], rule: &str, line: u32) -> bool {
+    allows
+        .iter()
+        .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+}
+
+/// Per-file lint context handed to the rules.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub path: &'a str,
+    /// Lexed tokens + comments.
+    pub lexed: &'a Lexed,
+    /// Test-code token ranges.
+    pub tests: TestScopes,
+    /// Parsed allow annotations.
+    pub allows: Vec<Allow>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Build the context (lexes nothing — takes the existing lex).
+    pub fn new(path: &'a str, lexed: &'a Lexed) -> (Self, Vec<Diagnostic>) {
+        let (allows, diags) = parse_allows(&lexed.comments, path);
+        let tests = scan::test_scopes(&lexed.tokens);
+        (
+            FileCtx {
+                path,
+                lexed,
+                tests,
+                allows,
+            },
+            diags,
+        )
+    }
+
+    fn toks(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+}
+
+fn starts_with_any(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+/// Whether `path` is a bin target (excluded from P1's library scope).
+fn is_bin(path: &str) -> bool {
+    path.contains("/src/bin/") || path.ends_with("/src/main.rs")
+}
+
+/// D1: hash collections in capture-path crates.
+pub fn rule_d1(ctx: &FileCtx) -> Vec<Diagnostic> {
+    const SCOPE: &[&str] = &[
+        "crates/trace/src/",
+        "crates/engine/src/",
+        "crates/workloads/src/",
+        "crates/staged/src/",
+    ];
+    if !starts_with_any(ctx.path, SCOPE) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in ctx.toks().iter().enumerate() {
+        let Tok::Ident(n) = &t.tok else { continue };
+        if n != "HashMap" && n != "HashSet" {
+            continue;
+        }
+        if ctx.tests.contains(i) {
+            continue;
+        }
+        if allowed(&ctx.allows, "hash-order", t.line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "D1",
+            file: ctx.path.to_string(),
+            line: t.line,
+            msg: format!(
+                "`{n}` in capture-path crate without `lint:allow(hash-order)` justification"
+            ),
+        });
+    }
+    out
+}
+
+/// D2: wall-clock reads outside the bench layer.
+pub fn rule_d2(ctx: &FileCtx) -> Vec<Diagnostic> {
+    const EXEMPT: &[&str] = &["crates/bench/", "vendor/criterion/"];
+    if starts_with_any(ctx.path, EXEMPT) {
+        return Vec::new();
+    }
+    let toks = ctx.toks();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(n) = &t.tok else { continue };
+        if n != "Instant" && n != "SystemTime" {
+            continue;
+        }
+        // Match `Instant::now` / `SystemTime::now` (`::` lexes as two
+        // `:` puncts).
+        let is_now = matches!(toks.get(i + 1), Some(a) if a.tok == Tok::Punct(':'))
+            && matches!(toks.get(i + 2), Some(a) if a.tok == Tok::Punct(':'))
+            && matches!(toks.get(i + 3), Some(a) if matches!(&a.tok, Tok::Ident(m) if m == "now"));
+        if !is_now {
+            continue;
+        }
+        if allowed(&ctx.allows, "wall-clock", t.line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "D2",
+            file: ctx.path.to_string(),
+            line: t.line,
+            msg: format!("wall-clock read `{n}::now` outside crates/bench without `lint:allow(wall-clock)` justification"),
+        });
+    }
+    out
+}
+
+/// D3: raw `as u64`/`as usize` casts on address-typed expressions at the
+/// capture boundary. Heuristic, by design: the castee mentions an
+/// address — the token before `as` is an identifier containing `addr`,
+/// or a `(…)` group containing such an identifier.
+pub fn rule_d3(ctx: &FileCtx) -> Vec<Diagnostic> {
+    const SCOPE: &[&str] = &[
+        "crates/trace/src/",
+        "crates/workloads/src/",
+        "crates/staged/src/",
+    ];
+    if !starts_with_any(ctx.path, SCOPE) {
+        return Vec::new();
+    }
+    let toks = ctx.toks();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !matches!(&t.tok, Tok::Ident(n) if n == "as") {
+            continue;
+        }
+        let target_ok = matches!(toks.get(i + 1), Some(a) if matches!(&a.tok, Tok::Ident(m) if m == "u64" || m == "usize"));
+        if !target_ok || i == 0 {
+            continue;
+        }
+        if !castee_mentions_addr(toks, i - 1) {
+            continue;
+        }
+        if ctx.tests.contains(i) {
+            continue;
+        }
+        if allowed(&ctx.allows, "addr-cast", t.line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "D3",
+            file: ctx.path.to_string(),
+            line: t.line,
+            msg: "raw truncating cast on an address-typed expression at the capture boundary \
+                  without `lint:allow(addr-cast)` justification"
+                .to_string(),
+        });
+    }
+    out
+}
+
+/// Does the expression ending at token `end` (just before `as`) mention
+/// an address-named identifier? Direct ident, or backtrack one balanced
+/// `(…)` group.
+fn castee_mentions_addr(toks: &[Token], end: usize) -> bool {
+    let is_addr_ident =
+        |t: &Token| matches!(&t.tok, Tok::Ident(n) if n.to_ascii_lowercase().contains("addr"));
+    let t = &toks[end];
+    if is_addr_ident(t) {
+        return true;
+    }
+    if t.tok != Tok::Punct(')') {
+        return false;
+    }
+    let mut depth = 0i64;
+    let mut k = end;
+    loop {
+        match &toks[k].tok {
+            Tok::Punct(')') => depth += 1,
+            Tok::Punct('(') => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            tok => {
+                if let Tok::Ident(n) = tok {
+                    if n.to_ascii_lowercase().contains("addr") {
+                        return true;
+                    }
+                }
+            }
+        }
+        if k == 0 {
+            return false;
+        }
+        k -= 1;
+    }
+}
+
+/// P1: panic-family calls in non-test, non-bin library code.
+pub fn rule_p1(ctx: &FileCtx) -> Vec<Diagnostic> {
+    const SCOPE: &[&str] = &["crates/trace/src/", "crates/sim/src/", "crates/engine/src/"];
+    if !starts_with_any(ctx.path, SCOPE) || is_bin(ctx.path) {
+        return Vec::new();
+    }
+    let toks = ctx.toks();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(n) = &t.tok else { continue };
+        let hit = match n.as_str() {
+            // `.unwrap(` / `.expect(` — method position only, so
+            // `unwrap_or_default` or a local named `expect` don't match.
+            "unwrap" | "expect" => {
+                i > 0
+                    && toks[i - 1].tok == Tok::Punct('.')
+                    && matches!(toks.get(i + 1), Some(a) if a.tok == Tok::Punct('('))
+            }
+            // `panic!` / `todo!` macro invocations.
+            "panic" | "todo" => {
+                matches!(toks.get(i + 1), Some(a) if a.tok == Tok::Punct('!'))
+            }
+            _ => false,
+        };
+        if !hit || ctx.tests.contains(i) {
+            continue;
+        }
+        if allowed(&ctx.allows, "panic", t.line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "P1",
+            file: ctx.path.to_string(),
+            line: t.line,
+            msg: format!(
+                "`{n}` in non-test library code without `lint:allow(panic)` justification"
+            ),
+        });
+    }
+    out
+}
+
+/// The X1 surfaces: (file, optional fn name, label). `None` fn = whole
+/// file. The sim consume path is a *union*: a variant may be handled in
+/// either ctx.rs or cursor.rs.
+struct X1Surface<'a> {
+    files: &'a [&'a str],
+    func: Option<&'a str>,
+    label: &'a str,
+}
+
+/// X1: cross-file Event-variant exhaustiveness. `files` maps a
+/// workspace-relative path to its lexed tokens; paths not present are
+/// reported as missing surfaces.
+pub fn rule_x1(files: &[(String, Lexed)]) -> Vec<Diagnostic> {
+    const EVENT_FILE: &str = "crates/trace/src/event.rs";
+    let lookup = |p: &str| files.iter().find(|(f, _)| f == p).map(|(_, l)| l);
+
+    let Some(event_lex) = lookup(EVENT_FILE) else {
+        // No event enum in this tree (e.g. a partial fixture): X1 has
+        // nothing to check.
+        return Vec::new();
+    };
+    let variants = scan::enum_variants(&event_lex.tokens, "Event");
+    if variants.is_empty() {
+        return vec![Diagnostic {
+            rule: "X1",
+            file: EVENT_FILE.to_string(),
+            line: 1,
+            msg: "could not find `enum Event` variants".to_string(),
+        }];
+    }
+
+    let surfaces = [
+        X1Surface {
+            files: &["crates/trace/src/segment.rs"],
+            func: Some("encode"),
+            label: "segment codec encode (Segment::encode)",
+        },
+        X1Surface {
+            files: &["crates/trace/src/segment.rs"],
+            func: Some("decode_into"),
+            label: "segment codec decode (Segment::decode_into)",
+        },
+        X1Surface {
+            files: &["crates/trace/src/summary.rs"],
+            func: None,
+            label: "trace summary (summary.rs)",
+        },
+        X1Surface {
+            files: &["crates/sim/src/ctx.rs", "crates/sim/src/cursor.rs"],
+            func: None,
+            label: "sim consume path (ctx.rs/cursor.rs)",
+        },
+    ];
+
+    let mut out = Vec::new();
+    for s in &surfaces {
+        // Gather the identifier set visible on this surface.
+        let mut seen: Vec<&str> = Vec::new();
+        let mut any_file = false;
+        for f in s.files {
+            let Some(lex) = lookup(f) else { continue };
+            any_file = true;
+            let toks = &lex.tokens;
+            let range = match s.func {
+                Some(name) => match scan::fn_span(toks, name) {
+                    Some(r) => r,
+                    None => {
+                        out.push(Diagnostic {
+                            rule: "X1",
+                            file: f.to_string(),
+                            line: 1,
+                            msg: format!("surface function `{name}` not found for {}", s.label),
+                        });
+                        continue;
+                    }
+                },
+                None => (0, toks.len()),
+            };
+            for t in &toks[range.0..range.1] {
+                if let Tok::Ident(n) = &t.tok {
+                    seen.push(n.as_str());
+                }
+            }
+        }
+        if !any_file {
+            out.push(Diagnostic {
+                rule: "X1",
+                file: s.files[0].to_string(),
+                line: 1,
+                msg: format!("surface file missing for {}", s.label),
+            });
+            continue;
+        }
+        for v in &variants {
+            if !seen.iter().any(|n| n == v) {
+                out.push(Diagnostic {
+                    rule: "X1",
+                    file: s.files[0].to_string(),
+                    line: 1,
+                    msg: format!("Event variant `{v}` is not handled in the {}", s.label),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Run all per-file rules over one file.
+pub fn lint_file(path: &Path, rel: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let _ = path;
+    let (ctx, mut diags) = FileCtx::new(rel, lexed);
+    diags.extend(rule_d1(&ctx));
+    diags.extend(rule_d2(&ctx));
+    diags.extend(rule_d3(&ctx));
+    diags.extend(rule_p1(&ctx));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_one(path: &str, src: &str) -> Vec<Diagnostic> {
+        let l = lex(src);
+        lint_file(Path::new(path), path, &l)
+    }
+
+    #[test]
+    fn d1_fires_and_allow_suppresses() {
+        let hot = "use std::collections::HashMap;";
+        assert_eq!(run_one("crates/trace/src/x.rs", hot).len(), 1);
+        assert_eq!(run_one("crates/cacti/src/x.rs", hot).len(), 0);
+        let ok = "// lint:allow(hash-order): lookup-only\nuse std::collections::HashMap;";
+        assert!(run_one("crates/trace/src/x.rs", ok).is_empty());
+        let trailing = "use std::collections::HashMap; // lint:allow(hash-order): lookup-only";
+        assert!(run_one("crates/trace/src/x.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn d2_fires_everywhere_but_bench() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(run_one("crates/core/src/x.rs", src).len(), 1);
+        assert_eq!(run_one("src/lib.rs", src).len(), 1);
+        assert!(run_one("crates/bench/src/x.rs", src).is_empty());
+        assert!(run_one("vendor/criterion/src/lib.rs", src).is_empty());
+        // `Instant` without `::now` (e.g. a type mention) is fine.
+        assert!(run_one("src/lib.rs", "fn g(t: Instant) {}").is_empty());
+    }
+
+    #[test]
+    fn d3_needs_addr_in_castee() {
+        let bad = "fn f(addr: u64) -> u64 { addr as usize as u64 }";
+        // `addr as usize` fires; the second cast's castee is `usize`.
+        assert_eq!(run_one("crates/trace/src/x.rs", bad).len(), 1);
+        let paren = "fn f(prev_addr: i64, d: i64) -> u64 { (prev_addr + d) as u64 }";
+        assert_eq!(run_one("crates/trace/src/x.rs", paren).len(), 1);
+        let fine = "fn f(size: u32) -> u64 { size as u64 }";
+        assert!(run_one("crates/trace/src/x.rs", fine).is_empty());
+        let outside = "fn f(addr: u32) -> u64 { addr as u64 }";
+        assert!(run_one("crates/sim/src/x.rs", outside).is_empty());
+    }
+
+    #[test]
+    fn p1_method_position_only() {
+        assert_eq!(
+            run_one("crates/sim/src/x.rs", "fn f(x: Option<u8>) { x.unwrap(); }").len(),
+            1
+        );
+        assert!(run_one("crates/sim/src/x.rs", "fn f(x: u8) { x.unwrap_or(0); }").is_empty());
+        assert!(run_one("crates/sim/src/x.rs", "fn f() { debug_assert!(true); }").is_empty());
+        assert_eq!(
+            run_one("crates/sim/src/x.rs", "fn f() { panic!(\"boom\"); }").len(),
+            1
+        );
+        // bins and tests are out of scope
+        assert!(run_one(
+            "crates/sim/src/bin/tool.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }"
+        )
+        .is_empty());
+        assert!(run_one(
+            "crates/sim/src/x.rs",
+            "#[cfg(test)]\nmod tests { fn f(x: Option<u8>) { x.unwrap(); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn a0_on_malformed_allows() {
+        let empty = "// lint:allow(panic):\nfn f() {}";
+        let d = run_one("crates/sim/src/x.rs", empty);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "A0");
+        let unknown = "// lint:allow(made-up): because\nfn f() {}";
+        let d = run_one("crates/sim/src/x.rs", unknown);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "A0");
+        // A malformed allow does NOT suppress the violation it sits on.
+        let both = "fn f(x: Option<u8>) { x.unwrap(); // lint:allow(panic):\n }";
+        let d = run_one("crates/sim/src/x.rs", both);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn string_contents_never_fire() {
+        let src = r#"fn f() { let s = "HashMap Instant::now() .unwrap() panic!"; }"#;
+        assert!(run_one("crates/trace/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn x1_detects_missing_variant() {
+        let event = "pub enum Event { Alpha, Beta }";
+        let seg = "impl Segment { pub fn encode() { Event::Alpha; Event::Beta; } \
+                    pub fn decode_into() { Event::Alpha; } }";
+        let sum = "fn s() { Event::Alpha; Event::Beta; }";
+        let ctx = "fn c() { Event::Alpha; }";
+        let cur = "fn k() { Event::Beta; }";
+        let files = vec![
+            ("crates/trace/src/event.rs".to_string(), lex(event)),
+            ("crates/trace/src/segment.rs".to_string(), lex(seg)),
+            ("crates/trace/src/summary.rs".to_string(), lex(sum)),
+            ("crates/sim/src/ctx.rs".to_string(), lex(ctx)),
+            ("crates/sim/src/cursor.rs".to_string(), lex(cur)),
+        ];
+        let d = rule_x1(&files);
+        // decode_into is missing Beta; everything else is covered (the
+        // sim consume path is the union of ctx+cursor).
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "X1");
+        assert!(d[0].msg.contains("Beta") && d[0].msg.contains("decode"));
+    }
+}

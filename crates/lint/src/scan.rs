@@ -1,0 +1,291 @@
+//! Lightweight item/scope scanning over the token stream.
+//!
+//! Two jobs:
+//!
+//! 1. **Test-scope detection** — `#[cfg(test)] mod … { … }` bodies and
+//!    `#[test]`-attributed functions, so rules like P1 ("no panics in
+//!    non-test library code") can skip them without a full parse.
+//! 2. **Function spans** — the token range of a named `fn`'s body, used
+//!    by the X1 exhaustiveness rule to check that every `Event` variant
+//!    appears inside specific codec functions.
+//!
+//! Both work by brace matching on the lexed token stream; strings and
+//! comments are already gone, so `{`/`}` counts are reliable.
+
+use crate::lexer::{Tok, Token};
+
+/// Token-index ranges (half-open) of test-only code.
+#[derive(Debug, Default)]
+pub struct TestScopes {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl TestScopes {
+    /// Whether token index `i` falls inside any test scope.
+    pub fn contains(&self, i: usize) -> bool {
+        self.ranges.iter().any(|&(s, e)| i >= s && i < e)
+    }
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    matches!(&t.tok, Tok::Ident(n) if n == s)
+}
+
+fn is_punct(t: &Token, c: char) -> bool {
+    t.tok == Tok::Punct(c)
+}
+
+/// Find the index just past the `}` matching the `{` at `open`.
+/// Returns `toks.len()` if unbalanced (forgiving: treat rest as inside).
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    debug_assert!(is_punct(&toks[open], '{'));
+    let mut depth = 0i64;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if is_punct(t, '{') {
+            depth += 1;
+        } else if is_punct(t, '}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Does `#[…]` starting at index `i` (the `#`) contain `needle` as an
+/// identifier (e.g. `cfg(test)` → needles `cfg` + `test`, `#[test]` →
+/// `test`)? Returns the index just past the closing `]` on match shape,
+/// or `None` if `i` does not start an attribute.
+fn attr_span(toks: &[Token], i: usize) -> Option<(usize, Vec<&str>)> {
+    if !is_punct(&toks[i], '#') {
+        return None;
+    }
+    let mut j = i + 1;
+    if j < toks.len() && is_punct(&toks[j], '!') {
+        j += 1; // inner attribute #![…]
+    }
+    if j >= toks.len() || !is_punct(&toks[j], '[') {
+        return None;
+    }
+    let mut depth = 0i64;
+    let mut names = Vec::new();
+    let mut k = j;
+    while k < toks.len() {
+        match &toks[k].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((k + 1, names));
+                }
+            }
+            Tok::Ident(n) => names.push(n.as_str()),
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Scan for test scopes: `#[cfg(test)] mod x { … }` bodies and
+/// `#[test]` / `#[should_panic]` function bodies (attribute runs are
+/// followed through, so `#[test] #[should_panic] fn …` works).
+pub fn test_scopes(toks: &[Token]) -> TestScopes {
+    let mut out = TestScopes::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let Some((mut after, names)) = attr_span(toks, i) else {
+            i += 1;
+            continue;
+        };
+        let mut is_cfg_test = names.len() >= 2 && names[0] == "cfg" && names.contains(&"test");
+        let mut is_test_fn = names.first() == Some(&"test");
+        // Follow any further attributes (#[test] #[ignore] fn …).
+        while let Some((next, more)) = attr_span(toks, after) {
+            is_cfg_test |= more.len() >= 2 && more[0] == "cfg" && more.contains(&"test");
+            is_test_fn |= more.first() == Some(&"test");
+            after = next;
+        }
+        if !(is_cfg_test || is_test_fn) {
+            i = after;
+            continue;
+        }
+        // The attributed item: scan forward to its opening `{` (skipping
+        // e.g. `pub`, `mod name`, `fn name(..) -> T`), then brace-match.
+        let mut k = after;
+        let mut paren = 0i64;
+        while k < toks.len() {
+            match &toks[k].tok {
+                Tok::Punct('(') => paren += 1,
+                Tok::Punct(')') => paren -= 1,
+                Tok::Punct('{') if paren == 0 => break,
+                Tok::Punct(';') if paren == 0 => break, // declaration, no body
+                _ => {}
+            }
+            k += 1;
+        }
+        if k < toks.len() && is_punct(&toks[k], '{') {
+            let end = matching_brace(toks, k);
+            out.ranges.push((i, end));
+            i = end;
+        } else {
+            i = k;
+        }
+    }
+    out
+}
+
+/// The token range (half-open, body braces included) of `fn name`'s
+/// body, or `None` if the file has no such function.
+pub fn fn_span(toks: &[Token], name: &str) -> Option<(usize, usize)> {
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if is_ident(&toks[i], "fn") && is_ident(&toks[i + 1], name) {
+            // Forward to the body `{` at paren/bracket depth 0 (skips
+            // argument lists, return types, where clauses).
+            let mut k = i + 2;
+            let mut depth = 0i64;
+            while k < toks.len() {
+                match &toks[k].tok {
+                    Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                    Tok::Punct('{') if depth == 0 => {
+                        return Some((k, matching_brace(toks, k)));
+                    }
+                    Tok::Punct(';') if depth == 0 => break, // trait decl
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Collect the variant names of `enum <name> { … }` from a token stream:
+/// identifiers at brace depth 1 that start a variant (i.e. follow `{`,
+/// `,`, or the end of a variant's payload).
+pub fn enum_variants(toks: &[Token], name: &str) -> Vec<String> {
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if is_ident(&toks[i], "enum") && is_ident(&toks[i + 1], name) {
+            // Forward to `{` (skipping generics).
+            let mut k = i + 2;
+            while k < toks.len() && !is_punct(&toks[k], '{') {
+                k += 1;
+            }
+            if k >= toks.len() {
+                return Vec::new();
+            }
+            let end = matching_brace(toks, k);
+            let mut variants = Vec::new();
+            let mut depth = 0i64;
+            let mut expect_variant = false;
+            for t in &toks[k..end] {
+                match &t.tok {
+                    Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => {
+                        if t.tok == Tok::Punct('{') && depth == 0 {
+                            expect_variant = true;
+                        }
+                        depth += 1;
+                    }
+                    Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => {
+                        // `]` never ends a payload (attributes use it;
+                        // payloads are `{…}` / `(…)`), so it must not
+                        // clear the variant-expected flag.
+                        if t.tok != Tok::Punct(']') && depth == 2 {
+                            expect_variant = false;
+                        }
+                        depth -= 1;
+                    }
+                    Tok::Punct(',') if depth == 1 => expect_variant = true,
+                    Tok::Punct('#') => {} // attribute punctuation
+                    Tok::Ident(n) if depth == 1 && expect_variant => {
+                        // Skip attribute contents like doc idents: real
+                        // variants are followed by `,` `{` `(` `=` or `}`.
+                        variants.push(n.clone());
+                        expect_variant = false;
+                    }
+                    _ => {}
+                }
+            }
+            return variants;
+        }
+        i += 1;
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_mod_is_a_scope() {
+        let l = lex("fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn b() { y.unwrap(); }\n}\nfn c() {}");
+        let sc = test_scopes(&l.tokens);
+        let unwraps: Vec<bool> = l
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(&t.tok, Tok::Ident(n) if n == "unwrap"))
+            .map(|(i, _)| sc.contains(i))
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+
+    #[test]
+    fn test_fn_is_a_scope() {
+        let l =
+            lex("#[test]\n#[should_panic]\nfn t() { boom.unwrap(); }\nfn u() { fine.unwrap(); }");
+        let sc = test_scopes(&l.tokens);
+        let unwraps: Vec<bool> = l
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(&t.tok, Tok::Ident(n) if n == "unwrap"))
+            .map(|(i, _)| sc.contains(i))
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn other_attributes_are_not_scopes() {
+        let l = lex("#[derive(Debug)]\nstruct S;\nfn f() { x.unwrap(); }");
+        let sc = test_scopes(&l.tokens);
+        assert!(!(0..l.tokens.len()).any(|i| sc.contains(i)));
+    }
+
+    #[test]
+    fn fn_span_finds_body() {
+        let l = lex("fn a(x: u32) -> u32 { x }\nfn b() { inner() }\n");
+        let (s, e) = fn_span(&l.tokens, "b").expect("b exists");
+        let names: Vec<&str> = l.tokens[s..e]
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["inner"]);
+        assert!(fn_span(&l.tokens, "missing").is_none());
+    }
+
+    #[test]
+    fn enum_variant_names() {
+        let src = "pub enum Event { A, B { x: u64, y: bool }, C(u32), D, }";
+        let l = lex(src);
+        assert_eq!(enum_variants(&l.tokens, "Event"), vec!["A", "B", "C", "D"]);
+        assert!(enum_variants(&l.tokens, "Missing").is_empty());
+    }
+
+    #[test]
+    fn enum_variants_skip_doc_attrs() {
+        let src = "enum E {\n /// doc text here\n #[allow(dead_code)]\n First,\n Second,\n}";
+        let l = lex(src);
+        assert_eq!(enum_variants(&l.tokens, "E"), vec!["First", "Second"]);
+    }
+}

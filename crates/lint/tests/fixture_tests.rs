@@ -1,0 +1,75 @@
+//! Fixture-based self-tests: a tree with one planted violation per rule
+//! must trip every rule; the corrected tree must be silent.
+
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn violations_tree_trips_every_rule() {
+    let diags = lint::run(&fixture("violations")).expect("fixture tree readable");
+    let hit = |rule: &str, file: &str| diags.iter().any(|d| d.rule == rule && d.file == file);
+    assert!(hit("D1", "crates/trace/src/d1.rs"), "{diags:#?}");
+    assert!(hit("D2", "crates/core/src/d2.rs"), "{diags:#?}");
+    assert!(hit("D3", "crates/trace/src/d3.rs"), "{diags:#?}");
+    assert!(hit("P1", "crates/sim/src/p1.rs"), "{diags:#?}");
+    assert!(hit("A0", "crates/engine/src/a0.rs"), "{diags:#?}");
+    // X1: the fixture decoder never reconstructs Pong.
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "X1" && d.msg.contains("Pong") && d.msg.contains("decode")),
+        "{diags:#?}"
+    );
+    // …and nothing else fires: every planted violation is accounted for.
+    let extra: Vec<_> = diags
+        .iter()
+        .filter(|d| {
+            !matches!(
+                (d.rule, d.file.as_str()),
+                ("D1", "crates/trace/src/d1.rs")
+                    | ("D2", "crates/core/src/d2.rs")
+                    | ("D3", "crates/trace/src/d3.rs")
+                    | ("P1", "crates/sim/src/p1.rs")
+                    | ("A0", "crates/engine/src/a0.rs")
+                    | ("X1", "crates/trace/src/segment.rs")
+            )
+        })
+        .collect();
+    assert!(extra.is_empty(), "unexpected diagnostics: {extra:#?}");
+}
+
+#[test]
+fn clean_tree_is_silent() {
+    let diags = lint::run(&fixture("clean")).expect("fixture tree readable");
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn diagnostics_render_rustc_style() {
+    let diags = lint::run(&fixture("violations")).expect("fixture tree readable");
+    let d2 = diags
+        .iter()
+        .find(|d| d.rule == "D2")
+        .expect("D2 diagnostic present");
+    let rendered = d2.to_string();
+    assert!(rendered.starts_with("error[D2]: "), "{rendered}");
+    assert!(
+        rendered.contains("--> crates/core/src/d2.rs:"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn explain_covers_every_rule() {
+    for (id, name, _) in lint::RULES {
+        let by_id = lint::explain(id).expect("explain by id");
+        assert!(by_id.contains(name), "{by_id}");
+        assert!(lint::explain(name).is_some(), "explain by name {name}");
+    }
+    assert!(lint::explain("nonsense").is_none());
+}

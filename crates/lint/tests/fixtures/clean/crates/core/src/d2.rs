@@ -1,0 +1,6 @@
+//! Fixture: a justified wall-clock read outside crates/bench.
+
+pub fn stamp() -> std::time::Instant {
+    // lint:allow(wall-clock): fixture — host-side measurement that never reaches a capture
+    std::time::Instant::now()
+}

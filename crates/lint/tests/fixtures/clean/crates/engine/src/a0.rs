@@ -1,0 +1,7 @@
+//! Fixture: a well-formed allow annotation (known rule, non-empty
+//! reason) parses without an A0 diagnostic.
+
+pub fn first() -> u32 {
+    // lint:allow(panic): fixture — provably infallible, slice literal is non-empty
+    [1u32, 2, 3].first().copied().expect("non-empty literal")
+}

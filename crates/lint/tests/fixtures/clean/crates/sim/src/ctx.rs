@@ -1,0 +1,8 @@
+//! Fixture: sim consume surface handling Ping; Pong is handled by the
+//! cursor half (the X1 sim surface is the union of both files).
+
+use crate::event::Event;
+
+pub fn consume(ev: &Event) -> bool {
+    matches!(ev, Event::Ping)
+}

@@ -1,0 +1,27 @@
+//! Fixture: cursor half of the sim consume surface — handles Pong,
+//! proving the union semantics of the X1 sim surface.
+
+use crate::event::Event;
+
+pub fn consume_remote(ev: &Event) -> u64 {
+    match ev {
+        Event::Pong { addr } => *addr,
+        _ => 0,
+    }
+}
+
+// A justified infallible call, proving the P1 allow grammar works.
+pub fn head(v: &[u64]) -> u64 {
+    // lint:allow(panic): fixture — caller guarantees non-empty input
+    *v.first().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    // Unannotated unwrap in test code must NOT fire P1.
+    #[test]
+    fn test_scope_is_exempt() {
+        let x: Option<u32> = Some(3);
+        assert_eq!(x.unwrap(), 3);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: the justified spelling of an address cast, plus decoys the
+//! D3 heuristic must not flag.
+
+pub fn masked(page_addr: u64) -> usize {
+    // lint:allow(addr-cast): fixture — value is pre-masked to 48 bits by the caller
+    page_addr as usize
+}
+
+pub fn not_an_address(size: u32) -> u64 {
+    // No "addr" in the castee: must not fire.
+    size as u64
+}
+
+pub fn string_decoy() -> &'static str {
+    // Mentions inside strings must not fire either.
+    "page_addr as usize"
+}

@@ -1,0 +1,9 @@
+//! Fixture: a two-variant Event enum, fully handled everywhere.
+
+/// Mini event enum.
+pub enum Event {
+    /// Handled everywhere.
+    Ping,
+    /// Also handled everywhere.
+    Pong { addr: u64 },
+}

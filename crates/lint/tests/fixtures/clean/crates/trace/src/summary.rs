@@ -1,0 +1,22 @@
+//! Fixture: summary surface handling every variant, with a justified
+//! hash set (len-only).
+
+use crate::event::Event;
+// lint:allow(hash-order): fixture — only len() is read, iteration order never escapes
+use std::collections::HashSet;
+
+pub fn summarize(evs: &[Event]) -> (u32, usize) {
+    // lint:allow(hash-order): fixture — len-only working-set counter
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut score = 0;
+    for ev in evs {
+        match ev {
+            Event::Ping => score += 1,
+            Event::Pong { addr } => {
+                seen.insert(*addr);
+                score += 2;
+            }
+        }
+    }
+    (score, seen.len())
+}

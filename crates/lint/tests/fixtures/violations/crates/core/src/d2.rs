@@ -1,0 +1,5 @@
+//! Fixture: planted D2 violation (wall clock outside crates/bench).
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

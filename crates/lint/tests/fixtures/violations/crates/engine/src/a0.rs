@@ -1,0 +1,4 @@
+//! Fixture: planted A0 violation (allow annotation with empty reason).
+
+// lint:allow(panic):
+pub fn noop() {}

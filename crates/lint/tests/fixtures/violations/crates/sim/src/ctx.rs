@@ -1,0 +1,10 @@
+//! Fixture: sim consume surface handling every variant.
+
+use crate::event::Event;
+
+pub fn consume(ev: &Event) {
+    match ev {
+        Event::Ping => {}
+        Event::Pong { .. } => {}
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: cursor half of the sim consume surface (no Event refs —
+//! the X1 sim surface is the union of ctx.rs and this file).
+
+pub fn advance(pos: &mut usize) {
+    *pos += 1;
+}

@@ -1,0 +1,5 @@
+//! Fixture: planted P1 violation (unwrap in non-test library code).
+
+pub fn force(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,8 @@
+//! Fixture: planted D1 violation (hash collection in a capture-path
+//! crate with no justification).
+
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}

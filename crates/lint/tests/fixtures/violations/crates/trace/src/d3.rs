@@ -1,0 +1,6 @@
+//! Fixture: planted D3 violation (raw truncating cast on an
+//! address-typed expression at the capture boundary).
+
+pub fn truncate(page_addr: u64) -> usize {
+    page_addr as usize
+}

@@ -1,0 +1,9 @@
+//! Fixture: a two-variant Event enum for the X1 exhaustiveness check.
+
+/// Mini event enum.
+pub enum Event {
+    /// Handled everywhere.
+    Ping,
+    /// Planted skew: the decoder below never reconstructs this.
+    Pong { addr: u64 },
+}

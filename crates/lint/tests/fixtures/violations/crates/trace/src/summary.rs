@@ -1,0 +1,10 @@
+//! Fixture: summary surface handling every variant.
+
+use crate::event::Event;
+
+pub fn summarize(ev: &Event) -> u32 {
+    match ev {
+        Event::Ping => 1,
+        Event::Pong { .. } => 2,
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the lint lexer and annotation parser: arbitrary
+//! payloads inside strings, raw strings, and comments must never leak
+//! tokens, and well-formed `lint:allow` annotations must round-trip.
+
+use lint::lexer::{lex, Tok};
+use lint::rules::parse_allows;
+use proptest::prelude::*;
+
+/// Characters legal inside a cooked string without escaping, chosen to
+/// look like rule-triggering code if they ever leaked.
+const STR_ALPHABET: &[char] = &[
+    'H', 'a', 's', 'h', 'M', 'p', 'u', 'n', 'w', 'r', '(', ')', '.', ':', '!', ' ', '{', '}', '<',
+    '>', '_', '0', '9', '\'', '#', '/', '*',
+];
+
+/// Characters legal inside `r#"…"#` (no `"` — keeps the payload from
+/// closing the raw string regardless of hash depth decisions).
+const RAW_ALPHABET: &[char] = &[
+    'I', 'n', 's', 't', 'a', 't', ':', '(', ')', '.', ' ', '\\', '\'', '{', '}', '!',
+];
+
+/// Characters for line-comment payloads (no newline).
+const COMMENT_ALPHABET: &[char] = &[
+    'p', 'a', 'n', 'i', 'c', '!', '(', ')', '.', 'u', 'w', 'r', ' ', '"', '\'', '{', '}',
+];
+
+fn from_alphabet(alphabet: &[char], picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| alphabet[i % alphabet.len()])
+        .collect()
+}
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter_map(|t| match t.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn string_payloads_never_tokenize(picks in prop::collection::vec(0usize..64, 0..40)) {
+        let payload = from_alphabet(STR_ALPHABET, &picks);
+        let src = format!("let s = \"{payload}\"; end");
+        prop_assert_eq!(idents(&src), vec!["let".to_string(), "s".to_string(), "end".to_string()]);
+        let strs = lex(&src).tokens.iter().filter(|t| t.tok == Tok::Str).count();
+        prop_assert_eq!(strs, 1);
+    }
+
+    #[test]
+    fn raw_string_payloads_never_tokenize(picks in prop::collection::vec(0usize..64, 0..40)) {
+        let payload = from_alphabet(RAW_ALPHABET, &picks);
+        let src = format!("let s = r#\"{payload}\"#; end");
+        prop_assert_eq!(idents(&src), vec!["let".to_string(), "s".to_string(), "end".to_string()]);
+    }
+
+    #[test]
+    fn line_comment_payloads_never_tokenize(picks in prop::collection::vec(0usize..64, 0..40)) {
+        let payload = from_alphabet(COMMENT_ALPHABET, &picks);
+        let src = format!("before // {payload}\nafter");
+        prop_assert_eq!(idents(&src), vec!["before".to_string(), "after".to_string()]);
+        let l = lex(&src);
+        prop_assert_eq!(l.comments.len(), 1);
+        prop_assert!(l.comments[0].text.contains(&payload));
+    }
+
+    #[test]
+    fn nested_block_comments_at_any_depth(
+        depth in 1usize..5,
+        picks in prop::collection::vec(0usize..64, 0..20),
+    ) {
+        // Payload must not contain '*' or '/' so it cannot change depth.
+        let payload: String = picks
+            .iter()
+            .map(|&i| COMMENT_ALPHABET[i % COMMENT_ALPHABET.len()])
+            .filter(|&c| c != '*' && c != '/')
+            .collect();
+        let open = "/*".repeat(depth);
+        let close = "*/".repeat(depth);
+        let src = format!("a {open}{payload}{close} b");
+        prop_assert_eq!(idents(&src), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn annotation_roundtrip(
+        rule_i in 0usize..4,
+        reason_picks in prop::collection::vec(0usize..64, 1..30),
+    ) {
+        let rule = ["hash-order", "wall-clock", "addr-cast", "panic"][rule_i];
+        // Reasons: printable words/spaces, no newline; must trim non-empty.
+        let alphabet: &[char] = &['r', 'e', 'a', 's', 'o', 'n', ' ', '-', '3'];
+        let mut reason = from_alphabet(alphabet, &reason_picks);
+        if reason.trim().is_empty() {
+            reason = "x".to_string();
+        }
+        let src = format!("// lint:allow({rule}): {reason}\nfn f() {{}}");
+        let l = lex(&src);
+        let (allows, diags) = parse_allows(&l.comments, "f.rs");
+        prop_assert!(diags.is_empty());
+        prop_assert_eq!(allows.len(), 1);
+        prop_assert_eq!(allows[0].rule.as_str(), rule);
+        prop_assert_eq!(allows[0].reason.as_str(), reason.trim());
+        prop_assert_eq!(allows[0].line, 1);
+    }
+}

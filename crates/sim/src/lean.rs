@@ -179,6 +179,7 @@ fn issue_from(
         // 1. Retry a store that was waiting for buffer space.
         if let Some(ps) = th.pending_store {
             if !ctx.store_space() {
+                // lint:allow(panic): store_space() returned false, so the buffer is full and non-empty
                 let (ready, class) = ctx.oldest_store().expect("full buffer has entries");
                 ctx.block(ready, class, now);
                 break;
@@ -255,6 +256,7 @@ fn issue_from(
             Some(Event::Store { addr, size }) => {
                 if !ctx.store_space() {
                     th.pending_store = Some(PendingStore { addr, size });
+                    // lint:allow(panic): store_space() returned false, so the buffer is full and non-empty
                     let (ready, class) = ctx.oldest_store().expect("full buffer has entries");
                     ctx.block(ready, class, now);
                     break;

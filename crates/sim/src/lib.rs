@@ -42,6 +42,7 @@
 //! Everything is deterministic: same traces + same config ⇒ same cycle
 //! counts.
 
+#![forbid(unsafe_code)]
 pub mod analytic;
 pub mod builder;
 pub mod cache;

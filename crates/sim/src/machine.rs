@@ -159,6 +159,7 @@ impl<'a> Machine<'a> {
         };
         let mut m = MachineBuilder::from_config(cfg, mode)
             .build(bundle)
+            // lint:allow(panic): documented panic shim; fallible callers build via MachineBuilder and get a ConfigError
             .unwrap_or_else(|e| panic!("invalid machine config: {e}"));
         m.manual_shim = true;
         m
@@ -255,6 +256,7 @@ impl<'a> Machine<'a> {
     pub fn run(cfg: MachineConfig, bundle: &'a TraceBundle, mode: RunMode) -> SimResult {
         MachineBuilder::from_config(cfg, mode)
             .build(bundle)
+            // lint:allow(panic): documented panic shim; fallible callers use MachineBuilder directly
             .unwrap_or_else(|e| panic!("invalid machine config: {e}"))
             .execute()
     }

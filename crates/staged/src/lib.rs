@@ -32,6 +32,7 @@
 //! ordering); the locality and parallelism effects — shared buffer lines,
 //! partitioned work — are captured.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod capture;

@@ -145,7 +145,7 @@ impl AddressSpace {
         let base = self.alloc_aligned(bytes, 64);
         self.segments
             .lock()
-            .expect("segment registry poisoned")
+            .expect("segment registry poisoned") // lint:allow(panic): poisoned mutex means a capture thread already panicked; propagating is the only sane option
             .push(SegmentInfo {
                 name,
                 base,
@@ -163,6 +163,7 @@ impl AddressSpace {
 
     fn alloc_aligned(&self, bytes: u64, align: u64) -> SimAddr {
         self.try_alloc_aligned(bytes, align)
+            // lint:allow(panic): documented panic shim over the typed try_ variant; exhaustion means a mis-scaled workload, not a recoverable state
             .unwrap_or_else(|e| panic!("simulated data address space exhausted: {e}"))
     }
 
@@ -201,7 +202,7 @@ impl AddressSpace {
     pub fn segments(&self) -> Vec<SegmentInfo> {
         self.segments
             .lock()
-            .expect("segment registry poisoned")
+            .expect("segment registry poisoned") // lint:allow(panic): poisoned mutex means a capture thread already panicked; propagating is the only sane option
             .clone()
     }
 
@@ -218,6 +219,7 @@ impl AddressSpace {
     /// oversized.
     pub fn reserve_arena(&self, name: &'static str, bytes: u64) -> ScratchArena {
         self.try_reserve_arena(name, bytes)
+            // lint:allow(panic): documented panic shim; callers that can recover use try_reserve_arena
             .unwrap_or_else(|e| panic!("arena reservation \"{name}\" failed: {e}"))
     }
 
@@ -233,7 +235,7 @@ impl AddressSpace {
         let base = self.try_alloc_aligned(bytes, 64)?;
         self.segments
             .lock()
-            .expect("segment registry poisoned")
+            .expect("segment registry poisoned") // lint:allow(panic): poisoned mutex means a capture thread already panicked; propagating is the only sane option
             .push(SegmentInfo {
                 name,
                 base,

@@ -25,6 +25,7 @@
 //!   region so that the L1-I working set of a workload equals the sum of its
 //!   active regions (large for OLTP, small for DSS scan loops — paper §4).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addr;

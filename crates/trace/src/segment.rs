@@ -228,6 +228,7 @@ impl Segment {
                     K_LOAD | K_LOAD_DEP | K_STORE => {
                         let delta = unzigzag(get_varint(&self.mem, &mut mem_pos));
                         let size = get_varint(&self.mem, &mut mem_pos) as u16;
+                        // lint:allow(addr-cast): inverse of encode's zigzag delta; reconstructs the exact u64 the encoder masked, cannot truncate further
                         let addr = (prev_addr + delta) as u64;
                         prev_addr = addr as i64;
                         match kind {

@@ -4,6 +4,8 @@
 //! data/instruction line counts (working-set proxies), and the
 //! dependent-load fraction (memory-level-parallelism proxy).
 
+#[allow(clippy::disallowed_types)]
+// lint:allow(hash-order): both sets below feed order-independent reductions (len and sum)
 use std::collections::HashSet;
 
 use crate::event::{lines_touched, Event, CACHE_LINE};
@@ -47,8 +49,11 @@ impl TraceSummary {
     /// Summarize a set of traces against their region table.
     pub fn compute(regions: &CodeRegions, threads: &[ThreadTrace]) -> Self {
         let mut s = TraceSummary::default();
+        #[allow(clippy::disallowed_types)]
+        // lint:allow(hash-order): data_lines is read via len() only; regions_seen is summed, and addition commutes
         let mut data_lines: HashSet<u64> = HashSet::new();
-        let mut regions_seen: HashSet<u16> = HashSet::new();
+        #[allow(clippy::disallowed_types)]
+        let mut regions_seen: HashSet<u16> = HashSet::new(); // lint:allow(hash-order): summed below; addition commutes
         for t in threads {
             for ev in t.iter() {
                 match ev {

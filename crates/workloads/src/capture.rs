@@ -294,6 +294,7 @@ mod tests {
         let (mut db, h) = build_tpcc(TpccScale::tiny(), 34);
         let bundle = capture_oltp(&mut db, &h, CaptureOptions::new(2, 8, 34));
         let lines = |t: &dbcmp_trace::ThreadTrace| {
+            #[allow(clippy::disallowed_types)]
             let mut s = std::collections::HashSet::new();
             for e in t.iter() {
                 match e {

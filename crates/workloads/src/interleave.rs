@@ -27,6 +27,12 @@
 //! a small hot pool (`hot_items`), concentrating X locks on a few rows —
 //! the skew axis the `fig_contention` sweep turns.
 
+// Hash collections here are audited per-site with lint:allow(hash-order)
+// annotations (rule D1); the file-level clippy opt-out avoids repeating
+// an attribute at every justified site.
+#![allow(clippy::disallowed_types)]
+
+// lint:allow(hash-order): the only HashMap here (txn -> client owner) is get/insert only, never iterated
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -422,11 +428,13 @@ pub fn capture_oltp_interleaved(
     }
     let n = opt.clients;
     let mut state = vec![State::Runnable; n];
+    // lint:allow(hash-order): keyed wakeup lookup only; scheduling order comes from the round-robin scan over `state`
     let mut owner: HashMap<TxnId, usize> = HashMap::new();
     let mut stats = ContentionStats::default();
     let mut rr = 0usize;
     let mut finished = 0usize;
 
+    // lint:allow(hash-order): `woken` (lock-manager grant order) drives iteration; the map is probed per key
     let wake = |state: &mut [State], owner: &HashMap<TxnId, usize>, woken: &[TxnId]| {
         for t in woken {
             if let Some(&c) = owner.get(t) {

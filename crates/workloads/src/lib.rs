@@ -18,6 +18,7 @@
 //! [`capture`] runs client sessions against the engine and produces
 //! [`TraceBundle`](dbcmp_trace::TraceBundle)s for the simulator.
 
+#![forbid(unsafe_code)]
 // Money literals are written as dollars_cents (e.g. 5_000_00 = $5000.00).
 #![allow(clippy::inconsistent_digit_grouping)]
 

@@ -573,6 +573,7 @@ mod tests {
 
     #[test]
     fn key_packing_is_injective_in_range() {
+        #[allow(clippy::disallowed_types)]
         let mut seen = std::collections::HashSet::new();
         for w in 1..=4u64 {
             for d in 1..=10 {

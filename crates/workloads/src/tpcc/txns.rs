@@ -26,7 +26,7 @@ use super::{
 use crate::rng::{last_name, uniform};
 
 /// Which transaction ran (for mix accounting).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TxnKind {
     NewOrder,
     Payment,
@@ -503,7 +503,9 @@ fn stock_level<D: EngineOps>(
     Ok(TxnOutcome::Committed)
 }
 
-/// Run `n` transactions of the spec mix; returns per-kind commit counts.
+/// Run `n` transactions of the spec mix; returns per-kind commit counts
+/// in a `BTreeMap` so callers that print or fold the counts see a
+/// deterministic kind order (the stock_level bug class from PR 2).
 pub fn run_mix<D: EngineOps>(
     db: &mut D,
     h: &TpccDb,
@@ -511,8 +513,8 @@ pub fn run_mix<D: EngineOps>(
     n: usize,
     rng: &mut StdRng,
     tc: &mut TraceCtx,
-) -> std::collections::HashMap<TxnKind, usize> {
-    let mut counts = std::collections::HashMap::new();
+) -> std::collections::BTreeMap<TxnKind, usize> {
+    let mut counts = std::collections::BTreeMap::new();
     for _ in 0..n {
         let kind = draw_kind(rng);
         match run_txn(db, h, kind, w_home, rng, tc) {

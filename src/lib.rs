@@ -26,6 +26,7 @@
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
 
+#![forbid(unsafe_code)]
 pub use dbcmp_cacti as cacti;
 pub use dbcmp_core as core;
 pub use dbcmp_engine as engine;

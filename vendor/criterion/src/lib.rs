@@ -12,6 +12,9 @@
 //! saved baselines — just stable, honest ns/iter numbers printed to
 //! stdout, which is all the substrate benches here need.
 
+#![forbid(unsafe_code)]
+// This crate IS the wall-clock measurement layer; rule D2 exempts it.
+#![allow(clippy::disallowed_methods)]
 use std::time::{Duration, Instant};
 
 /// Target wall-clock time per sample; batches are sized to roughly hit

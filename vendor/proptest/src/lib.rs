@@ -18,6 +18,7 @@
 //!   overridable with the `PROPTEST_CASES` env var or
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]`.
 
+#![forbid(unsafe_code)]
 pub mod arbitrary;
 pub mod collection;
 pub mod strategy;

@@ -11,6 +11,7 @@
 //! **not** cryptographically secure and `gen_range` uses modulo reduction
 //! (bias ≤ 2⁻³² for the ranges used here).
 
+#![forbid(unsafe_code)]
 use std::ops::{Range, RangeInclusive};
 
 pub mod rngs {

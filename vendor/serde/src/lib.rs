@@ -7,6 +7,7 @@
 //! swap these path deps for the crates.io versions; call sites won't
 //! change.
 
+#![forbid(unsafe_code)]
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker trait matching `serde::Serialize`'s name. Never implemented by

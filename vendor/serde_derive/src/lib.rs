@@ -4,6 +4,7 @@
 //! serializes anything (there is no `serde_json` in the tree), so an
 //! empty expansion is sufficient and keeps compile times trivial.
 
+#![forbid(unsafe_code)]
 use proc_macro::TokenStream;
 
 #[proc_macro_derive(Serialize, attributes(serde))]
