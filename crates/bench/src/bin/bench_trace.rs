@@ -32,9 +32,13 @@ use dbcmp_bench::trajectory::{TracePoint, Trajectory};
 use dbcmp_bench::{footer, header, scale_from_args};
 use dbcmp_core::{CapturedWorkload, WorkloadKind};
 use dbcmp_sim::cursor::TraceCursor;
-use dbcmp_trace::{CountingSink, Event, TraceBundle, Tracer, SEGMENT_EVENTS};
+use dbcmp_trace::{CountingSink, Event, TraceBundle, TraceSummary, Tracer, SEGMENT_EVENTS};
 
 const DEFAULT_PATH: &str = "BENCH_trace.json";
+
+/// Hot-row skew of the contended trajectory capture (the
+/// `fig_contention`/`fig_cc` high-skew point: heavy lock parking).
+const CONTENDED_HOT_PCT: u8 = 90;
 
 /// Keep timing loops running at least this long for stable rates.
 const MIN_MEASURE_SECS: f64 = 0.25;
@@ -78,15 +82,43 @@ fn main() {
         "columnar format must beat the flat 8 B/event"
     );
 
+    println!("capturing contended OLTP workload ({CONTENDED_HOT_PCT}% hot skew) ...");
+    let (cw, cstats) = CapturedWorkload::oltp_contended(&scale, CONTENDED_HOT_PCT);
+    let contended_events = cw.bundle.total_events() as u64;
+    let contended_encoded_bytes = cw.bundle.encoded_bytes() as u64;
+    let contended_blocks = TraceSummary::compute(&cw.bundle.regions, &cw.bundle.threads).blocks;
+    println!(
+        "  {contended_events} events, {contended_encoded_bytes} encoded bytes, \
+         {contended_blocks} lock parks ({} deadlock aborts)",
+        cstats.deadlock_aborts
+    );
+    assert!(
+        contended_blocks > 0,
+        "the contended capture must park on the hot lock path"
+    );
+
     if check {
-        run_check(&path, scale_label, events, encoded_bytes, peak_bundle_bytes);
+        run_check(
+            &path,
+            scale_label,
+            Deterministic {
+                events,
+                encoded_bytes,
+                peak_bundle_bytes,
+                contended_events,
+                contended_encoded_bytes,
+                contended_blocks,
+            },
+        );
         footer(start);
         return;
     }
 
     let events_captured_per_sec = measure_capture(bundle);
     let events_replayed_per_sec = measure_replay(bundle);
+    let contended_captured_per_sec = measure_capture(&cw.bundle);
     println!("  capture {events_captured_per_sec:.3e} events/s, replay {events_replayed_per_sec:.3e} events/s");
+    println!("  contended capture {contended_captured_per_sec:.3e} events/s");
 
     let point = |seq| TracePoint {
         seq,
@@ -97,6 +129,10 @@ fn main() {
         peak_bundle_bytes,
         events_captured_per_sec,
         events_replayed_per_sec,
+        contended_events,
+        contended_encoded_bytes,
+        contended_blocks,
+        contended_captured_per_sec,
     };
 
     if update {
@@ -123,10 +159,21 @@ fn main() {
     footer(start);
 }
 
+/// Today's deterministic measurements, compared against the committed
+/// point by `--check`.
+struct Deterministic {
+    events: u64,
+    encoded_bytes: u64,
+    peak_bundle_bytes: u64,
+    contended_events: u64,
+    contended_encoded_bytes: u64,
+    contended_blocks: u64,
+}
+
 /// CI gate: the committed trajectory must exist, parse, match the
 /// schema, and its latest point must reproduce today's deterministic
 /// measurements.
-fn run_check(path: &str, scale_label: &str, events: u64, encoded_bytes: u64, peak: u64) {
+fn run_check(path: &str, scale_label: &str, now: Deterministic) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|_| {
         eprintln!("error: {path} is missing — run `bench_trace --quick --update` and commit it");
         std::process::exit(1);
@@ -148,21 +195,41 @@ fn run_check(path: &str, scale_label: &str, events: u64, encoded_bytes: u64, pea
         );
         std::process::exit(1);
     }
+    if last.contended_events == 0 {
+        eprintln!(
+            "error: latest trajectory point predates the contended capture — \
+             re-run `bench_trace --quick --update` and commit"
+        );
+        std::process::exit(1);
+    }
     let mut stale = Vec::new();
-    if last.events != events {
-        stale.push(format!("events: committed {} vs now {events}", last.events));
-    }
-    if last.encoded_bytes != encoded_bytes {
-        stale.push(format!(
-            "encoded_bytes: committed {} vs now {encoded_bytes}",
-            last.encoded_bytes
-        ));
-    }
-    if last.peak_bundle_bytes != peak {
-        stale.push(format!(
-            "peak_bundle_bytes: committed {} vs now {peak}",
-            last.peak_bundle_bytes
-        ));
+    for (name, committed, current) in [
+        ("events", last.events, now.events),
+        ("encoded_bytes", last.encoded_bytes, now.encoded_bytes),
+        (
+            "peak_bundle_bytes",
+            last.peak_bundle_bytes,
+            now.peak_bundle_bytes,
+        ),
+        (
+            "contended_events",
+            last.contended_events,
+            now.contended_events,
+        ),
+        (
+            "contended_encoded_bytes",
+            last.contended_encoded_bytes,
+            now.contended_encoded_bytes,
+        ),
+        (
+            "contended_blocks",
+            last.contended_blocks,
+            now.contended_blocks,
+        ),
+    ] {
+        if committed != current {
+            stale.push(format!("{name}: committed {committed} vs now {current}"));
+        }
     }
     if !stale.is_empty() {
         eprintln!(

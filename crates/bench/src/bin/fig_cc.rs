@@ -1,0 +1,83 @@
+//! Concurrency-control sweep: the contention sweep's skew axis crossed
+//! with the engine's *software* axis — which concurrency-control backend
+//! serializes the same TPC-C mix.
+//!
+//! The paper's §5.2 contrast keeps the software fixed (one centralized
+//! 2PL lock manager) and varies the memory system. This sweep unfreezes
+//! the software: centralized 2PL (the anchor — identical captures to
+//! `fig_contention`), per-core partitioned locking (lock requests become
+//! cross-core messages the interconnect prices), and Calvin-style
+//! deterministic pre-ordered execution (deadlock aborts are structurally
+//! zero; the cost moves to ordering-queue waits). Each capture replays on
+//! the SMP / CMP / 2x2-island presets.
+
+use dbcmp_bench::{footer, header, scale_from_args};
+use dbcmp_core::figures::{cc_backend_label, fig_cc};
+use dbcmp_core::report::{f3, pct, table};
+
+fn main() {
+    let t0 = header(
+        "Concurrency-control sweep: 2PL vs partitioned vs ordered under skew",
+        "§5.2 ext",
+    );
+    let scale = scale_from_args();
+    let skews = [0u8, 50, 90];
+    let points = fig_cc(&scale, &skews);
+
+    let mut rows = Vec::new();
+    for p in &points {
+        rows.push(vec![
+            cc_backend_label(p.backend).to_string(),
+            format!("{}%", p.hot_pct),
+            (p.stats.lock_waits + p.stats.ordering_waits).to_string(),
+            p.stats.deadlock_aborts.to_string(),
+            p.cc.remote_msgs.to_string(),
+            p.cc.fallback_conflicts.to_string(),
+            f3(p.smp.cpi()),
+            pct(p.smp.breakdown.data_stall_fraction()),
+            f3(p.cmp.cpi()),
+            pct(p.cmp.breakdown.data_stall_fraction()),
+            f3(p.island.cpi()),
+        ]);
+    }
+    print!(
+        "{}",
+        table(
+            &[
+                "CC",
+                "Hot",
+                "Parks",
+                "Deadlocks",
+                "RemoteMsgs",
+                "Fallbacks",
+                "SMP CPI",
+                "SMP D-stall",
+                "CMP CPI",
+                "CMP D-stall",
+                "ISL CPI",
+            ],
+            &rows
+        )
+    );
+    println!();
+
+    // Per-backend SMP-vs-CMP delta at the hottest skew point.
+    let hottest = *skews.last().expect("skews nonempty");
+    for p in points.iter().filter(|p| p.hot_pct == hottest) {
+        println!(
+            "{:<6} skew={hottest}%:  SMP/CMP CPI ratio {:.3},  deadlock aborts {},  \
+             exec waits {},  ordering waits {}",
+            cc_backend_label(p.backend),
+            p.smp.cpi() / p.cmp.cpi(),
+            p.stats.deadlock_aborts,
+            p.stats.lock_waits,
+            p.stats.ordering_waits,
+        );
+    }
+    println!();
+    println!("Shape: 2PL pays deadlock aborts and lock-queue waits; partitioning");
+    println!("converts lock-table sharing into explicit messages (priced by the");
+    println!("interconnect, worst on the SMP); ordered execution eliminates");
+    println!("deadlock aborts entirely and pays with pre-execution ordering waits.");
+    footer(t0);
+}

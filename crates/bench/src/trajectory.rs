@@ -18,8 +18,12 @@
 
 use std::fmt::Write as _;
 
-/// Schema tag expected in `BENCH_trace.json`.
-pub const SCHEMA: &str = "dbcmp-trace-bench/1";
+/// Schema tag expected in `BENCH_trace.json`. Rev 2 adds the
+/// contended-capture fields (ISSUE 9): a `fig_contention`-shaped
+/// interleaved capture at 90% hot-row skew, so capture-throughput
+/// regressions in the hot lock path show up in the trajectory. Points
+/// recorded before rev 2 carry all-zero contended fields.
+pub const SCHEMA: &str = "dbcmp-trace-bench/2";
 
 /// One trajectory point (see module docs for field semantics).
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +45,18 @@ pub struct TracePoint {
     pub events_captured_per_sec: f64,
     /// Cursor block-decode replay throughput (wall-clock).
     pub events_replayed_per_sec: f64,
+    /// Events in the contended (90% hot skew) interleaved OLTP capture
+    /// (deterministic; 0 on points recorded before schema rev 2).
+    pub contended_events: u64,
+    /// Encoded size of the contended capture (deterministic).
+    pub contended_encoded_bytes: u64,
+    /// `Block` events in the contended capture — lock parks flowing
+    /// through the hot lock path into the trace (deterministic).
+    pub contended_blocks: u64,
+    /// Tracer ingest + encode throughput over the contended capture
+    /// (wall-clock; block/wake-heavy streams stress different encoder
+    /// paths than the saturated fig7 capture).
+    pub contended_captured_per_sec: f64,
 }
 
 /// A parsed `BENCH_trace.json`.
@@ -72,8 +88,20 @@ impl Trajectory {
             );
             let _ = writeln!(
                 out,
-                "      \"events_replayed_per_sec\": {:.0}",
+                "      \"events_replayed_per_sec\": {:.0},",
                 p.events_replayed_per_sec
+            );
+            let _ = writeln!(out, "      \"contended_events\": {},", p.contended_events);
+            let _ = writeln!(
+                out,
+                "      \"contended_encoded_bytes\": {},",
+                p.contended_encoded_bytes
+            );
+            let _ = writeln!(out, "      \"contended_blocks\": {},", p.contended_blocks);
+            let _ = writeln!(
+                out,
+                "      \"contended_captured_per_sec\": {:.0}",
+                p.contended_captured_per_sec
             );
             out.push_str(if i + 1 < self.points.len() {
                 "    },\n"
@@ -140,6 +168,31 @@ impl Trajectory {
                     return Err(format!("point {}: {name} = {v} is not positive", p.seq));
                 }
             }
+            // Contended fields are all-present or all-zero (pre-rev-2).
+            if p.contended_events > 0 {
+                if p.contended_encoded_bytes == 0 || p.contended_blocks == 0 {
+                    return Err(format!(
+                        "point {}: contended capture must record bytes and blocks",
+                        p.seq
+                    ));
+                }
+                if !p.contended_captured_per_sec.is_finite() || p.contended_captured_per_sec <= 0.0
+                {
+                    return Err(format!(
+                        "point {}: contended_captured_per_sec = {} is not positive",
+                        p.seq, p.contended_captured_per_sec
+                    ));
+                }
+            } else if p.contended_encoded_bytes != 0
+                || p.contended_blocks != 0
+                || p.contended_captured_per_sec != 0.0
+            {
+                return Err(format!(
+                    "point {}: contended fields must be all-zero when no contended capture \
+                     was measured",
+                    p.seq
+                ));
+            }
         }
         Ok(())
     }
@@ -162,6 +215,10 @@ fn parse_point(obj: &str) -> Result<TracePoint, String> {
         peak_bundle_bytes: int_field(obj, "peak_bundle_bytes")?,
         events_captured_per_sec: num_field(obj, "events_captured_per_sec")?,
         events_replayed_per_sec: num_field(obj, "events_replayed_per_sec")?,
+        contended_events: int_field(obj, "contended_events")?,
+        contended_encoded_bytes: int_field(obj, "contended_encoded_bytes")?,
+        contended_blocks: int_field(obj, "contended_blocks")?,
+        contended_captured_per_sec: num_field(obj, "contended_captured_per_sec")?,
     })
 }
 
@@ -204,6 +261,10 @@ mod tests {
             peak_bundle_bytes: 2_000_000,
             events_captured_per_sec: 120e6,
             events_replayed_per_sec: 300e6,
+            contended_events: 40_000,
+            contended_encoded_bytes: 180_000,
+            contended_blocks: 900,
+            contended_captured_per_sec: 90e6,
         }
     }
 
@@ -247,6 +308,34 @@ mod tests {
             points: vec![point(2), point(1)],
         };
         assert!(t.validate().unwrap_err().contains("increasing"));
+    }
+
+    #[test]
+    fn contended_fields_all_present_or_all_zero() {
+        // A pre-rev-2 point (no contended capture) is valid with zeros.
+        let mut legacy = point(1);
+        legacy.contended_events = 0;
+        legacy.contended_encoded_bytes = 0;
+        legacy.contended_blocks = 0;
+        legacy.contended_captured_per_sec = 0.0;
+        let t = Trajectory {
+            points: vec![legacy.clone(), point(2)],
+        };
+        assert!(t.validate().is_ok());
+        let parsed = Trajectory::parse(&t.to_json()).expect("roundtrip");
+        assert_eq!(parsed.points[0].contended_events, 0);
+        assert_eq!(parsed.points[1].contended_blocks, 900);
+        // Half-recorded contended measurements are rejected either way.
+        let mut half = point(1);
+        half.contended_blocks = 0;
+        let t = Trajectory { points: vec![half] };
+        assert!(t.validate().unwrap_err().contains("blocks"));
+        let mut stray = legacy;
+        stray.contended_blocks = 7;
+        let t = Trajectory {
+            points: vec![stray],
+        };
+        assert!(t.validate().unwrap_err().contains("all-zero"));
     }
 
     #[test]

@@ -12,12 +12,13 @@ use dbcmp_core::deploy::{deploy_capture, fig_deploy};
 use dbcmp_core::experiment::{run_throughput, RunSpec};
 use dbcmp_core::figures::{
     fig2_saturation, fig3_validation, fig45_quadrants, fig4_ratios, fig6_cache_sweep,
-    fig7_smp_vs_cmp, fig8_core_scaling, fig8_core_scaling_timed, fig9_staged, fig_asym,
+    fig7_smp_vs_cmp, fig8_core_scaling, fig8_core_scaling_timed, fig9_staged, fig_asym, fig_cc,
     fig_contention, fig_islands, fig_joins, joins_machines, BASE_CORES, BASE_L2,
 };
 use dbcmp_core::machines::{asym_cmp, cmp_for, fc_cmp, smp_baseline, L2Spec};
 use dbcmp_core::taxonomy::{table1, Camp, WorkloadKind};
 use dbcmp_core::workload::{CapturedWorkload, FigScale};
+use dbcmp_engine::CcBackend;
 use dbcmp_sim::SimResult;
 
 #[test]
@@ -147,6 +148,95 @@ fn fig_contention_quick() {
         smp_growth > cmp_growth,
         "skew must push the SMP's D-stall share up relative to the CMP's: \
          SMP {smp_growth:+.3} vs CMP {cmp_growth:+.3}"
+    );
+}
+
+/// The `fig_cc` gate (ISSUE 9): the Centralized2PL anchor points
+/// reproduce `fig_contention`'s numbers exactly (the trait seam cost
+/// nothing), the partitioned backend turns lock traffic into priced
+/// remote messages without ever deadlocking, and the ordered backend is
+/// structurally free of deadlock aborts even at 90% skew — where the
+/// anchor must pay at least one.
+#[test]
+fn fig_cc_quick() {
+    let scale = FigScale::quick();
+    let skews = [0u8, 90];
+    let points = fig_cc(&scale, &skews);
+    assert_eq!(points.len(), 3 * 2, "3 backends x 2 skews");
+    for p in &points {
+        assert!(p.smp.cycles > 0 && p.cmp.cycles > 0 && p.island.cycles > 0);
+        assert_eq!(
+            p.stats.commits + p.stats.rollbacks,
+            (scale.contention_clients * scale.contention_units) as u64,
+            "{:?} skew={}: every client must complete its units",
+            p.backend,
+            p.hot_pct,
+        );
+        assert_eq!(p.stats.starved_units, 0);
+    }
+    let find = |b: CcBackend, hot: u8| {
+        points
+            .iter()
+            .find(|p| p.backend == b && p.hot_pct == hot)
+            .expect("point present")
+    };
+
+    // Anchor: Centralized2PL through the trait seam is byte-identical to
+    // the pre-refactor pipeline — same capture, same replay numbers.
+    let reference = fig_contention(&scale, &skews);
+    for (i, &hot) in skews.iter().enumerate() {
+        let anchor = find(CcBackend::Centralized2PL, hot);
+        assert_eq!(
+            anchor.stats, reference[i].stats,
+            "2PL capture stats must match fig_contention at skew {hot}"
+        );
+        assert!(
+            same_numbers(&anchor.smp, &reference[i].smp)
+                && same_numbers(&anchor.cmp, &reference[i].cmp),
+            "2PL replay numbers must match fig_contention at skew {hot}"
+        );
+    }
+
+    // The §5.2-ext contrast at high skew: the anchor pays deadlock
+    // aborts, the alternatives structurally cannot.
+    assert!(
+        find(CcBackend::Centralized2PL, 90).stats.deadlock_aborts > 0,
+        "2PL at 90% skew must resolve at least one deadlock"
+    );
+    for b in [
+        CcBackend::PartitionedPerCore,
+        CcBackend::DeterministicOrdered,
+    ] {
+        for &hot in &skews {
+            let p = find(b, hot);
+            assert_eq!(
+                p.stats.deadlock_aborts, 0,
+                "{b:?} must be deadlock-free at skew {hot}"
+            );
+            assert_eq!(p.cc.deadlocks, 0);
+        }
+    }
+
+    // Partitioned: cross-partition lock traffic becomes priced messages.
+    for &hot in &skews {
+        let p = find(CcBackend::PartitionedPerCore, hot);
+        assert!(
+            p.cc.remote_msgs > 0 && p.cc.remote_bytes == 32 * p.cc.remote_msgs,
+            "partitioned must send priced cross-partition messages: {:?}",
+            p.cc
+        );
+    }
+
+    // Ordered: conflict cost moves to pre-execution ordering waits.
+    let ord = find(CcBackend::DeterministicOrdered, 90);
+    assert!(
+        ord.cc.ordering_waits > 0 && ord.stats.ordering_waits > 0,
+        "ordered at 90% skew must park in the ordering queue: {:?}",
+        ord.cc
+    );
+    assert_eq!(
+        ord.stats.lock_waits, 0,
+        "ordered execution parks before running, never mid-transaction"
     );
 }
 

@@ -2,6 +2,7 @@
 //! harness binaries print and EXPERIMENTS.md records; integration tests
 //! assert the paper's qualitative shapes on `FigScale::quick()`.
 
+use dbcmp_engine::{CcBackend, CcStats};
 use dbcmp_sim::analytic::Validation;
 use dbcmp_sim::stats::Breakdown;
 use dbcmp_sim::SimResult;
@@ -311,6 +312,103 @@ pub fn fig_contention(scale: &FigScale, skews: &[u8]) -> Vec<ContentionPoint> {
                 stats,
                 smp,
                 cmp,
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------- Concurrency-control sweep
+
+/// One point of the concurrency-control sweep: a contended capture under
+/// `backend` at `hot_pct` skew, replayed on the SMP / CMP / 2x2-island
+/// presets (the same [`joins_machines`] triple, so the hardware axis is
+/// directly comparable across figures).
+pub struct CcPoint {
+    pub backend: CcBackend,
+    pub hot_pct: u8,
+    /// Scheduler-level contention counters (waits, deadlock aborts, …).
+    pub stats: dbcmp_workloads::ContentionStats,
+    /// The backend's own counters (remote lock messages, ordering waits,
+    /// fallback conflicts, …).
+    pub cc: CcStats,
+    pub smp: SimResult,
+    pub cmp: SimResult,
+    pub island: SimResult,
+}
+
+/// Figure label for a concurrency-control backend.
+///
+/// Exhaustive over [`CcBackend`] by design — the dbcmp-lint X2 rule
+/// rejects builds where a backend variant is missing here.
+pub fn cc_backend_label(backend: CcBackend) -> &'static str {
+    match backend {
+        CcBackend::Centralized2PL => "2PL",
+        CcBackend::PartitionedPerCore => "PART",
+        CcBackend::DeterministicOrdered => "ORDER",
+    }
+}
+
+/// The backends the `fig_cc` sweep compares, in presentation order.
+pub fn cc_backends() -> [CcBackend; 3] {
+    [
+        CcBackend::Centralized2PL,
+        CcBackend::PartitionedPerCore,
+        CcBackend::DeterministicOrdered,
+    ]
+}
+
+/// Concurrency-control sweep (ISSUE 9): the contention sweep's skew axis
+/// crossed with the *software* axis — which concurrency-control backend
+/// the engine runs. Centralized 2PL points take exactly the
+/// `fig_contention` capture path (same draws, same traces), so the two
+/// figures share an anchor; the partitioned backend converts lock-table
+/// sharing into explicit cross-core messages the interconnect prices; the
+/// deterministic-ordered backend trades deadlock aborts (structurally
+/// zero) for ordering-queue waits. Comparability caveat: 2PL and
+/// partitioned points run the legacy per-client draw streams, the ordered
+/// backend runs per-transaction streams (its read/write-set derivation
+/// replays them), so ordered-vs-2PL compares *workload distributions*,
+/// not transaction-for-transaction identical streams.
+pub fn fig_cc(scale: &FigScale, skews: &[u8]) -> Vec<CcPoint> {
+    let spec = spec_of(scale);
+    let captures: Vec<_> = cc_backends()
+        .into_iter()
+        .flat_map(|backend| skews.iter().map(move |&hot_pct| (backend, hot_pct)))
+        .map(|(backend, hot_pct)| {
+            let (w, stats, cc) = CapturedWorkload::oltp_contended_cc(scale, hot_pct, backend);
+            (backend, hot_pct, w, stats, cc)
+        })
+        .collect();
+    let mut points = Vec::new();
+    for (backend, hot_pct, w, _, _) in &captures {
+        for (tag, cfg) in joins_machines() {
+            points.push(KeyedPoint {
+                label: format!("{tag} {} skew={hot_pct}%", cc_backend_label(*backend)),
+                cfg,
+                mode: spec.throughput(),
+                bundle: &w.bundle,
+                key: (*backend, *hot_pct, tag),
+            });
+        }
+    }
+    let mut it = run_keyed(points).into_iter();
+    captures
+        .into_iter()
+        .map(|(backend, hot_pct, _, stats, cc)| {
+            let (k1, smp) = it.next().expect("smp result");
+            let (k2, cmp) = it.next().expect("cmp result");
+            let (k3, island) = it.next().expect("island result");
+            assert_eq!(k1, (backend, hot_pct, "SMP"));
+            assert_eq!(k2, (backend, hot_pct, "CMP"));
+            assert_eq!(k3, (backend, hot_pct, "ISLAND 2x2"));
+            CcPoint {
+                backend,
+                hot_pct,
+                stats,
+                cc,
+                smp,
+                cmp,
+                island,
             }
         })
         .collect()

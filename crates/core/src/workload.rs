@@ -1,6 +1,7 @@
 //! Workload capture for the experiments: builds the databases, runs
 //! client sessions, and caches the resulting trace bundles.
 
+use dbcmp_engine::{CcBackend, CcStats};
 use dbcmp_trace::{TraceBundle, TraceSummary};
 use dbcmp_workloads::{
     build_tpcc, build_tpch, capture_dss, capture_oltp, capture_oltp_interleaved, CaptureOptions,
@@ -102,6 +103,20 @@ impl CapturedWorkload {
     /// (the contention knob). Returns the capture plus what the lock
     /// manager actually did.
     pub fn oltp_contended(scale: &FigScale, hot_pct: u8) -> (Self, ContentionStats) {
+        let (cap, stats, _) = Self::oltp_contended_cc(scale, hot_pct, CcBackend::Centralized2PL);
+        (cap, stats)
+    }
+
+    /// [`oltp_contended`](Self::oltp_contended) with an explicit
+    /// concurrency-control backend (the `fig_cc` sweep's software axis).
+    /// Also returns the backend's own counters. The default backend takes
+    /// exactly the [`oltp_contended`](Self::oltp_contended) path — same
+    /// options, same draws — so its captures are byte-identical.
+    pub fn oltp_contended_cc(
+        scale: &FigScale,
+        hot_pct: u8,
+        backend: CcBackend,
+    ) -> (Self, ContentionStats, CcStats) {
         let (db, h) = build_tpcc(scale.tpcc, scale.seed);
         let opt = InterleaveOptions {
             clients: scale.contention_clients,
@@ -110,7 +125,10 @@ impl CapturedWorkload {
             slice_ops: scale.slice_ops,
             hot_pct,
             hot_items: scale.hot_items,
-        };
+            backend: CcBackend::Centralized2PL,
+            draws: dbcmp_workloads::DrawScheme::Legacy,
+        }
+        .with_backend(backend);
         let cap = capture_oltp_interleaved(db, &h, opt);
         let summary = TraceSummary::compute(&cap.bundle.regions, &cap.bundle.threads);
         (
@@ -120,6 +138,7 @@ impl CapturedWorkload {
                 summary,
             },
             cap.stats,
+            cap.cc,
         )
     }
 

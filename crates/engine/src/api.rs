@@ -20,6 +20,7 @@ use crate::catalog::{IndexId, TableId};
 use crate::db::Database;
 use crate::error::Result;
 use crate::heap::Rid;
+use crate::lockmgr::LockMode;
 use crate::tctx::TraceCtx;
 use crate::txn::Txn;
 use crate::types::{Row, Value};
@@ -30,6 +31,14 @@ pub trait EngineOps {
     fn statement_overhead(&mut self, tc: &mut TraceCtx);
     /// Open a transaction.
     fn begin(&mut self, tc: &mut TraceCtx) -> Txn;
+    /// Declare the transaction's derived read/write set before its first
+    /// data access. A no-op on every backend except
+    /// [`DeterministicOrdered`](crate::cc::DeterministicOrdered), which
+    /// parks the caller until the whole set is granted in declare order
+    /// (scheduler handles retry the call after a wake, like any other
+    /// lock-waiting operation).
+    fn declare(&mut self, txn: &mut Txn, keys: &[(u64, LockMode)], tc: &mut TraceCtx)
+        -> Result<()>;
     /// Commit: WAL force + release locks.
     fn commit(&mut self, txn: Txn, tc: &mut TraceCtx) -> Result<()>;
     /// Roll back: undo in reverse + release locks.
@@ -82,6 +91,15 @@ impl EngineOps for Database {
 
     fn begin(&mut self, tc: &mut TraceCtx) -> Txn {
         Database::begin(self, tc)
+    }
+
+    fn declare(
+        &mut self,
+        txn: &mut Txn,
+        keys: &[(u64, LockMode)],
+        tc: &mut TraceCtx,
+    ) -> Result<()> {
+        Database::declare(self, txn, keys, tc)
     }
 
     fn commit(&mut self, txn: Txn, tc: &mut TraceCtx) -> Result<()> {

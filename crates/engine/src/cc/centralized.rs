@@ -1,0 +1,153 @@
+//! The centralized wait-queue lock manager behind the backend trait.
+//!
+//! A pure delegation shim over [`LockMgr`]: every call forwards verbatim,
+//! adding host-side counters only. This backend is the byte-identity
+//! anchor for the trait refactor — the golden trace anchor and the
+//! determinism tests in `tests/validation.rs` pin that captures through
+//! this shim match the pre-trait captures exactly.
+
+use dbcmp_trace::AddressSpace;
+
+use crate::cc::{CcBackend, CcStats, ConcurrencyControl};
+use crate::error::{EngineError, Result};
+use crate::lockmgr::{Grant, LockMgr, LockMode};
+use crate::tctx::TraceCtx;
+use crate::txn::TxnId;
+
+/// One shared wait-queue lock manager (the seed's 2PL discipline).
+#[derive(Debug)]
+pub struct Centralized2PL {
+    lm: LockMgr,
+    stats: CcStats,
+}
+
+impl Centralized2PL {
+    /// A centralized backend over `n_buckets` lock-table buckets.
+    pub fn new(space: &AddressSpace, n_buckets: usize) -> Self {
+        Centralized2PL {
+            lm: LockMgr::new(space, n_buckets),
+            stats: CcStats::default(),
+        }
+    }
+}
+
+impl ConcurrencyControl for Centralized2PL {
+    fn backend(&self) -> CcBackend {
+        CcBackend::Centralized2PL
+    }
+
+    fn acquire(&mut self, txn: TxnId, key: u64, mode: LockMode, tc: &mut TraceCtx) -> Result<bool> {
+        self.stats.acquires += 1;
+        self.lm.acquire(txn, key, mode, tc)
+    }
+
+    fn acquire_wait(
+        &mut self,
+        txn: TxnId,
+        key: u64,
+        mode: LockMode,
+        tc: &mut TraceCtx,
+    ) -> Result<Grant> {
+        self.stats.acquires += 1;
+        match self.lm.acquire_wait(txn, key, mode, tc) {
+            Ok(Grant::Wait) => {
+                self.stats.waits += 1;
+                Ok(Grant::Wait)
+            }
+            Err(EngineError::Deadlock { key }) => {
+                self.stats.deadlocks += 1;
+                Err(EngineError::Deadlock { key })
+            }
+            other => other,
+        }
+    }
+
+    fn release(&mut self, txn: TxnId, key: u64, tc: &mut TraceCtx) {
+        self.lm.release(txn, key, tc);
+    }
+
+    fn cancel_wait(&mut self, txn: TxnId, tc: &mut TraceCtx) {
+        self.lm.cancel_wait(txn, tc);
+    }
+
+    fn drain_woken(&mut self) -> Vec<TxnId> {
+        self.lm.drain_woken()
+    }
+
+    fn set_contention(&mut self, extra: u32) {
+        self.lm.set_contention(extra);
+    }
+
+    fn live_locks(&self) -> usize {
+        self.lm.live_locks()
+    }
+
+    fn waiting_count(&self) -> usize {
+        self.lm.waiting_count()
+    }
+
+    fn wait_graph(&self) -> Vec<(TxnId, Vec<TxnId>)> {
+        self.lm.wait_graph()
+    }
+
+    fn has_deadlock(&self) -> bool {
+        self.lm.has_deadlock()
+    }
+
+    fn stats(&self) -> CcStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::EngineRegions;
+    use dbcmp_trace::CodeRegions;
+
+    fn setup() -> (Centralized2PL, TraceCtx) {
+        let mut r = CodeRegions::new();
+        let er = EngineRegions::register(&mut r);
+        let space = AddressSpace::new();
+        (Centralized2PL::new(&space, 1024), TraceCtx::null(er))
+    }
+
+    #[test]
+    fn counters_track_waits_and_deadlocks() {
+        let (mut cc, mut tc) = setup();
+        assert_eq!(
+            cc.acquire_wait(1, 10, LockMode::Exclusive, &mut tc)
+                .unwrap(),
+            Grant::Acquired
+        );
+        assert_eq!(
+            cc.acquire_wait(2, 20, LockMode::Exclusive, &mut tc)
+                .unwrap(),
+            Grant::Acquired
+        );
+        // 1 parks on 20; 2 closes the cycle on 10 and is the victim.
+        assert_eq!(
+            cc.acquire_wait(1, 20, LockMode::Exclusive, &mut tc)
+                .unwrap(),
+            Grant::Wait
+        );
+        assert!(matches!(
+            cc.acquire_wait(2, 10, LockMode::Exclusive, &mut tc),
+            Err(EngineError::Deadlock { .. })
+        ));
+        let s = cc.stats();
+        assert_eq!(s.acquires, 4);
+        assert_eq!(s.waits, 1);
+        assert_eq!(s.deadlocks, 1);
+        assert_eq!(s.ordering_waits, 0);
+        assert_eq!(s.remote_msgs, 0);
+    }
+
+    #[test]
+    fn declare_is_a_no_op() {
+        let (mut cc, mut tc) = setup();
+        cc.declare(7, &[(1, LockMode::Exclusive)], &mut tc).unwrap();
+        assert_eq!(cc.live_locks(), 0);
+        cc.finish(7, &mut tc);
+    }
+}

@@ -11,10 +11,14 @@ use dbcmp_trace::{AddressSpace, CodeRegions};
 
 use crate::btree::{BTree, Cursor};
 use crate::catalog::{Catalog, IndexId, TableId};
+use crate::cc::{
+    CcBackend, CcStats, Centralized2PL, ConcurrencyControl, DeterministicOrdered,
+    PartitionedPerCore,
+};
 use crate::costs::{instr, EngineRegions};
 use crate::error::{EngineError, Result};
 use crate::heap::{HeapTable, Rid};
-use crate::lockmgr::{Grant, LockMgr, LockMode};
+use crate::lockmgr::{Grant, LockMode};
 use crate::schema::Schema;
 use crate::tctx::TraceCtx;
 use crate::txn::{Txn, TxnState, UndoRec};
@@ -51,7 +55,7 @@ pub struct Database {
     indexes: Vec<BTree>,
     index_table: Vec<TableId>,
     key_fns: Vec<KeyFn>,
-    lockmgr: LockMgr,
+    cc: Box<dyn ConcurrencyControl>,
     lock_policy: LockPolicy,
     wal: Wal,
     next_txn: u64,
@@ -71,7 +75,7 @@ impl Database {
         let er = EngineRegions::register(&mut regions);
         Database {
             catalog: Catalog::new(&space),
-            lockmgr: LockMgr::new(&space, 64 * 1024),
+            cc: Box::new(Centralized2PL::new(&space, 64 * 1024)),
             lock_policy: LockPolicy::default(),
             wal: Wal::new(&space),
             heaps: Vec::new(),
@@ -110,6 +114,53 @@ impl Database {
         self.lock_policy
     }
 
+    /// Select the concurrency-control backend (see [`CcBackend`]).
+    ///
+    /// Call before opening any transactions: switching backends builds a
+    /// fresh lock table, abandoning in-flight lock state. Selecting the
+    /// backend that is already active is a no-op, so the default
+    /// [`CcBackend::Centralized2PL`] path allocates nothing new and stays
+    /// byte-identical to pre-trait captures.
+    pub fn set_cc_backend(&mut self, backend: CcBackend) {
+        if backend == self.cc.backend() {
+            return;
+        }
+        self.cc = match backend {
+            CcBackend::Centralized2PL => Box::new(Centralized2PL::new(&self.space, 64 * 1024)),
+            CcBackend::PartitionedPerCore => {
+                // One partition per base-config core (the paper's 4-core
+                // machines), carved from the same total bucket budget.
+                Box::new(PartitionedPerCore::new(&self.space, 4, 64 * 1024))
+            }
+            CcBackend::DeterministicOrdered => {
+                Box::new(DeterministicOrdered::new(&self.space, 64 * 1024))
+            }
+        };
+    }
+
+    /// The active concurrency-control backend.
+    pub fn cc_backend(&self) -> CcBackend {
+        self.cc.backend()
+    }
+
+    /// The backend's accumulated host-side counters.
+    pub fn cc_stats(&self) -> CcStats {
+        self.cc.stats()
+    }
+
+    /// Declare `txn`'s derived read/write set to the backend (a no-op for
+    /// backends that do not pre-order). The ordered backend parks the
+    /// caller with [`EngineError::LockWait`] until the whole set is
+    /// granted in declare order; retry the call verbatim after a wake.
+    pub fn declare(
+        &mut self,
+        txn: &Txn,
+        keys: &[(u64, LockMode)],
+        tc: &mut TraceCtx,
+    ) -> Result<()> {
+        self.cc.declare(txn.id, keys, tc)
+    }
+
     /// Declare how many clients share this engine instance, turning on
     /// the lock-table contention surcharge: every lock acquire/release
     /// charges `LOCK_CONTEND · (sharers − 1)` extra lock-manager
@@ -119,24 +170,24 @@ impl Database {
     /// default (no call, or `sharers <= 1`) charges nothing, so existing
     /// captures are byte-identical.
     pub fn set_lock_sharers(&mut self, sharers: u32) {
-        self.lockmgr
+        self.cc
             .set_contention(instr::LOCK_CONTEND * sharers.saturating_sub(1));
     }
 
     /// Transactions granted a queued lock (or chosen as deadlock victims)
     /// since the last call — the interleaved scheduler resumes them.
     pub fn drain_woken(&mut self) -> Vec<crate::txn::TxnId> {
-        self.lockmgr.drain_woken()
+        self.cc.drain_woken()
     }
 
     /// Live lock-table entries (diagnostics/tests).
     pub fn live_locks(&self) -> usize {
-        self.lockmgr.live_locks()
+        self.cc.live_locks()
     }
 
     /// Transactions parked on lock wait queues (diagnostics/tests).
     pub fn lock_waiters(&self) -> usize {
-        self.lockmgr.waiting_count()
+        self.cc.waiting_count()
     }
 
     // ---- DDL ----
@@ -215,8 +266,9 @@ impl Database {
         tc.charge(tc.r.txn_mgr, instr::TXN_COMMIT);
         self.wal.commit(tc);
         for (key, _) in txn.locks.drain(..) {
-            self.lockmgr.release(txn.id, key, tc);
+            self.cc.release(txn.id, key, tc);
         }
+        self.cc.finish(txn.id, tc);
         txn.state = TxnState::Committed;
         Ok(())
     }
@@ -229,7 +281,7 @@ impl Database {
         );
         // Abort may arrive while the txn is queued on (or was granted but
         // never observed) a lock wait — clear that state first.
-        self.lockmgr.cancel_wait(txn.id, tc);
+        self.cc.cancel_wait(txn.id, tc);
         let undo: Vec<UndoRec> = txn.undo.drain(..).rev().collect();
         for rec in undo {
             match rec {
@@ -262,14 +314,28 @@ impl Database {
         }
         self.wal.append(WalRecord::Abort, tc);
         for (key, _) in txn.locks.drain(..) {
-            self.lockmgr.release(txn.id, key, tc);
+            self.cc.release(txn.id, key, tc);
         }
+        self.cc.finish(txn.id, tc);
         txn.state = TxnState::Aborted;
     }
 
     /// Row-lock key: table discriminator in the high bits, RID below.
-    fn lock_key(table: TableId, rid: Rid) -> u64 {
+    /// Public so read/write-set derivation (`rwset` in `dbcmp-workloads`)
+    /// can name the same keys the engine's own lock calls will use.
+    pub fn lock_key(table: TableId, rid: Rid) -> u64 {
         ((table as u64) << 52) | rid.pack()
+    }
+
+    /// Lock-free row fetch for read/write-set derivation (`rwset` in
+    /// `dbcmp-workloads`): returns the heap row without taking a lock or
+    /// touching transaction state. Derivation runs under a null trace
+    /// context, so these probes never enter captures; the values read are
+    /// advisory (a concurrent writer may change them before the declared
+    /// locks are granted — the ordered backend's no-wait fallback absorbs
+    /// such misses).
+    pub fn peek(&self, table: TableId, rid: Rid, tc: &mut TraceCtx) -> Result<Row> {
+        self.heaps[table].get(rid, tc)
     }
 
     fn lock(
@@ -283,11 +349,11 @@ impl Database {
         let key = Self::lock_key(table, rid);
         match self.lock_policy {
             LockPolicy::NoWait => {
-                if self.lockmgr.acquire(txn.id, key, mode, tc)? {
+                if self.cc.acquire(txn.id, key, mode, tc)? {
                     txn.locks.push((key, mode));
                 }
             }
-            LockPolicy::Queue => match self.lockmgr.acquire_wait(txn.id, key, mode, tc)? {
+            LockPolicy::Queue => match self.cc.acquire_wait(txn.id, key, mode, tc)? {
                 Grant::Acquired | Grant::WaitGranted => txn.locks.push((key, mode)),
                 Grant::Held | Grant::WaitUpgraded => {}
                 Grant::Wait => return Err(EngineError::LockWait { key }),
@@ -321,7 +387,7 @@ impl Database {
         // Fresh-RID locks conflict only if a deleter still holds the slot's
         // lock; never worth queueing on — no-wait regardless of policy.
         let key = Self::lock_key(table, rid);
-        if self.lockmgr.acquire(txn.id, key, LockMode::Exclusive, tc)? {
+        if self.cc.acquire(txn.id, key, LockMode::Exclusive, tc)? {
             txn.locks.push((key, LockMode::Exclusive));
         }
         let bytes = self.heaps[table].schema.row_width() as u32;

@@ -38,6 +38,7 @@
 pub mod api;
 pub mod btree;
 pub mod catalog;
+pub mod cc;
 pub mod costs;
 pub mod db;
 pub mod error;
@@ -52,6 +53,7 @@ pub mod types;
 pub mod wal;
 
 pub use api::EngineOps;
+pub use cc::{CcBackend, CcStats, ConcurrencyControl};
 pub use costs::EngineRegions;
 pub use db::{Database, LockPolicy};
 pub use error::{EngineError, Result};

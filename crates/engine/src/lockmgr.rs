@@ -273,6 +273,18 @@ impl LockMgr {
 
     /// After enqueuing `txn` on `key`: hunt waits-for cycles; abort the
     /// youngest member of each until none remain that involve `txn`.
+    /// Break every waits-for cycle through `txn`, choosing victims until
+    /// the graph is acyclic or `txn` itself dies.
+    ///
+    /// **Victim rule (pinned):** the victim is the cycle member with the
+    /// numerically largest [`TxnId`]. Ids are handed out by a monotone
+    /// counter and never reused, so "largest id" is exactly "youngest
+    /// transaction" — the least-work-lost heuristic — and, because ids
+    /// are unique, the `max` is a total order with no tie to break:
+    /// two captures of the same schedule always kill the same victim.
+    /// Replay determinism depends on this; do not swap in a
+    /// fewest-locks/least-undo heuristic without versioning the captures
+    /// (see `victim_is_the_largest_txn_id_deterministically`).
     fn resolve_deadlocks(&mut self, txn: TxnId, key: u64, tc: &mut TraceCtx) -> Result<Grant> {
         loop {
             let Some(cycle) = self.find_cycle(txn) else {
@@ -694,6 +706,58 @@ mod tests {
         lm.release(1, 100, &mut tc);
         lm.release(1, 200, &mut tc);
         assert_eq!(lm.live_locks(), 0);
+        assert_eq!(lm.waiting_count(), 0);
+    }
+
+    #[test]
+    fn victim_is_the_largest_txn_id_deterministically() {
+        // Pins the victim rule: largest TxnId in the cycle dies, no
+        // matter which member's request closes the cycle or in which
+        // order locks were taken. A three-member cycle 5→9→7→5 (waits-for
+        // edges) must always kill 9.
+        let (mut lm, mut tc) = setup();
+        lm.acquire_wait(5, 100, LockMode::Exclusive, &mut tc)
+            .unwrap();
+        lm.acquire_wait(9, 200, LockMode::Exclusive, &mut tc)
+            .unwrap();
+        lm.acquire_wait(7, 300, LockMode::Exclusive, &mut tc)
+            .unwrap();
+        // 5 waits on 9's lock, 9 waits on 7's lock.
+        assert_eq!(
+            lm.acquire_wait(5, 200, LockMode::Exclusive, &mut tc)
+                .unwrap(),
+            Grant::Wait
+        );
+        assert_eq!(
+            lm.acquire_wait(9, 300, LockMode::Exclusive, &mut tc)
+                .unwrap(),
+            Grant::Wait
+        );
+        // 7 closes the cycle. It is NOT the youngest: 9 is, and 9 is a
+        // parked bystander — it must still be the one chosen.
+        assert_eq!(
+            lm.acquire_wait(7, 100, LockMode::Exclusive, &mut tc)
+                .unwrap(),
+            Grant::Wait,
+            "the requester survives; the youngest parked member dies"
+        );
+        assert!(!lm.has_deadlock());
+        // The victim notification reached 9 through the wake channel.
+        assert_eq!(lm.drain_woken(), vec![9]);
+        // 9's retry of its parked request reports the deadlock.
+        assert!(matches!(
+            lm.acquire_wait(9, 300, LockMode::Exclusive, &mut tc),
+            Err(EngineError::Deadlock { .. })
+        ));
+        // 9 aborts; the survivors drain in grant order and finish.
+        lm.release(9, 200, &mut tc);
+        assert_eq!(lm.drain_woken(), vec![5]);
+        for (t, keys) in [(5u64, [100u64, 200]), (7, [300, 100])] {
+            for k in keys {
+                lm.release(t, k, &mut tc);
+            }
+        }
+        assert_eq!(lm.drain_woken(), vec![7]);
         assert_eq!(lm.waiting_count(), 0);
     }
 

@@ -89,6 +89,14 @@ impl Txn {
         self.locks.len()
     }
 
+    /// The `(lock_key, mode)` pairs this transaction recorded, in
+    /// acquisition order — ground truth for the read/write-set coverage
+    /// tests in `dbcmp-workloads`. Upgrades do not re-record a key, so a
+    /// pair may understate the final mode (never the key set).
+    pub fn held_locks(&self) -> &[(u64, LockMode)] {
+        &self.locks
+    }
+
     /// Undo records accumulated (diagnostics).
     pub fn undo_count(&self) -> usize {
         self.undo.len()

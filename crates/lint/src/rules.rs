@@ -1,4 +1,4 @@
-//! The lint rules (D1, D2, D3, P1, X1) and the `lint:allow` grammar.
+//! The lint rules (D1, D2, D3, P1, X1, X2) and the `lint:allow` grammar.
 //!
 //! Annotation grammar (documented in DESIGN.md §7):
 //!
@@ -66,6 +66,16 @@ pub const RULES: &[(&str, &str, &str)] = &[
          consume path (sim's ctx.rs/cursor.rs). A variant added in one place but not the\n\
          others silently drops or mis-prices events (the RemoteSend-skew class). There is no\n\
          allow annotation for X1 — handle the variant.",
+    ),
+    (
+        "X2",
+        "cc-exhaustive",
+        "Every `engine::cc::CcBackend` variant must be handled in the interleaved scheduler's\n\
+         park/wake accounting (`count_block` in crates/workloads/src/interleave.rs) AND in the\n\
+         figure pipeline's label table (`cc_backend_label` in crates/core/src/figures.rs). A\n\
+         backend added in the engine but not wired through those dispatch points would capture\n\
+         with mis-attributed waits or render unlabeled sweep rows. There is no allow annotation\n\
+         for X2 — handle the variant.",
     ),
     (
         "A0",
@@ -521,6 +531,79 @@ pub fn rule_x1(files: &[(String, Lexed)]) -> Vec<Diagnostic> {
     out
 }
 
+/// X2: cross-crate `CcBackend`-variant exhaustiveness. The enum lives in
+/// the engine; the two dispatch points that must keep up with it live in
+/// the workloads scheduler and the core figure pipeline.
+pub fn rule_x2(files: &[(String, Lexed)]) -> Vec<Diagnostic> {
+    const ENUM_FILE: &str = "crates/engine/src/cc/mod.rs";
+    let lookup = |p: &str| files.iter().find(|(f, _)| f == p).map(|(_, l)| l);
+
+    let Some(enum_lex) = lookup(ENUM_FILE) else {
+        // No backend enum in this tree (e.g. a partial fixture): X2 has
+        // nothing to check.
+        return Vec::new();
+    };
+    let variants = scan::enum_variants(&enum_lex.tokens, "CcBackend");
+    if variants.is_empty() {
+        return vec![Diagnostic {
+            rule: "X2",
+            file: ENUM_FILE.to_string(),
+            line: 1,
+            msg: "could not find `enum CcBackend` variants".to_string(),
+        }];
+    }
+
+    let surfaces = [
+        (
+            "crates/workloads/src/interleave.rs",
+            "count_block",
+            "scheduler park/wake accounting (count_block)",
+        ),
+        (
+            "crates/core/src/figures.rs",
+            "cc_backend_label",
+            "figure label table (cc_backend_label)",
+        ),
+    ];
+
+    let mut out = Vec::new();
+    for (file, func, label) in &surfaces {
+        let Some(lex) = lookup(file) else {
+            out.push(Diagnostic {
+                rule: "X2",
+                file: file.to_string(),
+                line: 1,
+                msg: format!("surface file missing for {label}"),
+            });
+            continue;
+        };
+        let toks = &lex.tokens;
+        let Some((lo, hi)) = scan::fn_span(toks, func) else {
+            out.push(Diagnostic {
+                rule: "X2",
+                file: file.to_string(),
+                line: 1,
+                msg: format!("surface function `{func}` not found for {label}"),
+            });
+            continue;
+        };
+        for v in &variants {
+            let handled = toks[lo..hi]
+                .iter()
+                .any(|t| matches!(&t.tok, Tok::Ident(n) if n == v));
+            if !handled {
+                out.push(Diagnostic {
+                    rule: "X2",
+                    file: file.to_string(),
+                    line: 1,
+                    msg: format!("CcBackend variant `{v}` is not handled in the {label}"),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Run all per-file rules over one file.
 pub fn lint_file(path: &Path, rel: &str, lexed: &Lexed) -> Vec<Diagnostic> {
     let _ = path;
@@ -645,5 +728,37 @@ mod tests {
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].rule, "X1");
         assert!(d[0].msg.contains("Beta") && d[0].msg.contains("decode"));
+    }
+
+    #[test]
+    fn x2_detects_missing_backend_variant() {
+        let en = "pub enum CcBackend { Centralized2PL, PartitionedPerCore }";
+        let sched = "fn count_block(b: CcBackend) { match b { \
+                     CcBackend::Centralized2PL => {} CcBackend::PartitionedPerCore => {} } }";
+        let figs = "pub fn cc_backend_label(b: CcBackend) -> &'static str { \
+                    match b { CcBackend::Centralized2PL => \"2PL\" } }";
+        let files = vec![
+            ("crates/engine/src/cc/mod.rs".to_string(), lex(en)),
+            ("crates/workloads/src/interleave.rs".to_string(), lex(sched)),
+            ("crates/core/src/figures.rs".to_string(), lex(figs)),
+        ];
+        let d = rule_x2(&files);
+        // The label table is missing PartitionedPerCore; the scheduler
+        // covers both.
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "X2");
+        assert!(d[0].msg.contains("PartitionedPerCore") && d[0].msg.contains("label"));
+        // A missing surface function is itself a violation.
+        let files = vec![
+            ("crates/engine/src/cc/mod.rs".to_string(), lex(en)),
+            ("crates/workloads/src/interleave.rs".to_string(), lex(sched)),
+            (
+                "crates/core/src/figures.rs".to_string(),
+                lex("fn other() {}"),
+            ),
+        ];
+        let d = rule_x2(&files);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("cc_backend_label"));
     }
 }

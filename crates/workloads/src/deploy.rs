@@ -160,7 +160,7 @@ fn owner(w: u64, warehouses: u64, n: usize) -> usize {
 /// Salt for the per-transaction parameter streams under
 /// [`DrawScheme::PerTxn`], keeping them disjoint from the per-client
 /// streams drawn from the same capture seed.
-const TXN_SALT: u64 = 0x7C9A_11E5_D3B0_77AA;
+pub(crate) const TXN_SALT: u64 = 0x7C9A_11E5_D3B0_77AA;
 
 /// Draw a uniformly random warehouse other than `w_home` (wrap-around
 /// re-aim on a self-hit, so exactly one draw is consumed).

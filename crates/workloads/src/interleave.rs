@@ -38,12 +38,18 @@ use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread;
 
+use dbcmp_engine::lockmgr::LockMode;
 use dbcmp_engine::txn::TxnId;
-use dbcmp_engine::{Database, EngineError, EngineOps, EngineRegions, LockPolicy, Result, TraceCtx};
+use dbcmp_engine::{
+    CcBackend, CcStats, Database, EngineError, EngineOps, EngineRegions, LockPolicy, Result,
+    TraceCtx,
+};
 use dbcmp_trace::{ThreadTrace, TraceBundle};
 
+use crate::deploy::{DrawScheme, TXN_SALT};
 use crate::rng::client_rng;
-use crate::tpcc::txns::{draw_kind, run_txn_cfg, TxnCfg, TxnOutcome};
+use crate::rwset::rw_set;
+use crate::tpcc::txns::{draw_kind, run_txn_cfg, run_txn_cfg_declared, TxnCfg, TxnOutcome};
 use crate::tpcc::TpccDb;
 use rand::Rng;
 
@@ -64,6 +70,16 @@ pub struct InterleaveOptions {
     pub hot_pct: u8,
     /// Size of the hot NewOrder item pool.
     pub hot_items: u64,
+    /// Concurrency-control backend the shared engine runs (see
+    /// [`CcBackend`]). The default [`CcBackend::Centralized2PL`] keeps
+    /// captures byte-identical to the pre-backend scheduler.
+    pub backend: CcBackend,
+    /// Parameter-draw discipline. [`DrawScheme::Legacy`] (the default)
+    /// draws everything from the per-client stream;
+    /// [`DrawScheme::PerTxn`] gives each transaction attempt a private
+    /// parameter stream, which the deterministic-ordered backend's
+    /// read/write-set derivation replays.
+    pub draws: DrawScheme,
 }
 
 impl InterleaveOptions {
@@ -76,6 +92,8 @@ impl InterleaveOptions {
             slice_ops: 1,
             hot_pct: 0,
             hot_items: 8,
+            backend: CcBackend::Centralized2PL,
+            draws: DrawScheme::Legacy,
         }
     }
 
@@ -85,6 +103,26 @@ impl InterleaveOptions {
             hot_pct: hot_pct.min(100),
             ..Self::new(clients, units_per_client, seed)
         }
+    }
+
+    /// The same capture driven by a different concurrency-control
+    /// backend. Selecting [`CcBackend::DeterministicOrdered`] also
+    /// switches draws to [`DrawScheme::PerTxn`]: the read/write-set
+    /// derivation replays the transaction's parameter stream, so the
+    /// stream must be private to the transaction.
+    pub fn with_backend(mut self, backend: CcBackend) -> Self {
+        self.backend = backend;
+        if backend == CcBackend::DeterministicOrdered {
+            self.draws = DrawScheme::PerTxn;
+        }
+        self
+    }
+
+    /// Override the parameter-draw discipline (for comparing backends
+    /// under an identical draw scheme).
+    pub fn with_draws(mut self, draws: DrawScheme) -> Self {
+        self.draws = draws;
+        self
     }
 }
 
@@ -97,6 +135,9 @@ pub struct ContentionStats {
     pub rollbacks: u64,
     /// Times a client parked on a lock wait queue.
     pub lock_waits: u64,
+    /// Times a client parked waiting for its declared read/write set to
+    /// be granted in declare order (deterministic-ordered backend only).
+    pub ordering_waits: u64,
     /// Transactions aborted as deadlock victims (and retried).
     pub deadlock_aborts: u64,
     /// Retries for other transient conflicts (no-wait insert conflicts,
@@ -112,6 +153,9 @@ pub struct ContentionStats {
 pub struct InterleavedCapture {
     pub bundle: TraceBundle,
     pub stats: ContentionStats,
+    /// The backend's own counters (acquires, remote lock messages,
+    /// fallback conflicts, …) accumulated over the capture.
+    pub cc: CcStats,
     pub db: Database,
 }
 
@@ -231,6 +275,18 @@ impl EngineOps for ClientDb {
             .expect("begin is infallible");
         self.cur_txn = Some(txn.id);
         txn
+    }
+
+    fn declare(
+        &mut self,
+        txn: &mut dbcmp_engine::txn::Txn,
+        keys: &[(u64, LockMode)],
+        tc: &mut TraceCtx,
+    ) -> Result<()> {
+        // Parks like any lock-waiting operation; the ordered backend's
+        // declare is retry-idempotent, so re-invocation after a wake is
+        // exactly the claim protocol it expects.
+        self.op(tc, |db, tc| db.declare(txn, keys, tc))
     }
 
     fn commit(&mut self, txn: dbcmp_engine::txn::Txn, tc: &mut TraceCtx) -> Result<()> {
@@ -363,7 +419,29 @@ fn client_thread(
         } else {
             TxnCfg::home(w_home)
         };
-        match run_txn_cfg(&mut cdb, &h, kind, cfg, &mut rng, &mut tc) {
+        let res = match opt.draws {
+            DrawScheme::Legacy => run_txn_cfg(&mut cdb, &h, kind, cfg, &mut rng, &mut tc),
+            DrawScheme::PerTxn => {
+                // A private parameter stream per attempt (kind and hot
+                // roll stay on the client stream, mirroring the
+                // deployment capture's PerTxn discipline).
+                let mut trng = client_rng(opt.seed ^ TXN_SALT, client * 1024 + guard);
+                if opt.backend == CcBackend::DeterministicOrdered {
+                    // Reconnaissance: derive the read/write set against
+                    // the database state this client observes under the
+                    // baton, then declare it right after begin. One
+                    // budgeted (untraced) scheduler op, so the probe sees
+                    // the same deterministic state every run.
+                    let keys = cdb
+                        .op(&mut tc, |db, _| Ok(rw_set(db, &h, kind, cfg, trng.clone())))
+                        .expect("derivation is infallible");
+                    run_txn_cfg_declared(&mut cdb, &h, kind, cfg, &mut trng, &mut tc, Some(&keys))
+                } else {
+                    run_txn_cfg(&mut cdb, &h, kind, cfg, &mut trng, &mut tc)
+                }
+            }
+        };
+        match res {
             Ok(TxnOutcome::Committed) => {
                 done += 1;
                 stats.commits += 1;
@@ -395,13 +473,34 @@ fn client_thread(
 /// Capture an OLTP (TPC-C mix) workload with `opt.clients` interleaved
 /// sessions against one shared database. See the module docs for the
 /// scheduling and determinism contract.
+/// Attribute one client park to the right [`ContentionStats`] counter
+/// for the active backend: the centralized and partitioned backends park
+/// clients on lock wait queues at execution time, the ordered backend
+/// parks them on the declare-order queue before execution.
+///
+/// Exhaustive over [`CcBackend`] by design — the dbcmp-lint X2 rule
+/// rejects builds where a backend variant is missing here.
+fn count_block(backend: CcBackend, stats: &mut ContentionStats) {
+    match backend {
+        CcBackend::Centralized2PL => stats.lock_waits += 1,
+        CcBackend::PartitionedPerCore => stats.lock_waits += 1,
+        CcBackend::DeterministicOrdered => stats.ordering_waits += 1,
+    }
+}
+
 pub fn capture_oltp_interleaved(
     mut db: Database,
     h: &TpccDb,
     opt: InterleaveOptions,
 ) -> InterleavedCapture {
     assert!(opt.clients >= 1, "need at least one client");
+    assert!(
+        opt.backend != CcBackend::DeterministicOrdered || opt.draws == DrawScheme::PerTxn,
+        "DeterministicOrdered derives read/write sets by replaying per-transaction \
+         parameter streams; it requires DrawScheme::PerTxn"
+    );
     db.set_lock_policy(LockPolicy::Queue);
+    db.set_cc_backend(opt.backend);
     let er = db.er;
     let shared = Arc::new(Mutex::new(db));
     let (report_tx, report_rx) = channel::<(usize, Report)>();
@@ -464,7 +563,7 @@ pub fn capture_oltp_interleaved(
             Report::Blocked { txn, woken } => {
                 owner.insert(txn, from);
                 state[from] = State::Blocked;
-                stats.lock_waits += 1;
+                count_block(opt.backend, &mut stats);
                 wake(&mut state, &owner, &woken);
             }
             Report::Finished { woken } => {
@@ -490,9 +589,11 @@ pub fn capture_oltp_interleaved(
         .into_inner()
         .expect("database mutex");
     db.set_lock_policy(LockPolicy::NoWait);
+    let cc = db.cc_stats();
     InterleavedCapture {
         bundle: TraceBundle::new(db.regions().clone(), threads),
         stats,
+        cc,
         db,
     }
 }
@@ -564,6 +665,89 @@ mod tests {
         assert_eq!(il.db.lock_waiters(), 0);
         assert_eq!(il.stats.commits + il.stats.rollbacks, 6 * 8);
         assert_eq!(il.stats.starved_units, 0, "no client may be starved out");
+    }
+
+    #[test]
+    fn partitioned_backend_is_deadlock_free_with_remote_lock_traffic() {
+        let (db, h) = build_tpcc(TpccScale::tiny(), 7);
+        let opt =
+            InterleaveOptions::contended(6, 8, 7, 90).with_backend(CcBackend::PartitionedPerCore);
+        let il = capture_oltp_interleaved(db, &h, opt);
+        assert_eq!(
+            il.stats.deadlock_aborts, 0,
+            "resource-ordered partitions cannot cycle: {:?}",
+            il.stats
+        );
+        assert_eq!(il.cc.deadlocks, 0);
+        assert!(
+            il.cc.remote_msgs > 0,
+            "cross-partition requests must be priced as messages: {:?}",
+            il.cc
+        );
+        assert_eq!(il.cc.remote_msgs * 32, il.cc.remote_bytes);
+        // Out-of-order conflicts surface as retried no-wait failures.
+        assert!(il.cc.fallback_conflicts > 0 || il.stats.lock_waits > 0);
+        let s = bundle_stats(&il.bundle);
+        assert!(s.remote_sends > 0, "hops must reach the traces");
+        // Acquires are round trips (request + grant); releases are fire-
+        // and-forget one-way messages, so sends strictly dominate recvs.
+        assert!(s.remote_sends > s.remote_recvs && s.remote_recvs > 0);
+        assert_eq!(il.db.live_locks(), 0, "partitions must drain");
+        assert_eq!(il.stats.commits + il.stats.rollbacks, 6 * 8);
+        assert_eq!(il.stats.starved_units, 0);
+    }
+
+    #[test]
+    fn ordered_backend_has_zero_deadlock_aborts_under_skew() {
+        let (db, h) = build_tpcc(TpccScale::tiny(), 7);
+        let opt =
+            InterleaveOptions::contended(6, 8, 7, 90).with_backend(CcBackend::DeterministicOrdered);
+        assert_eq!(opt.draws, DrawScheme::PerTxn, "derivation needs PerTxn");
+        let il = capture_oltp_interleaved(db, &h, opt);
+        assert_eq!(
+            il.stats.deadlock_aborts, 0,
+            "declare-order grants cannot cycle: {:?}",
+            il.stats
+        );
+        assert_eq!(il.cc.deadlocks, 0);
+        assert!(
+            il.stats.ordering_waits > 0,
+            "contention must show up as ordering-queue waits: {:?}",
+            il.stats
+        );
+        assert_eq!(il.stats.lock_waits, 0, "ordered never parks at exec time");
+        let s = bundle_stats(&il.bundle);
+        assert_eq!(s.blocks, il.stats.ordering_waits);
+        assert_eq!(il.db.live_locks(), 0, "ordered lock table must drain");
+        assert_eq!(il.db.lock_waiters(), 0);
+        assert_eq!(il.stats.commits + il.stats.rollbacks, 6 * 8);
+        assert_eq!(il.stats.starved_units, 0, "FIFO grants must not starve");
+    }
+
+    #[test]
+    fn backend_captures_are_deterministic() {
+        for backend in [
+            CcBackend::Centralized2PL,
+            CcBackend::PartitionedPerCore,
+            CcBackend::DeterministicOrdered,
+        ] {
+            let run = || {
+                let (db, h) = build_tpcc(TpccScale::tiny(), 42);
+                let opt = InterleaveOptions::contended(4, 5, 42, 80).with_backend(backend);
+                capture_oltp_interleaved(db, &h, opt)
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a.stats, b.stats, "{backend:?} counters must reproduce");
+            assert_eq!(a.cc, b.cc, "{backend:?} backend counters must reproduce");
+            for (ta, tb) in a.bundle.threads.iter().zip(&b.bundle.threads) {
+                assert_eq!(
+                    ta.packed_events(),
+                    tb.packed_events(),
+                    "{backend:?} traces must be byte-identical"
+                );
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod capture;
 pub mod deploy;
 pub mod interleave;
 pub mod rng;
+pub mod rwset;
 pub mod tpcc;
 pub mod tpch;
 

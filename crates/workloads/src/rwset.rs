@@ -1,0 +1,520 @@
+//! Read/write-set derivation for the deterministic-ordered backend.
+//!
+//! Calvin-class schedulers need each transaction's lock set *before* it
+//! executes. TPC-C transactions are parameterized by random draws, so the
+//! set is derivable: this module replays each transaction body's exact
+//! parameter-draw sequence against a **clone** of the transaction's rng
+//! (the real body then consumes the original stream and lands on the same
+//! rows), probing the indexes read-only and mapping every row the body
+//! will lock through [`Database::lock_key`]. Row *contents* the body
+//! branches on (Delivery's customer id, StockLevel's order horizon) come
+//! from [`Database::peek`] — lock-free advisory reads.
+//!
+//! Honesty caveats, stated once here and again in DESIGN.md §8:
+//!
+//! * **Derived, not declared.** A real Calvin deployment receives the
+//!   read/write set from the client or a reconnaissance phase. Here the
+//!   derivation *is* the reconnaissance phase, and its probes run under a
+//!   null trace context: the replayed traces do not pay for
+//!   reconnaissance. The ordering-queue waits and the declare-time lock
+//!   charges are traced.
+//! * **Phantoms fall back.** Between derivation and execution another
+//!   transaction can commit state the derivation's probes depended on
+//!   (a fresher "most recent order", a delivered new_order row). The body
+//!   then touches rows outside its declared set; the ordered backend
+//!   serves those with no-wait acquires that abort-and-retry
+//!   ([`CcStats::fallback_conflicts`](dbcmp_engine::CcStats)) rather than
+//!   block, preserving deadlock freedom.
+
+use dbcmp_engine::lockmgr::LockMode;
+use dbcmp_engine::{Database, TraceCtx};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::rng::{last_name, nurand, uniform};
+use crate::tpcc::txns::{draw_district, draw_item, TxnCfg, TxnKind};
+use crate::tpcc::{
+    cust_key, cust_name_key, dist_key, item_key, order_key, order_line_key, random_customer,
+    stock_key, wh_key, TpccDb,
+};
+
+/// Accumulates `(lock_key, mode)` pairs, upgrading S to X when a row is
+/// named twice (hot NewOrder item pools hit the same stock row in several
+/// lines). Order is preserved but irrelevant: the ordered backend merges
+/// the declaration into a keyed table before granting.
+#[derive(Default)]
+struct SetBuilder {
+    keys: Vec<(u64, LockMode)>,
+}
+
+impl SetBuilder {
+    fn add(&mut self, table: usize, rid: dbcmp_engine::heap::Rid, mode: LockMode) {
+        let key = Database::lock_key(table, rid);
+        match self.keys.iter_mut().find(|e| e.0 == key) {
+            Some(e) => {
+                if mode == LockMode::Exclusive {
+                    e.1 = LockMode::Exclusive;
+                }
+            }
+            None => self.keys.push((key, mode)),
+        }
+    }
+}
+
+/// Derive the read/write set `kind` will lock when run with this `cfg`
+/// and an rng stream equal to `rng`'s current state. Pass a **clone** of
+/// the transaction's rng: derivation consumes the draws itself.
+///
+/// Freshly inserted rows (order lines, history) are absent — the engine
+/// grants fresh-RID locks no-wait and they cannot conflict.
+pub fn rw_set(
+    db: &Database,
+    h: &TpccDb,
+    kind: TxnKind,
+    cfg: TxnCfg,
+    mut rng: StdRng,
+) -> Vec<(u64, LockMode)> {
+    let mut tc = db.null_ctx();
+    let mut set = SetBuilder::default();
+    match kind {
+        TxnKind::NewOrder => new_order_set(db, h, cfg, &mut rng, &mut set, &mut tc),
+        TxnKind::Payment => payment_set(db, h, cfg, &mut rng, &mut set, &mut tc),
+        TxnKind::OrderStatus => order_status_set(db, h, cfg, &mut rng, &mut set, &mut tc),
+        TxnKind::Delivery => delivery_set(db, h, cfg, &mut rng, &mut set, &mut tc),
+        TxnKind::StockLevel => stock_level_set(db, h, cfg, &mut rng, &mut set, &mut tc),
+    }
+    set.keys
+}
+
+/// Peek a row field as u64, or `None` if the row vanished or the column
+/// is not numeric (the body's own access will fall back / fail there).
+fn peek_u64(
+    db: &Database,
+    table: usize,
+    rid: dbcmp_engine::heap::Rid,
+    col: usize,
+    tc: &mut TraceCtx,
+) -> Option<u64> {
+    db.peek(table, rid, tc)
+        .ok()
+        .and_then(|row| row.get(col).and_then(|v| v.as_i64()))
+        .map(|v| v as u64)
+}
+
+// Each `<kind>_set` mirrors the draw sequence of the same-named body in
+// `tpcc::txns` statement for statement — draws the body makes but this
+// derivation does not need (quantities, amounts) are still consumed, so
+// the two stay aligned if a later key ever depends on a later draw.
+
+fn new_order_set(
+    db: &Database,
+    h: &TpccDb,
+    cfg: TxnCfg,
+    rng: &mut StdRng,
+    set: &mut SetBuilder,
+    tc: &mut TraceCtx,
+) {
+    let w = cfg.w_home;
+    let d = draw_district(cfg, rng, h);
+    let c = random_customer(rng, h);
+    let ol_cnt = uniform(rng, 5, 15);
+    let rollback = rng.gen_range(0..100u32) == 0;
+
+    let Some(w_rid) = db.index_get(h.idx_warehouse, wh_key(w), tc) else {
+        return;
+    };
+    set.add(h.warehouse, w_rid, LockMode::Shared);
+    let Some(d_rid) = db.index_get(h.idx_district, dist_key(w, d), tc) else {
+        return;
+    };
+    set.add(h.district, d_rid, LockMode::Exclusive);
+    let Some(c_rid) = db.index_get(h.idx_customer, cust_key(w, d, c), tc) else {
+        return;
+    };
+    set.add(h.customer, c_rid, LockMode::Shared);
+
+    for ol in 1..=ol_cnt {
+        let i_id = if rollback && ol == ol_cnt {
+            u64::MAX
+        } else {
+            draw_item(cfg, rng, h)
+        };
+        let supply_w = if let Some(rw) = cfg.remote_wh {
+            rw
+        } else if rng.gen_range(0..100u32) == 0 && h.wh_hi > h.wh_lo {
+            let mut other = uniform(rng, h.wh_lo, h.wh_hi);
+            if other == w {
+                other = if other == h.wh_hi { h.wh_lo } else { other + 1 };
+            }
+            other
+        } else {
+            w
+        };
+        let Some(i_rid) = db.index_get(h.idx_item, item_key(i_id), tc) else {
+            // The deliberate-rollback invalid item: the body aborts here,
+            // having locked exactly the rows accumulated so far.
+            return;
+        };
+        set.add(h.item, i_rid, LockMode::Shared);
+        let Some(s_rid) = db.index_get(h.idx_stock, stock_key(supply_w, i_id), tc) else {
+            return;
+        };
+        set.add(h.stock, s_rid, LockMode::Exclusive);
+        let _qty = uniform(rng, 1, 10);
+    }
+    // The order/order_line/new_order inserts lock fresh RIDs only.
+}
+
+fn payment_set(
+    db: &Database,
+    h: &TpccDb,
+    cfg: TxnCfg,
+    rng: &mut StdRng,
+    set: &mut SetBuilder,
+    tc: &mut TraceCtx,
+) {
+    let w = cfg.w_home;
+    let d = draw_district(cfg, rng, h);
+    let (c_w, c_d) = if let Some(rw) = cfg.remote_wh {
+        (rw, uniform(rng, 1, h.scale.districts_per_wh))
+    } else if rng.gen_range(0..100u32) < 15 && h.wh_hi > h.wh_lo {
+        let mut other = uniform(rng, h.wh_lo, h.wh_hi);
+        if other == w {
+            other = if other == h.wh_hi { h.wh_lo } else { other + 1 };
+        }
+        (other, uniform(rng, 1, h.scale.districts_per_wh))
+    } else {
+        (w, d)
+    };
+    let _amount = uniform(rng, 1_00, 5_000_00);
+
+    let Some(w_rid) = db.index_get(h.idx_warehouse, wh_key(w), tc) else {
+        return;
+    };
+    set.add(h.warehouse, w_rid, LockMode::Exclusive);
+    let Some(d_rid) = db.index_get(h.idx_district, dist_key(w, d), tc) else {
+        return;
+    };
+    set.add(h.district, d_rid, LockMode::Exclusive);
+
+    let c_rid = if rng.gen_range(0..100u32) < 60 {
+        let c = random_customer(rng, h);
+        db.index_get(h.idx_customer, cust_key(c_w, c_d, c), tc)
+    } else {
+        let name = last_name(nurand(rng, 255, h.c_last, 0, 999));
+        let lo = cust_name_key(c_w, c_d, &name, 0);
+        let hi = cust_name_key(c_w, c_d, &name, 0xF_FFFF);
+        let matches = db.index_range(h.idx_customer_name, lo, hi, tc);
+        match matches.get(matches.len() / 2) {
+            Some(&(_, rid)) => Some(rid),
+            None => {
+                let c = random_customer(rng, h);
+                db.index_get(h.idx_customer, cust_key(c_w, c_d, c), tc)
+            }
+        }
+    };
+    if let Some(c_rid) = c_rid {
+        set.add(h.customer, c_rid, LockMode::Exclusive);
+    }
+    // History insert: fresh RID only.
+}
+
+fn order_status_set(
+    db: &Database,
+    h: &TpccDb,
+    cfg: TxnCfg,
+    rng: &mut StdRng,
+    set: &mut SetBuilder,
+    tc: &mut TraceCtx,
+) {
+    let w = cfg.w_home;
+    let d = draw_district(cfg, rng, h);
+    let c = random_customer(rng, h);
+
+    let Some(c_rid) = db.index_get(h.idx_customer, cust_key(w, d, c), tc) else {
+        return;
+    };
+    set.add(h.customer, c_rid, LockMode::Shared);
+
+    let lo = order_key(w, d, 0);
+    let hi = order_key(w, d, u32::MAX as u64);
+    let orders = db.index_range(h.idx_orders, lo, hi, tc);
+    if let Some(&(okey, o_rid)) = orders.last() {
+        set.add(h.orders, o_rid, LockMode::Shared);
+        let o_id = okey & 0xFFFF_FFFF;
+        let ol_cnt = peek_u64(db, h.orders, o_rid, 6, tc).unwrap_or(0);
+        for ol in 1..=ol_cnt {
+            if let Some(rid) = db.index_get(h.idx_order_line, order_line_key(w, d, o_id, ol), tc) {
+                set.add(h.order_line, rid, LockMode::Shared);
+            }
+        }
+    }
+}
+
+fn delivery_set(
+    db: &Database,
+    h: &TpccDb,
+    cfg: TxnCfg,
+    rng: &mut StdRng,
+    set: &mut SetBuilder,
+    tc: &mut TraceCtx,
+) {
+    let w = cfg.w_home;
+    let _carrier = uniform(rng, 1, 10);
+
+    for d in 1..=h.scale.districts_per_wh {
+        let lo = order_key(w, d, 0);
+        let hi = order_key(w, d, u32::MAX as u64);
+        let pending = db.index_range(h.idx_new_order, lo, hi, tc);
+        let Some(&(okey, no_rid)) = pending.first() else {
+            continue;
+        };
+        let o_id = okey & 0xFFFF_FFFF;
+        set.add(h.new_order, no_rid, LockMode::Exclusive);
+
+        let Some(o_rid) = db.index_get(h.idx_orders, order_key(w, d, o_id), tc) else {
+            continue;
+        };
+        set.add(h.orders, o_rid, LockMode::Exclusive);
+        let c_id = peek_u64(db, h.orders, o_rid, 3, tc);
+        let ol_cnt = peek_u64(db, h.orders, o_rid, 6, tc).unwrap_or(0);
+
+        for ol in 1..=ol_cnt {
+            if let Some(rid) = db.index_get(h.idx_order_line, order_line_key(w, d, o_id, ol), tc) {
+                set.add(h.order_line, rid, LockMode::Shared);
+            }
+        }
+        if let Some(c_id) = c_id {
+            if let Some(c_rid) = db.index_get(h.idx_customer, cust_key(w, d, c_id), tc) {
+                set.add(h.customer, c_rid, LockMode::Exclusive);
+            }
+        }
+    }
+}
+
+fn stock_level_set(
+    db: &Database,
+    h: &TpccDb,
+    cfg: TxnCfg,
+    rng: &mut StdRng,
+    set: &mut SetBuilder,
+    tc: &mut TraceCtx,
+) {
+    let w = cfg.w_home;
+    let d = draw_district(cfg, rng, h);
+    let _threshold = uniform(rng, 10, 20);
+
+    let Some(d_rid) = db.index_get(h.idx_district, dist_key(w, d), tc) else {
+        return;
+    };
+    set.add(h.district, d_rid, LockMode::Shared);
+    let Some(next_o) = peek_u64(db, h.district, d_rid, 4, tc) else {
+        return;
+    };
+
+    let first = next_o.saturating_sub(20).max(1);
+    let mut items = std::collections::BTreeSet::new();
+    for o in first..next_o {
+        for ol in 1..=15u64 {
+            if let Some(rid) = db.index_get(h.idx_order_line, order_line_key(w, d, o, ol), tc) {
+                set.add(h.order_line, rid, LockMode::Shared);
+                if let Some(i) = peek_u64(db, h.order_line, rid, 4, tc) {
+                    items.insert(i);
+                }
+            }
+        }
+    }
+    for i in items {
+        if let Some(rid) = db.index_get(h.idx_stock, stock_key(w, i), tc) {
+            set.add(h.stock, rid, LockMode::Shared);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::client_rng;
+    use crate::tpcc::txns::{run_txn_cfg, TxnOutcome};
+    use crate::tpcc::{build_tpcc, TpccScale};
+    use dbcmp_engine::EngineError;
+
+    /// The ground truth: run the body for real and record what it locked.
+    fn actual_locks(
+        db: &mut Database,
+        h: &TpccDb,
+        kind: TxnKind,
+        cfg: TxnCfg,
+        rng: StdRng,
+    ) -> Vec<(u64, LockMode)> {
+        // Capture the lock set at commit time by running the transaction
+        // and reading `txn.locks` through a shim.
+        struct Shim<'a> {
+            db: &'a mut Database,
+            locks: Vec<(u64, LockMode)>,
+            insert_keys: Vec<u64>,
+        }
+        impl dbcmp_engine::EngineOps for Shim<'_> {
+            fn statement_overhead(&mut self, tc: &mut TraceCtx) {
+                self.db.statement_overhead(tc);
+            }
+            fn begin(&mut self, tc: &mut TraceCtx) -> dbcmp_engine::txn::Txn {
+                self.db.begin(tc)
+            }
+            fn declare(
+                &mut self,
+                txn: &mut dbcmp_engine::txn::Txn,
+                keys: &[(u64, LockMode)],
+                tc: &mut TraceCtx,
+            ) -> dbcmp_engine::Result<()> {
+                self.db.declare(txn, keys, tc)
+            }
+            fn commit(
+                &mut self,
+                txn: dbcmp_engine::txn::Txn,
+                tc: &mut TraceCtx,
+            ) -> dbcmp_engine::Result<()> {
+                self.locks = txn.held_locks().to_vec();
+                self.db.commit(txn, tc)
+            }
+            fn abort(&mut self, txn: dbcmp_engine::txn::Txn, tc: &mut TraceCtx) {
+                self.locks = txn.held_locks().to_vec();
+                self.db.abort(txn, tc);
+            }
+            fn insert(
+                &mut self,
+                txn: &mut dbcmp_engine::txn::Txn,
+                table: usize,
+                row: &[dbcmp_engine::Value],
+                tc: &mut TraceCtx,
+            ) -> dbcmp_engine::Result<dbcmp_engine::heap::Rid> {
+                let rid = self.db.insert(txn, table, row, tc)?;
+                self.insert_keys.push(Database::lock_key(table, rid));
+                Ok(rid)
+            }
+            fn read(
+                &mut self,
+                txn: &mut dbcmp_engine::txn::Txn,
+                table: usize,
+                rid: dbcmp_engine::heap::Rid,
+                for_update: bool,
+                tc: &mut TraceCtx,
+            ) -> dbcmp_engine::Result<dbcmp_engine::Row> {
+                self.db.read(txn, table, rid, for_update, tc)
+            }
+            fn update(
+                &mut self,
+                txn: &mut dbcmp_engine::txn::Txn,
+                table: usize,
+                rid: dbcmp_engine::heap::Rid,
+                row: &[dbcmp_engine::Value],
+                tc: &mut TraceCtx,
+            ) -> dbcmp_engine::Result<()> {
+                self.db.update(txn, table, rid, row, tc)
+            }
+            fn delete(
+                &mut self,
+                txn: &mut dbcmp_engine::txn::Txn,
+                table: usize,
+                rid: dbcmp_engine::heap::Rid,
+                tc: &mut TraceCtx,
+            ) -> dbcmp_engine::Result<()> {
+                self.db.delete(txn, table, rid, tc)
+            }
+            fn index_get(
+                &mut self,
+                index: usize,
+                key: u64,
+                tc: &mut TraceCtx,
+            ) -> Option<dbcmp_engine::heap::Rid> {
+                self.db.index_get(index, key, tc)
+            }
+            fn index_range(
+                &mut self,
+                index: usize,
+                lo: u64,
+                hi: u64,
+                tc: &mut TraceCtx,
+            ) -> Vec<(u64, dbcmp_engine::heap::Rid)> {
+                self.db.index_range(index, lo, hi, tc)
+            }
+        }
+        let mut shim = Shim {
+            db,
+            locks: Vec::new(),
+            insert_keys: Vec::new(),
+        };
+        let mut tc = shim.db.null_ctx();
+        let mut body_rng = rng;
+        match run_txn_cfg(&mut shim, h, kind, cfg, &mut body_rng, &mut tc) {
+            Ok(TxnOutcome::Committed | TxnOutcome::Aborted) => {}
+            Err(EngineError::LockConflict { .. }) => {}
+            Err(e) => panic!("unexpected error deriving ground truth: {e}"),
+        }
+        let inserts = shim.insert_keys;
+        shim.locks
+            .into_iter()
+            .filter(|(k, _)| !inserts.contains(k))
+            .collect()
+    }
+
+    /// On an otherwise idle database the derived set must cover every
+    /// lock the body takes on pre-existing rows, at a mode at least as
+    /// strong — across all five kinds and many parameter draws.
+    #[test]
+    fn derived_set_covers_actual_locks_when_idle() {
+        let (mut db, h) = build_tpcc(TpccScale::tiny(), 0xA11CE);
+        let kinds = [
+            TxnKind::NewOrder,
+            TxnKind::Payment,
+            TxnKind::OrderStatus,
+            TxnKind::Delivery,
+            TxnKind::StockLevel,
+        ];
+        let mut checked = 0usize;
+        for round in 0..12u64 {
+            for (ki, &kind) in kinds.iter().enumerate() {
+                let rng = client_rng(0xBEEF ^ round, ki);
+                let cfg = TxnCfg::home(1 + (round % h.scale.warehouses));
+                let derived = rw_set(&db, &h, kind, cfg, rng.clone());
+                let actual = actual_locks(&mut db, &h, kind, cfg, rng);
+                // Fresh-RID inserts were filtered out of `actual`; every
+                // remaining lock must be declared at a mode at least as
+                // strong as the body used.
+                for (key, mode) in &actual {
+                    assert!(
+                        derived
+                            .iter()
+                            .any(|(k, m)| k == key && (*m == LockMode::Exclusive || *m == *mode)),
+                        "{kind:?} round {round}: lock {key:#x} ({mode:?}) not covered by \
+                         the derived set {derived:#x?}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(
+            checked > 100,
+            "coverage check must actually bite: {checked}"
+        );
+    }
+
+    /// Derivation never locks anything and never perturbs the database.
+    #[test]
+    fn derivation_is_side_effect_free() {
+        let (db, h) = build_tpcc(TpccScale::tiny(), 5);
+        let before = db.live_locks();
+        for ki in 0..64usize {
+            let kind = [
+                TxnKind::NewOrder,
+                TxnKind::Payment,
+                TxnKind::OrderStatus,
+                TxnKind::Delivery,
+                TxnKind::StockLevel,
+            ][ki % 5];
+            let _ = rw_set(&db, &h, kind, TxnCfg::home(1), client_rng(9, ki));
+        }
+        assert_eq!(db.live_locks(), before);
+        assert_eq!(db.lock_waiters(), 0);
+    }
+}

@@ -14,6 +14,7 @@
 //! intended outcome (or an error) and the driver finishes the transaction,
 //! so every error path — deadlock victims included — rolls back cleanly.
 
+use dbcmp_engine::lockmgr::LockMode;
 use dbcmp_engine::txn::Txn;
 use dbcmp_engine::{EngineError, EngineOps, Result, TraceCtx, Value};
 use rand::rngs::StdRng;
@@ -88,12 +89,12 @@ impl TxnCfg {
     }
 }
 
-fn draw_district(cfg: TxnCfg, rng: &mut StdRng, h: &TpccDb) -> u64 {
+pub(crate) fn draw_district(cfg: TxnCfg, rng: &mut StdRng, h: &TpccDb) -> u64 {
     cfg.district
         .unwrap_or_else(|| uniform(rng, 1, h.scale.districts_per_wh))
 }
 
-fn draw_item(cfg: TxnCfg, rng: &mut StdRng, h: &TpccDb) -> u64 {
+pub(crate) fn draw_item(cfg: TxnCfg, rng: &mut StdRng, h: &TpccDb) -> u64 {
     match cfg.item_pool {
         Some(n) => uniform(rng, 1, n.min(h.scale.items)),
         None => random_item(rng, h),
@@ -125,8 +126,32 @@ pub fn run_txn_cfg<D: EngineOps>(
     rng: &mut StdRng,
     tc: &mut TraceCtx,
 ) -> Result<TxnOutcome> {
+    run_txn_cfg_declared(db, h, kind, cfg, rng, tc, None)
+}
+
+/// [`run_txn_cfg`] with an optional pre-declared read/write set, for the
+/// deterministic-ordered concurrency backend: right after `begin` the set
+/// is declared through [`EngineOps::declare`], which parks the caller
+/// until every key is granted in declare order. `None` skips the declare
+/// entirely (byte-identical to [`run_txn_cfg`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_txn_cfg_declared<D: EngineOps>(
+    db: &mut D,
+    h: &TpccDb,
+    kind: TxnKind,
+    cfg: TxnCfg,
+    rng: &mut StdRng,
+    tc: &mut TraceCtx,
+    declared: Option<&[(u64, LockMode)]>,
+) -> Result<TxnOutcome> {
     db.statement_overhead(tc);
     let mut txn = db.begin(tc);
+    if let Some(keys) = declared {
+        if let Err(e) = db.declare(&mut txn, keys, tc) {
+            db.abort(txn, tc);
+            return Err(e);
+        }
+    }
     let body = match kind {
         TxnKind::NewOrder => new_order(db, h, &mut txn, cfg, rng, tc),
         TxnKind::Payment => payment(db, h, &mut txn, cfg, rng, tc),

@@ -9,8 +9,10 @@ use dbcmp::core::taxonomy::WorkloadKind;
 use dbcmp::core::workload::{CapturedWorkload, FigScale};
 use dbcmp::sim::analytic::Validation;
 use dbcmp::trace::TraceSummary;
+use dbcmp::engine::CcBackend;
 use dbcmp::workloads::{
-    build_tpcc, capture_oltp, capture_oltp_interleaved, CaptureOptions, InterleaveOptions,
+    build_tpcc, capture_oltp, capture_oltp_interleaved, CaptureOptions, DrawScheme,
+    InterleaveOptions,
 };
 
 fn spec(scale: &FigScale) -> RunSpec {
@@ -97,6 +99,8 @@ fn interleaved_capture_is_deterministic() {
             slice_ops: scale.slice_ops,
             hot_pct: 90,
             hot_items: scale.hot_items,
+            backend: CcBackend::Centralized2PL,
+            draws: DrawScheme::Legacy,
         };
         capture_oltp_interleaved(db, &h, opt)
     };
