@@ -1,0 +1,100 @@
+//! `fig_network`: distributed joins over the modeled network (tentpole
+//! of the exchange extension). The join-heavy Q3/Q5 stream runs on one
+//! Fig. 7 CMP chip or range-partitioned across 2/4 identical chips,
+//! with shuffle/broadcast exchange messages priced by three
+//! interconnect presets. Expected shape: over kernel-stack 10 GbE the
+//! exchange stalls swamp the added compute and partitioning loses; over
+//! NUMA- or RDMA-class links the same plans scale with instances — the
+//! bandwidth-vs-compute crossover of Rödiger et al., reproduced on the
+//! paper's trace-driven methodology.
+
+use dbcmp_bench::{footer, header, scale_from_args};
+use dbcmp_core::network::{fig_network, network_presets, NETWORK_INSTANCES};
+use dbcmp_core::report::{f3, pct, table};
+
+fn main() {
+    let t0 = header(
+        "fig_network: distributed Q3/Q5 joins across 1/2/4 chips per link class",
+        "the multi-chip DSS extension of the §4-§5 camps",
+    );
+    let scale = scale_from_args();
+    let points = fig_network(&scale);
+
+    for (preset, link) in network_presets() {
+        println!(
+            "\n-- {preset} link ({} cycles one-way, {} B/cycle) --",
+            link.latency_cycles, link.bytes_per_cycle
+        );
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .filter(|p| p.preset == preset)
+            .map(|p| {
+                vec![
+                    format!("{}x4c", p.instances),
+                    format!("{}", p.units),
+                    format!("{:.1}", p.queries),
+                    f3(p.uipc),
+                    format!("{}", p.stats.shuffles),
+                    format!("{}", p.stats.broadcasts),
+                    format!("{}", p.remote.sends + p.remote.recvs),
+                    format!("{}", p.remote.bytes),
+                    pct(p.link_stall_share),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            table(
+                &[
+                    "Instances",
+                    "Units",
+                    "Queries",
+                    "UIPC*",
+                    "Shuffles",
+                    "Bcasts",
+                    "Messages",
+                    "Msg bytes",
+                    "Link stall%",
+                ],
+                &rows
+            )
+        );
+    }
+
+    // The headline: per link class, does scaling out help or hurt?
+    println!("\n-- bandwidth vs compute (queries at n instances / queries at 1) --");
+    let at = |preset: &str, n: usize| {
+        points
+            .iter()
+            .find(|p| p.preset == preset && p.instances == n)
+            .map_or(0.0, |p| p.queries)
+    };
+    let rows: Vec<Vec<String>> = network_presets()
+        .iter()
+        .map(|(preset, _)| {
+            let base = at(preset, 1).max(1.0);
+            let mut row = vec![preset.to_string()];
+            for n in NETWORK_INSTANCES {
+                row.push(format!("{:.2}x", at(preset, n) / base));
+            }
+            row
+        })
+        .collect();
+    print!(
+        "{}",
+        table(&["Link", "1 chip", "2 chips", "4 chips"], &rows)
+    );
+
+    println!();
+    println!("Every instance is a full Fig. 7 CMP chip (scale-out, not a split");
+    println!("budget), so the 1-chip row of every link class is the same replay");
+    println!("as fig_joins' join-flavor CMP point — zero remote traffic, the");
+    println!("link is irrelevant. Adding chips adds compute and cache but ships");
+    println!("every hash join's build (broadcast) or both sides (shuffle) as");
+    println!("value-sized rows over the link. Units counts per-instance");
+    println!("fragment completions; Queries (= units / n, each fragment covers");
+    println!("1/n of the data) is the cross-point throughput the crossover is");
+    println!("read from. UIPC* is diagnostic only (exchange instructions");
+    println!("inflate the distributed captures by design).");
+    footer(t0);
+}

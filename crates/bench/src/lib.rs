@@ -20,6 +20,9 @@
 //! | asymmetric-CMP ratio sweep (extension) | `fig_asym` |
 //! | cache-topology island sweep (extension) | `fig_islands` |
 //! | scan-vs-join DSS sweep (extension) | `fig_joins` |
+//! | shared-nothing deployment sweep (extension) | `fig_deploy` |
+//! | concurrency-control backend sweep (extension) | `fig_cc` |
+//! | distributed-join network sweep (extension) | `fig_network` |
 //!
 //! Run with `--quick` for a fast, smaller-scale pass (same code paths).
 //! The simulation points inside each binary fan out over OS threads via

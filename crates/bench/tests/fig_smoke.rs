@@ -479,6 +479,96 @@ fn fig_joins_quick() {
     );
 }
 
+/// The `fig_network` gate: the 1-instance rows reproduce the
+/// `fig_joins` join-flavor CMP endpoint (same capture by the validation
+/// anchor, same chip by construction) with zero remote traffic, shuffle
+/// bytes grow with instance count, and the link-stall shares order
+/// 10 GbE > NUMA > RDMA on a fixed multi-instance plan.
+#[test]
+fn fig_network_quick() {
+    use dbcmp_core::network::{fig_network, network_chip, network_presets, network_spec};
+    let scale = FigScale::quick();
+    let points = fig_network(&scale);
+    assert_eq!(points.len(), 3 * 3, "3 presets x {{1, 2, 4}} instances");
+    let find = |preset: &str, inst: usize| {
+        points
+            .iter()
+            .find(|p| p.preset == preset && p.instances == inst)
+            .expect("point present")
+    };
+
+    // 1-instance rows ≡ the fig_joins join-flavor CMP endpoint: the
+    // distributed capture degenerates to `dss_joins` (validation
+    // anchor), the chip is the same preset, and with zero remote
+    // traffic the link cannot matter — every preset's n=1 row matches.
+    let spec = network_spec(&scale);
+    let w = CapturedWorkload::dss_joins(&scale, scale.dss_clients, scale.dss_units);
+    let reference = run_throughput(network_chip(), &w.bundle, spec);
+    for (preset, _) in network_presets() {
+        let p = find(preset, 1);
+        assert_eq!(p.per_instance.len(), 1);
+        assert!(
+            same_numbers(&p.per_instance[0], &reference),
+            "{preset} 1-instance row must equal the fig_joins CMP endpoint"
+        );
+        assert_eq!(p.remote.sends + p.remote.recvs, 0, "nothing ships at n=1");
+        assert_eq!(p.remote.bytes, 0);
+        assert_eq!(p.link_stall_share, 0.0);
+        assert_eq!(p.stats.shuffles + p.stats.broadcasts, 0);
+    }
+
+    // Exchange traffic grows with instance count (capture-side bytes
+    // are interconnect-independent, so any preset's column works).
+    let shipped = |inst: usize| find("NUMA", inst).stats.traffic.sent_bytes;
+    assert_eq!(shipped(1), 0);
+    assert!(
+        shipped(2) > 0 && shipped(4) > shipped(2),
+        "shuffle bytes must grow with instance count: {} -> {} -> {}",
+        shipped(1),
+        shipped(2),
+        shipped(4),
+    );
+
+    // Link-stall ordering at the fixed 2-instance plan: the kernel
+    // network stalls hardest, the RDMA fabric least. (At quick scale
+    // the exchanged fragments are small, so latency dominates — the
+    // 4-instance plan's messages are too small to separate RDMA from
+    // NUMA; paper scale separates them everywhere, see EXPERIMENTS.md.)
+    let stall = |preset: &str| find(preset, 2).link_stall_share;
+    assert!(
+        stall("10GbE") > stall("NUMA") && stall("NUMA") > stall("RDMA"),
+        "link-stall shares must order 10GbE > NUMA > RDMA: {:.4} / {:.4} / {:.4}",
+        stall("10GbE"),
+        stall("NUMA"),
+        stall("RDMA"),
+    );
+
+    // The bandwidth-vs-compute crossover, quick-scale edition: fast
+    // links scale out, the kernel network inverts by 4 instances.
+    assert!(
+        find("NUMA", 4).units > find("NUMA", 1).units,
+        "NUMA-linked instances must add throughput"
+    );
+    assert!(
+        find("10GbE", 4).units < find("10GbE", 2).units,
+        "10GbE exchange must invert the scaling by 4 instances"
+    );
+    // Normalized to whole queries (units / instances — each fragment
+    // covers 1/n of the data), the crossover is stark: NUMA-linked
+    // chips monotonically add query throughput, while over the kernel
+    // stack one chip beats every distributed plan.
+    assert!(
+        find("NUMA", 1).queries < find("NUMA", 2).queries
+            && find("NUMA", 2).queries < find("NUMA", 4).queries,
+        "NUMA query throughput must grow monotonically with chips"
+    );
+    assert!(
+        find("10GbE", 2).queries < find("10GbE", 1).queries
+            && find("10GbE", 4).queries < find("10GbE", 2).queries,
+        "over 10GbE one chip must beat every distributed plan at quick scale"
+    );
+}
+
 /// The `fig_deploy` gate: the shared-everything endpoint reproduces a
 /// direct Fig. 7-style CMP replay of the same bundle, the multi-
 /// partition knob really produces interconnect traffic that costs

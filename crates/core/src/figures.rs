@@ -2,6 +2,7 @@
 //! harness binaries print and EXPERIMENTS.md records; integration tests
 //! assert the paper's qualitative shapes on `FigScale::quick()`.
 
+use dbcmp_engine::exec::ExchangeStrategy;
 use dbcmp_engine::{CcBackend, CcStats};
 use dbcmp_sim::analytic::Validation;
 use dbcmp_sim::stats::Breakdown;
@@ -345,6 +346,18 @@ pub fn cc_backend_label(backend: CcBackend) -> &'static str {
         CcBackend::Centralized2PL => "2PL",
         CcBackend::PartitionedPerCore => "PART",
         CcBackend::DeterministicOrdered => "ORDER",
+    }
+}
+
+/// Figure label for an exchange strategy.
+///
+/// Exhaustive over [`ExchangeStrategy`] by design — the dbcmp-lint X3
+/// rule rejects builds where a strategy variant is missing here.
+pub fn exchange_label(strategy: ExchangeStrategy) -> &'static str {
+    match strategy {
+        ExchangeStrategy::Local => "LOCAL",
+        ExchangeStrategy::Broadcast => "BCAST",
+        ExchangeStrategy::Shuffle => "SHUFFLE",
     }
 }
 

@@ -11,6 +11,7 @@ pub mod deploy;
 pub mod experiment;
 pub mod figures;
 pub mod machines;
+pub mod network;
 pub mod report;
 pub mod taxonomy;
 pub mod workload;
@@ -21,5 +22,6 @@ pub use machines::{
     asym_cmp, cmp_l3, fc_cmp, fc_cmp_l3, island_cmp, island_cmp_l3, lc_cmp, lc_cmp_l3,
     smp_baseline, L2Spec,
 };
+pub use network::{fig_network, network_capture, network_presets, network_spec, NetworkPoint};
 pub use taxonomy::{Camp, Saturation, WorkloadKind};
 pub use workload::{CapturedWorkload, FigScale};

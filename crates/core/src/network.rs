@@ -1,0 +1,185 @@
+//! Distributed-join network sweep: the same join-heavy DSS stream run
+//! on one engine or range-partitioned across 2/4 engine instances, with
+//! every exchange message priced by an [`Interconnect`] preset — the
+//! bandwidth-vs-compute tradeoff Rödiger et al. study, grafted onto the
+//! paper's trace-driven CMP methodology.
+//!
+//! Where `fig_deploy` splits a fixed silicon budget (scale-**up**
+//! repartitioned), `fig_network` scales **out**: every instance is a
+//! full Fig. 7 CMP chip (`fc_cmp(4, 16 MB)`), so adding instances adds
+//! compute and cache — and adds shuffle/broadcast traffic whose cost
+//! depends entirely on the link. The captures are
+//! interconnect-independent (the exchange emits `RemoteSend`/
+//! `RemoteRecv` events; the link prices them at replay), so each
+//! instance count is captured **once** and replayed under all three
+//! presets.
+//!
+//! The expected shape (recorded in EXPERIMENTS.md): over a kernel-stack
+//! 10 GbE link the exchange stalls dominate and partitioning loses —
+//! 1 instance beats 4. Over NUMA- or RDMA-class links the per-message
+//! cost is small enough that the added compute wins and throughput
+//! scales with instances. The crossover between those two regimes is
+//! the figure's headline.
+
+use dbcmp_sim::{Interconnect, RemoteCounters, SimResult};
+use dbcmp_workloads::tpch::dist::DistCapture;
+use dbcmp_workloads::tpch::QueryKind;
+use dbcmp_workloads::{capture_dss_dist, CaptureOptions, DistOptions, DistStats};
+
+use crate::experiment::{RunSpec, Sweep};
+use crate::machines::{fc_cmp, L2Spec};
+use crate::workload::FigScale;
+
+/// One point of the network sweep: `instances` full chips joined by
+/// `preset`, running the distributed Q3/Q5 stream.
+pub struct NetworkPoint {
+    pub instances: usize,
+    /// Interconnect preset tag: `"NUMA"`, `"RDMA"`, or `"10GbE"`.
+    pub preset: &'static str,
+    /// Aggregate UIPC (diagnostic — exchange instructions inflate the
+    /// distributed captures, so UIPC is not cross-point throughput).
+    pub uipc: f64,
+    /// Completed query units across all instances' identical measure
+    /// windows (as in `fig_deploy`). A unit is one instance finishing
+    /// its *fragment*, so cross-`instances` comparisons need [`Self::
+    /// queries`].
+    pub units: u64,
+    /// Logical query completions per window: `units / instances`. Each
+    /// instance's fragment covers 1/n of the data, so n fragment units
+    /// ≈ one whole query — this is the cross-point throughput metric
+    /// the crossover is read from.
+    pub queries: f64,
+    /// Interconnect traffic summed over the instances' replays.
+    pub remote: RemoteCounters,
+    /// Share of aggregate core cycles spent stalled on the link
+    /// (interconnect stalls land in `CycleClass::Other`, so this is a
+    /// true fraction of the breakdown).
+    pub link_stall_share: f64,
+    /// Capture-side exchange statistics (shuffles vs broadcasts, bytes).
+    pub stats: DistStats,
+    /// Per-instance replay results, instance order.
+    pub per_instance: Vec<SimResult>,
+}
+
+/// Interconnect presets swept, in presentation order (fastest-latency
+/// link first).
+pub fn network_presets() -> [(&'static str, Interconnect); 3] {
+    [
+        ("NUMA", Interconnect::numa_link()),
+        ("RDMA", Interconnect::rdma()),
+        ("10GbE", Interconnect::network_10g()),
+    ]
+}
+
+/// Instance counts swept: one chip (no exchange), two, four.
+pub const NETWORK_INSTANCES: [usize; 3] = [1, 2, 4];
+
+/// Capture the distributed join mix at one instance count, at this
+/// sweep's conventions (exposed so the smoke gate and the validation
+/// anchors rebuild points deterministically).
+pub fn network_capture(scale: &FigScale, instances: usize) -> DistCapture {
+    capture_dss_dist(
+        scale.tpch,
+        &QueryKind::JOINS,
+        DistOptions {
+            capture: CaptureOptions::new(scale.dss_clients, scale.dss_units, scale.seed),
+            instances,
+        },
+    )
+}
+
+/// The machine every instance replays on: the Fig. 7 CMP chip, so the
+/// 1-instance point is number-identical to `fig_joins`' join-flavor CMP
+/// point (asserted by the smoke gate).
+pub fn network_chip() -> dbcmp_sim::MachineConfig {
+    fc_cmp(4, 16 << 20, L2Spec::Cacti)
+}
+
+/// Replay windows for this sweep. A DSS "unit" is a whole query
+/// fragment — ~5 M instructions at paper scale — and the 16 clients
+/// progress round-robin, so inside the `FigScale` windows (sized for
+/// per-transaction OLTP units) the 1-chip row would commit **zero**
+/// units. The measure window is widened 16×, identically at every
+/// point, so cross-point unit counts stay comparable and the 1-chip
+/// denominator of the scaling table is meaningful.
+pub fn network_spec(scale: &FigScale) -> RunSpec {
+    RunSpec {
+        warmup: scale.warmup,
+        measure: scale.measure * 16,
+        max_cycles: 2_000_000_000,
+    }
+}
+
+/// The full network sweep: capture once per instance count, replay each
+/// capture under every interconnect preset. Points are ordered preset-
+/// major (`network_presets` order), instance-minor.
+pub fn fig_network(scale: &FigScale) -> Vec<NetworkPoint> {
+    let spec = network_spec(scale);
+    let captures: Vec<(usize, DistCapture)> = NETWORK_INSTANCES
+        .into_iter()
+        .map(|n| (n, network_capture(scale, n)))
+        .collect();
+    let mut out = Vec::new();
+    for (preset, link) in network_presets() {
+        for (instances, cap) in &captures {
+            let mut sweep = Sweep::new();
+            let mut bundles = Vec::new();
+            for (i, b) in cap.bundles.iter().enumerate() {
+                let mut cfg = network_chip();
+                cfg.interconnect = link;
+                sweep.push(
+                    format!("net={preset} {instances}x #{i}"),
+                    cfg,
+                    spec.throughput(),
+                );
+                bundles.push(b);
+            }
+            let per_instance = sweep.run_each(&bundles);
+            let mut remote = RemoteCounters::default();
+            for r in &per_instance {
+                remote.merge(&r.remote);
+            }
+            let core_cycles: u64 = per_instance.iter().map(|r| r.breakdown.total()).sum();
+            let units: u64 = per_instance.iter().map(|r| r.units).sum();
+            out.push(NetworkPoint {
+                instances: *instances,
+                preset,
+                uipc: per_instance.iter().map(|r| r.uipc()).sum(),
+                units,
+                queries: units as f64 / *instances as f64,
+                remote,
+                link_stall_share: remote.stall_cycles as f64 / core_cycles.max(1) as f64,
+                stats: cap.stats,
+                per_instance,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_and_distinct() {
+        let presets = network_presets();
+        assert_eq!(presets.len(), 3);
+        let numa = presets[0].1;
+        let rdma = presets[1].1;
+        let net = presets[2].1;
+        assert!(numa.latency_cycles < rdma.latency_cycles);
+        assert!(rdma.latency_cycles < net.latency_cycles);
+        assert!(rdma.bytes_per_cycle > numa.bytes_per_cycle);
+        assert!(numa.bytes_per_cycle > net.bytes_per_cycle);
+    }
+
+    #[test]
+    fn chip_matches_the_fig_joins_cmp_point() {
+        // Same preset the joins sweep labels "CMP" — the 1-instance
+        // network point must replay on identical silicon.
+        let a = network_chip();
+        let [_, (_, b), _] = crate::figures::joins_machines();
+        assert_eq!(a, b);
+    }
+}

@@ -52,6 +52,9 @@ pub struct EngineRegions {
     pub exec_sort: RegionId,
     /// Nested-loop join.
     pub exec_nlj: RegionId,
+    /// Exchange operator: hash routing + row shipping for distributed
+    /// shuffle/broadcast joins.
+    pub exec_exchange: RegionId,
 }
 
 impl EngineRegions {
@@ -76,6 +79,7 @@ impl EngineRegions {
             exec_agg: r.add("exec-agg", 12 << 10, 2.5),
             exec_sort: r.add("exec-sort", 16 << 10, 5.0),
             exec_nlj: r.add("exec-nlj", 8 << 10, 3.0),
+            exec_exchange: r.add("exec-exchange", 8 << 10, 2.5),
         }
     }
 
@@ -167,6 +171,10 @@ pub mod instr {
     pub const AGG_UPDATE: u32 = 18;
     /// Sort: per-comparison charge.
     pub const SORT_CMP: u32 = 8;
+    /// Exchange operator: hash the join key and pick a destination
+    /// partition, per routed row (shipped rows additionally pay the
+    /// tuple codec charges at each end).
+    pub const XCHG_PART_ROW: u32 = 12;
 }
 
 #[cfg(test)]
@@ -192,7 +200,7 @@ mod tests {
     fn regions_registered_distinctly() {
         let mut r = CodeRegions::new();
         let er = EngineRegions::register(&mut r);
-        assert_eq!(r.len(), 16);
+        assert_eq!(r.len(), 17);
         assert_ne!(er.client, er.exec_sort);
     }
 }

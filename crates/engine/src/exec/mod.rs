@@ -19,7 +19,9 @@ pub mod index_scan;
 pub mod limit;
 pub mod nested_loop;
 pub mod project;
+pub mod rows;
 pub mod scan;
+pub mod shuffle_join;
 pub mod sort;
 
 pub use expr::{AggFunc, AggSpec, CmpOp, Pred, Scalar};
@@ -31,7 +33,9 @@ pub use index_scan::IndexRangeScan;
 pub use limit::Limit;
 pub use nested_loop::NestedLoop;
 pub use project::Project;
+pub use rows::Rows;
 pub use scan::SeqScan;
+pub use shuffle_join::{ExchangeStrategy, PartitionedTable, ShuffleJoin};
 pub use sort::Sort;
 
 use crate::db::Database;

@@ -1,6 +1,6 @@
 //! dbcmp-lint: a self-contained static-analysis pass enforcing the
 //! repo's determinism and robustness invariants (rules D1, D2, D3, P1,
-//! X1, X2 — see [`rules::RULES`] or `cargo run -p lint -- --explain <rule>`).
+//! X1, X2, X3 — see [`rules::RULES`] or `cargo run -p lint -- --explain <rule>`).
 //!
 //! The tool is deliberately dependency-free: a handwritten lexer
 //! ([`lexer`]) that correctly skips strings, raw strings, char
@@ -68,6 +68,7 @@ pub fn run(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     }
     diags.extend(rules::rule_x1(&lexed));
     diags.extend(rules::rule_x2(&lexed));
+    diags.extend(rules::rule_x3(&lexed));
     diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(diags)
 }
@@ -84,6 +85,7 @@ pub fn run_on_sources(files: &[(&str, &str)]) -> Vec<Diagnostic> {
     }
     diags.extend(rules::rule_x1(&lexed));
     diags.extend(rules::rule_x2(&lexed));
+    diags.extend(rules::rule_x3(&lexed));
     diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     diags
 }

@@ -1,4 +1,4 @@
-//! The lint rules (D1, D2, D3, P1, X1, X2) and the `lint:allow` grammar.
+//! The lint rules (D1, D2, D3, P1, X1, X2, X3) and the `lint:allow` grammar.
 //!
 //! Annotation grammar (documented in DESIGN.md §7):
 //!
@@ -76,6 +76,16 @@ pub const RULES: &[(&str, &str, &str)] = &[
          backend added in the engine but not wired through those dispatch points would capture\n\
          with mis-attributed waits or render unlabeled sweep rows. There is no allow annotation\n\
          for X2 — handle the variant.",
+    ),
+    (
+        "X3",
+        "exchange-exhaustive",
+        "Every `engine::exec::ExchangeStrategy` variant must be handled in the exchange router\n\
+         (`exchange_rows` in crates/workloads/src/exchange.rs) AND in the figure pipeline's\n\
+         label table (`exchange_label` in crates/core/src/figures.rs). A strategy added in the\n\
+         engine but not wired through those dispatch points would silently ship no rows or\n\
+         render unlabeled sweep rows. There is no allow annotation for X3 — handle the\n\
+         variant.",
     ),
     (
         "A0",
@@ -604,6 +614,80 @@ pub fn rule_x2(files: &[(String, Lexed)]) -> Vec<Diagnostic> {
     out
 }
 
+/// X3: cross-crate `ExchangeStrategy`-variant exhaustiveness. The enum
+/// lives in the engine's shuffle-join executor; the two dispatch points
+/// that must keep up with it live in the workloads exchange router and
+/// the core figure pipeline.
+pub fn rule_x3(files: &[(String, Lexed)]) -> Vec<Diagnostic> {
+    const ENUM_FILE: &str = "crates/engine/src/exec/shuffle_join.rs";
+    let lookup = |p: &str| files.iter().find(|(f, _)| f == p).map(|(_, l)| l);
+
+    let Some(enum_lex) = lookup(ENUM_FILE) else {
+        // No strategy enum in this tree (e.g. a partial fixture): X3 has
+        // nothing to check.
+        return Vec::new();
+    };
+    let variants = scan::enum_variants(&enum_lex.tokens, "ExchangeStrategy");
+    if variants.is_empty() {
+        return vec![Diagnostic {
+            rule: "X3",
+            file: ENUM_FILE.to_string(),
+            line: 1,
+            msg: "could not find `enum ExchangeStrategy` variants".to_string(),
+        }];
+    }
+
+    let surfaces = [
+        (
+            "crates/workloads/src/exchange.rs",
+            "exchange_rows",
+            "exchange router (exchange_rows)",
+        ),
+        (
+            "crates/core/src/figures.rs",
+            "exchange_label",
+            "figure label table (exchange_label)",
+        ),
+    ];
+
+    let mut out = Vec::new();
+    for (file, func, label) in &surfaces {
+        let Some(lex) = lookup(file) else {
+            out.push(Diagnostic {
+                rule: "X3",
+                file: file.to_string(),
+                line: 1,
+                msg: format!("surface file missing for {label}"),
+            });
+            continue;
+        };
+        let toks = &lex.tokens;
+        let Some((lo, hi)) = scan::fn_span(toks, func) else {
+            out.push(Diagnostic {
+                rule: "X3",
+                file: file.to_string(),
+                line: 1,
+                msg: format!("surface function `{func}` not found for {label}"),
+            });
+            continue;
+        };
+        for v in &variants {
+            let handled = toks[lo..hi]
+                .iter()
+                .any(|t| matches!(&t.tok, Tok::Ident(n) if n == v));
+            if !handled {
+                out.push(Diagnostic {
+                    rule: "X3",
+                    file: file.to_string(),
+                    line: 1,
+                    msg: format!("ExchangeStrategy variant `{v}` is not handled in the {label}"),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Run all per-file rules over one file.
 pub fn lint_file(path: &Path, rel: &str, lexed: &Lexed) -> Vec<Diagnostic> {
     let _ = path;
@@ -760,5 +844,44 @@ mod tests {
         let d = rule_x2(&files);
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].msg.contains("cc_backend_label"));
+    }
+
+    #[test]
+    fn x3_detects_missing_strategy_variant() {
+        let en = "pub enum ExchangeStrategy { Local, Broadcast, Shuffle }";
+        let router = "pub fn exchange_rows(s: ExchangeStrategy) { match s { \
+                      ExchangeStrategy::Local => {} ExchangeStrategy::Broadcast => {} \
+                      ExchangeStrategy::Shuffle => {} } }";
+        let figs = "pub fn exchange_label(s: ExchangeStrategy) -> &'static str { \
+                    match s { ExchangeStrategy::Local => \"LOCAL\", \
+                    ExchangeStrategy::Broadcast => \"BCAST\" } }";
+        let files = vec![
+            (
+                "crates/engine/src/exec/shuffle_join.rs".to_string(),
+                lex(en),
+            ),
+            ("crates/workloads/src/exchange.rs".to_string(), lex(router)),
+            ("crates/core/src/figures.rs".to_string(), lex(figs)),
+        ];
+        let d = rule_x3(&files);
+        // The label table is missing Shuffle; the router covers all three.
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "X3");
+        assert!(d[0].msg.contains("Shuffle") && d[0].msg.contains("label"));
+        // A missing surface function is itself a violation.
+        let files = vec![
+            (
+                "crates/engine/src/exec/shuffle_join.rs".to_string(),
+                lex(en),
+            ),
+            ("crates/workloads/src/exchange.rs".to_string(), lex(router)),
+            (
+                "crates/core/src/figures.rs".to_string(),
+                lex("fn other() {}"),
+            ),
+        ];
+        let d = rule_x3(&files);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("exchange_label"));
     }
 }

@@ -19,6 +19,12 @@
 //!   ≈ 450 cycles, and ~12.8 GB/s per direction ≈ 4 B/cycle.
 //! * [`Interconnect::network_10g`] — commodity 10 GbE through a kernel
 //!   stack: ~10 µs one-way ≈ 30 000 cycles, and 1.25 GB/s ≈ 0.4 B/cycle.
+//! * [`Interconnect::rdma`] — an RDMA-class fabric (InfiniBand
+//!   one-sided verbs, kernel bypass, polled completions): ~0.33 µs
+//!   one-way ≈ 1 000 cycles, and ~48 GB/s effective per direction
+//!   ≈ 16 B/cycle — latency between the NUMA link and the kernel
+//!   network, bandwidth above both (the regime Rödiger et al. study
+//!   for distributed query processing).
 //!
 //! Honesty caveats (see DESIGN.md §6): the model is a fixed
 //! latency + bandwidth pair per message — no topology, no congestion, no
@@ -54,6 +60,16 @@ impl Interconnect {
         Interconnect {
             latency_cycles: 30_000,
             bytes_per_cycle: 0.4,
+        }
+    }
+
+    /// RDMA-class fabric preset: kernel-bypass verbs latency with
+    /// NDR-InfiniBand-class bandwidth (see module docs for the
+    /// anchoring).
+    pub fn rdma() -> Self {
+        Interconnect {
+            latency_cycles: 1_000,
+            bytes_per_cycle: 16.0,
         }
     }
 
@@ -96,6 +112,14 @@ mod tests {
         let net = Interconnect::network_10g();
         assert!(net.latency_cycles > 10 * numa.latency_cycles);
         assert!(net.bytes_per_cycle < numa.bytes_per_cycle);
+        // RDMA sits between the links in latency and above both in
+        // bandwidth: on-node coherence is still the fastest hop, the
+        // kernel network the slowest, and the fabric wins on throughput.
+        let rdma = Interconnect::rdma();
+        assert!(numa.latency_cycles < rdma.latency_cycles);
+        assert!(rdma.latency_cycles < net.latency_cycles);
+        assert!(rdma.bytes_per_cycle > numa.bytes_per_cycle);
+        assert!(numa.bytes_per_cycle > net.bytes_per_cycle);
     }
 
     #[test]

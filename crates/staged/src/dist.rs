@@ -1,0 +1,256 @@
+//! Distributed fragments under staged execution policies.
+//!
+//! After an exchange (`dbcmp-workloads`' shuffle/broadcast operator) each
+//! instance holds materialized build and probe row fragments — there is
+//! no heap to scan, so the pipeline starts at the join stage. This module
+//! runs that post-exchange local plan (join → aggregate) under every
+//! [`ExecPolicy`], reusing the same cost accounting as the heap-backed
+//! [`StagedPipeline`](crate::StagedPipeline):
+//!
+//! * **Volcano** — row-at-a-time: each probe row pays [`CALL_OVERHEAD`]
+//!   per operator crossing.
+//! * **Staged** — cohort batches: probe rows pass through a reused
+//!   batch buffer; the per-stage setup cost amortizes over the batch.
+//! * **StagedParallel** — probe fragments split across producer
+//!   contexts, partitioned probe against the consumer-built table, and
+//!   a consumer aggregation stage fed through fenced handoff buffers.
+//!
+//! All three produce identical result rows (the agreement test below);
+//! only the trace shape — and therefore the replayed cycles — differs.
+
+use crate::pipeline::{BatchAgg, ExecPolicy, JoinTable, CALL_OVERHEAD};
+use dbcmp_engine::exec::AggSpec;
+use dbcmp_engine::{Database, TraceCtx, Value};
+
+/// One instance's post-exchange local plan: join the exchanged build
+/// fragment against the exchanged probe fragment, then aggregate.
+#[derive(Debug, Clone)]
+pub struct DistFragmentSpec {
+    /// Join-key column in the build rows.
+    pub build_key: usize,
+    /// Join-key column in the probe rows.
+    pub probe_key: usize,
+    /// Group-by columns into the combined row (probe ++ build).
+    pub group_cols: Vec<usize>,
+    /// Aggregates over the combined row.
+    pub aggs: Vec<AggSpec>,
+}
+
+fn row_width(rows: &[Vec<Value>]) -> u64 {
+    (rows.first().map_or(0, |r| r.len() as u64) * 8).max(16)
+}
+
+/// Run one instance's post-exchange fragment under `policy`.
+///
+/// `tcs[0]` is the primary (consumer) context; `StagedParallel` uses
+/// `tcs[1..]` as producer contexts, mirroring
+/// [`StagedPipeline::run`](crate::StagedPipeline::run). The combined row
+/// layout is probe ++ build, matching the engine's `HashJoin` output and
+/// the exchange operator's `ShuffleJoin::pre_exchanged` path.
+pub fn run_dist_fragment(
+    db: &Database,
+    spec: &DistFragmentSpec,
+    build_rows: Vec<Vec<Value>>,
+    probe_rows: Vec<Vec<Value>>,
+    policy: ExecPolicy,
+    tcs: &mut [TraceCtx],
+) -> Vec<Vec<Value>> {
+    match policy {
+        ExecPolicy::Volcano => {
+            let tc = &mut tcs[0];
+            let jt = JoinTable::from_rows(db, build_rows, spec.build_key, spec.probe_key, tc);
+            let mut agg = BatchAgg::new(db, spec.group_cols.clone(), spec.aggs.clone());
+            for row in probe_rows {
+                // Per-tuple operator crossings: join stage + agg stage.
+                tc.charge(tc.r.exec_hashjoin, CALL_OVERHEAD);
+                let mut combined = Vec::new();
+                jt.probe(&row, &mut combined, tc);
+                for c in combined {
+                    tc.charge(tc.r.exec_agg, CALL_OVERHEAD);
+                    agg.update(&c, tc);
+                }
+            }
+            agg.finish()
+        }
+        ExecPolicy::Staged { batch } => {
+            let tc = &mut tcs[0];
+            let width = row_width(&probe_rows);
+            let batch = batch.max(1);
+            let buf = db.space.alloc_anon(batch as u64 * width);
+            let jt = JoinTable::from_rows(db, build_rows, spec.build_key, spec.probe_key, tc);
+            let mut agg = BatchAgg::new(db, spec.group_cols.clone(), spec.aggs.clone());
+            for chunk in probe_rows.chunks(batch) {
+                // Join stage: one cohort pass over the batch.
+                tc.charge(tc.r.exec_hashjoin, 40);
+                let mut joined = Vec::with_capacity(chunk.len());
+                for (i, row) in chunk.iter().enumerate() {
+                    tc.load(buf + (i as u64 % batch as u64) * width, width as u32);
+                    let mut matches = Vec::new();
+                    jt.probe(row, &mut matches, tc);
+                    joined.extend(matches.into_iter().map(|m| (i, m)));
+                }
+                // Aggregate stage over the joined batch.
+                tc.charge(tc.r.exec_agg, 40);
+                for (i, row) in joined {
+                    tc.load(buf + (i as u64 % batch as u64) * width, width as u32);
+                    agg.update(&row, tc);
+                }
+            }
+            agg.finish()
+        }
+        ExecPolicy::StagedParallel { batch, producers } => {
+            let batch = batch.max(1);
+            let (head, tail) = tcs.split_at_mut(1);
+            let consumer = &mut head[0];
+            let n_prod = producers.min(tail.len()).max(1);
+            let width = row_width(&probe_rows);
+            let jt = JoinTable::from_rows(db, build_rows, spec.build_key, spec.probe_key, consumer);
+            let mut agg = BatchAgg::new(db, spec.group_cols.clone(), spec.aggs.clone());
+            let per = probe_rows.len().div_ceil(n_prod).max(1);
+            for (p, part) in probe_rows.chunks(per).enumerate() {
+                let tc = &mut tail[p % n_prod];
+                let buf = db.space.alloc_anon(batch as u64 * width);
+                let mut batched: Vec<Vec<Value>> = Vec::with_capacity(batch);
+                let mut slot = 0u64;
+                for row in part {
+                    let mut combined = Vec::new();
+                    jt.probe(row, &mut combined, tc);
+                    for c in combined {
+                        tc.store(buf + (slot % batch as u64) * width, width as u32);
+                        slot += 1;
+                        batched.push(c);
+                        if batched.len() == batch {
+                            tc.fence(); // packet handoff
+                            for (i, row) in batched.drain(..).enumerate() {
+                                consumer
+                                    .load(buf + (i as u64 % batch as u64) * width, width as u32);
+                                agg.update(&row, consumer);
+                            }
+                        }
+                    }
+                }
+                if !batched.is_empty() {
+                    tc.fence();
+                    for (i, row) in batched.drain(..).enumerate() {
+                        consumer.load(buf + (i as u64 % batch as u64) * width, width as u32);
+                        agg.update(&row, consumer);
+                    }
+                }
+            }
+            agg.finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcmp_engine::exec::Scalar;
+
+    /// Synthetic exchanged fragments: build = 7 dimension rows keyed
+    /// 0..7, probe = 500 fact rows with key col 1 = id % 7 (plus a NULL
+    /// key and a dangling key that must drop under inner semantics).
+    fn fragments() -> (Vec<Vec<Value>>, Vec<Vec<Value>>, DistFragmentSpec) {
+        let build: Vec<Vec<Value>> = (0..7i64)
+            .map(|g| vec![Value::Int(g), Value::Decimal(g * 100)])
+            .collect();
+        let mut probe: Vec<Vec<Value>> = (0..500i64)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 7), Value::Decimal(i)])
+            .collect();
+        probe.push(vec![Value::Int(9000), Value::Null, Value::Decimal(1)]);
+        probe.push(vec![Value::Int(9001), Value::Int(99), Value::Decimal(1)]);
+        let spec = DistFragmentSpec {
+            build_key: 0,
+            probe_key: 1,
+            // Combined row: (id, key, amount, grp_key, factor).
+            group_cols: vec![3],
+            aggs: vec![AggSpec::count(), AggSpec::sum(Scalar::Col(4))],
+        };
+        (build, probe, spec)
+    }
+
+    #[test]
+    fn all_policies_agree_on_exchanged_fragments() {
+        let (build, probe, spec) = fragments();
+        let run = |policy: ExecPolicy, n_tcs: usize| {
+            let db = Database::new();
+            let mut tcs: Vec<TraceCtx> = (0..n_tcs).map(|_| db.null_ctx()).collect();
+            run_dist_fragment(&db, &spec, build.clone(), probe.clone(), policy, &mut tcs)
+        };
+        let volcano = run(ExecPolicy::Volcano, 1);
+        let staged = run(ExecPolicy::Staged { batch: 64 }, 1);
+        let parallel = run(
+            ExecPolicy::StagedParallel {
+                batch: 64,
+                producers: 3,
+            },
+            4,
+        );
+        assert_eq!(volcano, staged);
+        assert_eq!(volcano, parallel);
+        assert_eq!(volcano.len(), 7, "one output group per matched dim key");
+        // Group 0: fact ids 0,7,...,497 → 72 rows, factor sum 72 * 0.
+        assert_eq!(volcano[0][1], Value::Int(72));
+        // NULL and dangling probe keys dropped (inner-join semantics).
+        let total: i64 = volcano.iter().map(|r| r[1].as_i64().unwrap()).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn staged_fragment_amortizes_call_overhead() {
+        let (build, probe, spec) = fragments();
+        let db = Database::new();
+        let mut tc_v = [db.null_ctx()];
+        run_dist_fragment(
+            &db,
+            &spec,
+            build.clone(),
+            probe.clone(),
+            ExecPolicy::Volcano,
+            &mut tc_v,
+        );
+        let mut tc_s = [db.null_ctx()];
+        run_dist_fragment(
+            &db,
+            &spec,
+            build,
+            probe,
+            ExecPolicy::Staged { batch: 128 },
+            &mut tc_s,
+        );
+        assert!(
+            tc_s[0].instrs() < tc_v[0].instrs(),
+            "staged fragment {} must beat volcano {}",
+            tc_s[0].instrs(),
+            tc_v[0].instrs()
+        );
+    }
+
+    #[test]
+    fn parallel_fragment_splits_probe_work() {
+        let (build, probe, spec) = fragments();
+        let db = Database::new();
+        let mut tcs = vec![db.trace_ctx(), db.trace_ctx(), db.trace_ctx()];
+        run_dist_fragment(
+            &db,
+            &spec,
+            build,
+            probe,
+            ExecPolicy::StagedParallel {
+                batch: 32,
+                producers: 2,
+            },
+            &mut tcs,
+        );
+        let c = tcs[0].instrs();
+        let p0 = tcs[1].instrs();
+        let p1 = tcs[2].instrs();
+        assert!(p0 > 0 && p1 > 0, "both producers probe: {p0} {p1}");
+        assert!(c > 0, "consumer aggregates");
+        let ratio = p0 as f64 / p1 as f64;
+        assert!(
+            (0.4..=2.5).contains(&ratio),
+            "probe work split roughly evenly: {ratio}"
+        );
+    }
+}

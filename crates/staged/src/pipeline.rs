@@ -135,6 +135,43 @@ impl JoinTable {
         jt
     }
 
+    /// Build a join table directly from pre-materialized rows — the
+    /// post-exchange path for distributed pipelines, where the build
+    /// side arrives as shipped fragments rather than a scannable heap.
+    /// Charges exactly what [`JoinTable::build`] charges after its scan:
+    /// `HJ_BUILD_ROW` plus a bucket store per row (NULL keys charged but
+    /// never inserted, matching the engine's HashJoin).
+    pub fn from_rows(
+        db: &Database,
+        rows: Vec<Vec<Value>>,
+        build_key: usize,
+        probe_key: usize,
+        tc: &mut TraceCtx,
+    ) -> Self {
+        let n_buckets = (rows.len() as u64).next_power_of_two().max(64);
+        let addr = db.space.alloc_anon(n_buckets * 64);
+        let mut jt = JoinTable {
+            probe_key,
+            // lint:allow(hash-order): placeholder replaced below, probed-only
+            table: HashMap::new(),
+            addr,
+            n_buckets,
+        };
+        // lint:allow(hash-order): fill order is the deterministic input row order; probed only
+        let mut table: HashMap<Value, Vec<Vec<Value>>> = HashMap::with_capacity(rows.len());
+        for row in rows {
+            tc.charge(tc.r.exec_hashjoin, instr::HJ_BUILD_ROW);
+            let key = row[build_key].clone();
+            if key.is_null() {
+                continue;
+            }
+            tc.store(jt.bucket_addr(&key), 16);
+            table.entry(key).or_default().push(row);
+        }
+        jt.table = table;
+        jt
+    }
+
     fn bucket_addr(&self, key: &Value) -> u64 {
         // Same address geometry as the engine's HashJoin — one source
         // of truth, so executor and staged probes touch identically.

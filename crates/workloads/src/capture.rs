@@ -24,7 +24,7 @@ use crate::tpch::{QueryKind, TpchDb};
 /// buffers, hash tables). Simulated bytes cost nothing real, so this is
 /// deliberately generous — exhaustion panics rather than falling back to
 /// the shared allocator (which would break parallel determinism).
-const DSS_SCRATCH_BYTES: u64 = 1 << 30;
+pub(crate) const DSS_SCRATCH_BYTES: u64 = 1 << 30;
 
 /// Capture parameters.
 #[derive(Debug, Clone, Copy)]
@@ -184,15 +184,30 @@ fn run_dss_client(
     tc.set_scratch(arena);
     for unit in 0..opt.units_per_client {
         let kind = mix[(client + unit) % mix.len()];
-        db.statement_overhead(&mut tc);
-        let mut plan = build_query(kind, h, &mut rng);
-        let n = dbcmp_engine::exec::run_count(plan.as_mut(), db, &mut tc).expect("query execution");
-        // Queries must produce output at capture scales; a zero-row
-        // result usually means a broken predicate draw.
-        debug_assert!(n > 0 || kind == QueryKind::Q16, "{kind:?} returned no rows");
-        tc.unit_end();
+        run_dss_unit(db, h, kind, &mut rng, &mut tc);
     }
     tc.finish()
+}
+
+/// Run one DSS work unit — statement overhead, plan build (consuming the
+/// unit's predicate draws from `rng`), execution, unit end — exactly as
+/// [`capture_dss`] does. The distributed DSS capture
+/// (`crate::tpch::dist`) calls this for its 1-instance degenerate case,
+/// so the two captures are event-identical there *by construction*.
+pub(crate) fn run_dss_unit(
+    db: &Database,
+    h: &TpchDb,
+    kind: QueryKind,
+    rng: &mut rand::rngs::StdRng,
+    tc: &mut dbcmp_engine::TraceCtx,
+) {
+    db.statement_overhead(tc);
+    let mut plan = build_query(kind, h, rng);
+    let n = dbcmp_engine::exec::run_count(plan.as_mut(), db, tc).expect("query execution");
+    // Queries must produce output at capture scales; a zero-row
+    // result usually means a broken predicate draw.
+    debug_assert!(n > 0 || kind == QueryKind::Q16, "{kind:?} returned no rows");
+    tc.unit_end();
 }
 
 /// Summary statistics helper re-exported for reports.

@@ -24,6 +24,7 @@
 
 pub mod capture;
 pub mod deploy;
+pub mod exchange;
 pub mod interleave;
 pub mod rng;
 pub mod rwset;
@@ -35,8 +36,10 @@ pub use deploy::{
     capture_oltp_deployment, capture_oltp_deployment_workers, DeployOptions, DeployStats,
     Deployment, DrawScheme,
 };
+pub use exchange::{choose_strategy, exchange_rows, ExchangeBufs, ExchangeTraffic};
 pub use interleave::{
     capture_oltp_interleaved, ContentionStats, InterleaveOptions, InterleavedCapture,
 };
 pub use tpcc::{build_tpcc, TpccDb, TpccScale};
-pub use tpch::{build_tpch, QueryKind, TpchDb, TpchScale};
+pub use tpch::dist::{capture_dss_dist, capture_dss_dist_workers, DistOptions, DistStats};
+pub use tpch::{build_tpch, build_tpch_range, QueryKind, TpchDb, TpchScale};

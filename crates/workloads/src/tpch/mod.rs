@@ -6,9 +6,13 @@
 //! the spec's frequencies so Q13's NOT LIKE predicate is selective in the
 //! same way.
 
+pub mod dist;
 pub mod queries;
 
+use std::sync::Arc;
+
 use dbcmp_engine::{ColType, Database, Schema, Value};
+use dbcmp_trace::AddressSpace;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -121,7 +125,42 @@ const SEGMENTS: [&str; 5] = [
 
 /// Build and populate the TPC-H database.
 pub fn build_tpch(scale: TpchScale, seed: u64) -> (Database, TpchDb) {
-    let mut db = Database::new();
+    build_tpch_range(scale, seed, 0, 1, Arc::new(AddressSpace::new()))
+}
+
+/// Build one shared-nothing fragment: instance `instance` of
+/// `n_instances`, over a caller-provided address space (each instance
+/// gets its own [`AddressSpace::partition`] window). Entities are
+/// range-partitioned by primary key — customer by custkey, supplier by
+/// suppkey, part by partkey (partsupp rides with its part), orders by
+/// orderkey (lineitem rides with its order) — in balanced contiguous
+/// ranges, the contiguous-range style `workloads::deploy` uses for
+/// TPC-C warehouses.
+///
+/// The population *draws* every random value at full scale and only
+/// *inserts* the rows the fragment owns, so all fragments agree on the
+/// global database: the union of N fragments is row-for-row the
+/// monolithic [`build_tpch`] database, and with `instance = 0,
+/// n_instances = 1` over a fresh space this IS `build_tpch` — same rng
+/// stream, same rows, same simulated addresses.
+pub fn build_tpch_range(
+    scale: TpchScale,
+    seed: u64,
+    instance: usize,
+    n_instances: usize,
+    space: Arc<AddressSpace>,
+) -> (Database, TpchDb) {
+    assert!(
+        n_instances >= 1 && instance < n_instances,
+        "instance {instance} out of 0..{n_instances}"
+    );
+    // Balanced contiguous key ranges: instance p owns keys
+    // (p*K/n, (p+1)*K/n] of a K-entity table.
+    let owns = |k: u64, total: u64| {
+        let (p, n) = (instance as u64, n_instances as u64);
+        k > p * total / n && k <= (p + 1) * total / n
+    };
+    let mut db = Database::with_space(space);
     let mut rng = client_rng(seed, usize::MAX - 1);
 
     let lineitem = db.create_table(
@@ -189,14 +228,21 @@ pub fn build_tpch(scale: TpchScale, seed: u64) -> (Database, TpchDb) {
     let mut txn = db.begin(&mut tc);
 
     for c in 1..=scale.customers {
+        // Draws happen at full scale (identical rng stream on every
+        // fragment); only owned entities are inserted.
+        let acctbal = rng.gen_range(-999_99..=9999_99);
+        let segment = SEGMENTS[rng.gen_range(0..SEGMENTS.len())];
+        if !owns(c, scale.customers) {
+            continue;
+        }
         db.insert(
             &mut txn,
             customer,
             &[
                 Value::Int(c as i64),
                 Value::Str(format!("Customer#{c:09}")),
-                Value::Decimal(rng.gen_range(-999_99..=9999_99)),
-                Value::Str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].into()),
+                Value::Decimal(acctbal),
+                Value::Str(segment.into()),
             ],
             &mut tc,
         )
@@ -211,6 +257,9 @@ pub fn build_tpch(scale: TpchScale, seed: u64) -> (Database, TpchDb) {
         } else {
             format!("supplier number {s} ships quickly")
         };
+        if !owns(s, scale.suppliers) {
+            continue;
+        }
         db.insert(
             &mut txn,
             supplier,
@@ -225,33 +274,46 @@ pub fn build_tpch(scale: TpchScale, seed: u64) -> (Database, TpchDb) {
     }
 
     for p in 1..=scale.parts {
-        db.insert(
-            &mut txn,
-            part,
-            &[
-                Value::Int(p as i64),
-                Value::Str(BRANDS[rng.gen_range(0..BRANDS.len())].into()),
-                Value::Str(format!(
-                    "{} {}",
-                    TYPES[rng.gen_range(0..TYPES.len())],
-                    ["ANODIZED", "BURNISHED", "PLATED", "POLISHED"][rng.gen_range(0..4)]
-                )),
-                Value::Int(rng.gen_range(1..=50)),
-            ],
-            &mut tc,
-        )
-        .expect("populate part");
+        let brand = BRANDS[rng.gen_range(0..BRANDS.len())];
+        let ptype = format!(
+            "{} {}",
+            TYPES[rng.gen_range(0..TYPES.len())],
+            ["ANODIZED", "BURNISHED", "PLATED", "POLISHED"][rng.gen_range(0..4)]
+        );
+        let size = rng.gen_range(1..=50);
+        // partsupp rides with its part (draws still happen at full
+        // scale below either way).
+        let owned = owns(p, scale.parts);
+        if owned {
+            db.insert(
+                &mut txn,
+                part,
+                &[
+                    Value::Int(p as i64),
+                    Value::Str(brand.into()),
+                    Value::Str(ptype),
+                    Value::Int(size),
+                ],
+                &mut tc,
+            )
+            .expect("populate part");
+        }
         // 4 suppliers per part, dbgen-style.
         for k in 0..4u64 {
             let s = (p * 7 + k * 13) % scale.suppliers + 1;
+            let availqty = rng.gen_range(1..=9999);
+            let supplycost = rng.gen_range(1_00..=1000_00);
+            if !owned {
+                continue;
+            }
             db.insert(
                 &mut txn,
                 partsupp,
                 &[
                     Value::Int(p as i64),
                     Value::Int(s as i64),
-                    Value::Int(rng.gen_range(1..=9999)),
-                    Value::Decimal(rng.gen_range(1_00..=1000_00)),
+                    Value::Int(availqty),
+                    Value::Decimal(supplycost),
                 ],
                 &mut tc,
             )
@@ -268,37 +330,52 @@ pub fn build_tpch(scale: TpchScale, seed: u64) -> (Database, TpchDb) {
         } else {
             format!("order {o} placed without further remarks")
         };
-        db.insert(
-            &mut txn,
-            orders,
-            &[
-                Value::Int(o as i64),
-                Value::Int(rng.gen_range(1..=scale.customers) as i64),
-                Value::Date(odate),
-                Value::Str(comment),
-            ],
-            &mut tc,
-        )
-        .expect("populate orders");
+        let custkey = rng.gen_range(1..=scale.customers) as i64;
+        // lineitem rides with its order (draws still at full scale).
+        let owned = owns(o, scale.orders);
+        if owned {
+            db.insert(
+                &mut txn,
+                orders,
+                &[
+                    Value::Int(o as i64),
+                    Value::Int(custkey),
+                    Value::Date(odate),
+                    Value::Str(comment),
+                ],
+                &mut tc,
+            )
+            .expect("populate orders");
+        }
         let lines = rng.gen_range(1..=7u64);
         for l in 1..=lines {
             let qty = rng.gen_range(1..=50) as i64;
             let price = rng.gen_range(9_00..=9_500_00);
+            let partkey = rng.gen_range(1..=scale.parts) as i64;
+            let suppkey = rng.gen_range(1..=scale.suppliers) as i64;
+            let disc = rng.gen_range(0..=10); // 0.00-0.10
+            let tax = rng.gen_range(0..=8); // 0.00-0.08
+            let rflag = ["A", "N", "R"][rng.gen_range(0..3)];
+            let lstat = ["O", "F"][rng.gen_range(0..2)];
+            let shipdate = odate + rng.gen_range(1..=121);
+            if !owned {
+                continue;
+            }
             db.insert(
                 &mut txn,
                 lineitem,
                 &[
                     Value::Int(o as i64),
-                    Value::Int(rng.gen_range(1..=scale.parts) as i64),
-                    Value::Int(rng.gen_range(1..=scale.suppliers) as i64),
+                    Value::Int(partkey),
+                    Value::Int(suppkey),
                     Value::Int(l as i64),
                     Value::Decimal(qty * 100),
                     Value::Decimal(price),
-                    Value::Decimal(rng.gen_range(0..=10)), // 0.00-0.10
-                    Value::Decimal(rng.gen_range(0..=8)),  // 0.00-0.08
-                    Value::Str(["A", "N", "R"][rng.gen_range(0..3)].into()),
-                    Value::Str(["O", "F"][rng.gen_range(0..2)].into()),
-                    Value::Date(odate + rng.gen_range(1..=121)),
+                    Value::Decimal(disc),
+                    Value::Decimal(tax),
+                    Value::Str(rflag.into()),
+                    Value::Str(lstat.into()),
+                    Value::Date(shipdate),
                 ],
                 &mut tc,
             )
@@ -343,6 +420,50 @@ mod tests {
         assert_eq!(db.table(h.partsupp).n_rows(), 480);
         let li = db.table(h.lineitem).n_rows();
         assert!((600..=4200).contains(&li), "lineitem {li}");
+    }
+
+    /// The union of N range fragments is row-for-row the monolithic
+    /// database: every fragment replays the same full-scale rng stream
+    /// and keeps only its key range.
+    #[test]
+    fn fragments_union_to_the_monolith() {
+        let scale = TpchScale::tiny();
+        let (db, h) = build_tpch(scale, 7);
+        let n = 3;
+        let frags: Vec<_> = (0..n)
+            .map(|p| {
+                build_tpch_range(
+                    scale,
+                    7,
+                    p,
+                    n,
+                    Arc::new(AddressSpace::partition(p).unwrap()),
+                )
+            })
+            .collect();
+        let rows_of = |db: &Database, t: usize| {
+            let mut tc = db.null_ctx();
+            let mut scan = dbcmp_engine::exec::SeqScan::new(t);
+            dbcmp_engine::exec::run_to_vec(&mut scan, db, &mut tc).unwrap()
+        };
+        for t in [
+            h.customer, h.supplier, h.part, h.partsupp, h.orders, h.lineitem,
+        ] {
+            let mut mono = rows_of(&db, t);
+            let mut union = Vec::new();
+            for (fdb, fh) in &frags {
+                assert_eq!(fh.customer, h.customer, "handles agree across fragments");
+                union.extend(rows_of(fdb, t));
+            }
+            mono.sort();
+            union.sort();
+            assert_eq!(mono, union, "table {t} fragments must cover the monolith");
+        }
+        // The partitioning is real: no fragment holds everything.
+        for (fdb, fh) in &frags {
+            assert!(fdb.table(fh.orders).n_rows() < db.table(h.orders).n_rows());
+            assert!(fdb.table(fh.orders).n_rows() > 0);
+        }
     }
 
     #[test]

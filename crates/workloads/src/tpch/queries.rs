@@ -26,8 +26,9 @@ const L_LSTAT: usize = 9;
 const L_SHIP: usize = 10;
 
 /// `l_extendedprice * (1 - l_discount)` at column offset `base` — the
-/// revenue expression shared by Q3 and Q5.
-fn revenue_at(base: usize) -> Scalar {
+/// revenue expression shared by Q3 and Q5 (and their distributed
+/// partial aggregates in [`super::dist`]).
+pub(crate) fn revenue_at(base: usize) -> Scalar {
     Scalar::MulDec(
         Box::new(Scalar::Col(base + L_PRICE)),
         Box::new(Scalar::Sub(

@@ -7,9 +7,9 @@ use dbcmp::core::experiment::{run_throughput, RunSpec};
 use dbcmp::core::machines::{fc_cmp, L2Spec};
 use dbcmp::core::taxonomy::WorkloadKind;
 use dbcmp::core::workload::{CapturedWorkload, FigScale};
+use dbcmp::engine::CcBackend;
 use dbcmp::sim::analytic::Validation;
 use dbcmp::trace::TraceSummary;
-use dbcmp::engine::CcBackend;
 use dbcmp::workloads::{
     build_tpcc, capture_oltp, capture_oltp_interleaved, CaptureOptions, DrawScheme,
     InterleaveOptions,
@@ -322,6 +322,89 @@ fn single_partition_deployment_matches_plain_capture() {
             a.packed_events(),
             b.packed_events(),
             "client {i} diverged from the single-chip capture"
+        );
+    }
+}
+
+/// ISSUE 10 determinism anchor: a distributed Q3/Q5 capture is
+/// byte-identical whatever the worker count used for the per-instance
+/// fragment builds — each fragment populates from the full rng stream
+/// (draw-all, insert-owned) into its own address window, and query
+/// capture stays sequential in global client order.
+#[test]
+fn dist_capture_deterministic_across_workers() {
+    use dbcmp::workloads::tpch::QueryKind;
+    use dbcmp::workloads::{capture_dss_dist_workers, DistOptions};
+    let scale = FigScale::quick();
+    let opt = DistOptions {
+        capture: CaptureOptions::new(scale.dss_clients, scale.dss_units, scale.seed),
+        instances: 4,
+    };
+    let a = capture_dss_dist_workers(scale.tpch, &QueryKind::JOINS, opt, 1);
+    let b = capture_dss_dist_workers(scale.tpch, &QueryKind::JOINS, opt, 4);
+    assert_eq!(a.stats, b.stats, "exchange statistics must reproduce");
+    assert!(
+        a.stats.traffic.messages > 0,
+        "the fixture must cross instances"
+    );
+    for (p, (ba, bb)) in a.bundles.iter().zip(&b.bundles).enumerate() {
+        assert_eq!(
+            TraceSummary::compute(&ba.regions, &ba.threads),
+            TraceSummary::compute(&bb.regions, &bb.threads),
+            "instance {p} summary diverged across build workers"
+        );
+        for (i, (ta, tb)) in ba.threads.iter().zip(&bb.threads).enumerate() {
+            assert_eq!(
+                ta.packed_events(),
+                tb.packed_events(),
+                "instance {p} thread {i} diverged across build workers"
+            );
+        }
+    }
+}
+
+/// ISSUE 10 regression anchor: the 1-instance distributed plan is
+/// event-identical to the existing single-instance `dss_joins` capture —
+/// the distributed capture degenerates to `capture_dss` exactly when
+/// there is nothing to exchange.
+#[test]
+fn single_instance_dist_matches_dss_joins_capture() {
+    use dbcmp::workloads::tpch::QueryKind;
+    use dbcmp::workloads::{capture_dss_dist, DistOptions};
+    let scale = FigScale::quick();
+
+    let dist = capture_dss_dist(
+        scale.tpch,
+        &QueryKind::JOINS,
+        DistOptions {
+            capture: CaptureOptions::new(scale.dss_clients, scale.dss_units, scale.seed),
+            instances: 1,
+        },
+    );
+    assert_eq!(dist.bundles.len(), 1);
+    assert_eq!(dist.stats.traffic.messages, 0, "nothing ships at n=1");
+    assert_eq!(dist.stats.shuffles + dist.stats.broadcasts, 0);
+
+    let single = CapturedWorkload::dss_joins(&scale, scale.dss_clients, scale.dss_units);
+    assert_eq!(
+        TraceSummary::compute(&dist.bundles[0].regions, &dist.bundles[0].threads),
+        TraceSummary::compute(&single.bundle.regions, &single.bundle.threads),
+    );
+    assert_eq!(
+        dist.bundles[0].threads.len(),
+        single.bundle.threads.len(),
+        "no service thread at n=1"
+    );
+    for (i, (a, b)) in dist.bundles[0]
+        .threads
+        .iter()
+        .zip(&single.bundle.threads)
+        .enumerate()
+    {
+        assert_eq!(
+            a.packed_events(),
+            b.packed_events(),
+            "client {i} diverged from the single-instance capture"
         );
     }
 }
